@@ -1,0 +1,147 @@
+//! Criterion microbenches quantifying the costs the paper discusses:
+//! compression throughput, importance ranking, MTA solving, row
+//! scatter/gather, channel integration, and the management-overhead
+//! ablation across granularities (element vs row vs layer, Sec. III-A).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use rog_compress::{CompressedRow, ErrorFeedback, TopKCodec};
+use rog_core::mta::mta_fraction;
+use rog_core::{ImportanceMetric, ImportanceMode, RogWorker, RogWorkerConfig, RowId, RowPartition};
+use rog_net::{Channel, ChannelProfile, FlowSpec, Trace};
+use rog_tensor::rng::DetRng;
+use rog_tensor::Matrix;
+
+fn bench_compression(c: &mut Criterion) {
+    let mut g = c.benchmark_group("compression");
+    let mut rng = DetRng::new(1);
+    for &cols in &[64usize, 512, 4096] {
+        let row: Vec<f32> = (0..cols).map(|_| rng.normal() as f32).collect();
+        g.bench_with_input(BenchmarkId::new("onebit_encode", cols), &row, |b, row| {
+            b.iter(|| CompressedRow::encode(black_box(row)))
+        });
+        let code = CompressedRow::encode(&row);
+        g.bench_with_input(BenchmarkId::new("onebit_decode", cols), &code, |b, code| {
+            b.iter(|| black_box(code).decompress())
+        });
+        let mut ef = ErrorFeedback::new(&[cols]);
+        g.bench_with_input(BenchmarkId::new("error_feedback", cols), &row, |b, row| {
+            b.iter(|| ef.compress(0, black_box(row)))
+        });
+        let topk = TopKCodec::new(0.01);
+        g.bench_with_input(BenchmarkId::new("topk_1pct", cols), &row, |b, row| {
+            b.iter(|| topk.compress(black_box(row)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_importance(c: &mut Criterion) {
+    let mut g = c.benchmark_group("importance_metric");
+    let metric = ImportanceMetric::default();
+    let mut rng = DetRng::new(2);
+    for &rows in &[200usize, 2000, 33_307] {
+        let mags: Vec<f32> = (0..rows).map(|_| rng.normal().abs() as f32).collect();
+        let iters: Vec<u64> = (0..rows).map(|i| (i % 7) as u64).collect();
+        g.bench_with_input(BenchmarkId::new("rank_worker_mode", rows), &rows, |b, _| {
+            b.iter(|| metric.rank(ImportanceMode::Worker, black_box(&mags), black_box(&iters)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_mta(c: &mut Criterion) {
+    c.bench_function("mta_fraction_threshold_8", |b| {
+        b.iter(|| mta_fraction(black_box(8)))
+    });
+}
+
+fn bench_row_plumbing(c: &mut Criterion) {
+    let mut g = c.benchmark_group("row_plumbing");
+    let params = vec![
+        Matrix::zeros(96, 32),
+        Matrix::zeros(1, 96),
+        Matrix::zeros(64, 96),
+        Matrix::zeros(1, 64),
+        Matrix::zeros(20, 64),
+        Matrix::zeros(1, 20),
+    ];
+    let partition = RowPartition::of_params(&params);
+    g.bench_function("gather_all_rows", |b| {
+        b.iter(|| {
+            let mut acc = 0.0f32;
+            for i in 0..partition.n_rows() {
+                acc += partition.row(black_box(&params), RowId(i))[0];
+            }
+            acc
+        })
+    });
+    let mut worker = RogWorker::new(&params, RogWorkerConfig::new(4, 0.01));
+    let grads: Vec<Matrix> = params
+        .iter()
+        .map(|m| Matrix::from_fn(m.rows(), m.cols(), |r, c| ((r + c) % 5) as f32 * 0.1))
+        .collect();
+    worker.accumulate(&grads);
+    g.bench_function("plan_push_full_model", |b| {
+        b.iter(|| worker.plan_push(black_box(3)))
+    });
+    g.finish();
+}
+
+fn bench_channel(c: &mut Criterion) {
+    let mut g = c.benchmark_group("channel");
+    let profile = ChannelProfile::outdoor();
+    let capacity = profile.generate(7, 300.0);
+    let links: Vec<Trace> = (0..4).map(|w| profile.generate_link(8 + w, 300.0)).collect();
+    g.bench_function("four_flows_one_second", |b| {
+        b.iter(|| {
+            let mut ch = Channel::new(capacity.clone(), links.clone());
+            for w in 0..4 {
+                ch.start_flow(0.0, FlowSpec::new(w, vec![50_000; 40]).with_deadline(0.8));
+            }
+            let mut events = 0;
+            loop {
+                let evs = ch.advance_until(1.0);
+                if evs.is_empty() {
+                    break;
+                }
+                events += evs.len();
+            }
+            events
+        })
+    });
+    g.finish();
+}
+
+fn bench_granularity_ablation(c: &mut Criterion) {
+    // Sec. III-A: management overhead at element / row / layer
+    // granularity. The benchmark measures ranking cost at each
+    // granularity for the same 16.95M-element model; the wire-overhead
+    // ratios are printed by the fig/table binaries.
+    let mut g = c.benchmark_group("granularity_ablation");
+    let metric = ImportanceMetric::default();
+    let mut rng = DetRng::new(3);
+    // Model of ~33k rows; element granularity would be 16.95M units
+    // (benchmarked at 1/100 scale to keep runtime sane), layer
+    // granularity is 226 units.
+    for (name, units) in [("layer_226", 226usize), ("row_33307", 33_307), ("element_169k_sample", 169_500)] {
+        let mags: Vec<f32> = (0..units).map(|_| rng.normal().abs() as f32).collect();
+        let iters: Vec<u64> = (0..units).map(|i| (i % 5) as u64).collect();
+        g.bench_function(name, |b| {
+            b.iter(|| metric.rank(ImportanceMode::Worker, black_box(&mags), black_box(&iters)))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_compression,
+    bench_importance,
+    bench_mta,
+    bench_row_plumbing,
+    bench_channel,
+    bench_granularity_ablation
+);
+criterion_main!(benches);

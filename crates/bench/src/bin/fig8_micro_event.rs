@@ -1,0 +1,77 @@
+//! Figure 8: micro-event analysis.
+//!
+//! Runs ROG-4 on one robot's perspective in the outdoor environment and
+//! records, at every push of that robot, the instantaneous link
+//! bandwidth, the fraction of rows it managed to transmit (transmission
+//! rate), and how many iterations it lags the fastest worker
+//! (staleness). The paper's reading: when bandwidth fluctuates, the
+//! transmission rate tracks it immediately and staleness stays low; in
+//! a long deep fade staleness accumulates; when bandwidth recovers the
+//! robot catches up quickly because it only has to transmit partial
+//! rows.
+
+use rog_bench::{duration, header, write_artifact};
+use rog_trainer::{Environment, ExperimentConfig, Strategy, WorkloadKind};
+
+fn main() {
+    let dur = duration(240.0, 120.0);
+    let cfg = ExperimentConfig {
+        workload: WorkloadKind::Cruda,
+        environment: Environment::Outdoor,
+        strategy: Strategy::Rog { threshold: 4 },
+        duration_secs: dur,
+        record_micro: true,
+        ..ExperimentConfig::default()
+    };
+    let m = cfg.run();
+
+    header("Fig. 8 — bandwidth vs ROG transmission rate vs staleness (worker 0)");
+    println!(
+        "{:>8} {:>12} {:>10} {:>9}",
+        "time_s", "bw_mbps", "tx_rate_%", "staleness"
+    );
+    let mut csv = String::from("time_s,bandwidth_mbps,transmission_rate,staleness\n");
+    for s in &m.micro {
+        println!(
+            "{:>8.1} {:>12.1} {:>10.1} {:>9}",
+            s.time,
+            s.bandwidth_bps / 1e6,
+            100.0 * s.transmission_rate,
+            s.staleness
+        );
+        csv.push_str(&format!(
+            "{:.2},{:.3},{:.4},{}\n",
+            s.time,
+            s.bandwidth_bps / 1e6,
+            s.transmission_rate,
+            s.staleness
+        ));
+    }
+    write_artifact("fig8_micro_event.csv", &csv);
+
+    // Summary correlations for the narrative.
+    let n = m.micro.len() as f64;
+    if n > 4.0 {
+        let mean_bw = m.micro.iter().map(|s| s.bandwidth_bps).sum::<f64>() / n;
+        let mean_tx = m.micro.iter().map(|s| s.transmission_rate).sum::<f64>() / n;
+        let mut cov = 0.0;
+        let mut var_b = 0.0;
+        let mut var_t = 0.0;
+        for s in &m.micro {
+            let db = s.bandwidth_bps - mean_bw;
+            let dt = s.transmission_rate - mean_tx;
+            cov += db * dt;
+            var_b += db * db;
+            var_t += dt * dt;
+        }
+        let corr = cov / (var_b.sqrt() * var_t.sqrt()).max(1e-12);
+        let max_stale = m.micro.iter().map(|s| s.staleness).max().unwrap_or(0);
+        println!(
+            "\ncorrelation(bandwidth, transmission rate) = {corr:.2} \
+             (positive: ROG adapts the rate to the link in real time)"
+        );
+        println!(
+            "max staleness observed: {max_stale} (bounded by the RSP threshold 4)"
+        );
+    }
+}

@@ -1,0 +1,53 @@
+//! `rogctl` — run one configurable experiment from the command line.
+//!
+//! ```text
+//! cargo run --release -p rog-bench --bin rogctl -- \
+//!     --workload cruda --env outdoor --strategy rog:4 --duration 1200 \
+//!     --csv run.csv --json run.json
+//! ```
+
+use std::process::ExitCode;
+
+use rog_bench::cli;
+use rog_trainer::report;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let run = match cli::parse(&args) {
+        Ok(run) => run,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!("running {} for {:.0}s ...", run.config.name(), run.config.duration_secs);
+    let metrics = run.config.run();
+
+    println!("\n{}", report::composition_table(std::slice::from_ref(&metrics)));
+    println!("{} over time:", metrics.metric_name);
+    for c in &metrics.checkpoints {
+        println!(
+            "  iter {:>5}  t={:>8.1}s  {}={:>8.3}  energy={:>9.0} J",
+            c.iter, c.time, metrics.metric_name, c.metric, c.energy_j
+        );
+    }
+    println!(
+        "\ntotal: {:.0} iterations/worker, {:.0} J, {:.1} MB useful / {:.1} MB wasted on the wire",
+        metrics.mean_iterations,
+        metrics.total_energy_j,
+        metrics.useful_bytes / 1e6,
+        metrics.wasted_bytes / 1e6
+    );
+
+    if let Some(path) = &run.csv_out {
+        std::fs::write(path, report::checkpoints_csv(std::slice::from_ref(&metrics)))
+            .expect("write csv");
+        println!("wrote {path}");
+    }
+    if let Some(path) = &run.json_out {
+        std::fs::write(path, report::runs_to_json(std::slice::from_ref(&metrics)))
+            .expect("write json");
+        println!("wrote {path}");
+    }
+    ExitCode::SUCCESS
+}

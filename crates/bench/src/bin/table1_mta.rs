@@ -1,0 +1,31 @@
+//! Table I: MTA values under different staleness thresholds — the
+//! solution of `(1-P)^(S-1) = P`.
+
+use rog_bench::{header, write_artifact};
+use rog_core::mta::mta_fraction;
+
+fn main() {
+    header("Table I — MTA values under different thresholds");
+    let paper = [
+        (2u32, 0.5),
+        (3, 0.38),
+        (4, 0.32),
+        (5, 0.28),
+        (6, 0.25),
+        (7, 0.22),
+        (8, 0.2),
+    ];
+    println!("{:<10} {:>10} {:>10}", "threshold", "MTA (ours)", "MTA (paper)");
+    let mut csv = String::from("threshold,mta_ours,mta_paper\n");
+    for (s, p) in paper {
+        let ours = mta_fraction(s);
+        println!("{s:<10} {ours:>10.4} {p:>10.2}");
+        csv.push_str(&format!("{s},{ours:.4},{p}\n"));
+        assert!(
+            (ours - p).abs() < 0.005,
+            "threshold {s}: computed {ours} deviates from Table I's {p}"
+        );
+    }
+    write_artifact("table1_mta.csv", &csv);
+    println!("\nall values match Table I to the two decimals printed there.");
+}

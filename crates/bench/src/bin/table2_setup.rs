@@ -1,0 +1,45 @@
+//! Table II: the default experiment setup, reproduced from the
+//! configuration the harness actually uses.
+
+use rog_bench::header;
+use rog_trainer::{Cluster, DeviceKind, ExperimentConfig};
+
+fn main() {
+    header("Table II — default setup");
+    let cfg = ExperimentConfig::default();
+    let cluster = Cluster::build(&cfg);
+    let robot_batch = cluster
+        .devices
+        .iter()
+        .find(|d| d.kind == DeviceKind::Robot)
+        .map(|d| d.batch)
+        .unwrap_or(0);
+    let laptop_batch = cluster
+        .devices
+        .iter()
+        .find(|d| d.kind == DeviceKind::Laptop)
+        .map(|d| d.batch)
+        .unwrap_or(0);
+    println!("batch size (robot):            {robot_batch}   (paper: 24)");
+    println!("batch size (laptop):           {laptop_batch}   (paper: 16)");
+    println!("learning rate:                 {}   (paper: 1e-6 on ConvMLP)", cluster.lr);
+    println!(
+        "compress+decompress time cost: {:.2} s (paper: 0.42–0.51 s)",
+        cfg.codec_secs()
+    );
+    println!(
+        "gradient compute (robot):      {:.2} s incl. codec (paper: 2.18 s)",
+        cfg.base_compute_secs() + cfg.codec_secs()
+    );
+    println!(
+        "compressed model size:         {:.2} MB (paper: 2.1 MB CRUDA)",
+        cfg.compressed_bytes() as f64 / 1e6
+    );
+    println!(
+        "workers:                       {} ({} robots + {} laptop)",
+        cfg.n_workers,
+        cfg.n_workers - cfg.n_laptop_workers,
+        cfg.n_laptop_workers
+    );
+    println!("checkpoint cadence:            every {} iterations (paper: 50)", cfg.eval_every);
+}

@@ -1,0 +1,242 @@
+//! Argument parsing for the `rogctl` experiment runner.
+//!
+//! Hand-rolled (no CLI dependency): `--key value` and boolean `--flag`
+//! pairs mapped onto an [`ExperimentConfig`].
+
+use std::fmt;
+
+use rog_net::SharingMode;
+use rog_trainer::{Environment, ExperimentConfig, ModelScale, Strategy, WorkloadKind};
+
+/// A parsed `rogctl` invocation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CliRun {
+    /// The experiment to run.
+    pub config: ExperimentConfig,
+    /// Write checkpoints CSV here.
+    pub csv_out: Option<String>,
+    /// Write run-metrics JSON here.
+    pub json_out: Option<String>,
+}
+
+/// CLI parse error with a message suitable for direct printing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CliError(String);
+
+impl fmt::Display for CliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for CliError {}
+
+fn err(msg: impl Into<String>) -> CliError {
+    CliError(msg.into())
+}
+
+/// Usage text.
+pub const USAGE: &str = "\
+rogctl — run one ROG/baseline training experiment on the simulated cluster
+
+USAGE:
+  rogctl [--workload cruda|cruda-conv|crimp] [--env indoor|outdoor|stable]
+         [--strategy bsp|asp|ssp:<t>|flown:<min>:<max>|rog:<t>]
+         [--duration <secs>] [--workers <n>] [--laptops <n>]
+         [--batch-scale <x>] [--eval-every <iters>] [--seed <n>]
+         [--scale paper|small] [--mac airtime|anomaly]
+         [--pipeline] [--auto-threshold] [--micro]
+         [--csv <path>] [--json <path>]
+";
+
+/// Parses CLI arguments (without the program name).
+///
+/// # Errors
+///
+/// Returns a printable [`CliError`] on unknown flags or malformed
+/// values.
+pub fn parse(args: &[String]) -> Result<CliRun, CliError> {
+    let mut cfg = ExperimentConfig {
+        duration_secs: 600.0,
+        ..ExperimentConfig::default()
+    };
+    let mut csv_out = None;
+    let mut json_out = None;
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let mut value = || {
+            it.next()
+                .ok_or_else(|| err(format!("{flag} expects a value")))
+        };
+        match flag.as_str() {
+            "--workload" => {
+                cfg.workload = match value()?.as_str() {
+                    "cruda" => WorkloadKind::Cruda,
+                    "cruda-conv" => WorkloadKind::CrudaConv,
+                    "crimp" => WorkloadKind::Crimp,
+                    other => return Err(err(format!("unknown workload '{other}'"))),
+                }
+            }
+            "--env" => {
+                cfg.environment = match value()?.as_str() {
+                    "indoor" => Environment::Indoor,
+                    "outdoor" => Environment::Outdoor,
+                    "stable" => Environment::Stable,
+                    other => return Err(err(format!("unknown environment '{other}'"))),
+                }
+            }
+            "--strategy" => cfg.strategy = parse_strategy(value()?)?,
+            "--duration" => {
+                cfg.duration_secs = value()?
+                    .parse()
+                    .map_err(|_| err("--duration expects seconds"))?
+            }
+            "--workers" => {
+                cfg.n_workers = value()?.parse().map_err(|_| err("--workers expects a count"))?
+            }
+            "--laptops" => {
+                cfg.n_laptop_workers = value()?
+                    .parse()
+                    .map_err(|_| err("--laptops expects a count"))?
+            }
+            "--batch-scale" => {
+                cfg.batch_scale = value()?
+                    .parse()
+                    .map_err(|_| err("--batch-scale expects a number"))?
+            }
+            "--eval-every" => {
+                cfg.eval_every = value()?
+                    .parse()
+                    .map_err(|_| err("--eval-every expects an iteration count"))?
+            }
+            "--seed" => cfg.seed = value()?.parse().map_err(|_| err("--seed expects an integer"))?,
+            "--scale" => {
+                cfg.model_scale = match value()?.as_str() {
+                    "paper" => ModelScale::Paper,
+                    "small" => ModelScale::Small,
+                    other => return Err(err(format!("unknown scale '{other}'"))),
+                }
+            }
+            "--mac" => {
+                cfg.mac_sharing = match value()?.as_str() {
+                    "airtime" => SharingMode::AirtimeFair,
+                    "anomaly" => SharingMode::ThroughputFair,
+                    other => return Err(err(format!("unknown mac model '{other}'"))),
+                }
+            }
+            "--pipeline" => cfg.pipeline = true,
+            "--auto-threshold" => cfg.auto_threshold = true,
+            "--micro" => cfg.record_micro = true,
+            "--csv" => csv_out = Some(value()?.clone()),
+            "--json" => json_out = Some(value()?.clone()),
+            "--help" | "-h" => return Err(err(USAGE)),
+            other => return Err(err(format!("unknown flag '{other}'\n\n{USAGE}"))),
+        }
+    }
+    if matches!(cfg.strategy, Strategy::Rog { .. }) || (!cfg.pipeline && !cfg.auto_threshold) {
+        Ok(CliRun {
+            config: cfg,
+            csv_out,
+            json_out,
+        })
+    } else {
+        Err(err("--pipeline/--auto-threshold apply to ROG strategies only"))
+    }
+}
+
+fn parse_strategy(s: &str) -> Result<Strategy, CliError> {
+    let parts: Vec<&str> = s.split(':').collect();
+    match parts.as_slice() {
+        ["bsp"] => Ok(Strategy::Bsp),
+        ["asp"] => Ok(Strategy::Asp),
+        ["ssp", t] => Ok(Strategy::Ssp {
+            threshold: t.parse().map_err(|_| err("ssp:<t> expects an integer"))?,
+        }),
+        ["rog", t] => Ok(Strategy::Rog {
+            threshold: t.parse().map_err(|_| err("rog:<t> expects an integer"))?,
+        }),
+        ["flown", lo, hi] => Ok(Strategy::Flown {
+            min_threshold: lo.parse().map_err(|_| err("flown:<min>:<max>"))?,
+            max_threshold: hi.parse().map_err(|_| err("flown:<min>:<max>"))?,
+        }),
+        _ => Err(err(format!(
+            "unknown strategy '{s}' (bsp | asp | ssp:<t> | flown:<min>:<max> | rog:<t>)"
+        ))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(s: &str) -> Vec<String> {
+        s.split_whitespace().map(String::from).collect()
+    }
+
+    #[test]
+    fn defaults_parse_from_empty() {
+        let run = parse(&[]).expect("empty args are fine");
+        assert_eq!(run.config.strategy, Strategy::Bsp);
+        assert_eq!(run.config.duration_secs, 600.0);
+        assert!(run.csv_out.is_none());
+    }
+
+    #[test]
+    fn full_invocation_parses() {
+        let run = parse(&args(
+            "--workload crimp --env indoor --strategy rog:4 --duration 120 \
+             --workers 6 --laptops 2 --batch-scale 2 --eval-every 10 --seed 9 \
+             --scale small --mac anomaly --pipeline --auto-threshold --micro \
+             --csv out.csv --json out.json",
+        ))
+        .expect("parses");
+        let c = &run.config;
+        assert_eq!(c.workload, WorkloadKind::Crimp);
+        assert_eq!(c.environment, Environment::Indoor);
+        assert_eq!(c.strategy, Strategy::Rog { threshold: 4 });
+        assert_eq!(c.duration_secs, 120.0);
+        assert_eq!(c.n_workers, 6);
+        assert_eq!(c.n_laptop_workers, 2);
+        assert_eq!(c.batch_scale, 2.0);
+        assert_eq!(c.eval_every, 10);
+        assert_eq!(c.seed, 9);
+        assert_eq!(c.model_scale, ModelScale::Small);
+        assert_eq!(c.mac_sharing, rog_net::SharingMode::ThroughputFair);
+        assert!(c.pipeline && c.auto_threshold && c.record_micro);
+        assert_eq!(run.csv_out.as_deref(), Some("out.csv"));
+        assert_eq!(run.json_out.as_deref(), Some("out.json"));
+    }
+
+    #[test]
+    fn strategy_variants_parse() {
+        assert_eq!(parse_strategy("bsp").unwrap(), Strategy::Bsp);
+        assert_eq!(parse_strategy("asp").unwrap(), Strategy::Asp);
+        assert_eq!(
+            parse_strategy("ssp:20").unwrap(),
+            Strategy::Ssp { threshold: 20 }
+        );
+        assert_eq!(
+            parse_strategy("flown:2:20").unwrap(),
+            Strategy::Flown {
+                min_threshold: 2,
+                max_threshold: 20
+            }
+        );
+        assert!(parse_strategy("ssp").is_err());
+        assert!(parse_strategy("nope:1").is_err());
+    }
+
+    #[test]
+    fn bad_flags_are_rejected() {
+        assert!(parse(&args("--bogus 1")).is_err());
+        assert!(parse(&args("--duration")).is_err());
+        assert!(parse(&args("--duration banana")).is_err());
+        assert!(parse(&args("--workload quake")).is_err());
+    }
+
+    #[test]
+    fn extensions_require_rog() {
+        assert!(parse(&args("--strategy bsp --pipeline")).is_err());
+        assert!(parse(&args("--strategy rog:4 --pipeline")).is_ok());
+    }
+}

@@ -1,0 +1,121 @@
+//! Experiment-runner helpers shared by the figure/table binaries.
+//!
+//! Each binary in `src/bin/` regenerates one table or figure of the
+//! paper (see `DESIGN.md` for the index). Binaries accept `--quick` to
+//! run a shortened smoke version, print their results as text
+//! tables/series, and write CSV files under `results/`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cli;
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use rog_trainer::{ExperimentConfig, RunMetrics};
+
+/// Whether `--quick` was passed (shortened smoke run).
+pub fn quick() -> bool {
+    std::env::args().any(|a| a == "--quick")
+}
+
+/// Duration helper: `full` seconds normally, `quick_secs` with
+/// `--quick`.
+pub fn duration(full: f64, quick_secs: f64) -> f64 {
+    if quick() {
+        quick_secs
+    } else {
+        full
+    }
+}
+
+/// Runs several experiment configs concurrently (each run is
+/// self-contained and deterministic, so threading does not affect
+/// results).
+pub fn run_all(configs: &[ExperimentConfig]) -> Vec<RunMetrics> {
+    std::thread::scope(|s| {
+        let handles: Vec<_> = configs
+            .iter()
+            .map(|cfg| s.spawn(move || cfg.run()))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("experiment thread panicked"))
+            .collect()
+    })
+}
+
+/// The `results/` directory (created on demand).
+pub fn results_dir() -> PathBuf {
+    let dir = Path::new("results");
+    fs::create_dir_all(dir).expect("create results dir");
+    dir.to_path_buf()
+}
+
+/// Writes a result artifact and reports its path.
+pub fn write_artifact(name: &str, content: &str) {
+    let path = results_dir().join(name);
+    fs::write(&path, content).expect("write results file");
+    println!("  -> wrote {}", path.display());
+}
+
+/// Prints a section header.
+pub fn header(title: &str) {
+    println!("\n=== {title} ===");
+}
+
+/// Formats metric-vs-time series at fixed probe times, one row per
+/// probe, one column per run (the textual form of the paper's accuracy
+/// curves).
+pub fn series_at_times(runs: &[RunMetrics], probes: &[f64]) -> String {
+    let mut out = String::from("time_s");
+    for r in runs {
+        out.push(',');
+        out.push_str(r.name.split(" / ").next().unwrap_or(&r.name));
+    }
+    out.push('\n');
+    for &t in probes {
+        out.push_str(&format!("{t:.0}"));
+        for r in runs {
+            match rog_trainer::report::metric_at_time(r, t) {
+                Some(m) => out.push_str(&format!(",{m:.2}")),
+                None => out.push_str(","),
+            }
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Formats metric-vs-iteration series at fixed probe iterations.
+pub fn series_at_iterations(runs: &[RunMetrics], probes: &[u64]) -> String {
+    let mut out = String::from("iteration");
+    for r in runs {
+        out.push(',');
+        out.push_str(r.name.split(" / ").next().unwrap_or(&r.name));
+    }
+    out.push('\n');
+    for &it in probes {
+        out.push_str(&format!("{it}"));
+        for r in runs {
+            match rog_trainer::report::metric_at_iteration(r, it as f64) {
+                Some(m) => out.push_str(&format!(",{m:.2}")),
+                None => out.push_str(","),
+            }
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn duration_honors_quick_flag() {
+        // No --quick in the test harness args.
+        assert_eq!(duration(100.0, 10.0), 100.0);
+    }
+}

@@ -1,0 +1,227 @@
+//! One-bit sign compression with per-row error feedback.
+
+/// A one-bit-compressed row: one sign bit per value plus two scales.
+///
+/// Values flagged positive decompress to `scale_pos`, the rest to
+/// `-scale_neg`; the scales are the mean magnitudes of each sign class,
+/// which minimizes the L2 reconstruction error among one-bit codes with
+/// two levels.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CompressedRow {
+    /// Reconstruction level of positive values (≥ 0).
+    pub scale_pos: f32,
+    /// Reconstruction magnitude of negative values (≥ 0).
+    pub scale_neg: f32,
+    /// Packed sign bits, LSB-first within each byte.
+    pub bits: Vec<u8>,
+    /// Number of values in the row.
+    pub cols: usize,
+}
+
+impl CompressedRow {
+    /// Compresses a row without error feedback (pure function).
+    pub fn encode(row: &[f32]) -> Self {
+        let cols = row.len();
+        let mut bits = vec![0u8; cols.div_ceil(8)];
+        let (mut pos_sum, mut pos_n, mut neg_sum, mut neg_n) = (0.0f64, 0u32, 0.0f64, 0u32);
+        for (i, &v) in row.iter().enumerate() {
+            if v >= 0.0 {
+                bits[i / 8] |= 1 << (i % 8);
+                pos_sum += v as f64;
+                pos_n += 1;
+            } else {
+                neg_sum += (-v) as f64;
+                neg_n += 1;
+            }
+        }
+        let scale_pos = if pos_n > 0 { (pos_sum / pos_n as f64) as f32 } else { 0.0 };
+        let scale_neg = if neg_n > 0 { (neg_sum / neg_n as f64) as f32 } else { 0.0 };
+        Self {
+            scale_pos,
+            scale_neg,
+            bits,
+            cols,
+        }
+    }
+
+    /// Reconstructs the row values.
+    pub fn decompress(&self) -> Vec<f32> {
+        (0..self.cols)
+            .map(|i| {
+                if self.bits[i / 8] >> (i % 8) & 1 == 1 {
+                    self.scale_pos
+                } else {
+                    -self.scale_neg
+                }
+            })
+            .collect()
+    }
+
+    /// Bytes this row occupies on the wire (scales + packed bits).
+    pub fn payload_bytes(&self) -> u64 {
+        crate::compressed_row_payload_bytes(self.cols)
+    }
+}
+
+/// Per-row error-feedback state for a whole model.
+///
+/// Each row keeps the quantization residual of its last transmission; the
+/// residual is added to the next gradient before compressing, so no
+/// information is ever dropped — it is only delayed. This is the error
+/// compensation that lets the paper call one-bit compression "lossless".
+#[derive(Debug, Clone)]
+pub struct ErrorFeedback {
+    residuals: Vec<Vec<f32>>,
+}
+
+impl ErrorFeedback {
+    /// Creates zeroed state for rows of the given widths.
+    pub fn new(row_widths: &[usize]) -> Self {
+        Self {
+            residuals: row_widths.iter().map(|&w| vec![0.0; w]).collect(),
+        }
+    }
+
+    /// Number of rows tracked.
+    pub fn rows(&self) -> usize {
+        self.residuals.len()
+    }
+
+    /// Current residual of row `row`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row` is out of range.
+    pub fn residual(&self, row: usize) -> &[f32] {
+        &self.residuals[row]
+    }
+
+    /// Compresses `gradient` for row `row`, folding in the stored residual
+    /// and retaining the new quantization error.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row` is out of range or `gradient` has the wrong width.
+    pub fn compress(&mut self, row: usize, gradient: &[f32]) -> CompressedRow {
+        let residual = &mut self.residuals[row];
+        assert_eq!(
+            residual.len(),
+            gradient.len(),
+            "gradient width mismatch for row {row}"
+        );
+        let adjusted: Vec<f32> = gradient.iter().zip(residual.iter()).map(|(g, r)| g + r).collect();
+        let code = CompressedRow::encode(&adjusted);
+        let restored = code.decompress();
+        for ((r, a), d) in residual.iter_mut().zip(&adjusted).zip(&restored) {
+            *r = a - d;
+        }
+        code
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use rog_tensor::rng::DetRng;
+
+    #[test]
+    fn encode_decode_preserves_signs() {
+        let row = [1.0, -2.0, 3.0, -4.0];
+        let d = CompressedRow::encode(&row).decompress();
+        for (orig, dec) in row.iter().zip(&d) {
+            assert_eq!(orig.signum(), dec.signum());
+        }
+    }
+
+    #[test]
+    fn scales_are_mean_magnitudes() {
+        let c = CompressedRow::encode(&[1.0, 3.0, -2.0, -6.0]);
+        assert!((c.scale_pos - 2.0).abs() < 1e-6);
+        assert!((c.scale_neg - 4.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn all_positive_row_has_zero_neg_scale() {
+        let c = CompressedRow::encode(&[1.0, 2.0]);
+        assert_eq!(c.scale_neg, 0.0);
+        assert_eq!(c.decompress(), vec![1.5, 1.5]);
+    }
+
+    #[test]
+    fn empty_row_round_trips() {
+        let c = CompressedRow::encode(&[]);
+        assert!(c.decompress().is_empty());
+        assert_eq!(c.payload_bytes(), 8);
+    }
+
+    #[test]
+    fn error_feedback_conserves_information() {
+        // decompressed + new_residual == gradient + old_residual, exactly
+        // the invariant that makes the scheme lossless over time.
+        let mut ef = ErrorFeedback::new(&[4]);
+        let mut rng = DetRng::new(3);
+        for _ in 0..50 {
+            let g: Vec<f32> = (0..4).map(|_| rng.normal() as f32).collect();
+            let old_res: Vec<f32> = ef.residual(0).to_vec();
+            let restored = ef.compress(0, &g).decompress();
+            for i in 0..4 {
+                let lhs = restored[i] + ef.residual(0)[i];
+                let rhs = g[i] + old_res[i];
+                assert!((lhs - rhs).abs() < 1e-5, "lossy at {i}: {lhs} vs {rhs}");
+            }
+        }
+    }
+
+    #[test]
+    fn residual_stays_bounded_for_stationary_gradients() {
+        // Error feedback must not accumulate unboundedly when gradients
+        // are bounded.
+        let mut ef = ErrorFeedback::new(&[8]);
+        let mut rng = DetRng::new(9);
+        let mut max_res = 0.0f32;
+        for _ in 0..500 {
+            let g: Vec<f32> = (0..8).map(|_| rng.normal() as f32).collect();
+            ef.compress(0, &g);
+            let m = ef.residual(0).iter().fold(0.0f32, |a, &b| a.max(b.abs()));
+            max_res = max_res.max(m);
+        }
+        assert!(max_res < 20.0, "residual exploded: {max_res}");
+    }
+
+    #[test]
+    #[should_panic(expected = "width mismatch")]
+    fn wrong_width_panics() {
+        let mut ef = ErrorFeedback::new(&[4]);
+        ef.compress(0, &[1.0]);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_one_round_information_conservation(
+            g in proptest::collection::vec(-100.0f32..100.0, 0..64),
+            r in proptest::collection::vec(-10.0f32..10.0, 0..64),
+        ) {
+            let n = g.len().min(r.len());
+            let g = &g[..n];
+            let mut ef = ErrorFeedback::new(&[n]);
+            // Seed the residual by one warm-up round.
+            ef.compress(0, &r[..n]);
+            let old_res: Vec<f32> = ef.residual(0).to_vec();
+            let restored = ef.compress(0, g).decompress();
+            for i in 0..n {
+                let lhs = restored[i] + ef.residual(0)[i];
+                let rhs = g[i] + old_res[i];
+                prop_assert!((lhs - rhs).abs() < 1e-3 * (1.0 + rhs.abs()));
+            }
+        }
+
+        #[test]
+        fn prop_bits_length_matches_cols(cols in 0usize..200) {
+            let row = vec![1.0f32; cols];
+            let c = CompressedRow::encode(&row);
+            prop_assert_eq!(c.bits.len(), cols.div_ceil(8));
+            prop_assert_eq!(c.decompress().len(), cols);
+        }
+    }
+}

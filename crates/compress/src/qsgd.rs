@@ -1,0 +1,185 @@
+//! QSGD-style stochastic quantization.
+//!
+//! The multi-level, *unbiased* cousin of one-bit compression: each value
+//! is randomly rounded to one of `s` levels of its row's max magnitude,
+//! with probabilities chosen so the expectation equals the input. Where
+//! one-bit + error feedback delays information, QSGD adds zero-mean
+//! noise instead — a different point in the gradient-compression design
+//! space the paper's related work surveys, provided for the compression
+//! ablations.
+
+use rog_tensor::rng::DetRng;
+
+/// A stochastically quantized row.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QuantizedRow {
+    /// Scale (max magnitude of the row).
+    pub norm: f32,
+    /// Signed level per value, in `[-levels, +levels]`.
+    pub levels_signed: Vec<i16>,
+    /// Number of positive levels.
+    pub levels: u16,
+}
+
+impl QuantizedRow {
+    /// Reconstructs the row values.
+    pub fn decompress(&self) -> Vec<f32> {
+        let s = f32::from(self.levels.max(1));
+        self.levels_signed
+            .iter()
+            .map(|&l| f32::from(l) / s * self.norm)
+            .collect()
+    }
+
+    /// Bytes on the wire: the scale plus `ceil(log2(2s+1))` bits per
+    /// value, byte-padded.
+    pub fn payload_bytes(&self) -> u64 {
+        let symbols = u32::from(self.levels) * 2 + 1;
+        let bits_per_value = 32 - (symbols - 1).leading_zeros().max(0);
+        4 + ((self.levels_signed.len() as u64 * u64::from(bits_per_value)).div_ceil(8))
+    }
+}
+
+/// QSGD quantizer with `levels` positive levels per row.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QsgdCodec {
+    /// Positive quantization levels (1 = ternary {-1, 0, +1}).
+    pub levels: u16,
+}
+
+impl QsgdCodec {
+    /// Creates a codec with the given number of levels.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `levels == 0`.
+    pub fn new(levels: u16) -> Self {
+        assert!(levels > 0, "need at least one level");
+        Self { levels }
+    }
+
+    /// Stochastically quantizes one row (unbiased).
+    pub fn compress(&self, row: &[f32], rng: &mut DetRng) -> QuantizedRow {
+        let norm = row.iter().fold(0.0f32, |a, v| a.max(v.abs()));
+        let s = f32::from(self.levels);
+        let levels_signed = row
+            .iter()
+            .map(|&v| {
+                if norm == 0.0 {
+                    return 0i16;
+                }
+                let scaled = v.abs() / norm * s;
+                let lower = scaled.floor();
+                let p = f64::from(scaled - lower);
+                let level = lower as i16 + i16::from(rng.chance(p));
+                if v < 0.0 {
+                    -level
+                } else {
+                    level
+                }
+            })
+            .collect();
+        QuantizedRow {
+            norm,
+            levels_signed,
+            levels: self.levels,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn zero_row_stays_zero() {
+        let mut rng = DetRng::new(1);
+        let q = QsgdCodec::new(4).compress(&[0.0; 8], &mut rng);
+        assert!(q.decompress().iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn max_magnitude_is_exact() {
+        let mut rng = DetRng::new(2);
+        let q = QsgdCodec::new(4).compress(&[-3.0, 1.0, 3.0], &mut rng);
+        let d = q.decompress();
+        assert_eq!(d[0], -3.0);
+        assert_eq!(d[2], 3.0);
+    }
+
+    #[test]
+    fn quantization_is_unbiased() {
+        // Average many independent quantizations of the same row.
+        let row = [0.3f32, -0.7, 0.55, 1.0, -0.11];
+        let codec = QsgdCodec::new(2);
+        let mut rng = DetRng::new(3);
+        let n = 4000;
+        let mut acc = vec![0.0f64; row.len()];
+        for _ in 0..n {
+            for (a, v) in acc.iter_mut().zip(codec.compress(&row, &mut rng).decompress()) {
+                *a += f64::from(v);
+            }
+        }
+        for (a, &v) in acc.iter().zip(&row) {
+            let mean = a / f64::from(n);
+            assert!(
+                (mean - f64::from(v)).abs() < 0.03,
+                "biased: {mean} vs {v}"
+            );
+        }
+    }
+
+    #[test]
+    fn error_is_bounded_by_one_level() {
+        let row: Vec<f32> = (0..64).map(|i| (i as f32 * 0.37).sin()).collect();
+        let mut rng = DetRng::new(4);
+        let codec = QsgdCodec::new(8);
+        let d = codec.compress(&row, &mut rng).decompress();
+        let norm = row.iter().fold(0.0f32, |a, v| a.max(v.abs()));
+        for (q, v) in d.iter().zip(&row) {
+            assert!((q - v).abs() <= norm / 8.0 + 1e-6, "{q} vs {v}");
+        }
+    }
+
+    #[test]
+    fn wire_size_shrinks_with_fewer_levels() {
+        let row = vec![1.0f32; 256];
+        let mut rng = DetRng::new(5);
+        let small = QsgdCodec::new(1).compress(&row, &mut rng).payload_bytes();
+        let large = QsgdCodec::new(127).compress(&row, &mut rng).payload_bytes();
+        assert!(small < large, "{small} vs {large}");
+        // Ternary: 2 bits per value + 4-byte scale.
+        assert_eq!(small, 4 + 64);
+    }
+
+    #[test]
+    fn compression_is_deterministic_per_seed() {
+        let row = [0.5f32, -0.25, 0.8];
+        let a = QsgdCodec::new(4).compress(&row, &mut DetRng::new(9));
+        let b = QsgdCodec::new(4).compress(&row, &mut DetRng::new(9));
+        assert_eq!(a, b);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_reconstruction_within_range(
+            row in proptest::collection::vec(-100.0f32..100.0, 0..64),
+            levels in 1u16..32,
+            seed in 0u64..1000,
+        ) {
+            let mut rng = DetRng::new(seed);
+            let q = QsgdCodec::new(levels).compress(&row, &mut rng);
+            let d = q.decompress();
+            prop_assert_eq!(d.len(), row.len());
+            let norm = row.iter().fold(0.0f32, |a, v| a.max(v.abs()));
+            for (qv, v) in d.iter().zip(&row) {
+                prop_assert!(qv.abs() <= norm + 1e-4);
+                if *qv != 0.0 && *v != 0.0 {
+                    // Sign is preserved for nonzero reconstructions.
+                    prop_assert!(qv.signum() * v.signum() > 0.0);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,142 @@
+//! Top-k magnitude sparsification (the lossy comparator from related work).
+//!
+//! The paper cites deep gradient compression (Lin et al.) as achieving up
+//! to 0.1 % compression rate but without a convergence guarantee
+//! (Sec. II-D); it is implemented here for the granularity/compression
+//! ablation benches, not used by ROG proper.
+
+/// A sparsified row: the `k` largest-magnitude entries with their indices.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SparseRow {
+    /// Indices of retained values, ascending.
+    pub indices: Vec<u32>,
+    /// Retained values, aligned with `indices`.
+    pub values: Vec<f32>,
+    /// Original row width.
+    pub cols: usize,
+}
+
+impl SparseRow {
+    /// Dense reconstruction with zeros elsewhere.
+    pub fn decompress(&self) -> Vec<f32> {
+        let mut out = vec![0.0; self.cols];
+        for (&i, &v) in self.indices.iter().zip(&self.values) {
+            out[i as usize] = v;
+        }
+        out
+    }
+
+    /// Wire size: 4-byte index + 4-byte value per retained entry.
+    pub fn payload_bytes(&self) -> u64 {
+        8 * self.indices.len() as u64
+    }
+}
+
+/// Top-k sparsifying codec.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TopKCodec {
+    /// Fraction of entries to keep, in `(0, 1]`.
+    pub keep_fraction: f64,
+}
+
+impl TopKCodec {
+    /// Creates a codec keeping `keep_fraction` of each row.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < keep_fraction <= 1`.
+    pub fn new(keep_fraction: f64) -> Self {
+        assert!(
+            keep_fraction > 0.0 && keep_fraction <= 1.0,
+            "keep_fraction must be in (0, 1]"
+        );
+        Self { keep_fraction }
+    }
+
+    /// Sparsifies one row, keeping at least one entry for non-empty rows.
+    pub fn compress(&self, row: &[f32]) -> SparseRow {
+        let cols = row.len();
+        if cols == 0 {
+            return SparseRow {
+                indices: vec![],
+                values: vec![],
+                cols,
+            };
+        }
+        let k = ((cols as f64 * self.keep_fraction).ceil() as usize).clamp(1, cols);
+        let mut order: Vec<usize> = (0..cols).collect();
+        order.sort_by(|&a, &b| {
+            row[b]
+                .abs()
+                .partial_cmp(&row[a].abs())
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.cmp(&b))
+        });
+        let mut keep: Vec<usize> = order.into_iter().take(k).collect();
+        keep.sort_unstable();
+        SparseRow {
+            indices: keep.iter().map(|&i| i as u32).collect(),
+            values: keep.iter().map(|&i| row[i]).collect(),
+            cols,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn keeps_largest_magnitudes() {
+        let codec = TopKCodec::new(0.5);
+        let s = codec.compress(&[0.1, -5.0, 0.2, 3.0]);
+        assert_eq!(s.indices, vec![1, 3]);
+        assert_eq!(s.values, vec![-5.0, 3.0]);
+    }
+
+    #[test]
+    fn decompress_zero_fills() {
+        let codec = TopKCodec::new(0.25);
+        let s = codec.compress(&[1.0, 9.0, 2.0, 3.0]);
+        assert_eq!(s.decompress(), vec![0.0, 9.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn keep_all_is_identity() {
+        let codec = TopKCodec::new(1.0);
+        let row = [3.0, -1.0, 2.0];
+        assert_eq!(codec.compress(&row).decompress(), row.to_vec());
+    }
+
+    #[test]
+    fn empty_row_is_empty() {
+        let s = TopKCodec::new(0.5).compress(&[]);
+        assert!(s.decompress().is_empty());
+        assert_eq!(s.payload_bytes(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "keep_fraction")]
+    fn zero_fraction_panics() {
+        let _ = TopKCodec::new(0.0);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_retained_dominate_dropped(
+            row in proptest::collection::vec(-10.0f32..10.0, 1..64),
+            frac in 0.05f64..1.0,
+        ) {
+            let s = TopKCodec::new(frac).compress(&row);
+            prop_assert!(!s.indices.is_empty());
+            let min_kept = s.values.iter().map(|v| v.abs()).fold(f32::INFINITY, f32::min);
+            let kept: std::collections::HashSet<u32> = s.indices.iter().copied().collect();
+            for (i, v) in row.iter().enumerate() {
+                if !kept.contains(&(i as u32)) {
+                    prop_assert!(v.abs() <= min_kept + 1e-6);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,155 @@
+//! Theorem 1: SGD under RSP converges (Sec. IV-C).
+//!
+//! The paper proves that because RSP applies SSP's bounded-staleness
+//! control to every row independently, and no row's updates are ever
+//! lost (only delayed and accumulated), the whole model retains SSP's
+//! `O(√T)` regret bound:
+//!
+//! `R[X] ≤ 4 F L √(2 (S_max + 1) P T)`
+//!
+//! where `F` bounds the optimization diameter, `L` the gradient norms,
+//! `S_max` the largest per-row staleness threshold and `P` the worker
+//! count. [`rsp_regret_bound`] evaluates the bound; the crate's tests run
+//! delayed-gradient SGD on a convex problem and check the realized regret
+//! sits under it and is sublinear.
+
+/// The Theorem 1 regret bound `4 F L √(2 (s_max + 1) workers · t)`.
+///
+/// # Panics
+///
+/// Panics if `f_diameter` or `lipschitz` is negative, or `workers == 0`.
+///
+/// # Example
+///
+/// ```
+/// use rog_core::convergence::rsp_regret_bound;
+///
+/// let b1 = rsp_regret_bound(1.0, 1.0, 4, 4, 100);
+/// let b2 = rsp_regret_bound(1.0, 1.0, 4, 4, 400);
+/// // O(√T): quadrupling T doubles the bound.
+/// assert!((b2 / b1 - 2.0).abs() < 1e-9);
+/// ```
+pub fn rsp_regret_bound(f_diameter: f64, lipschitz: f64, s_max: u32, workers: usize, t: u64) -> f64 {
+    assert!(f_diameter >= 0.0, "diameter must be non-negative");
+    assert!(lipschitz >= 0.0, "Lipschitz constant must be non-negative");
+    assert!(workers > 0, "need at least one worker");
+    4.0 * f_diameter
+        * lipschitz
+        * (2.0 * (f64::from(s_max) + 1.0) * workers as f64 * t as f64).sqrt()
+}
+
+/// The step-size schedule of Theorem 1: `η_t = σ / √t` with
+/// `σ = F / (L √(2 (s_max + 1) P))`.
+///
+/// # Panics
+///
+/// Panics if any argument is non-positive.
+pub fn theorem1_step_size(
+    f_diameter: f64,
+    lipschitz: f64,
+    s_max: u32,
+    workers: usize,
+    t: u64,
+) -> f64 {
+    assert!(f_diameter > 0.0 && lipschitz > 0.0, "F and L must be positive");
+    assert!(workers > 0 && t > 0, "workers and t must be positive");
+    let sigma = f_diameter / (lipschitz * (2.0 * (f64::from(s_max) + 1.0) * workers as f64).sqrt());
+    sigma / (t as f64).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Runs row-wise delayed SGD on the convex objective
+    /// `f_t(x) = Σ_i |x_i - c_{t,i}|²` where each row's gradient is
+    /// applied with its own bounded delay (the worst case RSP admits),
+    /// and returns the total regret versus the fixed minimizer.
+    fn delayed_sgd_regret(s_max: u64, t_total: u64) -> (f64, f64, f64) {
+        // 4 "rows", scalar each; targets drift around a center so the
+        // minimizer of the sum is the mean target.
+        let rows = 4usize;
+        let centers: Vec<f64> = (0..rows).map(|i| i as f64 * 0.5 - 0.75).collect();
+        let target = |t: u64, i: usize| centers[i] + 0.3 * ((t as f64 * 0.7 + i as f64).sin());
+        // Empirical minimizer of Σ_t f_t per row = mean of targets.
+        let mut mean_t = vec![0.0f64; rows];
+        for step in 1..=t_total {
+            for (i, m) in mean_t.iter_mut().enumerate() {
+                *m += target(step, i) / t_total as f64;
+            }
+        }
+        let mut x = vec![0.0f64; rows];
+        // Per-row queue of delayed gradients: row i's gradient computed
+        // at step t is applied at t + (i % (s_max+1)) — staleness varies
+        // per row but never exceeds s_max, as RSP guarantees.
+        let mut pending: Vec<Vec<(u64, f64)>> = vec![Vec::new(); rows];
+        let mut regret = 0.0;
+        let f_diam = 4.0;
+        let lip = 4.0;
+        for step in 1..=t_total {
+            // Loss of current (stale) iterate.
+            for i in 0..rows {
+                let c = target(step, i);
+                regret += (x[i] - c).powi(2) - (mean_t[i] - c).powi(2);
+            }
+            // Gradient at the current iterate, delivered with delay.
+            for i in 0..rows {
+                let c = target(step, i);
+                let g = 2.0 * (x[i] - c);
+                let delay = (i as u64) % (s_max + 1);
+                pending[i].push((step + delay, g));
+            }
+            // Apply all gradients due by now with Theorem 1's step size.
+            let eta = theorem1_step_size(f_diam, lip, s_max as u32, 1, step);
+            for (i, q) in pending.iter_mut().enumerate() {
+                let (due, rest): (Vec<_>, Vec<_>) = q.iter().partition(|(at, _)| *at <= step);
+                *q = rest;
+                for (_, g) in due {
+                    x[i] -= eta * g;
+                }
+            }
+        }
+        let bound = rsp_regret_bound(f_diam, lip, s_max as u32, 1, t_total);
+        (regret, bound, regret / t_total as f64)
+    }
+
+    #[test]
+    fn bound_scales_as_sqrt_t() {
+        let b100 = rsp_regret_bound(2.0, 3.0, 4, 4, 100);
+        let b10000 = rsp_regret_bound(2.0, 3.0, 4, 4, 10_000);
+        assert!((b10000 / b100 - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn bound_grows_with_staleness_and_workers() {
+        let base = rsp_regret_bound(1.0, 1.0, 2, 2, 100);
+        assert!(rsp_regret_bound(1.0, 1.0, 8, 2, 100) > base);
+        assert!(rsp_regret_bound(1.0, 1.0, 2, 8, 100) > base);
+    }
+
+    #[test]
+    fn delayed_sgd_regret_is_under_the_bound_and_sublinear() {
+        for s in [0u64, 2, 4] {
+            let (r1, b1, avg1) = delayed_sgd_regret(s, 500);
+            let (_, _, avg2) = delayed_sgd_regret(s, 4000);
+            assert!(r1 < b1, "staleness {s}: regret {r1} exceeds bound {b1}");
+            assert!(
+                avg2 < avg1,
+                "staleness {s}: average regret must shrink: {avg1} -> {avg2}"
+            );
+        }
+    }
+
+    #[test]
+    fn step_size_decays_as_inverse_sqrt() {
+        let e1 = theorem1_step_size(1.0, 1.0, 4, 4, 100);
+        let e2 = theorem1_step_size(1.0, 1.0, 4, 4, 400);
+        assert!((e1 / e2 - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one worker")]
+    fn zero_workers_panics() {
+        let _ = rsp_regret_bound(1.0, 1.0, 1, 0, 10);
+    }
+}

@@ -1,0 +1,48 @@
+//! RSP + ATP: the contribution of the ROG paper.
+//!
+//! ROG breaks the granularity of gradient synchronization down from the
+//! whole model to individual *rows* of each parameter matrix, and
+//! schedules their transmission adaptively:
+//!
+//! * **RSP (Row Stale Parallel)** — a two-level staleness control
+//!   (Sec. III-A, IV-A): the version of the same row across different
+//!   workers, and of different rows within one worker, may each diverge
+//!   by at most the staleness threshold. Implemented by
+//!   [`RowVersionStore`] (parameter-server side, Algo 2 lines 7–9) and
+//!   the mandatory-row rule of [`RogWorker::plan_push`] (worker side).
+//!   RSP provably retains SSP's convergence guarantee —
+//!   [`convergence::rsp_regret_bound`] computes the Theorem 1 bound and
+//!   the crate's tests exercise it on a convex problem.
+//!
+//! * **ATP (Adaptive Transmission Protocol)** — [`ImportanceMetric`]
+//!   (Algo 3) ranks rows by gradient magnitude plus staleness pressure,
+//!   and speculative transmission (Algo 4) sends rows in that order
+//!   under a shared time budget: [`mta::mta_fraction`] gives the minimum
+//!   transmission amount that keeps RSP satisfiable (Table I), and
+//!   [`MtaTimeTracker`] maintains the cross-device MTA-time estimate
+//!   that aligns every device's transmission time.
+//!
+//! The event-driven engine that moves these pieces over a simulated
+//! wireless channel lives in `rog-trainer`; everything algorithmic about
+//! ROG is here, independent of time and transport.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod convergence;
+mod importance;
+mod optimizer;
+pub mod mta;
+mod mta_time;
+mod rows;
+mod server;
+mod version;
+mod worker;
+
+pub use importance::{ImportanceMetric, ImportanceMode, ImportanceWeights};
+pub use mta_time::MtaTimeTracker;
+pub use optimizer::{RogOptimizer, RogSession, StepReport};
+pub use rows::{RowId, RowPartition, RowRef};
+pub use server::RogServer;
+pub use version::RowVersionStore;
+pub use worker::{RogWorker, RogWorkerConfig, UpdateRule};

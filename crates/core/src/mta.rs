@@ -1,0 +1,127 @@
+//! MTA — minimum transmission amount (Sec. IV-B, Table I).
+//!
+//! If every push transmits at least a fraction `P` of the rows (stalest
+//! first), then after `s` pushes at most `(1-P)^s` of the rows remain
+//! untransmitted. For all rows to be refreshed before the staleness
+//! threshold `S` triggers, the paper requires `(1-P)^(S-1) < P` and sets
+//! MTA to the solution of the equality — tabulated in Table I:
+//!
+//! | threshold | 2 | 3 | 4 | 5 | 6 | 7 | 8 |
+//! |---|---|---|---|---|---|---|---|
+//! | MTA | 0.5 | 0.38 | 0.32 | 0.28 | 0.25 | 0.22 | 0.2 |
+
+/// The MTA fraction for staleness threshold `s`: the root of
+/// `(1 - P)^(s-1) = P` in `(0, 1)`.
+///
+/// For `s <= 1` every row must be transmitted every iteration (returns
+/// 1.0).
+///
+/// # Example
+///
+/// ```
+/// use rog_core::mta::mta_fraction;
+///
+/// assert!((mta_fraction(2) - 0.5).abs() < 1e-9);
+/// assert!((mta_fraction(4) - 0.32).abs() < 0.005); // Table I
+/// ```
+pub fn mta_fraction(s: u32) -> f64 {
+    if s <= 1 {
+        return 1.0;
+    }
+    let e = (s - 1) as f64;
+    // f(p) = (1-p)^e - p is strictly decreasing on [0, 1] with f(0) = 1
+    // and f(1) = -1: bisect.
+    let (mut lo, mut hi) = (0.0f64, 1.0f64);
+    for _ in 0..200 {
+        let mid = 0.5 * (lo + hi);
+        if (1.0 - mid).powf(e) - mid > 0.0 {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    0.5 * (lo + hi)
+}
+
+/// Number of rows a push must include for `n_rows` total rows under
+/// threshold `s` (at least 1 for non-empty models).
+pub fn mta_rows(n_rows: usize, s: u32) -> usize {
+    if n_rows == 0 {
+        return 0;
+    }
+    ((n_rows as f64 * mta_fraction(s)).ceil() as usize).clamp(1, n_rows)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn reproduces_table_1() {
+        // Paper Table I, to the two decimals printed there.
+        let expected = [
+            (2u32, 0.5),
+            (3, 0.38),
+            (4, 0.32),
+            (5, 0.28),
+            (6, 0.25),
+            (7, 0.22),
+            (8, 0.2),
+        ];
+        for (s, want) in expected {
+            let got = mta_fraction(s);
+            assert!(
+                (got - want).abs() < 0.005,
+                "threshold {s}: got {got}, table says {want}"
+            );
+        }
+    }
+
+    #[test]
+    fn degenerate_thresholds_require_everything() {
+        assert_eq!(mta_fraction(0), 1.0);
+        assert_eq!(mta_fraction(1), 1.0);
+    }
+
+    #[test]
+    fn mta_rows_rounds_up_and_clamps() {
+        assert_eq!(mta_rows(100, 2), 50);
+        assert_eq!(mta_rows(3, 8), 1);
+        assert_eq!(mta_rows(0, 4), 0);
+        assert_eq!(mta_rows(1, 64), 1);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_solution_satisfies_inequality(s in 2u32..64) {
+            let p = mta_fraction(s);
+            prop_assert!((0.0..1.0).contains(&p));
+            // Slightly above the root the strict inequality holds.
+            let p_eps = p + 1e-6;
+            prop_assert!((1.0 - p_eps).powf((s - 1) as f64) < p_eps);
+            // At the root it's an equality within tolerance.
+            prop_assert!(((1.0 - p).powf((s - 1) as f64) - p).abs() < 1e-9);
+        }
+
+        #[test]
+        fn prop_mta_decreases_with_threshold(s in 2u32..63) {
+            prop_assert!(mta_fraction(s + 1) < mta_fraction(s));
+        }
+
+        #[test]
+        fn prop_stalest_first_coverage(s in 2u32..16, n in 1usize..5000) {
+            // Pushing the `mta_rows` stalest rows each step refreshes
+            // every row within ceil(1/P) steps — the deterministic
+            // counterpart of the paper's probabilistic (1-P)^s argument.
+            let p = mta_fraction(s);
+            let k = mta_rows(n, s);
+            let steps = (1.0 / p).ceil() as usize;
+            let mut untransmitted = n;
+            for _ in 0..steps {
+                untransmitted = untransmitted.saturating_sub(k);
+            }
+            prop_assert_eq!(untransmitted, 0, "n={}, s={}, k={}", n, s, k);
+        }
+    }
+}

@@ -1,0 +1,148 @@
+//! The shared MTA-time estimate (Algorithm 4's `GetMTATime` /
+//! `UpdateMTATime`).
+//!
+//! ATP aligns transmission time across devices: a straggler transmits MTA
+//! rows and reports how long that took; non-stragglers keep transmitting
+//! for that long (sending *more* than MTA rows with their better links).
+//! The tracker keeps a per-device exponentially smoothed estimate of
+//! "seconds to transmit MTA rows" and serves the maximum across devices
+//! as the common time budget `tMTA`.
+
+use rog_sim::Time;
+
+/// Cross-device estimate of the speculative-transmission time budget.
+#[derive(Debug, Clone)]
+pub struct MtaTimeTracker {
+    per_device: Vec<Time>,
+    alpha: f64,
+    floor: Time,
+    cap: Time,
+}
+
+impl MtaTimeTracker {
+    /// Creates a tracker for `n_devices`, all starting at
+    /// `initial_secs`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_devices == 0` or `initial_secs <= 0`.
+    pub fn new(n_devices: usize, initial_secs: Time) -> Self {
+        assert!(n_devices > 0, "need at least one device");
+        assert!(initial_secs > 0.0, "initial estimate must be positive");
+        Self {
+            per_device: vec![initial_secs; n_devices],
+            alpha: 0.5,
+            floor: 0.01,
+            cap: 60.0,
+        }
+    }
+
+    /// The current common time budget `tMTA`: the largest per-device
+    /// estimate (every device must be given enough time to get its MTA
+    /// rows through).
+    pub fn get(&self) -> Time {
+        self.per_device
+            .iter()
+            .cloned()
+            .fold(self.floor, Time::max)
+    }
+
+    /// Per-device estimate (for diagnostics).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `device` is out of range.
+    pub fn device_estimate(&self, device: usize) -> Time {
+        self.per_device[device]
+    }
+
+    /// Records a finished push: `rows_sent` rows took `duration` seconds
+    /// and the device's MTA is `mta_rows` rows.
+    ///
+    /// A device that pushed at least MTA rows extrapolates its per-row
+    /// speed; one that timed out below MTA keeps transmitting to MTA and
+    /// reports the measured duration directly, so `duration` here is the
+    /// full time to reach MTA.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `device` is out of range.
+    pub fn report(&mut self, device: usize, rows_sent: usize, duration: Time, mta_rows: usize) {
+        let sample = if rows_sent == 0 {
+            // Nothing got through within the budget: back off upward.
+            (self.per_device[device] * 2.0).min(self.cap)
+        } else if mta_rows == 0 {
+            self.floor
+        } else {
+            (duration * mta_rows as f64 / rows_sent as f64).clamp(self.floor, self.cap)
+        };
+        let e = &mut self.per_device[device];
+        *e = self.alpha * sample + (1.0 - self.alpha) * *e;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn initial_budget_is_the_seed() {
+        let t = MtaTimeTracker::new(3, 1.5);
+        assert_eq!(t.get(), 1.5);
+    }
+
+    #[test]
+    fn budget_is_the_slowest_device() {
+        let mut t = MtaTimeTracker::new(2, 1.0);
+        // Device 0 is fast: sent 100 rows in 0.5 s, MTA is 50.
+        for _ in 0..10 {
+            t.report(0, 100, 0.5, 50);
+        }
+        // Device 1 is slow: needed 4 s for its 50 MTA rows.
+        for _ in 0..10 {
+            t.report(1, 50, 4.0, 50);
+        }
+        assert!(t.device_estimate(0) < 0.5);
+        assert!((t.get() - 4.0).abs() < 0.1, "budget {}", t.get());
+    }
+
+    #[test]
+    fn fast_device_extrapolates_per_row_speed() {
+        let mut t = MtaTimeTracker::new(1, 1.0);
+        // 200 rows in 1 s with MTA 50 → 0.25 s per MTA.
+        for _ in 0..20 {
+            t.report(0, 200, 1.0, 50);
+        }
+        assert!((t.device_estimate(0) - 0.25).abs() < 0.01);
+    }
+
+    #[test]
+    fn zero_rows_backs_off_upward() {
+        let mut t = MtaTimeTracker::new(1, 1.0);
+        let before = t.get();
+        t.report(0, 0, 1.0, 50);
+        assert!(t.get() > before);
+    }
+
+    #[test]
+    fn estimates_adapt_to_bandwidth_recovery() {
+        let mut t = MtaTimeTracker::new(1, 10.0);
+        for _ in 0..20 {
+            t.report(0, 50, 0.2, 50);
+        }
+        assert!(t.get() < 0.3, "should converge down: {}", t.get());
+    }
+
+    #[test]
+    fn estimates_stay_within_bounds() {
+        let mut t = MtaTimeTracker::new(1, 1.0);
+        for _ in 0..50 {
+            t.report(0, 0, 1.0, 50);
+        }
+        assert!(t.get() <= 60.0);
+        for _ in 0..200 {
+            t.report(0, 1000, 1e-9, 1);
+        }
+        assert!(t.get() >= 0.01);
+    }
+}

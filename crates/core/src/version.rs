@@ -1,0 +1,176 @@
+//! RSP's row-granulated version storage (the paper's "Version Storage").
+
+/// Tracks, for every `(worker, row)` pair, the latest training iteration
+/// whose gradients for that row the parameter server has received —
+/// `v_i^r` in Algorithm 2.
+///
+/// The RSP gate (Algorithm 2, lines 7–9) compares a worker's freshly
+/// pushed version against the global minimum `min(V)`: if the lead
+/// reaches the staleness threshold, the pull is withheld and the worker
+/// stalls until stragglers catch up.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RowVersionStore {
+    /// `v[worker][row]`.
+    v: Vec<Vec<u64>>,
+    cached_min: u64,
+    dirty: bool,
+}
+
+impl RowVersionStore {
+    /// Creates storage for `n_workers × n_rows`, all at version 0.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is 0.
+    pub fn new(n_workers: usize, n_rows: usize) -> Self {
+        assert!(n_workers > 0, "need at least one worker");
+        assert!(n_rows > 0, "need at least one row");
+        Self {
+            v: vec![vec![0; n_rows]; n_workers],
+            cached_min: 0,
+            dirty: false,
+        }
+    }
+
+    /// Number of workers tracked.
+    pub fn n_workers(&self) -> usize {
+        self.v.len()
+    }
+
+    /// Number of rows tracked.
+    pub fn n_rows(&self) -> usize {
+        self.v[0].len()
+    }
+
+    /// Version of `row` on `worker`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if indices are out of range.
+    pub fn get(&self, worker: usize, row: usize) -> u64 {
+        self.v[worker][row]
+    }
+
+    /// Records that `worker` pushed `row` at iteration `iter`
+    /// (monotonic).
+    ///
+    /// # Panics
+    ///
+    /// Panics if indices are out of range.
+    pub fn record_push(&mut self, worker: usize, row: usize, iter: u64) {
+        let cell = &mut self.v[worker][row];
+        if iter > *cell {
+            if *cell == self.cached_min {
+                self.dirty = true;
+            }
+            *cell = iter;
+        }
+    }
+
+    /// `min(V)`: the version of the stalest row anywhere in the cluster.
+    pub fn global_min(&mut self) -> u64 {
+        if self.dirty {
+            self.cached_min = self
+                .v
+                .iter()
+                .flat_map(|w| w.iter())
+                .copied()
+                .min()
+                .expect("non-empty");
+            self.dirty = false;
+        }
+        self.cached_min
+    }
+
+    /// The RSP gate: may a worker whose freshest pushed rows carry
+    /// version `pushed_iter` be served its pull under `threshold`?
+    ///
+    /// Mirrors Algorithm 2: the pull waits while
+    /// `pushed_iter - min(V) >= threshold`.
+    pub fn gate_ok(&mut self, pushed_iter: u64, threshold: u32) -> bool {
+        pushed_iter < self.global_min() + u64::from(threshold).max(1)
+    }
+
+    /// Staleness (iterations behind the cluster-freshest row) of the
+    /// stalest row of `worker`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `worker` is out of range.
+    pub fn worker_max_staleness(&self, worker: usize) -> u64 {
+        let global_max = self
+            .v
+            .iter()
+            .flat_map(|w| w.iter())
+            .copied()
+            .max()
+            .expect("non-empty");
+        let worker_min = *self.v[worker].iter().min().expect("non-empty");
+        global_max - worker_min
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn min_tracks_the_stalest_cell() {
+        let mut v = RowVersionStore::new(2, 3);
+        assert_eq!(v.global_min(), 0);
+        for r in 0..3 {
+            v.record_push(0, r, 4);
+        }
+        assert_eq!(v.global_min(), 0, "worker 1 still at 0");
+        for r in 0..3 {
+            v.record_push(1, r, 2);
+        }
+        assert_eq!(v.global_min(), 2);
+    }
+
+    #[test]
+    fn partial_row_pushes_hold_the_min_down() {
+        let mut v = RowVersionStore::new(1, 4);
+        v.record_push(0, 0, 5);
+        v.record_push(0, 1, 5);
+        // Rows 2, 3 never pushed.
+        assert_eq!(v.global_min(), 0);
+        v.record_push(0, 2, 3);
+        v.record_push(0, 3, 3);
+        assert_eq!(v.global_min(), 3);
+    }
+
+    #[test]
+    fn gate_blocks_leads_at_threshold() {
+        let mut v = RowVersionStore::new(2, 2);
+        for r in 0..2 {
+            v.record_push(0, r, 4);
+            v.record_push(1, r, 1);
+        }
+        // min(V) = 1; a push at iter 4 leads by 3.
+        assert!(v.gate_ok(4, 4));
+        assert!(!v.gate_ok(4, 3));
+        assert!(!v.gate_ok(4, 2));
+    }
+
+    #[test]
+    fn versions_are_monotonic() {
+        let mut v = RowVersionStore::new(1, 1);
+        v.record_push(0, 0, 9);
+        v.record_push(0, 0, 4);
+        assert_eq!(v.get(0, 0), 9);
+    }
+
+    #[test]
+    fn worker_staleness_is_vs_global_freshest() {
+        let mut v = RowVersionStore::new(2, 2);
+        v.record_push(0, 0, 10);
+        v.record_push(0, 1, 10);
+        v.record_push(1, 0, 7);
+        // Worker 1's row 1 is still at version 0.
+        assert_eq!(v.worker_max_staleness(1), 10);
+        v.record_push(1, 1, 8);
+        assert_eq!(v.worker_max_staleness(1), 3);
+        assert_eq!(v.worker_max_staleness(0), 0);
+    }
+}

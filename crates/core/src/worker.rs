@@ -1,0 +1,420 @@
+//! The ROG local-worker state machine (Algorithm 1).
+//!
+//! Per iteration a worker: computes gradients and adds them to the
+//! per-row *accumulated* gradients `g'`; ranks rows with the importance
+//! metric (stale rows first — the worker side of RSP's second level);
+//! speculatively transmits the prefix the time budget allows (at least
+//! MTA rows); zeroes the accumulated gradients of transmitted rows and
+//! records their push iteration; and finally applies whatever averaged
+//! row gradients the server sent back.
+//!
+//! Time and transport live in `rog-trainer`; this type owns everything
+//! else: accumulation, ranking, compression (with per-row error
+//! feedback), and the optimizer step.
+
+use rog_compress::ErrorFeedback;
+use rog_tensor::{ops, Matrix};
+
+use crate::{ImportanceMetric, ImportanceMode, RowId, RowPartition};
+
+/// Per-row parameter-update rule applied to pulled averaged gradients.
+///
+/// Rows arrive independently, so every stateful rule keeps *per-row*
+/// state (velocity / first and second moments / timestep) — the
+/// block-wise formulation the paper adopts from Sun et al. for
+/// momentum, extended here with Adam as an experimental option.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum UpdateRule {
+    /// Plain SGD.
+    Sgd,
+    /// Heavy-ball momentum with coefficient `beta`.
+    Momentum {
+        /// Momentum coefficient in `[0, 1)`.
+        beta: f32,
+    },
+    /// Adam with per-row bias correction. Note: with row-granular,
+    /// accumulated (multi-iteration) gradients Adam's moment estimates
+    /// see coarser samples than in synchronous training; treat as
+    /// experimental (the paper's production path is SGD/momentum).
+    Adam {
+        /// First-moment decay.
+        beta1: f32,
+        /// Second-moment decay.
+        beta2: f32,
+        /// Denominator stabilizer.
+        eps: f32,
+    },
+}
+
+impl Default for UpdateRule {
+    fn default() -> Self {
+        UpdateRule::Sgd
+    }
+}
+
+impl UpdateRule {
+    /// Standard Adam coefficients.
+    pub fn adam() -> Self {
+        UpdateRule::Adam {
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+        }
+    }
+}
+
+/// Configuration of a ROG worker.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RogWorkerConfig {
+    /// RSP staleness threshold `t`.
+    pub threshold: u32,
+    /// Importance metric for push ranking.
+    pub importance: ImportanceMetric,
+    /// Learning rate applied to pulled averaged gradients.
+    pub lr: f32,
+    /// Parameter-update rule.
+    pub rule: UpdateRule,
+}
+
+impl RogWorkerConfig {
+    /// A config with the given threshold and learning rate, default
+    /// importance and plain SGD.
+    pub fn new(threshold: u32, lr: f32) -> Self {
+        Self {
+            threshold,
+            importance: ImportanceMetric::default(),
+            lr,
+            rule: UpdateRule::Sgd,
+        }
+    }
+
+    /// Switches to momentum with coefficient `beta`.
+    #[must_use]
+    pub fn with_momentum(mut self, beta: f32) -> Self {
+        self.rule = UpdateRule::Momentum { beta };
+        self
+    }
+
+    /// Switches to the given update rule.
+    #[must_use]
+    pub fn with_rule(mut self, rule: UpdateRule) -> Self {
+        self.rule = rule;
+        self
+    }
+}
+
+/// Worker-side ROG state (Algorithm 1).
+#[derive(Debug, Clone)]
+pub struct RogWorker {
+    partition: RowPartition,
+    /// Accumulated gradients `g'` (same shapes as the parameters).
+    accum: Vec<Matrix>,
+    /// Last iteration each row was pushed (`iters` in Algorithm 1).
+    iters: Vec<u64>,
+    /// Per-row compression residuals.
+    ef: ErrorFeedback,
+    /// Per-row momentum velocities / Adam first moments.
+    vel: Vec<Matrix>,
+    /// Adam second moments (allocated lazily on first Adam step).
+    adam_v: Option<Vec<Matrix>>,
+    /// Per-row Adam timestep.
+    adam_t: Vec<u64>,
+    cfg: RogWorkerConfig,
+}
+
+impl RogWorker {
+    /// Creates a worker for a model with the given parameter matrices.
+    pub fn new(params: &[Matrix], cfg: RogWorkerConfig) -> Self {
+        let partition = RowPartition::of_params(params);
+        let zero: Vec<Matrix> = params
+            .iter()
+            .map(|m| Matrix::zeros(m.rows(), m.cols()))
+            .collect();
+        let widths = partition.widths().to_vec();
+        Self {
+            accum: zero.clone(),
+            iters: vec![0; partition.n_rows()],
+            ef: ErrorFeedback::new(&widths),
+            vel: zero,
+            adam_v: None,
+            adam_t: vec![0; partition.n_rows()],
+            partition,
+            cfg,
+        }
+    }
+
+    /// The row partition of the model.
+    pub fn partition(&self) -> &RowPartition {
+        &self.partition
+    }
+
+    /// The worker configuration.
+    pub fn config(&self) -> &RogWorkerConfig {
+        &self.cfg
+    }
+
+    /// Changes the staleness threshold (auto-threshold extension); the
+    /// mandatory-row rule uses the new value from the next push plan.
+    pub fn set_threshold(&mut self, threshold: u32) {
+        self.cfg.threshold = threshold;
+    }
+
+    /// Last-push iteration of every row.
+    pub fn row_iters(&self) -> &[u64] {
+        &self.iters
+    }
+
+    /// Adds freshly computed gradients to the accumulated gradients
+    /// (`g' ← g' + g`, Algorithm 1 line 3).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `grads` shapes do not match the model.
+    pub fn accumulate(&mut self, grads: &[Matrix]) {
+        assert_eq!(grads.len(), self.accum.len(), "gradient set mismatch");
+        for (a, g) in self.accum.iter_mut().zip(grads) {
+            a.add_scaled(g, 1.0).expect("gradient shapes match model");
+        }
+    }
+
+    /// Mean absolute accumulated gradient of each row.
+    pub fn row_mean_abs(&self) -> Vec<f32> {
+        (0..self.partition.n_rows())
+            .map(|i| ops::mean_abs(self.partition.row(&self.accum, RowId(i))))
+            .collect()
+    }
+
+    /// Ranks all rows for pushing at iteration `n` (Algorithm 3, worker
+    /// mode), with RSP's worker-level staleness rule applied: rows whose
+    /// staleness would reach the threshold if skipped are *mandatory* and
+    /// are placed first (stalest first), ahead of the importance order.
+    pub fn plan_push(&self, n: u64) -> Vec<RowId> {
+        let mean_abs = self.row_mean_abs();
+        let ranked = self
+            .cfg
+            .importance
+            .rank(ImportanceMode::Worker, &mean_abs, &self.iters);
+        let t = u64::from(self.cfg.threshold.max(1));
+        let is_mandatory = |id: RowId| n.saturating_sub(self.iters[id.0]) >= t;
+        let mut mandatory: Vec<RowId> =
+            ranked.iter().copied().filter(|&id| is_mandatory(id)).collect();
+        mandatory.sort_by_key(|&id| (self.iters[id.0], id.0));
+        let rest = ranked.into_iter().filter(|&id| !is_mandatory(id));
+        mandatory.extend(rest);
+        mandatory
+    }
+
+    /// Compressed payload size of one row on the wire.
+    pub fn payload_bytes(&self, id: RowId) -> u64 {
+        rog_compress::compressed_row_payload_bytes(self.partition.width(id))
+    }
+
+    /// Commits a push: compresses the accumulated gradients of the rows
+    /// actually delivered (error feedback retained), zeroes their
+    /// accumulation and stamps their push iteration (Algorithm 1 lines
+    /// 9–12). Returns the values the server receives.
+    pub fn commit_push(&mut self, rows: &[RowId], n: u64) -> Vec<(RowId, Vec<f32>)> {
+        rows.iter()
+            .map(|&id| {
+                let row = self.partition.row(&self.accum, id).to_vec();
+                let restored = self.ef.compress(id.0, &row).decompress();
+                self.partition
+                    .row_mut(&mut self.accum, id)
+                    .iter_mut()
+                    .for_each(|v| *v = 0.0);
+                self.iters[id.0] = n;
+                (id, restored)
+            })
+            .collect()
+    }
+
+    /// Applies pulled averaged gradients to the model parameters
+    /// (Algorithm 1 lines 13–17), with per-row momentum if configured.
+    ///
+    /// # Panics
+    ///
+    /// Panics if shapes do not match.
+    pub fn apply_pulled(&mut self, params: &mut [Matrix], rows: &[(RowId, Vec<f32>)]) {
+        for (id, g) in rows {
+            let r = self.partition.locate(*id);
+            let w = params[r.matrix].row_mut(r.row);
+            match self.cfg.rule {
+                UpdateRule::Sgd => ops::sgd_row(w, g, self.cfg.lr),
+                UpdateRule::Momentum { beta } => {
+                    let v = self.vel[r.matrix].row_mut(r.row);
+                    ops::sgd_momentum_row(w, v, g, self.cfg.lr, beta);
+                }
+                UpdateRule::Adam { beta1, beta2, eps } => {
+                    let adam_v = self.adam_v.get_or_insert_with(|| {
+                        self.vel
+                            .iter()
+                            .map(|m| Matrix::zeros(m.rows(), m.cols()))
+                            .collect()
+                    });
+                    self.adam_t[id.0] += 1;
+                    let m = self.vel[r.matrix].row_mut(r.row);
+                    let v = adam_v[r.matrix].row_mut(r.row);
+                    ops::adam_row(
+                        w,
+                        m,
+                        v,
+                        g,
+                        self.cfg.lr,
+                        beta1,
+                        beta2,
+                        eps,
+                        self.adam_t[id.0],
+                    );
+                }
+            }
+        }
+    }
+
+    /// Staleness of the worker's stalest row at iteration `n`
+    /// (worker-level RSP diagnostic).
+    pub fn max_row_staleness(&self, n: u64) -> u64 {
+        self.iters
+            .iter()
+            .map(|&it| n.saturating_sub(it))
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn params() -> Vec<Matrix> {
+        vec![Matrix::zeros(3, 4), Matrix::zeros(1, 3)]
+    }
+
+    fn grads(scale: f32) -> Vec<Matrix> {
+        vec![
+            Matrix::from_fn(3, 4, |r, _| (r as f32 + 1.0) * scale),
+            Matrix::from_fn(1, 3, |_, c| (c as f32 + 1.0) * scale),
+        ]
+    }
+
+    #[test]
+    fn accumulation_adds_up() {
+        let mut w = RogWorker::new(&params(), RogWorkerConfig::new(4, 0.1));
+        w.accumulate(&grads(1.0));
+        w.accumulate(&grads(2.0));
+        let mean_abs = w.row_mean_abs();
+        // Row 0 of matrix 0 has all values 1.0 + 2.0 = 3.0.
+        assert!((mean_abs[0] - 3.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn plan_push_orders_by_magnitude_initially() {
+        let mut w = RogWorker::new(&params(), RogWorkerConfig::new(4, 0.1));
+        w.accumulate(&grads(1.0));
+        let plan = w.plan_push(1);
+        assert_eq!(plan.len(), 4);
+        // Row 2 (values 3.0) has the largest magnitude.
+        assert_eq!(plan[0], RowId(2));
+    }
+
+    #[test]
+    fn commit_push_zeroes_and_stamps() {
+        let mut w = RogWorker::new(&params(), RogWorkerConfig::new(4, 0.1));
+        w.accumulate(&grads(1.0));
+        let sent = w.commit_push(&[RowId(2)], 1);
+        assert_eq!(sent.len(), 1);
+        assert_eq!(w.row_iters()[2], 1);
+        assert_eq!(w.row_mean_abs()[2], 0.0);
+        // Untransmitted rows keep accumulating.
+        assert!(w.row_mean_abs()[0] > 0.0);
+    }
+
+    #[test]
+    fn compression_error_is_carried_not_lost() {
+        let mut w = RogWorker::new(&params(), RogWorkerConfig::new(4, 0.1));
+        w.accumulate(&grads(1.0));
+        let g_before: Vec<f32> = vec![1.0; 4];
+        let sent = w.commit_push(&[RowId(0)], 1);
+        let restored = &sent[0].1;
+        // Residual + restored == original row.
+        // Push again with fresh gradients; the residual rides along.
+        w.accumulate(&grads(1.0));
+        let sent2 = w.commit_push(&[RowId(0)], 2);
+        let total_restored: Vec<f32> = restored
+            .iter()
+            .zip(&sent2[0].1)
+            .map(|(a, b)| a + b)
+            .collect();
+        // Across two rounds, delivered ≈ total gradient (2 rounds of 1.0)
+        // minus the still-held residual, which is bounded.
+        for (d, want) in total_restored.iter().zip(g_before.iter().map(|v| v * 2.0)) {
+            assert!((d - want).abs() < 1.0, "delivered {d} vs produced {want}");
+        }
+    }
+
+    #[test]
+    fn mandatory_stale_rows_jump_the_queue() {
+        let mut w = RogWorker::new(&params(), RogWorkerConfig::new(3, 0.1));
+        w.accumulate(&grads(1.0));
+        // Push everything except row 1 across iterations 1 and 2.
+        w.commit_push(&[RowId(0), RowId(2), RowId(3)], 1);
+        w.accumulate(&grads(1.0));
+        w.commit_push(&[RowId(0), RowId(2), RowId(3)], 2);
+        w.accumulate(&grads(0.001)); // row 1 now has small gradients
+        // At iteration 3 row 1 has staleness 3 >= threshold: mandatory.
+        let plan = w.plan_push(3);
+        assert_eq!(plan[0], RowId(1), "stale row must be first: {plan:?}");
+    }
+
+    #[test]
+    fn apply_pulled_is_sgd() {
+        let mut ps = params();
+        let mut w = RogWorker::new(&ps, RogWorkerConfig::new(4, 0.5));
+        w.apply_pulled(&mut ps, &[(RowId(0), vec![1.0, 2.0, 3.0, 4.0])]);
+        assert_eq!(ps[0].row(0), &[-0.5, -1.0, -1.5, -2.0]);
+    }
+
+    #[test]
+    fn apply_pulled_with_momentum_accumulates() {
+        let mut ps = params();
+        let cfg = RogWorkerConfig::new(4, 1.0).with_momentum(0.9);
+        let mut w = RogWorker::new(&ps, cfg);
+        w.apply_pulled(&mut ps, &[(RowId(0), vec![1.0, 0.0, 0.0, 0.0])]);
+        w.apply_pulled(&mut ps, &[(RowId(0), vec![1.0, 0.0, 0.0, 0.0])]);
+        // v1 = 1, w -= 1; v2 = 1.9, w -= 1.9 → w = -2.9.
+        assert!((ps[0].get(0, 0) + 2.9).abs() < 1e-6);
+    }
+
+    #[test]
+    fn apply_pulled_with_adam_takes_bounded_steps() {
+        let mut ps = params();
+        let cfg = RogWorkerConfig::new(4, 0.1).with_rule(UpdateRule::adam());
+        let mut w = RogWorker::new(&ps, cfg);
+        // Wildly different gradient magnitudes → near-equal step sizes.
+        w.apply_pulled(&mut ps, &[(RowId(0), vec![100.0, 0.0, 0.0, 0.0])]);
+        w.apply_pulled(&mut ps, &[(RowId(1), vec![0.001, 0.0, 0.0, 0.0])]);
+        let s0 = ps[0].get(0, 0).abs();
+        let s1 = ps[0].get(1, 0).abs();
+        assert!((s0 - 0.1).abs() < 0.01, "step {s0}");
+        assert!((s1 - 0.1).abs() < 0.02, "step {s1}");
+    }
+
+    #[test]
+    fn adam_timesteps_are_per_row() {
+        let mut ps = params();
+        let cfg = RogWorkerConfig::new(4, 0.1).with_rule(UpdateRule::adam());
+        let mut w = RogWorker::new(&ps, cfg);
+        for _ in 0..5 {
+            w.apply_pulled(&mut ps, &[(RowId(0), vec![1.0, 1.0, 1.0, 1.0])]);
+        }
+        assert_eq!(w.adam_t[0], 5);
+        assert_eq!(w.adam_t[1], 0);
+    }
+
+    #[test]
+    fn staleness_diagnostic() {
+        let mut w = RogWorker::new(&params(), RogWorkerConfig::new(4, 0.1));
+        assert_eq!(w.max_row_staleness(2), 2);
+        w.commit_push(&(0..4).map(RowId).collect::<Vec<_>>(), 2);
+        assert_eq!(w.max_row_staleness(2), 0);
+    }
+}

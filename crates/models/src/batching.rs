@@ -1,0 +1,82 @@
+//! Dynamic batching across heterogeneous devices.
+//!
+//! The paper sidesteps compute heterogeneity (out of scope) by adopting
+//! dynamic batching (Tyagi & Sharma): each device's batch size is scaled
+//! with its compute power so all devices spend equal time computing
+//! gradients per iteration. Table II: batch 24 on a Jetson robot, 16 on
+//! the slower laptops.
+
+/// Assigns per-device batch sizes proportional to compute power so each
+/// device's compute time (`batch / power`) is equal, anchored so the
+/// *most powerful* device gets `base_batch`.
+///
+/// Every device gets at least 1 sample.
+///
+/// # Panics
+///
+/// Panics if `powers` is empty, any power is non-positive, or
+/// `base_batch == 0`.
+///
+/// # Example
+///
+/// ```
+/// use rog_models::batching::dynamic_batches;
+///
+/// // A Jetson (1.0) and a weaker laptop (2/3 of the compute power):
+/// assert_eq!(dynamic_batches(&[1.0, 0.6667], 24), vec![24, 16]);
+/// ```
+pub fn dynamic_batches(powers: &[f64], base_batch: usize) -> Vec<usize> {
+    assert!(!powers.is_empty(), "need at least one device");
+    assert!(base_batch > 0, "base batch must be positive");
+    let max_power = powers.iter().cloned().fold(0.0f64, f64::max);
+    assert!(
+        powers.iter().all(|&p| p > 0.0),
+        "compute powers must be positive"
+    );
+    powers
+        .iter()
+        .map(|&p| ((base_batch as f64 * p / max_power).round() as usize).max(1))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn homogeneous_devices_get_equal_batches() {
+        assert_eq!(dynamic_batches(&[1.0, 1.0, 1.0], 24), vec![24, 24, 24]);
+    }
+
+    #[test]
+    fn table2_jetson_laptop_split() {
+        // Paper Table II: robots (Jetson NX) run batch 24, laptops 16.
+        let batches = dynamic_batches(&[1.0, 1.0, 1.0, 0.6667], 24);
+        assert_eq!(batches, vec![24, 24, 24, 16]);
+    }
+
+    #[test]
+    fn weak_devices_never_drop_to_zero() {
+        assert_eq!(dynamic_batches(&[1.0, 0.001], 8), vec![8, 1]);
+    }
+
+    #[test]
+    fn equal_compute_time_property() {
+        let powers = [1.0, 0.5, 0.25];
+        let batches = dynamic_batches(&powers, 64);
+        let times: Vec<f64> = batches
+            .iter()
+            .zip(&powers)
+            .map(|(&b, &p)| b as f64 / p)
+            .collect();
+        for t in &times {
+            assert!((t - times[0]).abs() / times[0] < 0.05, "times {times:?}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn non_positive_power_panics() {
+        let _ = dynamic_batches(&[1.0, 0.0], 8);
+    }
+}

@@ -1,0 +1,259 @@
+//! Dataset container and non-IID sharding.
+
+use rog_tensor::rng::DetRng;
+
+/// Supervision targets: class labels or regression values.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Targets {
+    /// One class index per sample.
+    Labels(Vec<usize>),
+    /// One value vector per sample.
+    Values(Vec<Vec<f32>>),
+}
+
+impl Targets {
+    fn len(&self) -> usize {
+        match self {
+            Targets::Labels(v) => v.len(),
+            Targets::Values(v) => v.len(),
+        }
+    }
+}
+
+/// An in-memory dataset of feature vectors plus targets.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Dataset {
+    xs: Vec<Vec<f32>>,
+    /// The supervision targets (public for loss dispatch).
+    pub targets: Targets,
+}
+
+impl Dataset {
+    /// Creates a labeled (classification) dataset.
+    ///
+    /// # Panics
+    ///
+    /// Panics if lengths differ.
+    pub fn labeled(xs: Vec<Vec<f32>>, ys: Vec<usize>) -> Self {
+        let targets = Targets::Labels(ys);
+        assert_eq!(xs.len(), targets.len(), "inputs/labels length mismatch");
+        Self { xs, targets }
+    }
+
+    /// Creates a regression dataset.
+    ///
+    /// # Panics
+    ///
+    /// Panics if lengths differ.
+    pub fn regression(xs: Vec<Vec<f32>>, ys: Vec<Vec<f32>>) -> Self {
+        let targets = Targets::Values(ys);
+        assert_eq!(xs.len(), targets.len(), "inputs/values length mismatch");
+        Self { xs, targets }
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.xs.len()
+    }
+
+    /// Whether the dataset is empty.
+    pub fn is_empty(&self) -> bool {
+        self.xs.is_empty()
+    }
+
+    /// Feature vector of sample `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of range.
+    pub fn input(&self, i: usize) -> &[f32] {
+        &self.xs[i]
+    }
+
+    /// Label of sample `i` for labeled datasets.
+    pub fn label(&self, i: usize) -> Option<usize> {
+        match &self.targets {
+            Targets::Labels(v) => v.get(i).copied(),
+            Targets::Values(_) => None,
+        }
+    }
+
+    /// Draws a batch of `size` sample indices uniformly with replacement.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the dataset is empty or `size == 0`.
+    pub fn sample_batch(&self, size: usize, rng: &mut DetRng) -> Vec<usize> {
+        assert!(!self.is_empty(), "cannot sample from an empty dataset");
+        assert!(size > 0, "batch size must be positive");
+        (0..size).map(|_| rng.index(self.xs.len())).collect()
+    }
+
+    /// Splits a labeled dataset into `n_shards` non-IID shards using a
+    /// symmetric Dirichlet(`alpha`) allocation per class — the stand-in
+    /// for the paper's Pachinko Allocation Method partition of
+    /// Fed-CIFAR100. Lower `alpha` = more skewed shards.
+    ///
+    /// Every shard is guaranteed non-empty (samples are round-robined if
+    /// the draw left a shard empty).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the dataset is unlabeled, `n_shards == 0`, or there are
+    /// fewer samples than shards.
+    pub fn dirichlet_shards(&self, n_shards: usize, alpha: f64, rng: &mut DetRng) -> Vec<Dataset> {
+        let Targets::Labels(ys) = &self.targets else {
+            panic!("dirichlet sharding requires labels");
+        };
+        assert!(n_shards > 0, "need at least one shard");
+        assert!(
+            self.len() >= n_shards,
+            "fewer samples than shards: {} < {n_shards}",
+            self.len()
+        );
+        let n_classes = ys.iter().copied().max().map_or(0, |m| m + 1);
+        let mut shard_idxs: Vec<Vec<usize>> = vec![Vec::new(); n_shards];
+        for class in 0..n_classes {
+            let members: Vec<usize> = (0..ys.len()).filter(|&i| ys[i] == class).collect();
+            if members.is_empty() {
+                continue;
+            }
+            let probs = rng.dirichlet(n_shards, alpha);
+            // Convert proportions to cumulative boundaries over members.
+            let mut cum = 0.0;
+            let mut boundaries = Vec::with_capacity(n_shards);
+            for p in &probs {
+                cum += p;
+                boundaries.push((cum * members.len() as f64).round() as usize);
+            }
+            *boundaries.last_mut().expect("non-empty") = members.len();
+            let mut start = 0;
+            for (s, &end) in boundaries.iter().enumerate() {
+                let end = end.max(start);
+                shard_idxs[s].extend(&members[start..end]);
+                start = end;
+            }
+        }
+        // Backfill empty shards.
+        let mut donor = 0usize;
+        for s in 0..n_shards {
+            while shard_idxs[s].is_empty() {
+                if shard_idxs[donor].len() > 1 {
+                    let moved = shard_idxs[donor].pop().expect("non-empty donor");
+                    shard_idxs[s].push(moved);
+                } else {
+                    donor = (donor + 1) % n_shards;
+                }
+            }
+        }
+        shard_idxs
+            .into_iter()
+            .map(|idxs| {
+                Dataset::labeled(
+                    idxs.iter().map(|&i| self.xs[i].clone()).collect(),
+                    idxs.iter().map(|&i| ys[i]).collect(),
+                )
+            })
+            .collect()
+    }
+
+    /// Splits any dataset into `n_shards` contiguous, near-equal shards
+    /// (used by CRIMP: each robot observes a contiguous trajectory
+    /// segment, like the paper's split of the ScanNet image sequence).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_shards == 0` or there are fewer samples than shards.
+    pub fn contiguous_shards(&self, n_shards: usize) -> Vec<Dataset> {
+        assert!(n_shards > 0, "need at least one shard");
+        assert!(
+            self.len() >= n_shards,
+            "fewer samples than shards: {} < {n_shards}",
+            self.len()
+        );
+        let n = self.len();
+        (0..n_shards)
+            .map(|s| {
+                let start = s * n / n_shards;
+                let end = (s + 1) * n / n_shards;
+                let xs = self.xs[start..end].to_vec();
+                let targets = match &self.targets {
+                    Targets::Labels(v) => Targets::Labels(v[start..end].to_vec()),
+                    Targets::Values(v) => Targets::Values(v[start..end].to_vec()),
+                };
+                Dataset { xs, targets }
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dataset(n: usize, classes: usize) -> Dataset {
+        Dataset::labeled(
+            (0..n).map(|i| vec![i as f32]).collect(),
+            (0..n).map(|i| i % classes).collect(),
+        )
+    }
+
+    #[test]
+    fn batch_sampling_is_in_range_and_deterministic() {
+        let d = dataset(10, 2);
+        let mut r1 = DetRng::new(3);
+        let mut r2 = DetRng::new(3);
+        let b1 = d.sample_batch(6, &mut r1);
+        let b2 = d.sample_batch(6, &mut r2);
+        assert_eq!(b1, b2);
+        assert!(b1.iter().all(|&i| i < 10));
+    }
+
+    #[test]
+    fn dirichlet_shards_partition_everything() {
+        let d = dataset(200, 10);
+        let shards = d.dirichlet_shards(4, 0.5, &mut DetRng::new(1));
+        assert_eq!(shards.len(), 4);
+        let total: usize = shards.iter().map(Dataset::len).sum();
+        assert_eq!(total, 200);
+        assert!(shards.iter().all(|s| !s.is_empty()));
+    }
+
+    #[test]
+    fn low_alpha_shards_are_skewed() {
+        let d = dataset(1000, 10);
+        let skewed = d.dirichlet_shards(4, 0.05, &mut DetRng::new(2));
+        // At alpha=0.05 most classes land in one shard: per-shard class
+        // diversity should be visibly below the 10 classes of the pool.
+        let diversity: f64 = skewed
+            .iter()
+            .map(|s| {
+                let Targets::Labels(ys) = &s.targets else { unreachable!() };
+                // Count classes with a meaningful share (>10% of shard).
+                (0..10)
+                    .filter(|&c| {
+                        ys.iter().filter(|&&y| y == c).count() as f64 > 0.1 * ys.len() as f64
+                    })
+                    .count() as f64
+            })
+            .sum::<f64>()
+            / 4.0;
+        assert!(diversity < 6.0, "shards too uniform: {diversity}");
+    }
+
+    #[test]
+    fn contiguous_shards_cover_in_order() {
+        let d = dataset(10, 3);
+        let shards = d.contiguous_shards(3);
+        assert_eq!(shards.iter().map(Dataset::len).sum::<usize>(), 10);
+        assert_eq!(shards[0].input(0), &[0.0]);
+        assert_eq!(shards[2].input(shards[2].len() - 1), &[9.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "requires labels")]
+    fn dirichlet_on_regression_panics() {
+        let d = Dataset::regression(vec![vec![0.0]], vec![vec![0.0]]);
+        let _ = d.dirichlet_shards(1, 1.0, &mut DetRng::new(0));
+    }
+}

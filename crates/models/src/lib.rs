@@ -1,0 +1,52 @@
+//! Workloads and models for the ROG reproduction.
+//!
+//! The paper evaluates two online-training application paradigms:
+//!
+//! * **CRUDA** — coordinated robotic unsupervised domain adaptation: a
+//!   team of robots adapts a pretrained object-recognition model
+//!   (ConvMLP on Fed-CIFAR100 with synthetic fog noise) to a shifted
+//!   domain; metric = classification accuracy.
+//! * **CRIMP** — coordinated robotic implicit mapping and positioning:
+//!   robots cooperatively fit an ML model representing a 3-D map
+//!   (nice-slam on ScanNet) and localize in it; metric = trajectory
+//!   error.
+//!
+//! Neither Fed-CIFAR100 + ConvMLP nor ScanNet + nice-slam is available in
+//! this environment, so this crate provides faithful *synthetic*
+//! stand-ins that exercise the same code paths (see `DESIGN.md`):
+//! [`CrudaWorkload`] is a real multi-class classification problem with a
+//! controllable domain shift, pretrained on the source domain; and
+//! [`CrimpWorkload`] fits an implicit occupancy field of a synthetic
+//! scene from posed observations and measures pose-estimation error
+//! against the learned field. Both train a from-scratch [`Mlp`] with real
+//! forward/backward passes — staleness introduced by the synchronization
+//! strategies therefore has a genuine effect on statistical efficiency.
+//!
+//! # Example
+//!
+//! ```
+//! use rog_models::{CrudaSpec, Workload};
+//! use rog_tensor::rng::DetRng;
+//!
+//! let spec = CrudaSpec::small();
+//! let workload = spec.build(4, &mut DetRng::new(1));
+//! let model = workload.make_model(&mut DetRng::new(2));
+//! let acc = workload.test_metric(&model);
+//! assert!(acc > 20.0, "pretrained model should beat chance, got {acc}");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod batching;
+mod crimp;
+mod cruda;
+mod data;
+mod mlp;
+mod workload;
+
+pub use crimp::{CrimpSpec, CrimpWorkload, Scene};
+pub use cruda::{CrudaArch, CrudaSpec, CrudaWorkload};
+pub use data::{Dataset, Targets};
+pub use mlp::{ConvSpec, GradSet, Mlp, Task};
+pub use workload::Workload;

@@ -1,0 +1,590 @@
+//! Shared wireless channel carrying chunked flows.
+//!
+//! All devices in the paper's testbed hang off one 802.11ac hotspot, so
+//! every push and pull contends for the same airtime (Sec. II-D: "the
+//! devices typically share the same wireless channel, incurring traffic
+//! volume proportional to the number of devices"). We approximate DCF
+//! fairness: each active flow gets an equal share of airtime, and during
+//! its share transmits at `capacity(t) × link_factor(t)` where the link
+//! factor models that device's own occlusion/distance fading.
+//!
+//! Flows are sequences of *chunks* (gradient rows, with framing). A flow
+//! may carry a deadline — ATP's speculative-transmission timeout. When the
+//! deadline fires the flow is cut: chunks fully delivered by then count,
+//! the partial chunk is discarded (its bytes are wasted airtime), exactly
+//! like the `socket.settimeout` + unique-marker framing of Sec. V.
+
+use std::collections::BTreeMap;
+
+use rog_sim::Time;
+
+use crate::Trace;
+
+/// Index of a device's link (assigned by the cluster builder).
+pub type LinkId = usize;
+
+/// How concurrent flows share the channel.
+///
+/// 802.11 DCF gives every station an equal chance to *transmit a frame*.
+/// Interpreted per unit time that is **airtime fairness**: each active
+/// flow gets `1/n` of the airtime and moves at its own PHY rate during
+/// its share. But because every frame carries the same payload, equal
+/// frame chances actually equalize *throughput*, so one slow (distant)
+/// station drags everyone down to its pace — the classic 802.11
+/// *rate anomaly*. Both interpretations are available; the default is
+/// airtime fairness, the anomaly mode is used by the MAC ablation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SharingMode {
+    /// Equal airtime; per-flow rate `capacity × link_i / n`.
+    #[default]
+    AirtimeFair,
+    /// Equal throughput (802.11 rate anomaly): every flow moves at the
+    /// harmonic-mean rate `1 / Σ_j 1/(capacity × link_j)`.
+    ThroughputFair,
+}
+
+/// Opaque handle of a flow in flight.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct FlowId(u64);
+
+/// Description of a transfer to start.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FlowSpec {
+    /// Which device's link carries the flow.
+    pub link: LinkId,
+    /// Byte size of each chunk, in transmission order (framing included).
+    pub chunks: Vec<u64>,
+    /// Absolute virtual time at which to cut the flow, if any.
+    pub deadline: Option<Time>,
+}
+
+impl FlowSpec {
+    /// Creates a flow of `chunks` bytes each over `link`, no deadline.
+    pub fn new(link: LinkId, chunks: Vec<u64>) -> Self {
+        Self {
+            link,
+            chunks,
+            deadline: None,
+        }
+    }
+
+    /// Sets an absolute-time deadline (speculative-transmission timeout).
+    #[must_use]
+    pub fn with_deadline(mut self, deadline: Time) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// Total payload bytes.
+    pub fn total_bytes(&self) -> u64 {
+        self.chunks.iter().sum()
+    }
+}
+
+/// Why a flow left the channel.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FlowOutcome {
+    /// Every chunk was delivered.
+    Completed,
+    /// The deadline fired mid-flow; `chunks_done` whole chunks were
+    /// delivered and the partially transmitted chunk (if any) was
+    /// discarded.
+    DeadlineReached {
+        /// Number of complete chunks delivered.
+        chunks_done: usize,
+        /// Useful bytes delivered (sum of the complete chunks).
+        bytes_done: u64,
+    },
+}
+
+/// A flow event produced by [`Channel::advance_until`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FlowEvent {
+    /// Which flow.
+    pub id: FlowId,
+    /// Time at which the outcome occurred.
+    pub at: Time,
+    /// What happened.
+    pub outcome: FlowOutcome,
+}
+
+/// An in-flight transfer.
+#[derive(Debug, Clone)]
+pub struct Flow {
+    link: LinkId,
+    /// Cumulative chunk byte boundaries; `prefix[i]` = bytes of the first
+    /// `i` chunks. `prefix[len]` is the flow total.
+    prefix: Vec<u64>,
+    bytes_done: f64,
+    deadline: Option<Time>,
+    started_at: Time,
+}
+
+impl Flow {
+    fn total(&self) -> u64 {
+        *self.prefix.last().expect("prefix is never empty")
+    }
+
+    fn remaining(&self) -> f64 {
+        self.total() as f64 - self.bytes_done
+    }
+
+    /// Number of whole chunks covered by `bytes_done`.
+    fn chunks_done(&self) -> usize {
+        // prefix is sorted; find the last boundary <= bytes_done (+tol).
+        let done = self.bytes_done + 0.25;
+        self.prefix[1..].iter().take_while(|&&b| b as f64 <= done).count()
+    }
+}
+
+/// The shared wireless channel.
+///
+/// See the crate docs for the model. All methods take/return absolute
+/// virtual time; time only moves forward via [`Channel::advance_until`].
+#[derive(Debug, Clone)]
+pub struct Channel {
+    capacity: Trace,
+    links: Vec<Trace>,
+    flows: BTreeMap<FlowId, Flow>,
+    now: Time,
+    next_id: u64,
+    useful_bytes: f64,
+    wasted_bytes: f64,
+    sharing: SharingMode,
+}
+
+const EPS: Time = 1e-9;
+/// Byte-resolution tolerance for completion detection.
+const BYTE_TOL: f64 = 0.25;
+
+impl Channel {
+    /// Creates a channel with a total-capacity trace (bit/s) and one
+    /// quality-factor trace per device link.
+    pub fn new(capacity: Trace, links: Vec<Trace>) -> Self {
+        Self {
+            capacity,
+            links,
+            flows: BTreeMap::new(),
+            now: 0.0,
+            next_id: 0,
+            useful_bytes: 0.0,
+            wasted_bytes: 0.0,
+            sharing: SharingMode::default(),
+        }
+    }
+
+    /// Selects the MAC sharing model (see [`SharingMode`]).
+    #[must_use]
+    pub fn with_sharing(mut self, sharing: SharingMode) -> Self {
+        self.sharing = sharing;
+        self
+    }
+
+    /// The active MAC sharing model.
+    pub fn sharing(&self) -> SharingMode {
+        self.sharing
+    }
+
+    /// Current channel time.
+    pub fn now(&self) -> Time {
+        self.now
+    }
+
+    /// Number of flows in flight.
+    pub fn active_flows(&self) -> usize {
+        self.flows.len()
+    }
+
+    /// Useful payload bytes delivered so far (complete chunks only).
+    pub fn useful_bytes(&self) -> f64 {
+        self.useful_bytes
+    }
+
+    /// Bytes spent on chunks that were cut by a deadline and discarded.
+    pub fn wasted_bytes(&self) -> f64 {
+        self.wasted_bytes
+    }
+
+    /// Instantaneous un-shared link bandwidth in bit/s (capacity times
+    /// the link's fade factor) — what a passive monitor like `iw` would
+    /// report on that device (paper Sec. VI-B).
+    pub fn link_rate_bps(&self, link: LinkId) -> f64 {
+        self.capacity.value_at(self.now) * self.link_factor(link, self.now)
+    }
+
+    /// Instantaneous rate (bytes/s) a flow on `link` would get right now
+    /// if it had to share with the current active flows plus itself.
+    pub fn estimated_rate(&self, link: LinkId) -> f64 {
+        let n = (self.flows.len() + 1) as f64;
+        self.capacity.value_at(self.now) * self.link_factor(link, self.now) / 8.0 / n
+    }
+
+    fn link_factor(&self, link: LinkId, t: Time) -> f64 {
+        self.links.get(link).map_or(1.0, |tr| tr.value_at(t))
+    }
+
+    /// Starts a flow at time `start`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `start` precedes channel time, or if other flows are in
+    /// flight and `start` is ahead of channel time (the caller must first
+    /// [`Channel::advance_until`] `start` and handle any events).
+    pub fn start_flow(&mut self, start: Time, spec: FlowSpec) -> FlowId {
+        assert!(
+            start >= self.now - EPS,
+            "flow starts in the past: {start} < {}",
+            self.now
+        );
+        if start > self.now + EPS {
+            assert!(
+                self.flows.is_empty(),
+                "advance the channel to the start time before starting a flow"
+            );
+            self.now = start;
+        }
+        if let Some(d) = spec.deadline {
+            assert!(d >= self.now - EPS, "deadline is already in the past");
+        }
+        let mut prefix = Vec::with_capacity(spec.chunks.len() + 1);
+        let mut acc = 0u64;
+        prefix.push(0);
+        for &c in &spec.chunks {
+            acc += c;
+            prefix.push(acc);
+        }
+        let id = FlowId(self.next_id);
+        self.next_id += 1;
+        self.flows.insert(
+            id,
+            Flow {
+                link: spec.link,
+                prefix,
+                bytes_done: 0.0,
+                deadline: spec.deadline,
+                started_at: self.now,
+            },
+        );
+        id
+    }
+
+    /// Time a flow has spent in flight so far.
+    pub fn flow_age(&self, id: FlowId) -> Option<Time> {
+        self.flows.get(&id).map(|f| self.now - f.started_at)
+    }
+
+    /// Advances the channel toward `t`, stopping at the first instant at
+    /// which one or more flow events (completion / deadline) occur.
+    ///
+    /// Returns all events at that instant; if none occur before `t`, the
+    /// channel ends at `t` with an empty vector. Progress applied is
+    /// exact: piecewise-constant integration over capacity and link
+    /// breakpoints, with airtime re-shared whenever the active set
+    /// changes.
+    pub fn advance_until(&mut self, t: Time) -> Vec<FlowEvent> {
+        let mut events = Vec::new();
+        let mut guard = 0u64;
+        while self.now < t - EPS {
+            guard += 1;
+            assert!(
+                guard < 50_000_000,
+                "channel integration stuck at t={} (target {t}, {} flows)",
+                self.now,
+                self.flows.len()
+            );
+            if self.flows.is_empty() {
+                self.now = t;
+                return events;
+            }
+            // Segment of constant rates: bounded by trace breakpoints.
+            let mut seg_end = t.min(self.capacity.next_breakpoint_after(self.now));
+            for f in self.flows.values() {
+                if let Some(link) = self.links.get(f.link) {
+                    seg_end = seg_end.min(link.next_breakpoint_after(self.now));
+                }
+            }
+            // Constant per-flow rates in this segment.
+            let n = self.flows.len() as f64;
+            let cap = self.capacity.value_at(self.now);
+            let rates: BTreeMap<FlowId, f64> = match self.sharing {
+                SharingMode::AirtimeFair => self
+                    .flows
+                    .iter()
+                    .map(|(&id, f)| (id, cap * self.link_factor(f.link, self.now) / 8.0 / n))
+                    .collect(),
+                SharingMode::ThroughputFair => {
+                    // Rate anomaly: equal per-flow throughput set by the
+                    // harmonic mean of the stations' PHY rates.
+                    let inv_sum: f64 = self
+                        .flows
+                        .values()
+                        .map(|f| 1.0 / (cap * self.link_factor(f.link, self.now)).max(1e-3))
+                        .sum();
+                    let common = 1.0 / inv_sum / 8.0;
+                    self.flows.keys().map(|&id| (id, common)).collect()
+                }
+            };
+            // Exact per-flow finish times, and the earliest event inside
+            // the segment.
+            let fins: BTreeMap<FlowId, Time> = self
+                .flows
+                .iter()
+                .map(|(&id, f)| {
+                    let rate = rates[&id];
+                    let fin = if rate > 0.0 {
+                        self.now + f.remaining().max(0.0) / rate
+                    } else {
+                        f64::INFINITY
+                    };
+                    (id, fin)
+                })
+                .collect();
+            let mut t_event = f64::INFINITY;
+            for (&id, f) in &self.flows {
+                t_event = t_event.min(fins[&id]);
+                if let Some(d) = f.deadline {
+                    t_event = t_event.min(d.max(self.now));
+                }
+            }
+            let step_to = seg_end.min(t_event);
+            let dt = (step_to - self.now).max(0.0);
+            for (id, f) in self.flows.iter_mut() {
+                if fins[id] <= step_to + EPS {
+                    // Snap to exact completion: floating-point increments
+                    // can otherwise fall below the ulp of `bytes_done`
+                    // and stall the integration forever.
+                    f.bytes_done = f.total() as f64;
+                } else {
+                    f.bytes_done = (f.bytes_done + rates[id] * dt).min(f.total() as f64);
+                }
+            }
+            self.now = step_to;
+            // Collect events at this instant.
+            let done_ids: Vec<FlowId> = self
+                .flows
+                .iter()
+                .filter(|(_, f)| {
+                    f.remaining() <= BYTE_TOL
+                        || f.deadline.is_some_and(|d| self.now >= d - EPS)
+                })
+                .map(|(&id, _)| id)
+                .collect();
+            for id in done_ids {
+                let f = self.flows.remove(&id).expect("flow exists");
+                let outcome = if f.remaining() <= BYTE_TOL {
+                    self.useful_bytes += f.total() as f64;
+                    FlowOutcome::Completed
+                } else {
+                    let chunks_done = f.chunks_done();
+                    let bytes_done = f.prefix[chunks_done];
+                    self.useful_bytes += bytes_done as f64;
+                    self.wasted_bytes += f.bytes_done - bytes_done as f64;
+                    FlowOutcome::DeadlineReached {
+                        chunks_done,
+                        bytes_done,
+                    }
+                };
+                events.push(FlowEvent {
+                    id,
+                    at: self.now,
+                    outcome,
+                });
+            }
+            if !events.is_empty() {
+                return events;
+            }
+        }
+        self.now = self.now.max(t);
+        events
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn flat_channel(bps: f64, n_links: usize) -> Channel {
+        Channel::new(
+            Trace::constant(bps),
+            (0..n_links).map(|_| Trace::constant(1.0)).collect(),
+        )
+    }
+
+    #[test]
+    fn single_flow_takes_bytes_over_bandwidth() {
+        // 80 Mbit/s = 10 MB/s; 5 MB should take 0.5 s.
+        let mut ch = flat_channel(80e6, 1);
+        let id = ch.start_flow(0.0, FlowSpec::new(0, vec![5_000_000]));
+        let evs = ch.advance_until(10.0);
+        assert_eq!(evs.len(), 1);
+        assert_eq!(evs[0].id, id);
+        assert_eq!(evs[0].outcome, FlowOutcome::Completed);
+        assert!((evs[0].at - 0.5).abs() < 1e-3, "at {}", evs[0].at);
+    }
+
+    #[test]
+    fn two_flows_share_airtime() {
+        let mut ch = flat_channel(80e6, 2);
+        ch.start_flow(0.0, FlowSpec::new(0, vec![5_000_000]));
+        ch.start_flow(0.0, FlowSpec::new(1, vec![5_000_000]));
+        let evs = ch.advance_until(10.0);
+        // Both halve the rate: each finishes at ~1.0 s, simultaneously.
+        assert_eq!(evs.len(), 2);
+        assert!((evs[0].at - 1.0).abs() < 1e-3, "at {}", evs[0].at);
+    }
+
+    #[test]
+    fn remaining_flow_speeds_up_after_completion() {
+        let mut ch = flat_channel(80e6, 2);
+        ch.start_flow(0.0, FlowSpec::new(0, vec![2_500_000]));
+        let big = ch.start_flow(0.0, FlowSpec::new(1, vec![7_500_000]));
+        let evs = ch.advance_until(10.0);
+        assert_eq!(evs.len(), 1);
+        assert!((evs[0].at - 0.5).abs() < 1e-3, "small done at {}", evs[0].at);
+        let evs = ch.advance_until(10.0);
+        assert_eq!(evs[0].id, big);
+        // Big flow: 2.5MB done in first 0.5s (shared), 5MB left at full
+        // 10MB/s → total 1.0s.
+        assert!((evs[0].at - 1.0).abs() < 1e-3, "big done at {}", evs[0].at);
+    }
+
+    #[test]
+    fn deadline_cuts_flow_and_discards_partial_chunk() {
+        let mut ch = flat_channel(80e6, 1); // 10 MB/s
+        // 10 chunks of 1 MB; deadline at 0.55 s → 5.5 MB transferred,
+        // 5 complete chunks, half a chunk wasted.
+        let id = ch.start_flow(
+            0.0,
+            FlowSpec::new(0, vec![1_000_000; 10]).with_deadline(0.55),
+        );
+        let evs = ch.advance_until(10.0);
+        assert_eq!(evs.len(), 1);
+        assert_eq!(evs[0].id, id);
+        match evs[0].outcome {
+            FlowOutcome::DeadlineReached {
+                chunks_done,
+                bytes_done,
+            } => {
+                assert_eq!(chunks_done, 5);
+                assert_eq!(bytes_done, 5_000_000);
+            }
+            other => panic!("unexpected outcome {other:?}"),
+        }
+        assert!((evs[0].at - 0.55).abs() < 1e-9);
+        assert!(ch.wasted_bytes() > 400_000.0 && ch.wasted_bytes() < 600_000.0);
+    }
+
+    #[test]
+    fn deadline_after_completion_is_moot() {
+        let mut ch = flat_channel(80e6, 1);
+        ch.start_flow(0.0, FlowSpec::new(0, vec![1_000_000]).with_deadline(5.0));
+        let evs = ch.advance_until(10.0);
+        assert_eq!(evs[0].outcome, FlowOutcome::Completed);
+        assert!(evs[0].at < 0.2);
+    }
+
+    #[test]
+    fn link_factor_scales_rate() {
+        let mut ch = Channel::new(
+            Trace::constant(80e6),
+            vec![Trace::constant(0.5)], // device sees half capacity
+        );
+        ch.start_flow(0.0, FlowSpec::new(0, vec![5_000_000]));
+        let evs = ch.advance_until(10.0);
+        assert!((evs[0].at - 1.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn varying_capacity_is_integrated_exactly() {
+        // 0-1s: 80 Mb/s (10 MB/s), 1-2s: 8 Mb/s (1 MB/s), repeating.
+        let cap = Trace::from_samples(1.0, vec![80e6, 8e6]);
+        let mut ch = Channel::new(cap, vec![Trace::constant(1.0)]);
+        // 11 MB: 10 MB in first second, 1 MB in the next → done at 2.0 s.
+        ch.start_flow(0.0, FlowSpec::new(0, vec![11_000_000]));
+        let evs = ch.advance_until(10.0);
+        assert!((evs[0].at - 2.0).abs() < 1e-3, "at {}", evs[0].at);
+    }
+
+    #[test]
+    fn empty_flow_completes_immediately() {
+        let mut ch = flat_channel(80e6, 1);
+        ch.start_flow(0.0, FlowSpec::new(0, vec![]));
+        let evs = ch.advance_until(1.0);
+        assert_eq!(evs.len(), 1);
+        assert_eq!(evs[0].outcome, FlowOutcome::Completed);
+        assert!(evs[0].at < 1e-6);
+    }
+
+    #[test]
+    fn advance_with_no_flows_just_moves_time() {
+        let mut ch = flat_channel(80e6, 1);
+        assert!(ch.advance_until(3.0).is_empty());
+        assert_eq!(ch.now(), 3.0);
+    }
+
+    #[test]
+    fn events_do_not_pass_queue_horizon() {
+        let mut ch = flat_channel(80e6, 1);
+        ch.start_flow(0.0, FlowSpec::new(0, vec![5_000_000]));
+        // Horizon at 0.2 s, completion would be at 0.5 s.
+        let evs = ch.advance_until(0.2);
+        assert!(evs.is_empty());
+        assert_eq!(ch.now(), 0.2);
+        let evs = ch.advance_until(1.0);
+        assert!((evs[0].at - 0.5).abs() < 1e-3);
+    }
+
+    #[test]
+    fn zero_deadline_flow_delivers_nothing() {
+        let mut ch = flat_channel(80e6, 1);
+        let id = ch.start_flow(0.0, FlowSpec::new(0, vec![1_000_000; 3]).with_deadline(0.0));
+        let evs = ch.advance_until(1.0);
+        assert_eq!(evs.len(), 1);
+        assert_eq!(evs[0].id, id);
+        assert_eq!(
+            evs[0].outcome,
+            FlowOutcome::DeadlineReached {
+                chunks_done: 0,
+                bytes_done: 0
+            }
+        );
+    }
+
+    #[test]
+    fn rate_anomaly_drags_fast_stations_down() {
+        // Two stations, one at 10% link quality. Airtime-fair: the fast
+        // one finishes quickly. Throughput-fair (rate anomaly): both
+        // move at the harmonic rate, so the fast one is dragged down.
+        let cap = Trace::constant(80e6);
+        let links = vec![Trace::constant(1.0), Trace::constant(0.1)];
+        let mut fair = Channel::new(cap.clone(), links.clone());
+        fair.start_flow(0.0, FlowSpec::new(0, vec![2_000_000]));
+        fair.start_flow(0.0, FlowSpec::new(1, vec![2_000_000]));
+        let fast_fair = fair.advance_until(100.0)[0].at;
+
+        let mut anomaly =
+            Channel::new(cap, links).with_sharing(SharingMode::ThroughputFair);
+        anomaly.start_flow(0.0, FlowSpec::new(0, vec![2_000_000]));
+        anomaly.start_flow(0.0, FlowSpec::new(1, vec![2_000_000]));
+        let evs = anomaly.advance_until(100.0);
+        // Under the anomaly both finish together, far later than the
+        // fast station would alone.
+        assert_eq!(evs.len(), 2);
+        let fast_anomaly = evs[0].at;
+        assert!(
+            fast_anomaly > 3.0 * fast_fair,
+            "anomaly should slow the fast station: {fast_fair} vs {fast_anomaly}"
+        );
+        // Harmonic rate check: 1/(1/10 + 1/1) MB/s = 0.909 MB/s →
+        // 2 MB in ~2.2 s.
+        assert!((fast_anomaly - 2.2).abs() < 0.1, "at {fast_anomaly}");
+    }
+
+    #[test]
+    #[should_panic(expected = "starts in the past")]
+    fn starting_in_the_past_panics() {
+        let mut ch = flat_channel(80e6, 1);
+        ch.advance_until(5.0);
+        ch.start_flow(1.0, FlowSpec::new(0, vec![10]));
+    }
+}

@@ -1,0 +1,261 @@
+//! Fitting a channel model to a recorded trace.
+//!
+//! The synthetic profiles in this crate were hand-calibrated to the
+//! paper's Sec. II-B statistics. When a *recorded* trace is available
+//! (e.g. an iperf log like the paper's Fig. 3 measurement, imported via
+//! [`crate::io`]), [`fit`] estimates the generator parameters directly:
+//! the AR(1) mean/coefficient/innovation of the clear-channel process
+//! and the duty/duration/depth of fade episodes. [`FittedProfile::to_profile`]
+//! then yields a [`ChannelProfile`] whose synthetic traces statistically
+//! resemble the recording — new environments can be modeled from a
+//! five-minute measurement instead of manual tuning.
+
+use crate::{ChannelProfile, DistanceProfile, FadeProfile, Trace};
+
+/// Parameters estimated from a recorded trace.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FittedProfile {
+    /// Mean clear-channel capacity (bit/s or the trace's unit).
+    pub mean: f64,
+    /// AR(1) coefficient of the clear-channel process.
+    pub ar_coeff: f64,
+    /// Innovation standard deviation relative to the mean.
+    pub rel_sigma: f64,
+    /// Fraction of time spent in fades.
+    pub fade_duty: f64,
+    /// Mean fade episode duration in seconds (0 if no fades).
+    pub fade_mean_duration_s: f64,
+    /// Mean fade depth relative to the clear mean (0..1).
+    pub fade_depth: f64,
+    /// The trace's sample step.
+    pub dt: f64,
+}
+
+/// Estimates generator parameters from a trace.
+///
+/// Samples below 45 % of the trace median are classified as faded; the
+/// AR(1) statistics are computed over the clear samples only.
+///
+/// # Panics
+///
+/// Panics if the trace has fewer than 16 samples.
+pub fn fit(trace: &Trace) -> FittedProfile {
+    let xs = trace.samples();
+    assert!(xs.len() >= 16, "trace too short to fit");
+    let mut sorted: Vec<f64> = xs.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite samples"));
+    let median = sorted[sorted.len() / 2];
+    let fade_threshold = 0.45 * median;
+    let faded: Vec<bool> = xs.iter().map(|&v| v < fade_threshold).collect();
+
+    // Clear-channel AR(1) statistics (consecutive clear pairs only).
+    let clear: Vec<f64> = xs
+        .iter()
+        .zip(&faded)
+        .filter(|(_, &f)| !f)
+        .map(|(&v, _)| v)
+        .collect();
+    let mean = if clear.is_empty() {
+        median
+    } else {
+        clear.iter().sum::<f64>() / clear.len() as f64
+    };
+    let mut num = 0.0;
+    let mut den = 0.0;
+    for i in 1..xs.len() {
+        if !faded[i] && !faded[i - 1] {
+            num += (xs[i] - mean) * (xs[i - 1] - mean);
+            den += (xs[i - 1] - mean) * (xs[i - 1] - mean);
+        }
+    }
+    let ar_coeff = if den > 0.0 {
+        (num / den).clamp(0.0, 0.999)
+    } else {
+        0.0
+    };
+    let var = if clear.len() > 1 {
+        clear.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / clear.len() as f64
+    } else {
+        0.0
+    };
+    let rel_sigma = if mean > 0.0 {
+        (var * (1.0 - ar_coeff * ar_coeff)).sqrt() / mean
+    } else {
+        0.0
+    };
+
+    // Fade episodes.
+    let mut episodes = 0usize;
+    let mut faded_samples = 0usize;
+    let mut depth_sum = 0.0;
+    let mut in_fade = false;
+    for (i, &f) in faded.iter().enumerate() {
+        if f {
+            faded_samples += 1;
+            depth_sum += xs[i];
+            if !in_fade {
+                episodes += 1;
+                in_fade = true;
+            }
+        } else {
+            in_fade = false;
+        }
+    }
+    let fade_duty = faded_samples as f64 / xs.len() as f64;
+    let fade_mean_duration_s = if episodes > 0 {
+        faded_samples as f64 * trace.dt() / episodes as f64
+    } else {
+        0.0
+    };
+    let fade_depth = if faded_samples > 0 && mean > 0.0 {
+        (depth_sum / faded_samples as f64) / mean
+    } else {
+        0.0
+    };
+
+    FittedProfile {
+        mean,
+        ar_coeff,
+        rel_sigma,
+        fade_duty,
+        fade_mean_duration_s,
+        fade_depth,
+        dt: trace.dt(),
+    }
+}
+
+impl FittedProfile {
+    /// Builds a synthetic [`ChannelProfile`] from the fitted parameters
+    /// (no per-link outage/distance processes — those need per-link
+    /// recordings; the channel-wide statistics carry over).
+    pub fn to_profile(&self) -> ChannelProfile {
+        let dt = self.dt;
+        let exit_prob = if self.fade_mean_duration_s > 0.0 {
+            (dt / self.fade_mean_duration_s).clamp(1e-4, 1.0)
+        } else {
+            1.0
+        };
+        // Stationary duty d = enter/(enter+exit) over clear time:
+        // enter = exit * d / (1 - d).
+        let enter_prob = if self.fade_duty > 0.0 && self.fade_duty < 1.0 {
+            (exit_prob * self.fade_duty / (1.0 - self.fade_duty)).clamp(0.0, 1.0)
+        } else {
+            0.0
+        };
+        let depth = self.fade_depth.clamp(0.001, 0.999);
+        let neutral_fade = FadeProfile {
+            enter_prob: 0.0,
+            exit_prob: 1.0,
+            depth: (1.0, 1.0),
+        };
+        ChannelProfile {
+            name: "fitted",
+            dt,
+            mean_bps: self.mean,
+            ar_coeff: self.ar_coeff,
+            rel_sigma: self.rel_sigma,
+            channel_fade: FadeProfile {
+                enter_prob,
+                exit_prob,
+                depth: (0.7 * depth, (1.3 * depth).min(0.999)),
+            },
+            link_fade: neutral_fade,
+            link_outage: neutral_fade,
+            link_distance: DistanceProfile {
+                mean: 1.0,
+                time_const_s: 1.0,
+                sigma: 0.0,
+                range: (1.0, 1.0),
+            },
+            rel_floor: 0.005,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats;
+
+    #[test]
+    fn fit_recovers_a_flat_trace() {
+        let t = Trace::from_samples(0.1, vec![100.0; 600]);
+        let f = fit(&t);
+        assert!((f.mean - 100.0).abs() < 1e-9);
+        assert_eq!(f.fade_duty, 0.0);
+        assert_eq!(f.fade_mean_duration_s, 0.0);
+    }
+
+    #[test]
+    fn fit_recovers_generated_parameters_approximately() {
+        let p = ChannelProfile::indoor();
+        let t = p.generate(7, 600.0);
+        let f = fit(&t);
+        assert!(
+            (f.mean - p.mean_bps).abs() < 0.2 * p.mean_bps,
+            "mean {} vs {}",
+            f.mean,
+            p.mean_bps
+        );
+        assert!(
+            (f.ar_coeff - p.ar_coeff).abs() < 0.2,
+            "ar {} vs {}",
+            f.ar_coeff,
+            p.ar_coeff
+        );
+        assert!(
+            (f.rel_sigma - p.rel_sigma).abs() < 0.08,
+            "sigma {} vs {}",
+            f.rel_sigma,
+            p.rel_sigma
+        );
+    }
+
+    #[test]
+    fn fitted_profile_reproduces_fluctuation_statistics() {
+        // Record outdoor → fit → regenerate → the summary statistics of
+        // the regenerated trace resemble the recording.
+        let original = ChannelProfile::outdoor().generate(3, 600.0);
+        let refit = fit(&original).to_profile().generate(99, 600.0);
+        let a = stats::summarize(&original);
+        let b = stats::summarize(&refit);
+        assert!(
+            (a.mean_bps - b.mean_bps).abs() < 0.35 * a.mean_bps,
+            "means diverge: {} vs {}",
+            a.mean_bps,
+            b.mean_bps
+        );
+        let ratio = b.interval_20pct / a.interval_20pct;
+        assert!(
+            (0.4..2.5).contains(&ratio),
+            "fluctuation intervals diverge: {} vs {}",
+            a.interval_20pct,
+            b.interval_20pct
+        );
+    }
+
+    #[test]
+    fn fit_detects_injected_fades() {
+        // 100 Mbps with 20-sample fades to 10 every 100 samples.
+        let mut xs = vec![100.0; 1000];
+        for start in (0..1000).step_by(200) {
+            for v in xs.iter_mut().skip(start).take(20) {
+                *v = 10.0;
+            }
+        }
+        let f = fit(&Trace::from_samples(0.1, xs));
+        assert!((f.fade_duty - 0.1).abs() < 0.02, "duty {}", f.fade_duty);
+        assert!(
+            (f.fade_mean_duration_s - 2.0).abs() < 0.3,
+            "duration {}",
+            f.fade_mean_duration_s
+        );
+        assert!((f.fade_depth - 0.1).abs() < 0.03, "depth {}", f.fade_depth);
+    }
+
+    #[test]
+    #[should_panic(expected = "too short")]
+    fn short_trace_panics() {
+        let _ = fit(&Trace::from_samples(0.1, vec![1.0; 4]));
+    }
+}

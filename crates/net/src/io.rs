@@ -1,0 +1,173 @@
+//! Trace persistence: CSV import/export.
+//!
+//! The paper's artifact replays bandwidth traces recorded on the real
+//! robots (with `tc`) so that evaluation is reproducible on stationary
+//! devices. This module provides the equivalent path: any recorded
+//! trace in `time_s,value` CSV form (like the `results/fig3_*.csv`
+//! artifacts) can be loaded and driven through the simulator, and any
+//! generated trace can be exported for external plotting or replay.
+
+use std::fmt;
+use std::fs;
+use std::path::Path;
+
+use crate::Trace;
+
+/// Error from parsing a trace CSV.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceParseError {
+    line: usize,
+    msg: String,
+}
+
+impl TraceParseError {
+    fn new(line: usize, msg: impl Into<String>) -> Self {
+        Self {
+            line,
+            msg: msg.into(),
+        }
+    }
+}
+
+impl fmt::Display for TraceParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "trace CSV line {}: {}", self.line, self.msg)
+    }
+}
+
+impl std::error::Error for TraceParseError {}
+
+/// Serializes a trace as `time_s,value` CSV (with header).
+pub fn trace_to_csv(trace: &Trace) -> String {
+    let mut out = String::from("time_s,value\n");
+    for (i, &v) in trace.samples().iter().enumerate() {
+        out.push_str(&format!("{:.4},{v}\n", i as f64 * trace.dt()));
+    }
+    out
+}
+
+/// Parses a `time_s,value` CSV (header optional) into a trace.
+///
+/// The sample step is inferred from the first two timestamps; the
+/// values may be in any unit (bit/s for capacity traces, a factor in
+/// `(0, 1]` for link traces).
+///
+/// # Errors
+///
+/// Returns [`TraceParseError`] on malformed rows, non-increasing
+/// timestamps, or fewer than two samples.
+pub fn trace_from_csv(csv: &str) -> Result<Trace, TraceParseError> {
+    let mut times = Vec::new();
+    let mut values = Vec::new();
+    for (ln, line) in csv.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let mut parts = line.split(',');
+        let t_str = parts.next().unwrap_or_default().trim();
+        let v_str = parts
+            .next()
+            .ok_or_else(|| TraceParseError::new(ln + 1, "expected two columns"))?
+            .trim();
+        let (Ok(t), Ok(v)) = (t_str.parse::<f64>(), v_str.parse::<f64>()) else {
+            if ln == 0 {
+                // Header row.
+                continue;
+            }
+            return Err(TraceParseError::new(ln + 1, "non-numeric row"));
+        };
+        times.push(t);
+        values.push(v);
+    }
+    if values.len() < 2 {
+        return Err(TraceParseError::new(0, "need at least two samples"));
+    }
+    let dt = times[1] - times[0];
+    if dt <= 0.0 {
+        return Err(TraceParseError::new(2, "timestamps must increase"));
+    }
+    for (i, w) in times.windows(2).enumerate() {
+        let step = w[1] - w[0];
+        if (step - dt).abs() > 0.02 * dt {
+            return Err(TraceParseError::new(
+                i + 2,
+                format!("irregular sample step {step} (expected {dt})"),
+            ));
+        }
+    }
+    Ok(Trace::from_samples(dt, values))
+}
+
+/// Writes a trace to a CSV file.
+///
+/// # Errors
+///
+/// Propagates I/O errors.
+pub fn save_trace(trace: &Trace, path: impl AsRef<Path>) -> std::io::Result<()> {
+    fs::write(path, trace_to_csv(trace))
+}
+
+/// Reads a trace from a CSV file.
+///
+/// # Errors
+///
+/// Propagates I/O errors; parse failures are mapped to
+/// `InvalidData`.
+pub fn load_trace(path: impl AsRef<Path>) -> std::io::Result<Trace> {
+    let csv = fs::read_to_string(path)?;
+    trace_from_csv(&csv)
+        .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_preserves_trace() {
+        let t = Trace::from_samples(0.1, vec![10.0, 20.0, 15.0, 0.5]);
+        let parsed = trace_from_csv(&trace_to_csv(&t)).expect("parses");
+        assert!((parsed.dt() - 0.1).abs() < 1e-9);
+        assert_eq!(parsed.samples(), t.samples());
+    }
+
+    #[test]
+    fn header_is_optional() {
+        let with = trace_from_csv("time_s,value\n0.0,1.0\n0.5,2.0\n").expect("with header");
+        let without = trace_from_csv("0.0,1.0\n0.5,2.0\n").expect("without header");
+        assert_eq!(with, without);
+        assert_eq!(with.dt(), 0.5);
+    }
+
+    #[test]
+    fn malformed_rows_are_rejected() {
+        assert!(trace_from_csv("0.0,1.0\nbogus,2.0\n").is_err());
+        assert!(trace_from_csv("0.0,1.0\n").is_err());
+        assert!(trace_from_csv("0.0,1.0\n0.1,2.0\n0.5,3.0\n").is_err()); // irregular step
+        assert!(trace_from_csv("0.0;1.0\n").is_err());
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let t = Trace::from_samples(0.1, vec![5.0; 8]);
+        let dir = std::env::temp_dir().join("rog_net_io_test");
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        let path = dir.join("trace.csv");
+        save_trace(&t, &path).expect("save");
+        let back = load_trace(&path).expect("load");
+        assert_eq!(back.samples(), t.samples());
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn generated_trace_replays_identically() {
+        // The artifact path: record → export → replay.
+        let p = crate::ChannelProfile::outdoor();
+        let original = p.generate(99, 30.0);
+        let replayed = trace_from_csv(&trace_to_csv(&original)).expect("parses");
+        for (a, b) in original.samples().iter().zip(replayed.samples()) {
+            assert!((a - b).abs() <= 1e-9 * a.abs().max(1.0));
+        }
+    }
+}

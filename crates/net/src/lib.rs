@@ -1,0 +1,57 @@
+//! Wireless robotic-IoT channel model.
+//!
+//! Sec. II-B of the paper characterizes robotic IoT networks: devices
+//! moving at 5–40 cm/s behind obstacles see *frequent, sharp, random*
+//! bandwidth fluctuation — a ≥20 % swing about every 0.4 s and a ≥40 %
+//! swing about every 1.2 s, with outdoor links additionally fading to
+//! nearly 0 Mbit/s. Those statistics, not any specific radio, are what
+//! cause the straggler effect ROG attacks; this crate reproduces them.
+//!
+//! Pieces:
+//!
+//! * [`Trace`] — a piecewise-constant time series (0.1 s steps, like the
+//!   paper's iperf recording), used both for total channel capacity in
+//!   bit/s and for per-link quality factors in `[0, 1]`.
+//! * [`ChannelProfile`] — synthetic trace generators calibrated to the
+//!   paper's indoor/outdoor measurements (Fig. 3), plus replay of
+//!   externally recorded traces (the artifact's `tc` replay path).
+//! * [`stats`] — the fluctuation statistics used to validate calibration
+//!   and to regenerate Fig. 3's summary numbers.
+//! * [`Channel`] — a shared-airtime channel (802.11 DCF approximation:
+//!   `rate_i = capacity × link_i / n_active`) carrying [`Flow`]s composed
+//!   of framed chunks (rows), with optional deadlines. Deadline expiry
+//!   models ATP's `socket.settimeout` speculative transmission: the flow
+//!   is cut, whole chunks delivered so far count, and the partial chunk is
+//!   discarded.
+//! * [`wire`] — framing constants (start/end markers, per-row headers)
+//!   charged to every transmission, reproducing the management overhead
+//!   the paper discusses in Sec. III-A.
+//!
+//! # Example
+//!
+//! ```
+//! use rog_net::{Channel, ChannelProfile, FlowSpec};
+//!
+//! let profile = ChannelProfile::outdoor();
+//! let mut channel = Channel::new(profile.generate(42, 60.0), vec![
+//!     profile.generate_link(43, 60.0),
+//! ]);
+//! let flow = channel.start_flow(0.0, FlowSpec::new(0, vec![50_000; 10]).with_deadline(0.5));
+//! let events = channel.advance_until(2.0);
+//! assert!(!events.is_empty());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod channel;
+pub mod fit;
+pub mod io;
+mod profile;
+pub mod stats;
+mod trace;
+pub mod wire;
+
+pub use channel::{Channel, Flow, FlowEvent, FlowId, FlowOutcome, FlowSpec, LinkId, SharingMode};
+pub use profile::{ChannelProfile, DistanceProfile, FadeProfile};
+pub use trace::Trace;

@@ -1,0 +1,43 @@
+//! Wire-format accounting: framing and per-row headers.
+//!
+//! Sec. V: a speculative transmission can be cut mid-row, so the stream is
+//! wrapped "with several unique bytes at both the beginning and the
+//! ending" letting the receiver skip fragments. Sec. III-A: adaptively
+//! transmitted rows must carry their index so they can be scattered back
+//! into the model — the management overhead that rules out
+//! element-granularity scheduling. These constants make both overheads
+//! visible to the channel byte accounting.
+
+/// Unique marker bytes at the start of a framed transmission.
+pub const FRAME_START_BYTES: u64 = 8;
+
+/// Unique marker bytes at the end of a framed transmission.
+pub const FRAME_END_BYTES: u64 = 8;
+
+/// Fixed per-message header: iteration number + row count + MTA-time
+/// report (Sec. IV-B: stragglers report their MTA time to other devices).
+pub const MESSAGE_HEADER_BYTES: u64 = 16;
+
+/// Per-row index header (`int32`, the PyTorch default the paper cites).
+pub const ROW_INDEX_BYTES: u64 = 4;
+
+/// Total framing overhead of one message, excluding per-row headers.
+pub const fn message_overhead() -> u64 {
+    FRAME_START_BYTES + FRAME_END_BYTES + MESSAGE_HEADER_BYTES
+}
+
+/// Size on the wire of one row whose payload is `payload_bytes`.
+pub const fn framed_row_bytes(payload_bytes: u64) -> u64 {
+    ROW_INDEX_BYTES + payload_bytes
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn overheads_are_small_but_nonzero() {
+        assert!(message_overhead() >= 16);
+        assert_eq!(framed_row_bytes(100), 104);
+    }
+}

@@ -1,0 +1,91 @@
+//! The SSP staleness gate.
+//!
+//! In SSP a worker that has finished iteration `n` may *proceed to*
+//! iteration `n + 1` only if it would not run more than `threshold`
+//! iterations ahead of the slowest worker; otherwise it stalls at the
+//! barrier until stragglers catch up. BSP is the special case
+//! `threshold == 0` (everyone advances in lockstep).
+
+use crate::VersionVector;
+
+/// Whether a worker that has pushed through iteration `done_iter` may
+/// start its next iteration under `threshold`, given everyone's push
+/// versions.
+///
+/// # Example
+///
+/// ```
+/// use rog_sync::{gate, VersionVector};
+///
+/// let mut v = VersionVector::new(2);
+/// v.record_push(0, 4);
+/// v.record_push(1, 1);
+/// // Worker 0 wants to start iteration 5; it would lead by 4 > 2.
+/// assert!(!gate::may_proceed(&v, 0, 2));
+/// // With threshold 4 it may.
+/// assert!(gate::may_proceed(&v, 0, 4));
+/// // The slowest worker may always proceed.
+/// assert!(gate::may_proceed(&v, 1, 0));
+/// ```
+pub fn may_proceed(versions: &VersionVector, worker: usize, threshold: u32) -> bool {
+    let next = versions.get(worker) + 1;
+    next <= versions.min() + 1 + u64::from(threshold)
+}
+
+/// The earliest slowest-worker version that would let `worker` proceed.
+/// Useful for diagnostics ("whom are we waiting for").
+pub fn required_min_version(versions: &VersionVector, worker: usize, threshold: u32) -> u64 {
+    (versions.get(worker) + 1).saturating_sub(1 + u64::from(threshold))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn versions(vs: &[u64]) -> VersionVector {
+        let mut v = VersionVector::new(vs.len());
+        for (w, &iter) in vs.iter().enumerate() {
+            v.record_push(w, iter);
+        }
+        v
+    }
+
+    #[test]
+    fn bsp_is_lockstep() {
+        // Under threshold 0, a worker may only be one iteration ahead of
+        // the slowest pusher.
+        let v = versions(&[1, 1, 1]);
+        assert!(may_proceed(&v, 0, 0));
+        let v = versions(&[2, 1, 1]);
+        assert!(!may_proceed(&v, 0, 0));
+        assert!(may_proceed(&v, 1, 0));
+    }
+
+    #[test]
+    fn ssp_allows_bounded_lead() {
+        let v = versions(&[5, 2, 3]);
+        // Worker 0 would be computing iteration 6 while the slowest has
+        // pushed only 2 — a lead of 4 iterations, admissible only when
+        // `threshold + 1 >= 4`.
+        assert!(!may_proceed(&v, 0, 2));
+        assert!(may_proceed(&v, 0, 3));
+    }
+
+    #[test]
+    fn required_min_matches_gate() {
+        let v = versions(&[5, 2, 3]);
+        let need = required_min_version(&v, 0, 2);
+        assert_eq!(need, 3);
+        // Once the slowest reaches `need`, the gate opens.
+        let v2 = versions(&[5, 3, 3]);
+        assert!(may_proceed(&v2, 0, 2));
+    }
+
+    #[test]
+    fn fresh_cluster_can_start() {
+        let v = VersionVector::new(4);
+        for w in 0..4 {
+            assert!(may_proceed(&v, w, 0));
+        }
+    }
+}

@@ -1,0 +1,46 @@
+//! Model-granularity synchronization baselines.
+//!
+//! The paper compares ROG against three baselines that all transmit and
+//! synchronize gradients at the granularity of the *whole model*:
+//!
+//! * **BSP** (bulk synchronous parallel) — a barrier after every
+//!   iteration; equivalently an SSP staleness threshold of zero.
+//! * **SSP** (stale synchronous parallel) — fast workers may run ahead of
+//!   the slowest by at most a fixed staleness threshold.
+//! * **FLOWN** — the state-of-the-art dynamic scheduling baseline
+//!   (Chen et al., "A Joint Learning and Communications Framework for
+//!   Federated Learning Over Wireless Networks"): per-worker staleness
+//!   allowances are assigned each iteration from estimated bandwidth and
+//!   estimated contribution to accuracy, but transmission remains
+//!   model-granular — which is exactly why it cannot track the transient
+//!   instability of robotic IoT links (paper Sec. I).
+//!
+//! This crate holds the pieces shared by those baselines: the iteration
+//! [`VersionVector`], the SSP [`gate`] predicate, and the
+//! [`ThresholdPolicy`] abstraction with [`FixedThreshold`] (BSP/SSP) and
+//! [`FlownPolicy`] implementations. The event-driven engine that drives
+//! them over the simulated wireless channel lives in `rog-trainer`.
+//!
+//! # Example
+//!
+//! ```
+//! use rog_sync::{FixedThreshold, FlownPolicy, ThresholdPolicy, WorkerNetStats};
+//!
+//! let mut bsp = FixedThreshold::bsp();
+//! let stats = vec![WorkerNetStats::default(); 3];
+//! assert_eq!(bsp.thresholds(&stats), vec![0, 0, 0]);
+//!
+//! let mut flown = FlownPolicy::new(4, 20);
+//! let ts = flown.thresholds(&stats);
+//! assert_eq!(ts.len(), 3);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod gate;
+mod policy;
+mod version;
+
+pub use policy::{FixedThreshold, FlownPolicy, ThresholdPolicy, WorkerNetStats};
+pub use version::VersionVector;

@@ -1,0 +1,229 @@
+//! Staleness-threshold policies: fixed (BSP/SSP) and FLOWN-style dynamic.
+
+/// Per-worker network/contribution statistics a policy may condition on.
+///
+/// The engine refreshes these after every synchronization round.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WorkerNetStats {
+    /// Estimated link bandwidth in bit/s (from recent transmissions).
+    pub est_bandwidth_bps: f64,
+    /// Seconds the worker's last model push took.
+    pub last_push_secs: f64,
+    /// Mean absolute value of the worker's last gradient (its estimated
+    /// contribution to accuracy).
+    pub grad_mean_abs: f64,
+}
+
+impl Default for WorkerNetStats {
+    fn default() -> Self {
+        Self {
+            est_bandwidth_bps: 50e6,
+            last_push_secs: 1.0,
+            grad_mean_abs: 1.0,
+        }
+    }
+}
+
+/// Assigns each worker a staleness threshold for the coming round.
+pub trait ThresholdPolicy: std::fmt::Debug {
+    /// Display name ("BSP", "SSP-4", "FLOWN").
+    fn name(&self) -> String;
+
+    /// Per-worker thresholds given current statistics.
+    fn thresholds(&mut self, stats: &[WorkerNetStats]) -> Vec<u32>;
+}
+
+/// The same fixed threshold for every worker: `FixedThreshold(0)` is BSP,
+/// `FixedThreshold(s)` is SSP with threshold `s`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FixedThreshold(pub u32);
+
+impl FixedThreshold {
+    /// BSP: a barrier every iteration.
+    pub fn bsp() -> Self {
+        FixedThreshold(0)
+    }
+
+    /// SSP with staleness threshold `s`.
+    pub fn ssp(s: u32) -> Self {
+        FixedThreshold(s)
+    }
+
+    /// ASP (fully asynchronous parallel): an effectively unbounded
+    /// threshold — workers never wait, at the cost of unbounded
+    /// staleness (no convergence guarantee; included as the asynchronous
+    /// end of the baseline spectrum).
+    pub fn asp() -> Self {
+        FixedThreshold(u32::MAX)
+    }
+}
+
+impl ThresholdPolicy for FixedThreshold {
+    fn name(&self) -> String {
+        if self.0 == 0 {
+            "BSP".to_owned()
+        } else if self.0 == u32::MAX {
+            "ASP".to_owned()
+        } else {
+            format!("SSP-{}", self.0)
+        }
+    }
+
+    fn thresholds(&mut self, stats: &[WorkerNetStats]) -> Vec<u32> {
+        vec![self.0; stats.len()]
+    }
+}
+
+/// FLOWN-style dynamic scheduling (Chen et al. 2021, reference 19 of
+/// the paper): workers estimated to have *low* bandwidth and *low*
+/// contribution get a larger staleness allowance (they may fall further
+/// behind without stalling others); workers with good links and large
+/// gradients are held to a small threshold so their updates stay fresh.
+///
+/// The schedule is recomputed from measurements of *previous* rounds —
+/// which is precisely the weakness the paper exploits: in robotic IoT
+/// networks the bandwidth during the coming transmission is only loosely
+/// related to the last measurement, so the schedule frequently mismatches
+/// reality (Sec. I: "the random and rapid nature of bandwidth degradation
+/// ... can transform the non-stragglers estimated during scheduling into
+/// stragglers during the actual transmission").
+#[derive(Debug, Clone)]
+pub struct FlownPolicy {
+    min_threshold: u32,
+    max_threshold: u32,
+    /// Exponential smoothing factor for bandwidth estimates.
+    alpha: f64,
+    smoothed_bw: Vec<f64>,
+}
+
+impl FlownPolicy {
+    /// Creates a policy assigning thresholds in
+    /// `[min_threshold, max_threshold]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `min_threshold > max_threshold`.
+    pub fn new(min_threshold: u32, max_threshold: u32) -> Self {
+        assert!(
+            min_threshold <= max_threshold,
+            "min threshold must not exceed max"
+        );
+        Self {
+            min_threshold,
+            max_threshold,
+            alpha: 0.4,
+            smoothed_bw: Vec::new(),
+        }
+    }
+}
+
+impl ThresholdPolicy for FlownPolicy {
+    fn name(&self) -> String {
+        "FLOWN".to_owned()
+    }
+
+    fn thresholds(&mut self, stats: &[WorkerNetStats]) -> Vec<u32> {
+        if self.smoothed_bw.len() != stats.len() {
+            self.smoothed_bw = stats.iter().map(|s| s.est_bandwidth_bps).collect();
+        }
+        for (sm, s) in self.smoothed_bw.iter_mut().zip(stats) {
+            *sm = self.alpha * s.est_bandwidth_bps + (1.0 - self.alpha) * *sm;
+        }
+        let max_bw = self.smoothed_bw.iter().cloned().fold(1.0f64, f64::max);
+        let max_contrib = stats
+            .iter()
+            .map(|s| s.grad_mean_abs)
+            .fold(f64::MIN_POSITIVE, f64::max);
+        stats
+            .iter()
+            .zip(&self.smoothed_bw)
+            .map(|(s, &bw)| {
+                // Normalized goodness in [0, 1]: fast link + large
+                // gradients → small threshold (kept fresh).
+                let goodness = 0.6 * (bw / max_bw) + 0.4 * (s.grad_mean_abs / max_contrib);
+                let span = f64::from(self.max_threshold - self.min_threshold);
+                let t = f64::from(self.max_threshold) - goodness * span;
+                (t.round() as u32).clamp(self.min_threshold, self.max_threshold)
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixed_names() {
+        assert_eq!(FixedThreshold::bsp().name(), "BSP");
+        assert_eq!(FixedThreshold::ssp(4).name(), "SSP-4");
+        assert_eq!(FixedThreshold::asp().name(), "ASP");
+    }
+
+    #[test]
+    fn asp_never_gates() {
+        use crate::{gate, VersionVector};
+        let mut v = VersionVector::new(2);
+        v.record_push(0, 1_000_000);
+        assert!(gate::may_proceed(&v, 0, FixedThreshold::asp().0));
+    }
+
+    #[test]
+    fn fixed_is_uniform() {
+        let mut p = FixedThreshold::ssp(7);
+        assert_eq!(p.thresholds(&vec![WorkerNetStats::default(); 4]), vec![7; 4]);
+    }
+
+    #[test]
+    fn flown_gives_slow_low_contribution_workers_more_slack() {
+        let mut p = FlownPolicy::new(2, 20);
+        let fast_big = WorkerNetStats {
+            est_bandwidth_bps: 100e6,
+            last_push_secs: 0.5,
+            grad_mean_abs: 1.0,
+        };
+        let slow_small = WorkerNetStats {
+            est_bandwidth_bps: 5e6,
+            last_push_secs: 8.0,
+            grad_mean_abs: 0.05,
+        };
+        let ts = p.thresholds(&[fast_big, slow_small]);
+        assert!(
+            ts[1] > ts[0],
+            "slow/low-contribution worker should get a larger threshold: {ts:?}"
+        );
+        assert!(ts.iter().all(|&t| (2..=20).contains(&t)));
+    }
+
+    #[test]
+    fn flown_smoothing_reacts_gradually() {
+        let mut p = FlownPolicy::new(2, 20);
+        let stats = |bw: f64| {
+            vec![
+                WorkerNetStats {
+                    est_bandwidth_bps: bw,
+                    ..WorkerNetStats::default()
+                },
+                WorkerNetStats {
+                    est_bandwidth_bps: 100e6,
+                    ..WorkerNetStats::default()
+                },
+            ]
+        };
+        let first = p.thresholds(&stats(100e6))[0];
+        // Bandwidth collapses; threshold rises but not instantly to max.
+        let after_one = p.thresholds(&stats(1e6))[0];
+        assert!(after_one >= first);
+        let mut last = after_one;
+        for _ in 0..10 {
+            last = p.thresholds(&stats(1e6))[0];
+        }
+        assert!(last >= after_one, "threshold should keep rising: {last}");
+    }
+
+    #[test]
+    #[should_panic(expected = "min threshold")]
+    fn inverted_bounds_panic() {
+        let _ = FlownPolicy::new(10, 2);
+    }
+}

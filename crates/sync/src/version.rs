@@ -1,0 +1,114 @@
+//! Per-worker iteration version bookkeeping.
+
+/// Tracks the latest iteration whose gradients each worker has pushed to
+/// the parameter server.
+///
+/// # Example
+///
+/// ```
+/// use rog_sync::VersionVector;
+///
+/// let mut v = VersionVector::new(3);
+/// v.record_push(0, 1);
+/// v.record_push(1, 1);
+/// assert_eq!(v.min(), 0); // worker 2 has pushed nothing yet
+/// v.record_push(2, 1);
+/// assert_eq!(v.min(), 1);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VersionVector {
+    versions: Vec<u64>,
+}
+
+impl VersionVector {
+    /// Creates a vector for `n_workers`, all at iteration 0 (nothing
+    /// pushed).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_workers == 0`.
+    pub fn new(n_workers: usize) -> Self {
+        assert!(n_workers > 0, "need at least one worker");
+        Self {
+            versions: vec![0; n_workers],
+        }
+    }
+
+    /// Number of workers tracked.
+    pub fn len(&self) -> usize {
+        self.versions.len()
+    }
+
+    /// Always false (a version vector has at least one worker).
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Records that `worker` pushed gradients of iteration `iter`.
+    ///
+    /// Versions are monotonic: pushing an older iteration is a no-op.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `worker` is out of range.
+    pub fn record_push(&mut self, worker: usize, iter: u64) {
+        let v = &mut self.versions[worker];
+        *v = (*v).max(iter);
+    }
+
+    /// Latest pushed iteration of `worker`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `worker` is out of range.
+    pub fn get(&self, worker: usize) -> u64 {
+        self.versions[worker]
+    }
+
+    /// Iteration of the slowest worker.
+    pub fn min(&self) -> u64 {
+        *self.versions.iter().min().expect("non-empty")
+    }
+
+    /// Iteration of the fastest worker.
+    pub fn max(&self) -> u64 {
+        *self.versions.iter().max().expect("non-empty")
+    }
+
+    /// How far `worker` is ahead of the slowest worker.
+    pub fn lead(&self, worker: usize) -> u64 {
+        self.get(worker) - self.min()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn min_max_lead() {
+        let mut v = VersionVector::new(3);
+        v.record_push(0, 5);
+        v.record_push(1, 3);
+        v.record_push(2, 4);
+        assert_eq!(v.min(), 3);
+        assert_eq!(v.max(), 5);
+        assert_eq!(v.lead(0), 2);
+        assert_eq!(v.lead(1), 0);
+    }
+
+    #[test]
+    fn pushes_are_monotonic() {
+        let mut v = VersionVector::new(1);
+        v.record_push(0, 7);
+        v.record_push(0, 3);
+        assert_eq!(v.get(0), 7);
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_range_worker_panics() {
+        let mut v = VersionVector::new(2);
+        v.record_push(2, 1);
+    }
+}

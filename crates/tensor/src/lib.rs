@@ -1,0 +1,37 @@
+//! Minimal dense-matrix math substrate for the ROG reproduction.
+//!
+//! ROG (Guan et al., MICRO 2022) schedules gradient transmission at the
+//! granularity of *rows* of each layer's parameter matrix. Everything above
+//! this crate therefore needs a matrix type whose rows are first-class:
+//! cheap to view, cheap to copy out, individually updatable, and stably
+//! addressable across the whole model.
+//!
+//! This crate deliberately implements only what the rest of the workspace
+//! needs — row-major [`Matrix`], a handful of BLAS-1/2 kernels, the
+//! [`ops`] SGD/momentum update rules, and deterministic random
+//! initialization ([`rng`]) — rather than binding to an external BLAS.
+//! Determinism is a hard requirement: every simulated experiment must be
+//! bit-reproducible from a seed, so all randomness flows through
+//! [`rng::DetRng`] and no kernel is allowed to reorder floating-point
+//! reductions nondeterministically.
+//!
+//! # Example
+//!
+//! ```
+//! use rog_tensor::{Matrix, rng::DetRng};
+//!
+//! let mut rng = DetRng::new(42);
+//! let w = Matrix::randn(4, 3, 0.1, &mut rng);
+//! let x = vec![1.0, 2.0, 3.0];
+//! let y = w.matvec(&x);
+//! assert_eq!(y.len(), 4);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod matrix;
+pub mod ops;
+pub mod rng;
+
+pub use matrix::{Matrix, ShapeError};

@@ -1,0 +1,230 @@
+//! Element-wise kernels used by the training stack.
+//!
+//! The row-granulated optimizer applies updates to individual parameter
+//! rows as their averaged gradients arrive, so the update rules here all
+//! operate on plain `&mut [f32]` row slices.
+
+/// Plain SGD on one row: `w -= lr * g`.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn sgd_row(w: &mut [f32], g: &[f32], lr: f32) {
+    assert_eq!(w.len(), g.len(), "sgd_row length mismatch");
+    for (wv, gv) in w.iter_mut().zip(g) {
+        *wv -= lr * gv;
+    }
+}
+
+/// SGD with momentum on one row:
+/// `v = momentum * v + g; w -= lr * v`.
+///
+/// This is the block-wise (per-row) variant of distributed SGD-momentum the
+/// paper implements from Sun et al. (LAQ), where each row keeps its own
+/// velocity so rows can be updated independently as they arrive.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn sgd_momentum_row(w: &mut [f32], v: &mut [f32], g: &[f32], lr: f32, momentum: f32) {
+    assert_eq!(w.len(), g.len(), "sgd_momentum_row length mismatch");
+    assert_eq!(w.len(), v.len(), "sgd_momentum_row velocity mismatch");
+    for ((wv, vv), gv) in w.iter_mut().zip(v.iter_mut()).zip(g) {
+        *vv = momentum * *vv + gv;
+        *wv -= lr * *vv;
+    }
+}
+
+/// Adam on one row (per-row timestep for bias correction):
+/// `m = β1·m + (1-β1)·g; v = β2·v + (1-β2)·g²;`
+/// `w -= lr · m̂ / (√v̂ + ε)`.
+///
+/// ROG applies updates per row as averaged gradients arrive, so each
+/// row carries its own step counter `t` (already incremented for this
+/// call).
+///
+/// # Panics
+///
+/// Panics if slice lengths differ or `t == 0`.
+#[allow(clippy::too_many_arguments)]
+pub fn adam_row(
+    w: &mut [f32],
+    m: &mut [f32],
+    v: &mut [f32],
+    g: &[f32],
+    lr: f32,
+    beta1: f32,
+    beta2: f32,
+    eps: f32,
+    t: u64,
+) {
+    assert_eq!(w.len(), g.len(), "adam_row length mismatch");
+    assert_eq!(w.len(), m.len(), "adam_row m mismatch");
+    assert_eq!(w.len(), v.len(), "adam_row v mismatch");
+    assert!(t > 0, "adam timestep starts at 1");
+    let bc1 = 1.0 - beta1.powi(t as i32);
+    let bc2 = 1.0 - beta2.powi(t as i32);
+    for i in 0..w.len() {
+        m[i] = beta1 * m[i] + (1.0 - beta1) * g[i];
+        v[i] = beta2 * v[i] + (1.0 - beta2) * g[i] * g[i];
+        let mhat = m[i] / bc1;
+        let vhat = v[i] / bc2;
+        w[i] -= lr * mhat / (vhat.sqrt() + eps);
+    }
+}
+
+/// ReLU applied in place.
+pub fn relu(xs: &mut [f32]) {
+    for x in xs {
+        if *x < 0.0 {
+            *x = 0.0;
+        }
+    }
+}
+
+/// Gradient mask of ReLU: `dx[i] = if pre[i] > 0 { dy[i] } else { 0 }`.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn relu_backward(pre: &[f32], dy: &mut [f32]) {
+    assert_eq!(pre.len(), dy.len(), "relu_backward length mismatch");
+    for (p, d) in pre.iter().zip(dy.iter_mut()) {
+        if *p <= 0.0 {
+            *d = 0.0;
+        }
+    }
+}
+
+/// Numerically-stable in-place softmax.
+pub fn softmax(xs: &mut [f32]) {
+    if xs.is_empty() {
+        return;
+    }
+    let max = xs.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+    let mut sum = 0.0;
+    for x in xs.iter_mut() {
+        *x = (*x - max).exp();
+        sum += *x;
+    }
+    if sum > 0.0 {
+        for x in xs.iter_mut() {
+            *x /= sum;
+        }
+    }
+}
+
+/// Cross-entropy loss of a softmax distribution against a class label.
+///
+/// # Panics
+///
+/// Panics if `label >= probs.len()`.
+pub fn cross_entropy(probs: &[f32], label: usize) -> f32 {
+    assert!(label < probs.len(), "label out of range");
+    -probs[label].max(1e-12).ln()
+}
+
+/// Mean of absolute values of a slice (0 for empty input).
+pub fn mean_abs(xs: &[f32]) -> f32 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    xs.iter().map(|v| v.abs()).sum::<f32>() / xs.len() as f32
+}
+
+/// Squared L2 distance between two slices.
+///
+/// # Panics
+///
+/// Panics if lengths differ.
+pub fn sq_dist(a: &[f32], b: &[f32]) -> f32 {
+    assert_eq!(a.len(), b.len(), "sq_dist length mismatch");
+    a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sgd_row_moves_against_gradient() {
+        let mut w = vec![1.0, 1.0];
+        sgd_row(&mut w, &[0.5, -0.5], 0.1);
+        assert_eq!(w, vec![0.95, 1.05]);
+    }
+
+    #[test]
+    fn momentum_accumulates_velocity() {
+        let mut w = vec![0.0];
+        let mut v = vec![0.0];
+        sgd_momentum_row(&mut w, &mut v, &[1.0], 1.0, 0.9);
+        assert_eq!(v, vec![1.0]);
+        assert_eq!(w, vec![-1.0]);
+        sgd_momentum_row(&mut w, &mut v, &[1.0], 1.0, 0.9);
+        assert!((v[0] - 1.9).abs() < 1e-6);
+        assert!((w[0] + 2.9).abs() < 1e-6);
+    }
+
+    #[test]
+    fn adam_first_step_is_signed_unit_step() {
+        // With bias correction, the first Adam step is ≈ lr·sign(g).
+        let mut w = vec![0.0f32, 0.0];
+        let mut m = vec![0.0f32; 2];
+        let mut v = vec![0.0f32; 2];
+        adam_row(&mut w, &mut m, &mut v, &[0.5, -2.0], 0.1, 0.9, 0.999, 1e-8, 1);
+        assert!((w[0] + 0.1).abs() < 1e-3, "{}", w[0]);
+        assert!((w[1] - 0.1).abs() < 1e-3, "{}", w[1]);
+    }
+
+    #[test]
+    fn adam_converges_on_a_quadratic() {
+        // Minimize (x - 3)^2 with per-row Adam.
+        let mut w = vec![0.0f32];
+        let mut m = vec![0.0f32];
+        let mut v = vec![0.0f32];
+        for t in 1..=500u64 {
+            let g = vec![2.0 * (w[0] - 3.0)];
+            adam_row(&mut w, &mut m, &mut v, &g, 0.05, 0.9, 0.999, 1e-8, t);
+        }
+        assert!((w[0] - 3.0).abs() < 0.2, "{}", w[0]);
+    }
+
+    #[test]
+    fn relu_and_backward_agree_on_mask() {
+        let pre = vec![-1.0, 0.0, 2.0];
+        let mut act = pre.clone();
+        relu(&mut act);
+        assert_eq!(act, vec![0.0, 0.0, 2.0]);
+        let mut dy = vec![1.0, 1.0, 1.0];
+        relu_backward(&pre, &mut dy);
+        assert_eq!(dy, vec![0.0, 0.0, 1.0]);
+    }
+
+    #[test]
+    fn softmax_sums_to_one_and_orders() {
+        let mut xs = vec![1.0, 2.0, 3.0];
+        softmax(&mut xs);
+        assert!((xs.iter().sum::<f32>() - 1.0).abs() < 1e-6);
+        assert!(xs[2] > xs[1] && xs[1] > xs[0]);
+    }
+
+    #[test]
+    fn softmax_is_stable_for_large_logits() {
+        let mut xs = vec![1000.0, 1001.0];
+        softmax(&mut xs);
+        assert!(xs.iter().all(|v| v.is_finite()));
+        assert!((xs.iter().sum::<f32>() - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn cross_entropy_of_confident_correct_is_small() {
+        assert!(cross_entropy(&[0.01, 0.99], 1) < 0.02);
+        assert!(cross_entropy(&[0.01, 0.99], 0) > 4.0);
+    }
+
+    #[test]
+    fn mean_abs_empty_is_zero() {
+        assert_eq!(mean_abs(&[]), 0.0);
+        assert_eq!(mean_abs(&[-2.0, 2.0]), 2.0);
+    }
+}

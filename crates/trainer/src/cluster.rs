@@ -1,0 +1,310 @@
+//! Simulated robot cluster: devices, workload, channel, wire scaling.
+
+use rog_models::batching::dynamic_batches;
+use rog_models::{CrimpSpec, CrimpWorkload, CrudaSpec, CrudaWorkload, Dataset, Mlp, Workload};
+use rog_net::{Channel, Trace};
+use rog_tensor::rng::DetRng;
+
+use crate::config::{ExperimentConfig, ModelScale, WorkloadKind};
+
+/// Kind of a simulated device (paper testbed: Jetson NX robots and
+/// weaker laptops; one laptop is the parameter-server hotspot).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DeviceKind {
+    /// Four-wheel robot with a Jetson Xavier NX.
+    Robot,
+    /// Laptop (i7-8565U + 940MX), ~2/3 of the robot's training speed.
+    Laptop,
+}
+
+/// One training worker.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Device {
+    /// Robot or laptop.
+    pub kind: DeviceKind,
+    /// Relative compute power (robot = 1.0).
+    pub compute_power: f64,
+    /// Per-iteration batch size after dynamic batching and batch scale.
+    pub batch: usize,
+}
+
+/// A built workload: either paradigm behind one enum (object-safe
+/// delegation without boxing).
+#[derive(Debug, Clone)]
+pub enum BuiltWorkload {
+    /// Domain adaptation.
+    Cruda(CrudaWorkload),
+    /// Implicit mapping.
+    Crimp(CrimpWorkload),
+}
+
+impl Workload for BuiltWorkload {
+    fn name(&self) -> &'static str {
+        match self {
+            BuiltWorkload::Cruda(w) => w.name(),
+            BuiltWorkload::Crimp(w) => w.name(),
+        }
+    }
+
+    fn make_model(&self, rng: &mut DetRng) -> Mlp {
+        match self {
+            BuiltWorkload::Cruda(w) => w.make_model(rng),
+            BuiltWorkload::Crimp(w) => w.make_model(rng),
+        }
+    }
+
+    fn shards(&self) -> &[Dataset] {
+        match self {
+            BuiltWorkload::Cruda(w) => w.shards(),
+            BuiltWorkload::Crimp(w) => w.shards(),
+        }
+    }
+
+    fn test_metric(&self, model: &Mlp) -> f64 {
+        match self {
+            BuiltWorkload::Cruda(w) => w.test_metric(model),
+            BuiltWorkload::Crimp(w) => w.test_metric(model),
+        }
+    }
+
+    fn metric_name(&self) -> &'static str {
+        match self {
+            BuiltWorkload::Cruda(w) => w.metric_name(),
+            BuiltWorkload::Crimp(w) => w.metric_name(),
+        }
+    }
+
+    fn metric_higher_better(&self) -> bool {
+        match self {
+            BuiltWorkload::Cruda(w) => w.metric_higher_better(),
+            BuiltWorkload::Crimp(w) => w.metric_higher_better(),
+        }
+    }
+
+    fn base_batch_size(&self) -> usize {
+        match self {
+            BuiltWorkload::Cruda(w) => w.base_batch_size(),
+            BuiltWorkload::Crimp(w) => w.base_batch_size(),
+        }
+    }
+
+    fn learning_rate(&self) -> f32 {
+        match self {
+            BuiltWorkload::Cruda(w) => w.learning_rate(),
+            BuiltWorkload::Crimp(w) => w.learning_rate(),
+        }
+    }
+}
+
+/// Everything an engine needs to run one experiment.
+#[derive(Debug)]
+pub struct Cluster {
+    /// The training workers (the parameter server is an extra laptop
+    /// hosting the hotspot; it does not train).
+    pub devices: Vec<Device>,
+    /// The shared wireless channel, one link per worker.
+    pub channel: Channel,
+    /// The built workload with one shard per worker.
+    pub workload: BuiltWorkload,
+    /// The shared initial model.
+    pub init_model: Mlp,
+    /// Multiplier from the synthetic model's compressed row bytes to
+    /// on-the-wire bytes, calibrating total traffic to the paper's
+    /// volumes (each synthetic row stands for `wire_scale` real rows).
+    pub wire_scale: f64,
+    /// Effective learning rate.
+    pub lr: f32,
+}
+
+impl Cluster {
+    /// Builds the cluster for a config, deterministically from
+    /// `cfg.seed`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the config is inconsistent (zero workers, more laptops
+    /// than workers).
+    pub fn build(cfg: &ExperimentConfig) -> Self {
+        assert!(cfg.n_workers > 0, "need at least one worker");
+        assert!(
+            cfg.n_laptop_workers <= cfg.n_workers,
+            "more laptop workers than workers"
+        );
+        let root = DetRng::new(cfg.seed);
+
+        // Devices: robots first, laptops last (paper: 3 robots + 1
+        // laptop worker by default).
+        let powers: Vec<f64> = (0..cfg.n_workers)
+            .map(|w| {
+                if w < cfg.n_workers - cfg.n_laptop_workers {
+                    1.0
+                } else {
+                    2.0 / 3.0
+                }
+            })
+            .collect();
+
+        // Workload.
+        let mut wl_rng = root.fork(0x10);
+        let workload = match (cfg.workload, cfg.model_scale) {
+            (WorkloadKind::Cruda, ModelScale::Paper) => {
+                BuiltWorkload::Cruda(CrudaSpec::paper().build(cfg.n_workers, &mut wl_rng))
+            }
+            (WorkloadKind::Cruda, ModelScale::Small) => {
+                BuiltWorkload::Cruda(CrudaSpec::small().build(cfg.n_workers, &mut wl_rng))
+            }
+            (WorkloadKind::CrudaConv, ModelScale::Paper) => {
+                BuiltWorkload::Cruda(CrudaSpec::conv_paper().build(cfg.n_workers, &mut wl_rng))
+            }
+            (WorkloadKind::CrudaConv, ModelScale::Small) => {
+                BuiltWorkload::Cruda(CrudaSpec::conv_small().build(cfg.n_workers, &mut wl_rng))
+            }
+            (WorkloadKind::Crimp, ModelScale::Paper) => {
+                BuiltWorkload::Crimp(CrimpSpec::paper().build(cfg.n_workers, &mut wl_rng))
+            }
+            (WorkloadKind::Crimp, ModelScale::Small) => {
+                BuiltWorkload::Crimp(CrimpSpec::small().build(cfg.n_workers, &mut wl_rng))
+            }
+        };
+
+        let base_batch =
+            (workload.base_batch_size() as f64 * cfg.batch_scale).round().max(1.0) as usize;
+        let batches = dynamic_batches(&powers, base_batch);
+        let devices: Vec<Device> = powers
+            .iter()
+            .zip(&batches)
+            .map(|(&p, &b)| Device {
+                kind: if (p - 1.0).abs() < 1e-9 {
+                    DeviceKind::Robot
+                } else {
+                    DeviceKind::Laptop
+                },
+                compute_power: p,
+                batch: b,
+            })
+            .collect();
+
+        // Channel: capacity plus one fading link per worker. Traces are
+        // generated long enough to cover the run and wrap thereafter.
+        let profile = cfg.environment.profile();
+        let trace_len = cfg.duration_secs.max(300.0).min(1800.0);
+        let capacity = cfg
+            .capacity_trace
+            .clone()
+            .unwrap_or_else(|| profile.generate(root.fork(0x50).seed(), trace_len));
+        let links: Vec<Trace> = match &cfg.link_traces {
+            Some(traces) => {
+                assert!(!traces.is_empty(), "link_traces must not be empty");
+                (0..cfg.n_workers)
+                    .map(|w| traces[w % traces.len()].clone())
+                    .collect()
+            }
+            None => (0..cfg.n_workers)
+                .map(|w| profile.generate_link(root.fork(0x60 + w as u64).seed(), trace_len))
+                .collect(),
+        };
+        let channel = Channel::new(capacity, links).with_sharing(cfg.mac_sharing);
+
+        // Initial shared model and wire scaling.
+        let init_model = workload.make_model(&mut root.fork(0x20));
+        let framed_compressed: u64 = init_model
+            .row_widths()
+            .iter()
+            .map(|&w| {
+                rog_net::wire::framed_row_bytes(rog_compress::compressed_row_payload_bytes(w))
+            })
+            .sum();
+        let wire_scale = cfg.compressed_bytes() as f64 / framed_compressed.max(1) as f64;
+
+        let lr = cfg.lr_override.unwrap_or_else(|| workload.learning_rate());
+
+        Self {
+            devices,
+            channel,
+            workload,
+            init_model,
+            wire_scale,
+            lr,
+        }
+    }
+
+    /// Scaled wire bytes of one framed row whose compressed payload is
+    /// `payload` bytes.
+    pub fn scaled_row_bytes(&self, payload: u64) -> u64 {
+        ((rog_net::wire::framed_row_bytes(payload) as f64) * self.wire_scale).round() as u64
+    }
+
+    /// Scaled wire bytes of a whole-model message (baselines).
+    pub fn scaled_model_bytes(&self, payloads: impl Iterator<Item = u64>) -> u64 {
+        payloads.map(|p| self.scaled_row_bytes(p)).sum::<u64>()
+            + rog_net::wire::message_overhead()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{Environment, Strategy};
+
+    fn small_cfg() -> ExperimentConfig {
+        ExperimentConfig {
+            model_scale: ModelScale::Small,
+            n_workers: 3,
+            n_laptop_workers: 1,
+            duration_secs: 60.0,
+            environment: Environment::Stable,
+            strategy: Strategy::Bsp,
+            ..ExperimentConfig::default()
+        }
+    }
+
+    #[test]
+    fn build_is_deterministic() {
+        let a = Cluster::build(&small_cfg());
+        let b = Cluster::build(&small_cfg());
+        assert_eq!(a.devices, b.devices);
+        assert_eq!(a.init_model.params()[0], b.init_model.params()[0]);
+        assert_eq!(a.wire_scale, b.wire_scale);
+    }
+
+    #[test]
+    fn laptops_get_smaller_batches() {
+        let c = Cluster::build(&small_cfg());
+        assert_eq!(c.devices.len(), 3);
+        assert_eq!(c.devices[0].kind, DeviceKind::Robot);
+        assert_eq!(c.devices[2].kind, DeviceKind::Laptop);
+        assert!(c.devices[2].batch < c.devices[0].batch);
+    }
+
+    #[test]
+    fn wire_scale_hits_the_target_volume() {
+        let cfg = small_cfg();
+        let c = Cluster::build(&cfg);
+        let total: u64 = c
+            .init_model
+            .row_widths()
+            .iter()
+            .map(|&w| c.scaled_row_bytes(rog_compress::compressed_row_payload_bytes(w)))
+            .sum();
+        let target = cfg.compressed_bytes();
+        let ratio = total as f64 / target as f64;
+        // Within ~2% of 2.1 MB (framing rounds per row).
+        assert!((0.95..1.1).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    fn batch_scale_scales_batches() {
+        let mut cfg = small_cfg();
+        cfg.batch_scale = 2.0;
+        let c2 = Cluster::build(&cfg);
+        cfg.batch_scale = 1.0;
+        let c1 = Cluster::build(&cfg);
+        assert_eq!(c2.devices[0].batch, 2 * c1.devices[0].batch);
+    }
+
+    #[test]
+    fn shards_match_worker_count() {
+        let c = Cluster::build(&small_cfg());
+        assert_eq!(c.workload.shards().len(), 3);
+    }
+}

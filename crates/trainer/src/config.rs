@@ -1,0 +1,287 @@
+//! Experiment configuration.
+
+use rog_net::{ChannelProfile, SharingMode, Trace};
+
+/// Which workload to train (paper Sec. VI, "Experiment Scenarios").
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WorkloadKind {
+    /// Coordinated robotic unsupervised domain adaptation (dense MLP).
+    Cruda,
+    /// CRUDA with the ConvMLP architecture on image inputs — the model
+    /// family of the paper's recognition network.
+    CrudaConv,
+    /// Coordinated robotic implicit mapping and positioning.
+    Crimp,
+}
+
+/// Wireless environment (paper Sec. VI, "Experiment Environments").
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Environment {
+    /// Laboratory with desks/separators: moderate instability.
+    Indoor,
+    /// Campus garden with trees/bushes: severe instability, deep fades.
+    Outdoor,
+    /// Idealized flat channel (ablation/testing only).
+    Stable,
+}
+
+impl Environment {
+    /// The channel profile of this environment.
+    pub fn profile(&self) -> ChannelProfile {
+        match self {
+            Environment::Indoor => ChannelProfile::indoor(),
+            Environment::Outdoor => ChannelProfile::outdoor(),
+            Environment::Stable => ChannelProfile::stable(100e6),
+        }
+    }
+
+    /// Display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Environment::Indoor => "indoor",
+            Environment::Outdoor => "outdoor",
+            Environment::Stable => "stable",
+        }
+    }
+}
+
+/// Synchronization strategy under test.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Strategy {
+    /// Bulk synchronous parallel: a barrier every iteration.
+    Bsp,
+    /// Stale synchronous parallel with a fixed threshold.
+    Ssp {
+        /// The staleness threshold.
+        threshold: u32,
+    },
+    /// Fully asynchronous parallel: no gate at all (unbounded
+    /// staleness; the asynchronous end of the baseline spectrum).
+    Asp,
+    /// FLOWN-style dynamic per-worker thresholds (model granularity).
+    Flown {
+        /// Smallest assignable threshold.
+        min_threshold: u32,
+        /// Largest assignable threshold.
+        max_threshold: u32,
+    },
+    /// ROG: row-granulated RSP + ATP.
+    Rog {
+        /// The RSP staleness threshold.
+        threshold: u32,
+    },
+}
+
+impl Strategy {
+    /// Display name matching the paper's figure legends.
+    pub fn name(&self) -> String {
+        match self {
+            Strategy::Bsp => "BSP".to_owned(),
+            Strategy::Ssp { threshold } => format!("SSP-{threshold}"),
+            Strategy::Asp => "ASP".to_owned(),
+            Strategy::Flown { .. } => "FLOWN".to_owned(),
+            Strategy::Rog { threshold } => format!("ROG-{threshold}"),
+        }
+    }
+}
+
+/// Problem size: the evaluation-scale specs or tiny test-scale specs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ModelScale {
+    /// Evaluation scale (used by the experiment binaries).
+    Paper,
+    /// Tiny scale for unit/integration tests.
+    Small,
+}
+
+/// Full description of one training run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExperimentConfig {
+    /// Workload to train.
+    pub workload: WorkloadKind,
+    /// Wireless environment.
+    pub environment: Environment,
+    /// Synchronization strategy.
+    pub strategy: Strategy,
+    /// Problem size.
+    pub model_scale: ModelScale,
+    /// Number of training workers (the parameter server is an extra
+    /// device). The paper's default team is 4 workers: 3 robots and one
+    /// laptop; see [`crate::Cluster`].
+    pub n_workers: usize,
+    /// How many of the workers are (slower) laptops; the rest are
+    /// robots. Batches are scaled by dynamic batching (Table II).
+    pub n_laptop_workers: usize,
+    /// Multiplier on every device's batch size (Fig. 9 sweeps ×2, ×4).
+    pub batch_scale: f64,
+    /// Virtual wall-clock budget in seconds.
+    pub duration_secs: f64,
+    /// Checkpoint (evaluate) every this many iterations per worker.
+    pub eval_every: u64,
+    /// Root random seed; every run with the same config is
+    /// bit-reproducible.
+    pub seed: u64,
+    /// Momentum coefficient (0 = plain SGD).
+    pub momentum: f32,
+    /// Learning-rate override (default: the workload's suggestion).
+    pub lr_override: Option<f32>,
+    /// Record per-push micro-events on worker 0 (Fig. 8).
+    pub record_micro: bool,
+    /// Target compressed model size in bytes on the wire; the synthetic
+    /// model's rows are scaled so its compressed size matches the
+    /// paper's transmission volume (default: 2.1 MB for CRUDA, 0.75 MB
+    /// for CRIMP).
+    pub compressed_bytes_target: Option<u64>,
+    /// Mean per-iteration gradient-computation seconds on a robot at
+    /// batch scale 1 (default: per workload, Table II / Sec. II-D).
+    pub compute_secs_override: Option<f64>,
+    /// ATP importance-metric coefficients `(f1, f2)` override (ROG only;
+    /// used by the importance ablation).
+    pub importance_weights: Option<(f64, f64)>,
+    /// Pipeline communication and computation (ROG only): the paper's
+    /// future-work extension (Sec. VI-D, after Pipe-SGD). The worker
+    /// keeps computing while its push/pull cycle runs concurrently,
+    /// bounded so computation never runs more than the staleness
+    /// threshold ahead of the last applied pull.
+    pub pipeline: bool,
+    /// Adapt the ROG staleness threshold online (paper future work,
+    /// Sec. VI-C): raise it when the cluster stalls, lower it when the
+    /// channel is calm, trading early speed against late statistical
+    /// efficiency automatically.
+    pub auto_threshold: bool,
+    /// MAC sharing model for the wireless channel (airtime fairness by
+    /// default; throughput fairness models the 802.11 rate anomaly).
+    pub mac_sharing: SharingMode,
+    /// Replay a recorded total-capacity trace instead of generating one
+    /// (the artifact's `tc`-replay path; see `rog_net::io`).
+    pub capacity_trace: Option<Trace>,
+    /// Replay recorded per-link quality traces (values in `(0, 1]`),
+    /// cycled if fewer traces than workers are given.
+    pub link_traces: Option<Vec<Trace>>,
+}
+
+impl Default for ExperimentConfig {
+    fn default() -> Self {
+        Self {
+            workload: WorkloadKind::Cruda,
+            environment: Environment::Outdoor,
+            strategy: Strategy::Bsp,
+            model_scale: ModelScale::Paper,
+            n_workers: 4,
+            n_laptop_workers: 1,
+            batch_scale: 1.0,
+            duration_secs: 3600.0,
+            eval_every: 50,
+            seed: 0x0611,
+            momentum: 0.0,
+            lr_override: None,
+            record_micro: false,
+            compressed_bytes_target: None,
+            compute_secs_override: None,
+            importance_weights: None,
+            pipeline: false,
+            auto_threshold: false,
+            mac_sharing: SharingMode::AirtimeFair,
+            capacity_trace: None,
+            link_traces: None,
+        }
+    }
+}
+
+impl ExperimentConfig {
+    /// Display name of the run ("ROG-4 / cruda / outdoor").
+    pub fn name(&self) -> String {
+        format!(
+            "{}{} / {} / {}",
+            self.strategy.name(),
+            match (self.pipeline, self.auto_threshold) {
+                (true, true) => "+pipe+auto",
+                (true, false) => "+pipe",
+                (false, true) => "+auto",
+                (false, false) => "",
+            },
+            match self.workload {
+                WorkloadKind::Cruda => "cruda",
+                WorkloadKind::CrudaConv => "cruda-conv",
+                WorkloadKind::Crimp => "crimp",
+            },
+            self.environment.name()
+        )
+    }
+
+    /// Gradient-computation seconds on a robot at batch scale 1,
+    /// excluding the (de)compression cost.
+    ///
+    /// Sec. II-D: a Jetson Xavier NX computes CRUDA gradients in 2.18 s
+    /// including the 0.42–0.51 s codec cost. CRIMP's model is smaller and
+    /// computes faster (Fig. 7a).
+    pub fn base_compute_secs(&self) -> f64 {
+        self.compute_secs_override.unwrap_or(match self.workload {
+            WorkloadKind::Cruda | WorkloadKind::CrudaConv => 1.71,
+            WorkloadKind::Crimp => 0.95,
+        })
+    }
+
+    /// Compression + decompression seconds per iteration (Table II).
+    pub fn codec_secs(&self) -> f64 {
+        match self.workload {
+            WorkloadKind::Cruda | WorkloadKind::CrudaConv => 0.47,
+            WorkloadKind::Crimp => 0.35,
+        }
+    }
+
+    /// Target compressed model size on the wire (paper Sec. I: 2.1 MB
+    /// and 0.75 MB for the two paradigms).
+    pub fn compressed_bytes(&self) -> u64 {
+        self.compressed_bytes_target.unwrap_or(match self.workload {
+            WorkloadKind::Cruda | WorkloadKind::CrudaConv => 2_100_000,
+            WorkloadKind::Crimp => 750_000,
+        })
+    }
+
+    /// Runs the experiment (convenience for
+    /// [`crate::engine::run`]).
+    pub fn run(&self) -> crate::RunMetrics {
+        crate::engine::run(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_match_figure_legends() {
+        assert_eq!(Strategy::Bsp.name(), "BSP");
+        assert_eq!(Strategy::Ssp { threshold: 20 }.name(), "SSP-20");
+        assert_eq!(
+            Strategy::Flown {
+                min_threshold: 2,
+                max_threshold: 20
+            }
+            .name(),
+            "FLOWN"
+        );
+        assert_eq!(Strategy::Rog { threshold: 4 }.name(), "ROG-4");
+    }
+
+    #[test]
+    fn defaults_follow_the_paper() {
+        let c = ExperimentConfig::default();
+        assert_eq!(c.n_workers, 4);
+        assert_eq!(c.eval_every, 50);
+        assert_eq!(c.compressed_bytes(), 2_100_000);
+        // Total compute incl. codec ≈ 2.18 s (Sec. II-D).
+        assert!((c.base_compute_secs() + c.codec_secs() - 2.18).abs() < 1e-9);
+    }
+
+    #[test]
+    fn crimp_is_smaller_and_faster() {
+        let c = ExperimentConfig {
+            workload: WorkloadKind::Crimp,
+            ..ExperimentConfig::default()
+        };
+        assert!(c.compressed_bytes() < 1_000_000);
+        assert!(c.base_compute_secs() < 1.71);
+    }
+}

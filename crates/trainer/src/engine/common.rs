@@ -1,0 +1,225 @@
+//! Plumbing shared by the model- and row-granularity engines.
+
+use rog_models::{GradSet, Mlp, Workload};
+use rog_sim::{DeviceState, EventQueue, Time, Timeline};
+use rog_tensor::rng::DetRng;
+
+use crate::cluster::{Cluster, DeviceKind};
+use crate::config::ExperimentConfig;
+use crate::metrics::{MetricsCollector, RunMetrics};
+
+/// Queue events (flow events come from the channel directly).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Ev {
+    /// A worker finished computing gradients for its current iteration.
+    ComputeDone(usize),
+}
+
+/// Substrate shared by both engines.
+#[derive(Debug)]
+pub struct EngineCtx {
+    /// The run configuration.
+    pub cfg: ExperimentConfig,
+    /// The simulated cluster (devices, channel, workload).
+    pub cluster: Cluster,
+    /// Deterministic event queue.
+    pub queue: EventQueue<Ev>,
+    /// Per-worker state timelines.
+    pub timelines: Vec<Timeline>,
+    /// Metrics collector.
+    pub collector: MetricsCollector,
+    batch_rngs: Vec<DetRng>,
+    jitter_rngs: Vec<DetRng>,
+}
+
+impl EngineCtx {
+    /// Builds the substrate for a config.
+    pub fn new(cfg: &ExperimentConfig) -> Self {
+        let cluster = Cluster::build(cfg);
+        let root = DetRng::new(cfg.seed);
+        let n = cfg.n_workers;
+        let collector = MetricsCollector::new(
+            cfg.name(),
+            cluster.workload.metric_name().to_owned(),
+            cluster.workload.metric_higher_better(),
+            n,
+        );
+        Self {
+            cfg: cfg.clone(),
+            cluster,
+            queue: EventQueue::new(),
+            timelines: vec![Timeline::new(); n],
+            collector,
+            batch_rngs: (0..n).map(|w| root.fork(0x100 + w as u64)).collect(),
+            jitter_rngs: (0..n).map(|w| root.fork(0x200 + w as u64)).collect(),
+        }
+    }
+
+    /// The virtual time budget.
+    pub fn duration(&self) -> Time {
+        self.cfg.duration_secs
+    }
+
+    /// Draws this iteration's gradient-computation duration for a worker
+    /// (base compute scaled by batch, plus codec cost, plus ~2 % jitter).
+    pub fn compute_secs(&mut self, worker: usize) -> Time {
+        let base = self.cfg.base_compute_secs() * self.cfg.batch_scale;
+        let jitter = self.jitter_rngs[worker].normal_with(0.0, 0.02 * base);
+        (base + self.cfg.codec_secs() + jitter).max(0.05)
+    }
+
+    /// Marks a worker's state at time `t`.
+    pub fn set_state(&mut self, worker: usize, t: Time, state: DeviceState) {
+        self.timelines[worker].set_state(t, state);
+    }
+
+    /// Schedules the start of a worker's next compute phase at `t`.
+    pub fn start_compute(&mut self, worker: usize, t: Time) {
+        self.set_state(worker, t, DeviceState::Compute);
+        let dt = self.compute_secs(worker);
+        self.queue.push(t + dt, Ev::ComputeDone(worker));
+    }
+
+    /// Computes real gradients for a worker's batch on `model`.
+    ///
+    /// Returns the gradient set and its global mean absolute value.
+    pub fn draw_grads(&mut self, worker: usize, model: &Mlp) -> (GradSet, f32) {
+        let shard = &self.cluster.workload.shards()[worker];
+        let batch = self.cluster.devices[worker].batch;
+        let idxs = shard.sample_batch(batch, &mut self.batch_rngs[worker]);
+        let (_, grads, _) = model.loss_and_grad(shard, &idxs);
+        let n: usize = grads.iter().map(|g| g.len()).sum();
+        let sum: f32 = grads.iter().map(|g| g.mean_abs() * g.len() as f32).sum();
+        let mean_abs = if n > 0 { sum / n as f32 } else { 0.0 };
+        (grads, mean_abs)
+    }
+
+    /// Evaluates and records a checkpoint if `iter` is on the cadence.
+    pub fn maybe_eval(&mut self, worker: usize, iter: u64, t: Time, model: &Mlp) {
+        if iter > 0 && iter % self.cfg.eval_every == 0 {
+            let metric = self.cluster.workload.test_metric(model);
+            self.collector.record_eval(worker, iter, t, metric);
+        }
+    }
+
+    /// Closes timelines and assembles the final metrics.
+    ///
+    /// `models` are the workers' final model parameters, used to compute
+    /// the realized divergence diagnostic.
+    pub fn finish(mut self, models: &[&Mlp]) -> RunMetrics {
+        let divergence = relative_model_divergence(models);
+        let duration = self.cfg.duration_secs;
+        for tl in &mut self.timelines {
+            // Devices that never changed state past the end stay as-is;
+            // close every open span at the budget boundary.
+            if tl.current_state().is_some() {
+                tl.close(duration.max(tl.end_time()));
+            }
+        }
+        let robot_mask: Vec<bool> = self
+            .cluster
+            .devices
+            .iter()
+            .map(|d| d.kind == DeviceKind::Robot)
+            .collect();
+        let useful = self.cluster.channel.useful_bytes();
+        let wasted = self.cluster.channel.wasted_bytes();
+        self.collector.finish(
+            &self.timelines,
+            &robot_mask,
+            duration,
+            useful,
+            wasted,
+            divergence,
+        )
+    }
+}
+
+/// Maximum pairwise L2 distance between models, relative to the mean
+/// parameter norm (0 if fewer than two models).
+pub fn relative_model_divergence(models: &[&Mlp]) -> f64 {
+    if models.len() < 2 {
+        return 0.0;
+    }
+    let norm: f64 = models
+        .iter()
+        .map(|m| {
+            m.params()
+                .iter()
+                .map(|p| f64::from(p.frobenius_norm()).powi(2))
+                .sum::<f64>()
+                .sqrt()
+        })
+        .sum::<f64>()
+        / models.len() as f64;
+    let mut max_d = 0.0f64;
+    for i in 0..models.len() {
+        for j in (i + 1)..models.len() {
+            let d: f64 = models[i]
+                .params()
+                .iter()
+                .zip(models[j].params())
+                .map(|(a, b)| {
+                    a.as_slice()
+                        .iter()
+                        .zip(b.as_slice())
+                        .map(|(x, y)| f64::from(x - y).powi(2))
+                        .sum::<f64>()
+                })
+                .sum::<f64>()
+                .sqrt();
+            max_d = max_d.max(d);
+        }
+    }
+    max_d / norm.max(1e-12)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{Environment, ModelScale, Strategy};
+
+    fn ctx() -> EngineCtx {
+        EngineCtx::new(&ExperimentConfig {
+            model_scale: ModelScale::Small,
+            n_workers: 2,
+            duration_secs: 30.0,
+            environment: Environment::Stable,
+            strategy: Strategy::Bsp,
+            eval_every: 5,
+            ..ExperimentConfig::default()
+        })
+    }
+
+    #[test]
+    fn compute_secs_is_near_base_plus_codec() {
+        let mut c = ctx();
+        let want = c.cfg.base_compute_secs() + c.cfg.codec_secs();
+        for _ in 0..20 {
+            let t = c.compute_secs(0);
+            assert!((t - want).abs() < 0.3 * want, "draw {t} vs {want}");
+        }
+    }
+
+    #[test]
+    fn draw_grads_matches_model_shapes() {
+        let mut c = ctx();
+        let model = c.cluster.init_model.clone();
+        let (grads, mean_abs) = c.draw_grads(0, &model);
+        assert_eq!(grads.len(), model.params().len());
+        assert!(mean_abs > 0.0);
+    }
+
+    #[test]
+    fn checkpoints_only_on_cadence() {
+        let mut c = ctx();
+        let model = c.cluster.init_model.clone();
+        c.maybe_eval(0, 3, 1.0, &model); // off-cadence
+        c.maybe_eval(0, 5, 2.0, &model); // on-cadence
+        c.start_compute(0, 0.0);
+        c.collector.record_iteration(0);
+        let m = c.finish(&[]);
+        assert_eq!(m.checkpoints.len(), 1);
+        assert_eq!(m.checkpoints[0].iter, 5);
+    }
+}

@@ -1,0 +1,23 @@
+//! Event-driven training engines.
+//!
+//! [`model`] runs the model-granularity baselines (BSP / SSP / FLOWN),
+//! [`row`] runs ROG (RSP + ATP). Both share [`common::EngineCtx`]: the
+//! simulated cluster, the deterministic event queue, per-device state
+//! timelines and the metrics collector.
+
+pub mod common;
+pub mod model;
+pub mod row;
+
+use crate::config::{ExperimentConfig, Strategy};
+use crate::metrics::RunMetrics;
+
+/// Runs one experiment, dispatching on the configured strategy.
+pub fn run(cfg: &ExperimentConfig) -> RunMetrics {
+    match cfg.strategy {
+        Strategy::Bsp | Strategy::Ssp { .. } | Strategy::Asp | Strategy::Flown { .. } => {
+            model::run(cfg)
+        }
+        Strategy::Rog { .. } => row::run(cfg),
+    }
+}

@@ -1,0 +1,376 @@
+//! Model-granularity engine: BSP, SSP and FLOWN.
+//!
+//! Per iteration each worker computes gradients, pushes the *whole*
+//! compressed model to the parameter server, and asks to pull the
+//! averaged gradients. The pull is granted only when the SSP gate allows
+//! the worker to proceed (BSP: threshold 0 → lockstep); otherwise the
+//! worker stalls. All pushes and pulls contend for the shared wireless
+//! channel, so one straggling transmission stalls everyone at the gate —
+//! the straggler effect ROG eliminates.
+
+use std::collections::BTreeMap;
+
+use rog_compress::ErrorFeedback;
+use rog_core::{RowId, RowPartition};
+use rog_models::{GradSet, Mlp};
+use rog_net::{FlowEvent, FlowId, FlowOutcome, FlowSpec};
+use rog_sim::{DeviceState, Time};
+use rog_sync::{
+    gate, FixedThreshold, FlownPolicy, ThresholdPolicy, VersionVector, WorkerNetStats,
+};
+use rog_tensor::{ops, Matrix};
+
+use crate::config::{ExperimentConfig, Strategy};
+use crate::engine::common::{EngineCtx, Ev};
+use crate::metrics::RunMetrics;
+
+struct WState {
+    model: Mlp,
+    /// Completed iterations (currently computing `iter + 1`).
+    iter: u64,
+    grads: Option<GradSet>,
+    /// Whole-model push compression residuals.
+    ef: ErrorFeedback,
+    vel: Vec<Matrix>,
+    stats: WorkerNetStats,
+    push_started: Time,
+    done: bool,
+}
+
+struct Server {
+    /// Per-worker pending averaged gradients.
+    pending: Vec<GradSet>,
+    versions: VersionVector,
+    /// Per-destination pull compression residuals.
+    efs: Vec<ErrorFeedback>,
+    /// Workers whose pull awaits the gate; stores their pushed iter.
+    waiting: Vec<usize>,
+    thresholds: Vec<u32>,
+}
+
+enum FlowCtx {
+    Push(usize),
+    Pull(usize, GradSet),
+}
+
+struct ModelEngine {
+    ctx: EngineCtx,
+    workers: Vec<WState>,
+    server: Server,
+    policy: Box<dyn ThresholdPolicy>,
+    flows: BTreeMap<FlowId, FlowCtx>,
+    partition: RowPartition,
+    model_wire_bytes: u64,
+}
+
+/// Runs one model-granularity experiment.
+pub fn run(cfg: &ExperimentConfig) -> RunMetrics {
+    let ctx = EngineCtx::new(cfg);
+    let n = cfg.n_workers;
+    let init = ctx.cluster.init_model.clone();
+    let widths = init.row_widths();
+    let partition = RowPartition::of_params(init.params());
+    let model_wire_bytes = ctx.cluster.scaled_model_bytes(
+        widths
+            .iter()
+            .map(|&w| rog_compress::compressed_row_payload_bytes(w)),
+    );
+    let zero: GradSet = init
+        .params()
+        .iter()
+        .map(|m| Matrix::zeros(m.rows(), m.cols()))
+        .collect();
+    let workers: Vec<WState> = (0..n)
+        .map(|_| WState {
+            model: init.clone(),
+            iter: 0,
+            grads: None,
+            ef: ErrorFeedback::new(&widths),
+            vel: zero.clone(),
+            stats: WorkerNetStats::default(),
+            push_started: 0.0,
+            done: false,
+        })
+        .collect();
+    let server = Server {
+        pending: vec![zero; n],
+        versions: VersionVector::new(n),
+        efs: (0..n).map(|_| ErrorFeedback::new(&widths)).collect(),
+        waiting: Vec::new(),
+        thresholds: vec![0; n],
+    };
+    let policy: Box<dyn ThresholdPolicy> = match cfg.strategy {
+        Strategy::Bsp => Box::new(FixedThreshold::bsp()),
+        Strategy::Ssp { threshold } => Box::new(FixedThreshold::ssp(threshold)),
+        Strategy::Asp => Box::new(FixedThreshold::asp()),
+        Strategy::Flown {
+            min_threshold,
+            max_threshold,
+        } => Box::new(FlownPolicy::new(min_threshold, max_threshold)),
+        Strategy::Rog { .. } => unreachable!("row strategy runs in the row engine"),
+    };
+    let mut engine = ModelEngine {
+        ctx,
+        workers,
+        server,
+        policy,
+        flows: BTreeMap::new(),
+        partition,
+        model_wire_bytes,
+    };
+    engine.refresh_thresholds();
+    engine.event_loop();
+    let models: Vec<&Mlp> = engine.workers.iter().map(|w| &w.model).collect();
+    engine.ctx.finish(&models)
+}
+
+impl ModelEngine {
+    fn event_loop(&mut self) {
+        let duration = self.ctx.duration();
+        for w in 0..self.workers.len() {
+            self.ctx.start_compute(w, 0.0);
+        }
+        loop {
+            let horizon = self
+                .ctx
+                .queue
+                .peek_time()
+                .unwrap_or(f64::INFINITY)
+                .min(duration);
+            let evs = self.ctx.cluster.channel.advance_until(horizon);
+            let now = self.ctx.cluster.channel.now();
+            if !evs.is_empty() {
+                for e in evs {
+                    self.on_flow(e);
+                }
+                continue;
+            }
+            if now >= duration - 1e-9 {
+                break;
+            }
+            match self.ctx.queue.pop() {
+                Some((t, Ev::ComputeDone(w))) => self.on_compute_done(w, t),
+                None => {
+                    // No timers and no flow finished before the horizon:
+                    // if flows are in flight the next loop advances them;
+                    // otherwise nothing can ever happen again.
+                    if self.ctx.cluster.channel.active_flows() == 0 {
+                        break;
+                    }
+                }
+            }
+        }
+    }
+
+    fn refresh_thresholds(&mut self) {
+        let stats: Vec<WorkerNetStats> = self.workers.iter().map(|w| w.stats.clone()).collect();
+        self.server.thresholds = self.policy.thresholds(&stats);
+    }
+
+    fn on_compute_done(&mut self, w: usize, now: Time) {
+        let (grads, mean_abs) = {
+            let model = &self.workers[w].model;
+            // Borrow dance: draw_grads needs &mut ctx.
+            let model = model.clone();
+            self.ctx.draw_grads(w, &model)
+        };
+        let ws = &mut self.workers[w];
+        ws.grads = Some(grads);
+        ws.stats.grad_mean_abs = f64::from(mean_abs);
+        ws.push_started = now;
+        self.ctx.set_state(w, now, DeviceState::Communicate);
+        let id = self.ctx.cluster.channel.start_flow(
+            now,
+            FlowSpec::new(w, vec![self.model_wire_bytes]),
+        );
+        self.flows.insert(id, FlowCtx::Push(w));
+    }
+
+    fn on_flow(&mut self, ev: FlowEvent) {
+        let ctx = self.flows.remove(&ev.id).expect("unknown flow");
+        debug_assert!(matches!(ev.outcome, FlowOutcome::Completed), "model flows have no deadline");
+        match ctx {
+            FlowCtx::Push(w) => self.on_push_done(w, ev.at),
+            FlowCtx::Pull(w, payload) => self.on_pull_done(w, payload, ev.at),
+        }
+    }
+
+    fn on_push_done(&mut self, w: usize, now: Time) {
+        let n_workers = self.workers.len();
+        let pushed_iter = self.workers[w].iter + 1;
+        // Quantize the pushed gradients (error feedback on the worker).
+        let grads = self.workers[w].grads.take().expect("gradients were computed");
+        let quantized = quantize_set(&self.partition, &mut self.workers[w].ef, &grads);
+        // Average into every worker's pending copy.
+        let inv = 1.0 / n_workers as f32;
+        for pend in &mut self.server.pending {
+            for (p, q) in pend.iter_mut().zip(&quantized) {
+                p.add_scaled(q, inv).expect("shapes match");
+            }
+        }
+        self.server.versions.record_push(w, pushed_iter);
+        // Bandwidth estimate for FLOWN.
+        let dur = (now - self.workers[w].push_started).max(1e-6);
+        self.workers[w].stats.last_push_secs = dur;
+        self.workers[w].stats.est_bandwidth_bps = self.model_wire_bytes as f64 * 8.0 / dur;
+        self.refresh_thresholds();
+        // This worker now waits for its pull.
+        self.server.waiting.push(w);
+        self.ctx.set_state(w, now, DeviceState::Stall);
+        self.drain_waiting(now);
+    }
+
+    fn drain_waiting(&mut self, now: Time) {
+        let mut still_waiting = Vec::new();
+        let waiting = std::mem::take(&mut self.server.waiting);
+        for w in waiting {
+            let t = self.server.thresholds[w];
+            if gate::may_proceed(&self.server.versions, w, t) {
+                self.grant_pull(w, now);
+            } else {
+                still_waiting.push(w);
+            }
+        }
+        self.server.waiting = still_waiting;
+    }
+
+    fn grant_pull(&mut self, w: usize, now: Time) {
+        // Quantize and drain this worker's pending copy.
+        let pending = std::mem::replace(
+            &mut self.server.pending[w],
+            self.workers[w]
+                .model
+                .params()
+                .iter()
+                .map(|m| Matrix::zeros(m.rows(), m.cols()))
+                .collect(),
+        );
+        let payload = quantize_set(&self.partition, &mut self.server.efs[w], &pending);
+        self.ctx.set_state(w, now, DeviceState::Communicate);
+        let id = self.ctx.cluster.channel.start_flow(
+            now,
+            FlowSpec::new(w, vec![self.model_wire_bytes]),
+        );
+        self.flows.insert(id, FlowCtx::Pull(w, payload));
+    }
+
+    fn on_pull_done(&mut self, w: usize, payload: GradSet, now: Time) {
+        let lr = self.ctx.cluster.lr;
+        let momentum = self.ctx.cfg.momentum;
+        {
+            let ws = &mut self.workers[w];
+            for (mi, g) in payload.iter().enumerate() {
+                for r in 0..g.rows() {
+                    let wrow = ws.model.params_mut()[mi].row_mut(r);
+                    if momentum > 0.0 {
+                        ops::sgd_momentum_row(wrow, ws.vel[mi].row_mut(r), g.row(r), lr, momentum);
+                    } else {
+                        ops::sgd_row(wrow, g.row(r), lr);
+                    }
+                }
+            }
+            ws.iter += 1;
+        }
+        self.ctx.collector.record_iteration(w);
+        let iter = self.workers[w].iter;
+        let model = self.workers[w].model.clone();
+        self.ctx.maybe_eval(w, iter, now, &model);
+        if now < self.ctx.duration() {
+            self.ctx.start_compute(w, now);
+        } else {
+            self.workers[w].done = true;
+            self.ctx.set_state(w, now, DeviceState::Idle);
+        }
+    }
+}
+
+/// Quantizes a gradient set row-by-row with error feedback, returning the
+/// values the receiver reconstructs.
+fn quantize_set(partition: &RowPartition, ef: &mut ErrorFeedback, set: &GradSet) -> GradSet {
+    let mut out: GradSet = set
+        .iter()
+        .map(|m| Matrix::zeros(m.rows(), m.cols()))
+        .collect();
+    for i in 0..partition.n_rows() {
+        let id = RowId(i);
+        let r = partition.locate(id);
+        let restored = ef.compress(i, set[r.matrix].row(r.row)).decompress();
+        out[r.matrix].row_mut(r.row).copy_from_slice(&restored);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{Environment, ModelScale, WorkloadKind};
+
+    fn cfg(strategy: Strategy) -> ExperimentConfig {
+        ExperimentConfig {
+            workload: WorkloadKind::Cruda,
+            environment: Environment::Stable,
+            strategy,
+            model_scale: ModelScale::Small,
+            n_workers: 2,
+            n_laptop_workers: 0,
+            duration_secs: 120.0,
+            eval_every: 5,
+            seed: 42,
+            ..ExperimentConfig::default()
+        }
+    }
+
+    #[test]
+    fn bsp_completes_iterations_and_checkpoints() {
+        let m = run(&cfg(Strategy::Bsp));
+        assert!(m.mean_iterations >= 10.0, "iterations {}", m.mean_iterations);
+        assert!(!m.checkpoints.is_empty());
+        assert!(m.composition.compute > 0.0);
+        assert!(m.composition.communicate > 0.0);
+        assert!(m.total_energy_j > 0.0);
+    }
+
+    #[test]
+    fn runs_are_deterministic() {
+        let a = run(&cfg(Strategy::Ssp { threshold: 4 }));
+        let b = run(&cfg(Strategy::Ssp { threshold: 4 }));
+        assert_eq!(a.mean_iterations, b.mean_iterations);
+        assert_eq!(a.checkpoints, b.checkpoints);
+        assert_eq!(a.total_energy_j, b.total_energy_j);
+    }
+
+    #[test]
+    fn training_improves_the_metric() {
+        let m = run(&cfg(Strategy::Bsp));
+        let first = m.checkpoints.first().expect("has checkpoints").metric;
+        let last = m.checkpoints.last().expect("has checkpoints").metric;
+        assert!(
+            last > first - 3.0,
+            "accuracy should not collapse: {first} -> {last}"
+        );
+    }
+
+    #[test]
+    fn flown_runs_to_completion() {
+        let m = run(&cfg(Strategy::Flown {
+            min_threshold: 2,
+            max_threshold: 8,
+        }));
+        assert!(m.mean_iterations > 5.0);
+    }
+
+    #[test]
+    fn bsp_workers_stay_in_lockstep() {
+        // Under BSP both workers complete the same number of iterations
+        // (±1 for the cut-off at the time budget).
+        let m = run(&cfg(Strategy::Bsp));
+        // mean_iterations is the average; with lockstep the per-worker
+        // counts differ by at most 1, so the fractional part is 0 or .5.
+        let frac = m.mean_iterations.fract();
+        assert!(
+            frac < 0.51,
+            "lockstep violated: mean iterations {}",
+            m.mean_iterations
+        );
+    }
+}

@@ -1,0 +1,683 @@
+//! The ROG engine: row-granulated RSP + ATP over the simulated channel.
+//!
+//! Per iteration each worker accumulates real gradients into its
+//! [`RogWorker`], ranks rows (importance + mandatory stale rows first),
+//! and *speculatively transmits* them: a flow of per-row chunks with a
+//! deadline equal to the shared MTA-time budget. If the deadline cuts
+//! the flow before MTA (or before the RSP-mandatory rows) got through,
+//! the worker continues transmitting exactly up to that target — it is a
+//! straggler this round, and its measured time updates the shared budget.
+//! Fast workers instead fit *all* their rows inside the budget. The
+//! server applies the RSP gate before granting pulls, which are
+//! speculatively transmitted the same way.
+
+use std::collections::BTreeMap;
+
+use rog_core::{mta, MtaTimeTracker, RogServer, RogWorker, RogWorkerConfig, RowId};
+use rog_net::{FlowEvent, FlowId, FlowOutcome, FlowSpec};
+use rog_sim::{DeviceState, Time};
+
+use crate::config::{ExperimentConfig, Strategy};
+use crate::engine::common::{EngineCtx, Ev};
+use crate::metrics::{MicroSample, RunMetrics};
+
+struct WState {
+    model: rog_models::Mlp,
+    worker: RogWorker,
+    /// Completed iterations (currently working on `iter + 1`).
+    iter: u64,
+    done: bool,
+    push_plan: Vec<RowId>,
+    push_started: Time,
+    push_delivered: usize,
+    push_target: usize,
+    mta_rows: usize,
+    pull_plan: Vec<RowId>,
+    pull_started: Time,
+    pull_delivered: usize,
+    pull_target: usize,
+    /// Currently running a gradient computation.
+    computing: bool,
+    /// A push/pull cycle is in flight (pipeline mode).
+    comm_busy: bool,
+    /// Iteration the in-flight comm cycle is pushing.
+    comm_iter: u64,
+    /// Last iteration whose pull has been applied (pipeline mode).
+    applied_iter: u64,
+    /// Compute is paused waiting for the comm pipeline to catch up.
+    pipe_waiting: bool,
+}
+
+#[derive(Debug, Clone, Copy)]
+enum FlowCtx {
+    Push { w: usize, cont: bool },
+    Pull { w: usize, cont: bool },
+}
+
+struct RowEngine {
+    ctx: EngineCtx,
+    workers: Vec<WState>,
+    server: RogServer,
+    tracker: MtaTimeTracker,
+    flows: BTreeMap<FlowId, FlowCtx>,
+    /// Workers whose pull awaits the RSP gate, with their pushed iter.
+    waiting: Vec<(usize, u64)>,
+    /// Last pushed iteration per worker (micro-event staleness).
+    last_pushed: Vec<u64>,
+    threshold: u32,
+    /// Overlap communication and computation (paper future work).
+    pipeline: bool,
+    /// Online threshold controller (paper future work).
+    auto: Option<AutoThreshold>,
+}
+
+/// Online staleness-threshold controller: widens the threshold when the
+/// cluster is stalling (buy throughput), narrows it when the channel is
+/// calm (buy statistical efficiency) — the paper's Sec. VI-C future
+/// work, as a simple hysteresis controller over the recent stall share.
+#[derive(Debug, Clone, Copy)]
+struct AutoThreshold {
+    min: u32,
+    max: u32,
+    /// Controller period in completed iterations (cluster-wide).
+    window_iters: u64,
+    stall_hi: f64,
+    stall_lo: f64,
+    /// Iterations completed at the last check.
+    last_iters: u64,
+    /// Virtual time of the last check.
+    last_time: Time,
+}
+
+impl AutoThreshold {
+    fn new(initial: u32) -> Self {
+        Self {
+            // Never narrow below the configured threshold: narrowing is
+            // only meaningful relative to what the controller itself
+            // widened (below that, low stall is *caused* by the tight
+            // gate, and the controller would oscillate — especially in
+            // pipeline mode where the threshold also bounds the
+            // pipeline depth).
+            min: initial,
+            max: 40,
+            window_iters: 60,
+            stall_hi: 0.18,
+            stall_lo: 0.04,
+            last_iters: 0,
+            last_time: 0.0,
+        }
+    }
+}
+
+/// Runs one ROG experiment.
+pub fn run(cfg: &ExperimentConfig) -> RunMetrics {
+    let Strategy::Rog { threshold } = cfg.strategy else {
+        unreachable!("model strategies run in the model engine");
+    };
+    let ctx = EngineCtx::new(cfg);
+    let n = cfg.n_workers;
+    let init = ctx.cluster.init_model.clone();
+    let lr = ctx.cluster.lr;
+    let mut wcfg = RogWorkerConfig::new(threshold, lr);
+    if cfg.momentum > 0.0 {
+        wcfg = wcfg.with_momentum(cfg.momentum);
+    }
+    if let Some((f1, f2)) = cfg.importance_weights {
+        wcfg.importance =
+            rog_core::ImportanceMetric::new(rog_core::ImportanceWeights { f1, f2 });
+    }
+    let workers: Vec<WState> = (0..n)
+        .map(|_| WState {
+            model: init.clone(),
+            worker: RogWorker::new(init.params(), wcfg),
+            iter: 0,
+            done: false,
+            push_plan: Vec::new(),
+            push_started: 0.0,
+            push_delivered: 0,
+            push_target: 0,
+            mta_rows: 0,
+            pull_plan: Vec::new(),
+            pull_started: 0.0,
+            pull_delivered: 0,
+            pull_target: 0,
+            computing: false,
+            comm_busy: false,
+            comm_iter: 0,
+            applied_iter: 0,
+            pipe_waiting: false,
+        })
+        .collect();
+    let server = RogServer::new(init.params(), n, threshold, wcfg.importance);
+    let mut engine = RowEngine {
+        ctx,
+        workers,
+        server,
+        tracker: MtaTimeTracker::new(n, 1.0),
+        flows: BTreeMap::new(),
+        waiting: Vec::new(),
+        last_pushed: vec![0; n],
+        threshold,
+        pipeline: cfg.pipeline,
+        auto: cfg.auto_threshold.then(|| AutoThreshold::new(threshold)),
+    };
+    engine.event_loop();
+    let models: Vec<&rog_models::Mlp> = engine.workers.iter().map(|w| &w.model).collect();
+    engine.ctx.finish(&models)
+}
+
+impl RowEngine {
+    fn start_compute(&mut self, w: usize, now: Time) {
+        self.workers[w].computing = true;
+        self.workers[w].pipe_waiting = false;
+        self.ctx.start_compute(w, now);
+    }
+
+    /// Sets the worker's state, preferring `Compute` while a gradient
+    /// computation runs concurrently (pipeline mode).
+    fn set_comm_state(&mut self, w: usize, now: Time, fallback: DeviceState) {
+        let state = if self.workers[w].computing {
+            DeviceState::Compute
+        } else {
+            fallback
+        };
+        self.ctx.set_state(w, now, state);
+    }
+
+    fn event_loop(&mut self) {
+        let duration = self.ctx.duration();
+        for w in 0..self.workers.len() {
+            self.start_compute(w, 0.0);
+        }
+        loop {
+            let horizon = self
+                .ctx
+                .queue
+                .peek_time()
+                .unwrap_or(f64::INFINITY)
+                .min(duration);
+            let evs = self.ctx.cluster.channel.advance_until(horizon);
+            let now = self.ctx.cluster.channel.now();
+            if !evs.is_empty() {
+                for e in evs {
+                    self.on_flow(e);
+                }
+                continue;
+            }
+            if now >= duration - 1e-9 {
+                break;
+            }
+            match self.ctx.queue.pop() {
+                Some((t, Ev::ComputeDone(w))) => self.on_compute_done(w, t),
+                None => {
+                    if self.ctx.cluster.channel.active_flows() == 0 {
+                        break;
+                    }
+                }
+            }
+        }
+    }
+
+    fn scaled_chunks(&self, ws: &WState, rows: &[RowId]) -> Vec<u64> {
+        rows.iter()
+            .map(|&id| self.ctx.cluster.scaled_row_bytes(ws.worker.payload_bytes(id)))
+            .collect()
+    }
+
+    fn on_compute_done(&mut self, w: usize, now: Time) {
+        self.workers[w].computing = false;
+        if self.pipeline {
+            self.on_compute_done_pipelined(w, now);
+            return;
+        }
+        let n = self.workers[w].iter + 1;
+        let (grads, _) = {
+            let model = self.workers[w].model.clone();
+            self.ctx.draw_grads(w, &model)
+        };
+        self.workers[w].worker.accumulate(&grads);
+        self.begin_push(w, now, n);
+    }
+
+    /// Pipeline mode: an iteration completes at each compute; gradients
+    /// stream into the (concurrent) comm cycle, bounded so computation
+    /// never runs more than the threshold ahead of applied pulls.
+    fn on_compute_done_pipelined(&mut self, w: usize, now: Time) {
+        let n = self.workers[w].iter + 1;
+        self.workers[w].iter = n;
+        self.ctx.collector.record_iteration(w);
+        let (grads, _) = {
+            let model = self.workers[w].model.clone();
+            self.ctx.draw_grads(w, &model)
+        };
+        self.workers[w].worker.accumulate(&grads);
+        let model = self.workers[w].model.clone();
+        self.ctx.maybe_eval(w, n, now, &model);
+        if !self.workers[w].comm_busy {
+            self.begin_push(w, now, n);
+        }
+        self.maybe_continue_compute(w, now);
+        self.maybe_adjust_threshold(now);
+    }
+
+    fn maybe_continue_compute(&mut self, w: usize, now: Time) {
+        if now >= self.ctx.duration() {
+            self.workers[w].done = true;
+            if !self.workers[w].comm_busy {
+                self.ctx.set_state(w, now, DeviceState::Idle);
+            }
+            return;
+        }
+        let ws = &self.workers[w];
+        let ahead = ws.iter.saturating_sub(ws.applied_iter);
+        // Pipeline depth is bounded at 2 (Pipe-SGD style), independent
+        // of the staleness threshold: row staleness accrues per
+        // *computed* iteration but push opportunities only arise per
+        // comm cycle, so letting compute run `threshold` iterations
+        // ahead would mass-expire rows and thrash the RSP gate.
+        let depth = u64::from(self.threshold.max(1)).min(2);
+        if ahead < depth {
+            self.start_compute(w, now);
+        } else {
+            self.workers[w].pipe_waiting = true;
+            self.ctx.set_state(w, now, DeviceState::Stall);
+        }
+    }
+
+    fn begin_push(&mut self, w: usize, now: Time, n: u64) {
+        let ws = &mut self.workers[w];
+        ws.comm_busy = true;
+        ws.comm_iter = n;
+        let plan = ws.worker.plan_push(n);
+        let n_rows = plan.len();
+        let t = u64::from(self.threshold.max(1));
+        let mandatory = plan
+            .iter()
+            .take_while(|&&id| n.saturating_sub(ws.worker.row_iters()[id.0]) >= t)
+            .count();
+        let mta_rows = mta::mta_rows(n_rows, self.threshold);
+        ws.mta_rows = mta_rows;
+        ws.push_target = mta_rows.max(mandatory).min(n_rows);
+        ws.push_plan = plan;
+        ws.push_started = now;
+        ws.push_delivered = 0;
+        let budget = self.tracker.get();
+        let chunks = {
+            let ws = &self.workers[w];
+            self.scaled_chunks(ws, &ws.push_plan)
+        };
+        self.set_comm_state(w, now, DeviceState::Communicate);
+        let id = self
+            .ctx
+            .cluster
+            .channel
+            .start_flow(now, FlowSpec::new(w, chunks).with_deadline(now + budget));
+        self.flows.insert(id, FlowCtx::Push { w, cont: false });
+    }
+
+    fn on_flow(&mut self, ev: FlowEvent) {
+        let ctx = self.flows.remove(&ev.id).expect("unknown flow");
+        match ctx {
+            FlowCtx::Push { w, cont } => self.on_push_flow(w, cont, ev),
+            FlowCtx::Pull { w, cont } => self.on_pull_flow(w, cont, ev),
+        }
+    }
+
+    fn on_push_flow(&mut self, w: usize, cont: bool, ev: FlowEvent) {
+        let now = ev.at;
+        let delivered_now = match ev.outcome {
+            FlowOutcome::Completed => {
+                if cont {
+                    self.workers[w].push_target - self.workers[w].push_delivered
+                } else {
+                    self.workers[w].push_plan.len()
+                }
+            }
+            FlowOutcome::DeadlineReached { chunks_done, .. } => chunks_done,
+        };
+        let ws = &mut self.workers[w];
+        ws.push_delivered += delivered_now;
+        if !cont && ws.push_delivered < ws.push_target {
+            // Straggler this round: keep transmitting up to the target
+            // (MTA plus any RSP-mandatory rows), without a deadline.
+            let rest: Vec<RowId> = ws.push_plan[ws.push_delivered..ws.push_target].to_vec();
+            let chunks = {
+                let ws = &self.workers[w];
+                self.scaled_chunks(ws, &rest)
+            };
+            let id = self
+                .ctx
+                .cluster
+                .channel
+                .start_flow(now, FlowSpec::new(w, chunks));
+            self.flows.insert(id, FlowCtx::Push { w, cont: true });
+            return;
+        }
+        self.finish_push(w, now);
+    }
+
+    fn finish_push(&mut self, w: usize, now: Time) {
+        let n = if self.pipeline {
+            self.workers[w].comm_iter
+        } else {
+            self.workers[w].iter + 1
+        };
+        let (delivered, total_rows, duration, mta_rows) = {
+            let ws = &self.workers[w];
+            (
+                ws.push_delivered,
+                ws.push_plan.len(),
+                (now - ws.push_started).max(1e-6),
+                ws.mta_rows,
+            )
+        };
+        let payloads = {
+            let plan: Vec<RowId> = self.workers[w].push_plan[..delivered].to_vec();
+            self.workers[w].worker.commit_push(&plan, n)
+        };
+        self.server.on_push(w, n, &payloads);
+        self.tracker.report(w, delivered, duration, mta_rows);
+        self.last_pushed[w] = n;
+
+        if self.ctx.cfg.record_micro && w == 0 {
+            let fastest = *self.last_pushed.iter().max().expect("non-empty");
+            let sample = MicroSample {
+                time: now,
+                bandwidth_bps: self.ctx.cluster.channel.link_rate_bps(w),
+                transmission_rate: if total_rows == 0 {
+                    1.0
+                } else {
+                    delivered as f64 / total_rows as f64
+                },
+                staleness: fastest - n,
+            };
+            self.ctx.collector.record_micro(sample);
+        }
+
+        // RSP gate (Algorithm 2 lines 7–9): pull waits for stragglers.
+        if self.server.gate_ok(n) {
+            self.grant_pull(w, now);
+        } else {
+            self.set_comm_state(w, now, DeviceState::Stall);
+            self.waiting.push((w, n));
+        }
+        self.drain_waiting(now);
+    }
+
+    fn drain_waiting(&mut self, now: Time) {
+        let waiting = std::mem::take(&mut self.waiting);
+        for (w, n) in waiting {
+            if self.server.gate_ok(n) {
+                self.grant_pull(w, now);
+            } else {
+                self.waiting.push((w, n));
+            }
+        }
+    }
+
+    fn grant_pull(&mut self, w: usize, now: Time) {
+        let plan = self.server.plan_pull(w);
+        if plan.is_empty() {
+            self.complete_cycle(w, now);
+            return;
+        }
+        let mta_rows = mta::mta_rows(self.workers[w].worker.partition().n_rows(), self.threshold);
+        let ws = &mut self.workers[w];
+        ws.pull_target = mta_rows.min(plan.len());
+        ws.pull_plan = plan;
+        ws.pull_started = now;
+        ws.pull_delivered = 0;
+        let budget = self.tracker.get();
+        let chunks: Vec<u64> = {
+            let ws = &self.workers[w];
+            ws.pull_plan
+                .iter()
+                .map(|&id| self.ctx.cluster.scaled_row_bytes(self.server.payload_bytes(id)))
+                .collect()
+        };
+        self.set_comm_state(w, now, DeviceState::Communicate);
+        let id = self
+            .ctx
+            .cluster
+            .channel
+            .start_flow(now, FlowSpec::new(w, chunks).with_deadline(now + budget));
+        self.flows.insert(id, FlowCtx::Pull { w, cont: false });
+    }
+
+    fn on_pull_flow(&mut self, w: usize, cont: bool, ev: FlowEvent) {
+        let now = ev.at;
+        let delivered_now = match ev.outcome {
+            FlowOutcome::Completed => {
+                if cont {
+                    self.workers[w].pull_target - self.workers[w].pull_delivered
+                } else {
+                    self.workers[w].pull_plan.len()
+                }
+            }
+            FlowOutcome::DeadlineReached { chunks_done, .. } => chunks_done,
+        };
+        let ws = &mut self.workers[w];
+        ws.pull_delivered += delivered_now;
+        if !cont && ws.pull_delivered < ws.pull_target {
+            let rest: Vec<RowId> = ws.pull_plan[ws.pull_delivered..ws.pull_target].to_vec();
+            let chunks: Vec<u64> = rest
+                .iter()
+                .map(|&id| self.ctx.cluster.scaled_row_bytes(self.server.payload_bytes(id)))
+                .collect();
+            let id = self
+                .ctx
+                .cluster
+                .channel
+                .start_flow(now, FlowSpec::new(w, chunks));
+            self.flows.insert(id, FlowCtx::Pull { w, cont: true });
+            return;
+        }
+        // Apply whatever arrived.
+        let delivered = self.workers[w].pull_delivered;
+        let rows: Vec<RowId> = self.workers[w].pull_plan[..delivered].to_vec();
+        let payload = self.server.commit_pull(w, &rows);
+        let ws = &mut self.workers[w];
+        ws.worker.apply_pulled(ws.model.params_mut(), &payload);
+        self.complete_cycle(w, now);
+    }
+
+    fn complete_cycle(&mut self, w: usize, now: Time) {
+        if self.pipeline {
+            let applied = self.workers[w].comm_iter;
+            let ws = &mut self.workers[w];
+            ws.applied_iter = applied;
+            ws.comm_busy = false;
+            let latest = ws.iter;
+            if latest > applied {
+                // Fresh gradients accumulated during the cycle: keep the
+                // pipe full.
+                self.begin_push(w, now, latest);
+            } else if !self.workers[w].computing {
+                self.ctx.set_state(
+                    w,
+                    now,
+                    if now >= self.ctx.duration() {
+                        DeviceState::Idle
+                    } else {
+                        DeviceState::Stall
+                    },
+                );
+            }
+            if self.workers[w].pipe_waiting {
+                self.maybe_continue_compute(w, now);
+            }
+            return;
+        }
+        self.complete_iteration(w, now);
+    }
+
+    /// Runs the auto-threshold controller if its window elapsed.
+    fn maybe_adjust_threshold(&mut self, now: Time) {
+        let Some(mut auto) = self.auto else { return };
+        let total_iters: u64 = self.workers.iter().map(|w| w.iter).sum();
+        if total_iters < auto.last_iters + auto.window_iters || now <= auto.last_time {
+            return;
+        }
+        // Cluster stall share over the window.
+        let n = self.workers.len() as f64;
+        let stall: f64 = self
+            .ctx
+            .timelines
+            .iter()
+            .map(|t| t.time_in_between(DeviceState::Stall, auto.last_time, now))
+            .sum();
+        let share = stall / ((now - auto.last_time) * n);
+        let old = self.threshold;
+        let new = if share > auto.stall_hi {
+            ((old as f64 * 1.5).ceil() as u32).min(auto.max)
+        } else if share < auto.stall_lo {
+            (old.saturating_sub((old as f64 * 0.25).ceil() as u32)).max(auto.min)
+        } else {
+            old
+        };
+        if new != old {
+            self.threshold = new;
+            self.server.set_threshold(new);
+            for ws in &mut self.workers {
+                ws.worker.set_threshold(new);
+            }
+            // A loosened gate may unblock waiting pulls immediately.
+            self.drain_waiting(now);
+        }
+        auto.last_iters = total_iters;
+        auto.last_time = now;
+        self.auto = Some(auto);
+    }
+
+    fn complete_iteration(&mut self, w: usize, now: Time) {
+        self.workers[w].iter += 1;
+        self.ctx.collector.record_iteration(w);
+        let iter = self.workers[w].iter;
+        let model = self.workers[w].model.clone();
+        self.ctx.maybe_eval(w, iter, now, &model);
+        self.maybe_adjust_threshold(now);
+        if now < self.ctx.duration() {
+            self.start_compute(w, now);
+        } else {
+            self.workers[w].done = true;
+            self.ctx.set_state(w, now, DeviceState::Idle);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{Environment, ModelScale, WorkloadKind};
+
+    fn cfg(threshold: u32) -> ExperimentConfig {
+        ExperimentConfig {
+            workload: WorkloadKind::Cruda,
+            environment: Environment::Stable,
+            strategy: Strategy::Rog { threshold },
+            model_scale: ModelScale::Small,
+            n_workers: 2,
+            n_laptop_workers: 0,
+            duration_secs: 120.0,
+            eval_every: 5,
+            seed: 42,
+            ..ExperimentConfig::default()
+        }
+    }
+
+    #[test]
+    fn rog_completes_iterations_and_checkpoints() {
+        let m = run(&cfg(4));
+        assert!(m.mean_iterations >= 10.0, "iterations {}", m.mean_iterations);
+        assert!(!m.checkpoints.is_empty());
+        assert!(m.composition.compute > 0.0);
+        assert!(m.composition.communicate > 0.0);
+    }
+
+    #[test]
+    fn rog_is_deterministic() {
+        let a = run(&cfg(4));
+        let b = run(&cfg(4));
+        assert_eq!(a.mean_iterations, b.mean_iterations);
+        assert_eq!(a.checkpoints, b.checkpoints);
+    }
+
+    #[test]
+    fn rog_trains_without_collapse() {
+        let m = run(&cfg(4));
+        let first = m.checkpoints.first().expect("has checkpoints").metric;
+        let last = m.checkpoints.last().expect("has checkpoints").metric;
+        assert!(
+            last > first - 3.0,
+            "accuracy should not collapse: {first} -> {last}"
+        );
+    }
+
+    #[test]
+    fn micro_recording_captures_pushes() {
+        let mut c = cfg(4);
+        c.record_micro = true;
+        c.duration_secs = 60.0;
+        let m = run(&c);
+        assert!(!m.micro.is_empty());
+        for s in &m.micro {
+            assert!(s.transmission_rate > 0.0 && s.transmission_rate <= 1.0);
+            assert!(s.bandwidth_bps > 0.0);
+        }
+    }
+
+    #[test]
+    fn pipelined_rog_runs_and_outpaces_sequential() {
+        let base = cfg(4);
+        let seq = run(&base);
+        let mut pipec = cfg(4);
+        pipec.pipeline = true;
+        let pipe = run(&pipec);
+        assert!(pipe.name.contains("+pipe"));
+        // Overlapping comm and compute must not reduce throughput; on a
+        // stable channel it should clearly increase it.
+        assert!(
+            pipe.mean_iterations > seq.mean_iterations * 1.1,
+            "pipeline {} vs sequential {}",
+            pipe.mean_iterations,
+            seq.mean_iterations
+        );
+        // Training still works.
+        let first = pipe.checkpoints.first().expect("ckpt").metric;
+        let last = pipe.checkpoints.last().expect("ckpt").metric;
+        assert!(last > first - 3.0, "accuracy collapsed: {first} -> {last}");
+    }
+
+    #[test]
+    fn pipelined_rog_is_deterministic() {
+        let mut c = cfg(4);
+        c.pipeline = true;
+        let a = run(&c);
+        let b = run(&c);
+        assert_eq!(a.checkpoints, b.checkpoints);
+        assert_eq!(a.mean_iterations, b.mean_iterations);
+    }
+
+    #[test]
+    fn auto_threshold_runs_and_adapts() {
+        let mut c = cfg(4);
+        c.auto_threshold = true;
+        c.environment = Environment::Outdoor;
+        c.duration_secs = 240.0;
+        let m = run(&c);
+        assert!(m.name.contains("+auto"));
+        assert!(m.mean_iterations > 5.0);
+        // Determinism is preserved with the controller on.
+        let m2 = run(&c);
+        assert_eq!(m.checkpoints, m2.checkpoints);
+    }
+
+    #[test]
+    fn unstable_channel_still_converges_on_iterations() {
+        let mut c = cfg(4);
+        c.environment = Environment::Outdoor;
+        c.duration_secs = 90.0;
+        let m = run(&c);
+        assert!(m.mean_iterations >= 5.0, "iterations {}", m.mean_iterations);
+    }
+}

@@ -1,0 +1,52 @@
+//! End-to-end distributed-training harness.
+//!
+//! This crate assembles everything: it builds a simulated robot cluster
+//! (workload shards, per-device compute model, shared wireless channel),
+//! runs a synchronization strategy over it with an event-driven engine,
+//! and records the measurements the paper reports — metric-vs-iteration
+//! (statistical efficiency), metric-vs-wall-clock, per-iteration time
+//! composition (compute / communicate / stall) and energy.
+//!
+//! Two engines share the substrate:
+//!
+//! * [`engine::model`] drives the model-granularity baselines (BSP, SSP,
+//!   FLOWN): whole-model pushes and pulls, SSP gates with per-worker
+//!   thresholds from a [`rog_sync::ThresholdPolicy`].
+//! * [`engine::row`] drives ROG: per-row speculative transmission with
+//!   MTA continuation, the shared MTA-time budget, importance-ordered
+//!   rows and the RSP gate, via [`rog_core::RogWorker`] /
+//!   [`rog_core::RogServer`].
+//!
+//! "Tens of lines of code to apply" (paper Sec. I): running a full
+//! experiment is a config plus one call:
+//!
+//! ```
+//! use rog_trainer::{Environment, ExperimentConfig, ModelScale, Strategy, WorkloadKind};
+//!
+//! let metrics = ExperimentConfig {
+//!     workload: WorkloadKind::Cruda,
+//!     environment: Environment::Stable,
+//!     strategy: Strategy::Rog { threshold: 4 },
+//!     model_scale: ModelScale::Small,
+//!     n_workers: 2,
+//!     duration_secs: 60.0,
+//!     eval_every: 10,
+//!     ..ExperimentConfig::default()
+//! }
+//! .run();
+//! assert!(!metrics.checkpoints.is_empty());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod cluster;
+mod config;
+pub mod engine;
+mod metrics;
+pub mod report;
+pub mod stats;
+
+pub use cluster::{BuiltWorkload, Cluster, Device, DeviceKind};
+pub use config::{Environment, ExperimentConfig, ModelScale, Strategy, WorkloadKind};
+pub use metrics::{Checkpoint, MicroSample, RunMetrics, TimeComposition};

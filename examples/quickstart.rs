@@ -1,0 +1,40 @@
+//! Quickstart: train a model with ROG on a simulated robot team.
+//!
+//! Mirrors the paper's "tens of lines of code" claim: pick a workload,
+//! an environment and a strategy, and run. Prints the accuracy curve
+//! and the time/energy breakdown.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+
+use rog::trainer::{Environment, ExperimentConfig, ModelScale, Strategy, WorkloadKind};
+
+fn main() {
+    let metrics = ExperimentConfig {
+        workload: WorkloadKind::Cruda,
+        environment: Environment::Outdoor,
+        strategy: Strategy::Rog { threshold: 4 },
+        model_scale: ModelScale::Small,
+        n_workers: 4,
+        duration_secs: 300.0,
+        eval_every: 10,
+        ..ExperimentConfig::default()
+    }
+    .run();
+
+    println!("run: {}", metrics.name);
+    println!("iterations per worker: {:.0}", metrics.mean_iterations);
+    println!(
+        "per-iteration time: {:.2}s compute + {:.2}s communication + {:.2}s stall",
+        metrics.composition.compute, metrics.composition.communicate, metrics.composition.stall
+    );
+    println!("total energy: {:.0} J", metrics.total_energy_j);
+    println!("\n{} over time:", metrics.metric_name);
+    for c in &metrics.checkpoints {
+        println!(
+            "  iter {:>4}  t={:>6.1}s  {}={:>6.2}  energy={:>7.0} J",
+            c.iter, c.time, metrics.metric_name, c.metric, c.energy_j
+        );
+    }
+}

@@ -1,0 +1,35 @@
+//! High-level convenience re-exports for the most common entry points.
+//!
+//! Everything here is also reachable through the per-crate modules; this
+//! flat surface exists so quickstart code can write `rog::prelude::*`.
+
+/// The "just train something" prelude.
+///
+/// # Example
+///
+/// ```
+/// use rog::prelude::*;
+///
+/// let metrics = ExperimentConfig {
+///     workload: WorkloadKind::Cruda,
+///     environment: Environment::Stable,
+///     strategy: Strategy::Rog { threshold: 4 },
+///     model_scale: ModelScale::Small,
+///     n_workers: 2,
+///     duration_secs: 40.0,
+///     eval_every: 5,
+///     ..ExperimentConfig::default()
+/// }
+/// .run();
+/// assert!(metrics.mean_iterations > 0.0);
+/// ```
+pub mod prelude {
+    pub use rog_core::{RogOptimizer, RogServer, RogSession, RogWorker, RogWorkerConfig, RowId};
+    pub use rog_models::{CrimpSpec, CrudaSpec, Workload};
+    pub use rog_net::{Channel, ChannelProfile, SharingMode, Trace};
+    pub use rog_tensor::rng::DetRng;
+    pub use rog_tensor::Matrix;
+    pub use rog_trainer::{
+        report, Environment, ExperimentConfig, ModelScale, RunMetrics, Strategy, WorkloadKind,
+    };
+}

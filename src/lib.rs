@@ -1,0 +1,39 @@
+//! ROG — Row-Granulated distributed training for robotic IoT.
+//!
+//! A full-system Rust reproduction of *ROG: A High Performance and
+//! Robust Distributed Training System for Robotic IoT* (MICRO 2022):
+//! row-granulated gradient synchronization (RSP) with adaptive
+//! speculative transmission (ATP), evaluated against BSP / SSP / ASP /
+//! FLOWN baselines on a deterministic simulated robot team with a
+//! calibrated unstable wireless channel.
+//!
+//! Facade crate re-exporting the whole workspace:
+//!
+//! * [`core`] — the contribution: RSP, ATP, the `RogOptimizer` API.
+//! * [`trainer`] — end-to-end simulated experiments ([`prelude`] has a
+//!   quickstart).
+//! * [`net`] / [`sim`] / [`energy`] — wireless channel, discrete-event
+//!   engine, Table III power model.
+//! * [`models`] / [`tensor`] / [`compress`] — training substrate.
+//! * [`sync`] — model-granularity baselines.
+//!
+//! See `README.md` for the architecture overview, `DESIGN.md` for the
+//! paper-to-code map, `EXPERIMENTS.md` for paper-vs-measured results,
+//! and `examples/` for runnable entry points.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod facade;
+
+pub use facade::prelude;
+
+pub use rog_compress as compress;
+pub use rog_core as core;
+pub use rog_energy as energy;
+pub use rog_models as models;
+pub use rog_net as net;
+pub use rog_sim as sim;
+pub use rog_sync as sync;
+pub use rog_tensor as tensor;
+pub use rog_trainer as trainer;

@@ -1,0 +1,121 @@
+//! Conservation and fairness invariants of the wireless channel,
+//! property-tested against random traces and flow mixes.
+
+use proptest::prelude::*;
+use rog::net::{Channel, ChannelProfile, FlowOutcome, FlowSpec, Trace};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Bytes delivered never exceed the integral of channel capacity
+    /// (conservation), regardless of flow mix and deadlines.
+    #[test]
+    fn prop_conservation_of_bytes(
+        seed in 0u64..500,
+        n_flows in 1usize..5,
+        chunk_kb in 1u64..200,
+        deadline in prop::option::of(0.05f64..2.0),
+    ) {
+        let profile = ChannelProfile::outdoor();
+        let capacity = profile.generate(seed, 30.0);
+        let links: Vec<Trace> = (0..n_flows)
+            .map(|w| profile.generate_link(seed + 100 + w as u64, 30.0))
+            .collect();
+        let mut ch = Channel::new(capacity.clone(), links);
+        for w in 0..n_flows {
+            let mut spec = FlowSpec::new(w, vec![chunk_kb * 1024; 8]);
+            if let Some(d) = deadline {
+                spec = spec.with_deadline(d);
+            }
+            ch.start_flow(0.0, spec);
+        }
+        loop {
+            let evs = ch.advance_until(30.0);
+            if evs.is_empty() {
+                break;
+            }
+        }
+        // Link factors are ≤ 1, so total delivery is bounded by the
+        // capacity integral.
+        let cap_integral: f64 = capacity
+            .samples()
+            .iter()
+            .take((30.0 / capacity.dt()) as usize + 1)
+            .map(|bps| bps / 8.0 * capacity.dt())
+            .sum();
+        let delivered = ch.useful_bytes() + ch.wasted_bytes();
+        prop_assert!(
+            delivered <= cap_integral * 1.01 + 1024.0,
+            "delivered {delivered} exceeds capacity integral {cap_integral}"
+        );
+    }
+
+    /// A deadline never yields more chunks than the flow had, and the
+    /// reported byte count matches the chunk prefix.
+    #[test]
+    fn prop_deadline_accounting(
+        seed in 0u64..500,
+        n_chunks in 1usize..20,
+        deadline in 0.0f64..1.0,
+    ) {
+        let profile = ChannelProfile::indoor();
+        let capacity = profile.generate(seed, 10.0);
+        let mut ch = Channel::new(capacity, vec![Trace::constant(1.0)]);
+        let chunks: Vec<u64> = (0..n_chunks).map(|i| 10_000 + 1_000 * i as u64).collect();
+        let total: u64 = chunks.iter().sum();
+        ch.start_flow(0.0, FlowSpec::new(0, chunks.clone()).with_deadline(deadline));
+        let evs = ch.advance_until(10.0);
+        prop_assert_eq!(evs.len(), 1);
+        match evs[0].outcome {
+            FlowOutcome::Completed => {
+                prop_assert!((ch.useful_bytes() - total as f64).abs() < 1.0);
+            }
+            FlowOutcome::DeadlineReached { chunks_done, bytes_done } => {
+                prop_assert!(chunks_done <= n_chunks);
+                let expect: u64 = chunks.iter().take(chunks_done).sum();
+                prop_assert_eq!(bytes_done, expect);
+                prop_assert!(evs[0].at <= deadline + 1e-6);
+            }
+        }
+    }
+
+    /// Two flows over identical links finish simultaneously (fair
+    /// airtime sharing) on any capacity trace.
+    #[test]
+    fn prop_equal_flows_finish_together(seed in 0u64..500) {
+        let profile = ChannelProfile::outdoor();
+        let capacity = profile.generate(seed, 60.0);
+        let links = vec![Trace::constant(1.0), Trace::constant(1.0)];
+        let mut ch = Channel::new(capacity, links);
+        ch.start_flow(0.0, FlowSpec::new(0, vec![500_000]));
+        ch.start_flow(0.0, FlowSpec::new(1, vec![500_000]));
+        let mut ends = Vec::new();
+        loop {
+            let evs = ch.advance_until(60.0);
+            if evs.is_empty() {
+                break;
+            }
+            ends.extend(evs.iter().map(|e| e.at));
+        }
+        prop_assert_eq!(ends.len(), 2);
+        prop_assert!((ends[0] - ends[1]).abs() < 1e-6, "{:?}", ends);
+    }
+}
+
+/// Wasted bytes only appear when deadlines cut flows.
+#[test]
+fn no_waste_without_deadlines() {
+    let profile = ChannelProfile::outdoor();
+    let mut ch = Channel::new(
+        profile.generate(3, 30.0),
+        vec![profile.generate_link(4, 30.0)],
+    );
+    ch.start_flow(0.0, FlowSpec::new(0, vec![100_000; 10]));
+    loop {
+        if ch.advance_until(30.0).is_empty() {
+            break;
+        }
+    }
+    assert_eq!(ch.wasted_bytes(), 0.0);
+    assert!((ch.useful_bytes() - 1_000_000.0).abs() < 1.0);
+}

@@ -1,0 +1,213 @@
+//! Engine-level invariants that must hold for every strategy and mode:
+//! timeline conservation, energy consistency, throughput ordering.
+
+use rog::prelude::*;
+
+fn base() -> ExperimentConfig {
+    ExperimentConfig {
+        workload: WorkloadKind::Cruda,
+        environment: Environment::Outdoor,
+        strategy: Strategy::Bsp,
+        model_scale: ModelScale::Small,
+        n_workers: 3,
+        n_laptop_workers: 1,
+        duration_secs: 240.0,
+        eval_every: 10,
+        seed: 11,
+        ..ExperimentConfig::default()
+    }
+}
+
+fn all_strategies() -> Vec<Strategy> {
+    vec![
+        Strategy::Bsp,
+        Strategy::Ssp { threshold: 4 },
+        Strategy::Asp,
+        Strategy::Flown {
+            min_threshold: 2,
+            max_threshold: 12,
+        },
+        Strategy::Rog { threshold: 4 },
+    ]
+}
+
+#[test]
+fn composition_times_are_conserved() {
+    for strategy in all_strategies() {
+        let m = ExperimentConfig {
+            strategy,
+            ..base()
+        }
+        .run();
+        let c = m.composition;
+        assert!(c.compute > 0.0, "{}", strategy.name());
+        assert!(c.communicate > 0.0, "{}", strategy.name());
+        assert!(c.stall >= 0.0, "{}", strategy.name());
+        // Total busy time across workers cannot exceed workers × budget.
+        let busy = c.total() * m.mean_iterations * 3.0;
+        assert!(
+            busy <= 3.0 * m.duration * 1.02,
+            "{}: busy {busy} exceeds budget",
+            strategy.name()
+        );
+    }
+}
+
+#[test]
+fn energy_matches_composition_within_bounds() {
+    // Cluster energy must sit between all-stall power and all-compute
+    // power over the run (robot workers only: 2 of 3 here).
+    for strategy in [Strategy::Bsp, Strategy::Rog { threshold: 4 }] {
+        let m = ExperimentConfig {
+            strategy,
+            ..base()
+        }
+        .run();
+        let robots = 2.0;
+        let lo = 4.0 * m.duration * robots; // below stall power floor
+        let hi = 13.35 * m.duration * robots * 1.01;
+        assert!(
+            m.total_energy_j > lo && m.total_energy_j < hi,
+            "{}: energy {} outside [{lo}, {hi}]",
+            strategy.name(),
+            m.total_energy_j
+        );
+    }
+}
+
+#[test]
+fn asp_never_stalls_and_outpaces_bsp() {
+    let bsp = base().run();
+    let asp = ExperimentConfig {
+        strategy: Strategy::Asp,
+        ..base()
+    }
+    .run();
+    assert!(
+        asp.composition.stall < 0.05,
+        "ASP must not stall: {}",
+        asp.composition.stall
+    );
+    assert!(
+        asp.mean_iterations >= bsp.mean_iterations,
+        "ASP {} !>= BSP {}",
+        asp.mean_iterations,
+        bsp.mean_iterations
+    );
+}
+
+#[test]
+fn throughput_ordering_matches_gate_tightness() {
+    // Looser gates can only help throughput: BSP <= SSP-4 <= SSP-20.
+    let run = |s| {
+        ExperimentConfig {
+            strategy: s,
+            ..base()
+        }
+        .run()
+        .mean_iterations
+    };
+    let bsp = run(Strategy::Bsp);
+    let ssp4 = run(Strategy::Ssp { threshold: 4 });
+    let ssp20 = run(Strategy::Ssp { threshold: 20 });
+    assert!(bsp <= ssp4 + 1.0, "BSP {bsp} vs SSP-4 {ssp4}");
+    assert!(ssp4 <= ssp20 + 1.0, "SSP-4 {ssp4} vs SSP-20 {ssp20}");
+}
+
+#[test]
+fn rog_throughput_rises_with_threshold() {
+    let run = |t| {
+        ExperimentConfig {
+            strategy: Strategy::Rog { threshold: t },
+            ..base()
+        }
+        .run()
+        .mean_iterations
+    };
+    let r4 = run(4);
+    let r20 = run(20);
+    assert!(r4 <= r20 + 1.0, "ROG-4 {r4} vs ROG-20 {r20}");
+}
+
+#[test]
+fn checkpoint_energy_is_monotonic_everywhere() {
+    for strategy in all_strategies() {
+        let m = ExperimentConfig {
+            strategy,
+            ..base()
+        }
+        .run();
+        for w in m.checkpoints.windows(2) {
+            assert!(
+                w[0].energy_j <= w[1].energy_j + 1e-6,
+                "{}: energy went backwards",
+                strategy.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn model_divergence_is_bounded_by_the_gate() {
+    // Lockstep (BSP) keeps replicas near-identical; bounded staleness
+    // keeps divergence small relative to the model norm; ASP may drift
+    // further but must not explode on a short run.
+    let div = |s| {
+        ExperimentConfig {
+            strategy: s,
+            ..base()
+        }
+        .run()
+        .final_model_divergence
+    };
+    let bsp = div(Strategy::Bsp);
+    let rog = div(Strategy::Rog { threshold: 4 });
+    let asp = div(Strategy::Asp);
+    assert!(bsp < 0.05, "BSP replicas should track closely: {bsp}");
+    assert!(rog < 0.25, "ROG divergence should be bounded: {rog}");
+    assert!(asp < 1.0, "ASP should not explode on a short run: {asp}");
+    assert!(bsp <= rog + 0.05, "BSP {bsp} vs ROG {rog}");
+}
+
+#[test]
+fn conv_workload_runs_distributed() {
+    let m = ExperimentConfig {
+        workload: WorkloadKind::CrudaConv,
+        strategy: Strategy::Rog { threshold: 4 },
+        ..base()
+    }
+    .run();
+    assert!(m.mean_iterations > 5.0);
+    assert!(!m.checkpoints.is_empty());
+}
+
+#[test]
+fn replayed_traces_reproduce_generated_runs() {
+    // The artifact path as an integration test (the full binary does
+    // this at paper scale).
+    use rog::net::io;
+    let cfg = base();
+    let reference = cfg.run();
+    // Regenerate the same traces the cluster builder derives.
+    let root = DetRng::new(cfg.seed);
+    let profile = cfg.environment.profile();
+    let trace_len: f64 = 300.0;
+    let capacity = profile.generate(root.fork(0x50).seed(), trace_len);
+    let links: Vec<Trace> = (0..3)
+        .map(|w| profile.generate_link(root.fork(0x60 + w as u64).seed(), trace_len))
+        .collect();
+    // CSV round trip.
+    let capacity = io::trace_from_csv(&io::trace_to_csv(&capacity)).expect("parses");
+    let links: Vec<Trace> = links
+        .iter()
+        .map(|l| io::trace_from_csv(&io::trace_to_csv(l)).expect("parses"))
+        .collect();
+    let replayed = ExperimentConfig {
+        capacity_trace: Some(capacity),
+        link_traces: Some(links),
+        ..cfg
+    }
+    .run();
+    assert_eq!(replayed.checkpoints, reference.checkpoints);
+    assert_eq!(replayed.mean_iterations, reference.mean_iterations);
+}

@@ -1,0 +1,151 @@
+//! RSP safety invariants exercised through the core building blocks:
+//! no matter how the (adversarial) channel truncates transmissions down
+//! to the MTA/mandatory floor, row staleness stays within the
+//! threshold and every worker eventually applies the same gradients.
+
+use proptest::prelude::*;
+use rog::core::{mta, RogServer, RogWorker, RogWorkerConfig, RowId};
+use rog::tensor::rng::DetRng;
+use rog::tensor::Matrix;
+
+fn params() -> Vec<Matrix> {
+    vec![
+        Matrix::zeros(6, 4),
+        Matrix::zeros(1, 6),
+        Matrix::zeros(3, 6),
+        Matrix::zeros(1, 3),
+    ]
+}
+
+fn random_grads(rng: &mut DetRng) -> Vec<Matrix> {
+    params()
+        .iter()
+        .map(|m| Matrix::randn(m.rows(), m.cols(), 1.0, rng))
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Worker-level RSP: if every push delivers at least the mandatory
+    /// prefix and the MTA floor, no row on a worker ever exceeds the
+    /// staleness threshold.
+    #[test]
+    fn prop_worker_staleness_is_bounded(
+        seed in 0u64..1000,
+        threshold in 2u32..8,
+        cut_bias in 0.0f64..1.0,
+    ) {
+        let ps = params();
+        let mut worker = RogWorker::new(&ps, RogWorkerConfig::new(threshold, 0.01));
+        let n_rows = worker.partition().n_rows();
+        let mta_rows = mta::mta_rows(n_rows, threshold);
+        let mut rng = DetRng::new(seed);
+        for iter in 1..=40u64 {
+            let g = random_grads(&mut rng);
+            worker.accumulate(&g);
+            let plan = worker.plan_push(iter);
+            // Mandatory rows sit at the front of the plan.
+            let t = u64::from(threshold);
+            let mandatory = plan
+                .iter()
+                .take_while(|&&id| iter.saturating_sub(worker.row_iters()[id.0]) >= t)
+                .count();
+            // Adversarial channel: deliver between the floor and all.
+            let floor = mta_rows.max(mandatory).min(plan.len());
+            let extra = ((plan.len() - floor) as f64 * cut_bias * rng.uniform()) as usize;
+            let delivered = floor + extra;
+            worker.commit_push(&plan[..delivered], iter);
+            prop_assert!(
+                worker.max_row_staleness(iter) < u64::from(threshold),
+                "iter {iter}: staleness {} reached threshold {threshold}",
+                worker.max_row_staleness(iter)
+            );
+        }
+    }
+
+    /// Server-level RSP: the gate never admits a pull whose pushed
+    /// version leads the globally stalest row by the threshold.
+    #[test]
+    fn prop_server_gate_bounds_divergence(
+        seed in 0u64..1000,
+        threshold in 2u32..6,
+    ) {
+        let ps = params();
+        let n_workers = 3usize;
+        let mut server = RogServer::new(&ps, n_workers, threshold, Default::default());
+        let mut workers: Vec<RogWorker> = (0..n_workers)
+            .map(|_| RogWorker::new(&ps, RogWorkerConfig::new(threshold, 0.01)))
+            .collect();
+        let n_rows = workers[0].partition().n_rows();
+        let mta_rows = mta::mta_rows(n_rows, threshold);
+        let mut rng = DetRng::new(seed);
+        let mut iters = vec![0u64; n_workers];
+        for _round in 0..60 {
+            // A random worker tries to advance; the gate may block it.
+            let w = rng.index(n_workers);
+            let next = iters[w] + 1;
+            let g = random_grads(&mut rng);
+            workers[w].accumulate(&g);
+            let plan = workers[w].plan_push(next);
+            let t = u64::from(threshold);
+            let mandatory = plan
+                .iter()
+                .take_while(|&&id| next.saturating_sub(workers[w].row_iters()[id.0]) >= t)
+                .count();
+            let floor = mta_rows.max(mandatory).min(plan.len());
+            let sent = workers[w].commit_push(&plan[..floor], next);
+            server.on_push(w, next, &sent);
+            iters[w] = next;
+            if server.gate_ok(next) {
+                let pull = server.plan_pull(w);
+                let take = pull.len().min(mta_rows.max(1));
+                let _ = server.commit_pull(w, &pull[..take]);
+            } else {
+                // Gate blocked: verify the lead is genuinely at the
+                // threshold.
+                let min = server.versions_mut().global_min();
+                prop_assert!(
+                    next >= min + u64::from(threshold),
+                    "gate blocked below threshold: next {next}, min {min}"
+                );
+            }
+        }
+    }
+}
+
+/// All workers receive identical accumulated gradients over time (the
+/// Sec. III-B consistency argument), modulo the bounded compression
+/// residual still held server-side.
+#[test]
+fn all_workers_apply_the_same_totals() {
+    let ps = params();
+    let n_workers = 2usize;
+    let threshold = 4u32;
+    let mut server = RogServer::new(&ps, n_workers, threshold, Default::default());
+    let mut worker = RogWorker::new(&ps, RogWorkerConfig::new(threshold, 1.0));
+    let n_rows = worker.partition().n_rows();
+    let all_rows: Vec<RowId> = (0..n_rows).map(RowId).collect();
+    let mut rng = DetRng::new(42);
+    // One producer pushes everything each round; both consumers drain
+    // fully each round.
+    let mut received: Vec<Vec<f32>> = vec![vec![], vec![]];
+    for iter in 1..=30u64 {
+        let g = random_grads(&mut rng);
+        worker.accumulate(&g);
+        let plan = worker.plan_push(iter);
+        let sent = worker.commit_push(&plan, iter);
+        server.on_push(0, iter, &sent);
+        for dst in 0..n_workers {
+            let payload = server.commit_pull(dst, &all_rows);
+            let flat: f32 = payload.iter().flat_map(|(_, v)| v.iter()).sum();
+            received[dst].push(flat);
+        }
+    }
+    let total0: f32 = received[0].iter().sum();
+    let total1: f32 = received[1].iter().sum();
+    assert!(
+        (total0 - total1).abs() < 0.05 * total0.abs().max(1.0),
+        "workers received diverging totals: {total0} vs {total1}"
+    );
+}

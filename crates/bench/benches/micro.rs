@@ -8,7 +8,9 @@ use std::hint::black_box;
 
 use rog_compress::{CompressedRow, ErrorFeedback, TopKCodec};
 use rog_core::mta::mta_fraction;
-use rog_core::{ImportanceMetric, ImportanceMode, RogWorker, RogWorkerConfig, RowId, RowPartition};
+use rog_core::{
+    ImportanceMetric, ImportanceMode, RankScratch, RogWorker, RogWorkerConfig, RowId, RowPartition,
+};
 use rog_net::{Channel, ChannelProfile, FlowSpec, Trace};
 use rog_tensor::rng::DetRng;
 use rog_tensor::Matrix;
@@ -16,7 +18,9 @@ use rog_tensor::Matrix;
 fn bench_compression(c: &mut Criterion) {
     let mut g = c.benchmark_group("compression");
     let mut rng = DetRng::new(1);
-    for &cols in &[64usize, 512, 4096] {
+    // 16384 cols = 256 packed u64 words: makes the word-at-a-time
+    // pack/unpack throughput visible above the per-call overhead.
+    for &cols in &[64usize, 512, 4096, 16_384] {
         let row: Vec<f32> = (0..cols).map(|_| rng.normal() as f32).collect();
         g.bench_with_input(BenchmarkId::new("onebit_encode", cols), &row, |b, row| {
             b.iter(|| CompressedRow::encode(black_box(row)))
@@ -47,6 +51,75 @@ fn bench_importance(c: &mut Criterion) {
         g.bench_with_input(BenchmarkId::new("rank_worker_mode", rows), &rows, |b, _| {
             b.iter(|| metric.rank(ImportanceMode::Worker, black_box(&mags), black_box(&iters)))
         });
+        // Allocation-free full ranking (what the engines run every push).
+        let mut scratch = RankScratch::default();
+        let mut out = Vec::new();
+        g.bench_with_input(BenchmarkId::new("rank_into", rows), &rows, |b, _| {
+            b.iter(|| {
+                metric.rank_into(
+                    ImportanceMode::Worker,
+                    black_box(&mags),
+                    black_box(&iters),
+                    &mut scratch,
+                    &mut out,
+                );
+                out.len()
+            })
+        });
+        // Partial selection: only the k best rows fit the budget, so the
+        // O(n + k log k) path skips sorting the ~33k-row tail.
+        let k = (rows / 16).max(1);
+        g.bench_with_input(BenchmarkId::new("rank_top_k_into", rows), &k, |b, &k| {
+            b.iter(|| {
+                metric.rank_top_k_into(
+                    ImportanceMode::Worker,
+                    black_box(&mags),
+                    black_box(&iters),
+                    k,
+                    &mut scratch,
+                    &mut out,
+                );
+                out.len()
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_kernels(c: &mut Criterion) {
+    // The hot-path linear algebra of the batched dense backward: the
+    // forward `acts · Wᵀ` (matmul_transb), the backward `dz · W`
+    // (matmul), and the per-sample outer-product gradient accumulate.
+    let mut g = c.benchmark_group("kernels");
+    let mut rng = DetRng::new(4);
+    for &(batch, n_in, n_out) in &[(32usize, 96usize, 64usize), (64, 256, 256)] {
+        let label = format!("{batch}x{n_in}x{n_out}");
+        let acts = Matrix::from_fn(batch, n_in, |_, _| rng.normal() as f32);
+        let w = Matrix::from_fn(n_out, n_in, |_, _| rng.normal() as f32);
+        let dz = Matrix::from_fn(batch, n_out, |_, _| rng.normal() as f32);
+        g.bench_with_input(
+            BenchmarkId::new("matmul_transb", &label),
+            &(&acts, &w),
+            |b, (a, w)| b.iter(|| black_box(*a).matmul_transb(black_box(w))),
+        );
+        g.bench_with_input(
+            BenchmarkId::new("matmul", &label),
+            &(&dz, &w),
+            |b, (dz, w)| b.iter(|| black_box(*dz).matmul(black_box(w))),
+        );
+        let mut gw = Matrix::zeros(n_out, n_in);
+        g.bench_with_input(
+            BenchmarkId::new("add_outer_batch", &label),
+            &(&dz, &acts),
+            |b, (dz, acts)| {
+                b.iter(|| {
+                    for r in 0..batch {
+                        gw.add_outer(black_box(dz.row(r)), black_box(acts.row(r)), 0.03125);
+                    }
+                    gw.row(0)[0]
+                })
+            },
+        );
     }
     g.finish();
 }
@@ -93,7 +166,9 @@ fn bench_channel(c: &mut Criterion) {
     let mut g = c.benchmark_group("channel");
     let profile = ChannelProfile::outdoor();
     let capacity = profile.generate(7, 300.0);
-    let links: Vec<Trace> = (0..4).map(|w| profile.generate_link(8 + w, 300.0)).collect();
+    let links: Vec<Trace> = (0..4)
+        .map(|w| profile.generate_link(8 + w, 300.0))
+        .collect();
     g.bench_function("four_flows_one_second", |b| {
         b.iter(|| {
             let mut ch = Channel::new(capacity.clone(), links.clone());
@@ -125,7 +200,11 @@ fn bench_granularity_ablation(c: &mut Criterion) {
     // Model of ~33k rows; element granularity would be 16.95M units
     // (benchmarked at 1/100 scale to keep runtime sane), layer
     // granularity is 226 units.
-    for (name, units) in [("layer_226", 226usize), ("row_33307", 33_307), ("element_169k_sample", 169_500)] {
+    for (name, units) in [
+        ("layer_226", 226usize),
+        ("row_33307", 33_307),
+        ("element_169k_sample", 169_500),
+    ] {
         let mags: Vec<f32> = (0..units).map(|_| rng.normal().abs() as f32).collect();
         let iters: Vec<u64> = (0..units).map(|i| (i % 5) as u64).collect();
         g.bench_function(name, |b| {
@@ -139,6 +218,7 @@ criterion_group!(
     benches,
     bench_compression,
     bench_importance,
+    bench_kernels,
     bench_mta,
     bench_row_plumbing,
     bench_channel,

@@ -105,7 +105,10 @@ fn main() {
         profile.generate(13, 30.0),
         vec![profile.generate_link(14, 30.0)],
     );
-    ch.start_flow(0.0, FlowSpec::new(0, vec![big_layer_bytes]).with_deadline(0.012));
+    ch.start_flow(
+        0.0,
+        FlowSpec::new(0, vec![big_layer_bytes]).with_deadline(0.012),
+    );
     let evs = ch.advance_until(31.0);
     if let Some(e) = evs.first() {
         if let FlowOutcome::DeadlineReached { bytes_done, .. } = e.outcome {

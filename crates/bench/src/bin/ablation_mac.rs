@@ -58,11 +58,9 @@ fn main() {
     println!(
         "rate anomaly inflates BSP iterations {bsp_gain:.2}x and ROG-4 iterations {rog_gain:.2}x"
     );
-    let speedup_air = find("BSP[airtime]").composition.total()
-        / find("ROG-4[airtime]").composition.total();
-    let speedup_anom = find("BSP[anomaly]").composition.total()
-        / find("ROG-4[anomaly]").composition.total();
-    println!(
-        "ROG-4 speedup over BSP: {speedup_air:.2}x (airtime) vs {speedup_anom:.2}x (anomaly)"
-    );
+    let speedup_air =
+        find("BSP[airtime]").composition.total() / find("ROG-4[airtime]").composition.total();
+    let speedup_anom =
+        find("BSP[anomaly]").composition.total() / find("ROG-4[anomaly]").composition.total();
+    println!("ROG-4 speedup over BSP: {speedup_air:.2}x (airtime) vs {speedup_anom:.2}x (anomaly)");
 }

@@ -1,0 +1,130 @@
+//! End-to-end wall-clock benchmark: times a fixed short fig1-style run
+//! (CRUDA outdoor) for a few strategies and writes `BENCH_e2e.json`
+//! with the median of N repetitions, so successive PRs can track the
+//! perf trajectory of the whole simulator, not just the kernels.
+//!
+//! Usage: `cargo run --release -p rog-bench --bin bench_e2e [--quick]`
+//!
+//! Each run is fully deterministic, so besides timings the file also
+//! records a determinism fingerprint (`mean_iterations`,
+//! `total_energy_j`, `useful_bytes`) — if a future change moves those
+//! numbers, it changed behaviour, not just speed.
+
+use std::time::Instant;
+
+use rog_bench::quick;
+use rog_trainer::{Environment, ExperimentConfig, Strategy, WorkloadKind};
+
+struct Entry {
+    name: String,
+    all_secs: Vec<f64>,
+    mean_iterations: f64,
+    total_energy_j: f64,
+    useful_bytes: f64,
+}
+
+/// Median of a sample (mean of the two middle elements when even).
+fn median(xs: &[f64]) -> f64 {
+    let mut s = xs.to_vec();
+    s.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+    let n = s.len();
+    if n % 2 == 1 {
+        s[n / 2]
+    } else {
+        0.5 * (s[n / 2 - 1] + s[n / 2])
+    }
+}
+
+fn json_f64(x: f64) -> String {
+    if x.is_finite() {
+        format!("{x}")
+    } else {
+        "null".to_owned()
+    }
+}
+
+fn main() {
+    let (reps, dur) = if quick() {
+        (3usize, 45.0)
+    } else {
+        (5usize, 120.0)
+    };
+    let strategies = [
+        Strategy::Bsp,
+        Strategy::Ssp { threshold: 4 },
+        Strategy::Rog { threshold: 4 },
+    ];
+    println!("bench_e2e: {reps} reps of {dur:.0} virtual seconds, CRUDA outdoor");
+
+    let entries: Vec<Entry> = strategies
+        .iter()
+        .map(|&strategy| {
+            let cfg = ExperimentConfig {
+                workload: WorkloadKind::Cruda,
+                environment: Environment::Outdoor,
+                strategy,
+                duration_secs: dur,
+                ..ExperimentConfig::default()
+            };
+            let mut all_secs = Vec::with_capacity(reps);
+            let mut last = None;
+            for _ in 0..reps {
+                let start = Instant::now();
+                let run = cfg.run();
+                all_secs.push(start.elapsed().as_secs_f64());
+                last = Some(run);
+            }
+            let run = last.expect("reps >= 1");
+            println!(
+                "  {:<24} median {:>8.3}s  (iters {:.1}, energy {:.0} J)",
+                run.name,
+                median(&all_secs),
+                run.mean_iterations,
+                run.total_energy_j
+            );
+            Entry {
+                name: run.name.clone(),
+                all_secs,
+                mean_iterations: run.mean_iterations,
+                total_energy_j: run.total_energy_j,
+                useful_bytes: run.useful_bytes,
+            }
+        })
+        .collect();
+
+    let mut json = String::from("{\n");
+    json.push_str("  \"bench\": \"e2e_cruda_outdoor_short\",\n");
+    json.push_str(&format!("  \"virtual_duration_secs\": {dur},\n"));
+    json.push_str(&format!("  \"reps\": {reps},\n"));
+    json.push_str("  \"entries\": [\n");
+    for (i, e) in entries.iter().enumerate() {
+        json.push_str("    {\n");
+        json.push_str(&format!("      \"name\": {:?},\n", e.name));
+        json.push_str(&format!(
+            "      \"median_secs\": {},\n",
+            json_f64(median(&e.all_secs))
+        ));
+        let all: Vec<String> = e.all_secs.iter().map(|&s| json_f64(s)).collect();
+        json.push_str(&format!("      \"all_secs\": [{}],\n", all.join(", ")));
+        json.push_str(&format!(
+            "      \"mean_iterations\": {},\n",
+            json_f64(e.mean_iterations)
+        ));
+        json.push_str(&format!(
+            "      \"total_energy_j\": {},\n",
+            json_f64(e.total_energy_j)
+        ));
+        json.push_str(&format!(
+            "      \"useful_bytes\": {}\n",
+            json_f64(e.useful_bytes)
+        ));
+        json.push_str(if i + 1 < entries.len() {
+            "    },\n"
+        } else {
+            "    }\n"
+        });
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::write("BENCH_e2e.json", &json).expect("write BENCH_e2e.json");
+    println!("  -> wrote BENCH_e2e.json");
+}

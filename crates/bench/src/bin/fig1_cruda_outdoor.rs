@@ -47,7 +47,10 @@ fn main() {
         .flat_map(|r| r.checkpoints.last().map(|c| c.iter))
         .min()
         .unwrap_or(0);
-    let iters: Vec<u64> = (1..=10).map(|k| k * max_iter / 10).filter(|&i| i > 0).collect();
+    let iters: Vec<u64> = (1..=10)
+        .map(|k| k * max_iter / 10)
+        .filter(|&i| i > 0)
+        .collect();
     let b = series_at_iterations(&runs, &iters);
     print!("{b}");
     write_artifact("fig1b_statistical_efficiency.csv", &b);

@@ -70,8 +70,6 @@ fn main() {
             "\ncorrelation(bandwidth, transmission rate) = {corr:.2} \
              (positive: ROG adapts the rate to the link in real time)"
         );
-        println!(
-            "max staleness observed: {max_stale} (bounded by the RSP threshold 4)"
-        );
+        println!("max staleness observed: {max_stale} (bounded by the RSP threshold 4)");
     }
 }

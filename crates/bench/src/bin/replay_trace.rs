@@ -22,7 +22,7 @@ fn main() {
     // default experiment seed, so the generated-trace reference runs see
     // identical channels.
     let root = rog_tensor::rng::DetRng::new(ExperimentConfig::default().seed);
-    let trace_len = dur.max(300.0).min(1800.0);
+    let trace_len = dur.clamp(300.0, 1800.0);
     let capacity = profile.generate(root.fork(0x50).seed(), trace_len);
     let links: Vec<Trace> = (0..4)
         .map(|w| profile.generate_link(root.fork(0x60 + w as u64).seed(), trace_len))
@@ -50,8 +50,16 @@ fn main() {
         ..ExperimentConfig::default()
     };
     let configs = vec![
-        mk(Strategy::Bsp, Some(capacity_back.clone()), Some(links_back.clone())),
-        mk(Strategy::Rog { threshold: 4 }, Some(capacity_back), Some(links_back)),
+        mk(
+            Strategy::Bsp,
+            Some(capacity_back.clone()),
+            Some(links_back.clone()),
+        ),
+        mk(
+            Strategy::Rog { threshold: 4 },
+            Some(capacity_back),
+            Some(links_back),
+        ),
         // Reference: the generated-trace run with the same seeds.
         mk(Strategy::Bsp, None, None),
         mk(Strategy::Rog { threshold: 4 }, None, None),
@@ -61,14 +69,18 @@ fn main() {
     header("Replay vs generated (identical traces → identical results)");
     for pair in [(0usize, 2usize), (1, 3)] {
         let (replay, gen) = (&runs[pair.0], &runs[pair.1]);
-        let same = replay.checkpoints == gen.checkpoints
-            && replay.mean_iterations == gen.mean_iterations;
+        let same =
+            replay.checkpoints == gen.checkpoints && replay.mean_iterations == gen.mean_iterations;
         println!(
             "{:<8} replay {:>6.0} iters / generated {:>6.0} iters — {}",
             gen.name.split(" / ").next().unwrap_or(""),
             replay.mean_iterations,
             gen.mean_iterations,
-            if same { "bit-identical ✓" } else { "DIFFERS ✗" }
+            if same {
+                "bit-identical ✓"
+            } else {
+                "DIFFERS ✗"
+            }
         );
         assert!(same, "replayed run must match the generated run");
     }

@@ -20,10 +20,17 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    println!("running {} for {:.0}s ...", run.config.name(), run.config.duration_secs);
+    println!(
+        "running {} for {:.0}s ...",
+        run.config.name(),
+        run.config.duration_secs
+    );
     let metrics = run.config.run();
 
-    println!("\n{}", report::composition_table(std::slice::from_ref(&metrics)));
+    println!(
+        "\n{}",
+        report::composition_table(std::slice::from_ref(&metrics))
+    );
     println!("{} over time:", metrics.metric_name);
     for c in &metrics.checkpoints {
         println!(
@@ -40,8 +47,11 @@ fn main() -> ExitCode {
     );
 
     if let Some(path) = &run.csv_out {
-        std::fs::write(path, report::checkpoints_csv(std::slice::from_ref(&metrics)))
-            .expect("write csv");
+        std::fs::write(
+            path,
+            report::checkpoints_csv(std::slice::from_ref(&metrics)),
+        )
+        .expect("write csv");
         println!("wrote {path}");
     }
     if let Some(path) = &run.json_out {

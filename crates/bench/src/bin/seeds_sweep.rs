@@ -17,9 +17,8 @@ fn main() {
         seeds.len(),
         dur
     ));
-    let mut csv = String::from(
-        "system,iters_mean,iters_std,stall_mean,stall_std,acc_mean,acc_std\n",
-    );
+    let mut csv =
+        String::from("system,iters_mean,iters_std,stall_mean,stall_std,acc_mean,acc_std\n");
     let mut rog_acc = f64::NAN;
     let mut base_acc = f64::NEG_INFINITY;
     for strategy in [

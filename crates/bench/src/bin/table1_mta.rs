@@ -15,7 +15,10 @@ fn main() {
         (7, 0.22),
         (8, 0.2),
     ];
-    println!("{:<10} {:>10} {:>10}", "threshold", "MTA (ours)", "MTA (paper)");
+    println!(
+        "{:<10} {:>10} {:>10}",
+        "threshold", "MTA (ours)", "MTA (paper)"
+    );
     let mut csv = String::from("threshold,mta_ours,mta_paper\n");
     for (s, p) in paper {
         let ours = mta_fraction(s);

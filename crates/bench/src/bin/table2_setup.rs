@@ -22,7 +22,10 @@ fn main() {
         .unwrap_or(0);
     println!("batch size (robot):            {robot_batch}   (paper: 24)");
     println!("batch size (laptop):           {laptop_batch}   (paper: 16)");
-    println!("learning rate:                 {}   (paper: 1e-6 on ConvMLP)", cluster.lr);
+    println!(
+        "learning rate:                 {}   (paper: 1e-6 on ConvMLP)",
+        cluster.lr
+    );
     println!(
         "compress+decompress time cost: {:.2} s (paper: 0.42–0.51 s)",
         cfg.codec_secs()
@@ -41,5 +44,8 @@ fn main() {
         cfg.n_workers - cfg.n_laptop_workers,
         cfg.n_laptop_workers
     );
-    println!("checkpoint cadence:            every {} iterations (paper: 50)", cfg.eval_every);
+    println!(
+        "checkpoint cadence:            every {} iterations (paper: 50)",
+        cfg.eval_every
+    );
 }

@@ -92,7 +92,9 @@ pub fn parse(args: &[String]) -> Result<CliRun, CliError> {
                     .map_err(|_| err("--duration expects seconds"))?
             }
             "--workers" => {
-                cfg.n_workers = value()?.parse().map_err(|_| err("--workers expects a count"))?
+                cfg.n_workers = value()?
+                    .parse()
+                    .map_err(|_| err("--workers expects a count"))?
             }
             "--laptops" => {
                 cfg.n_laptop_workers = value()?
@@ -109,7 +111,11 @@ pub fn parse(args: &[String]) -> Result<CliRun, CliError> {
                     .parse()
                     .map_err(|_| err("--eval-every expects an iteration count"))?
             }
-            "--seed" => cfg.seed = value()?.parse().map_err(|_| err("--seed expects an integer"))?,
+            "--seed" => {
+                cfg.seed = value()?
+                    .parse()
+                    .map_err(|_| err("--seed expects an integer"))?
+            }
             "--scale" => {
                 cfg.model_scale = match value()?.as_str() {
                     "paper" => ModelScale::Paper,
@@ -140,7 +146,9 @@ pub fn parse(args: &[String]) -> Result<CliRun, CliError> {
             json_out,
         })
     } else {
-        Err(err("--pipeline/--auto-threshold apply to ROG strategies only"))
+        Err(err(
+            "--pipeline/--auto-threshold apply to ROG strategies only",
+        ))
     }
 }
 

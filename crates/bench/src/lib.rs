@@ -80,7 +80,7 @@ pub fn series_at_times(runs: &[RunMetrics], probes: &[f64]) -> String {
         for r in runs {
             match rog_trainer::report::metric_at_time(r, t) {
                 Some(m) => out.push_str(&format!(",{m:.2}")),
-                None => out.push_str(","),
+                None => out.push(','),
             }
         }
         out.push('\n');
@@ -101,7 +101,7 @@ pub fn series_at_iterations(runs: &[RunMetrics], probes: &[u64]) -> String {
         for r in runs {
             match rog_trainer::report::metric_at_iteration(r, it as f64) {
                 Some(m) => out.push_str(&format!(",{m:.2}")),
-                None => out.push_str(","),
+                None => out.push(','),
             }
         }
         out.push('\n');

@@ -20,22 +20,53 @@ pub struct CompressedRow {
 
 impl CompressedRow {
     /// Compresses a row without error feedback (pure function).
+    ///
+    /// Signs are packed a 64-value word at a time: each block of 64
+    /// values builds one `u64` in a register, which is then spilled as 8
+    /// little-endian bytes — bit `i` of the word lands in byte `i / 8`,
+    /// bit `i % 8`, exactly the LSB-first layout the per-bit encoder
+    /// produced, so the wire format is unchanged.
     pub fn encode(row: &[f32]) -> Self {
         let cols = row.len();
         let mut bits = vec![0u8; cols.div_ceil(8)];
         let (mut pos_sum, mut pos_n, mut neg_sum, mut neg_n) = (0.0f64, 0u32, 0.0f64, 0u32);
-        for (i, &v) in row.iter().enumerate() {
-            if v >= 0.0 {
-                bits[i / 8] |= 1 << (i % 8);
-                pos_sum += v as f64;
-                pos_n += 1;
-            } else {
-                neg_sum += (-v) as f64;
-                neg_n += 1;
+        let mut pack = |chunk: &[f32]| -> u64 {
+            let mut word = 0u64;
+            for (b, &v) in chunk.iter().enumerate() {
+                if v >= 0.0 {
+                    word |= 1 << b;
+                    pos_sum += f64::from(v);
+                    pos_n += 1;
+                } else {
+                    neg_sum += f64::from(-v);
+                    neg_n += 1;
+                }
             }
+            word
+        };
+        let mut chunks = row.chunks_exact(64);
+        let mut byte = 0usize;
+        for chunk in &mut chunks {
+            let word = pack(chunk);
+            bits[byte..byte + 8].copy_from_slice(&word.to_le_bytes());
+            byte += 8;
         }
-        let scale_pos = if pos_n > 0 { (pos_sum / pos_n as f64) as f32 } else { 0.0 };
-        let scale_neg = if neg_n > 0 { (neg_sum / neg_n as f64) as f32 } else { 0.0 };
+        let tail = chunks.remainder();
+        if !tail.is_empty() {
+            let word = pack(tail);
+            let nb = tail.len().div_ceil(8);
+            bits[byte..byte + nb].copy_from_slice(&word.to_le_bytes()[..nb]);
+        }
+        let scale_pos = if pos_n > 0 {
+            (pos_sum / pos_n as f64) as f32
+        } else {
+            0.0
+        };
+        let scale_neg = if neg_n > 0 {
+            (neg_sum / neg_n as f64) as f32
+        } else {
+            0.0
+        };
         Self {
             scale_pos,
             scale_neg,
@@ -44,17 +75,33 @@ impl CompressedRow {
         }
     }
 
-    /// Reconstructs the row values.
+    /// Reconstructs the row values (word-at-a-time unpack).
     pub fn decompress(&self) -> Vec<f32> {
-        (0..self.cols)
-            .map(|i| {
-                if self.bits[i / 8] >> (i % 8) & 1 == 1 {
+        let mut out = Vec::with_capacity(self.cols);
+        let mut remaining = self.cols;
+        let unpack = |word: u64, take: usize, out: &mut Vec<f32>| {
+            for b in 0..take {
+                out.push(if word >> b & 1 == 1 {
                     self.scale_pos
                 } else {
                     -self.scale_neg
-                }
-            })
-            .collect()
+                });
+            }
+        };
+        let mut chunks = self.bits.chunks_exact(8);
+        for ch in &mut chunks {
+            let word = u64::from_le_bytes(ch.try_into().expect("8-byte chunk"));
+            let take = remaining.min(64);
+            unpack(word, take, &mut out);
+            remaining -= take;
+        }
+        let rem = chunks.remainder();
+        if remaining > 0 {
+            let mut buf = [0u8; 8];
+            buf[..rem.len()].copy_from_slice(rem);
+            unpack(u64::from_le_bytes(buf), remaining, &mut out);
+        }
+        out
     }
 
     /// Bytes this row occupies on the wire (scales + packed bits).
@@ -109,7 +156,11 @@ impl ErrorFeedback {
             gradient.len(),
             "gradient width mismatch for row {row}"
         );
-        let adjusted: Vec<f32> = gradient.iter().zip(residual.iter()).map(|(g, r)| g + r).collect();
+        let adjusted: Vec<f32> = gradient
+            .iter()
+            .zip(residual.iter())
+            .map(|(g, r)| g + r)
+            .collect();
         let code = CompressedRow::encode(&adjusted);
         let restored = code.decompress();
         for ((r, a), d) in residual.iter_mut().zip(&adjusted).zip(&restored) {
@@ -124,6 +175,68 @@ mod tests {
     use super::*;
     use proptest::prelude::*;
     use rog_tensor::rng::DetRng;
+
+    /// The original bit-at-a-time encoder, kept as the reference the
+    /// u64 word-packed implementation must match exactly.
+    fn encode_per_bit(row: &[f32]) -> CompressedRow {
+        let cols = row.len();
+        let mut bits = vec![0u8; cols.div_ceil(8)];
+        let (mut pos_sum, mut pos_n, mut neg_sum, mut neg_n) = (0.0f64, 0u32, 0.0f64, 0u32);
+        for (i, &v) in row.iter().enumerate() {
+            if v >= 0.0 {
+                bits[i / 8] |= 1 << (i % 8);
+                pos_sum += f64::from(v);
+                pos_n += 1;
+            } else {
+                neg_sum += f64::from(-v);
+                neg_n += 1;
+            }
+        }
+        CompressedRow {
+            scale_pos: if pos_n > 0 {
+                (pos_sum / f64::from(pos_n)) as f32
+            } else {
+                0.0
+            },
+            scale_neg: if neg_n > 0 {
+                (neg_sum / f64::from(neg_n)) as f32
+            } else {
+                0.0
+            },
+            bits,
+            cols,
+        }
+    }
+
+    /// The original bit-at-a-time decoder (reference).
+    fn decompress_per_bit(c: &CompressedRow) -> Vec<f32> {
+        (0..c.cols)
+            .map(|i| {
+                if c.bits[i / 8] >> (i % 8) & 1 == 1 {
+                    c.scale_pos
+                } else {
+                    -c.scale_neg
+                }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn word_packed_codec_matches_reference_across_boundaries() {
+        // Lengths straddling the byte and word boundaries.
+        let mut rng = DetRng::new(17);
+        for cols in [0usize, 1, 7, 8, 9, 63, 64, 65, 127, 128, 129, 200] {
+            let row: Vec<f32> = (0..cols).map(|_| rng.normal() as f32).collect();
+            let fast = CompressedRow::encode(&row);
+            let reference = encode_per_bit(&row);
+            assert_eq!(fast, reference, "encode diverges at cols={cols}");
+            assert_eq!(
+                fast.decompress(),
+                decompress_per_bit(&reference),
+                "decode diverges at cols={cols}"
+            );
+        }
+    }
 
     #[test]
     fn encode_decode_preserves_signs() {
@@ -222,6 +335,16 @@ mod tests {
             let c = CompressedRow::encode(&row);
             prop_assert_eq!(c.bits.len(), cols.div_ceil(8));
             prop_assert_eq!(c.decompress().len(), cols);
+        }
+
+        #[test]
+        fn prop_word_packed_round_trips_like_reference(
+            row in proptest::collection::vec(-50.0f32..50.0, 0..200),
+        ) {
+            let fast = CompressedRow::encode(&row);
+            let reference = encode_per_bit(&row);
+            prop_assert_eq!(&fast, &reference);
+            prop_assert_eq!(fast.decompress(), decompress_per_bit(&reference));
         }
     }
 }

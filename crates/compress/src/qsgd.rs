@@ -35,7 +35,7 @@ impl QuantizedRow {
     /// value, byte-padded.
     pub fn payload_bytes(&self) -> u64 {
         let symbols = u32::from(self.levels) * 2 + 1;
-        let bits_per_value = 32 - (symbols - 1).leading_zeros().max(0);
+        let bits_per_value = 32 - (symbols - 1).leading_zeros();
         4 + ((self.levels_signed.len() as u64 * u64::from(bits_per_value)).div_ceil(8))
     }
 }
@@ -117,16 +117,16 @@ mod tests {
         let n = 4000;
         let mut acc = vec![0.0f64; row.len()];
         for _ in 0..n {
-            for (a, v) in acc.iter_mut().zip(codec.compress(&row, &mut rng).decompress()) {
+            for (a, v) in acc
+                .iter_mut()
+                .zip(codec.compress(&row, &mut rng).decompress())
+            {
                 *a += f64::from(v);
             }
         }
         for (a, &v) in acc.iter().zip(&row) {
             let mean = a / f64::from(n);
-            assert!(
-                (mean - f64::from(v)).abs() < 0.03,
-                "biased: {mean} vs {v}"
-            );
+            assert!((mean - f64::from(v)).abs() < 0.03, "biased: {mean} vs {v}");
         }
     }
 

@@ -29,7 +29,13 @@
 /// // O(√T): quadrupling T doubles the bound.
 /// assert!((b2 / b1 - 2.0).abs() < 1e-9);
 /// ```
-pub fn rsp_regret_bound(f_diameter: f64, lipschitz: f64, s_max: u32, workers: usize, t: u64) -> f64 {
+pub fn rsp_regret_bound(
+    f_diameter: f64,
+    lipschitz: f64,
+    s_max: u32,
+    workers: usize,
+    t: u64,
+) -> f64 {
     assert!(f_diameter >= 0.0, "diameter must be non-negative");
     assert!(lipschitz >= 0.0, "Lipschitz constant must be non-negative");
     assert!(workers > 0, "need at least one worker");
@@ -51,7 +57,10 @@ pub fn theorem1_step_size(
     workers: usize,
     t: u64,
 ) -> f64 {
-    assert!(f_diameter > 0.0 && lipschitz > 0.0, "F and L must be positive");
+    assert!(
+        f_diameter > 0.0 && lipschitz > 0.0,
+        "F and L must be positive"
+    );
     assert!(workers > 0 && t > 0, "workers and t must be positive");
     let sigma = f_diameter / (lipschitz * (2.0 * (f64::from(s_max) + 1.0) * workers as f64).sqrt());
     sigma / (t as f64).sqrt()

@@ -11,6 +11,14 @@
 
 use crate::RowId;
 
+/// Reusable scratch for [`ImportanceMetric::rank_into`] and
+/// [`ImportanceMetric::rank_top_k_into`]: the per-row score buffer stays
+/// allocated across calls, so steady-state ranking allocates nothing.
+#[derive(Debug, Clone, Default)]
+pub struct RankScratch {
+    scores: Vec<f64>,
+}
+
 /// Coefficients of the two importance terms.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ImportanceWeights {
@@ -36,18 +44,10 @@ pub enum ImportanceMode {
 }
 
 /// Ranks rows for transmission (highest importance first).
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct ImportanceMetric {
     /// Term weights.
     pub weights: ImportanceWeights,
-}
-
-impl Default for ImportanceMetric {
-    fn default() -> Self {
-        Self {
-            weights: ImportanceWeights::default(),
-        }
-    }
 }
 
 impl ImportanceMetric {
@@ -67,31 +67,106 @@ impl ImportanceMetric {
     ///
     /// Panics if the slices have different lengths.
     pub fn rank(&self, mode: ImportanceMode, mean_abs: &[f32], iters: &[u64]) -> Vec<RowId> {
+        let mut out = Vec::new();
+        self.rank_into(mode, mean_abs, iters, &mut RankScratch::default(), &mut out);
+        out
+    }
+
+    /// Allocation-free variant of [`ImportanceMetric::rank`]: writes the
+    /// full descending-importance order into `out`, reusing `scratch`
+    /// for the per-row scores.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slices have different lengths.
+    pub fn rank_into(
+        &self,
+        mode: ImportanceMode,
+        mean_abs: &[f32],
+        iters: &[u64],
+        scratch: &mut RankScratch,
+        out: &mut Vec<RowId>,
+    ) {
+        let n = self.prepare(mode, mean_abs, iters, scratch, out);
+        if n == 0 {
+            return;
+        }
+        let scores = &scratch.scores;
+        out.sort_unstable_by(|a, b| Self::by_score(scores, *a, *b));
+    }
+
+    /// Ranks only the `k` most important rows (`O(n + k log k)` instead
+    /// of a full `O(n log n)` sort): the result is exactly the first `k`
+    /// entries of [`ImportanceMetric::rank_into`]'s order. Use when a
+    /// transmission budget caps the rows that can possibly be sent.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slices have different lengths.
+    pub fn rank_top_k_into(
+        &self,
+        mode: ImportanceMode,
+        mean_abs: &[f32],
+        iters: &[u64],
+        k: usize,
+        scratch: &mut RankScratch,
+        out: &mut Vec<RowId>,
+    ) {
+        let n = self.prepare(mode, mean_abs, iters, scratch, out);
+        if n == 0 || k == 0 {
+            out.clear();
+            return;
+        }
+        let scores = &scratch.scores;
+        if k < n {
+            // Partition: everything before index k ranks at or above
+            // everything after it under the (score desc, id asc) order.
+            out.select_nth_unstable_by(k, |a, b| Self::by_score(scores, *a, *b));
+            out.truncate(k);
+        }
+        out.sort_unstable_by(|a, b| Self::by_score(scores, *a, *b));
+    }
+
+    /// Fills `scratch.scores` and seeds `out` with the identity
+    /// permutation; returns the row count.
+    fn prepare(
+        &self,
+        mode: ImportanceMode,
+        mean_abs: &[f32],
+        iters: &[u64],
+        scratch: &mut RankScratch,
+        out: &mut Vec<RowId>,
+    ) -> usize {
         assert_eq!(mean_abs.len(), iters.len(), "importance input mismatch");
         let n = mean_abs.len();
+        out.clear();
+        scratch.scores.clear();
         if n == 0 {
-            return Vec::new();
+            return 0;
         }
         let max_abs = mean_abs.iter().cloned().fold(0.0f32, f32::max).max(1e-12);
         let min_iter = iters.iter().copied().min().unwrap_or(0);
         let max_iter = iters.iter().copied().max().unwrap_or(0);
         let span = (max_iter - min_iter).max(1) as f64;
-        let mut scored: Vec<(f64, usize)> = (0..n)
-            .map(|i| {
-                let mag = f64::from(mean_abs[i] / max_abs);
-                let version_term = match mode {
-                    ImportanceMode::Worker => (max_iter - iters[i]) as f64 / span,
-                    ImportanceMode::Server => (iters[i] - min_iter) as f64 / span,
-                };
-                (self.weights.f1 * mag + self.weights.f2 * version_term, i)
-            })
-            .collect();
-        scored.sort_by(|a, b| {
-            b.0.partial_cmp(&a.0)
-                .unwrap_or(std::cmp::Ordering::Equal)
-                .then(a.1.cmp(&b.1))
-        });
-        scored.into_iter().map(|(_, i)| RowId(i)).collect()
+        scratch.scores.extend((0..n).map(|i| {
+            let mag = f64::from(mean_abs[i] / max_abs);
+            let version_term = match mode {
+                ImportanceMode::Worker => (max_iter - iters[i]) as f64 / span,
+                ImportanceMode::Server => (iters[i] - min_iter) as f64 / span,
+            };
+            self.weights.f1 * mag + self.weights.f2 * version_term
+        }));
+        out.extend((0..n).map(RowId));
+        n
+    }
+
+    /// Score-descending, id-ascending total order (unique ids make ties
+    /// impossible, so unstable sorts are deterministic).
+    fn by_score(scores: &[f64], a: RowId, b: RowId) -> std::cmp::Ordering {
+        scores[b.0]
+            .partial_cmp(&scores[a.0])
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.0.cmp(&b.0))
     }
 }
 
@@ -146,6 +221,51 @@ mod tests {
         let m = ImportanceMetric::default();
         let order = m.rank(ImportanceMode::Worker, &[0.5; 4], &[1; 4]);
         assert_eq!(order, vec![RowId(0), RowId(1), RowId(2), RowId(3)]);
+    }
+
+    #[test]
+    fn top_k_is_prefix_of_full_rank() {
+        let m = ImportanceMetric::default();
+        let mags: Vec<f32> = (0..57).map(|i| ((i * 31 + 7) % 57) as f32 / 57.0).collect();
+        let iters: Vec<u64> = (0..57).map(|i| (i * 13 + 5) % 23).collect();
+        let full = m.rank(ImportanceMode::Worker, &mags, &iters);
+        let mut scratch = RankScratch::default();
+        let mut out = Vec::new();
+        for k in [0usize, 1, 7, 56, 57, 100] {
+            m.rank_top_k_into(
+                ImportanceMode::Worker,
+                &mags,
+                &iters,
+                k,
+                &mut scratch,
+                &mut out,
+            );
+            assert_eq!(out, full[..k.min(full.len())], "k={k}");
+        }
+    }
+
+    #[test]
+    fn rank_into_reuses_buffers() {
+        let m = ImportanceMetric::default();
+        let mut scratch = RankScratch::default();
+        let mut out = Vec::new();
+        m.rank_into(
+            ImportanceMode::Server,
+            &[0.1, 0.9],
+            &[1, 2],
+            &mut scratch,
+            &mut out,
+        );
+        assert_eq!(out, vec![RowId(1), RowId(0)]);
+        // A second call with different inputs fully overwrites.
+        m.rank_into(
+            ImportanceMode::Server,
+            &[0.9, 0.1, 0.5],
+            &[2, 2, 2],
+            &mut scratch,
+            &mut out,
+        );
+        assert_eq!(out, vec![RowId(0), RowId(2), RowId(1)]);
     }
 
     proptest! {

@@ -31,15 +31,15 @@
 
 pub mod convergence;
 mod importance;
-mod optimizer;
 pub mod mta;
 mod mta_time;
+mod optimizer;
 mod rows;
 mod server;
 mod version;
 mod worker;
 
-pub use importance::{ImportanceMetric, ImportanceMode, ImportanceWeights};
+pub use importance::{ImportanceMetric, ImportanceMode, ImportanceWeights, RankScratch};
 pub use mta_time::MtaTimeTracker;
 pub use optimizer::{RogOptimizer, RogSession, StepReport};
 pub use rows::{RowId, RowPartition, RowRef};

@@ -41,10 +41,7 @@ impl MtaTimeTracker {
     /// estimate (every device must be given enough time to get its MTA
     /// rows through).
     pub fn get(&self) -> Time {
-        self.per_device
-            .iter()
-            .cloned()
-            .fold(self.floor, Time::max)
+        self.per_device.iter().cloned().fold(self.floor, Time::max)
     }
 
     /// Per-device estimate (for diagnostics).

@@ -158,7 +158,9 @@ impl RogOptimizer {
             .take_while(|&&id| n.saturating_sub(self.worker.row_iters()[id.0]) >= t)
             .count();
         let floor = mta::mta_rows(n_rows, self.threshold).max(mandatory);
-        let admitted = budget_rows.unwrap_or(n_rows).clamp(floor.min(n_rows), n_rows);
+        let admitted = budget_rows
+            .unwrap_or(n_rows)
+            .clamp(floor.min(n_rows), n_rows);
         let sent = self.worker.commit_push(&plan[..admitted], n);
 
         let mut server = self.server.lock();

@@ -144,7 +144,11 @@ mod tests {
 
     #[test]
     fn partition_covers_all_rows_in_order() {
-        let params = vec![Matrix::zeros(3, 4), Matrix::zeros(1, 3), Matrix::zeros(2, 4)];
+        let params = vec![
+            Matrix::zeros(3, 4),
+            Matrix::zeros(1, 3),
+            Matrix::zeros(2, 4),
+        ];
         let p = RowPartition::of_params(&params);
         assert_eq!(p.n_rows(), 6);
         assert_eq!(p.locate(RowId(0)), RowRef { matrix: 0, row: 0 });
@@ -158,7 +162,8 @@ mod tests {
     fn row_access_reads_and_writes() {
         let mut params = vec![Matrix::zeros(2, 2), Matrix::zeros(1, 3)];
         let p = RowPartition::of_params(&params);
-        p.row_mut(&mut params, RowId(2)).copy_from_slice(&[7.0, 8.0, 9.0]);
+        p.row_mut(&mut params, RowId(2))
+            .copy_from_slice(&[7.0, 8.0, 9.0]);
         assert_eq!(p.row(&params, RowId(2)), &[7.0, 8.0, 9.0]);
         assert_eq!(params[1].row(0), &[7.0, 8.0, 9.0]);
     }

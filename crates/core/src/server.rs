@@ -10,7 +10,7 @@
 use rog_compress::ErrorFeedback;
 use rog_tensor::{ops, Matrix};
 
-use crate::{ImportanceMetric, ImportanceMode, RowId, RowPartition, RowVersionStore};
+use crate::{ImportanceMetric, ImportanceMode, RankScratch, RowId, RowPartition, RowVersionStore};
 
 /// Parameter-server-side ROG state.
 #[derive(Debug, Clone)]
@@ -28,6 +28,12 @@ pub struct RogServer {
     versions: RowVersionStore,
     /// Per-destination-worker compression residuals for pulls.
     efs: Vec<ErrorFeedback>,
+    /// Ranking scratch, reused across pull plans.
+    scratch: RankScratch,
+    /// Per-row mean-|ḡ| buffer, reused across pull plans.
+    mean_abs_buf: Vec<f32>,
+    /// Importance order buffer, reused across pull plans.
+    ranked_buf: Vec<RowId>,
 }
 
 impl RogServer {
@@ -58,8 +64,13 @@ impl RogServer {
             accum: vec![zero; n_workers],
             fresh: vec![vec![0; partition.n_rows()]; n_workers],
             versions: RowVersionStore::new(n_workers, partition.n_rows()),
-            efs: (0..n_workers).map(|_| ErrorFeedback::new(&widths)).collect(),
+            efs: (0..n_workers)
+                .map(|_| ErrorFeedback::new(&widths))
+                .collect(),
             partition,
+            scratch: RankScratch::default(),
+            mean_abs_buf: Vec::new(),
+            ranked_buf: Vec::new(),
         }
     }
 
@@ -121,17 +132,40 @@ impl RogServer {
 
     /// Rows with pending content for `worker`, ranked by the server-mode
     /// importance metric (fresh, large-magnitude rows first).
-    pub fn plan_pull(&self, worker: usize) -> Vec<RowId> {
-        let mean_abs: Vec<f32> = (0..self.partition.n_rows())
-            .map(|i| ops::mean_abs(self.partition.row(&self.accum[worker], RowId(i))))
-            .collect();
-        let ranked =
-            self.importance
-                .rank(ImportanceMode::Server, &mean_abs, &self.fresh[worker]);
-        ranked
-            .into_iter()
-            .filter(|id| self.fresh[worker][id.0] > 0)
-            .collect()
+    pub fn plan_pull(&mut self, worker: usize) -> Vec<RowId> {
+        let mut out = Vec::new();
+        self.plan_pull_into(worker, &mut out);
+        out
+    }
+
+    /// Allocation-free variant of [`RogServer::plan_pull`]: writes the
+    /// plan into `out`, reusing the server's internal ranking buffers.
+    pub fn plan_pull_into(&mut self, worker: usize, out: &mut Vec<RowId>) {
+        let mut mean_abs = std::mem::take(&mut self.mean_abs_buf);
+        let mut ranked = std::mem::take(&mut self.ranked_buf);
+        let mut scratch = std::mem::take(&mut self.scratch);
+        mean_abs.clear();
+        mean_abs.extend(
+            (0..self.partition.n_rows())
+                .map(|i| ops::mean_abs(self.partition.row(&self.accum[worker], RowId(i)))),
+        );
+        self.importance.rank_into(
+            ImportanceMode::Server,
+            &mean_abs,
+            &self.fresh[worker],
+            &mut scratch,
+            &mut ranked,
+        );
+        out.clear();
+        out.extend(
+            ranked
+                .iter()
+                .copied()
+                .filter(|id| self.fresh[worker][id.0] > 0),
+        );
+        self.mean_abs_buf = mean_abs;
+        self.ranked_buf = ranked;
+        self.scratch = scratch;
     }
 
     /// Compressed payload size of one row on the wire.
@@ -226,12 +260,7 @@ mod tests {
         // at 0.
         for it in 1..=3u64 {
             let rows: Vec<(RowId, Vec<f32>)> = (0..n_rows)
-                .map(|i| {
-                    (
-                        RowId(i),
-                        vec![1.0; if i < 2 { 3 } else { 2 }],
-                    )
-                })
+                .map(|i| (RowId(i), vec![1.0; if i < 2 { 3 } else { 2 }]))
                 .collect();
             s.on_push(0, it, &rows);
         }

@@ -15,7 +15,7 @@
 use rog_compress::ErrorFeedback;
 use rog_tensor::{ops, Matrix};
 
-use crate::{ImportanceMetric, ImportanceMode, RowId, RowPartition};
+use crate::{ImportanceMetric, ImportanceMode, RankScratch, RowId, RowPartition};
 
 /// Per-row parameter-update rule applied to pulled averaged gradients.
 ///
@@ -23,9 +23,10 @@ use crate::{ImportanceMetric, ImportanceMode, RowId, RowPartition};
 /// state (velocity / first and second moments / timestep) — the
 /// block-wise formulation the paper adopts from Sun et al. for
 /// momentum, extended here with Adam as an experimental option.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub enum UpdateRule {
     /// Plain SGD.
+    #[default]
     Sgd,
     /// Heavy-ball momentum with coefficient `beta`.
     Momentum {
@@ -44,12 +45,6 @@ pub enum UpdateRule {
         /// Denominator stabilizer.
         eps: f32,
     },
-}
-
-impl Default for UpdateRule {
-    fn default() -> Self {
-        UpdateRule::Sgd
-    }
 }
 
 impl UpdateRule {
@@ -120,6 +115,12 @@ pub struct RogWorker {
     /// Per-row Adam timestep.
     adam_t: Vec<u64>,
     cfg: RogWorkerConfig,
+    /// Ranking scratch, reused across push plans.
+    scratch: RankScratch,
+    /// Per-row mean-|g'| buffer, reused across push plans.
+    mean_abs_buf: Vec<f32>,
+    /// Importance order buffer, reused across push plans.
+    ranked_buf: Vec<RowId>,
 }
 
 impl RogWorker {
@@ -140,6 +141,9 @@ impl RogWorker {
             adam_t: vec![0; partition.n_rows()],
             partition,
             cfg,
+            scratch: RankScratch::default(),
+            mean_abs_buf: Vec::new(),
+            ranked_buf: Vec::new(),
         }
     }
 
@@ -179,29 +183,53 @@ impl RogWorker {
 
     /// Mean absolute accumulated gradient of each row.
     pub fn row_mean_abs(&self) -> Vec<f32> {
-        (0..self.partition.n_rows())
-            .map(|i| ops::mean_abs(self.partition.row(&self.accum, RowId(i))))
-            .collect()
+        let mut out = Vec::new();
+        self.row_mean_abs_into(&mut out);
+        out
+    }
+
+    fn row_mean_abs_into(&self, out: &mut Vec<f32>) {
+        out.clear();
+        out.extend(
+            (0..self.partition.n_rows())
+                .map(|i| ops::mean_abs(self.partition.row(&self.accum, RowId(i)))),
+        );
     }
 
     /// Ranks all rows for pushing at iteration `n` (Algorithm 3, worker
     /// mode), with RSP's worker-level staleness rule applied: rows whose
     /// staleness would reach the threshold if skipped are *mandatory* and
     /// are placed first (stalest first), ahead of the importance order.
-    pub fn plan_push(&self, n: u64) -> Vec<RowId> {
-        let mean_abs = self.row_mean_abs();
-        let ranked = self
-            .cfg
-            .importance
-            .rank(ImportanceMode::Worker, &mean_abs, &self.iters);
+    pub fn plan_push(&mut self, n: u64) -> Vec<RowId> {
+        let mut out = Vec::new();
+        self.plan_push_into(n, &mut out);
+        out
+    }
+
+    /// Allocation-free variant of [`RogWorker::plan_push`]: writes the
+    /// plan into `out`, reusing the worker's internal ranking buffers.
+    pub fn plan_push_into(&mut self, n: u64, out: &mut Vec<RowId>) {
+        let mut mean_abs = std::mem::take(&mut self.mean_abs_buf);
+        let mut ranked = std::mem::take(&mut self.ranked_buf);
+        let mut scratch = std::mem::take(&mut self.scratch);
+        self.row_mean_abs_into(&mut mean_abs);
+        self.cfg.importance.rank_into(
+            ImportanceMode::Worker,
+            &mean_abs,
+            &self.iters,
+            &mut scratch,
+            &mut ranked,
+        );
         let t = u64::from(self.cfg.threshold.max(1));
-        let is_mandatory = |id: RowId| n.saturating_sub(self.iters[id.0]) >= t;
-        let mut mandatory: Vec<RowId> =
-            ranked.iter().copied().filter(|&id| is_mandatory(id)).collect();
-        mandatory.sort_by_key(|&id| (self.iters[id.0], id.0));
-        let rest = ranked.into_iter().filter(|&id| !is_mandatory(id));
-        mandatory.extend(rest);
-        mandatory
+        let iters = &self.iters;
+        let is_mandatory = |id: RowId| n.saturating_sub(iters[id.0]) >= t;
+        out.clear();
+        out.extend(ranked.iter().copied().filter(|&id| is_mandatory(id)));
+        out.sort_unstable_by_key(|&id| (iters[id.0], id.0));
+        out.extend(ranked.iter().copied().filter(|&id| !is_mandatory(id)));
+        self.mean_abs_buf = mean_abs;
+        self.ranked_buf = ranked;
+        self.scratch = scratch;
     }
 
     /// Compressed payload size of one row on the wire.
@@ -360,7 +388,7 @@ mod tests {
         w.accumulate(&grads(1.0));
         w.commit_push(&[RowId(0), RowId(2), RowId(3)], 2);
         w.accumulate(&grads(0.001)); // row 1 now has small gradients
-        // At iteration 3 row 1 has staleness 3 >= threshold: mandatory.
+                                     // At iteration 3 row 1 has staleness 3 >= threshold: mandatory.
         let plan = w.plan_push(3);
         assert_eq!(plan[0], RowId(1), "stale row must be first: {plan:?}");
     }

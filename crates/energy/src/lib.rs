@@ -106,7 +106,9 @@ pub struct Battery {
 impl Battery {
     /// A typical four-wheel-robot pack (14.8 V × 5 Ah ≈ 266 kJ).
     pub fn robot_pack() -> Self {
-        Self { capacity_j: 266_000.0 }
+        Self {
+            capacity_j: 266_000.0,
+        }
     }
 
     /// Remaining energy after running `timeline` from a full charge

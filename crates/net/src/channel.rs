@@ -133,7 +133,10 @@ impl Flow {
     fn chunks_done(&self) -> usize {
         // prefix is sorted; find the last boundary <= bytes_done (+tol).
         let done = self.bytes_done + 0.25;
-        self.prefix[1..].iter().take_while(|&&b| b as f64 <= done).count()
+        self.prefix[1..]
+            .iter()
+            .take_while(|&&b| b as f64 <= done)
+            .count()
     }
 }
 
@@ -364,8 +367,7 @@ impl Channel {
                 .flows
                 .iter()
                 .filter(|(_, f)| {
-                    f.remaining() <= BYTE_TOL
-                        || f.deadline.is_some_and(|d| self.now >= d - EPS)
+                    f.remaining() <= BYTE_TOL || f.deadline.is_some_and(|d| self.now >= d - EPS)
                 })
                 .map(|(&id, _)| id)
                 .collect();
@@ -440,7 +442,11 @@ mod tests {
         let big = ch.start_flow(0.0, FlowSpec::new(1, vec![7_500_000]));
         let evs = ch.advance_until(10.0);
         assert_eq!(evs.len(), 1);
-        assert!((evs[0].at - 0.5).abs() < 1e-3, "small done at {}", evs[0].at);
+        assert!(
+            (evs[0].at - 0.5).abs() < 1e-3,
+            "small done at {}",
+            evs[0].at
+        );
         let evs = ch.advance_until(10.0);
         assert_eq!(evs[0].id, big);
         // Big flow: 2.5MB done in first 0.5s (shared), 5MB left at full
@@ -451,8 +457,8 @@ mod tests {
     #[test]
     fn deadline_cuts_flow_and_discards_partial_chunk() {
         let mut ch = flat_channel(80e6, 1); // 10 MB/s
-        // 10 chunks of 1 MB; deadline at 0.55 s → 5.5 MB transferred,
-        // 5 complete chunks, half a chunk wasted.
+                                            // 10 chunks of 1 MB; deadline at 0.55 s → 5.5 MB transferred,
+                                            // 5 complete chunks, half a chunk wasted.
         let id = ch.start_flow(
             0.0,
             FlowSpec::new(0, vec![1_000_000; 10]).with_deadline(0.55),
@@ -562,8 +568,7 @@ mod tests {
         fair.start_flow(0.0, FlowSpec::new(1, vec![2_000_000]));
         let fast_fair = fair.advance_until(100.0)[0].at;
 
-        let mut anomaly =
-            Channel::new(cap, links).with_sharing(SharingMode::ThroughputFair);
+        let mut anomaly = Channel::new(cap, links).with_sharing(SharingMode::ThroughputFair);
         anomaly.start_flow(0.0, FlowSpec::new(0, vec![2_000_000]));
         anomaly.start_flow(0.0, FlowSpec::new(1, vec![2_000_000]));
         let evs = anomaly.advance_until(100.0);

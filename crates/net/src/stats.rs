@@ -113,7 +113,7 @@ mod tests {
 
     #[test]
     fn alternating_trace_fluctuates_every_step() {
-        let t = Trace::from_samples(0.1, vec![100.0, 50.0].repeat(50));
+        let t = Trace::from_samples(0.1, [100.0, 50.0].repeat(50));
         let interval = mean_fluctuation_interval(&t, 0.2);
         // Every step is a ≥20% move relative to the previous reference.
         assert!((interval - 0.1).abs() < 0.02, "interval {interval}");

@@ -94,7 +94,10 @@ impl Trace {
 
     /// Maximum sample.
     pub fn max(&self) -> f64 {
-        self.samples.iter().cloned().fold(f64::NEG_INFINITY, f64::max)
+        self.samples
+            .iter()
+            .cloned()
+            .fold(f64::NEG_INFINITY, f64::max)
     }
 
     /// Applies `f` to every sample, returning a new trace.

@@ -171,7 +171,10 @@ mod tests {
     #[test]
     fn fixed_is_uniform() {
         let mut p = FixedThreshold::ssp(7);
-        assert_eq!(p.thresholds(&vec![WorkerNetStats::default(); 4]), vec![7; 4]);
+        assert_eq!(
+            p.thresholds(&vec![WorkerNetStats::default(); 4]),
+            vec![7; 4]
+        );
     }
 
     #[test]

@@ -202,7 +202,7 @@ impl Matrix {
     pub fn matvec(&self, x: &[f32]) -> Vec<f32> {
         assert_eq!(x.len(), self.cols, "matvec dimension mismatch");
         self.iter_rows()
-            .map(|row| row.iter().zip(x).map(|(a, b)| a * b).sum())
+            .map(|row| crate::ops::dot(row, x))
             .collect()
     }
 
@@ -275,12 +275,80 @@ impl Matrix {
         if self.data.is_empty() {
             return 0.0;
         }
-        self.data.iter().map(|v| v.abs()).sum::<f32>() / self.data.len() as f32
+        crate::ops::sum_abs(&self.data) / self.data.len() as f32
     }
 
     /// Frobenius norm.
     pub fn frobenius_norm(&self) -> f32 {
-        self.data.iter().map(|v| v * v).sum::<f32>().sqrt()
+        crate::ops::sum_sq(&self.data).sqrt()
+    }
+
+    /// `out = self * other^T` (both operands row-major).
+    ///
+    /// This is the cache-friendly layout for dense layers: with
+    /// activations `A` (batch x in) and weights `W` (out x in), the
+    /// pre-activations are `A * W^T` (batch x out) and every dot product
+    /// walks two contiguous rows. Output rows are register-blocked four
+    /// at a time so the autovectorizer can keep four accumulator lanes
+    /// live per pass over `self.row(i)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self.cols() != other.cols()`.
+    pub fn matmul_transb(&self, other: &Matrix) -> Matrix {
+        assert_eq!(
+            self.cols, other.cols,
+            "matmul_transb inner dimension mismatch"
+        );
+        let mut out = Matrix::zeros(self.rows, other.rows);
+        let n = other.rows;
+        for (i, a) in self.iter_rows().enumerate() {
+            let orow = &mut out.data[i * n..(i + 1) * n];
+            let mut j = 0;
+            while j + 4 <= n {
+                let d = crate::ops::dot4(
+                    a,
+                    [
+                        other.row(j),
+                        other.row(j + 1),
+                        other.row(j + 2),
+                        other.row(j + 3),
+                    ],
+                );
+                orow[j..j + 4].copy_from_slice(&d);
+                j += 4;
+            }
+            for (o, brow) in orow[j..].iter_mut().zip(j..n) {
+                *o = crate::ops::dot(a, other.row(brow));
+            }
+        }
+        out
+    }
+
+    /// `out = self * other` (row-major matrix product).
+    ///
+    /// Uses the i-k-j loop order: each scalar of a row of `self` streams
+    /// a contiguous row of `other` into a contiguous row of the output
+    /// (an `axpy` per inner step), so no operand is ever walked with a
+    /// stride. Zero scalars are skipped, which makes the ReLU-sparse
+    /// backward pass (`dA = dZ * W`) cheaper for free.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self.cols() != other.rows()`.
+    pub fn matmul(&self, other: &Matrix) -> Matrix {
+        assert_eq!(self.cols, other.rows, "matmul inner dimension mismatch");
+        let mut out = Matrix::zeros(self.rows, other.cols);
+        let n = other.cols;
+        for (i, a) in self.iter_rows().enumerate() {
+            let orow = &mut out.data[i * n..(i + 1) * n];
+            for (k, &av) in a.iter().enumerate() {
+                if av != 0.0 {
+                    crate::ops::axpy(orow, other.row(k), av);
+                }
+            }
+        }
+        out
     }
 }
 
@@ -368,5 +436,68 @@ mod tests {
     fn row_out_of_bounds_panics() {
         let m = Matrix::zeros(1, 1);
         let _ = m.row(1);
+    }
+
+    #[test]
+    fn matmul_transb_matches_per_element_reference() {
+        // 3x7 times (6x7)^T exercises both the 4-wide block and the
+        // remainder columns.
+        let a = Matrix::from_fn(3, 7, |r, c| ((r * 7 + c) as f32 * 0.13).sin());
+        let b = Matrix::from_fn(6, 7, |r, c| ((r * 7 + c) as f32 * 0.29).cos());
+        let out = a.matmul_transb(&b);
+        assert_eq!(out.shape(), (3, 6));
+        for i in 0..3 {
+            for j in 0..6 {
+                let want: f32 = a.row(i).iter().zip(b.row(j)).map(|(x, y)| x * y).sum();
+                assert!(
+                    (out.get(i, j) - want).abs() < 1e-4,
+                    "({i},{j}): {} vs {want}",
+                    out.get(i, j)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn matmul_matches_per_element_reference() {
+        let a = Matrix::from_fn(4, 5, |r, c| (r as f32 - c as f32) * 0.5);
+        let b = Matrix::from_fn(5, 3, |r, c| ((r + 2 * c) as f32 * 0.17).sin());
+        let out = a.matmul(&b);
+        assert_eq!(out.shape(), (4, 3));
+        for i in 0..4 {
+            for j in 0..3 {
+                let want: f32 = (0..5).map(|k| a.get(i, k) * b.get(k, j)).sum();
+                assert!(
+                    (out.get(i, j) - want).abs() < 1e-4,
+                    "({i},{j}): {} vs {want}",
+                    out.get(i, j)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn matmul_identity_is_noop() {
+        let a = Matrix::from_fn(3, 3, |r, c| (r * 3 + c) as f32);
+        let eye = Matrix::from_fn(3, 3, |r, c| if r == c { 1.0 } else { 0.0 });
+        assert_eq!(a.matmul(&eye).as_slice(), a.as_slice());
+        assert_eq!(a.matmul_transb(&eye).as_slice(), a.as_slice());
+    }
+
+    #[test]
+    fn matmul_rows_agree_with_matvec() {
+        // Row i of A*W^T must equal W * (row i of A): the batched
+        // forward pass is the per-sample one stacked.
+        let a = Matrix::from_fn(5, 9, |r, c| ((r * 9 + c) as f32 * 0.07).sin());
+        let w = Matrix::from_fn(6, 9, |r, c| ((r * 9 + c) as f32 * 0.11).cos());
+        let z = a.matmul_transb(&w);
+        for i in 0..5 {
+            let per_sample = w.matvec(a.row(i));
+            for (got, want) in z.row(i).iter().zip(&per_sample) {
+                // dot4 and dot use different accumulator widths, so the
+                // sums agree only up to rounding.
+                assert!((got - want).abs() < 1e-4, "row {i}: {got} vs {want}");
+            }
+        }
     }
 }

@@ -4,6 +4,115 @@
 //! rows as their averaged gradients arrive, so the update rules here all
 //! operate on plain `&mut [f32]` row slices.
 
+/// Dot product with eight independent accumulators.
+///
+/// The strict left-to-right `sum()` fold is a serial dependency chain
+/// the autovectorizer cannot break; eight parallel accumulators over
+/// `chunks_exact` give it straight-line code it turns into SIMD.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn dot(a: &[f32], b: &[f32]) -> f32 {
+    assert_eq!(a.len(), b.len(), "dot length mismatch");
+    let mut acc = [0.0f32; 8];
+    let ca = a.chunks_exact(8);
+    let cb = b.chunks_exact(8);
+    let (ra, rb) = (ca.remainder(), cb.remainder());
+    for (xa, xb) in ca.zip(cb) {
+        for i in 0..8 {
+            acc[i] += xa[i] * xb[i];
+        }
+    }
+    let mut tail = 0.0;
+    for (x, y) in ra.iter().zip(rb) {
+        tail += x * y;
+    }
+    ((acc[0] + acc[4]) + (acc[1] + acc[5])) + ((acc[2] + acc[6]) + (acc[3] + acc[7])) + tail
+}
+
+/// Four simultaneous dot products of `a` against four rows.
+///
+/// Streams `a` through registers once for four outputs — the register
+/// block of the transposed-B matmul kernel.
+///
+/// # Panics
+///
+/// Panics if any row's length differs from `a`'s.
+pub fn dot4(a: &[f32], b: [&[f32]; 4]) -> [f32; 4] {
+    let n = a.len();
+    for row in b {
+        assert_eq!(row.len(), n, "dot4 length mismatch");
+    }
+    let mut acc = [[0.0f32; 4]; 4];
+    let mut t = 0;
+    while t + 4 <= n {
+        for u in 0..4 {
+            let av = a[t + u];
+            for l in 0..4 {
+                acc[l][u] += av * b[l][t + u];
+            }
+        }
+        t += 4;
+    }
+    let mut out = [0.0f32; 4];
+    for l in 0..4 {
+        let mut s = (acc[l][0] + acc[l][2]) + (acc[l][1] + acc[l][3]);
+        for u in t..n {
+            s += a[u] * b[l][u];
+        }
+        out[l] = s;
+    }
+    out
+}
+
+/// `y += s * x` (scaled accumulate); the inner loop of `matmul` and the
+/// outer-product accumulate.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn axpy(y: &mut [f32], x: &[f32], s: f32) {
+    assert_eq!(y.len(), x.len(), "axpy length mismatch");
+    for (yv, xv) in y.iter_mut().zip(x) {
+        *yv += s * xv;
+    }
+}
+
+/// Sum of absolute values with four independent accumulators.
+pub fn sum_abs(xs: &[f32]) -> f32 {
+    let mut acc = [0.0f32; 4];
+    let chunks = xs.chunks_exact(4);
+    let rest = chunks.remainder();
+    for c in chunks {
+        for i in 0..4 {
+            acc[i] += c[i].abs();
+        }
+    }
+    let mut tail = 0.0;
+    for x in rest {
+        tail += x.abs();
+    }
+    (acc[0] + acc[2]) + (acc[1] + acc[3]) + tail
+}
+
+/// Sum of squares with four independent accumulators.
+pub fn sum_sq(xs: &[f32]) -> f32 {
+    let mut acc = [0.0f32; 4];
+    let chunks = xs.chunks_exact(4);
+    let rest = chunks.remainder();
+    for c in chunks {
+        for i in 0..4 {
+            acc[i] += c[i] * c[i];
+        }
+    }
+    let mut tail = 0.0;
+    for x in rest {
+        tail += x * x;
+    }
+    (acc[0] + acc[2]) + (acc[1] + acc[3]) + tail
+}
+
 /// Plain SGD on one row: `w -= lr * g`.
 ///
 /// # Panics
@@ -114,6 +223,33 @@ pub fn softmax(xs: &mut [f32]) {
     }
 }
 
+/// Fused softmax + cross-entropy backward.
+///
+/// Turns raw logits into the output gradient *in place* — `d = softmax(x);
+/// d[label] -= 1` — and returns the cross-entropy loss, avoiding the
+/// separate probability buffer and extra passes of calling [`softmax`]
+/// then [`cross_entropy`].
+///
+/// # Panics
+///
+/// Panics if `label >= xs.len()`.
+pub fn softmax_ce_grad(xs: &mut [f32], label: usize) -> f32 {
+    assert!(label < xs.len(), "label out of range");
+    let max = xs.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+    let mut sum = 0.0f32;
+    for x in xs.iter_mut() {
+        *x = (*x - max).exp();
+        sum += *x;
+    }
+    // max-shifting guarantees one term is exp(0) = 1, so sum >= 1.
+    for x in xs.iter_mut() {
+        *x /= sum;
+    }
+    let loss = -xs[label].max(1e-12).ln();
+    xs[label] -= 1.0;
+    loss
+}
+
 /// Cross-entropy loss of a softmax distribution against a class label.
 ///
 /// # Panics
@@ -129,7 +265,7 @@ pub fn mean_abs(xs: &[f32]) -> f32 {
     if xs.is_empty() {
         return 0.0;
     }
-    xs.iter().map(|v| v.abs()).sum::<f32>() / xs.len() as f32
+    sum_abs(xs) / xs.len() as f32
 }
 
 /// Squared L2 distance between two slices.
@@ -139,7 +275,21 @@ pub fn mean_abs(xs: &[f32]) -> f32 {
 /// Panics if lengths differ.
 pub fn sq_dist(a: &[f32], b: &[f32]) -> f32 {
     assert_eq!(a.len(), b.len(), "sq_dist length mismatch");
-    a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum()
+    let mut acc = [0.0f32; 4];
+    let ca = a.chunks_exact(4);
+    let cb = b.chunks_exact(4);
+    let (ra, rb) = (ca.remainder(), cb.remainder());
+    for (xa, xb) in ca.zip(cb) {
+        for i in 0..4 {
+            let d = xa[i] - xb[i];
+            acc[i] += d * d;
+        }
+    }
+    let mut tail = 0.0;
+    for (x, y) in ra.iter().zip(rb) {
+        tail += (x - y) * (x - y);
+    }
+    (acc[0] + acc[2]) + (acc[1] + acc[3]) + tail
 }
 
 #[cfg(test)]
@@ -171,7 +321,17 @@ mod tests {
         let mut w = vec![0.0f32, 0.0];
         let mut m = vec![0.0f32; 2];
         let mut v = vec![0.0f32; 2];
-        adam_row(&mut w, &mut m, &mut v, &[0.5, -2.0], 0.1, 0.9, 0.999, 1e-8, 1);
+        adam_row(
+            &mut w,
+            &mut m,
+            &mut v,
+            &[0.5, -2.0],
+            0.1,
+            0.9,
+            0.999,
+            1e-8,
+            1,
+        );
         assert!((w[0] + 0.1).abs() < 1e-3, "{}", w[0]);
         assert!((w[1] - 0.1).abs() < 1e-3, "{}", w[1]);
     }
@@ -226,5 +386,72 @@ mod tests {
     fn mean_abs_empty_is_zero() {
         assert_eq!(mean_abs(&[]), 0.0);
         assert_eq!(mean_abs(&[-2.0, 2.0]), 2.0);
+    }
+
+    #[test]
+    fn dot_matches_naive_for_odd_lengths() {
+        for n in [0usize, 1, 3, 7, 8, 9, 16, 31] {
+            let a: Vec<f32> = (0..n).map(|i| (i as f32 * 0.37).sin()).collect();
+            let b: Vec<f32> = (0..n).map(|i| (i as f32 * 0.21).cos()).collect();
+            let naive: f32 = a.iter().zip(&b).map(|(x, y)| x * y).sum();
+            assert!(
+                (dot(&a, &b) - naive).abs() < 1e-4 * (1.0 + naive.abs()),
+                "n={n}: {} vs {naive}",
+                dot(&a, &b)
+            );
+        }
+    }
+
+    #[test]
+    fn dot4_matches_four_dots() {
+        let n = 13;
+        let a: Vec<f32> = (0..n).map(|i| i as f32 * 0.5 - 3.0).collect();
+        let rows: Vec<Vec<f32>> = (0..4)
+            .map(|r| (0..n).map(|i| ((r * n + i) as f32 * 0.11).sin()).collect())
+            .collect();
+        let got = dot4(&a, [&rows[0], &rows[1], &rows[2], &rows[3]]);
+        for (l, row) in rows.iter().enumerate() {
+            assert!(
+                (got[l] - dot(&a, row)).abs() < 1e-4,
+                "lane {l}: {} vs {}",
+                got[l],
+                dot(&a, row)
+            );
+        }
+    }
+
+    #[test]
+    fn axpy_accumulates_scaled() {
+        let mut y = vec![1.0, 2.0, 3.0];
+        axpy(&mut y, &[1.0, 0.0, -1.0], 2.0);
+        assert_eq!(y, vec![3.0, 2.0, 1.0]);
+    }
+
+    #[test]
+    fn chunked_reductions_match_naive() {
+        let xs: Vec<f32> = (0..27).map(|i| (i as f32 - 13.0) * 0.3).collect();
+        let abs_naive: f32 = xs.iter().map(|v| v.abs()).sum();
+        let sq_naive: f32 = xs.iter().map(|v| v * v).sum();
+        assert!((sum_abs(&xs) - abs_naive).abs() < 1e-4);
+        assert!((sum_sq(&xs) - sq_naive).abs() < 1e-4);
+    }
+
+    #[test]
+    fn fused_softmax_ce_matches_split_path() {
+        let logits = vec![0.5f32, -1.0, 2.0, 0.0];
+        for label in 0..logits.len() {
+            let mut probs = logits.clone();
+            softmax(&mut probs);
+            let want_loss = cross_entropy(&probs, label);
+            let mut want_grad = probs.clone();
+            want_grad[label] -= 1.0;
+
+            let mut fused = logits.clone();
+            let loss = softmax_ce_grad(&mut fused, label);
+            assert!((loss - want_loss).abs() < 1e-6);
+            for (a, b) in fused.iter().zip(&want_grad) {
+                assert!((a - b).abs() < 1e-6);
+            }
+        }
     }
 }

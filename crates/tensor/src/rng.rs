@@ -7,16 +7,46 @@
 //! seen by existing consumers — a property the reproducibility tests rely
 //! on.
 
-use rand::rngs::StdRng;
-use rand::{Rng, RngCore, SeedableRng};
-
-/// SplitMix64 step, used to derive fork seeds from `(seed, stream-id)`.
+/// SplitMix64 step, used to derive fork seeds from `(seed, stream-id)`
+/// and to expand the root seed into the xoshiro state.
 fn splitmix64(mut x: u64) -> u64 {
     x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
     let mut z = x;
     z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
     z ^ (z >> 31)
+}
+
+/// Self-contained xoshiro256** core (the `rand` crate is unavailable in
+/// this build environment). Seeded by iterating splitmix64 from the
+/// root seed, per the generator authors' recommendation.
+#[derive(Debug, Clone)]
+struct Xoshiro256 {
+    s: [u64; 4],
+}
+
+impl Xoshiro256 {
+    fn seed_from_u64(seed: u64) -> Self {
+        let mut x = seed;
+        let mut s = [0u64; 4];
+        for slot in &mut s {
+            x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            *slot = splitmix64(x);
+        }
+        Self { s }
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        let out = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        out
+    }
 }
 
 /// A deterministic, forkable random-number generator.
@@ -39,7 +69,7 @@ fn splitmix64(mut x: u64) -> u64 {
 #[derive(Debug, Clone)]
 pub struct DetRng {
     seed: u64,
-    inner: StdRng,
+    inner: Xoshiro256,
     /// Cached second Box-Muller sample.
     spare_normal: Option<f64>,
 }
@@ -49,7 +79,7 @@ impl DetRng {
     pub fn new(seed: u64) -> Self {
         Self {
             seed,
-            inner: StdRng::seed_from_u64(seed),
+            inner: Xoshiro256::seed_from_u64(seed),
             spare_normal: None,
         }
     }
@@ -59,7 +89,9 @@ impl DetRng {
     /// Forking does not consume state from `self`, so the order in which
     /// forks are taken does not matter.
     pub fn fork(&self, stream: u64) -> DetRng {
-        DetRng::new(splitmix64(self.seed ^ splitmix64(stream.wrapping_add(0x5851_f42d))))
+        DetRng::new(splitmix64(
+            self.seed ^ splitmix64(stream.wrapping_add(0x5851_f42d)),
+        ))
     }
 
     /// The seed this stream was created from.
@@ -72,9 +104,9 @@ impl DetRng {
         self.inner.next_u64()
     }
 
-    /// Uniform sample in `[0, 1)`.
+    /// Uniform sample in `[0, 1)` (53 mantissa bits).
     pub fn uniform(&mut self) -> f64 {
-        self.inner.gen::<f64>()
+        (self.inner.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
     }
 
     /// Uniform sample in `[lo, hi)`.
@@ -94,7 +126,16 @@ impl DetRng {
     /// Panics if `n == 0`.
     pub fn index(&mut self, n: usize) -> usize {
         assert!(n > 0, "index requires a non-empty range");
-        self.inner.gen_range(0..n)
+        // Debiased via rejection: retry while the draw falls in the
+        // truncated final partial block of the u64 space.
+        let n = n as u64;
+        let zone = u64::MAX - (u64::MAX - n + 1) % n;
+        loop {
+            let v = self.inner.next_u64();
+            if v <= zone {
+                return (v % n) as usize;
+            }
+        }
     }
 
     /// Standard normal sample (Box-Muller; `rand_distr` is intentionally
@@ -231,19 +272,11 @@ mod tests {
     fn small_alpha_is_skewed_large_alpha_is_flat() {
         let mut rng = DetRng::new(6);
         let max_small: f64 = (0..50)
-            .map(|_| {
-                rng.dirichlet(10, 0.05)
-                    .into_iter()
-                    .fold(0.0f64, f64::max)
-            })
+            .map(|_| rng.dirichlet(10, 0.05).into_iter().fold(0.0f64, f64::max))
             .sum::<f64>()
             / 50.0;
         let max_large: f64 = (0..50)
-            .map(|_| {
-                rng.dirichlet(10, 100.0)
-                    .into_iter()
-                    .fold(0.0f64, f64::max)
-            })
+            .map(|_| rng.dirichlet(10, 100.0).into_iter().fold(0.0f64, f64::max))
             .sum::<f64>()
             / 50.0;
         assert!(

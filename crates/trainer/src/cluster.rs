@@ -167,8 +167,9 @@ impl Cluster {
             }
         };
 
-        let base_batch =
-            (workload.base_batch_size() as f64 * cfg.batch_scale).round().max(1.0) as usize;
+        let base_batch = (workload.base_batch_size() as f64 * cfg.batch_scale)
+            .round()
+            .max(1.0) as usize;
         let batches = dynamic_batches(&powers, base_batch);
         let devices: Vec<Device> = powers
             .iter()
@@ -187,7 +188,7 @@ impl Cluster {
         // Channel: capacity plus one fading link per worker. Traces are
         // generated long enough to cover the run and wrap thereafter.
         let profile = cfg.environment.profile();
-        let trace_len = cfg.duration_secs.max(300.0).min(1800.0);
+        let trace_len = cfg.duration_secs.clamp(300.0, 1800.0);
         let capacity = cfg
             .capacity_trace
             .clone()
@@ -236,8 +237,7 @@ impl Cluster {
 
     /// Scaled wire bytes of a whole-model message (baselines).
     pub fn scaled_model_bytes(&self, payloads: impl Iterator<Item = u64>) -> u64 {
-        payloads.map(|p| self.scaled_row_bytes(p)).sum::<u64>()
-            + rog_net::wire::message_overhead()
+        payloads.map(|p| self.scaled_row_bytes(p)).sum::<u64>() + rog_net::wire::message_overhead()
     }
 }
 

@@ -5,6 +5,7 @@ use rog_sim::{DeviceState, EventQueue, Time, Timeline};
 use rog_tensor::rng::DetRng;
 
 use crate::cluster::{Cluster, DeviceKind};
+use crate::compute::{run_job, run_job_into, ComputePlane, DrawJob};
 use crate::config::ExperimentConfig;
 use crate::metrics::{MetricsCollector, RunMetrics};
 
@@ -28,6 +29,12 @@ pub struct EngineCtx {
     pub timelines: Vec<Timeline>,
     /// Metrics collector.
     pub collector: MetricsCollector,
+    /// Thread pool for batched gradient draws.
+    pub plane: ComputePlane,
+    /// Recycled gradient-set buffers (all shaped like the model), so
+    /// steady-state draws allocate nothing. Zeroed contents never affect
+    /// results: every draw overwrites its buffer from zero.
+    grad_pool: Vec<GradSet>,
     batch_rngs: Vec<DetRng>,
     jitter_rngs: Vec<DetRng>,
 }
@@ -50,6 +57,8 @@ impl EngineCtx {
             queue: EventQueue::new(),
             timelines: vec![Timeline::new(); n],
             collector,
+            plane: ComputePlane::auto(),
+            grad_pool: Vec::new(),
             batch_rngs: (0..n).map(|w| root.fork(0x100 + w as u64)).collect(),
             jitter_rngs: (0..n).map(|w| root.fork(0x200 + w as u64)).collect(),
         }
@@ -80,23 +89,89 @@ impl EngineCtx {
         self.queue.push(t + dt, Ev::ComputeDone(worker));
     }
 
+    /// Samples the batch indices for a worker's next gradient draw.
+    ///
+    /// Consumes exactly the RNG the serial engine would consume at event
+    /// time, so prefetching a sample early cannot perturb any stream
+    /// (each worker has its own independent stream).
+    pub fn sample_batch_idxs(&mut self, worker: usize) -> Vec<usize> {
+        let shard = &self.cluster.workload.shards()[worker];
+        let batch = self.cluster.devices[worker].batch;
+        shard.sample_batch(batch, &mut self.batch_rngs[worker])
+    }
+
+    /// Computes gradients for pre-sampled batch indices on `model`.
+    ///
+    /// Returns the gradient set and its global mean absolute value.
+    pub fn grads_for(&self, worker: usize, model: &Mlp, idxs: &[usize]) -> (GradSet, f32) {
+        run_job(model, &self.cluster.workload.shards()[worker], idxs)
+    }
+
+    /// Like [`EngineCtx::grads_for`], but draws the gradient buffer from
+    /// the recycle pool instead of allocating one.
+    pub fn grads_for_pooled(
+        &mut self,
+        worker: usize,
+        model: &Mlp,
+        idxs: &[usize],
+    ) -> (GradSet, f32) {
+        let mut grads = self.take_grad_buf(|| model.zero_grads());
+        let shard = &self.cluster.workload.shards()[worker];
+        let mean_abs = run_job_into(model, shard, idxs, &mut grads);
+        (grads, mean_abs)
+    }
+
+    /// Pops a recycled gradient buffer, or builds a fresh one.
+    pub fn take_grad_buf(&mut self, fresh: impl FnOnce() -> GradSet) -> GradSet {
+        self.grad_pool.pop().unwrap_or_else(fresh)
+    }
+
+    /// Returns a consumed gradient set to the recycle pool.
+    pub fn recycle_grads(&mut self, grads: GradSet) {
+        self.grad_pool.push(grads);
+    }
+
     /// Computes real gradients for a worker's batch on `model`.
     ///
     /// Returns the gradient set and its global mean absolute value.
     pub fn draw_grads(&mut self, worker: usize, model: &Mlp) -> (GradSet, f32) {
-        let shard = &self.cluster.workload.shards()[worker];
-        let batch = self.cluster.devices[worker].batch;
-        let idxs = shard.sample_batch(batch, &mut self.batch_rngs[worker]);
-        let (_, grads, _) = model.loss_and_grad(shard, &idxs);
-        let n: usize = grads.iter().map(|g| g.len()).sum();
-        let sum: f32 = grads.iter().map(|g| g.mean_abs() * g.len() as f32).sum();
-        let mean_abs = if n > 0 { sum / n as f32 } else { 0.0 };
-        (grads, mean_abs)
+        let idxs = self.sample_batch_idxs(worker);
+        self.grads_for(worker, model, &idxs)
+    }
+
+    /// Runs a batch of `(worker, model, idxs)` draws on the compute
+    /// plane, returning results in job order.
+    pub fn draw_grads_batch(&self, jobs: &[(usize, &Mlp, &[usize])]) -> Vec<(GradSet, f32)> {
+        let jobs = self.draw_jobs(jobs);
+        self.plane.execute(&jobs)
+    }
+
+    /// Like [`EngineCtx::draw_grads_batch`], but writes gradients into
+    /// the caller's recycled buffers (one per job) and returns only the
+    /// mean `|g|` values.
+    pub fn draw_grads_batch_into(
+        &self,
+        jobs: &[(usize, &Mlp, &[usize])],
+        bufs: &mut [GradSet],
+    ) -> Vec<f32> {
+        let jobs = self.draw_jobs(jobs);
+        self.plane.execute_into(&jobs, bufs)
+    }
+
+    fn draw_jobs<'a>(&'a self, jobs: &[(usize, &'a Mlp, &'a [usize])]) -> Vec<DrawJob<'a>> {
+        let shards = self.cluster.workload.shards();
+        jobs.iter()
+            .map(|&(w, model, idxs)| DrawJob {
+                model,
+                shard: &shards[w],
+                idxs,
+            })
+            .collect()
     }
 
     /// Evaluates and records a checkpoint if `iter` is on the cadence.
     pub fn maybe_eval(&mut self, worker: usize, iter: u64, t: Time, model: &Mlp) {
-        if iter > 0 && iter % self.cfg.eval_every == 0 {
+        if iter > 0 && iter.is_multiple_of(self.cfg.eval_every) {
             let metric = self.cluster.workload.test_metric(model);
             self.collector.record_eval(worker, iter, t, metric);
         }

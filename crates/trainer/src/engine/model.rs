@@ -15,11 +15,10 @@ use rog_core::{RowId, RowPartition};
 use rog_models::{GradSet, Mlp};
 use rog_net::{FlowEvent, FlowId, FlowOutcome, FlowSpec};
 use rog_sim::{DeviceState, Time};
-use rog_sync::{
-    gate, FixedThreshold, FlownPolicy, ThresholdPolicy, VersionVector, WorkerNetStats,
-};
+use rog_sync::{gate, FixedThreshold, FlownPolicy, ThresholdPolicy, VersionVector, WorkerNetStats};
 use rog_tensor::{ops, Matrix};
 
+use crate::compute::{self, PendingDraw};
 use crate::config::{ExperimentConfig, Strategy};
 use crate::engine::common::{EngineCtx, Ev};
 use crate::metrics::RunMetrics;
@@ -56,6 +55,8 @@ enum FlowCtx {
 struct ModelEngine {
     ctx: EngineCtx,
     workers: Vec<WState>,
+    /// Prefetched gradient draws, one slot per worker.
+    pending: Vec<Option<PendingDraw>>,
     server: Server,
     policy: Box<dyn ThresholdPolicy>,
     flows: BTreeMap<FlowId, FlowCtx>,
@@ -112,6 +113,7 @@ pub fn run(cfg: &ExperimentConfig) -> RunMetrics {
     let mut engine = ModelEngine {
         ctx,
         workers,
+        pending: (0..n).map(|_| None).collect(),
         server,
         policy,
         flows: BTreeMap::new(),
@@ -148,6 +150,10 @@ impl ModelEngine {
             if now >= duration - 1e-9 {
                 break;
             }
+            // Pending ComputeDone draws are independent (each worker's
+            // model is frozen until its event fires); batch them on the
+            // compute plane before delivering events.
+            compute::prefetch_draws(&mut self.ctx, &mut self.pending, |w| &self.workers[w].model);
             match self.ctx.queue.pop() {
                 Some((t, Ev::ComputeDone(w))) => self.on_compute_done(w, t),
                 None => {
@@ -168,27 +174,31 @@ impl ModelEngine {
     }
 
     fn on_compute_done(&mut self, w: usize, now: Time) {
-        let (grads, mean_abs) = {
-            let model = &self.workers[w].model;
-            // Borrow dance: draw_grads needs &mut ctx.
-            let model = model.clone();
-            self.ctx.draw_grads(w, &model)
-        };
+        let (grads, mean_abs) = compute::take_draw(
+            &mut self.ctx,
+            &mut self.pending[w],
+            w,
+            &self.workers[w].model,
+        );
         let ws = &mut self.workers[w];
         ws.grads = Some(grads);
         ws.stats.grad_mean_abs = f64::from(mean_abs);
         ws.push_started = now;
         self.ctx.set_state(w, now, DeviceState::Communicate);
-        let id = self.ctx.cluster.channel.start_flow(
-            now,
-            FlowSpec::new(w, vec![self.model_wire_bytes]),
-        );
+        let id = self
+            .ctx
+            .cluster
+            .channel
+            .start_flow(now, FlowSpec::new(w, vec![self.model_wire_bytes]));
         self.flows.insert(id, FlowCtx::Push(w));
     }
 
     fn on_flow(&mut self, ev: FlowEvent) {
         let ctx = self.flows.remove(&ev.id).expect("unknown flow");
-        debug_assert!(matches!(ev.outcome, FlowOutcome::Completed), "model flows have no deadline");
+        debug_assert!(
+            matches!(ev.outcome, FlowOutcome::Completed),
+            "model flows have no deadline"
+        );
         match ctx {
             FlowCtx::Push(w) => self.on_push_done(w, ev.at),
             FlowCtx::Pull(w, payload) => self.on_pull_done(w, payload, ev.at),
@@ -199,8 +209,12 @@ impl ModelEngine {
         let n_workers = self.workers.len();
         let pushed_iter = self.workers[w].iter + 1;
         // Quantize the pushed gradients (error feedback on the worker).
-        let grads = self.workers[w].grads.take().expect("gradients were computed");
+        let grads = self.workers[w]
+            .grads
+            .take()
+            .expect("gradients were computed");
         let quantized = quantize_set(&self.partition, &mut self.workers[w].ef, &grads);
+        self.ctx.recycle_grads(grads);
         // Average into every worker's pending copy.
         let inv = 1.0 / n_workers as f32;
         for pend in &mut self.server.pending {
@@ -247,10 +261,11 @@ impl ModelEngine {
         );
         let payload = quantize_set(&self.partition, &mut self.server.efs[w], &pending);
         self.ctx.set_state(w, now, DeviceState::Communicate);
-        let id = self.ctx.cluster.channel.start_flow(
-            now,
-            FlowSpec::new(w, vec![self.model_wire_bytes]),
-        );
+        let id = self
+            .ctx
+            .cluster
+            .channel
+            .start_flow(now, FlowSpec::new(w, vec![self.model_wire_bytes]));
         self.flows.insert(id, FlowCtx::Pull(w, payload));
     }
 
@@ -273,8 +288,7 @@ impl ModelEngine {
         }
         self.ctx.collector.record_iteration(w);
         let iter = self.workers[w].iter;
-        let model = self.workers[w].model.clone();
-        self.ctx.maybe_eval(w, iter, now, &model);
+        self.ctx.maybe_eval(w, iter, now, &self.workers[w].model);
         if now < self.ctx.duration() {
             self.ctx.start_compute(w, now);
         } else {
@@ -323,7 +337,11 @@ mod tests {
     #[test]
     fn bsp_completes_iterations_and_checkpoints() {
         let m = run(&cfg(Strategy::Bsp));
-        assert!(m.mean_iterations >= 10.0, "iterations {}", m.mean_iterations);
+        assert!(
+            m.mean_iterations >= 10.0,
+            "iterations {}",
+            m.mean_iterations
+        );
         assert!(!m.checkpoints.is_empty());
         assert!(m.composition.compute > 0.0);
         assert!(m.composition.communicate > 0.0);

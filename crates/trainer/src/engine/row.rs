@@ -17,6 +17,7 @@ use rog_core::{mta, MtaTimeTracker, RogServer, RogWorker, RogWorkerConfig, RowId
 use rog_net::{FlowEvent, FlowId, FlowOutcome, FlowSpec};
 use rog_sim::{DeviceState, Time};
 
+use crate::compute::{self, PendingDraw};
 use crate::config::{ExperimentConfig, Strategy};
 use crate::engine::common::{EngineCtx, Ev};
 use crate::metrics::{MicroSample, RunMetrics};
@@ -57,6 +58,8 @@ enum FlowCtx {
 struct RowEngine {
     ctx: EngineCtx,
     workers: Vec<WState>,
+    /// Prefetched gradient draws, one slot per worker.
+    pending: Vec<Option<PendingDraw>>,
     server: RogServer,
     tracker: MtaTimeTracker,
     flows: BTreeMap<FlowId, FlowCtx>,
@@ -123,8 +126,7 @@ pub fn run(cfg: &ExperimentConfig) -> RunMetrics {
         wcfg = wcfg.with_momentum(cfg.momentum);
     }
     if let Some((f1, f2)) = cfg.importance_weights {
-        wcfg.importance =
-            rog_core::ImportanceMetric::new(rog_core::ImportanceWeights { f1, f2 });
+        wcfg.importance = rog_core::ImportanceMetric::new(rog_core::ImportanceWeights { f1, f2 });
     }
     let workers: Vec<WState> = (0..n)
         .map(|_| WState {
@@ -152,6 +154,7 @@ pub fn run(cfg: &ExperimentConfig) -> RunMetrics {
     let mut engine = RowEngine {
         ctx,
         workers,
+        pending: (0..n).map(|_| None).collect(),
         server,
         tracker: MtaTimeTracker::new(n, 1.0),
         flows: BTreeMap::new(),
@@ -207,6 +210,9 @@ impl RowEngine {
             if now >= duration - 1e-9 {
                 break;
             }
+            // Draws for all pending ComputeDone timers are independent;
+            // batch them on the compute plane before delivering events.
+            compute::prefetch_draws(&mut self.ctx, &mut self.pending, |w| &self.workers[w].model);
             match self.ctx.queue.pop() {
                 Some((t, Ev::ComputeDone(w))) => self.on_compute_done(w, t),
                 None => {
@@ -218,9 +224,24 @@ impl RowEngine {
         }
     }
 
+    /// Consumes the prefetched draw for `w` (recomputing if it was
+    /// invalidated by a pipeline pull since the prefetch).
+    fn take_draw(&mut self, w: usize) -> (rog_models::GradSet, f32) {
+        compute::take_draw(
+            &mut self.ctx,
+            &mut self.pending[w],
+            w,
+            &self.workers[w].model,
+        )
+    }
+
     fn scaled_chunks(&self, ws: &WState, rows: &[RowId]) -> Vec<u64> {
         rows.iter()
-            .map(|&id| self.ctx.cluster.scaled_row_bytes(ws.worker.payload_bytes(id)))
+            .map(|&id| {
+                self.ctx
+                    .cluster
+                    .scaled_row_bytes(ws.worker.payload_bytes(id))
+            })
             .collect()
     }
 
@@ -231,11 +252,9 @@ impl RowEngine {
             return;
         }
         let n = self.workers[w].iter + 1;
-        let (grads, _) = {
-            let model = self.workers[w].model.clone();
-            self.ctx.draw_grads(w, &model)
-        };
+        let (grads, _) = self.take_draw(w);
         self.workers[w].worker.accumulate(&grads);
+        self.ctx.recycle_grads(grads);
         self.begin_push(w, now, n);
     }
 
@@ -246,13 +265,10 @@ impl RowEngine {
         let n = self.workers[w].iter + 1;
         self.workers[w].iter = n;
         self.ctx.collector.record_iteration(w);
-        let (grads, _) = {
-            let model = self.workers[w].model.clone();
-            self.ctx.draw_grads(w, &model)
-        };
+        let (grads, _) = self.take_draw(w);
         self.workers[w].worker.accumulate(&grads);
-        let model = self.workers[w].model.clone();
-        self.ctx.maybe_eval(w, n, now, &model);
+        self.ctx.recycle_grads(grads);
+        self.ctx.maybe_eval(w, n, now, &self.workers[w].model);
         if !self.workers[w].comm_busy {
             self.begin_push(w, now, n);
         }
@@ -288,7 +304,8 @@ impl RowEngine {
         let ws = &mut self.workers[w];
         ws.comm_busy = true;
         ws.comm_iter = n;
-        let plan = ws.worker.plan_push(n);
+        let mut plan = std::mem::take(&mut ws.push_plan);
+        ws.worker.plan_push_into(n, &mut plan);
         let n_rows = plan.len();
         let t = u64::from(self.threshold.max(1));
         let mandatory = plan
@@ -416,8 +433,10 @@ impl RowEngine {
     }
 
     fn grant_pull(&mut self, w: usize, now: Time) {
-        let plan = self.server.plan_pull(w);
+        let mut plan = std::mem::take(&mut self.workers[w].pull_plan);
+        self.server.plan_pull_into(w, &mut plan);
         if plan.is_empty() {
+            self.workers[w].pull_plan = plan;
             self.complete_cycle(w, now);
             return;
         }
@@ -432,7 +451,11 @@ impl RowEngine {
             let ws = &self.workers[w];
             ws.pull_plan
                 .iter()
-                .map(|&id| self.ctx.cluster.scaled_row_bytes(self.server.payload_bytes(id)))
+                .map(|&id| {
+                    self.ctx
+                        .cluster
+                        .scaled_row_bytes(self.server.payload_bytes(id))
+                })
                 .collect()
         };
         self.set_comm_state(w, now, DeviceState::Communicate);
@@ -462,7 +485,11 @@ impl RowEngine {
             let rest: Vec<RowId> = ws.pull_plan[ws.pull_delivered..ws.pull_target].to_vec();
             let chunks: Vec<u64> = rest
                 .iter()
-                .map(|&id| self.ctx.cluster.scaled_row_bytes(self.server.payload_bytes(id)))
+                .map(|&id| {
+                    self.ctx
+                        .cluster
+                        .scaled_row_bytes(self.server.payload_bytes(id))
+                })
                 .collect();
             let id = self
                 .ctx
@@ -478,6 +505,12 @@ impl RowEngine {
         let payload = self.server.commit_pull(w, &rows);
         let ws = &mut self.workers[w];
         ws.worker.apply_pulled(ws.model.params_mut(), &payload);
+        // The model just changed; in pipeline mode a compute may be in
+        // flight for this worker, so any prefetched gradients are stale.
+        // The sampled batch indices stay valid.
+        if let Some(p) = self.pending[w].as_mut() {
+            p.result = None;
+        }
         self.complete_cycle(w, now);
     }
 
@@ -553,8 +586,7 @@ impl RowEngine {
         self.workers[w].iter += 1;
         self.ctx.collector.record_iteration(w);
         let iter = self.workers[w].iter;
-        let model = self.workers[w].model.clone();
-        self.ctx.maybe_eval(w, iter, now, &model);
+        self.ctx.maybe_eval(w, iter, now, &self.workers[w].model);
         self.maybe_adjust_threshold(now);
         if now < self.ctx.duration() {
             self.start_compute(w, now);
@@ -588,7 +620,11 @@ mod tests {
     #[test]
     fn rog_completes_iterations_and_checkpoints() {
         let m = run(&cfg(4));
-        assert!(m.mean_iterations >= 10.0, "iterations {}", m.mean_iterations);
+        assert!(
+            m.mean_iterations >= 10.0,
+            "iterations {}",
+            m.mean_iterations
+        );
         assert!(!m.checkpoints.is_empty());
         assert!(m.composition.compute > 0.0);
         assert!(m.composition.communicate > 0.0);

@@ -41,6 +41,7 @@
 #![warn(missing_docs)]
 
 mod cluster;
+pub mod compute;
 mod config;
 pub mod engine;
 mod metrics;

@@ -155,22 +155,26 @@ impl MetricsCollector {
             .collect();
         let total_energy_j = self.power.cluster_energy_until(&robot_tls, duration);
 
-        let checkpoints: Vec<Checkpoint> = self
-            .samples
-            .iter()
-            .map(|(&iter, pts)| {
-                let n = pts.len() as f64;
-                let time = pts.iter().map(|(t, _)| t).sum::<f64>() / n;
-                let metric = pts.iter().map(|(_, m)| m).sum::<f64>() / n;
-                let energy_j = self.power.cluster_energy_until(&robot_tls, time);
-                Checkpoint {
-                    iter,
-                    time,
-                    metric,
-                    energy_j,
-                }
-            })
-            .collect();
+        // Under ASP-like strategies a straggler can drag the *mean* time
+        // of an early checkpoint past that of a later one (later
+        // checkpoints only average the workers that got there). Energy
+        // "consumed by then" is cumulative, so integrate up to the
+        // furthest checkpoint time seen so far.
+        let mut energy_frontier: Time = 0.0;
+        let mut checkpoints: Vec<Checkpoint> = Vec::with_capacity(self.samples.len());
+        for (&iter, pts) in &self.samples {
+            let n = pts.len() as f64;
+            let time = pts.iter().map(|(t, _)| t).sum::<f64>() / n;
+            let metric = pts.iter().map(|(_, m)| m).sum::<f64>() / n;
+            energy_frontier = energy_frontier.max(time);
+            let energy_j = self.power.cluster_energy_until(&robot_tls, energy_frontier);
+            checkpoints.push(Checkpoint {
+                iter,
+                time,
+                metric,
+                energy_j,
+            });
+        }
 
         let total_iters: u64 = self.iterations.iter().sum();
         let mean_iterations = total_iters as f64 / self.iterations.len() as f64;
@@ -178,8 +182,7 @@ impl MetricsCollector {
             TimeComposition::default()
         } else {
             let sum = |s: DeviceState| {
-                (timelines.iter().map(|t| t.time_in(s)).sum::<f64>() / total_iters as f64)
-                    .max(0.0)
+                (timelines.iter().map(|t| t.time_in(s)).sum::<f64>() / total_iters as f64).max(0.0)
             };
             TimeComposition {
                 compute: sum(DeviceState::Compute),

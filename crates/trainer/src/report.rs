@@ -116,9 +116,7 @@ fn first_crossing(
 
 /// Formats a per-run time-composition table (Figs. 1a / 6a / 7a).
 pub fn composition_table(runs: &[RunMetrics]) -> String {
-    let mut out = String::from(
-        "system        compute(s)  comm(s)  stall(s)  total(s)  iters\n",
-    );
+    let mut out = String::from("system        compute(s)  comm(s)  stall(s)  total(s)  iters\n");
     for r in runs {
         let c = r.composition;
         out.push_str(&format!(
@@ -186,7 +184,10 @@ mod tests {
 
     #[test]
     fn metric_interpolates_between_checkpoints() {
-        let r = run_with(vec![ck(50, 100.0, 60.0, 1000.0), ck(100, 200.0, 70.0, 2000.0)], true);
+        let r = run_with(
+            vec![ck(50, 100.0, 60.0, 1000.0), ck(100, 200.0, 70.0, 2000.0)],
+            true,
+        );
         assert_eq!(metric_at_time(&r, 150.0), Some(65.0));
         assert_eq!(metric_at_time(&r, 50.0), Some(60.0)); // clamp below
         assert_eq!(metric_at_time(&r, 500.0), Some(70.0)); // clamp above
@@ -195,7 +196,10 @@ mod tests {
 
     #[test]
     fn energy_to_reach_interpolates_crossing() {
-        let r = run_with(vec![ck(50, 100.0, 60.0, 1000.0), ck(100, 200.0, 70.0, 2000.0)], true);
+        let r = run_with(
+            vec![ck(50, 100.0, 60.0, 1000.0), ck(100, 200.0, 70.0, 2000.0)],
+            true,
+        );
         assert_eq!(energy_to_reach(&r, 65.0), Some(1500.0));
         assert_eq!(energy_to_reach(&r, 60.0), Some(1000.0));
         assert_eq!(energy_to_reach(&r, 80.0), None);
@@ -203,7 +207,10 @@ mod tests {
 
     #[test]
     fn lower_is_better_metrics_cross_downward() {
-        let r = run_with(vec![ck(50, 100.0, 2.0, 1000.0), ck(100, 200.0, 1.0, 2000.0)], false);
+        let r = run_with(
+            vec![ck(50, 100.0, 2.0, 1000.0), ck(100, 200.0, 1.0, 2000.0)],
+            false,
+        );
         assert_eq!(energy_to_reach(&r, 1.5), Some(1500.0));
         assert_eq!(time_to_reach(&r, 1.0), Some(200.0));
         assert_eq!(energy_to_reach(&r, 0.5), None);

@@ -81,7 +81,10 @@ pub fn stall(runs: &[RunMetrics]) -> Aggregate {
 /// Mean ± std of energy (J) to reach `target`; runs that never reach it
 /// are skipped (their count shows in `n`).
 pub fn energy_to_reach(runs: &[RunMetrics], target: f64) -> Aggregate {
-    Aggregate::of(runs.iter().filter_map(|r| report::energy_to_reach(r, target)))
+    Aggregate::of(
+        runs.iter()
+            .filter_map(|r| report::energy_to_reach(r, target)),
+    )
 }
 
 #[cfg(test)]

@@ -18,7 +18,7 @@ use rog::tensor::rng::DetRng;
 fn main() {
     let threshold = 4u32;
     let workload = CrudaSpec::small().build(2, &mut DetRng::new(7));
-    let mut models = vec![
+    let mut models = [
         workload.make_model(&mut DetRng::new(0)),
         workload.make_model(&mut DetRng::new(0)),
     ];

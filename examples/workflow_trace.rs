@@ -21,8 +21,9 @@ fn main() {
     let params = vec![Matrix::zeros(6, 5), Matrix::zeros(2, 4)];
     let n_workers = 3;
     let cfg = RogWorkerConfig::new(threshold, 0.1);
-    let mut workers: Vec<RogWorker> =
-        (0..n_workers).map(|_| RogWorker::new(&params, cfg)).collect();
+    let mut workers: Vec<RogWorker> = (0..n_workers)
+        .map(|_| RogWorker::new(&params, cfg))
+        .collect();
     let mut models: Vec<Vec<Matrix>> = (0..n_workers).map(|_| params.clone()).collect();
     let mut server = RogServer::new(&params, n_workers, threshold, cfg.importance);
     let n_rows = workers[0].partition().n_rows();
@@ -74,7 +75,9 @@ fn main() {
                 workers[w].apply_pulled(&mut models[w], &payload);
                 println!("           gate open → pulled {take} rows");
             } else {
-                println!("           gate CLOSED (a straggler is {threshold} iterations behind) → stall");
+                println!(
+                    "           gate CLOSED (a straggler is {threshold} iterations behind) → stall"
+                );
             }
         }
         println!(

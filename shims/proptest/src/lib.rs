@@ -1,0 +1,381 @@
+//! Offline stand-in for `proptest`.
+//!
+//! Runs each property as a fixed number of deterministic random cases
+//! (seeded from the test name, so failures reproduce exactly across
+//! runs — there is no shrinking and no persistence file). Covers the
+//! strategy subset the workspace uses: numeric ranges, tuples,
+//! `collection::vec`, `bool::ANY`, and `option::of`.
+
+pub mod test_runner {
+    /// Run configuration. Only `cases` is modelled.
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        pub fn with_cases(cases: u32) -> Self {
+            Self { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        /// 64 cases (the real crate defaults to 256; this host has a
+        /// single core, so the shim trades cases for test latency).
+        fn default() -> Self {
+            Self { cases: 64 }
+        }
+    }
+
+    /// A failed property case.
+    #[derive(Debug)]
+    pub struct TestCaseError {
+        msg: String,
+    }
+
+    impl TestCaseError {
+        pub fn fail(msg: impl Into<String>) -> Self {
+            Self { msg: msg.into() }
+        }
+    }
+
+    impl std::fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str(&self.msg)
+        }
+    }
+
+    /// Deterministic splitmix64 generator used to drive sampling.
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// Seeds from the test name and case index so every run of the
+        /// suite replays the identical case sequence.
+        pub fn deterministic(name: &str, case: u64) -> Self {
+            let mut h = 0xcbf2_9ce4_8422_2325u64;
+            for b in name.bytes() {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+            Self {
+                state: h ^ case.wrapping_mul(0x9e37_79b9_7f4a_7c15),
+            }
+        }
+
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform in `[0, 1)`.
+        pub fn next_f64(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+        }
+    }
+}
+
+pub mod strategy {
+    use crate::test_runner::TestRng;
+
+    /// A value generator. Unlike the real crate there is no value tree
+    /// or shrinking: `sample` draws one value.
+    pub trait Strategy {
+        type Value;
+        fn sample(&self, rng: &mut TestRng) -> Self::Value;
+    }
+
+    macro_rules! impl_int_range {
+        ($($t:ty),*) => {$(
+            impl Strategy for ::std::ops::Range<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end as u64).wrapping_sub(self.start as u64);
+                    self.start.wrapping_add((rng.next_u64() % span) as $t)
+                }
+            }
+            impl Strategy for ::std::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    assert!(lo <= hi, "empty range strategy");
+                    let span = (hi as u64).wrapping_sub(lo as u64).wrapping_add(1);
+                    if span == 0 {
+                        // Full-width range: every value is valid.
+                        return rng.next_u64() as $t;
+                    }
+                    lo.wrapping_add((rng.next_u64() % span) as $t)
+                }
+            }
+        )*};
+    }
+
+    impl_int_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    macro_rules! impl_float_range {
+        ($($t:ty),*) => {$(
+            impl Strategy for ::std::ops::Range<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    self.start + (rng.next_f64() as $t) * (self.end - self.start)
+                }
+            }
+        )*};
+    }
+
+    impl_float_range!(f32, f64);
+
+    macro_rules! impl_tuple {
+        ($(($($n:tt $s:ident),+))*) => {$(
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+                fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$n.sample(rng),)+)
+                }
+            }
+        )*};
+    }
+
+    impl_tuple! {
+        (0 A)
+        (0 A, 1 B)
+        (0 A, 1 B, 2 C)
+        (0 A, 1 B, 2 C, 3 D)
+    }
+
+    /// `Just(value)`: always yields a clone of the value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn sample(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+}
+
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::ops::Range;
+
+    /// Strategy producing a `Vec` with length drawn from `size`.
+    pub struct VecStrategy<S> {
+        elem: S,
+        size: Range<usize>,
+    }
+
+    pub fn vec<S: Strategy>(elem: S, size: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { elem, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = self.size.sample(rng);
+            (0..len).map(|_| self.elem.sample(rng)).collect()
+        }
+    }
+}
+
+pub mod bool {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Uniform boolean strategy (`proptest::bool::ANY`).
+    #[derive(Debug, Clone, Copy)]
+    pub struct Any;
+
+    pub const ANY: Any = Any;
+
+    impl Strategy for Any {
+        type Value = bool;
+        fn sample(&self, rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+}
+
+pub mod option {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Strategy yielding `None` about a quarter of the time, matching
+    /// the real crate's default `of` weighting closely enough.
+    pub struct OptionStrategy<S> {
+        inner: S,
+    }
+
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy { inner }
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Option<S::Value> {
+            if rng.next_u64().is_multiple_of(4) {
+                None
+            } else {
+                Some(self.inner.sample(rng))
+            }
+        }
+    }
+}
+
+pub mod prelude {
+    pub use crate as prop;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+/// Declares deterministic property tests. Supports the same surface
+/// syntax as the real crate for `fn name(arg in strategy, ...) { .. }`
+/// items with an optional leading `#![proptest_config(..)]`.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@with_cfg ($cfg) $($rest)*);
+    };
+    (@with_cfg ($cfg:expr)
+        $(
+            $(#[$attr:meta])*
+            fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$attr])*
+            fn $name() {
+                use $crate::strategy::Strategy as _;
+                let cfg: $crate::test_runner::ProptestConfig = $cfg;
+                for case in 0..cfg.cases {
+                    let mut rng = $crate::test_runner::TestRng::deterministic(
+                        concat!(module_path!(), "::", stringify!($name)),
+                        u64::from(case),
+                    );
+                    $(let $arg = ($strat).sample(&mut rng);)+
+                    let desc = format!(
+                        concat!($(stringify!($arg), " = {:?} ",)+),
+                        $(&$arg),+
+                    );
+                    let result: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                        (move || {
+                            $body
+                            ::std::result::Result::Ok(())
+                        })();
+                    if let ::std::result::Result::Err(e) = result {
+                        panic!(
+                            "property {} failed at case {case}/{}: {e}\n  inputs: {desc}",
+                            stringify!($name),
+                            cfg.cases,
+                        );
+                    }
+                }
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(
+            @with_cfg ($crate::test_runner::ProptestConfig::default()) $($rest)*
+        );
+    };
+}
+
+/// Asserts a condition inside a `proptest!` body, failing the case
+/// (not the whole process) on violation.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond));
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)+)),
+            );
+        }
+    };
+}
+
+/// `assert_eq!` analogue for `proptest!` bodies.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr $(,)?) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(
+            *a == *b,
+            "assertion failed: `{:?}` != `{:?}` ({} vs {})",
+            a,
+            b,
+            stringify!($a),
+            stringify!($b)
+        );
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)+) => {{
+        let (a, b) = (&$a, &$b);
+        if !(*a == *b) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!("`{:?}` != `{:?}`: {}", a, b, format!($($fmt)+)),
+            ));
+        }
+    }};
+}
+
+/// `assert_ne!` analogue for `proptest!` bodies.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr $(,)?) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(*a != *b, "assertion failed: both sides equal `{:?}`", a);
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        #[test]
+        fn ranges_stay_in_bounds(
+            x in 3u32..17,
+            y in -2.0f64..2.0,
+            v in prop::collection::vec((0u8..4, prop::bool::ANY), 0..8),
+            o in prop::option::of(10usize..20),
+        ) {
+            prop_assert!((3..17).contains(&x));
+            prop_assert!((-2.0..2.0).contains(&y));
+            prop_assert!(v.len() < 8);
+            for (n, _) in &v {
+                prop_assert!(*n < 4);
+            }
+            if let Some(o) = o {
+                prop_assert!((10..20).contains(&o));
+            }
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn default_config_runs(seed in 0u64..1000) {
+            prop_assert!(seed < 1000);
+        }
+    }
+
+    #[test]
+    fn sampling_is_deterministic() {
+        use crate::strategy::Strategy;
+        let strat = 0u64..1_000_000;
+        let mut a = crate::test_runner::TestRng::deterministic("t", 7);
+        let mut b = crate::test_runner::TestRng::deterministic("t", 7);
+        assert_eq!(strat.sample(&mut a), strat.sample(&mut b));
+    }
+}

@@ -1,0 +1,282 @@
+//! `#[derive(Serialize, Deserialize)]` for the vendored serde shim.
+//!
+//! Supports exactly the shapes this workspace uses: non-generic structs
+//! with named fields, and non-generic enums whose variants are unit or
+//! struct variants. `#[serde(...)]` attributes are not supported (none
+//! exist in the workspace). Parsing is done directly on the
+//! `proc_macro` token stream so the shim needs no dependencies.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+enum Shape {
+    /// Named-field struct: field names in declaration order.
+    Struct(Vec<String>),
+    /// Enum: `(variant name, None)` for unit variants,
+    /// `(variant name, Some(fields))` for struct variants.
+    Enum(Vec<(String, Option<Vec<String>>)>),
+}
+
+struct Input {
+    name: String,
+    shape: Shape,
+}
+
+/// Skips `#[...]` attribute pairs starting at `i`; returns the next index.
+fn skip_attrs(tts: &[TokenTree], mut i: usize) -> usize {
+    while i + 1 < tts.len() {
+        match (&tts[i], &tts[i + 1]) {
+            (TokenTree::Punct(p), TokenTree::Group(g))
+                if p.as_char() == '#' && g.delimiter() == Delimiter::Bracket =>
+            {
+                i += 2;
+            }
+            _ => break,
+        }
+    }
+    i
+}
+
+/// Skips a visibility qualifier (`pub`, `pub(crate)`, ...) at `i`.
+fn skip_vis(tts: &[TokenTree], mut i: usize) -> usize {
+    if let Some(TokenTree::Ident(id)) = tts.get(i) {
+        if id.to_string() == "pub" {
+            i += 1;
+            if let Some(TokenTree::Group(g)) = tts.get(i) {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    i += 1;
+                }
+            }
+        }
+    }
+    i
+}
+
+/// Parses named fields from a brace-group body, returning field names.
+fn parse_named_fields(body: &[TokenTree]) -> Result<Vec<String>, String> {
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < body.len() {
+        i = skip_attrs(body, i);
+        i = skip_vis(body, i);
+        if i >= body.len() {
+            break;
+        }
+        let TokenTree::Ident(name) = &body[i] else {
+            return Err(format!("expected field name, found `{}`", body[i]));
+        };
+        fields.push(name.to_string());
+        i += 1;
+        match body.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            other => return Err(format!("expected `:` after field name, found {other:?}")),
+        }
+        // Consume the type: everything up to a comma at angle-depth 0.
+        let mut depth = 0i32;
+        while i < body.len() {
+            match &body[i] {
+                TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                    i += 1;
+                    break;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+    }
+    Ok(fields)
+}
+
+fn parse_input(input: TokenStream) -> Result<Input, String> {
+    let tts: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = skip_attrs(&tts, 0);
+    i = skip_vis(&tts, i);
+    let kind = match tts.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected `struct` or `enum`, found {other:?}")),
+    };
+    i += 1;
+    let name = match tts.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected type name, found {other:?}")),
+    };
+    i += 1;
+    if let Some(TokenTree::Punct(p)) = tts.get(i) {
+        if p.as_char() == '<' {
+            return Err(format!(
+                "generic type `{name}` is not supported by the serde shim"
+            ));
+        }
+    }
+    let Some(TokenTree::Group(body)) = tts.get(i) else {
+        return Err(format!(
+            "`{name}`: tuple/unit structs are not supported by the serde shim"
+        ));
+    };
+    if body.delimiter() != Delimiter::Brace {
+        return Err(format!(
+            "`{name}`: only brace-delimited bodies are supported"
+        ));
+    }
+    let body: Vec<TokenTree> = body.stream().into_iter().collect();
+    let shape = match kind.as_str() {
+        "struct" => Shape::Struct(parse_named_fields(&body)?),
+        "enum" => {
+            let mut variants = Vec::new();
+            let mut j = 0;
+            while j < body.len() {
+                j = skip_attrs(&body, j);
+                if j >= body.len() {
+                    break;
+                }
+                let TokenTree::Ident(vname) = &body[j] else {
+                    return Err(format!("expected variant name, found `{}`", body[j]));
+                };
+                let vname = vname.to_string();
+                j += 1;
+                match body.get(j) {
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                        let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                        variants.push((vname, Some(parse_named_fields(&inner)?)));
+                        j += 1;
+                    }
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                        return Err(format!(
+                            "tuple variant `{vname}` is not supported by the serde shim"
+                        ));
+                    }
+                    _ => variants.push((vname, None)),
+                }
+                // Optional discriminant is not supported; skip the comma.
+                if let Some(TokenTree::Punct(p)) = body.get(j) {
+                    if p.as_char() == ',' {
+                        j += 1;
+                    }
+                }
+            }
+            Shape::Enum(variants)
+        }
+        other => return Err(format!("expected `struct` or `enum`, found `{other}`")),
+    };
+    Ok(Input { name, shape })
+}
+
+fn serialize_impl(input: &Input) -> String {
+    let name = &input.name;
+    let body = match &input.shape {
+        Shape::Struct(fields) => {
+            let mut pushes = String::new();
+            for f in fields {
+                pushes.push_str(&format!(
+                    "obj.push((\"{f}\".to_string(), ::serde::Serialize::to_value(&self.{f})));\n"
+                ));
+            }
+            format!("let mut obj = ::std::vec::Vec::new();\n{pushes}::serde::Value::Object(obj)")
+        }
+        Shape::Enum(variants) => {
+            let mut arms = String::new();
+            for (v, fields) in variants {
+                match fields {
+                    None => arms.push_str(&format!(
+                        "{name}::{v} => ::serde::Value::Str(\"{v}\".to_string()),\n"
+                    )),
+                    Some(fields) => {
+                        let pat = fields.join(", ");
+                        let mut pushes = String::new();
+                        for f in fields {
+                            pushes.push_str(&format!(
+                                "inner.push((\"{f}\".to_string(), ::serde::Serialize::to_value({f})));\n"
+                            ));
+                        }
+                        arms.push_str(&format!(
+                            "{name}::{v} {{ {pat} }} => {{\n\
+                             let mut inner = ::std::vec::Vec::new();\n{pushes}\
+                             ::serde::Value::Object(vec![(\"{v}\".to_string(), ::serde::Value::Object(inner))])\n}}\n"
+                        ));
+                    }
+                }
+            }
+            format!("match self {{\n{arms}}}")
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+         fn to_value(&self) -> ::serde::Value {{\n{body}\n}}\n}}\n"
+    )
+}
+
+fn deserialize_impl(input: &Input) -> String {
+    let name = &input.name;
+    let body = match &input.shape {
+        Shape::Struct(fields) => {
+            let mut inits = String::new();
+            for f in fields {
+                inits.push_str(&format!(
+                    "{f}: ::serde::Deserialize::from_value(::serde::get_field(obj, \"{f}\")?)?,\n"
+                ));
+            }
+            format!(
+                "let obj = v.as_object().ok_or_else(|| ::serde::DeError::custom(\"expected object for {name}\"))?;\n\
+                 Ok({name} {{\n{inits}}})"
+            )
+        }
+        Shape::Enum(variants) => {
+            let mut unit_arms = String::new();
+            let mut struct_arms = String::new();
+            for (v, fields) in variants {
+                match fields {
+                    None => unit_arms.push_str(&format!("\"{v}\" => Ok({name}::{v}),\n")),
+                    Some(fields) => {
+                        let mut inits = String::new();
+                        for f in fields {
+                            inits.push_str(&format!(
+                                "{f}: ::serde::Deserialize::from_value(::serde::get_field(inner, \"{f}\")?)?,\n"
+                            ));
+                        }
+                        struct_arms.push_str(&format!(
+                            "\"{v}\" => {{\n\
+                             let inner = val.as_object().ok_or_else(|| ::serde::DeError::custom(\"expected object for {name}::{v}\"))?;\n\
+                             Ok({name}::{v} {{\n{inits}}})\n}}\n"
+                        ));
+                    }
+                }
+            }
+            format!(
+                "match v {{\n\
+                 ::serde::Value::Str(s) => match s.as_str() {{\n{unit_arms}\
+                 other => Err(::serde::DeError::custom(format!(\"unknown variant `{{other}}` for {name}\"))),\n}},\n\
+                 ::serde::Value::Object(entries) if entries.len() == 1 => {{\n\
+                 let (tag, val) = &entries[0];\n\
+                 match tag.as_str() {{\n{struct_arms}\
+                 other => Err(::serde::DeError::custom(format!(\"unknown variant `{{other}}` for {name}\"))),\n}}\n}}\n\
+                 _ => Err(::serde::DeError::custom(\"expected string or single-key object for {name}\")),\n}}"
+            )
+        }
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+         fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::DeError> {{\n{body}\n}}\n}}\n"
+    )
+}
+
+fn expand(input: TokenStream, which: fn(&Input) -> String) -> TokenStream {
+    match parse_input(input) {
+        Ok(parsed) => which(&parsed)
+            .parse()
+            .expect("serde_derive shim generated invalid Rust"),
+        Err(msg) => format!("compile_error!({msg:?});")
+            .parse()
+            .expect("compile_error parses"),
+    }
+}
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, serialize_impl)
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, deserialize_impl)
+}

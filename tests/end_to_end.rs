@@ -1,9 +1,7 @@
 //! Cross-crate integration tests: full simulated training runs through
 //! the public API, every strategy, both workloads.
 
-use rog::trainer::{
-    report, Environment, ExperimentConfig, ModelScale, Strategy, WorkloadKind,
-};
+use rog::trainer::{report, Environment, ExperimentConfig, ModelScale, Strategy, WorkloadKind};
 
 fn base_cfg() -> ExperimentConfig {
     ExperimentConfig {
@@ -42,7 +40,11 @@ fn every_strategy_completes_a_run() {
             strategy.name(),
             m.mean_iterations
         );
-        assert!(!m.checkpoints.is_empty(), "{}: no checkpoints", strategy.name());
+        assert!(
+            !m.checkpoints.is_empty(),
+            "{}: no checkpoints",
+            strategy.name()
+        );
         assert!(m.total_energy_j > 0.0);
         assert!(m.composition.total() > 0.0);
         // Checkpoints are ordered in iteration and time.
@@ -56,7 +58,10 @@ fn every_strategy_completes_a_run() {
 
 #[test]
 fn identical_seeds_reproduce_bitwise() {
-    for strategy in [Strategy::Ssp { threshold: 4 }, Strategy::Rog { threshold: 4 }] {
+    for strategy in [
+        Strategy::Ssp { threshold: 4 },
+        Strategy::Rog { threshold: 4 },
+    ] {
         let cfg = ExperimentConfig {
             strategy,
             environment: Environment::Outdoor,

@@ -34,11 +34,7 @@ fn all_strategies() -> Vec<Strategy> {
 #[test]
 fn composition_times_are_conserved() {
     for strategy in all_strategies() {
-        let m = ExperimentConfig {
-            strategy,
-            ..base()
-        }
-        .run();
+        let m = ExperimentConfig { strategy, ..base() }.run();
         let c = m.composition;
         assert!(c.compute > 0.0, "{}", strategy.name());
         assert!(c.communicate > 0.0, "{}", strategy.name());
@@ -58,11 +54,7 @@ fn energy_matches_composition_within_bounds() {
     // Cluster energy must sit between all-stall power and all-compute
     // power over the run (robot workers only: 2 of 3 here).
     for strategy in [Strategy::Bsp, Strategy::Rog { threshold: 4 }] {
-        let m = ExperimentConfig {
-            strategy,
-            ..base()
-        }
-        .run();
+        let m = ExperimentConfig { strategy, ..base() }.run();
         let robots = 2.0;
         let lo = 4.0 * m.duration * robots; // below stall power floor
         let hi = 13.35 * m.duration * robots * 1.01;
@@ -132,11 +124,7 @@ fn rog_throughput_rises_with_threshold() {
 #[test]
 fn checkpoint_energy_is_monotonic_everywhere() {
     for strategy in all_strategies() {
-        let m = ExperimentConfig {
-            strategy,
-            ..base()
-        }
-        .run();
+        let m = ExperimentConfig { strategy, ..base() }.run();
         for w in m.checkpoints.windows(2) {
             assert!(
                 w[0].energy_j <= w[1].energy_j + 1e-6,

@@ -136,10 +136,10 @@ fn all_workers_apply_the_same_totals() {
         let plan = worker.plan_push(iter);
         let sent = worker.commit_push(&plan, iter);
         server.on_push(0, iter, &sent);
-        for dst in 0..n_workers {
+        for (dst, inbox) in received.iter_mut().enumerate() {
             let payload = server.commit_pull(dst, &all_rows);
             let flat: f32 = payload.iter().flat_map(|(_, v)| v.iter()).sum();
-            received[dst].push(flat);
+            inbox.push(flat);
         }
     }
     let total0: f32 = received[0].iter().sum();

@@ -87,6 +87,7 @@ fn main() {
                     FlowOutcome::DeadlineReached { bytes_done, .. } => {
                         (bytes_done, ch.wasted_bytes() as u64)
                     }
+                    FlowOutcome::Cancelled { .. } => unreachable!("nothing cancels this flow"),
                 },
                 _ => (0, 0),
             };

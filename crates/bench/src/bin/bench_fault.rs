@@ -1,0 +1,197 @@
+//! Fault-matrix robustness benchmark: runs the CRUDA-outdoor workload
+//! through a matrix of injected fault scenarios (fault-free baseline,
+//! seeded worker churn, link blackouts, a server checkpoint/restart)
+//! and writes `BENCH_fault.json` with accuracy-vs-virtual-time curves
+//! plus stall/offline residency per scenario. A BSP-under-churn row
+//! quantifies the paper's robustness argument: static-membership BSP
+//! blocks for the whole outage, while ROG's dynamic membership keeps
+//! the survivors training.
+//!
+//! Usage: `cargo run --release -p rog-bench --bin bench_fault
+//!         [--quick] [--seed <n>]`
+//!
+//! The output contains no wall-clock timings — every field is a
+//! deterministic function of the config and seeds, so CI can diff two
+//! runs of the same invocation byte-for-byte as a reproducibility
+//! check.
+
+use rog_bench::{header, run_all};
+use rog_fault::{ChurnProfile, FaultPlan};
+use rog_trainer::{Environment, ExperimentConfig, RunMetrics, Strategy, WorkloadKind};
+
+/// Churn profile tuned so even `--quick` runs see real departures
+/// (default means target multi-hour traces).
+fn churn_profile() -> ChurnProfile {
+    ChurnProfile {
+        mean_up_secs: 60.0,
+        mean_down_secs: 20.0,
+        min_up_secs: 15.0,
+        min_down_secs: 8.0,
+        keep_first_online: true,
+    }
+}
+
+fn fault_seed() -> u64 {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == "--seed")
+        .and_then(|i| args.get(i + 1))
+        .map(|v| v.parse().expect("--seed expects an integer"))
+        .unwrap_or(1)
+}
+
+fn scenario_plans(seed: u64, n_workers: usize, dur: f64) -> Vec<(&'static str, FaultPlan)> {
+    vec![
+        ("none", FaultPlan::new()),
+        (
+            "churn",
+            FaultPlan::seeded_churn(seed, n_workers, dur, &churn_profile()),
+        ),
+        (
+            "blackout",
+            FaultPlan::new()
+                .link_blackout(1, 0.20 * dur, 0.20 * dur + 12.0)
+                .link_blackout(2, 0.50 * dur, 0.50 * dur + 15.0)
+                .link_blackout(3, 0.70 * dur, 0.70 * dur + 10.0),
+        ),
+        (
+            "server-restart",
+            FaultPlan::new().server_restart(0.40 * dur, 0.40 * dur + 8.0),
+        ),
+    ]
+}
+
+fn json_f64(x: f64) -> String {
+    // `+ 0.0` folds IEEE −0.0 into +0.0 so artifacts never print "-0".
+    let x = x + 0.0;
+    if x.is_finite() {
+        format!("{x}")
+    } else {
+        "null".to_owned()
+    }
+}
+
+fn scenario_json(scenario: &str, r: &RunMetrics) -> String {
+    let mut s = String::from("    {\n");
+    s.push_str(&format!("      \"scenario\": {scenario:?},\n"));
+    s.push_str(&format!("      \"name\": {:?},\n", r.name));
+    s.push_str(&format!(
+        "      \"mean_iterations\": {},\n",
+        json_f64(r.mean_iterations)
+    ));
+    s.push_str(&format!(
+        "      \"total_energy_j\": {},\n",
+        json_f64(r.total_energy_j)
+    ));
+    s.push_str(&format!(
+        "      \"useful_bytes\": {},\n",
+        json_f64(r.useful_bytes)
+    ));
+    s.push_str(&format!(
+        "      \"wasted_bytes\": {},\n",
+        json_f64(r.wasted_bytes)
+    ));
+    s.push_str(&format!(
+        "      \"stall_secs\": {},\n",
+        json_f64(r.stall_secs)
+    ));
+    s.push_str(&format!(
+        "      \"offline_secs\": {},\n",
+        json_f64(r.offline_secs)
+    ));
+    let final_metric = r.checkpoints.last().map_or(f64::NAN, |c| c.metric);
+    s.push_str(&format!(
+        "      \"final_metric\": {},\n",
+        json_f64(final_metric)
+    ));
+    s.push_str("      \"accuracy_vs_time\": [");
+    let pts: Vec<String> = r
+        .checkpoints
+        .iter()
+        .map(|c| format!("[{}, {}, {}]", json_f64(c.time), c.iter, json_f64(c.metric)))
+        .collect();
+    s.push_str(&pts.join(", "));
+    s.push_str("]\n    }");
+    s
+}
+
+fn main() {
+    let quick = rog_bench::quick();
+    let dur = if quick { 120.0 } else { 600.0 };
+    let seed = fault_seed();
+    let base = ExperimentConfig {
+        workload: WorkloadKind::Cruda,
+        environment: Environment::Outdoor,
+        strategy: Strategy::Rog { threshold: 4 },
+        duration_secs: dur,
+        // Frequent checkpoints: quick runs complete only ~25
+        // iterations, and the accuracy-vs-time curve is the point.
+        eval_every: 10,
+        ..ExperimentConfig::default()
+    };
+
+    header(&format!(
+        "Fault matrix: CRUDA outdoor, {dur:.0} virtual s, fault seed {seed}"
+    ));
+    let plans = scenario_plans(seed, base.n_workers, dur);
+    let mut configs: Vec<(String, ExperimentConfig)> = plans
+        .iter()
+        .map(|(scenario, plan)| {
+            (
+                (*scenario).to_owned(),
+                ExperimentConfig {
+                    fault_plan: Some(plan.clone()),
+                    ..base.clone()
+                },
+            )
+        })
+        .collect();
+    // The robustness contrast: BSP under the identical churn plan. Its
+    // static membership means every departure blocks the whole cluster.
+    configs.push((
+        "bsp-churn".to_owned(),
+        ExperimentConfig {
+            strategy: Strategy::Bsp,
+            fault_plan: Some(plans[1].1.clone()),
+            ..base.clone()
+        },
+    ));
+
+    let runs = run_all(
+        &configs
+            .iter()
+            .map(|(_, c)| c.clone())
+            .collect::<Vec<ExperimentConfig>>(),
+    );
+
+    println!(
+        "{:<15} {:>8} {:>10} {:>10} {:>10} {:>12}",
+        "scenario", "iters", "stall(s)", "offline(s)", "metric", "wasted(B)"
+    );
+    for ((scenario, _), r) in configs.iter().zip(&runs) {
+        let final_metric = r.checkpoints.last().map_or(f64::NAN, |c| c.metric);
+        println!(
+            "{scenario:<15} {:>8.1} {:>10.1} {:>10.1} {:>10.2} {:>12.0}",
+            r.mean_iterations,
+            r.stall_secs + 0.0,
+            r.offline_secs + 0.0,
+            final_metric,
+            r.wasted_bytes
+        );
+    }
+
+    let mut json = String::from("{\n");
+    json.push_str("  \"bench\": \"fault_matrix_cruda_outdoor\",\n");
+    json.push_str(&format!("  \"virtual_duration_secs\": {dur},\n"));
+    json.push_str(&format!("  \"fault_seed\": {seed},\n"));
+    json.push_str("  \"scenarios\": [\n");
+    let rows: Vec<String> = configs
+        .iter()
+        .zip(&runs)
+        .map(|((scenario, _), r)| scenario_json(scenario, r))
+        .collect();
+    json.push_str(&rows.join(",\n"));
+    json.push_str("\n  ]\n}\n");
+    std::fs::write("BENCH_fault.json", &json).expect("write BENCH_fault.json");
+    println!("  -> wrote BENCH_fault.json");
+}

@@ -5,6 +5,7 @@
 
 use std::fmt;
 
+use rog_fault::FaultPlan;
 use rog_net::SharingMode;
 use rog_trainer::{Environment, ExperimentConfig, ModelScale, Strategy, WorkloadKind};
 
@@ -46,7 +47,13 @@ USAGE:
          [--batch-scale <x>] [--eval-every <iters>] [--seed <n>]
          [--scale paper|small] [--mac airtime|anomaly]
          [--pipeline] [--auto-threshold] [--micro]
+         [--fault-plan <file>] [--fault-seed <n>]
          [--csv <path>] [--json <path>]
+
+Fault injection: --fault-plan loads a script of
+'offline <w> <start> <end>' / 'blackout <w> <start> <end>' /
+'server-restart <start> <end>' lines; --fault-seed generates a
+deterministic churn plan instead (ignored if a plan file is given).
 ";
 
 /// Parses CLI arguments (without the program name).
@@ -133,6 +140,22 @@ pub fn parse(args: &[String]) -> Result<CliRun, CliError> {
             "--pipeline" => cfg.pipeline = true,
             "--auto-threshold" => cfg.auto_threshold = true,
             "--micro" => cfg.record_micro = true,
+            "--fault-plan" => {
+                let path = value()?;
+                let text = std::fs::read_to_string(path)
+                    .map_err(|e| err(format!("cannot read fault plan '{path}': {e}")))?;
+                cfg.fault_plan = Some(
+                    FaultPlan::parse(&text)
+                        .map_err(|e| err(format!("fault plan '{path}': {e}")))?,
+                );
+            }
+            "--fault-seed" => {
+                cfg.fault_seed = Some(
+                    value()?
+                        .parse()
+                        .map_err(|_| err("--fault-seed expects an integer"))?,
+                )
+            }
             "--csv" => csv_out = Some(value()?.clone()),
             "--json" => json_out = Some(value()?.clone()),
             "--help" | "-h" => return Err(err(USAGE)),
@@ -246,5 +269,38 @@ mod tests {
     fn extensions_require_rog() {
         assert!(parse(&args("--strategy bsp --pipeline")).is_err());
         assert!(parse(&args("--strategy rog:4 --pipeline")).is_ok());
+    }
+
+    #[test]
+    fn fault_plan_file_parses_into_the_config() {
+        let path = std::env::temp_dir().join("rogctl_cli_test_plan.txt");
+        std::fs::write(&path, "offline 1 40 80\nserver-restart 200 210\n").expect("write plan");
+        let run = parse(&args(&format!("--fault-plan {}", path.display()))).expect("parses");
+        let plan = run.config.fault_plan.expect("plan loaded");
+        assert_eq!(plan.windows().len(), 2);
+        assert_eq!(
+            plan.windows()[0].kind,
+            rog_fault::FaultKind::WorkerOffline(1)
+        );
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn fault_seed_sets_the_config_field() {
+        let run = parse(&args("--fault-seed 7")).expect("parses");
+        assert_eq!(run.config.fault_seed, Some(7));
+        assert!(run.config.fault_plan.is_none());
+        assert!(parse(&args("--fault-seed banana")).is_err());
+    }
+
+    #[test]
+    fn fault_plan_errors_are_reported() {
+        let missing = parse(&args("--fault-plan /nonexistent/rog_plan.txt")).unwrap_err();
+        assert!(missing.to_string().contains("cannot read"), "{missing}");
+        let path = std::env::temp_dir().join("rogctl_cli_test_bad_plan.txt");
+        std::fs::write(&path, "frobnicate 3 4 5\n").expect("write plan");
+        let bad = parse(&args(&format!("--fault-plan {}", path.display()))).unwrap_err();
+        assert!(bad.to_string().contains("unknown directive"), "{bad}");
+        std::fs::remove_file(&path).ok();
     }
 }

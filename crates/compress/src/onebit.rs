@@ -143,6 +143,16 @@ impl ErrorFeedback {
         &self.residuals[row]
     }
 
+    /// Zeroes every stored residual. Used when a worker cold-resyncs
+    /// after a fault: the compensation was accumulated against a model
+    /// lineage that no longer exists, so carrying it into the adopted
+    /// model would inject stale error instead of correcting it.
+    pub fn reset(&mut self) {
+        for r in &mut self.residuals {
+            r.fill(0.0);
+        }
+    }
+
     /// Compresses `gradient` for row `row`, folding in the stored residual
     /// and retaining the new quantization error.
     ///
@@ -307,6 +317,21 @@ mod tests {
     fn wrong_width_panics() {
         let mut ef = ErrorFeedback::new(&[4]);
         ef.compress(0, &[1.0]);
+    }
+
+    #[test]
+    fn reset_zeroes_all_residuals() {
+        let mut ef = ErrorFeedback::new(&[4, 2]);
+        ef.compress(0, &[0.3, -0.7, 0.1, 0.9]);
+        ef.compress(1, &[1.5, -0.2]);
+        assert!(ef.residual(0).iter().any(|&r| r != 0.0));
+        ef.reset();
+        for row in 0..ef.rows() {
+            assert!(ef.residual(row).iter().all(|&r| r == 0.0));
+        }
+        // Post-reset compression behaves like a fresh instance.
+        let fresh = ErrorFeedback::new(&[4, 2]).compress(0, &[0.3, -0.7, 0.1, 0.9]);
+        assert_eq!(ef.compress(0, &[0.3, -0.7, 0.1, 0.9]), fresh);
     }
 
     proptest! {

@@ -28,6 +28,9 @@ pub struct RogServer {
     versions: RowVersionStore,
     /// Per-destination-worker compression residuals for pulls.
     efs: Vec<ErrorFeedback>,
+    /// Membership mask: pushes are averaged over (and fanned out to)
+    /// active workers only.
+    active: Vec<bool>,
     /// Ranking scratch, reused across pull plans.
     scratch: RankScratch,
     /// Per-row mean-|ḡ| buffer, reused across pull plans.
@@ -67,6 +70,7 @@ impl RogServer {
             efs: (0..n_workers)
                 .map(|_| ErrorFeedback::new(&widths))
                 .collect(),
+            active: vec![true; n_workers],
             partition,
             scratch: RankScratch::default(),
             mean_abs_buf: Vec::new(),
@@ -95,9 +99,64 @@ impl RogServer {
         &mut self.versions
     }
 
+    /// Number of currently active (joined) workers.
+    pub fn active_workers(&self) -> usize {
+        self.active.iter().filter(|&&a| a).count()
+    }
+
+    /// Whether `worker` is currently a cluster member.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `worker` is out of range.
+    pub fn is_active(&self, worker: usize) -> bool {
+        self.active[worker]
+    }
+
+    /// Removes `worker` from the active set: its frozen version rows
+    /// stop gating the cluster, subsequent pushes are averaged over the
+    /// remaining members only, and nothing further accumulates for it.
+    /// Idempotent.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `worker` is out of range.
+    pub fn deactivate_worker(&mut self, worker: usize) {
+        assert!(worker < self.n_workers, "worker out of range");
+        if !self.active[worker] {
+            return;
+        }
+        self.active[worker] = false;
+        self.versions.set_active(worker, false);
+    }
+
+    /// Readmits `worker` after a cold resync at iteration `iter`: its
+    /// stale pending copy and pull residuals are discarded (the model it
+    /// adopted already reflects those gradients), and its version rows
+    /// are fast-forwarded to `iter` so it re-enters the RSP bound
+    /// exactly as fresh as the model it resynced to.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `worker` is out of range.
+    pub fn rejoin_worker(&mut self, worker: usize, iter: u64) {
+        assert!(worker < self.n_workers, "worker out of range");
+        for m in &mut self.accum[worker] {
+            m.fill_zero();
+        }
+        self.fresh[worker].fill(0);
+        self.efs[worker].reset();
+        self.versions.stamp_worker(worker, iter);
+        self.versions.set_active(worker, true);
+        self.active[worker] = true;
+    }
+
     /// Receives pushed row gradients of iteration `n` from a worker:
-    /// averages them into every worker's pending copy and updates the
-    /// version storage (Algorithm 2 lines 2–6).
+    /// averages them into every *active* worker's pending copy and
+    /// updates the version storage (Algorithm 2 lines 2–6). Under full
+    /// membership this is the paper's `1/n_workers` averaging exactly;
+    /// when members have departed, the divisor is the active count, so
+    /// the expected gradient magnitude is preserved for the survivors.
     ///
     /// # Panics
     ///
@@ -105,7 +164,7 @@ impl RogServer {
     /// the wrong width.
     pub fn on_push(&mut self, from: usize, n: u64, rows: &[(RowId, Vec<f32>)]) {
         assert!(from < self.n_workers, "worker out of range");
-        let inv = 1.0 / self.n_workers as f32;
+        let inv = 1.0 / self.active_workers().max(1) as f32;
         for (id, values) in rows {
             assert_eq!(
                 values.len(),
@@ -113,6 +172,9 @@ impl RogServer {
                 "payload width mismatch for {id}"
             );
             for r in 0..self.n_workers {
+                if !self.active[r] {
+                    continue;
+                }
                 let dst = self.partition.row_mut(&mut self.accum[r], *id);
                 for (d, v) in dst.iter_mut().zip(values) {
                     *d += v * inv;
@@ -289,5 +351,69 @@ mod tests {
     fn wrong_width_payload_panics() {
         let mut s = server(1, 4);
         s.on_push(0, 1, &[(RowId(0), vec![1.0])]);
+    }
+
+    #[test]
+    fn departed_worker_stops_gating_and_accumulating() {
+        let mut s = server(3, 2);
+        let all_rows: Vec<(RowId, Vec<f32>)> = vec![
+            (RowId(0), vec![1.0, 1.0, 1.0]),
+            (RowId(1), vec![1.0, 1.0, 1.0]),
+            (RowId(2), vec![1.0, 1.0]),
+        ];
+        // Workers 0 and 1 reach iteration 5; worker 2 pushed once at 1.
+        for it in 1..=5u64 {
+            s.on_push(0, it, &all_rows);
+            s.on_push(1, it, &all_rows);
+        }
+        s.on_push(2, 1, &all_rows);
+        assert!(!s.gate_ok(5), "straggler pins min(V) = 1");
+        s.deactivate_worker(2);
+        assert_eq!(s.active_workers(), 2);
+        assert!(!s.is_active(2));
+        assert!(s.gate_ok(5), "gate recomputed over the active set");
+        // Pushes now average over 2 and skip the departed copy.
+        let before = s.pending_magnitude(2);
+        s.on_push(0, 6, &[(RowId(0), vec![2.0, 2.0, 2.0])]);
+        assert_eq!(
+            s.pending_magnitude(2),
+            before,
+            "no accumulation for departed"
+        );
+        s.deactivate_worker(2); // idempotent
+        assert_eq!(s.active_workers(), 2);
+    }
+
+    #[test]
+    fn rejoin_clears_pending_state_and_fast_forwards_versions() {
+        let mut s = server(2, 2);
+        let all_rows: Vec<(RowId, Vec<f32>)> = vec![
+            (RowId(0), vec![1.0, 1.0, 1.0]),
+            (RowId(1), vec![1.0, 1.0, 1.0]),
+            (RowId(2), vec![1.0, 1.0]),
+        ];
+        s.on_push(1, 1, &all_rows);
+        s.deactivate_worker(1);
+        for it in 2..=9u64 {
+            s.on_push(0, it, &all_rows);
+        }
+        s.rejoin_worker(1, 9);
+        assert!(s.is_active(1));
+        assert_eq!(s.active_workers(), 2);
+        assert!(s.plan_pull(1).is_empty(), "stale pending copy discarded");
+        assert_eq!(s.pending_magnitude(1), 0.0);
+        // Versions fast-forwarded: the rejoiner does not re-pin the gate.
+        assert!(s.gate_ok(9));
+        assert_eq!(s.versions_mut().global_min(), 9);
+    }
+
+    #[test]
+    fn full_membership_averaging_matches_static_divisor() {
+        // The zero-cost invariant: with nobody departed, on_push must be
+        // arithmetically identical to the pre-membership 1/n averaging.
+        let mut s = server(4, 4);
+        s.on_push(0, 1, &[(RowId(0), vec![4.0, 8.0, 12.0])]);
+        let m = s.pending_magnitude(3); // includes the 1/4-averaged row
+        assert!((m - (1.0 + 2.0 + 3.0) / 3.0).abs() < 1e-6, "magnitude {m}");
     }
 }

@@ -8,10 +8,17 @@
 /// pushed version against the global minimum `min(V)`: if the lead
 /// reaches the staleness threshold, the pull is withheld and the worker
 /// stalls until stragglers catch up.
+///
+/// Under dynamic membership, `min(V)` ranges over the *active* workers
+/// only ([`RowVersionStore::set_active`]): a departed worker's frozen
+/// rows are aged out of the bound instead of pinning the whole cluster
+/// at its last push forever.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct RowVersionStore {
     /// `v[worker][row]`.
     v: Vec<Vec<u64>>,
+    /// Membership mask; inactive workers are excluded from `min(V)`.
+    active: Vec<bool>,
     cached_min: u64,
     dirty: bool,
 }
@@ -27,6 +34,7 @@ impl RowVersionStore {
         assert!(n_rows > 0, "need at least one row");
         Self {
             v: vec![vec![0; n_rows]; n_workers],
+            active: vec![true; n_workers],
             cached_min: 0,
             dirty: false,
         }
@@ -67,16 +75,70 @@ impl RowVersionStore {
         }
     }
 
-    /// `min(V)`: the version of the stalest row anywhere in the cluster.
+    /// Includes (`active == true`) or excludes `worker` from the
+    /// `min(V)` bound. Departed workers are excluded so their frozen
+    /// rows stop gating everyone else; rejoining workers are included
+    /// again after [`RowVersionStore::stamp_worker`] fast-forwards them.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `worker` is out of range.
+    pub fn set_active(&mut self, worker: usize, active: bool) {
+        if self.active[worker] != active {
+            self.active[worker] = active;
+            self.dirty = true;
+        }
+    }
+
+    /// Whether `worker` currently counts toward `min(V)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `worker` is out of range.
+    pub fn is_active(&self, worker: usize) -> bool {
+        self.active[worker]
+    }
+
+    /// Fast-forwards every row of `worker` to at least `iter`
+    /// (monotonic, like [`RowVersionStore::record_push`]). Used on
+    /// rejoin: the worker resynced its model at `iter`, so its rows are
+    /// exactly as fresh as the model it adopted.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `worker` is out of range.
+    pub fn stamp_worker(&mut self, worker: usize, iter: u64) {
+        for cell in &mut self.v[worker] {
+            if iter > *cell {
+                *cell = iter;
+            }
+        }
+        self.dirty = true;
+    }
+
+    /// `min(V)`: the version of the stalest row of any *active* worker.
+    /// Falls back to the minimum over all workers if none is active (a
+    /// fully departed cluster has nothing left to gate).
     pub fn global_min(&mut self) -> u64 {
         if self.dirty {
-            self.cached_min = self
+            let over_active = self
                 .v
                 .iter()
-                .flat_map(|w| w.iter())
+                .zip(&self.active)
+                .filter(|(_, &a)| a)
+                .flat_map(|(w, _)| w.iter())
                 .copied()
-                .min()
-                .expect("non-empty");
+                .min();
+            self.cached_min = match over_active {
+                Some(m) => m,
+                None => self
+                    .v
+                    .iter()
+                    .flat_map(|w| w.iter())
+                    .copied()
+                    .min()
+                    .expect("non-empty"),
+            };
             self.dirty = false;
         }
         self.cached_min
@@ -159,6 +221,54 @@ mod tests {
         v.record_push(0, 0, 9);
         v.record_push(0, 0, 4);
         assert_eq!(v.get(0, 0), 9);
+    }
+
+    #[test]
+    fn deactivated_workers_stop_pinning_the_min() {
+        let mut v = RowVersionStore::new(3, 2);
+        for r in 0..2 {
+            v.record_push(0, r, 10);
+            v.record_push(1, r, 9);
+            // Worker 2 pushed once long ago and then vanished.
+            v.record_push(2, r, 2);
+        }
+        assert_eq!(v.global_min(), 2);
+        assert!(!v.gate_ok(10, 4), "straggler pins the gate");
+        v.set_active(2, false);
+        assert!(!v.is_active(2));
+        assert_eq!(v.global_min(), 9, "frozen rows aged out of the bound");
+        assert!(v.gate_ok(10, 4), "gate opens once the departed row is out");
+        // Reactivating without a stamp restores the old bound.
+        v.set_active(2, true);
+        assert_eq!(v.global_min(), 2);
+    }
+
+    #[test]
+    fn stamp_worker_fast_forwards_monotonically() {
+        let mut v = RowVersionStore::new(2, 3);
+        v.record_push(0, 0, 12);
+        v.record_push(1, 1, 7);
+        v.stamp_worker(1, 5);
+        assert_eq!(v.get(1, 0), 5);
+        assert_eq!(v.get(1, 1), 7, "stamp never lowers a version");
+        assert_eq!(v.get(1, 2), 5);
+        // Rejoin sequence: deactivate, stamp at the adopted iteration,
+        // reactivate — min(V) reflects the resynced rows.
+        v.set_active(1, false);
+        v.stamp_worker(1, 12);
+        v.set_active(1, true);
+        v.stamp_worker(0, 12);
+        assert_eq!(v.global_min(), 12);
+    }
+
+    #[test]
+    fn min_over_no_active_workers_falls_back_to_all() {
+        let mut v = RowVersionStore::new(2, 1);
+        v.record_push(0, 0, 3);
+        v.record_push(1, 0, 5);
+        v.set_active(0, false);
+        v.set_active(1, false);
+        assert_eq!(v.global_min(), 3);
     }
 
     #[test]

@@ -298,6 +298,25 @@ impl RogWorker {
         }
     }
 
+    /// Rebuilds the worker's transient state after a cold rejoin resync
+    /// at iteration `n`: accumulated gradients, compression residuals,
+    /// momentum/Adam moments, and Adam timesteps are all dropped (they
+    /// belong to the model lineage that died with the fault), and every
+    /// row's push iteration is stamped to `n` so the freshly adopted
+    /// model re-enters the staleness bound with zero row staleness.
+    pub fn reset_for_rejoin(&mut self, n: u64) {
+        for m in &mut self.accum {
+            m.fill_zero();
+        }
+        self.ef.reset();
+        for m in &mut self.vel {
+            m.fill_zero();
+        }
+        self.adam_v = None;
+        self.adam_t.fill(0);
+        self.iters.fill(n);
+    }
+
     /// Staleness of the worker's stalest row at iteration `n`
     /// (worker-level RSP diagnostic).
     pub fn max_row_staleness(&self, n: u64) -> u64 {
@@ -436,6 +455,25 @@ mod tests {
         }
         assert_eq!(w.adam_t[0], 5);
         assert_eq!(w.adam_t[1], 0);
+    }
+
+    #[test]
+    fn reset_for_rejoin_drops_transient_state_and_stamps_rows() {
+        let cfg = RogWorkerConfig::new(3, 0.1).with_momentum(0.9);
+        let mut ps = params();
+        let mut w = RogWorker::new(&ps, cfg);
+        w.accumulate(&grads(1.0));
+        w.commit_push(&[RowId(0)], 2);
+        w.apply_pulled(&mut ps, &[(RowId(0), vec![1.0, 1.0, 1.0, 1.0])]);
+        w.reset_for_rejoin(7);
+        assert!(w.row_mean_abs().iter().all(|&m| m == 0.0), "accum cleared");
+        assert!(w.row_iters().iter().all(|&it| it == 7), "rows stamped");
+        assert_eq!(w.max_row_staleness(7), 0);
+        // Momentum restarts from zero velocity: one unit pull moves the
+        // row by exactly lr, as on a fresh worker.
+        let before = ps[0].get(0, 0);
+        w.apply_pulled(&mut ps, &[(RowId(0), vec![1.0, 0.0, 0.0, 0.0])]);
+        assert!((before - ps[0].get(0, 0) - 0.1).abs() < 1e-6);
     }
 
     #[test]

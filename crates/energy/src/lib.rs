@@ -64,6 +64,9 @@ impl PowerModel {
             DeviceState::Communicate => self.communicate_w,
             DeviceState::Stall => self.stall_w,
             DeviceState::Idle => self.idle_w,
+            // A powered-off / out-of-range device draws nothing from its
+            // battery budget while absent.
+            DeviceState::Offline => 0.0,
         }
     }
 
@@ -223,5 +226,16 @@ mod tests {
         tl.close(4.0);
         let want = 2.0 * 13.35 + 4.25 + 0.5 * 4.04 + 0.5 * 4.04;
         assert!((m.energy_joules(&tl) - want).abs() < 1e-9);
+    }
+
+    #[test]
+    fn offline_time_is_free() {
+        let m = PowerModel::jetson_nx();
+        assert_eq!(m.power_in(DeviceState::Offline), 0.0);
+        let mut tl = Timeline::new();
+        tl.set_state(0.0, DeviceState::Compute); // 1 s
+        tl.set_state(1.0, DeviceState::Offline); // 3 s, free
+        tl.close(4.0);
+        assert!((m.energy_joules(&tl) - 13.35).abs() < 1e-9);
     }
 }

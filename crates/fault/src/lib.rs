@@ -1,0 +1,48 @@
+//! Deterministic fault injection for the ROG simulation.
+//!
+//! Robotic IoT clusters lose workers: a robot drives out of radio range,
+//! reboots after a brownout, or the parameter server restarts from a
+//! checkpoint. This crate models those events as a declarative
+//! [`FaultPlan`] — a set of *windows* during which a worker is offline,
+//! a worker's wireless link is blacked out, or the server is down — that
+//! is compiled into a [`FaultClock`] of point events scheduled on the
+//! `rog-sim` virtual clock. Because the plan is pure data and the clock
+//! is consumed inside the deterministic event loop, every faulted run is
+//! bit-reproducible: same plan + same seed ⇒ identical trajectory.
+//!
+//! Plans come from three sources:
+//!
+//! * hand-built via the builder methods ([`FaultPlan::worker_offline`],
+//!   [`FaultPlan::link_blackout`], [`FaultPlan::server_restart`]),
+//! * a seeded churn generator ([`FaultPlan::seeded_churn`]) drawing
+//!   exponential up/down intervals from a [`ChurnProfile`],
+//! * a tiny line-oriented script format ([`FaultPlan::parse`] /
+//!   [`FaultPlan::to_script`]) for `rogctl --fault-plan <file>`.
+//!
+//! An empty plan compiles to an empty clock and is guaranteed zero-cost:
+//! engines that consult an empty [`FaultClock`] behave byte-identically
+//! to engines with no fault support at all.
+//!
+//! # Example
+//!
+//! ```
+//! use rog_fault::{FaultPlan, FaultEvent};
+//!
+//! let plan = FaultPlan::new()
+//!     .worker_offline(2, 40.0, 80.0)
+//!     .link_blackout(1, 10.0, 15.0);
+//! let mut clock = plan.schedule();
+//! assert_eq!(clock.next_time(), Some(10.0));
+//! assert_eq!(clock.pop_due(10.0), vec![FaultEvent::BlackoutStart(1)]);
+//! assert_eq!(clock.next_time(), Some(15.0));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod clock;
+mod plan;
+mod script;
+
+pub use clock::{FaultClock, FaultEvent};
+pub use plan::{ChurnProfile, FaultKind, FaultPlan, FaultPlanError, FaultWindow};

@@ -1,0 +1,427 @@
+//! The declarative fault plan: validated windows plus a seeded churn
+//! generator.
+
+use crate::clock::{FaultClock, FaultEvent};
+use rog_sim::Time;
+use rog_tensor::rng::DetRng;
+
+/// What a fault window disables while it is open.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// The worker process itself is gone (robot rebooted / drove away):
+    /// in-flight transfers are lost, local optimizer state is lost, and
+    /// the worker must resync on rejoin.
+    WorkerOffline(usize),
+    /// Only the worker's wireless link is down; the worker keeps its
+    /// local state and resumes the interrupted transfer (from scratch —
+    /// retransmit semantics) when the link returns.
+    LinkBlackout(usize),
+    /// The parameter server is down (checkpoint/restart). All in-flight
+    /// transfers are cancelled; workers stall or keep computing locally
+    /// until it returns. Server state is durable (checkpointed).
+    ServerOutage,
+}
+
+/// A half-open interval `[start, end)` of virtual time during which a
+/// [`FaultKind`] is active.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultWindow {
+    /// What is down.
+    pub kind: FaultKind,
+    /// Virtual time at which the fault begins (seconds, inclusive).
+    pub start: Time,
+    /// Virtual time at which the fault ends (seconds, exclusive).
+    pub end: Time,
+}
+
+impl FaultWindow {
+    /// Window length in virtual seconds.
+    #[must_use]
+    pub fn duration(&self) -> Time {
+        self.end - self.start
+    }
+}
+
+/// Error produced when building or parsing an invalid plan.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FaultPlanError {
+    msg: String,
+}
+
+impl FaultPlanError {
+    pub(crate) fn new(msg: impl Into<String>) -> Self {
+        Self { msg: msg.into() }
+    }
+}
+
+impl std::fmt::Display for FaultPlanError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "invalid fault plan: {}", self.msg)
+    }
+}
+
+impl std::error::Error for FaultPlanError {}
+
+/// Parameters for [`FaultPlan::seeded_churn`]: exponential up/down
+/// intervals with floors, mirroring intermittent-connectivity traces.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ChurnProfile {
+    /// Mean online interval between departures (seconds).
+    pub mean_up_secs: f64,
+    /// Mean offline interval per departure (seconds).
+    pub mean_down_secs: f64,
+    /// Minimum online interval (floors the exponential draw).
+    pub min_up_secs: f64,
+    /// Minimum offline interval (floors the exponential draw).
+    pub min_down_secs: f64,
+    /// Keep worker 0 always online as a stable anchor (so the cluster
+    /// never empties and a rejoiner always has a resync source).
+    pub keep_first_online: bool,
+}
+
+impl Default for ChurnProfile {
+    fn default() -> Self {
+        Self {
+            mean_up_secs: 120.0,
+            mean_down_secs: 25.0,
+            min_up_secs: 20.0,
+            min_down_secs: 5.0,
+            keep_first_online: true,
+        }
+    }
+}
+
+/// A validated, ordered collection of [`FaultWindow`]s.
+///
+/// Windows of the same kind (same worker for per-worker kinds) must not
+/// overlap; windows of different kinds may. The empty plan is the
+/// explicit "no faults" value and is guaranteed zero-cost when wired
+/// into an engine.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct FaultPlan {
+    windows: Vec<FaultWindow>,
+}
+
+impl FaultPlan {
+    /// The empty plan (no faults).
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// True when the plan holds no windows at all.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.windows.is_empty()
+    }
+
+    /// The validated windows, in insertion order.
+    #[must_use]
+    pub fn windows(&self) -> &[FaultWindow] {
+        &self.windows
+    }
+
+    /// Largest worker index referenced by any per-worker window, if any.
+    /// Engines validate this against the configured cluster size.
+    #[must_use]
+    pub fn max_worker(&self) -> Option<usize> {
+        self.windows
+            .iter()
+            .filter_map(|w| match w.kind {
+                FaultKind::WorkerOffline(i) | FaultKind::LinkBlackout(i) => Some(i),
+                FaultKind::ServerOutage => None,
+            })
+            .max()
+    }
+
+    /// Adds a worker-offline window (builder style).
+    ///
+    /// # Panics
+    ///
+    /// Panics on a non-finite, negative, empty, or overlapping window.
+    #[must_use]
+    pub fn worker_offline(mut self, worker: usize, start: Time, end: Time) -> Self {
+        self.try_push(FaultWindow {
+            kind: FaultKind::WorkerOffline(worker),
+            start,
+            end,
+        })
+        .expect("valid worker-offline window");
+        self
+    }
+
+    /// Adds a link-blackout window (builder style).
+    ///
+    /// # Panics
+    ///
+    /// Panics on a non-finite, negative, empty, or overlapping window.
+    #[must_use]
+    pub fn link_blackout(mut self, worker: usize, start: Time, end: Time) -> Self {
+        self.try_push(FaultWindow {
+            kind: FaultKind::LinkBlackout(worker),
+            start,
+            end,
+        })
+        .expect("valid link-blackout window");
+        self
+    }
+
+    /// Adds a server-outage window (builder style).
+    ///
+    /// # Panics
+    ///
+    /// Panics on a non-finite, negative, empty, or overlapping window.
+    #[must_use]
+    pub fn server_restart(mut self, start: Time, end: Time) -> Self {
+        self.try_push(FaultWindow {
+            kind: FaultKind::ServerOutage,
+            start,
+            end,
+        })
+        .expect("valid server-outage window");
+        self
+    }
+
+    /// Validates and appends a window.
+    ///
+    /// # Errors
+    ///
+    /// Rejects non-finite or negative times, empty windows, and windows
+    /// overlapping an existing window of the same kind.
+    pub fn try_push(&mut self, w: FaultWindow) -> Result<(), FaultPlanError> {
+        if !w.start.is_finite() || !w.end.is_finite() {
+            return Err(FaultPlanError::new(format!(
+                "non-finite window [{}, {})",
+                w.start, w.end
+            )));
+        }
+        if w.start < 0.0 {
+            return Err(FaultPlanError::new(format!(
+                "window starts before t=0 ({})",
+                w.start
+            )));
+        }
+        if w.end <= w.start {
+            return Err(FaultPlanError::new(format!(
+                "empty or inverted window [{}, {})",
+                w.start, w.end
+            )));
+        }
+        for e in &self.windows {
+            if e.kind == w.kind && w.start < e.end && e.start < w.end {
+                return Err(FaultPlanError::new(format!(
+                    "window [{}, {}) overlaps [{}, {}) of the same kind {:?}",
+                    w.start, w.end, e.start, e.end, w.kind
+                )));
+            }
+        }
+        self.windows.push(w);
+        Ok(())
+    }
+
+    /// Generates a reproducible churn plan: every worker (except worker
+    /// 0 when `profile.keep_first_online`) alternates exponential online
+    /// and offline intervals until `duration_secs`. Each worker draws
+    /// from its own forked RNG stream, so the plan for worker `w` does
+    /// not change when other workers are added or removed.
+    #[must_use]
+    pub fn seeded_churn(
+        seed: u64,
+        n_workers: usize,
+        duration_secs: f64,
+        profile: &ChurnProfile,
+    ) -> Self {
+        let root = DetRng::new(seed);
+        let mut plan = Self::new();
+        for w in 0..n_workers {
+            if profile.keep_first_online && w == 0 {
+                continue;
+            }
+            let mut rng = root.fork(0x8000 + w as u64);
+            // Exponential draw via inversion; DetRng::uniform is in
+            // [0, 1) so 1 - u is in (0, 1] and the log is finite.
+            let mut exp = move |mean: f64| -mean * (1.0 - rng.uniform()).ln();
+            let mut t = exp(profile.mean_up_secs).max(profile.min_up_secs);
+            while t < duration_secs {
+                let down = exp(profile.mean_down_secs).max(profile.min_down_secs);
+                plan = plan.worker_offline(w, t, t + down);
+                t += down + exp(profile.mean_up_secs).max(profile.min_up_secs);
+            }
+        }
+        plan
+    }
+
+    /// Compiles the plan into a sorted point-event clock.
+    ///
+    /// Events at the same instant are ordered recoveries-first (a
+    /// worker coming back at `t` is processed before another going down
+    /// at `t`), then by kind, then by worker index — a total order, so
+    /// the schedule is deterministic regardless of insertion order.
+    #[must_use]
+    pub fn schedule(&self) -> FaultClock {
+        let mut events: Vec<(Time, FaultEvent)> = Vec::with_capacity(self.windows.len() * 2);
+        for w in &self.windows {
+            let (down, up) = match w.kind {
+                FaultKind::WorkerOffline(i) => (FaultEvent::WorkerDown(i), FaultEvent::WorkerUp(i)),
+                FaultKind::LinkBlackout(i) => {
+                    (FaultEvent::BlackoutStart(i), FaultEvent::BlackoutEnd(i))
+                }
+                FaultKind::ServerOutage => (FaultEvent::ServerDown, FaultEvent::ServerUp),
+            };
+            events.push((w.start, down));
+            events.push((w.end, up));
+        }
+        events.sort_by(|a, b| {
+            a.0.partial_cmp(&b.0)
+                .expect("windows validated finite")
+                .then_with(|| a.1.rank().cmp(&b.1.rank()))
+        });
+        FaultClock::from_events(events)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_plan_schedules_nothing() {
+        let clock = FaultPlan::new().schedule();
+        assert!(clock.next_time().is_none());
+        assert!(FaultPlan::new().is_empty());
+        assert_eq!(FaultPlan::new().max_worker(), None);
+    }
+
+    #[test]
+    fn builder_windows_become_paired_events_in_time_order() {
+        let plan = FaultPlan::new()
+            .worker_offline(2, 40.0, 80.0)
+            .link_blackout(0, 10.0, 20.0)
+            .server_restart(50.0, 55.0);
+        assert_eq!(plan.windows().len(), 3);
+        assert_eq!(plan.max_worker(), Some(2));
+        let mut clock = plan.schedule();
+        let mut seen = Vec::new();
+        while let Some(t) = clock.next_time() {
+            for e in clock.pop_due(t) {
+                seen.push((t, e));
+            }
+        }
+        assert_eq!(
+            seen,
+            vec![
+                (10.0, FaultEvent::BlackoutStart(0)),
+                (20.0, FaultEvent::BlackoutEnd(0)),
+                (40.0, FaultEvent::WorkerDown(2)),
+                (50.0, FaultEvent::ServerDown),
+                (55.0, FaultEvent::ServerUp),
+                (80.0, FaultEvent::WorkerUp(2)),
+            ]
+        );
+    }
+
+    #[test]
+    fn recoveries_sort_before_failures_at_the_same_instant() {
+        let plan = FaultPlan::new()
+            .worker_offline(1, 10.0, 20.0)
+            .worker_offline(2, 20.0, 30.0);
+        let mut clock = plan.schedule();
+        clock.pop_due(10.0);
+        assert_eq!(
+            clock.pop_due(20.0),
+            vec![FaultEvent::WorkerUp(1), FaultEvent::WorkerDown(2)]
+        );
+    }
+
+    #[test]
+    fn overlap_of_same_kind_is_rejected() {
+        let mut plan = FaultPlan::new().worker_offline(1, 10.0, 20.0);
+        let overlapping = FaultWindow {
+            kind: FaultKind::WorkerOffline(1),
+            start: 15.0,
+            end: 25.0,
+        };
+        assert!(plan.try_push(overlapping).is_err());
+        // Different worker, same interval: fine.
+        let other = FaultWindow {
+            kind: FaultKind::WorkerOffline(2),
+            start: 15.0,
+            end: 25.0,
+        };
+        assert!(plan.try_push(other).is_ok());
+        // Touching windows (end == start) do not overlap.
+        let touching = FaultWindow {
+            kind: FaultKind::WorkerOffline(1),
+            start: 20.0,
+            end: 22.0,
+        };
+        assert!(plan.try_push(touching).is_ok());
+    }
+
+    #[test]
+    fn invalid_windows_are_rejected() {
+        let mut plan = FaultPlan::new();
+        for (start, end) in [
+            (f64::NAN, 1.0),
+            (0.0, f64::INFINITY),
+            (-1.0, 1.0),
+            (5.0, 5.0),
+            (5.0, 4.0),
+        ] {
+            let w = FaultWindow {
+                kind: FaultKind::ServerOutage,
+                start,
+                end,
+            };
+            assert!(plan.try_push(w).is_err(), "[{start}, {end}) accepted");
+        }
+        assert!(plan.is_empty());
+    }
+
+    #[test]
+    fn seeded_churn_is_deterministic_and_respects_floors() {
+        let p = ChurnProfile::default();
+        let a = FaultPlan::seeded_churn(7, 4, 600.0, &p);
+        let b = FaultPlan::seeded_churn(7, 4, 600.0, &p);
+        assert_eq!(a, b);
+        assert!(!a.is_empty(), "600 s at mean-up 120 s should churn");
+        for w in a.windows() {
+            assert!(w.duration() >= p.min_down_secs - 1e-12);
+            assert!(w.start >= p.min_up_secs - 1e-12);
+            assert!(matches!(w.kind, FaultKind::WorkerOffline(i) if i != 0 && i < 4));
+        }
+        let c = FaultPlan::seeded_churn(8, 4, 600.0, &p);
+        assert_ne!(a, c, "different seed must give a different plan");
+    }
+
+    #[test]
+    fn seeded_churn_streams_are_stable_under_cluster_growth() {
+        let p = ChurnProfile::default();
+        let small = FaultPlan::seeded_churn(7, 3, 600.0, &p);
+        let large = FaultPlan::seeded_churn(7, 5, 600.0, &p);
+        let of = |plan: &FaultPlan, worker: usize| -> Vec<FaultWindow> {
+            plan.windows()
+                .iter()
+                .copied()
+                .filter(|w| w.kind == FaultKind::WorkerOffline(worker))
+                .collect()
+        };
+        for w in 1..3 {
+            assert_eq!(of(&small, w), of(&large, w));
+        }
+    }
+
+    #[test]
+    fn keep_first_online_false_churns_worker_zero() {
+        let p = ChurnProfile {
+            keep_first_online: false,
+            mean_up_secs: 30.0,
+            ..ChurnProfile::default()
+        };
+        let plan = FaultPlan::seeded_churn(3, 2, 2000.0, &p);
+        assert!(plan
+            .windows()
+            .iter()
+            .any(|w| w.kind == FaultKind::WorkerOffline(0)));
+    }
+}

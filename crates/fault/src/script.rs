@@ -1,0 +1,142 @@
+//! Line-oriented script format for fault plans, used by
+//! `rogctl --fault-plan <file>`.
+//!
+//! One window per line; `#` starts a comment; blank lines are ignored:
+//!
+//! ```text
+//! # worker 2 drives out of range twice
+//! offline 2 40 80
+//! offline 2 140 180
+//! blackout 1 60 75
+//! server-restart 200 210
+//! ```
+
+use crate::plan::{FaultKind, FaultPlan, FaultPlanError, FaultWindow};
+
+impl FaultPlan {
+    /// Parses the script format described in the module docs.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`FaultPlanError`] naming the offending line on an
+    /// unknown directive, a malformed number, or an invalid window.
+    pub fn parse(text: &str) -> Result<Self, FaultPlanError> {
+        let mut plan = FaultPlan::new();
+        for (idx, raw) in text.lines().enumerate() {
+            let line = raw.split('#').next().unwrap_or("").trim();
+            if line.is_empty() {
+                continue;
+            }
+            let fields: Vec<&str> = line.split_whitespace().collect();
+            let window = parse_line(&fields)
+                .map_err(|e| FaultPlanError::new(format!("line {}: {}", idx + 1, e)))?;
+            plan.try_push(window)
+                .map_err(|e| FaultPlanError::new(format!("line {}: {}", idx + 1, e)))?;
+        }
+        Ok(plan)
+    }
+
+    /// Renders the plan back into the script format. Round-trips through
+    /// [`FaultPlan::parse`] as long as all times survive `{}` formatting
+    /// (true for every plan built from parsed scripts).
+    #[must_use]
+    pub fn to_script(&self) -> String {
+        let mut out = String::new();
+        for w in self.windows() {
+            match w.kind {
+                FaultKind::WorkerOffline(i) => {
+                    out.push_str(&format!("offline {} {} {}\n", i, w.start, w.end));
+                }
+                FaultKind::LinkBlackout(i) => {
+                    out.push_str(&format!("blackout {} {} {}\n", i, w.start, w.end));
+                }
+                FaultKind::ServerOutage => {
+                    out.push_str(&format!("server-restart {} {}\n", w.start, w.end));
+                }
+            }
+        }
+        out
+    }
+}
+
+fn parse_line(fields: &[&str]) -> Result<FaultWindow, String> {
+    let num = |s: &str| -> Result<f64, String> {
+        s.parse::<f64>().map_err(|_| format!("bad number `{s}`"))
+    };
+    let index = |s: &str| -> Result<usize, String> {
+        s.parse::<usize>()
+            .map_err(|_| format!("bad worker index `{s}`"))
+    };
+    match fields {
+        ["offline", w, s, e] => Ok(FaultWindow {
+            kind: FaultKind::WorkerOffline(index(w)?),
+            start: num(s)?,
+            end: num(e)?,
+        }),
+        ["blackout", w, s, e] => Ok(FaultWindow {
+            kind: FaultKind::LinkBlackout(index(w)?),
+            start: num(s)?,
+            end: num(e)?,
+        }),
+        ["server-restart", s, e] => Ok(FaultWindow {
+            kind: FaultKind::ServerOutage,
+            start: num(s)?,
+            end: num(e)?,
+        }),
+        [verb, ..] => Err(format!(
+            "unknown directive `{verb}` (expected offline/blackout/server-restart)"
+        )),
+        [] => unreachable!("blank lines filtered by caller"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SCRIPT: &str = "\
+# churn for worker 2
+offline 2 40 80
+offline 2 140 180   # second dropout
+blackout 1 60 75
+
+server-restart 200 210
+";
+
+    #[test]
+    fn parses_directives_comments_and_blank_lines() {
+        let plan = FaultPlan::parse(SCRIPT).expect("valid script");
+        assert_eq!(plan.windows().len(), 4);
+        assert_eq!(plan.windows()[0].kind, FaultKind::WorkerOffline(2));
+        assert_eq!(plan.windows()[2].kind, FaultKind::LinkBlackout(1));
+        assert_eq!(plan.windows()[3].kind, FaultKind::ServerOutage);
+        assert_eq!(plan.windows()[3].start, 200.0);
+    }
+
+    #[test]
+    fn round_trips_through_script_text() {
+        let plan = FaultPlan::parse(SCRIPT).expect("valid script");
+        let again = FaultPlan::parse(&plan.to_script()).expect("round-trip");
+        assert_eq!(plan, again);
+    }
+
+    #[test]
+    fn errors_name_the_line() {
+        let err = FaultPlan::parse("offline 1 0 10\nfrobnicate 3 4 5").unwrap_err();
+        assert!(err.to_string().contains("line 2"), "{err}");
+        let err = FaultPlan::parse("offline one 0 10").unwrap_err();
+        assert!(err.to_string().contains("bad worker index"), "{err}");
+        let err = FaultPlan::parse("offline 1 10 5").unwrap_err();
+        assert!(err.to_string().contains("line 1"), "{err}");
+        let err = FaultPlan::parse("offline 1 10").unwrap_err();
+        assert!(err.to_string().contains("unknown directive"), "{err}");
+    }
+
+    #[test]
+    fn empty_and_comment_only_scripts_parse_to_empty_plan() {
+        assert!(FaultPlan::parse("").expect("empty").is_empty());
+        assert!(FaultPlan::parse("# nothing\n\n")
+            .expect("comments")
+            .is_empty());
+    }
+}

@@ -95,6 +95,14 @@ pub enum FlowOutcome {
         /// Useful bytes delivered (sum of the complete chunks).
         bytes_done: u64,
     },
+    /// The sender tore the flow down via [`Channel::cancel_flow`]
+    /// (link blackout, peer crash). Nothing was acknowledged, so
+    /// *every* transmitted byte — complete chunks included — counts as
+    /// wasted airtime; a retry must retransmit from the start.
+    Cancelled {
+        /// Bytes that had been transmitted and are now discarded.
+        bytes_wasted: u64,
+    },
 }
 
 /// A flow event produced by [`Channel::advance_until`].
@@ -217,6 +225,18 @@ impl Channel {
 
     /// Instantaneous rate (bytes/s) a flow on `link` would get right now
     /// if it had to share with the current active flows plus itself.
+    ///
+    /// The estimate is purely model-based — trace capacity × the link's
+    /// fade factor, split over `active_flows() + 1` — and does **not**
+    /// depend on bytes previously observed on the link. In particular
+    /// it is well defined for a link that has never carried a flow:
+    ///
+    /// * a link whose fade trace is currently `0.0` (deep fade or
+    ///   blackout) estimates `0.0` bytes/s, never a division by zero —
+    ///   callers planning a transfer must treat this as "do not send";
+    /// * a `link` index with no registered trace falls back to a fade
+    ///   factor of `1.0` (an ideal link), mirroring
+    ///   [`Channel::link_rate_bps`].
     pub fn estimated_rate(&self, link: LinkId) -> f64 {
         let n = (self.flows.len() + 1) as f64;
         self.capacity.value_at(self.now) * self.link_factor(link, self.now) / 8.0 / n
@@ -274,6 +294,28 @@ impl Channel {
     /// Time a flow has spent in flight so far.
     pub fn flow_age(&self, id: FlowId) -> Option<Time> {
         self.flows.get(&id).map(|f| self.now - f.started_at)
+    }
+
+    /// Tears down an in-flight flow at the current channel time (the
+    /// primitive behind link-blackout and crash faults).
+    ///
+    /// Unlike a deadline cut, a cancellation delivers *nothing*: the
+    /// receiver never acknowledges, so even complete chunks already on
+    /// the air are discarded and charged to [`Channel::wasted_bytes`].
+    /// The freed airtime is re-shared among the remaining flows from
+    /// this instant on. Returns the terminal [`FlowEvent`]
+    /// (outcome [`FlowOutcome::Cancelled`]), or `None` if the flow is
+    /// unknown or already finished — cancelling twice is harmless.
+    pub fn cancel_flow(&mut self, id: FlowId) -> Option<FlowEvent> {
+        let f = self.flows.remove(&id)?;
+        self.wasted_bytes += f.bytes_done;
+        Some(FlowEvent {
+            id,
+            at: self.now,
+            outcome: FlowOutcome::Cancelled {
+                bytes_wasted: f.bytes_done.round() as u64,
+            },
+        })
     }
 
     /// Advances the channel toward `t`, stopping at the first instant at
@@ -591,5 +633,95 @@ mod tests {
         let mut ch = flat_channel(80e6, 1);
         ch.advance_until(5.0);
         ch.start_flow(1.0, FlowSpec::new(0, vec![10]));
+    }
+
+    #[test]
+    fn cancel_mid_transmission_wastes_all_transferred_bytes() {
+        // 10 MB/s, two 1 MB chunks; cancel at 0.15 s → 1.5 MB on the
+        // air, one chunk complete — but cancellation discards even that.
+        let mut ch = flat_channel(80e6, 1);
+        let id = ch.start_flow(0.0, FlowSpec::new(0, vec![1_000_000, 1_000_000]));
+        assert!(ch.advance_until(0.15).is_empty());
+        let ev = ch.cancel_flow(id).expect("in flight");
+        assert_eq!(ev.id, id);
+        assert_eq!(ev.at, 0.15);
+        match ev.outcome {
+            FlowOutcome::Cancelled { bytes_wasted } => {
+                assert!(
+                    (bytes_wasted as f64 - 1_500_000.0).abs() < 1_000.0,
+                    "wasted {bytes_wasted}"
+                );
+            }
+            other => panic!("unexpected outcome {other:?}"),
+        }
+        assert_eq!(ch.useful_bytes(), 0.0, "nothing was acknowledged");
+        assert!((ch.wasted_bytes() - 1_500_000.0).abs() < 1_000.0);
+        assert_eq!(ch.active_flows(), 0);
+        assert_eq!(ch.flow_age(id), None);
+        // A later advance produces no stale event for the cancelled flow.
+        assert!(ch.advance_until(10.0).is_empty());
+    }
+
+    #[test]
+    fn cancel_frees_airtime_for_survivors() {
+        let mut ch = flat_channel(80e6, 2); // 10 MB/s total
+        let doomed = ch.start_flow(0.0, FlowSpec::new(0, vec![5_000_000]));
+        ch.start_flow(0.0, FlowSpec::new(1, vec![5_000_000]));
+        assert!(ch.advance_until(0.5).is_empty()); // each at 2.5 MB
+        ch.cancel_flow(doomed).expect("in flight");
+        let evs = ch.advance_until(10.0);
+        // Survivor: 2.5 MB left at full 10 MB/s → done at 0.75 s.
+        assert_eq!(evs.len(), 1);
+        assert!((evs[0].at - 0.75).abs() < 1e-3, "at {}", evs[0].at);
+        assert_eq!(evs[0].outcome, FlowOutcome::Completed);
+        // Accounting splits: survivor useful, cancelled wasted.
+        assert!((ch.useful_bytes() - 5_000_000.0).abs() < 1.0);
+        assert!((ch.wasted_bytes() - 2_500_000.0).abs() < 1_000.0);
+    }
+
+    #[test]
+    fn cancel_unknown_or_finished_flow_is_a_no_op() {
+        let mut ch = flat_channel(80e6, 1);
+        let id = ch.start_flow(0.0, FlowSpec::new(0, vec![1_000]));
+        let evs = ch.advance_until(1.0);
+        assert_eq!(evs[0].outcome, FlowOutcome::Completed);
+        assert_eq!(ch.cancel_flow(id), None, "already completed");
+        let (useful, wasted) = (ch.useful_bytes(), ch.wasted_bytes());
+        assert_eq!(ch.cancel_flow(id), None, "double cancel");
+        assert_eq!(ch.useful_bytes(), useful);
+        assert_eq!(ch.wasted_bytes(), wasted);
+    }
+
+    #[test]
+    fn cancel_before_any_progress_wastes_nothing() {
+        let mut ch = flat_channel(80e6, 1);
+        let id = ch.start_flow(0.0, FlowSpec::new(0, vec![1_000_000]));
+        let ev = ch.cancel_flow(id).expect("in flight");
+        assert_eq!(ev.outcome, FlowOutcome::Cancelled { bytes_wasted: 0 });
+        assert_eq!(ch.wasted_bytes(), 0.0);
+    }
+
+    #[test]
+    fn estimated_rate_on_untouched_links_is_model_based() {
+        // Three links; none has ever carried a flow.
+        let mut ch = Channel::new(
+            Trace::constant(80e6), // 10 MB/s
+            vec![
+                Trace::constant(1.0),
+                Trace::constant(0.0), // blacked-out link
+                Trace::constant(0.5),
+            ],
+        );
+        // Idle channel: sole prospective flow gets the full share.
+        assert!((ch.estimated_rate(0) - 10e6).abs() < 1.0);
+        // Zero fade factor → zero rate, not NaN/∞.
+        assert_eq!(ch.estimated_rate(1), 0.0);
+        assert!(ch.estimated_rate(1).is_finite());
+        // Out-of-range link index falls back to factor 1.0.
+        assert!((ch.estimated_rate(99) - 10e6).abs() < 1.0);
+        // An active flow halves the prospective share.
+        ch.start_flow(0.0, FlowSpec::new(0, vec![50_000_000]));
+        assert!((ch.estimated_rate(2) - 2.5e6).abs() < 1.0);
+        assert_eq!(ch.estimated_rate(1), 0.0);
     }
 }

@@ -225,6 +225,46 @@ mod tests {
                 }
                 prop_assert_eq!(pushed, popped);
             }
+
+            /// FIFO tie-break against a reference model under interleaved
+            /// push/pop: every pop must return exactly the pending event
+            /// with the least `(time, insertion-sequence)`, even when
+            /// pushes at an already-popped time arrive later.
+            #[test]
+            fn prop_interleaved_pop_matches_reference_model(
+                ops in proptest::collection::vec((0u32..20, proptest::bool::ANY), 1..200),
+            ) {
+                let mut q = EventQueue::new();
+                let mut reference: Vec<(u32, usize)> = Vec::new();
+                let mut next_id = 0usize;
+                for (t, do_pop) in ops {
+                    if do_pop {
+                        let expected = reference
+                            .iter()
+                            .enumerate()
+                            .min_by_key(|(_, &(rt, id))| (rt, id))
+                            .map(|(pos, &(rt, id))| (pos, rt, id));
+                        match (q.pop(), expected) {
+                            (Some((qt, qid)), Some((pos, rt, rid))) => {
+                                prop_assert_eq!(qt, f64::from(rt));
+                                prop_assert_eq!(qid, rid, "tie-break diverged from model");
+                                reference.remove(pos);
+                            }
+                            (None, None) => {}
+                            (got, want) => {
+                                return Err(TestCaseError::fail(format!(
+                                    "queue {got:?} vs model {want:?}"
+                                )));
+                            }
+                        }
+                    } else {
+                        q.push(f64::from(t), next_id);
+                        reference.push((t, next_id));
+                        next_id += 1;
+                    }
+                }
+                prop_assert_eq!(q.len(), reference.len());
+            }
         }
     }
 }

@@ -20,15 +20,19 @@ pub enum DeviceState {
     Stall,
     /// Not participating (before start / after finish).
     Idle,
+    /// Powered off or out of range (fault injection): the device holds
+    /// no state and draws no power until it rejoins.
+    Offline,
 }
 
 impl DeviceState {
     /// All states, in display order.
-    pub const ALL: [DeviceState; 4] = [
+    pub const ALL: [DeviceState; 5] = [
         DeviceState::Compute,
         DeviceState::Communicate,
         DeviceState::Stall,
         DeviceState::Idle,
+        DeviceState::Offline,
     ];
 }
 
@@ -224,7 +228,7 @@ mod tests {
         proptest! {
             #[test]
             fn prop_state_times_partition_the_run(
-                steps in proptest::collection::vec((0u32..100, 0usize..4), 1..100),
+                steps in proptest::collection::vec((0u32..100, 0usize..DeviceState::ALL.len()), 1..100),
             ) {
                 let mut tl = Timeline::new();
                 let mut t = 0.0f64;
@@ -244,6 +248,39 @@ mod tests {
                     .map(|&s| tl.time_in_between(s, 0.0, mid))
                     .sum();
                 prop_assert!((w - mid).abs() < 1e-6, "window {w} vs {mid}");
+            }
+
+            /// Residency invariants: every recorded span has a strictly
+            /// positive length, spans tile `[first_start, close)` without
+            /// gaps or overlap, and the per-state residencies sum to the
+            /// `close()` horizon.
+            #[test]
+            fn prop_spans_are_positive_contiguous_and_sum_to_horizon(
+                start in 0u32..50,
+                steps in proptest::collection::vec((0u32..100, 0usize..DeviceState::ALL.len()), 1..100),
+                tail in 0u32..100,
+            ) {
+                let t0 = f64::from(start) * 0.01;
+                let mut tl = Timeline::new();
+                let mut t = t0;
+                tl.set_state(t0, DeviceState::ALL[steps[0].1]);
+                for &(dt, s) in &steps {
+                    t += f64::from(dt) * 0.01;
+                    tl.set_state(t, DeviceState::ALL[s]);
+                }
+                t += f64::from(tail) * 0.01;
+                tl.close(t);
+                let mut cursor = t0;
+                for s in tl.spans() {
+                    prop_assert!(s.duration() > 0.0, "non-positive span {s:?}");
+                    prop_assert!((s.start - cursor).abs() < 1e-9, "gap/overlap at {cursor}");
+                    cursor = s.end;
+                }
+                if t > t0 {
+                    prop_assert!((cursor - t).abs() < 1e-9, "last span ends at {cursor}, not {t}");
+                }
+                let total: f64 = DeviceState::ALL.iter().map(|&s| tl.time_in(s)).sum();
+                prop_assert!((total - (t - t0)).abs() < 1e-6, "residencies {total} vs horizon {}", t - t0);
             }
         }
     }

@@ -1,5 +1,6 @@
 //! Experiment configuration.
 
+use rog_fault::{ChurnProfile, FaultPlan};
 use rog_net::{ChannelProfile, SharingMode, Trace};
 
 /// Which workload to train (paper Sec. VI, "Experiment Scenarios").
@@ -158,6 +159,14 @@ pub struct ExperimentConfig {
     /// Replay recorded per-link quality traces (values in `(0, 1]`),
     /// cycled if fewer traces than workers are given.
     pub link_traces: Option<Vec<Trace>>,
+    /// Explicit fault-injection plan (worker churn, link blackouts,
+    /// server restarts), scheduled on the virtual clock. An empty plan
+    /// is bit-identical to `None`.
+    pub fault_plan: Option<FaultPlan>,
+    /// Generate a seeded churn plan ([`FaultPlan::seeded_churn`] with
+    /// the default [`ChurnProfile`]) when no explicit `fault_plan` is
+    /// given. Ignored if `fault_plan` is set.
+    pub fault_seed: Option<u64>,
 }
 
 impl Default for ExperimentConfig {
@@ -184,6 +193,8 @@ impl Default for ExperimentConfig {
             mac_sharing: SharingMode::AirtimeFair,
             capacity_trace: None,
             link_traces: None,
+            fault_plan: None,
+            fault_seed: None,
         }
     }
 }
@@ -191,8 +202,10 @@ impl Default for ExperimentConfig {
 impl ExperimentConfig {
     /// Display name of the run ("ROG-4 / cruda / outdoor").
     pub fn name(&self) -> String {
+        let faulty = self.fault_plan.as_ref().is_some_and(|p| !p.is_empty())
+            || (self.fault_plan.is_none() && self.fault_seed.is_some());
         format!(
-            "{}{} / {} / {}",
+            "{}{}{} / {} / {}",
             self.strategy.name(),
             match (self.pipeline, self.auto_threshold) {
                 (true, true) => "+pipe+auto",
@@ -200,6 +213,7 @@ impl ExperimentConfig {
                 (false, true) => "+auto",
                 (false, false) => "",
             },
+            if faulty { "+faults" } else { "" },
             match self.workload {
                 WorkloadKind::Cruda => "cruda",
                 WorkloadKind::CrudaConv => "cruda-conv",
@@ -207,6 +221,22 @@ impl ExperimentConfig {
             },
             self.environment.name()
         )
+    }
+
+    /// The fault plan this run executes: the explicit plan when set,
+    /// else a seeded churn plan when `fault_seed` is given, else `None`.
+    pub fn resolved_fault_plan(&self) -> Option<FaultPlan> {
+        if let Some(plan) = &self.fault_plan {
+            return Some(plan.clone());
+        }
+        self.fault_seed.map(|seed| {
+            FaultPlan::seeded_churn(
+                seed,
+                self.n_workers,
+                self.duration_secs,
+                &ChurnProfile::default(),
+            )
+        })
     }
 
     /// Gradient-computation seconds on a robot at batch scale 1,
@@ -273,6 +303,44 @@ mod tests {
         assert_eq!(c.compressed_bytes(), 2_100_000);
         // Total compute incl. codec ≈ 2.18 s (Sec. II-D).
         assert!((c.base_compute_secs() + c.codec_secs() - 2.18).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fault_naming_and_resolution() {
+        let plain = ExperimentConfig::default();
+        assert!(!plain.name().contains("+faults"));
+        assert!(plain.resolved_fault_plan().is_none());
+
+        // An explicitly empty plan behaves exactly like no plan.
+        let empty = ExperimentConfig {
+            fault_plan: Some(FaultPlan::new()),
+            ..ExperimentConfig::default()
+        };
+        assert!(!empty.name().contains("+faults"));
+        assert_eq!(empty.resolved_fault_plan(), Some(FaultPlan::new()));
+
+        let seeded = ExperimentConfig {
+            fault_seed: Some(7),
+            ..ExperimentConfig::default()
+        };
+        assert!(seeded.name().contains("+faults"));
+        let plan = seeded.resolved_fault_plan().expect("seeded plan");
+        assert!(!plan.is_empty());
+        assert_eq!(plan, seeded.resolved_fault_plan().expect("deterministic"));
+
+        // An explicit plan wins over the seed.
+        let both = ExperimentConfig {
+            fault_plan: Some(FaultPlan::new().worker_offline(1, 5.0, 10.0)),
+            fault_seed: Some(7),
+            ..ExperimentConfig::default()
+        };
+        assert_eq!(
+            both.resolved_fault_plan()
+                .expect("explicit")
+                .windows()
+                .len(),
+            1
+        );
     }
 
     #[test]

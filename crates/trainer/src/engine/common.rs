@@ -1,5 +1,6 @@
 //! Plumbing shared by the model- and row-granularity engines.
 
+use rog_fault::{FaultClock, FaultEvent};
 use rog_models::{GradSet, Mlp, Workload};
 use rog_sim::{DeviceState, EventQueue, Time, Timeline};
 use rog_tensor::rng::DetRng;
@@ -31,6 +32,17 @@ pub struct EngineCtx {
     pub collector: MetricsCollector,
     /// Thread pool for batched gradient draws.
     pub plane: ComputePlane,
+    /// Scheduled fault injections ([`crate::config::ExperimentConfig::resolved_fault_plan`]);
+    /// empty when the run has no plan, which costs nothing on the hot
+    /// path (`next_fault_time` is `None` and the event loop never sees
+    /// a fault).
+    pub faults: FaultClock,
+    /// Workers currently powered off / out of range.
+    pub offline: Vec<bool>,
+    /// Workers whose link is blacked out (device up, radio dead).
+    pub link_down: Vec<bool>,
+    /// Whether the parameter server is down (checkpoint/restart).
+    pub server_down: bool,
     /// Recycled gradient-set buffers (all shaped like the model), so
     /// steady-state draws allocate nothing. Zeroed contents never affect
     /// results: every draw overwrites its buffer from zero.
@@ -51,6 +63,18 @@ impl EngineCtx {
             cluster.workload.metric_higher_better(),
             n,
         );
+        let faults = match cfg.resolved_fault_plan() {
+            Some(plan) => {
+                if let Some(max_w) = plan.max_worker() {
+                    assert!(
+                        max_w < n,
+                        "fault plan targets worker {max_w} but the run has {n} workers"
+                    );
+                }
+                plan.schedule()
+            }
+            None => FaultClock::default(),
+        };
         Self {
             cfg: cfg.clone(),
             cluster,
@@ -58,6 +82,10 @@ impl EngineCtx {
             timelines: vec![Timeline::new(); n],
             collector,
             plane: ComputePlane::auto(),
+            faults,
+            offline: vec![false; n],
+            link_down: vec![false; n],
+            server_down: false,
             grad_pool: Vec::new(),
             batch_rngs: (0..n).map(|w| root.fork(0x100 + w as u64)).collect(),
             jitter_rngs: (0..n).map(|w| root.fork(0x200 + w as u64)).collect(),
@@ -67,6 +95,18 @@ impl EngineCtx {
     /// The virtual time budget.
     pub fn duration(&self) -> Time {
         self.cfg.duration_secs
+    }
+
+    /// Virtual time of the next scheduled fault, if any. `None` for a
+    /// fault-free run, keeping the event-loop horizon untouched.
+    pub fn next_fault_time(&self) -> Option<Time> {
+        self.faults.next_time()
+    }
+
+    /// Consumes every fault due at or before `now`, in schedule order
+    /// (recoveries before failures at the same instant).
+    pub fn pop_due_faults(&mut self, now: Time) -> Vec<FaultEvent> {
+        self.faults.pop_due(now)
     }
 
     /// Draws this iteration's gradient-computation duration for a worker

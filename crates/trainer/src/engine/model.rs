@@ -12,6 +12,7 @@ use std::collections::BTreeMap;
 
 use rog_compress::ErrorFeedback;
 use rog_core::{RowId, RowPartition};
+use rog_fault::FaultEvent;
 use rog_models::{GradSet, Mlp};
 use rog_net::{FlowEvent, FlowId, FlowOutcome, FlowSpec};
 use rog_sim::{DeviceState, Time};
@@ -34,6 +35,23 @@ struct WState {
     stats: WorkerNetStats,
     push_started: Time,
     done: bool,
+    /// A gradient computation is running (its timer is queued).
+    computing: bool,
+    /// Phase to restart once connectivity returns after a fault.
+    resume: Option<MResume>,
+}
+
+/// What an interrupted worker restarts when connectivity returns.
+/// Model-granularity strategies keep *static* membership — a departed
+/// worker's version pins the SSP/BSP gate until it rejoins, which is
+/// exactly the fragility ROG's dynamic membership removes.
+enum MResume {
+    /// Retransmit the whole-model push (`grads` are still held).
+    Push,
+    /// Retransmit the pull; the drained averaged gradients ride along.
+    Pull(GradSet),
+    /// Restart the rejoin resync transfer.
+    Resync,
 }
 
 struct Server {
@@ -50,6 +68,16 @@ struct Server {
 enum FlowCtx {
     Push(usize),
     Pull(usize, GradSet),
+    /// Full-model transfer bringing a rejoining worker back in sync.
+    Resync(usize),
+}
+
+impl FlowCtx {
+    fn worker(&self) -> usize {
+        match self {
+            FlowCtx::Push(w) | FlowCtx::Pull(w, _) | FlowCtx::Resync(w) => *w,
+        }
+    }
 }
 
 struct ModelEngine {
@@ -62,6 +90,9 @@ struct ModelEngine {
     flows: BTreeMap<FlowId, FlowCtx>,
     partition: RowPartition,
     model_wire_bytes: u64,
+    /// Outstanding `ComputeDone` timers of departed workers, swallowed
+    /// on arrival.
+    stale_timers: Vec<u32>,
 }
 
 /// Runs one model-granularity experiment.
@@ -91,6 +122,8 @@ pub fn run(cfg: &ExperimentConfig) -> RunMetrics {
             stats: WorkerNetStats::default(),
             push_started: 0.0,
             done: false,
+            computing: false,
+            resume: None,
         })
         .collect();
     let server = Server {
@@ -119,6 +152,7 @@ pub fn run(cfg: &ExperimentConfig) -> RunMetrics {
         flows: BTreeMap::new(),
         partition,
         model_wire_bytes,
+        stale_timers: vec![0; n],
     };
     engine.refresh_thresholds();
     engine.event_loop();
@@ -127,10 +161,15 @@ pub fn run(cfg: &ExperimentConfig) -> RunMetrics {
 }
 
 impl ModelEngine {
+    fn start_compute(&mut self, w: usize, now: Time) {
+        self.workers[w].computing = true;
+        self.ctx.start_compute(w, now);
+    }
+
     fn event_loop(&mut self) {
         let duration = self.ctx.duration();
         for w in 0..self.workers.len() {
-            self.ctx.start_compute(w, 0.0);
+            self.start_compute(w, 0.0);
         }
         loop {
             let horizon = self
@@ -138,6 +177,7 @@ impl ModelEngine {
                 .queue
                 .peek_time()
                 .unwrap_or(f64::INFINITY)
+                .min(self.ctx.next_fault_time().unwrap_or(f64::INFINITY))
                 .min(duration);
             let evs = self.ctx.cluster.channel.advance_until(horizon);
             let now = self.ctx.cluster.channel.now();
@@ -150,6 +190,15 @@ impl ModelEngine {
             if now >= duration - 1e-9 {
                 break;
             }
+            // Injected faults fire before timers at the same instant
+            // (flow completions were already delivered above).
+            let faults = self.ctx.pop_due_faults(now);
+            if !faults.is_empty() {
+                for f in faults {
+                    self.on_fault(f, now);
+                }
+                continue;
+            }
             // Pending ComputeDone draws are independent (each worker's
             // model is frozen until its event fires); batch them on the
             // compute plane before delivering events.
@@ -160,7 +209,9 @@ impl ModelEngine {
                     // No timers and no flow finished before the horizon:
                     // if flows are in flight the next loop advances them;
                     // otherwise nothing can ever happen again.
-                    if self.ctx.cluster.channel.active_flows() == 0 {
+                    if self.ctx.cluster.channel.active_flows() == 0
+                        && self.ctx.next_fault_time().is_none()
+                    {
                         break;
                     }
                 }
@@ -174,6 +225,13 @@ impl ModelEngine {
     }
 
     fn on_compute_done(&mut self, w: usize, now: Time) {
+        if self.stale_timers[w] > 0 {
+            // The worker that armed this timer departed; void the draw.
+            self.stale_timers[w] -= 1;
+            self.discard_pending(w);
+            return;
+        }
+        self.workers[w].computing = false;
         let (grads, mean_abs) = compute::take_draw(
             &mut self.ctx,
             &mut self.pending[w],
@@ -183,7 +241,17 @@ impl ModelEngine {
         let ws = &mut self.workers[w];
         ws.grads = Some(grads);
         ws.stats.grad_mean_abs = f64::from(mean_abs);
-        ws.push_started = now;
+        self.start_push(w, now);
+    }
+
+    /// Starts (or, after a fault, parks) the whole-model push transfer.
+    fn start_push(&mut self, w: usize, now: Time) {
+        if self.ctx.server_down || self.ctx.link_down[w] {
+            self.workers[w].resume = Some(MResume::Push);
+            self.ctx.set_state(w, now, DeviceState::Stall);
+            return;
+        }
+        self.workers[w].push_started = now;
         self.ctx.set_state(w, now, DeviceState::Communicate);
         let id = self
             .ctx
@@ -197,11 +265,12 @@ impl ModelEngine {
         let ctx = self.flows.remove(&ev.id).expect("unknown flow");
         debug_assert!(
             matches!(ev.outcome, FlowOutcome::Completed),
-            "model flows have no deadline"
+            "model flows have no deadline and cancels are reaped early"
         );
         match ctx {
             FlowCtx::Push(w) => self.on_push_done(w, ev.at),
             FlowCtx::Pull(w, payload) => self.on_pull_done(w, payload, ev.at),
+            FlowCtx::Resync(w) => self.finish_resync(w, ev.at),
         }
     }
 
@@ -235,11 +304,17 @@ impl ModelEngine {
     }
 
     fn drain_waiting(&mut self, now: Time) {
+        if self.ctx.server_down {
+            return;
+        }
         let mut still_waiting = Vec::new();
         let waiting = std::mem::take(&mut self.server.waiting);
         for w in waiting {
             let t = self.server.thresholds[w];
-            if gate::may_proceed(&self.server.versions, w, t) {
+            if !self.ctx.offline[w]
+                && !self.ctx.link_down[w]
+                && gate::may_proceed(&self.server.versions, w, t)
+            {
                 self.grant_pull(w, now);
             } else {
                 still_waiting.push(w);
@@ -290,10 +365,230 @@ impl ModelEngine {
         let iter = self.workers[w].iter;
         self.ctx.maybe_eval(w, iter, now, &self.workers[w].model);
         if now < self.ctx.duration() {
-            self.ctx.start_compute(w, now);
+            self.start_compute(w, now);
         } else {
             self.workers[w].done = true;
             self.ctx.set_state(w, now, DeviceState::Idle);
+        }
+    }
+
+    // ----- fault injection ------------------------------------------------
+
+    fn on_fault(&mut self, f: FaultEvent, now: Time) {
+        match f {
+            FaultEvent::WorkerDown(w) => self.on_worker_down(w, now),
+            FaultEvent::WorkerUp(w) => self.on_worker_up(w, now),
+            FaultEvent::BlackoutStart(w) => self.on_blackout_start(w, now),
+            FaultEvent::BlackoutEnd(w) => self.on_blackout_end(w, now),
+            FaultEvent::ServerDown => self.on_server_down(now),
+            FaultEvent::ServerUp => self.on_server_up(now),
+        }
+    }
+
+    /// Drops a worker's prefetched draw, recycling its buffer.
+    fn discard_pending(&mut self, w: usize) {
+        if let Some(PendingDraw {
+            result: Some((grads, _)),
+            ..
+        }) = self.pending[w].take()
+        {
+            self.ctx.recycle_grads(grads);
+        }
+    }
+
+    /// Cancels every in-flight transfer of `target`, returning the
+    /// contexts. Nothing of a cancelled transfer is acknowledged; bytes
+    /// already on the air are wasted (retransmit-from-scratch).
+    fn cancel_flows_of(&mut self, target: usize) -> Vec<FlowCtx> {
+        let ids: Vec<FlowId> = self
+            .flows
+            .iter()
+            .filter(|(_, c)| c.worker() == target)
+            .map(|(&id, _)| id)
+            .collect();
+        ids.into_iter()
+            .map(|id| {
+                let ctx = self.flows.remove(&id).expect("just listed");
+                self.ctx.cluster.channel.cancel_flow(id);
+                ctx
+            })
+            .collect()
+    }
+
+    fn suspend_ctx(&mut self, ctx: FlowCtx) {
+        let w = ctx.worker();
+        self.workers[w].resume = Some(match ctx {
+            FlowCtx::Push(_) => MResume::Push,
+            FlowCtx::Pull(_, payload) => MResume::Pull(payload),
+            FlowCtx::Resync(_) => MResume::Resync,
+        });
+    }
+
+    fn on_worker_down(&mut self, w: usize, now: Time) {
+        if self.ctx.offline[w] {
+            return;
+        }
+        self.ctx.offline[w] = true;
+        // State dies with the device: in-flight transfers, held
+        // gradients and any parked resume are all dropped. Its version
+        // row is NOT aged out — model-granularity baselines have static
+        // membership, so the departed worker pins the BSP/SSP gate until
+        // it rejoins (the fragility ROG's membership protocol removes).
+        self.cancel_flows_of(w);
+        self.server.waiting.retain(|&x| x != w);
+        if self.workers[w].computing {
+            self.stale_timers[w] += 1;
+        }
+        let ws = &mut self.workers[w];
+        ws.computing = false;
+        ws.grads = None;
+        ws.resume = None;
+        self.ctx.set_state(w, now, DeviceState::Offline);
+    }
+
+    fn on_worker_up(&mut self, w: usize, now: Time) {
+        if !self.ctx.offline[w] {
+            return;
+        }
+        if self.ctx.server_down || self.ctx.link_down[w] {
+            self.workers[w].resume = Some(MResume::Resync);
+            return;
+        }
+        self.begin_resync(w, now);
+    }
+
+    fn begin_resync(&mut self, w: usize, now: Time) {
+        self.ctx.set_state(w, now, DeviceState::Communicate);
+        let id = self
+            .ctx
+            .cluster
+            .channel
+            .start_flow(now, FlowSpec::new(w, vec![self.model_wire_bytes]));
+        self.flows.insert(id, FlowCtx::Resync(w));
+    }
+
+    /// Completes a rejoin: adopt the most advanced online peer's model
+    /// (ties to the lowest index), reset compression residuals and
+    /// momentum on both ends, drop the stale averaged gradients the
+    /// server still held for this worker, and fast-forward its version
+    /// so the gate reflects the adopted iteration.
+    fn finish_resync(&mut self, w: usize, now: Time) {
+        let mut reference: Option<usize> = None;
+        for (i, ws) in self.workers.iter().enumerate() {
+            if i == w || self.ctx.offline[i] {
+                continue;
+            }
+            if reference.is_none_or(|r| ws.iter > self.workers[r].iter) {
+                reference = Some(i);
+            }
+        }
+        if let Some(r) = reference {
+            let model = self.workers[r].model.clone();
+            let iter = self.workers[r].iter;
+            let ws = &mut self.workers[w];
+            ws.model = model;
+            ws.iter = iter;
+        }
+        let iter = self.workers[w].iter;
+        let ws = &mut self.workers[w];
+        ws.ef.reset();
+        for m in &mut ws.vel {
+            m.fill_zero();
+        }
+        ws.grads = None;
+        ws.resume = None;
+        self.server.efs[w].reset();
+        for m in &mut self.server.pending[w] {
+            m.fill_zero();
+        }
+        self.server.versions.record_push(w, iter);
+        self.ctx.offline[w] = false;
+        self.discard_pending(w);
+        if now < self.ctx.duration() {
+            self.start_compute(w, now);
+        } else {
+            self.workers[w].done = true;
+            self.ctx.set_state(w, now, DeviceState::Idle);
+        }
+        // The fast-forwarded version can only open the gate further.
+        self.drain_waiting(now);
+    }
+
+    fn on_blackout_start(&mut self, w: usize, now: Time) {
+        if self.ctx.link_down[w] {
+            return;
+        }
+        self.ctx.link_down[w] = true;
+        for ctx in self.cancel_flows_of(w) {
+            self.suspend_ctx(ctx);
+        }
+        if !self.ctx.offline[w] && !self.workers[w].done && !self.workers[w].computing {
+            self.ctx.set_state(w, now, DeviceState::Stall);
+        }
+    }
+
+    fn on_blackout_end(&mut self, w: usize, now: Time) {
+        if !self.ctx.link_down[w] {
+            return;
+        }
+        self.ctx.link_down[w] = false;
+        if !self.ctx.server_down {
+            self.resume_worker(w, now);
+            self.drain_waiting(now);
+        }
+    }
+
+    fn on_server_down(&mut self, now: Time) {
+        if self.ctx.server_down {
+            return;
+        }
+        self.ctx.server_down = true;
+        let ids: Vec<FlowId> = self.flows.keys().copied().collect();
+        for id in ids {
+            let ctx = self.flows.remove(&id).expect("just listed");
+            self.ctx.cluster.channel.cancel_flow(id);
+            let w = ctx.worker();
+            self.suspend_ctx(ctx);
+            if !self.ctx.offline[w] && !self.workers[w].done && !self.workers[w].computing {
+                self.ctx.set_state(w, now, DeviceState::Stall);
+            }
+        }
+    }
+
+    fn on_server_up(&mut self, now: Time) {
+        if !self.ctx.server_down {
+            return;
+        }
+        self.ctx.server_down = false;
+        for w in 0..self.workers.len() {
+            if !self.ctx.link_down[w] {
+                self.resume_worker(w, now);
+            }
+        }
+        self.drain_waiting(now);
+    }
+
+    fn resume_worker(&mut self, w: usize, now: Time) {
+        if self.ctx.offline[w] {
+            if matches!(self.workers[w].resume, Some(MResume::Resync)) {
+                self.workers[w].resume = None;
+                self.begin_resync(w, now);
+            }
+            return;
+        }
+        match self.workers[w].resume.take() {
+            Some(MResume::Push) => self.start_push(w, now),
+            Some(MResume::Pull(payload)) => {
+                self.ctx.set_state(w, now, DeviceState::Communicate);
+                let id = self
+                    .ctx
+                    .cluster
+                    .channel
+                    .start_flow(now, FlowSpec::new(w, vec![self.model_wire_bytes]));
+                self.flows.insert(id, FlowCtx::Pull(w, payload));
+            }
+            Some(MResume::Resync) => self.begin_resync(w, now),
+            None => {}
         }
     }
 }
@@ -375,6 +670,47 @@ mod tests {
             max_threshold: 8,
         }));
         assert!(m.mean_iterations > 5.0);
+    }
+
+    #[test]
+    fn bsp_blocks_for_the_whole_outage_then_recovers() {
+        use rog_fault::FaultPlan;
+        let fault_free = run(&cfg(Strategy::Bsp));
+        let mut c = cfg(Strategy::Bsp);
+        c.fault_plan = Some(FaultPlan::new().worker_offline(1, 30.0, 90.0));
+        let m = run(&c);
+        // Static membership: the survivor pins at the barrier for
+        // (roughly) the entire 60 s outage — the fragility ROG's
+        // dynamic membership removes.
+        assert!(
+            m.stall_secs > fault_free.stall_secs + 40.0,
+            "BSP stall {} vs fault-free {}",
+            m.stall_secs,
+            fault_free.stall_secs
+        );
+        assert!(
+            m.mean_iterations < fault_free.mean_iterations,
+            "outage must cost BSP iterations"
+        );
+        // But training resumes after the rejoin resync.
+        assert!(m.mean_iterations > 5.0, "iters {}", m.mean_iterations);
+        let m2 = run(&c);
+        assert_eq!(m.checkpoints, m2.checkpoints, "faulty runs replay");
+    }
+
+    #[test]
+    fn model_engine_survives_blackout_and_server_restart() {
+        use rog_fault::FaultPlan;
+        let mut c = cfg(Strategy::Ssp { threshold: 4 });
+        c.fault_plan = Some(
+            FaultPlan::new()
+                .link_blackout(0, 20.0, 35.0)
+                .server_restart(60.0, 75.0),
+        );
+        let a = run(&c);
+        let b = run(&c);
+        assert_eq!(a.checkpoints, b.checkpoints);
+        assert!(a.mean_iterations > 5.0, "iters {}", a.mean_iterations);
     }
 
     #[test]

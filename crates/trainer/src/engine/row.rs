@@ -14,6 +14,7 @@
 use std::collections::BTreeMap;
 
 use rog_core::{mta, MtaTimeTracker, RogServer, RogWorker, RogWorkerConfig, RowId};
+use rog_fault::FaultEvent;
 use rog_net::{FlowEvent, FlowId, FlowOutcome, FlowSpec};
 use rog_sim::{DeviceState, Time};
 
@@ -47,12 +48,47 @@ struct WState {
     applied_iter: u64,
     /// Compute is paused waiting for the comm pipeline to catch up.
     pipe_waiting: bool,
+    /// Action to take once connectivity returns after a fault cancelled
+    /// this worker's in-flight transfer.
+    resume: Option<Resume>,
+}
+
+/// What an interrupted worker does when connectivity returns. Cancelled
+/// transfers acknowledge nothing (retransmit-from-scratch semantics), so
+/// each variant restarts its phase rather than splicing a partial one.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Resume {
+    /// Restart the push of the suspended comm cycle.
+    Push,
+    /// Re-enter the RSP gate wait for the suspended cycle's pull; the
+    /// pull plan is recomputed at grant time, so nothing is lost.
+    PullGate,
+    /// Restart the rejoin resync transfer.
+    Resync,
 }
 
 #[derive(Debug, Clone, Copy)]
 enum FlowCtx {
-    Push { w: usize, cont: bool },
-    Pull { w: usize, cont: bool },
+    Push {
+        w: usize,
+        cont: bool,
+    },
+    Pull {
+        w: usize,
+        cont: bool,
+    },
+    /// Full-model transfer bringing a rejoining worker back in sync.
+    Resync {
+        w: usize,
+    },
+}
+
+impl FlowCtx {
+    fn worker(self) -> usize {
+        match self {
+            FlowCtx::Push { w, .. } | FlowCtx::Pull { w, .. } | FlowCtx::Resync { w } => w,
+        }
+    }
 }
 
 struct RowEngine {
@@ -67,6 +103,11 @@ struct RowEngine {
     waiting: Vec<(usize, u64)>,
     /// Last pushed iteration per worker (micro-event staleness).
     last_pushed: Vec<u64>,
+    /// Outstanding `ComputeDone` timers of departed workers, swallowed
+    /// on arrival (one count per timer in flight at departure).
+    stale_timers: Vec<u32>,
+    /// Compressed whole-model wire size, for rejoin resync transfers.
+    model_wire_bytes: u64,
     threshold: u32,
     /// Overlap communication and computation (paper future work).
     pipeline: bool,
@@ -148,9 +189,16 @@ pub fn run(cfg: &ExperimentConfig) -> RunMetrics {
             comm_iter: 0,
             applied_iter: 0,
             pipe_waiting: false,
+            resume: None,
         })
         .collect();
     let server = RogServer::new(init.params(), n, threshold, wcfg.importance);
+    let widths = init.row_widths();
+    let model_wire_bytes = ctx.cluster.scaled_model_bytes(
+        widths
+            .iter()
+            .map(|&w| rog_compress::compressed_row_payload_bytes(w)),
+    );
     let mut engine = RowEngine {
         ctx,
         workers,
@@ -160,6 +208,8 @@ pub fn run(cfg: &ExperimentConfig) -> RunMetrics {
         flows: BTreeMap::new(),
         waiting: Vec::new(),
         last_pushed: vec![0; n],
+        stale_timers: vec![0; n],
+        model_wire_bytes,
         threshold,
         pipeline: cfg.pipeline,
         auto: cfg.auto_threshold.then(|| AutoThreshold::new(threshold)),
@@ -198,6 +248,7 @@ impl RowEngine {
                 .queue
                 .peek_time()
                 .unwrap_or(f64::INFINITY)
+                .min(self.ctx.next_fault_time().unwrap_or(f64::INFINITY))
                 .min(duration);
             let evs = self.ctx.cluster.channel.advance_until(horizon);
             let now = self.ctx.cluster.channel.now();
@@ -210,13 +261,24 @@ impl RowEngine {
             if now >= duration - 1e-9 {
                 break;
             }
+            // Injected faults fire before timers at the same instant
+            // (flow completions were already delivered above).
+            let faults = self.ctx.pop_due_faults(now);
+            if !faults.is_empty() {
+                for f in faults {
+                    self.on_fault(f, now);
+                }
+                continue;
+            }
             // Draws for all pending ComputeDone timers are independent;
             // batch them on the compute plane before delivering events.
             compute::prefetch_draws(&mut self.ctx, &mut self.pending, |w| &self.workers[w].model);
             match self.ctx.queue.pop() {
                 Some((t, Ev::ComputeDone(w))) => self.on_compute_done(w, t),
                 None => {
-                    if self.ctx.cluster.channel.active_flows() == 0 {
+                    if self.ctx.cluster.channel.active_flows() == 0
+                        && self.ctx.next_fault_time().is_none()
+                    {
                         break;
                     }
                 }
@@ -246,6 +308,12 @@ impl RowEngine {
     }
 
     fn on_compute_done(&mut self, w: usize, now: Time) {
+        if self.stale_timers[w] > 0 {
+            // The worker that armed this timer departed; void the draw.
+            self.stale_timers[w] -= 1;
+            self.discard_pending(w);
+            return;
+        }
         self.workers[w].computing = false;
         if self.pipeline {
             self.on_compute_done_pipelined(w, now);
@@ -301,6 +369,16 @@ impl RowEngine {
     }
 
     fn begin_push(&mut self, w: usize, now: Time, n: u64) {
+        if self.ctx.server_down || self.ctx.link_down[w] {
+            // Nothing to transmit through: park the cycle; a recovery
+            // event restarts it via `resume_worker`.
+            let ws = &mut self.workers[w];
+            ws.comm_busy = true;
+            ws.comm_iter = n;
+            ws.resume = Some(Resume::Push);
+            self.set_comm_state(w, now, DeviceState::Stall);
+            return;
+        }
         let ws = &mut self.workers[w];
         ws.comm_busy = true;
         ws.comm_iter = n;
@@ -337,6 +415,13 @@ impl RowEngine {
         match ctx {
             FlowCtx::Push { w, cont } => self.on_push_flow(w, cont, ev),
             FlowCtx::Pull { w, cont } => self.on_pull_flow(w, cont, ev),
+            FlowCtx::Resync { w } => {
+                debug_assert!(
+                    matches!(ev.outcome, FlowOutcome::Completed),
+                    "resync flows have no deadline"
+                );
+                self.finish_resync(w, ev.at);
+            }
         }
     }
 
@@ -351,6 +436,9 @@ impl RowEngine {
                 }
             }
             FlowOutcome::DeadlineReached { chunks_done, .. } => chunks_done,
+            FlowOutcome::Cancelled { .. } => {
+                unreachable!("cancelled flows are reaped at the fault site")
+            }
         };
         let ws = &mut self.workers[w];
         ws.push_delivered += delivered_now;
@@ -422,9 +510,12 @@ impl RowEngine {
     }
 
     fn drain_waiting(&mut self, now: Time) {
+        if self.ctx.server_down {
+            return;
+        }
         let waiting = std::mem::take(&mut self.waiting);
         for (w, n) in waiting {
-            if self.server.gate_ok(n) {
+            if !self.ctx.offline[w] && !self.ctx.link_down[w] && self.server.gate_ok(n) {
                 self.grant_pull(w, now);
             } else {
                 self.waiting.push((w, n));
@@ -478,6 +569,9 @@ impl RowEngine {
                 }
             }
             FlowOutcome::DeadlineReached { chunks_done, .. } => chunks_done,
+            FlowOutcome::Cancelled { .. } => {
+                unreachable!("cancelled flows are reaped at the fault site")
+            }
         };
         let ws = &mut self.workers[w];
         ws.pull_delivered += delivered_now;
@@ -593,6 +687,243 @@ impl RowEngine {
         } else {
             self.workers[w].done = true;
             self.ctx.set_state(w, now, DeviceState::Idle);
+        }
+    }
+
+    // ----- fault injection ------------------------------------------------
+
+    fn on_fault(&mut self, f: FaultEvent, now: Time) {
+        match f {
+            FaultEvent::WorkerDown(w) => self.on_worker_down(w, now),
+            FaultEvent::WorkerUp(w) => self.on_worker_up(w, now),
+            FaultEvent::BlackoutStart(w) => self.on_blackout_start(w, now),
+            FaultEvent::BlackoutEnd(w) => self.on_blackout_end(w, now),
+            FaultEvent::ServerDown => self.on_server_down(now),
+            FaultEvent::ServerUp => self.on_server_up(now),
+        }
+    }
+
+    /// Drops a worker's prefetched draw, recycling its buffer.
+    fn discard_pending(&mut self, w: usize) {
+        if let Some(PendingDraw {
+            result: Some((grads, _)),
+            ..
+        }) = self.pending[w].take()
+        {
+            self.ctx.recycle_grads(grads);
+        }
+    }
+
+    /// Cancels every in-flight transfer of `target`, returning the
+    /// contexts so the caller can decide what (if anything) resumes.
+    /// Cancelled transfers acknowledge nothing: every byte already on
+    /// the air is wasted and any retransmission starts from scratch.
+    fn cancel_flows_of(&mut self, target: usize) -> Vec<FlowCtx> {
+        let ids: Vec<FlowId> = self
+            .flows
+            .iter()
+            .filter(|(_, c)| c.worker() == target)
+            .map(|(&id, _)| id)
+            .collect();
+        ids.into_iter()
+            .map(|id| {
+                let ctx = self.flows.remove(&id).expect("just listed");
+                self.ctx.cluster.channel.cancel_flow(id);
+                ctx
+            })
+            .collect()
+    }
+
+    /// Marks what a worker's cancelled transfer should restart as once
+    /// connectivity returns. `comm_busy` stays true for suspended
+    /// push/pull cycles so pipeline mode cannot start a second cycle on
+    /// top of the parked one.
+    fn suspend_ctx(&mut self, ctx: FlowCtx) {
+        self.workers[ctx.worker()].resume = Some(match ctx {
+            FlowCtx::Push { .. } => Resume::Push,
+            FlowCtx::Pull { .. } => Resume::PullGate,
+            FlowCtx::Resync { .. } => Resume::Resync,
+        });
+    }
+
+    fn on_worker_down(&mut self, w: usize, now: Time) {
+        if self.ctx.offline[w] {
+            return;
+        }
+        self.ctx.offline[w] = true;
+        // Every in-flight transfer dies with the device; nothing resumes
+        // (rejoin rebuilds the cycle from the resynced model instead).
+        self.cancel_flows_of(w);
+        self.waiting.retain(|&(x, _)| x != w);
+        if self.workers[w].computing {
+            // Its ComputeDone timer is still queued; swallow on arrival.
+            self.stale_timers[w] += 1;
+        }
+        let ws = &mut self.workers[w];
+        ws.computing = false;
+        ws.comm_busy = false;
+        ws.pipe_waiting = false;
+        ws.resume = None;
+        self.server.deactivate_worker(w);
+        self.ctx.set_state(w, now, DeviceState::Offline);
+        // The departed worker's frozen rows age out of min(V): gated
+        // pulls of the survivors may proceed — the membership move a
+        // BSP-style barrier cannot make.
+        self.drain_waiting(now);
+    }
+
+    fn on_worker_up(&mut self, w: usize, now: Time) {
+        if !self.ctx.offline[w] {
+            return;
+        }
+        if self.ctx.server_down || self.ctx.link_down[w] {
+            // Powered on but unreachable: resync once the path returns.
+            self.workers[w].resume = Some(Resume::Resync);
+            return;
+        }
+        self.begin_resync(w, now);
+    }
+
+    /// Starts the full-model transfer that brings a rejoining worker
+    /// back in sync before it may train again.
+    fn begin_resync(&mut self, w: usize, now: Time) {
+        self.ctx.set_state(w, now, DeviceState::Communicate);
+        let id = self
+            .ctx
+            .cluster
+            .channel
+            .start_flow(now, FlowSpec::new(w, vec![self.model_wire_bytes]));
+        self.flows.insert(id, FlowCtx::Resync { w });
+    }
+
+    /// Completes a rejoin: the worker adopts the most advanced online
+    /// peer's model (ties break to the lowest index) — the closest
+    /// stand-in the simulation has for the server streaming its current
+    /// model; any choice within the RSP staleness bound is admissible.
+    /// Error-feedback residuals, momentum and Adam state are reset (the
+    /// paper's defined policy: stale compensation must not leak into the
+    /// adopted model), row iterations are stamped to the adopted
+    /// iteration, and the server's version rows fast-forward to match.
+    fn finish_resync(&mut self, w: usize, now: Time) {
+        let mut reference: Option<usize> = None;
+        for (i, ws) in self.workers.iter().enumerate() {
+            if i == w || self.ctx.offline[i] {
+                continue;
+            }
+            if reference.is_none_or(|r| ws.iter > self.workers[r].iter) {
+                reference = Some(i);
+            }
+        }
+        if let Some(r) = reference {
+            let model = self.workers[r].model.clone();
+            let iter = self.workers[r].iter;
+            let ws = &mut self.workers[w];
+            ws.model = model;
+            ws.iter = iter;
+        }
+        let n = self.workers[w].iter;
+        let ws = &mut self.workers[w];
+        ws.applied_iter = n;
+        ws.comm_iter = n;
+        ws.comm_busy = false;
+        ws.pipe_waiting = false;
+        ws.resume = None;
+        ws.worker.reset_for_rejoin(n);
+        self.server.rejoin_worker(w, n);
+        self.ctx.offline[w] = false;
+        self.last_pushed[w] = n;
+        self.discard_pending(w);
+        if now < self.ctx.duration() {
+            self.start_compute(w, now);
+        } else {
+            self.workers[w].done = true;
+            self.ctx.set_state(w, now, DeviceState::Idle);
+        }
+        // The freshly stamped member can only raise min(V).
+        self.drain_waiting(now);
+    }
+
+    fn on_blackout_start(&mut self, w: usize, now: Time) {
+        if self.ctx.link_down[w] {
+            return;
+        }
+        self.ctx.link_down[w] = true;
+        for ctx in self.cancel_flows_of(w) {
+            self.suspend_ctx(ctx);
+        }
+        if !self.ctx.offline[w] && !self.workers[w].done {
+            self.set_comm_state(w, now, DeviceState::Stall);
+        }
+    }
+
+    fn on_blackout_end(&mut self, w: usize, now: Time) {
+        if !self.ctx.link_down[w] {
+            return;
+        }
+        self.ctx.link_down[w] = false;
+        if !self.ctx.server_down {
+            self.resume_worker(w, now);
+            self.drain_waiting(now);
+        }
+    }
+
+    fn on_server_down(&mut self, now: Time) {
+        if self.ctx.server_down {
+            return;
+        }
+        self.ctx.server_down = true;
+        let ids: Vec<FlowId> = self.flows.keys().copied().collect();
+        for id in ids {
+            let ctx = self.flows.remove(&id).expect("just listed");
+            self.ctx.cluster.channel.cancel_flow(id);
+            let w = ctx.worker();
+            self.suspend_ctx(ctx);
+            if !self.ctx.offline[w] && !self.workers[w].done {
+                self.set_comm_state(w, now, DeviceState::Stall);
+            }
+        }
+    }
+
+    fn on_server_up(&mut self, now: Time) {
+        if !self.ctx.server_down {
+            return;
+        }
+        self.ctx.server_down = false;
+        for w in 0..self.workers.len() {
+            if !self.ctx.link_down[w] {
+                self.resume_worker(w, now);
+            }
+        }
+        self.drain_waiting(now);
+    }
+
+    /// Restarts whatever a worker had suspended, now that both its link
+    /// and the server are reachable again.
+    fn resume_worker(&mut self, w: usize, now: Time) {
+        if self.ctx.offline[w] {
+            if self.workers[w].resume.take() == Some(Resume::Resync) {
+                self.begin_resync(w, now);
+            }
+            return;
+        }
+        match self.workers[w].resume.take() {
+            Some(Resume::Push) => {
+                // Re-plan against the latest accumulated gradients: in
+                // pipeline mode compute kept running during the outage.
+                let n = if self.pipeline {
+                    self.workers[w].iter
+                } else {
+                    self.workers[w].iter + 1
+                };
+                self.begin_push(w, now, n);
+            }
+            Some(Resume::PullGate) => {
+                let n = self.workers[w].comm_iter;
+                self.set_comm_state(w, now, DeviceState::Stall);
+                self.waiting.push((w, n));
+            }
+            Some(Resume::Resync) => self.begin_resync(w, now),
+            None => {}
         }
     }
 }
@@ -715,5 +1046,108 @@ mod tests {
         c.duration_secs = 90.0;
         let m = run(&c);
         assert!(m.mean_iterations >= 5.0, "iterations {}", m.mean_iterations);
+    }
+
+    #[test]
+    fn departed_worker_does_not_block_the_survivor() {
+        use rog_fault::FaultPlan;
+        let fault_free = run(&cfg(4));
+        let mut c = cfg(4);
+        c.fault_plan = Some(FaultPlan::new().worker_offline(1, 30.0, 90.0));
+        let m = run(&c);
+        assert!(m.name.contains("+faults"));
+        // The offline window lands in the timeline (worker 1, 60 s).
+        assert!(
+            (m.offline_secs - 60.0).abs() < 5.0,
+            "offline {}",
+            m.offline_secs
+        );
+        // Dynamic membership: the survivor keeps iterating instead of
+        // pinning at the departed worker's last push, so the cluster
+        // loses far less than the naive half of the outage.
+        assert!(
+            m.mean_iterations > fault_free.mean_iterations * 0.6,
+            "churn {} vs fault-free {}",
+            m.mean_iterations,
+            fault_free.mean_iterations
+        );
+        // Bounded stall: the survivor must not sit at the gate for the
+        // outage (that is what a BSP-style barrier would do).
+        assert!(
+            m.stall_secs < 30.0,
+            "survivor stalled {} s during a 60 s outage",
+            m.stall_secs
+        );
+    }
+
+    #[test]
+    fn blackout_suspends_and_resumes_the_cycle() {
+        use rog_fault::FaultPlan;
+        let mut c = cfg(4);
+        c.fault_plan = Some(FaultPlan::new().link_blackout(1, 20.0, 40.0));
+        let m = run(&c);
+        assert!(m.mean_iterations > 10.0, "iters {}", m.mean_iterations);
+        // The interrupted transfer's bytes are wasted and retransmitted.
+        assert!(m.wasted_bytes > 0.0);
+        let m2 = run(&c);
+        assert_eq!(m.checkpoints, m2.checkpoints, "faulty runs replay");
+        assert_eq!(m.mean_iterations, m2.mean_iterations);
+    }
+
+    #[test]
+    fn server_restart_parks_everyone_then_recovers() {
+        use rog_fault::FaultPlan;
+        let mut c = cfg(4);
+        c.fault_plan = Some(FaultPlan::new().server_restart(40.0, 55.0));
+        let m = run(&c);
+        assert!(m.mean_iterations > 10.0, "iters {}", m.mean_iterations);
+        let m2 = run(&c);
+        assert_eq!(m.checkpoints, m2.checkpoints);
+    }
+
+    #[test]
+    fn seeded_churn_is_deterministic_and_trains() {
+        let mut c = cfg(4);
+        c.duration_secs = 240.0;
+        c.fault_seed = Some(3);
+        let a = run(&c);
+        let b = run(&c);
+        assert_eq!(a.checkpoints, b.checkpoints);
+        assert_eq!(a.total_energy_j, b.total_energy_j);
+        assert!(a.mean_iterations > 5.0, "iters {}", a.mean_iterations);
+        let first = a.checkpoints.first().expect("ckpt").metric;
+        let last = a.checkpoints.last().expect("ckpt").metric;
+        assert!(last > first - 3.0, "accuracy collapsed: {first} -> {last}");
+    }
+
+    #[test]
+    fn pipelined_rog_survives_churn_deterministically() {
+        use rog_fault::FaultPlan;
+        let mut c = cfg(4);
+        c.pipeline = true;
+        c.fault_plan = Some(
+            FaultPlan::new()
+                .worker_offline(1, 25.0, 55.0)
+                .link_blackout(0, 70.0, 80.0),
+        );
+        let a = run(&c);
+        let b = run(&c);
+        assert_eq!(a.checkpoints, b.checkpoints);
+        assert!(a.mean_iterations > 5.0, "iters {}", a.mean_iterations);
+    }
+
+    #[test]
+    fn empty_fault_plan_matches_fault_free_run_exactly() {
+        use rog_fault::FaultPlan;
+        let base = run(&cfg(4));
+        let mut c = cfg(4);
+        c.fault_plan = Some(FaultPlan::new());
+        let empty = run(&c);
+        assert_eq!(base.name, empty.name);
+        assert_eq!(base.checkpoints, empty.checkpoints);
+        assert_eq!(base.mean_iterations, empty.mean_iterations);
+        assert_eq!(base.total_energy_j, empty.total_energy_j);
+        assert_eq!(base.useful_bytes, empty.useful_bytes);
+        assert_eq!(base.wasted_bytes, empty.wasted_bytes);
     }
 }

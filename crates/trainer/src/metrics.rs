@@ -29,12 +29,15 @@ pub struct TimeComposition {
     pub communicate: f64,
     /// Seconds stalled at gates.
     pub stall: f64,
+    /// Seconds powered off / out of range (fault injection; 0 for
+    /// fault-free runs).
+    pub offline: f64,
 }
 
 impl TimeComposition {
     /// Total seconds per iteration.
     pub fn total(&self) -> f64 {
-        self.compute + self.communicate + self.stall
+        self.compute + self.communicate + self.stall + self.offline
     }
 }
 
@@ -75,8 +78,15 @@ pub struct RunMetrics {
     pub micro: Vec<MicroSample>,
     /// Useful payload bytes delivered over the channel.
     pub useful_bytes: f64,
-    /// Bytes wasted on deadline-cut partial rows.
+    /// Bytes wasted on deadline-cut partial rows and fault-cancelled
+    /// transfers.
     pub wasted_bytes: f64,
+    /// Cluster-total seconds spent stalled at gates (summed over
+    /// workers, not per-iteration) — the blocking a fault matrix is
+    /// judged on.
+    pub stall_secs: f64,
+    /// Cluster-total seconds workers spent offline (fault injection).
+    pub offline_secs: f64,
     /// Maximum pairwise L2 distance between worker models at the end of
     /// the run, relative to the mean model norm — the realized
     /// divergence RSP/SSP bound (0 for BSP-like lockstep, small for
@@ -188,8 +198,12 @@ impl MetricsCollector {
                 compute: sum(DeviceState::Compute),
                 communicate: sum(DeviceState::Communicate),
                 stall: sum(DeviceState::Stall),
+                offline: sum(DeviceState::Offline),
             }
         };
+        let residency = |s: DeviceState| timelines.iter().map(|t| t.time_in(s)).sum::<f64>();
+        let stall_secs = residency(DeviceState::Stall);
+        let offline_secs = residency(DeviceState::Offline);
 
         RunMetrics {
             name: self.name,
@@ -203,6 +217,8 @@ impl MetricsCollector {
             micro: self.micro,
             useful_bytes,
             wasted_bytes,
+            stall_secs,
+            offline_secs,
             final_model_divergence,
         }
     }

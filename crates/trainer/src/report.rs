@@ -116,15 +116,17 @@ fn first_crossing(
 
 /// Formats a per-run time-composition table (Figs. 1a / 6a / 7a).
 pub fn composition_table(runs: &[RunMetrics]) -> String {
-    let mut out = String::from("system        compute(s)  comm(s)  stall(s)  total(s)  iters\n");
+    let mut out =
+        String::from("system        compute(s)  comm(s)  stall(s)  offline(s)  total(s)  iters\n");
     for r in runs {
         let c = r.composition;
         out.push_str(&format!(
-            "{:<12}  {:>10.2}  {:>7.2}  {:>8.2}  {:>8.2}  {:>5.0}\n",
+            "{:<12}  {:>10.2}  {:>7.2}  {:>8.2}  {:>10.2}  {:>8.2}  {:>5.0}\n",
             r.name.split(" / ").next().unwrap_or(&r.name),
             c.compute,
             c.communicate,
             c.stall,
+            c.offline,
             c.total(),
             r.mean_iterations,
         ));
@@ -162,6 +164,7 @@ mod tests {
                 compute: 2.0,
                 communicate: 1.0,
                 stall: 0.5,
+                offline: 0.0,
             },
             mean_iterations: 100.0,
             duration: 1000.0,
@@ -169,6 +172,8 @@ mod tests {
             micro: vec![],
             useful_bytes: 0.0,
             wasted_bytes: 0.0,
+            stall_secs: 50.0,
+            offline_secs: 0.0,
             final_model_divergence: 0.0,
         }
     }

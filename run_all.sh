@@ -29,6 +29,7 @@ BINS=(
   ablation_importance
   ext_convmlp
   ext_future_work
+  bench_fault
 )
 
 mkdir -p results

@@ -25,6 +25,7 @@
 /// ```
 pub mod prelude {
     pub use rog_core::{RogOptimizer, RogServer, RogSession, RogWorker, RogWorkerConfig, RowId};
+    pub use rog_fault::{ChurnProfile, FaultPlan};
     pub use rog_models::{CrimpSpec, CrudaSpec, Workload};
     pub use rog_net::{Channel, ChannelProfile, SharingMode, Trace};
     pub use rog_tensor::rng::DetRng;

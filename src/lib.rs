@@ -16,6 +16,8 @@
 //!   engine, Table III power model.
 //! * [`models`] / [`tensor`] / [`compress`] — training substrate.
 //! * [`sync`] — model-granularity baselines.
+//! * [`fault`] — deterministic fault injection (worker churn, link
+//!   blackouts, server restarts) for robustness experiments.
 //!
 //! See `README.md` for the architecture overview, `DESIGN.md` for the
 //! paper-to-code map, `EXPERIMENTS.md` for paper-vs-measured results,
@@ -31,6 +33,7 @@ pub use facade::prelude;
 pub use rog_compress as compress;
 pub use rog_core as core;
 pub use rog_energy as energy;
+pub use rog_fault as fault;
 pub use rog_models as models;
 pub use rog_net as net;
 pub use rog_sim as sim;

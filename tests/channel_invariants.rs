@@ -76,6 +76,9 @@ proptest! {
                 prop_assert_eq!(bytes_done, expect);
                 prop_assert!(evs[0].at <= deadline + 1e-6);
             }
+            FlowOutcome::Cancelled { .. } => {
+                return Err(TestCaseError::fail("nothing cancels this flow"));
+            }
         }
     }
 

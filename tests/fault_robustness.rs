@@ -1,0 +1,90 @@
+//! Cross-crate robustness invariants of the fault-injection subsystem,
+//! exercised end-to-end through the `rog` facade: the empty plan is
+//! byte-free, faulted runs are thread-count invariant, and dynamic
+//! membership (ROG) beats static membership (BSP) under churn.
+
+use rog::prelude::*;
+use rog::trainer::report::runs_to_json;
+
+fn base(strategy: Strategy) -> ExperimentConfig {
+    ExperimentConfig {
+        workload: WorkloadKind::Cruda,
+        environment: Environment::Stable,
+        strategy,
+        model_scale: ModelScale::Small,
+        n_workers: 2,
+        n_laptop_workers: 0,
+        duration_secs: 120.0,
+        eval_every: 5,
+        seed: 42,
+        ..ExperimentConfig::default()
+    }
+}
+
+/// The zero-cost-when-unused guarantee, checked at the serialized-run
+/// level: a run with an explicitly empty `FaultPlan` must produce the
+/// exact same JSON as a run with no plan at all.
+#[test]
+fn empty_fault_plan_is_byte_identical_at_the_json_level() {
+    let no_plan = base(Strategy::Rog { threshold: 4 }).run();
+    let mut cfg = base(Strategy::Rog { threshold: 4 });
+    cfg.fault_plan = Some(FaultPlan::new());
+    let empty_plan = cfg.run();
+    assert_eq!(
+        runs_to_json(std::slice::from_ref(&no_plan)),
+        runs_to_json(std::slice::from_ref(&empty_plan))
+    );
+}
+
+/// A faulted run (departure + resync + blackout) must be bit-identical
+/// for any compute-pool width, like every fault-free run.
+#[test]
+fn faulted_runs_are_thread_count_invariant() {
+    let mut cfg = base(Strategy::Rog { threshold: 4 });
+    cfg.fault_plan = Some(
+        FaultPlan::new()
+            .worker_offline(1, 30.0, 70.0)
+            .link_blackout(0, 90.0, 100.0),
+    );
+    rog::trainer::compute::set_thread_override(Some(1));
+    let serial = cfg.run();
+    rog::trainer::compute::set_thread_override(Some(4));
+    let parallel = cfg.run();
+    rog::trainer::compute::set_thread_override(None);
+    assert_eq!(
+        runs_to_json(std::slice::from_ref(&serial)),
+        runs_to_json(std::slice::from_ref(&parallel))
+    );
+}
+
+/// The robustness headline: under the same 60 s worker outage, ROG's
+/// dynamic membership keeps the survivor training with bounded stall,
+/// while BSP's static barrier blocks it for the whole outage.
+#[test]
+fn dynamic_membership_beats_static_membership_under_churn() {
+    let plan = FaultPlan::new().worker_offline(1, 30.0, 90.0);
+    let fault_free = base(Strategy::Rog { threshold: 4 }).run();
+    let mut rog_cfg = base(Strategy::Rog { threshold: 4 });
+    rog_cfg.fault_plan = Some(plan.clone());
+    let rog_run = rog_cfg.run();
+    let mut bsp_cfg = base(Strategy::Bsp);
+    bsp_cfg.fault_plan = Some(plan);
+    let bsp_run = bsp_cfg.run();
+    assert!(
+        rog_run.mean_iterations > fault_free.mean_iterations * 0.6,
+        "ROG under churn {} vs fault-free {}",
+        rog_run.mean_iterations,
+        fault_free.mean_iterations
+    );
+    assert!(
+        rog_run.stall_secs < bsp_run.stall_secs,
+        "ROG stalled {} s, BSP {} s",
+        rog_run.stall_secs,
+        bsp_run.stall_secs
+    );
+    assert!(
+        bsp_run.stall_secs > 40.0,
+        "BSP should block for most of the 60 s outage, stalled {} s",
+        bsp_run.stall_secs
+    );
+}

@@ -1,0 +1,185 @@
+//! Loss-matrix robustness benchmark: runs the CRUDA-outdoor workload
+//! through a matrix of packet-loss scenarios (loss-free baseline,
+//! 5 % i.i.d. loss, 10 % and 20 % bursty Gilbert–Elliott loss) and
+//! writes `BENCH_loss.json` with accuracy-vs-virtual-time curves plus
+//! the channel's byte ledger (useful / wasted / lost / corrupt) and
+//! stall residency per scenario. A BSP-under-loss row quantifies the
+//! transport argument: reliable-only whole-model transfers block on
+//! backed-off retransmits, while ROG's best-effort gradient rows
+//! degrade gracefully inside the RSP staleness bound.
+//!
+//! Usage: `cargo run --release -p rog-bench --bin bench_loss
+//!         [--quick] [--seed <n>]`
+//!
+//! The output contains no wall-clock timings — every field is a
+//! deterministic function of the config and seeds, so CI can diff two
+//! runs of the same invocation byte-for-byte as a reproducibility
+//! check.
+
+use rog_bench::{header, run_all};
+use rog_net::LossConfig;
+use rog_trainer::{Environment, ExperimentConfig, RunMetrics, Strategy, WorkloadKind};
+
+fn loss_seed() -> u64 {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == "--seed")
+        .and_then(|i| args.get(i + 1))
+        .map(|v| v.parse().expect("--seed expects an integer"))
+        .unwrap_or(1)
+}
+
+fn scenarios(seed: u64) -> Vec<(&'static str, Option<LossConfig>)> {
+    vec![
+        ("none", None),
+        ("iid-5", Some(LossConfig::iid(seed, 0.05))),
+        ("ge-10", Some(LossConfig::gilbert_elliott(seed, 0.10))),
+        ("ge-20", Some(LossConfig::gilbert_elliott(seed, 0.20))),
+    ]
+}
+
+fn json_f64(x: f64) -> String {
+    // `+ 0.0` folds IEEE −0.0 into +0.0 so artifacts never print "-0".
+    let x = x + 0.0;
+    if x.is_finite() {
+        format!("{x}")
+    } else {
+        "null".to_owned()
+    }
+}
+
+fn scenario_json(scenario: &str, r: &RunMetrics) -> String {
+    let mut s = String::from("    {\n");
+    s.push_str(&format!("      \"scenario\": {scenario:?},\n"));
+    s.push_str(&format!("      \"name\": {:?},\n", r.name));
+    s.push_str(&format!(
+        "      \"mean_iterations\": {},\n",
+        json_f64(r.mean_iterations)
+    ));
+    s.push_str(&format!(
+        "      \"total_energy_j\": {},\n",
+        json_f64(r.total_energy_j)
+    ));
+    s.push_str(&format!(
+        "      \"useful_bytes\": {},\n",
+        json_f64(r.useful_bytes)
+    ));
+    s.push_str(&format!(
+        "      \"wasted_bytes\": {},\n",
+        json_f64(r.wasted_bytes)
+    ));
+    s.push_str(&format!(
+        "      \"lost_bytes\": {},\n",
+        json_f64(r.lost_bytes)
+    ));
+    s.push_str(&format!(
+        "      \"corrupt_bytes\": {},\n",
+        json_f64(r.corrupt_bytes)
+    ));
+    s.push_str(&format!(
+        "      \"stall_secs\": {},\n",
+        json_f64(r.stall_secs)
+    ));
+    let final_metric = r.checkpoints.last().map_or(f64::NAN, |c| c.metric);
+    s.push_str(&format!(
+        "      \"final_metric\": {},\n",
+        json_f64(final_metric)
+    ));
+    s.push_str("      \"accuracy_vs_time\": [");
+    let pts: Vec<String> = r
+        .checkpoints
+        .iter()
+        .map(|c| format!("[{}, {}, {}]", json_f64(c.time), c.iter, json_f64(c.metric)))
+        .collect();
+    s.push_str(&pts.join(", "));
+    s.push_str("]\n    }");
+    s
+}
+
+fn main() {
+    let quick = rog_bench::quick();
+    let dur = if quick { 120.0 } else { 600.0 };
+    let seed = loss_seed();
+    let base = ExperimentConfig {
+        workload: WorkloadKind::Cruda,
+        environment: Environment::Outdoor,
+        strategy: Strategy::Rog { threshold: 4 },
+        duration_secs: dur,
+        // Frequent checkpoints: quick runs complete only ~25
+        // iterations, and the accuracy-vs-time curve is the point.
+        eval_every: 10,
+        ..ExperimentConfig::default()
+    };
+
+    header(&format!(
+        "Loss matrix: CRUDA outdoor, {dur:.0} virtual s, loss seed {seed}"
+    ));
+    let matrix = scenarios(seed);
+    let mut configs: Vec<(String, ExperimentConfig)> = matrix
+        .iter()
+        .map(|(scenario, loss)| {
+            (
+                (*scenario).to_owned(),
+                ExperimentConfig {
+                    loss: loss.clone(),
+                    ..base.clone()
+                },
+            )
+        })
+        .collect();
+    // The transport contrast: BSP under the identical bursty loss. Its
+    // reliable-only whole-model transfers block on every lost chunk.
+    configs.push((
+        "bsp-ge-10".to_owned(),
+        ExperimentConfig {
+            strategy: Strategy::Bsp,
+            loss: Some(LossConfig::gilbert_elliott(seed, 0.10)),
+            ..base.clone()
+        },
+    ));
+    configs.push((
+        "bsp-none".to_owned(),
+        ExperimentConfig {
+            strategy: Strategy::Bsp,
+            ..base.clone()
+        },
+    ));
+
+    let runs = run_all(
+        &configs
+            .iter()
+            .map(|(_, c)| c.clone())
+            .collect::<Vec<ExperimentConfig>>(),
+    );
+
+    println!(
+        "{:<12} {:>8} {:>10} {:>12} {:>12} {:>10}",
+        "scenario", "iters", "stall(s)", "lost(B)", "corrupt(B)", "metric"
+    );
+    for ((scenario, _), r) in configs.iter().zip(&runs) {
+        let final_metric = r.checkpoints.last().map_or(f64::NAN, |c| c.metric);
+        println!(
+            "{scenario:<12} {:>8.1} {:>10.1} {:>12.0} {:>12.0} {:>10.2}",
+            r.mean_iterations,
+            r.stall_secs + 0.0,
+            r.lost_bytes,
+            r.corrupt_bytes,
+            final_metric,
+        );
+    }
+
+    let mut json = String::from("{\n");
+    json.push_str("  \"bench\": \"loss_matrix_cruda_outdoor\",\n");
+    json.push_str(&format!("  \"virtual_duration_secs\": {dur},\n"));
+    json.push_str(&format!("  \"loss_seed\": {seed},\n"));
+    json.push_str("  \"scenarios\": [\n");
+    let rows: Vec<String> = configs
+        .iter()
+        .zip(&runs)
+        .map(|((scenario, _), r)| scenario_json(scenario, r))
+        .collect();
+    json.push_str(&rows.join(",\n"));
+    json.push_str("\n  ]\n}\n");
+    std::fs::write("BENCH_loss.json", &json).expect("write BENCH_loss.json");
+    println!("  -> wrote BENCH_loss.json");
+}

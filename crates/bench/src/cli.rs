@@ -6,7 +6,7 @@
 use std::fmt;
 
 use rog_fault::FaultPlan;
-use rog_net::SharingMode;
+use rog_net::{LossConfig, SharingMode};
 use rog_trainer::{Environment, ExperimentConfig, ModelScale, Strategy, WorkloadKind};
 
 /// A parsed `rogctl` invocation.
@@ -48,12 +48,21 @@ USAGE:
          [--scale paper|small] [--mac airtime|anomaly]
          [--pipeline] [--auto-threshold] [--micro]
          [--fault-plan <file>] [--fault-seed <n>]
+         [--loss <rate>] [--loss-burst <rate>] [--loss-seed <n>]
+         [--corrupt <rate>]
          [--csv <path>] [--json <path>]
 
 Fault injection: --fault-plan loads a script of
 'offline <w> <start> <end>' / 'blackout <w> <start> <end>' /
-'server-restart <start> <end>' lines; --fault-seed generates a
-deterministic churn plan instead (ignored if a plan file is given).
+'server-restart <start> <end>' / 'loss <link> <start> <end> <rate>'
+lines; --fault-seed generates a deterministic churn plan instead
+(ignored if a plan file is given).
+
+Packet loss: --loss adds seeded i.i.d. per-chunk loss, --loss-burst
+adds a Gilbert-Elliott bursty process with the given mean loss rate,
+--corrupt flips delivered chunks to CRC failures; --loss-seed decouples
+the loss process from the run seed (defaults to the run seed). Rates
+are probabilities in [0, 1].
 ";
 
 /// Parses CLI arguments (without the program name).
@@ -69,6 +78,10 @@ pub fn parse(args: &[String]) -> Result<CliRun, CliError> {
     };
     let mut csv_out = None;
     let mut json_out = None;
+    let mut iid_loss: Option<f64> = None;
+    let mut burst_loss: Option<f64> = None;
+    let mut corrupt: Option<f64> = None;
+    let mut loss_seed: Option<u64> = None;
     let mut it = args.iter();
     while let Some(flag) = it.next() {
         let mut value = || {
@@ -156,11 +169,65 @@ pub fn parse(args: &[String]) -> Result<CliRun, CliError> {
                         .map_err(|_| err("--fault-seed expects an integer"))?,
                 )
             }
+            "--loss" => {
+                iid_loss = Some(
+                    value()?
+                        .parse()
+                        .map_err(|_| err("--loss expects a rate in [0, 1]"))?,
+                )
+            }
+            "--loss-burst" => {
+                burst_loss = Some(
+                    value()?
+                        .parse()
+                        .map_err(|_| err("--loss-burst expects a rate in [0, 1]"))?,
+                )
+            }
+            "--loss-seed" => {
+                loss_seed = Some(
+                    value()?
+                        .parse()
+                        .map_err(|_| err("--loss-seed expects an integer"))?,
+                )
+            }
+            "--corrupt" => {
+                corrupt = Some(
+                    value()?
+                        .parse()
+                        .map_err(|_| err("--corrupt expects a rate in [0, 1]"))?,
+                )
+            }
             "--csv" => csv_out = Some(value()?.clone()),
             "--json" => json_out = Some(value()?.clone()),
             "--help" | "-h" => return Err(err(USAGE)),
             other => return Err(err(format!("unknown flag '{other}'\n\n{USAGE}"))),
         }
+    }
+    if iid_loss.is_some() || burst_loss.is_some() || corrupt.is_some() {
+        for (flag, rate) in [
+            ("--loss", iid_loss),
+            ("--loss-burst", burst_loss),
+            ("--corrupt", corrupt),
+        ] {
+            if let Some(r) = rate {
+                if !(0.0..=1.0).contains(&r) {
+                    return Err(err(format!("{flag} rate {r} out of [0, 1]")));
+                }
+            }
+        }
+        let seed = loss_seed.unwrap_or(cfg.seed);
+        let mut lc = match burst_loss {
+            Some(mean) => LossConfig::gilbert_elliott(seed, mean),
+            None => LossConfig::off(),
+        };
+        lc.seed = seed;
+        lc.iid_loss = iid_loss.unwrap_or(0.0);
+        lc.corrupt = corrupt.unwrap_or(0.0);
+        cfg.loss = Some(lc);
+    } else if loss_seed.is_some() {
+        return Err(err(
+            "--loss-seed requires --loss, --loss-burst or --corrupt",
+        ));
     }
     if matches!(cfg.strategy, Strategy::Rog { .. }) || (!cfg.pipeline && !cfg.auto_threshold) {
         Ok(CliRun {
@@ -291,6 +358,29 @@ mod tests {
         assert_eq!(run.config.fault_seed, Some(7));
         assert!(run.config.fault_plan.is_none());
         assert!(parse(&args("--fault-seed banana")).is_err());
+    }
+
+    #[test]
+    fn loss_flags_build_a_loss_config() {
+        let run = parse(&args("--loss 0.05 --corrupt 0.01 --seed 9")).expect("parses");
+        let lc = run.config.loss.expect("loss configured");
+        assert_eq!(lc.seed, 9, "defaults to the run seed");
+        assert_eq!(lc.iid_loss, 0.05);
+        assert_eq!(lc.corrupt, 0.01);
+        assert!(lc.ge.is_none());
+
+        let run = parse(&args("--loss-burst 0.1 --loss-seed 77")).expect("parses");
+        let lc = run.config.loss.expect("loss configured");
+        assert_eq!(lc.seed, 77);
+        assert!(lc.ge.is_some(), "burst flag installs a GE chain");
+
+        assert!(parse(&args("--loss 1.5")).is_err());
+        assert!(parse(&args("--loss banana")).is_err());
+        assert!(
+            parse(&args("--loss-seed 3")).is_err(),
+            "seed alone is useless"
+        );
+        assert!(parse(&[]).expect("empty").config.loss.is_none());
     }
 
     #[test]

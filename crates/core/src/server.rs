@@ -37,6 +37,9 @@ pub struct RogServer {
     mean_abs_buf: Vec<f32>,
     /// Importance order buffer, reused across pull plans.
     ranked_buf: Vec<RowId>,
+    /// Count of NaN/Inf gradient values zeroed at ingest (a corrupted
+    /// or diverging worker must not poison every peer's pending copy).
+    nonfinite_dropped: u64,
 }
 
 impl RogServer {
@@ -75,7 +78,13 @@ impl RogServer {
             scratch: RankScratch::default(),
             mean_abs_buf: Vec::new(),
             ranked_buf: Vec::new(),
+            nonfinite_dropped: 0,
         }
+    }
+
+    /// Number of NaN/Inf gradient values zeroed at push ingest so far.
+    pub fn nonfinite_dropped(&self) -> u64 {
+        self.nonfinite_dropped
     }
 
     /// Number of workers.
@@ -158,6 +167,11 @@ impl RogServer {
     /// when members have departed, the divisor is the active count, so
     /// the expected gradient magnitude is preserved for the survivors.
     ///
+    /// NaN/Inf values are zeroed at ingest (and counted in
+    /// [`RogServer::nonfinite_dropped`]): on a lossy link a corrupted
+    /// payload that slipped past the CRC, or a diverging worker, must
+    /// not poison every active worker's pending copy.
+    ///
     /// # Panics
     ///
     /// Panics if `from` or any row is out of range, or a row payload has
@@ -165,12 +179,29 @@ impl RogServer {
     pub fn on_push(&mut self, from: usize, n: u64, rows: &[(RowId, Vec<f32>)]) {
         assert!(from < self.n_workers, "worker out of range");
         let inv = 1.0 / self.active_workers().max(1) as f32;
+        let mut sanitized: Vec<f32> = Vec::new();
         for (id, values) in rows {
             assert_eq!(
                 values.len(),
                 self.partition.width(*id),
                 "payload width mismatch for {id}"
             );
+            // Fast path: finite rows (the overwhelmingly common case)
+            // are added in place with no copy.
+            let values: &[f32] = if values.iter().all(|v| v.is_finite()) {
+                values
+            } else {
+                sanitized.clear();
+                sanitized.extend(values.iter().map(|v| {
+                    if v.is_finite() {
+                        *v
+                    } else {
+                        self.nonfinite_dropped += 1;
+                        0.0
+                    }
+                }));
+                &sanitized
+            };
             for r in 0..self.n_workers {
                 if !self.active[r] {
                     continue;
@@ -268,6 +299,29 @@ mod tests {
 
     fn params() -> Vec<Matrix> {
         vec![Matrix::zeros(2, 3), Matrix::zeros(1, 2)]
+    }
+
+    #[test]
+    fn nonfinite_gradients_are_zeroed_at_ingest() {
+        let p = params();
+        let mut s = RogServer::new(&p, 2, 4, ImportanceMetric::default());
+        s.on_push(
+            0,
+            1,
+            &[
+                (RowId(0), vec![1.0, f32::NAN, f32::INFINITY]),
+                (RowId(1), vec![f32::NEG_INFINITY, 2.0, 3.0]),
+            ],
+        );
+        assert_eq!(s.nonfinite_dropped(), 3);
+        // The finite values landed (averaged by 1/2), the poison did not.
+        let payloads = s.commit_pull(1, &[RowId(0), RowId(1)]);
+        for (_, values) in &payloads {
+            assert!(values.iter().all(|v| v.is_finite()), "{values:?}");
+        }
+        // A clean push leaves the counter alone.
+        s.on_push(1, 1, &[(RowId(0), vec![1.0, 1.0, 1.0])]);
+        assert_eq!(s.nonfinite_dropped(), 3);
     }
 
     fn server(n: usize, t: u32) -> RogServer {

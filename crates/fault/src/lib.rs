@@ -45,4 +45,4 @@ mod plan;
 mod script;
 
 pub use clock::{FaultClock, FaultEvent};
-pub use plan::{ChurnProfile, FaultKind, FaultPlan, FaultPlanError, FaultWindow};
+pub use plan::{ChurnProfile, FaultKind, FaultPlan, FaultPlanError, FaultWindow, LossWindow};

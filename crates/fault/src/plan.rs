@@ -42,6 +42,26 @@ impl FaultWindow {
     }
 }
 
+/// A scripted packet-loss window: extra i.i.d. chunk-loss probability
+/// `rate` on one worker's link during `[start, end)`.
+///
+/// Unlike [`FaultWindow`]s, loss windows do not compile into point
+/// events on the [`FaultClock`] — the engines fold them into the
+/// channel's loss model, which consults them continuously. They are
+/// kept separate from [`FaultKind`] because they carry a real-valued
+/// rate rather than an on/off state.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LossWindow {
+    /// The worker whose link loses packets.
+    pub link: usize,
+    /// Virtual time at which the loss begins (seconds, inclusive).
+    pub start: Time,
+    /// Virtual time at which the loss ends (seconds, exclusive).
+    pub end: Time,
+    /// Added chunk-loss probability in `[0, 1]`.
+    pub rate: f64,
+}
+
 /// Error produced when building or parsing an invalid plan.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct FaultPlanError {
@@ -100,6 +120,7 @@ impl Default for ChurnProfile {
 #[derive(Debug, Clone, PartialEq, Default)]
 pub struct FaultPlan {
     windows: Vec<FaultWindow>,
+    loss_windows: Vec<LossWindow>,
 }
 
 impl FaultPlan {
@@ -109,10 +130,10 @@ impl FaultPlan {
         Self::default()
     }
 
-    /// True when the plan holds no windows at all.
+    /// True when the plan holds no windows at all (fault or loss).
     #[must_use]
     pub fn is_empty(&self) -> bool {
-        self.windows.is_empty()
+        self.windows.is_empty() && self.loss_windows.is_empty()
     }
 
     /// The validated windows, in insertion order.
@@ -121,8 +142,15 @@ impl FaultPlan {
         &self.windows
     }
 
-    /// Largest worker index referenced by any per-worker window, if any.
-    /// Engines validate this against the configured cluster size.
+    /// The validated packet-loss windows, in insertion order.
+    #[must_use]
+    pub fn loss_windows(&self) -> &[LossWindow] {
+        &self.loss_windows
+    }
+
+    /// Largest worker index referenced by any per-worker window —
+    /// fault or loss — if any. Engines validate this against the
+    /// configured cluster size.
     #[must_use]
     pub fn max_worker(&self) -> Option<usize> {
         self.windows
@@ -131,6 +159,7 @@ impl FaultPlan {
                 FaultKind::WorkerOffline(i) | FaultKind::LinkBlackout(i) => Some(i),
                 FaultKind::ServerOutage => None,
             })
+            .chain(self.loss_windows.iter().map(|w| w.link))
             .max()
     }
 
@@ -180,6 +209,69 @@ impl FaultPlan {
         })
         .expect("valid server-outage window");
         self
+    }
+
+    /// Adds a packet-loss window (builder style): extra chunk-loss
+    /// probability `rate` on `link` during `[start, end)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a non-finite, negative, empty, or overlapping window,
+    /// or a rate outside `[0, 1]`.
+    #[must_use]
+    pub fn link_loss(mut self, link: usize, start: Time, end: Time, rate: f64) -> Self {
+        self.try_push_loss(LossWindow {
+            link,
+            start,
+            end,
+            rate,
+        })
+        .expect("valid link-loss window");
+        self
+    }
+
+    /// Validates and appends a packet-loss window.
+    ///
+    /// # Errors
+    ///
+    /// Rejects non-finite or negative times, empty windows, rates
+    /// outside `[0, 1]`, and windows overlapping an existing loss
+    /// window on the same link.
+    pub fn try_push_loss(&mut self, w: LossWindow) -> Result<(), FaultPlanError> {
+        if !w.start.is_finite() || !w.end.is_finite() {
+            return Err(FaultPlanError::new(format!(
+                "non-finite loss window [{}, {})",
+                w.start, w.end
+            )));
+        }
+        if w.start < 0.0 {
+            return Err(FaultPlanError::new(format!(
+                "loss window starts before t=0 ({})",
+                w.start
+            )));
+        }
+        if w.end <= w.start {
+            return Err(FaultPlanError::new(format!(
+                "empty or inverted loss window [{}, {})",
+                w.start, w.end
+            )));
+        }
+        if !w.rate.is_finite() || !(0.0..=1.0).contains(&w.rate) {
+            return Err(FaultPlanError::new(format!(
+                "loss rate out of [0, 1]: {}",
+                w.rate
+            )));
+        }
+        for e in &self.loss_windows {
+            if e.link == w.link && w.start < e.end && e.start < w.end {
+                return Err(FaultPlanError::new(format!(
+                    "loss window [{}, {}) overlaps [{}, {}) on link {}",
+                    w.start, w.end, e.start, e.end, w.link
+                )));
+            }
+        }
+        self.loss_windows.push(w);
+        Ok(())
     }
 
     /// Validates and appends a window.
@@ -408,6 +500,60 @@ mod tests {
         };
         for w in 1..3 {
             assert_eq!(of(&small, w), of(&large, w));
+        }
+    }
+
+    #[test]
+    fn loss_windows_validate_and_count_toward_plan_shape() {
+        let plan = FaultPlan::new().link_loss(2, 10.0, 30.0, 0.25);
+        assert!(!plan.is_empty());
+        assert_eq!(plan.max_worker(), Some(2));
+        assert_eq!(plan.loss_windows().len(), 1);
+        assert!(plan.windows().is_empty());
+        // Loss windows schedule no clock events.
+        assert!(plan.schedule().next_time().is_none());
+    }
+
+    #[test]
+    fn loss_window_overlap_and_bad_rates_are_rejected() {
+        let mut plan = FaultPlan::new().link_loss(1, 10.0, 20.0, 0.5);
+        let overlapping = LossWindow {
+            link: 1,
+            start: 15.0,
+            end: 25.0,
+            rate: 0.1,
+        };
+        assert!(plan.try_push_loss(overlapping).is_err());
+        // Same span on another link is fine, as is a touching window.
+        let other_link = LossWindow {
+            link: 2,
+            ..overlapping
+        };
+        assert!(plan.try_push_loss(other_link).is_ok());
+        let touching = LossWindow {
+            link: 1,
+            start: 20.0,
+            end: 22.0,
+            rate: 1.0,
+        };
+        assert!(plan.try_push_loss(touching).is_ok());
+        for rate in [-0.1, 1.1, f64::NAN] {
+            let w = LossWindow {
+                link: 0,
+                start: 0.0,
+                end: 1.0,
+                rate,
+            };
+            assert!(plan.try_push_loss(w).is_err(), "rate {rate} accepted");
+        }
+        for (start, end) in [(f64::NAN, 1.0), (-1.0, 1.0), (5.0, 5.0)] {
+            let w = LossWindow {
+                link: 0,
+                start,
+                end,
+                rate: 0.5,
+            };
+            assert!(plan.try_push_loss(w).is_err(), "[{start}, {end}) accepted");
         }
     }
 

@@ -9,9 +9,20 @@
 //! offline 2 140 180
 //! blackout 1 60 75
 //! server-restart 200 210
+//! loss 1 100 160 0.3
 //! ```
+//!
+//! The `loss <link> <t0> <t1> <rate>` directive adds `rate` extra
+//! chunk-loss probability on that worker's link during `[t0, t1)`;
+//! windows must not overlap per link and rates must be in `[0, 1]`.
 
-use crate::plan::{FaultKind, FaultPlan, FaultPlanError, FaultWindow};
+use crate::plan::{FaultKind, FaultPlan, FaultPlanError, FaultWindow, LossWindow};
+
+/// One parsed script line.
+enum ScriptEntry {
+    Fault(FaultWindow),
+    Loss(LossWindow),
+}
 
 impl FaultPlan {
     /// Parses the script format described in the module docs.
@@ -28,10 +39,13 @@ impl FaultPlan {
                 continue;
             }
             let fields: Vec<&str> = line.split_whitespace().collect();
-            let window = parse_line(&fields)
+            let entry = parse_line(&fields)
                 .map_err(|e| FaultPlanError::new(format!("line {}: {}", idx + 1, e)))?;
-            plan.try_push(window)
-                .map_err(|e| FaultPlanError::new(format!("line {}: {}", idx + 1, e)))?;
+            match entry {
+                ScriptEntry::Fault(window) => plan.try_push(window),
+                ScriptEntry::Loss(window) => plan.try_push_loss(window),
+            }
+            .map_err(|e| FaultPlanError::new(format!("line {}: {}", idx + 1, e)))?;
         }
         Ok(plan)
     }
@@ -55,11 +69,17 @@ impl FaultPlan {
                 }
             }
         }
+        for w in self.loss_windows() {
+            out.push_str(&format!(
+                "loss {} {} {} {}\n",
+                w.link, w.start, w.end, w.rate
+            ));
+        }
         out
     }
 }
 
-fn parse_line(fields: &[&str]) -> Result<FaultWindow, String> {
+fn parse_line(fields: &[&str]) -> Result<ScriptEntry, String> {
     let num = |s: &str| -> Result<f64, String> {
         s.parse::<f64>().map_err(|_| format!("bad number `{s}`"))
     };
@@ -68,23 +88,29 @@ fn parse_line(fields: &[&str]) -> Result<FaultWindow, String> {
             .map_err(|_| format!("bad worker index `{s}`"))
     };
     match fields {
-        ["offline", w, s, e] => Ok(FaultWindow {
+        ["offline", w, s, e] => Ok(ScriptEntry::Fault(FaultWindow {
             kind: FaultKind::WorkerOffline(index(w)?),
             start: num(s)?,
             end: num(e)?,
-        }),
-        ["blackout", w, s, e] => Ok(FaultWindow {
+        })),
+        ["blackout", w, s, e] => Ok(ScriptEntry::Fault(FaultWindow {
             kind: FaultKind::LinkBlackout(index(w)?),
             start: num(s)?,
             end: num(e)?,
-        }),
-        ["server-restart", s, e] => Ok(FaultWindow {
+        })),
+        ["server-restart", s, e] => Ok(ScriptEntry::Fault(FaultWindow {
             kind: FaultKind::ServerOutage,
             start: num(s)?,
             end: num(e)?,
-        }),
+        })),
+        ["loss", w, s, e, r] => Ok(ScriptEntry::Loss(LossWindow {
+            link: index(w)?,
+            start: num(s)?,
+            end: num(e)?,
+            rate: num(r)?,
+        })),
         [verb, ..] => Err(format!(
-            "unknown directive `{verb}` (expected offline/blackout/server-restart)"
+            "unknown directive `{verb}` (expected offline/blackout/server-restart/loss)"
         )),
         [] => unreachable!("blank lines filtered by caller"),
     }
@@ -101,6 +127,8 @@ offline 2 140 180   # second dropout
 blackout 1 60 75
 
 server-restart 200 210
+loss 1 100 160 0.3  # interference burst
+loss 3 0 600 0.05
 ";
 
     #[test]
@@ -111,12 +139,35 @@ server-restart 200 210
         assert_eq!(plan.windows()[2].kind, FaultKind::LinkBlackout(1));
         assert_eq!(plan.windows()[3].kind, FaultKind::ServerOutage);
         assert_eq!(plan.windows()[3].start, 200.0);
+        assert_eq!(plan.loss_windows().len(), 2);
+        assert_eq!(
+            plan.loss_windows()[0],
+            LossWindow {
+                link: 1,
+                start: 100.0,
+                end: 160.0,
+                rate: 0.3
+            }
+        );
+        assert_eq!(plan.max_worker(), Some(3), "loss links count");
     }
 
     #[test]
     fn round_trips_through_script_text() {
         let plan = FaultPlan::parse(SCRIPT).expect("valid script");
         let again = FaultPlan::parse(&plan.to_script()).expect("round-trip");
+        assert_eq!(plan, again);
+    }
+
+    #[test]
+    fn loss_only_script_round_trips() {
+        let plan = FaultPlan::new()
+            .link_loss(0, 5.0, 25.0, 0.125)
+            .link_loss(0, 30.0, 45.5, 1.0)
+            .link_loss(2, 0.0, 100.0, 0.01);
+        let text = plan.to_script();
+        assert!(text.contains("loss 0 5 25 0.125\n"), "{text}");
+        let again = FaultPlan::parse(&text).expect("round-trip");
         assert_eq!(plan, again);
     }
 
@@ -130,6 +181,17 @@ server-restart 200 210
         assert!(err.to_string().contains("line 1"), "{err}");
         let err = FaultPlan::parse("offline 1 10").unwrap_err();
         assert!(err.to_string().contains("unknown directive"), "{err}");
+    }
+
+    #[test]
+    fn bad_loss_lines_are_rejected_with_line_numbers() {
+        let err = FaultPlan::parse("loss 1 0 10").unwrap_err();
+        assert!(err.to_string().contains("unknown directive"), "{err}");
+        let err = FaultPlan::parse("loss 1 0 10 1.5").unwrap_err();
+        assert!(err.to_string().contains("out of [0, 1]"), "{err}");
+        let err = FaultPlan::parse("loss 1 0 10 0.2\nloss 1 5 15 0.2").unwrap_err();
+        assert!(err.to_string().contains("line 2"), "{err}");
+        assert!(err.to_string().contains("overlaps"), "{err}");
     }
 
     #[test]

@@ -18,6 +18,8 @@ use std::collections::BTreeMap;
 
 use rog_sim::Time;
 
+use crate::loss::{ChunkFate, LossModel};
+use crate::stats::LossEwma;
 use crate::Trace;
 
 /// Index of a device's link (assigned by the cluster builder).
@@ -116,6 +118,43 @@ pub struct FlowEvent {
     pub outcome: FlowOutcome,
 }
 
+/// Per-flow account of what the loss model did to each delivered
+/// chunk, produced when a flow finishes (completion or deadline cut)
+/// on a channel with a loss model installed.
+///
+/// Fetched once via [`Channel::take_report`]; `fates[i]` is the fate
+/// of the `i`-th *complete* chunk in transmission order. Cancelled
+/// flows produce no report — nothing was acknowledged.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeliveryReport {
+    /// The link the flow ran on.
+    pub link: LinkId,
+    /// Fate of each complete chunk, in transmission order.
+    pub fates: Vec<ChunkFate>,
+    /// Bytes of chunks that never arrived.
+    pub lost_bytes: u64,
+    /// Bytes of chunks that arrived but failed their CRC check.
+    pub corrupt_bytes: u64,
+}
+
+impl DeliveryReport {
+    /// True when every chunk arrived usable.
+    pub fn all_intact(&self) -> bool {
+        self.fates.iter().all(|f| f.intact())
+    }
+
+    /// Whether chunk `i` arrived usable (chunks beyond the report are
+    /// chunks that were never transmitted, reported as not intact).
+    pub fn intact(&self, i: usize) -> bool {
+        self.fates.get(i).is_some_and(|f| f.intact())
+    }
+
+    /// Number of chunks that were lost or corrupt.
+    pub fn bad_chunks(&self) -> usize {
+        self.fates.iter().filter(|f| !f.intact()).count()
+    }
+}
+
 /// An in-flight transfer.
 #[derive(Debug, Clone)]
 pub struct Flow {
@@ -126,6 +165,9 @@ pub struct Flow {
     bytes_done: f64,
     deadline: Option<Time>,
     started_at: Time,
+    /// Fates drawn so far, one per completed chunk (empty when the
+    /// channel has no loss model).
+    fates: Vec<ChunkFate>,
 }
 
 impl Flow {
@@ -162,6 +204,13 @@ pub struct Channel {
     useful_bytes: f64,
     wasted_bytes: f64,
     sharing: SharingMode,
+    loss: Option<LossModel>,
+    reports: BTreeMap<FlowId, DeliveryReport>,
+    lost_bytes: f64,
+    corrupt_bytes: f64,
+    duplicated_bytes: f64,
+    offered_bytes: f64,
+    loss_est: BTreeMap<LinkId, LossEwma>,
 }
 
 const EPS: Time = 1e-9;
@@ -181,6 +230,13 @@ impl Channel {
             useful_bytes: 0.0,
             wasted_bytes: 0.0,
             sharing: SharingMode::default(),
+            loss: None,
+            reports: BTreeMap::new(),
+            lost_bytes: 0.0,
+            corrupt_bytes: 0.0,
+            duplicated_bytes: 0.0,
+            offered_bytes: 0.0,
+            loss_est: BTreeMap::new(),
         }
     }
 
@@ -189,6 +245,27 @@ impl Channel {
     pub fn with_sharing(mut self, sharing: SharingMode) -> Self {
         self.sharing = sharing;
         self
+    }
+
+    /// Installs a packet-loss model (see [`LossModel`]). Builder form
+    /// of [`Channel::set_loss_model`].
+    #[must_use]
+    pub fn with_loss(mut self, model: LossModel) -> Self {
+        self.set_loss_model(Some(model));
+        self
+    }
+
+    /// Installs or removes the packet-loss model. With `None` (the
+    /// default) every chunk is delivered intact and the channel
+    /// behaves byte-identically to a pre-loss-model build.
+    pub fn set_loss_model(&mut self, model: Option<LossModel>) {
+        self.loss = model;
+    }
+
+    /// Whether a loss model is installed (delivery reports are only
+    /// produced when one is).
+    pub fn loss_enabled(&self) -> bool {
+        self.loss.is_some()
     }
 
     /// The active MAC sharing model.
@@ -214,6 +291,66 @@ impl Channel {
     /// Bytes spent on chunks that were cut by a deadline and discarded.
     pub fn wasted_bytes(&self) -> f64 {
         self.wasted_bytes
+    }
+
+    /// Bytes of chunks the loss model dropped in flight.
+    pub fn lost_bytes(&self) -> f64 {
+        self.lost_bytes
+    }
+
+    /// Bytes of chunks that arrived but failed their CRC check.
+    pub fn corrupt_bytes(&self) -> f64 {
+        self.corrupt_bytes
+    }
+
+    /// Bytes delivered more than once (receiver-side dedup absorbs
+    /// them; informational, not part of the conservation identity).
+    pub fn duplicated_bytes(&self) -> f64 {
+        self.duplicated_bytes
+    }
+
+    /// Total bytes of airtime consumed by flows that have terminated
+    /// (completed, deadline-cut, or cancelled). Every offered byte is
+    /// accounted exactly once as useful, wasted, lost, or corrupt —
+    /// see [`Channel::byte_conservation_error`].
+    pub fn offered_bytes(&self) -> f64 {
+        self.offered_bytes
+    }
+
+    /// Absolute error of the byte-conservation identity
+    /// `useful + wasted + lost + corrupt == offered`.
+    ///
+    /// Nonzero only by floating-point rounding and the sub-byte
+    /// completion tolerance; the run-level invariant watchdog asserts
+    /// it stays below ~1 byte per terminated flow.
+    pub fn byte_conservation_error(&self) -> f64 {
+        let accounted =
+            self.useful_bytes + self.wasted_bytes + self.lost_bytes + self.corrupt_bytes;
+        (accounted - self.offered_bytes).abs()
+    }
+
+    /// Fetches (and consumes) the delivery report of a finished flow.
+    ///
+    /// `None` when the channel has no loss model, when the flow was
+    /// cancelled, or when the report was already taken — callers can
+    /// treat `None` as "everything transmitted arrived intact".
+    pub fn take_report(&mut self, id: FlowId) -> Option<DeliveryReport> {
+        self.reports.remove(&id)
+    }
+
+    /// EWMA estimate of the chunk loss+corruption rate on `link`,
+    /// updated from delivery reports ([`LossEwma`]); `0.0` for a link
+    /// with no observations yet.
+    pub fn estimated_loss_rate(&self, link: LinkId) -> f64 {
+        self.loss_est.get(&link).map_or(0.0, |e| e.rate())
+    }
+
+    /// Loss-discounted throughput estimate for ATP's MTA computation:
+    /// [`Channel::estimated_rate`] scaled by the link's estimated
+    /// delivery probability. Identical to `estimated_rate` on a clean
+    /// (or never-observed) link, so loss-free planning is unchanged.
+    pub fn estimated_goodput_rate(&self, link: LinkId) -> f64 {
+        self.estimated_rate(link) * (1.0 - self.estimated_loss_rate(link))
     }
 
     /// Instantaneous un-shared link bandwidth in bit/s (capacity times
@@ -286,6 +423,7 @@ impl Channel {
                 bytes_done: 0.0,
                 deadline: spec.deadline,
                 started_at: self.now,
+                fates: Vec::new(),
             },
         );
         id
@@ -309,6 +447,7 @@ impl Channel {
     pub fn cancel_flow(&mut self, id: FlowId) -> Option<FlowEvent> {
         let f = self.flows.remove(&id)?;
         self.wasted_bytes += f.bytes_done;
+        self.offered_bytes += f.bytes_done;
         Some(FlowEvent {
             id,
             at: self.now,
@@ -316,6 +455,52 @@ impl Channel {
                 bytes_wasted: f.bytes_done.round() as u64,
             },
         })
+    }
+
+    /// Splits the first `chunks_done` chunks of a finished flow into
+    /// useful / lost / corrupt bytes according to their fates, updates
+    /// the link's loss estimator, and files a [`DeliveryReport`].
+    ///
+    /// With no loss model installed this reduces to one addition of
+    /// `prefix[chunks_done]` to `useful_bytes` — the exact arithmetic
+    /// of the pre-loss-model channel, so loss-free runs stay
+    /// byte-identical. The same holds when a model is installed but
+    /// every fate is `Delivered`, because the per-class byte sums are
+    /// integers accumulated in `u64` and added to each counter once.
+    fn settle_chunks(&mut self, id: FlowId, f: &Flow, chunks_done: usize) {
+        if self.loss.is_none() {
+            self.useful_bytes += f.prefix[chunks_done] as f64;
+            return;
+        }
+        debug_assert_eq!(f.fates.len(), chunks_done, "one fate per complete chunk");
+        let (mut useful, mut lost, mut corrupt, mut dup) = (0u64, 0u64, 0u64, 0u64);
+        for i in 0..chunks_done {
+            let size = f.prefix[i + 1] - f.prefix[i];
+            match f.fates[i] {
+                ChunkFate::Delivered | ChunkFate::Reordered => useful += size,
+                ChunkFate::Duplicated => {
+                    useful += size;
+                    dup += size;
+                }
+                ChunkFate::Lost => lost += size,
+                ChunkFate::Corrupt => corrupt += size,
+            }
+        }
+        self.useful_bytes += useful as f64;
+        self.lost_bytes += lost as f64;
+        self.corrupt_bytes += corrupt as f64;
+        self.duplicated_bytes += dup as f64;
+        let report = DeliveryReport {
+            link: f.link,
+            fates: f.fates[..chunks_done].to_vec(),
+            lost_bytes: lost,
+            corrupt_bytes: corrupt,
+        };
+        self.loss_est
+            .entry(f.link)
+            .or_insert_with(|| LossEwma::new(LossEwma::DEFAULT_ALPHA))
+            .observe(report.bad_chunks(), chunks_done);
+        self.reports.insert(id, report);
     }
 
     /// Advances the channel toward `t`, stopping at the first instant at
@@ -404,6 +589,17 @@ impl Channel {
                 }
             }
             self.now = step_to;
+            // Draw loss fates for chunks the fluid model just
+            // completed, in FlowId order (deterministic: single
+            // integration thread, ordered map).
+            if let Some(model) = self.loss.as_mut() {
+                for f in self.flows.values_mut() {
+                    let done = f.chunks_done();
+                    while f.fates.len() < done {
+                        f.fates.push(model.chunk_fate(f.link, step_to));
+                    }
+                }
+            }
             // Collect events at this instant.
             let done_ids: Vec<FlowId> = self
                 .flows
@@ -416,13 +612,16 @@ impl Channel {
             for id in done_ids {
                 let f = self.flows.remove(&id).expect("flow exists");
                 let outcome = if f.remaining() <= BYTE_TOL {
-                    self.useful_bytes += f.total() as f64;
+                    let chunks_done = f.prefix.len() - 1;
+                    self.settle_chunks(id, &f, chunks_done);
+                    self.offered_bytes += f.total() as f64;
                     FlowOutcome::Completed
                 } else {
                     let chunks_done = f.chunks_done();
                     let bytes_done = f.prefix[chunks_done];
-                    self.useful_bytes += bytes_done as f64;
+                    self.settle_chunks(id, &f, chunks_done);
                     self.wasted_bytes += f.bytes_done - bytes_done as f64;
+                    self.offered_bytes += f.bytes_done;
                     FlowOutcome::DeadlineReached {
                         chunks_done,
                         bytes_done,
@@ -699,6 +898,129 @@ mod tests {
         let ev = ch.cancel_flow(id).expect("in flight");
         assert_eq!(ev.outcome, FlowOutcome::Cancelled { bytes_wasted: 0 });
         assert_eq!(ch.wasted_bytes(), 0.0);
+    }
+
+    #[test]
+    fn off_loss_model_is_byte_identical_to_no_model() {
+        use crate::loss::{LossConfig, LossModel};
+        let run = |with_model: bool| {
+            let mut ch = flat_channel(80e6, 2);
+            if with_model {
+                ch.set_loss_model(Some(LossModel::build(&LossConfig::off(), 2, 100.0)));
+            }
+            ch.start_flow(0.0, FlowSpec::new(0, vec![1_000_000; 5]));
+            ch.start_flow(0.0, FlowSpec::new(1, vec![700_000; 3]).with_deadline(0.33));
+            let mut evs = Vec::new();
+            loop {
+                let batch = ch.advance_until(100.0);
+                if batch.is_empty() {
+                    break;
+                }
+                evs.extend(batch);
+            }
+            (evs, ch.useful_bytes(), ch.wasted_bytes())
+        };
+        let (evs_a, useful_a, wasted_a) = run(false);
+        let (evs_b, useful_b, wasted_b) = run(true);
+        assert_eq!(evs_a, evs_b);
+        assert_eq!(useful_a.to_bits(), useful_b.to_bits());
+        assert_eq!(wasted_a.to_bits(), wasted_b.to_bits());
+    }
+
+    #[test]
+    fn lossy_flow_reports_fates_and_accounts_bytes() {
+        use crate::loss::{ChunkFate, LossConfig, LossModel};
+        let mut ch =
+            flat_channel(80e6, 1).with_loss(LossModel::build(&LossConfig::iid(42, 0.4), 1, 100.0));
+        assert!(ch.loss_enabled());
+        let id = ch.start_flow(0.0, FlowSpec::new(0, vec![100_000; 50]));
+        let evs = ch.advance_until(100.0);
+        assert_eq!(evs.len(), 1);
+        // The fluid completion is unchanged: loss costs airtime on the
+        // receiver side (drops), not transmission time.
+        assert_eq!(evs[0].outcome, FlowOutcome::Completed);
+        let rep = ch.take_report(id).expect("report for finished flow");
+        assert_eq!(rep.fates.len(), 50);
+        assert_eq!(rep.link, 0);
+        let lost = rep.fates.iter().filter(|f| **f == ChunkFate::Lost).count();
+        assert!(lost > 5, "expect some losses at 40%: {lost}");
+        assert!(!rep.all_intact());
+        assert_eq!(rep.lost_bytes, lost as u64 * 100_000);
+        assert_eq!(ch.lost_bytes(), rep.lost_bytes as f64);
+        assert_eq!(
+            ch.useful_bytes() + ch.lost_bytes() + ch.corrupt_bytes(),
+            5_000_000.0
+        );
+        assert!(ch.byte_conservation_error() < 1.0);
+        // Taking twice yields nothing.
+        assert!(ch.take_report(id).is_none());
+        // EWMA estimator saw the round.
+        let est = ch.estimated_loss_rate(0);
+        assert!((est - lost as f64 / 50.0).abs() < 1e-12);
+        assert!(ch.estimated_goodput_rate(0) < ch.estimated_rate(0));
+        assert_eq!(ch.estimated_loss_rate(9), 0.0, "unobserved link clean");
+    }
+
+    #[test]
+    fn deadline_cut_with_loss_conserves_bytes() {
+        use crate::loss::{LossConfig, LossModel};
+        let mut ch =
+            flat_channel(80e6, 1).with_loss(LossModel::build(&LossConfig::iid(7, 0.3), 1, 100.0));
+        // 10 MB/s, deadline at 0.55 s → ~5.5 MB offered.
+        let id = ch.start_flow(
+            0.0,
+            FlowSpec::new(0, vec![1_000_000; 10]).with_deadline(0.55),
+        );
+        let evs = ch.advance_until(100.0);
+        assert!(matches!(
+            evs[0].outcome,
+            FlowOutcome::DeadlineReached { chunks_done: 5, .. }
+        ));
+        let rep = ch.take_report(id).expect("report");
+        assert_eq!(rep.fates.len(), 5, "only complete chunks get fates");
+        assert!(ch.byte_conservation_error() < 1.0);
+        assert!((ch.offered_bytes() - 5_500_000.0).abs() < 1_000.0);
+    }
+
+    #[test]
+    fn cancelled_flow_produces_no_report_but_conserves_bytes() {
+        use crate::loss::{LossConfig, LossModel};
+        let mut ch =
+            flat_channel(80e6, 1).with_loss(LossModel::build(&LossConfig::iid(3, 0.5), 1, 100.0));
+        let id = ch.start_flow(0.0, FlowSpec::new(0, vec![1_000_000; 4]));
+        assert!(ch.advance_until(0.15).is_empty());
+        ch.cancel_flow(id).expect("in flight");
+        assert!(ch.take_report(id).is_none());
+        assert!(ch.byte_conservation_error() < 1.0);
+        assert!((ch.offered_bytes() - 1_500_000.0).abs() < 1_000.0);
+    }
+
+    #[test]
+    fn lossy_runs_are_deterministic() {
+        use crate::loss::{LossConfig, LossModel};
+        let cfg = LossConfig {
+            seed: 11,
+            iid_loss: 0.15,
+            corrupt: 0.05,
+            duplicate: 0.05,
+            reorder: 0.05,
+            ge: Some(crate::loss::GeParams::bursty(0.1)),
+        };
+        let run = || {
+            let mut ch = flat_channel(80e6, 2).with_loss(LossModel::build(&cfg, 2, 100.0));
+            let a = ch.start_flow(0.0, FlowSpec::new(0, vec![200_000; 20]));
+            let b = ch.start_flow(0.0, FlowSpec::new(1, vec![300_000; 10]));
+            while !ch.advance_until(100.0).is_empty() {}
+            (
+                ch.take_report(a),
+                ch.take_report(b),
+                ch.useful_bytes().to_bits(),
+                ch.lost_bytes().to_bits(),
+                ch.corrupt_bytes().to_bits(),
+                ch.duplicated_bytes().to_bits(),
+            )
+        };
+        assert_eq!(run(), run());
     }
 
     #[test]

@@ -25,7 +25,17 @@
 //!   discarded.
 //! * [`wire`] — framing constants (start/end markers, per-row headers)
 //!   charged to every transmission, reproducing the management overhead
-//!   the paper discusses in Sec. III-A.
+//!   the paper discusses in Sec. III-A — plus the concrete CRC32-
+//!   checksummed, sequence-numbered frame codec used on lossy links.
+//! * [`loss`] — a seeded, deterministic packet-loss model
+//!   (Gilbert–Elliott burst loss + i.i.d. loss / corruption /
+//!   duplication / reordering) applied per chunk inside
+//!   [`Channel::advance_until`]; finished flows yield a
+//!   [`DeliveryReport`] of per-chunk fates.
+//! * [`reliability`] — the two delivery classes built on top: reliable
+//!   (ack + backoff retransmit + dedup, for control and model-resync
+//!   traffic) and best-effort (detect-and-drop, for gradient rows that
+//!   RSP's staleness gate can absorb).
 //!
 //! # Example
 //!
@@ -47,11 +57,19 @@
 mod channel;
 pub mod fit;
 pub mod io;
+pub mod loss;
 mod profile;
+pub mod reliability;
 pub mod stats;
 mod trace;
 pub mod wire;
 
-pub use channel::{Channel, Flow, FlowEvent, FlowId, FlowOutcome, FlowSpec, LinkId, SharingMode};
+pub use channel::{
+    Channel, DeliveryReport, Flow, FlowEvent, FlowId, FlowOutcome, FlowSpec, LinkId, SharingMode,
+};
+pub use loss::{ChunkFate, GeParams, LossConfig, LossModel};
 pub use profile::{ChannelProfile, DistanceProfile, FadeProfile};
+pub use reliability::{
+    BackoffPolicy, DeliveryClass, ReliableProgress, ReliableTransfer, ReorderBuffer, SeqWindow,
+};
 pub use trace::Trace;

@@ -67,6 +67,56 @@ pub fn coefficient_of_variation(trace: &Trace) -> f64 {
     var.sqrt() / mean
 }
 
+/// Per-link loss-rate estimator: an exponentially weighted moving
+/// average over delivery reports.
+///
+/// `Channel` feeds it one observation per finished flow (bad chunks /
+/// total chunks); ATP's MTA computation can then discount a link's
+/// [`crate::Channel::estimated_rate`] by the estimated loss to get an
+/// expected *goodput* (see `Channel::estimated_goodput_rate`). The
+/// first observation seeds the average directly so a link does not
+/// have to "warm up" from a fictitious zero.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LossEwma {
+    alpha: f64,
+    rate: Option<f64>,
+}
+
+impl LossEwma {
+    /// Smoothing factor used by the channel's per-link estimators.
+    pub const DEFAULT_ALPHA: f64 = 0.2;
+
+    /// Creates an estimator with smoothing factor `alpha` in `(0, 1]`.
+    pub fn new(alpha: f64) -> Self {
+        assert!(alpha > 0.0 && alpha <= 1.0, "alpha out of range: {alpha}");
+        Self { alpha, rate: None }
+    }
+
+    /// Records one delivery report: `bad` of `total` chunks were lost
+    /// or corrupt. Reports with no chunks are ignored.
+    pub fn observe(&mut self, bad: usize, total: usize) {
+        if total == 0 {
+            return;
+        }
+        let sample = bad as f64 / total as f64;
+        self.rate = Some(match self.rate {
+            None => sample,
+            Some(r) => r + self.alpha * (sample - r),
+        });
+    }
+
+    /// Current loss-rate estimate in `[0, 1]`; `0.0` before any
+    /// observation (an unobserved link is assumed clean).
+    pub fn rate(&self) -> f64 {
+        self.rate.unwrap_or(0.0)
+    }
+
+    /// True once at least one report has been folded in.
+    pub fn observed(&self) -> bool {
+        self.rate.is_some()
+    }
+}
+
 /// Summary row used by the Fig. 3 experiment binary.
 #[derive(Debug, Clone, PartialEq)]
 pub struct TraceSummary {
@@ -138,6 +188,28 @@ mod tests {
         let t = Trace::from_samples(0.1, vec![100.0, 100.0, 100.0, 1.0]);
         // mean = 75.25, threshold 7.525 → one sample below.
         assert!((fraction_below(&t, 0.1) - 0.25).abs() < 1e-9);
+    }
+
+    #[test]
+    fn loss_ewma_tracks_observations() {
+        let mut e = LossEwma::new(0.5);
+        assert_eq!(e.rate(), 0.0);
+        assert!(!e.observed());
+        e.observe(0, 0); // no chunks: ignored
+        assert!(!e.observed());
+        e.observe(2, 10); // seeds at 0.2
+        assert!((e.rate() - 0.2).abs() < 1e-12);
+        e.observe(10, 10); // 0.2 + 0.5·(1.0 − 0.2) = 0.6
+        assert!((e.rate() - 0.6).abs() < 1e-12);
+        e.observe(0, 10); // decays toward zero, never below it
+        assert!((e.rate() - 0.3).abs() < 1e-12);
+        assert!(e.observed());
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha out of range")]
+    fn loss_ewma_rejects_bad_alpha() {
+        let _ = LossEwma::new(0.0);
     }
 
     #[test]

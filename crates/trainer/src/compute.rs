@@ -182,9 +182,9 @@ pub fn prefetch_draws<'m>(
     let mut due: Vec<usize> = ctx
         .queue
         .iter()
-        .map(|(_, ev)| {
-            let Ev::ComputeDone(w) = *ev;
-            w
+        .filter_map(|(_, ev)| match *ev {
+            Ev::ComputeDone(w) => Some(w),
+            Ev::NetRetry(_) => None,
         })
         .collect();
     due.sort_unstable();

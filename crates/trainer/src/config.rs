@@ -1,7 +1,7 @@
 //! Experiment configuration.
 
 use rog_fault::{ChurnProfile, FaultPlan};
-use rog_net::{ChannelProfile, SharingMode, Trace};
+use rog_net::{ChannelProfile, LossConfig, LossModel, SharingMode, Trace};
 
 /// Which workload to train (paper Sec. VI, "Experiment Scenarios").
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -167,6 +167,11 @@ pub struct ExperimentConfig {
     /// the default [`ChurnProfile`]) when no explicit `fault_plan` is
     /// given. Ignored if `fault_plan` is set.
     pub fault_seed: Option<u64>,
+    /// Packet-loss model for the wireless channel (Gilbert–Elliott
+    /// burst loss, i.i.d. loss/corruption/duplication/reordering; see
+    /// [`LossConfig`]). `None` — and an all-zero config — leave every
+    /// chunk intact and are bit-identical to a loss-free build.
+    pub loss: Option<LossConfig>,
 }
 
 impl Default for ExperimentConfig {
@@ -195,6 +200,7 @@ impl Default for ExperimentConfig {
             link_traces: None,
             fault_plan: None,
             fault_seed: None,
+            loss: None,
         }
     }
 }
@@ -205,7 +211,7 @@ impl ExperimentConfig {
         let faulty = self.fault_plan.as_ref().is_some_and(|p| !p.is_empty())
             || (self.fault_plan.is_none() && self.fault_seed.is_some());
         format!(
-            "{}{}{} / {} / {}",
+            "{}{}{}{} / {} / {}",
             self.strategy.name(),
             match (self.pipeline, self.auto_threshold) {
                 (true, true) => "+pipe+auto",
@@ -214,6 +220,7 @@ impl ExperimentConfig {
                 (false, false) => "",
             },
             if faulty { "+faults" } else { "" },
+            if self.loss_active() { "+loss" } else { "" },
             match self.workload {
                 WorkloadKind::Cruda => "cruda",
                 WorkloadKind::CrudaConv => "cruda-conv",
@@ -221,6 +228,35 @@ impl ExperimentConfig {
             },
             self.environment.name()
         )
+    }
+
+    /// True when this run can actually lose, corrupt, duplicate, or
+    /// reorder chunks: a non-off [`LossConfig`], or scripted loss
+    /// windows in the fault plan.
+    pub fn loss_active(&self) -> bool {
+        self.loss.as_ref().is_some_and(|l| !l.is_off())
+            || self
+                .fault_plan
+                .as_ref()
+                .is_some_and(|p| p.loss_windows().iter().any(|w| w.rate > 0.0))
+    }
+
+    /// Builds the channel's [`LossModel`] for this run, folding the
+    /// fault plan's scripted loss windows into it. `None` when nothing
+    /// can harm a chunk — the engines then leave the channel exactly as
+    /// a pre-loss-model build would, preserving byte-identity.
+    pub fn resolved_loss_model(&self, plan: Option<&FaultPlan>) -> Option<LossModel> {
+        if !self.loss_active() {
+            return None;
+        }
+        let cfg = self.loss.clone().unwrap_or_else(LossConfig::off);
+        let mut model = LossModel::build(&cfg, self.n_workers, self.duration_secs);
+        if let Some(plan) = plan {
+            for w in plan.loss_windows() {
+                model.add_window(w.link, w.start, w.end, w.rate);
+            }
+        }
+        Some(model)
     }
 
     /// The fault plan this run executes: the explicit plan when set,
@@ -341,6 +377,42 @@ mod tests {
                 .len(),
             1
         );
+    }
+
+    #[test]
+    fn loss_naming_and_resolution() {
+        let plain = ExperimentConfig::default();
+        assert!(!plain.name().contains("+loss"));
+        assert!(!plain.loss_active());
+        assert!(plain.resolved_loss_model(None).is_none());
+
+        // An all-zero config is explicitly inert.
+        let off = ExperimentConfig {
+            loss: Some(LossConfig::off()),
+            ..ExperimentConfig::default()
+        };
+        assert!(!off.name().contains("+loss"));
+        assert!(off.resolved_loss_model(None).is_none());
+
+        let lossy = ExperimentConfig {
+            loss: Some(LossConfig::gilbert_elliott(9, 0.1)),
+            ..ExperimentConfig::default()
+        };
+        assert!(lossy.name().contains("+loss"));
+        assert!(lossy.resolved_loss_model(None).is_some());
+
+        // Scripted loss windows activate the model even with no config.
+        let windows = ExperimentConfig {
+            fault_plan: Some(FaultPlan::new().link_loss(1, 10.0, 20.0, 0.4)),
+            ..ExperimentConfig::default()
+        };
+        assert!(windows.name().contains("+faults"));
+        assert!(windows.name().contains("+loss"));
+        let model = windows
+            .resolved_loss_model(windows.resolved_fault_plan().as_ref())
+            .expect("windows force a model");
+        assert_eq!(model.loss_prob(1, 15.0), 0.4);
+        assert_eq!(model.loss_prob(1, 25.0), 0.0);
     }
 
     #[test]

@@ -8,13 +8,17 @@ use rog_tensor::rng::DetRng;
 use crate::cluster::{Cluster, DeviceKind};
 use crate::compute::{run_job, run_job_into, ComputePlane, DrawJob};
 use crate::config::ExperimentConfig;
-use crate::metrics::{MetricsCollector, RunMetrics};
+use crate::metrics::{ByteAccount, MetricsCollector, RunMetrics};
 
 /// Queue events (flow events come from the channel directly).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Ev {
     /// A worker finished computing gradients for its current iteration.
     ComputeDone(usize),
+    /// A reliable-class retransmit backoff expired for a worker: the
+    /// engine should resend whatever chunks are still outstanding on
+    /// that worker's transfer.
+    NetRetry(usize),
 }
 
 /// Substrate shared by both engines.
@@ -54,7 +58,7 @@ pub struct EngineCtx {
 impl EngineCtx {
     /// Builds the substrate for a config.
     pub fn new(cfg: &ExperimentConfig) -> Self {
-        let cluster = Cluster::build(cfg);
+        let mut cluster = Cluster::build(cfg);
         let root = DetRng::new(cfg.seed);
         let n = cfg.n_workers;
         let collector = MetricsCollector::new(
@@ -63,7 +67,11 @@ impl EngineCtx {
             cluster.workload.metric_higher_better(),
             n,
         );
-        let faults = match cfg.resolved_fault_plan() {
+        let plan = cfg.resolved_fault_plan();
+        if let Some(model) = cfg.resolved_loss_model(plan.as_ref()) {
+            cluster.channel.set_loss_model(Some(model));
+        }
+        let faults = match plan {
             Some(plan) => {
                 if let Some(max_w) = plan.max_worker() {
                     assert!(
@@ -237,16 +245,25 @@ impl EngineCtx {
             .iter()
             .map(|d| d.kind == DeviceKind::Robot)
             .collect();
-        let useful = self.cluster.channel.useful_bytes();
-        let wasted = self.cluster.channel.wasted_bytes();
-        self.collector.finish(
-            &self.timelines,
-            &robot_mask,
-            duration,
-            useful,
-            wasted,
-            divergence,
-        )
+        let bytes = ByteAccount {
+            useful: self.cluster.channel.useful_bytes(),
+            wasted: self.cluster.channel.wasted_bytes(),
+            lost: self.cluster.channel.lost_bytes(),
+            corrupt: self.cluster.channel.corrupt_bytes(),
+        };
+        #[cfg(debug_assertions)]
+        {
+            // Invariant watchdog: every offered byte must be classified as
+            // exactly one of useful / wasted / lost / corrupt.
+            let err = self.cluster.channel.byte_conservation_error();
+            let offered = self.cluster.channel.offered_bytes().abs();
+            assert!(
+                err <= 1e-6 * offered.max(1.0),
+                "byte conservation violated: residual {err} of {offered} offered"
+            );
+        }
+        self.collector
+            .finish(&self.timelines, &robot_mask, duration, bytes, divergence)
     }
 }
 

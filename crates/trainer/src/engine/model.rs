@@ -14,7 +14,9 @@ use rog_compress::ErrorFeedback;
 use rog_core::{RowId, RowPartition};
 use rog_fault::FaultEvent;
 use rog_models::{GradSet, Mlp};
-use rog_net::{FlowEvent, FlowId, FlowOutcome, FlowSpec};
+use rog_net::{
+    BackoffPolicy, FlowEvent, FlowId, FlowOutcome, FlowSpec, ReliableProgress, ReliableTransfer,
+};
 use rog_sim::{DeviceState, Time};
 use rog_sync::{gate, FixedThreshold, FlownPolicy, ThresholdPolicy, VersionVector, WorkerNetStats};
 use rog_tensor::{ops, Matrix};
@@ -22,6 +24,7 @@ use rog_tensor::{ops, Matrix};
 use crate::compute::{self, PendingDraw};
 use crate::config::{ExperimentConfig, Strategy};
 use crate::engine::common::{EngineCtx, Ev};
+use crate::engine::row::segment_chunks;
 use crate::metrics::RunMetrics;
 
 struct WState {
@@ -93,6 +96,18 @@ struct ModelEngine {
     /// Outstanding `ComputeDone` timers of departed workers, swallowed
     /// on arrival.
     stale_timers: Vec<u32>,
+    /// Reliable-class retransmit state per worker (loss model only).
+    /// Every model-granularity transfer is reliable: the baselines have
+    /// no row granularity to degrade to, so a lost chunk must be resent
+    /// before the worker can move — which is exactly why they stall
+    /// under loss where ROG keeps training.
+    retx: Vec<Option<ReliableTransfer>>,
+    /// Flow context parked while its retransmit backoff runs.
+    retry_ctx: Vec<Option<FlowCtx>>,
+    /// Whether a `NetRetry` timer is queued per worker.
+    retry_armed: Vec<bool>,
+    /// Queued `NetRetry` timers voided by a fault, swallowed on arrival.
+    stale_retries: Vec<u32>,
 }
 
 /// Runs one model-granularity experiment.
@@ -153,6 +168,10 @@ pub fn run(cfg: &ExperimentConfig) -> RunMetrics {
         partition,
         model_wire_bytes,
         stale_timers: vec![0; n],
+        retx: (0..n).map(|_| None).collect(),
+        retry_ctx: (0..n).map(|_| None).collect(),
+        retry_armed: vec![false; n],
+        stale_retries: vec![0; n],
     };
     engine.refresh_thresholds();
     engine.event_loop();
@@ -205,6 +224,7 @@ impl ModelEngine {
             compute::prefetch_draws(&mut self.ctx, &mut self.pending, |w| &self.workers[w].model);
             match self.ctx.queue.pop() {
                 Some((t, Ev::ComputeDone(w))) => self.on_compute_done(w, t),
+                Some((t, Ev::NetRetry(w))) => self.on_net_retry(w, t),
                 None => {
                     // No timers and no flow finished before the horizon:
                     // if flows are in flight the next loop advances them;
@@ -253,12 +273,76 @@ impl ModelEngine {
         }
         self.workers[w].push_started = now;
         self.ctx.set_state(w, now, DeviceState::Communicate);
+        let chunks = self.transport_chunks(w);
         let id = self
             .ctx
             .cluster
             .channel
-            .start_flow(now, FlowSpec::new(w, vec![self.model_wire_bytes]));
+            .start_flow(now, FlowSpec::new(w, chunks));
         self.flows.insert(id, FlowCtx::Push(w));
+    }
+
+    /// Chunks a whole-model transfer for the reliable transport. With a
+    /// loss model installed the payload is segmented and tracked by a
+    /// fresh [`ReliableTransfer`]; without one, the pre-loss
+    /// single-chunk flow is byte-identical.
+    fn transport_chunks(&mut self, w: usize) -> Vec<u64> {
+        if self.ctx.cluster.channel.loss_enabled() {
+            let chunks = segment_chunks(self.model_wire_bytes);
+            self.void_retry(w);
+            self.retx[w] = Some(ReliableTransfer::new(
+                chunks.clone(),
+                BackoffPolicy::default(),
+            ));
+            chunks
+        } else {
+            vec![self.model_wire_bytes]
+        }
+    }
+
+    /// Arms the backoff timer for a worker's reliable retransmit.
+    fn schedule_retry(&mut self, w: usize, at: Time) {
+        self.ctx.queue.push(at, Ev::NetRetry(w));
+        self.retry_armed[w] = true;
+    }
+
+    /// Voids a queued backoff timer (it is swallowed on arrival).
+    fn void_retry(&mut self, w: usize) {
+        if self.retry_armed[w] {
+            self.stale_retries[w] += 1;
+            self.retry_armed[w] = false;
+        }
+    }
+
+    /// Abandons a worker's reliable transfer (fault site), returning the
+    /// parked flow context if its backoff was running.
+    fn clear_retx(&mut self, w: usize) -> Option<FlowCtx> {
+        self.void_retry(w);
+        self.retx[w] = None;
+        self.retry_ctx[w].take()
+    }
+
+    /// A reliable-class backoff expired: resend the outstanding chunks.
+    fn on_net_retry(&mut self, w: usize, now: Time) {
+        if self.stale_retries[w] > 0 {
+            self.stale_retries[w] -= 1;
+            return;
+        }
+        self.retry_armed[w] = false;
+        let Some(ctx) = self.retry_ctx[w].take() else {
+            return;
+        };
+        let chunks = self.retx[w]
+            .as_ref()
+            .expect("parked retry implies transfer state")
+            .pending_chunks();
+        self.ctx.set_state(w, now, DeviceState::Communicate);
+        let id = self
+            .ctx
+            .cluster
+            .channel
+            .start_flow(now, FlowSpec::new(w, chunks));
+        self.flows.insert(id, ctx);
     }
 
     fn on_flow(&mut self, ev: FlowEvent) {
@@ -267,6 +351,25 @@ impl ModelEngine {
             matches!(ev.outcome, FlowOutcome::Completed),
             "model flows have no deadline and cancels are reaped early"
         );
+        let w = ctx.worker();
+        let report = self.ctx.cluster.channel.take_report(ev.id);
+        if let Some(retx) = self.retx[w].as_mut() {
+            let transmitted = retx.pending_count();
+            let fates = report.as_ref().map(|r| r.fates.as_slice());
+            match retx.on_round(fates, transmitted) {
+                ReliableProgress::Done => self.retx[w] = None,
+                ReliableProgress::Retry { delay } => {
+                    // Chunks died in flight: the whole transfer blocks on
+                    // the backed-off retransmit (reliable-only transport
+                    // has nothing to degrade to), stalling this worker —
+                    // and through the gate, eventually everyone.
+                    self.retry_ctx[w] = Some(ctx);
+                    self.ctx.set_state(w, ev.at, DeviceState::Stall);
+                    self.schedule_retry(w, ev.at + delay);
+                    return;
+                }
+            }
+        }
         match ctx {
             FlowCtx::Push(w) => self.on_push_done(w, ev.at),
             FlowCtx::Pull(w, payload) => self.on_pull_done(w, payload, ev.at),
@@ -336,11 +439,12 @@ impl ModelEngine {
         );
         let payload = quantize_set(&self.partition, &mut self.server.efs[w], &pending);
         self.ctx.set_state(w, now, DeviceState::Communicate);
+        let chunks = self.transport_chunks(w);
         let id = self
             .ctx
             .cluster
             .channel
-            .start_flow(now, FlowSpec::new(w, vec![self.model_wire_bytes]));
+            .start_flow(now, FlowSpec::new(w, chunks));
         self.flows.insert(id, FlowCtx::Pull(w, payload));
     }
 
@@ -435,6 +539,8 @@ impl ModelEngine {
         // membership, so the departed worker pins the BSP/SSP gate until
         // it rejoins (the fragility ROG's membership protocol removes).
         self.cancel_flows_of(w);
+        // A transfer parked in retransmit backoff dies with the device.
+        self.clear_retx(w);
         self.server.waiting.retain(|&x| x != w);
         if self.workers[w].computing {
             self.stale_timers[w] += 1;
@@ -459,11 +565,12 @@ impl ModelEngine {
 
     fn begin_resync(&mut self, w: usize, now: Time) {
         self.ctx.set_state(w, now, DeviceState::Communicate);
+        let chunks = self.transport_chunks(w);
         let id = self
             .ctx
             .cluster
             .channel
-            .start_flow(now, FlowSpec::new(w, vec![self.model_wire_bytes]));
+            .start_flow(now, FlowSpec::new(w, chunks));
         self.flows.insert(id, FlowCtx::Resync(w));
     }
 
@@ -522,6 +629,11 @@ impl ModelEngine {
         for ctx in self.cancel_flows_of(w) {
             self.suspend_ctx(ctx);
         }
+        // A transfer in retransmit backoff has no flow to cancel; park
+        // its context as a resume (retransmit-from-scratch on recovery).
+        if let Some(ctx) = self.clear_retx(w) {
+            self.suspend_ctx(ctx);
+        }
         if !self.ctx.offline[w] && !self.workers[w].done && !self.workers[w].computing {
             self.ctx.set_state(w, now, DeviceState::Stall);
         }
@@ -553,6 +665,11 @@ impl ModelEngine {
                 self.ctx.set_state(w, now, DeviceState::Stall);
             }
         }
+        for w in 0..self.workers.len() {
+            if let Some(ctx) = self.clear_retx(w) {
+                self.suspend_ctx(ctx);
+            }
+        }
     }
 
     fn on_server_up(&mut self, now: Time) {
@@ -580,11 +697,12 @@ impl ModelEngine {
             Some(MResume::Push) => self.start_push(w, now),
             Some(MResume::Pull(payload)) => {
                 self.ctx.set_state(w, now, DeviceState::Communicate);
+                let chunks = self.transport_chunks(w);
                 let id = self
                     .ctx
                     .cluster
                     .channel
-                    .start_flow(now, FlowSpec::new(w, vec![self.model_wire_bytes]));
+                    .start_flow(now, FlowSpec::new(w, chunks));
                 self.flows.insert(id, FlowCtx::Pull(w, payload));
             }
             Some(MResume::Resync) => self.begin_resync(w, now),

@@ -15,7 +15,9 @@ use std::collections::BTreeMap;
 
 use rog_core::{mta, MtaTimeTracker, RogServer, RogWorker, RogWorkerConfig, RowId};
 use rog_fault::FaultEvent;
-use rog_net::{FlowEvent, FlowId, FlowOutcome, FlowSpec};
+use rog_net::{
+    BackoffPolicy, FlowEvent, FlowId, FlowOutcome, FlowSpec, ReliableProgress, ReliableTransfer,
+};
 use rog_sim::{DeviceState, Time};
 
 use crate::compute::{self, PendingDraw};
@@ -38,6 +40,19 @@ struct WState {
     pull_started: Time,
     pull_delivered: usize,
     pull_target: usize,
+    /// Rows of the current push cycle that actually arrived intact
+    /// (loss model installed only; gradient rows are best-effort, so a
+    /// lost row is simply not committed and ages toward the RSP bound).
+    push_intact: Vec<RowId>,
+    /// Length of the RSP-mandatory prefix of `push_plan`. Mandatory rows
+    /// are the gate's contract — a worker at the staleness bound blocks
+    /// every peer's pull — so unlike the best-effort bulk they are
+    /// retransmitted within the cycle until they land.
+    push_mandatory: usize,
+    /// Mandatory rows lost in flight, currently being retransmitted.
+    push_retry: Vec<RowId>,
+    /// Rows of the current pull cycle that arrived intact (ditto).
+    pull_intact: Vec<RowId>,
     /// Currently running a gradient computation.
     computing: bool,
     /// A push/pull cycle is in flight (pipeline mode).
@@ -73,6 +88,10 @@ enum FlowCtx {
         w: usize,
         cont: bool,
     },
+    /// In-cycle retransmit of mandatory push rows the loss model ate.
+    PushRetry {
+        w: usize,
+    },
     Pull {
         w: usize,
         cont: bool,
@@ -86,9 +105,30 @@ enum FlowCtx {
 impl FlowCtx {
     fn worker(self) -> usize {
         match self {
-            FlowCtx::Push { w, .. } | FlowCtx::Pull { w, .. } | FlowCtx::Resync { w } => w,
+            FlowCtx::Push { w, .. }
+            | FlowCtx::PushRetry { w }
+            | FlowCtx::Pull { w, .. }
+            | FlowCtx::Resync { w } => w,
         }
     }
+}
+
+/// Segment size for reliable-class transfers under a loss model: a lost
+/// chunk costs one segment's retransmit, not the whole payload.
+const RELIABLE_SEGMENT_BYTES: u64 = 64 * 1024;
+
+/// Splits a payload into `RELIABLE_SEGMENT_BYTES` chunks (last one
+/// short). Chunk boundaries never change a no-deadline flow's fluid
+/// completion time, only loss granularity.
+pub(crate) fn segment_chunks(total: u64) -> Vec<u64> {
+    let mut out = Vec::new();
+    let mut left = total;
+    while left > RELIABLE_SEGMENT_BYTES {
+        out.push(RELIABLE_SEGMENT_BYTES);
+        left -= RELIABLE_SEGMENT_BYTES;
+    }
+    out.push(left);
+    out
 }
 
 struct RowEngine {
@@ -108,6 +148,17 @@ struct RowEngine {
     stale_timers: Vec<u32>,
     /// Compressed whole-model wire size, for rejoin resync transfers.
     model_wire_bytes: u64,
+    /// Reliable-class resync retransmit state, one slot per worker
+    /// (populated only while a loss model is installed).
+    retx: Vec<Option<ReliableTransfer>>,
+    /// Whether a `NetRetry` backoff timer is queued for a worker.
+    retry_armed: Vec<bool>,
+    /// Queued `NetRetry` timers voided by a fault, swallowed on arrival.
+    stale_retries: Vec<u32>,
+    /// Invariant watchdog: the last observed min(V), which may never
+    /// regress.
+    #[cfg(debug_assertions)]
+    last_global_min: u64,
     threshold: u32,
     /// Overlap communication and computation (paper future work).
     pipeline: bool,
@@ -184,6 +235,10 @@ pub fn run(cfg: &ExperimentConfig) -> RunMetrics {
             pull_started: 0.0,
             pull_delivered: 0,
             pull_target: 0,
+            push_intact: Vec::new(),
+            push_mandatory: 0,
+            push_retry: Vec::new(),
+            pull_intact: Vec::new(),
             computing: false,
             comm_busy: false,
             comm_iter: 0,
@@ -210,6 +265,11 @@ pub fn run(cfg: &ExperimentConfig) -> RunMetrics {
         last_pushed: vec![0; n],
         stale_timers: vec![0; n],
         model_wire_bytes,
+        retx: (0..n).map(|_| None).collect(),
+        retry_armed: vec![false; n],
+        stale_retries: vec![0; n],
+        #[cfg(debug_assertions)]
+        last_global_min: 0,
         threshold,
         pipeline: cfg.pipeline,
         auto: cfg.auto_threshold.then(|| AutoThreshold::new(threshold)),
@@ -275,6 +335,7 @@ impl RowEngine {
             compute::prefetch_draws(&mut self.ctx, &mut self.pending, |w| &self.workers[w].model);
             match self.ctx.queue.pop() {
                 Some((t, Ev::ComputeDone(w))) => self.on_compute_done(w, t),
+                Some((t, Ev::NetRetry(w))) => self.on_net_retry(w, t),
                 None => {
                     if self.ctx.cluster.channel.active_flows() == 0
                         && self.ctx.next_fault_time().is_none()
@@ -393,9 +454,12 @@ impl RowEngine {
         let mta_rows = mta::mta_rows(n_rows, self.threshold);
         ws.mta_rows = mta_rows;
         ws.push_target = mta_rows.max(mandatory).min(n_rows);
+        ws.push_mandatory = mandatory.min(n_rows);
         ws.push_plan = plan;
         ws.push_started = now;
         ws.push_delivered = 0;
+        ws.push_intact.clear();
+        ws.push_retry.clear();
         let budget = self.tracker.get();
         let chunks = {
             let ws = &self.workers[w];
@@ -414,15 +478,43 @@ impl RowEngine {
         let ctx = self.flows.remove(&ev.id).expect("unknown flow");
         match ctx {
             FlowCtx::Push { w, cont } => self.on_push_flow(w, cont, ev),
+            FlowCtx::PushRetry { w } => self.on_push_retry_flow(w, ev),
             FlowCtx::Pull { w, cont } => self.on_pull_flow(w, cont, ev),
             FlowCtx::Resync { w } => {
                 debug_assert!(
                     matches!(ev.outcome, FlowOutcome::Completed),
                     "resync flows have no deadline"
                 );
-                self.finish_resync(w, ev.at);
+                self.on_resync_flow(w, ev);
             }
         }
+    }
+
+    /// Collects the rows of a finished push/pull flow round that arrived
+    /// intact. Without a loss model there is no report and every
+    /// transmitted row counts (the pre-loss fast path stays untouched).
+    fn collect_intact(
+        &mut self,
+        ev: &FlowEvent,
+        base: usize,
+        delivered_now: usize,
+        pull: bool,
+        w: usize,
+    ) {
+        let Some(report) = self.ctx.cluster.channel.take_report(ev.id) else {
+            return;
+        };
+        let ws = &mut self.workers[w];
+        let (plan, intact) = if pull {
+            (&ws.pull_plan, &mut ws.pull_intact)
+        } else {
+            (&ws.push_plan, &mut ws.push_intact)
+        };
+        intact.extend(
+            (0..delivered_now)
+                .filter(|&i| report.intact(i))
+                .map(|i| plan[base + i]),
+        );
     }
 
     fn on_push_flow(&mut self, w: usize, cont: bool, ev: FlowEvent) {
@@ -440,6 +532,8 @@ impl RowEngine {
                 unreachable!("cancelled flows are reaped at the fault site")
             }
         };
+        let base = self.workers[w].push_delivered;
+        self.collect_intact(&ev, base, delivered_now, false, w);
         let ws = &mut self.workers[w];
         ws.push_delivered += delivered_now;
         if !cont && ws.push_delivered < ws.push_target {
@@ -458,7 +552,68 @@ impl RowEngine {
             self.flows.insert(id, FlowCtx::Push { w, cont: true });
             return;
         }
+        self.maybe_finish_push(w, now);
+    }
+
+    /// Ends the push cycle — unless mandatory rows were lost in flight,
+    /// in which case they retransmit first. Best-effort applies to the
+    /// bulk of the gradient rows only: a mandatory row sits at the RSP
+    /// staleness bound, and dropping it would stall every peer at the
+    /// gate until this worker's *next* push, so the transport keeps
+    /// resending it until it lands (progress is guaranteed: per-chunk
+    /// loss probability is capped below 1).
+    fn maybe_finish_push(&mut self, w: usize, now: Time) {
+        if self.ctx.cluster.channel.loss_enabled() {
+            let missing = self.missing_mandatory(w);
+            if !missing.is_empty() {
+                let chunks = {
+                    let ws = &self.workers[w];
+                    self.scaled_chunks(ws, &missing)
+                };
+                self.workers[w].push_retry = missing;
+                let id = self
+                    .ctx
+                    .cluster
+                    .channel
+                    .start_flow(now, FlowSpec::new(w, chunks));
+                self.flows.insert(id, FlowCtx::PushRetry { w });
+                return;
+            }
+        }
         self.finish_push(w, now);
+    }
+
+    /// Mandatory-prefix rows that have not yet arrived intact.
+    fn missing_mandatory(&self, w: usize) -> Vec<RowId> {
+        let ws = &self.workers[w];
+        ws.push_plan[..ws.push_mandatory.min(ws.push_delivered)]
+            .iter()
+            .copied()
+            .filter(|id| !ws.push_intact.contains(id))
+            .collect()
+    }
+
+    /// A mandatory-row retransmit round finished: bank the survivors and
+    /// go around again if the loss model ate some of them too.
+    fn on_push_retry_flow(&mut self, w: usize, ev: FlowEvent) {
+        debug_assert!(
+            matches!(ev.outcome, FlowOutcome::Completed),
+            "retry rounds have no deadline"
+        );
+        let report = self.ctx.cluster.channel.take_report(ev.id);
+        let retry = std::mem::take(&mut self.workers[w].push_retry);
+        let ws = &mut self.workers[w];
+        match report {
+            Some(rep) => ws.push_intact.extend(
+                retry
+                    .iter()
+                    .enumerate()
+                    .filter(|&(i, _)| rep.intact(i))
+                    .map(|(_, &id)| id),
+            ),
+            None => ws.push_intact.extend(retry.iter().copied()),
+        }
+        self.maybe_finish_push(w, ev.at);
     }
 
     fn finish_push(&mut self, w: usize, now: Time) {
@@ -477,10 +632,21 @@ impl RowEngine {
             )
         };
         let payloads = {
-            let plan: Vec<RowId> = self.workers[w].push_plan[..delivered].to_vec();
+            // Gradient rows are best-effort: with a loss model installed
+            // only the rows whose chunks survived are committed; the rest
+            // keep their error-feedback residual and stale row iteration,
+            // so they age toward the RSP-mandatory bound and retransmit
+            // as mandatory rows of a later push.
+            let plan: Vec<RowId> = if self.ctx.cluster.channel.loss_enabled() {
+                std::mem::take(&mut self.workers[w].push_intact)
+            } else {
+                self.workers[w].push_plan[..delivered].to_vec()
+            };
             self.workers[w].worker.commit_push(&plan, n)
         };
         self.server.on_push(w, n, &payloads);
+        #[cfg(debug_assertions)]
+        self.check_version_invariants(n);
         self.tracker.report(w, delivered, duration, mta_rows);
         self.last_pushed[w] = n;
 
@@ -537,6 +703,7 @@ impl RowEngine {
         ws.pull_plan = plan;
         ws.pull_started = now;
         ws.pull_delivered = 0;
+        ws.pull_intact.clear();
         let budget = self.tracker.get();
         let chunks: Vec<u64> = {
             let ws = &self.workers[w];
@@ -573,6 +740,8 @@ impl RowEngine {
                 unreachable!("cancelled flows are reaped at the fault site")
             }
         };
+        let base = self.workers[w].pull_delivered;
+        self.collect_intact(&ev, base, delivered_now, true, w);
         let ws = &mut self.workers[w];
         ws.pull_delivered += delivered_now;
         if !cont && ws.pull_delivered < ws.pull_target {
@@ -593,9 +762,15 @@ impl RowEngine {
             self.flows.insert(id, FlowCtx::Pull { w, cont: true });
             return;
         }
-        // Apply whatever arrived.
+        // Apply whatever arrived (intact rows only under a loss model:
+        // a dropped pull row stays pending on the server and re-ranks
+        // into a later pull instead of being silently consumed).
         let delivered = self.workers[w].pull_delivered;
-        let rows: Vec<RowId> = self.workers[w].pull_plan[..delivered].to_vec();
+        let rows: Vec<RowId> = if self.ctx.cluster.channel.loss_enabled() {
+            std::mem::take(&mut self.workers[w].pull_intact)
+        } else {
+            self.workers[w].pull_plan[..delivered].to_vec()
+        };
         let payload = self.server.commit_pull(w, &rows);
         let ws = &mut self.workers[w];
         ws.worker.apply_pulled(ws.model.params_mut(), &payload);
@@ -740,7 +915,7 @@ impl RowEngine {
     /// top of the parked one.
     fn suspend_ctx(&mut self, ctx: FlowCtx) {
         self.workers[ctx.worker()].resume = Some(match ctx {
-            FlowCtx::Push { .. } => Resume::Push,
+            FlowCtx::Push { .. } | FlowCtx::PushRetry { .. } => Resume::Push,
             FlowCtx::Pull { .. } => Resume::PullGate,
             FlowCtx::Resync { .. } => Resume::Resync,
         });
@@ -786,14 +961,129 @@ impl RowEngine {
 
     /// Starts the full-model transfer that brings a rejoining worker
     /// back in sync before it may train again.
+    ///
+    /// Resync is reliable-class traffic: with a loss model installed the
+    /// model is segmented so a lost chunk retransmits ~64 KiB instead of
+    /// the whole model, tracked by a [`ReliableTransfer`]. Without one,
+    /// the pre-loss single-chunk flow is byte-identical.
     fn begin_resync(&mut self, w: usize, now: Time) {
+        self.ctx.set_state(w, now, DeviceState::Communicate);
+        let chunks = if self.ctx.cluster.channel.loss_enabled() {
+            let chunks = segment_chunks(self.model_wire_bytes);
+            self.void_retry(w);
+            self.retx[w] = Some(ReliableTransfer::new(
+                chunks.clone(),
+                BackoffPolicy::default(),
+            ));
+            chunks
+        } else {
+            vec![self.model_wire_bytes]
+        };
+        let id = self
+            .ctx
+            .cluster
+            .channel
+            .start_flow(now, FlowSpec::new(w, chunks));
+        self.flows.insert(id, FlowCtx::Resync { w });
+    }
+
+    /// A resync flow round finished: acknowledge the surviving chunks
+    /// and either complete the rejoin or back off and retransmit.
+    fn on_resync_flow(&mut self, w: usize, ev: FlowEvent) {
+        let now = ev.at;
+        let report = self.ctx.cluster.channel.take_report(ev.id);
+        let Some(retx) = self.retx[w].as_mut() else {
+            // No loss model: the single-chunk transfer always lands whole.
+            self.finish_resync(w, now);
+            return;
+        };
+        let transmitted = retx.pending_count();
+        let fates = report.as_ref().map(|r| r.fates.as_slice());
+        match retx.on_round(fates, transmitted) {
+            ReliableProgress::Done => {
+                self.retx[w] = None;
+                self.finish_resync(w, now);
+            }
+            ReliableProgress::Retry { delay } => {
+                // Some chunks died in flight: wait out the capped
+                // exponential backoff, then resend the survivors.
+                self.ctx.set_state(w, now, DeviceState::Stall);
+                self.schedule_retry(w, now + delay);
+            }
+        }
+    }
+
+    /// Arms the backoff timer for a worker's reliable retransmit.
+    fn schedule_retry(&mut self, w: usize, at: Time) {
+        self.ctx.queue.push(at, Ev::NetRetry(w));
+        self.retry_armed[w] = true;
+    }
+
+    /// Voids a queued backoff timer (it is swallowed on arrival).
+    fn void_retry(&mut self, w: usize) {
+        if self.retry_armed[w] {
+            self.stale_retries[w] += 1;
+            self.retry_armed[w] = false;
+        }
+    }
+
+    /// Abandons a worker's reliable transfer at a fault site. If the
+    /// worker should resync again once connectivity returns, the caller
+    /// records `Resume::Resync` (retransmit-from-scratch semantics).
+    fn clear_retx(&mut self, w: usize) -> bool {
+        self.void_retry(w);
+        self.retx[w].take().is_some()
+    }
+
+    /// A reliable-class backoff expired: resend the outstanding chunks,
+    /// or park the transfer if the path is down.
+    fn on_net_retry(&mut self, w: usize, now: Time) {
+        if self.stale_retries[w] > 0 {
+            self.stale_retries[w] -= 1;
+            return;
+        }
+        self.retry_armed[w] = false;
+        let Some(retx) = self.retx[w].as_ref() else {
+            return;
+        };
+        if self.ctx.server_down || self.ctx.link_down[w] {
+            // Path went down during the backoff: restart the resync from
+            // scratch once connectivity returns.
+            self.retx[w] = None;
+            self.workers[w].resume = Some(Resume::Resync);
+            return;
+        }
+        let chunks = retx.pending_chunks();
         self.ctx.set_state(w, now, DeviceState::Communicate);
         let id = self
             .ctx
             .cluster
             .channel
-            .start_flow(now, FlowSpec::new(w, vec![self.model_wire_bytes]));
+            .start_flow(now, FlowSpec::new(w, chunks));
         self.flows.insert(id, FlowCtx::Resync { w });
+    }
+
+    /// Debug-build invariant watchdog: min(V) may never regress, and in
+    /// the static-threshold sequential configuration no push may carry
+    /// an iteration past the RSP staleness bound (pipeline mode runs
+    /// compute bounded-ahead of the gated comm cycle, so its pushes may
+    /// legitimately lead by the pipeline depth as well).
+    #[cfg(debug_assertions)]
+    fn check_version_invariants(&mut self, pushed_iter: u64) {
+        let min = self.server.versions_mut().global_min();
+        assert!(
+            min >= self.last_global_min,
+            "global_min regressed: {} -> {min}",
+            self.last_global_min
+        );
+        self.last_global_min = min;
+        if self.auto.is_none() && !self.pipeline {
+            let bound = u64::from(self.threshold.max(1));
+            assert!(
+                pushed_iter <= min + bound,
+                "staleness bound violated: pushed iter {pushed_iter}, min {min}, bound {bound}"
+            );
+        }
     }
 
     /// Completes a rejoin: the worker adopts the most advanced online
@@ -851,6 +1141,11 @@ impl RowEngine {
         for ctx in self.cancel_flows_of(w) {
             self.suspend_ctx(ctx);
         }
+        // A reliable transfer in backoff has no flow to cancel; abandon
+        // its state and restart the resync when the link returns.
+        if self.clear_retx(w) {
+            self.workers[w].resume = Some(Resume::Resync);
+        }
         if !self.ctx.offline[w] && !self.workers[w].done {
             self.set_comm_state(w, now, DeviceState::Stall);
         }
@@ -880,6 +1175,11 @@ impl RowEngine {
             self.suspend_ctx(ctx);
             if !self.ctx.offline[w] && !self.workers[w].done {
                 self.set_comm_state(w, now, DeviceState::Stall);
+            }
+        }
+        for w in 0..self.workers.len() {
+            if self.clear_retx(w) {
+                self.workers[w].resume = Some(Resume::Resync);
             }
         }
     }

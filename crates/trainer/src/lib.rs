@@ -50,4 +50,4 @@ pub mod stats;
 
 pub use cluster::{BuiltWorkload, Cluster, Device, DeviceKind};
 pub use config::{Environment, ExperimentConfig, ModelScale, Strategy, WorkloadKind};
-pub use metrics::{Checkpoint, MicroSample, RunMetrics, TimeComposition};
+pub use metrics::{ByteAccount, Checkpoint, MicroSample, RunMetrics, TimeComposition};

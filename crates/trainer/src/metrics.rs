@@ -81,6 +81,12 @@ pub struct RunMetrics {
     /// Bytes wasted on deadline-cut partial rows and fault-cancelled
     /// transfers.
     pub wasted_bytes: f64,
+    /// Bytes of chunks the loss model dropped in flight (0 for
+    /// loss-free runs).
+    pub lost_bytes: f64,
+    /// Bytes of chunks that arrived but failed their CRC check (0 for
+    /// loss-free runs).
+    pub corrupt_bytes: f64,
     /// Cluster-total seconds spent stalled at gates (summed over
     /// workers, not per-iteration) — the blocking a fault matrix is
     /// judged on.
@@ -92,6 +98,21 @@ pub struct RunMetrics {
     /// divergence RSP/SSP bound (0 for BSP-like lockstep, small for
     /// bounded staleness).
     pub final_model_divergence: f64,
+}
+
+/// Channel byte accounting handed to [`MetricsCollector::finish`]:
+/// each class from the channel's conservation identity
+/// `useful + wasted + lost + corrupt == offered`.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct ByteAccount {
+    /// Useful payload bytes delivered (complete, intact chunks).
+    pub useful: f64,
+    /// Bytes wasted on deadline cuts and cancelled transfers.
+    pub wasted: f64,
+    /// Bytes dropped in flight by the loss model.
+    pub lost: f64,
+    /// Bytes delivered but damaged (CRC failure).
+    pub corrupt: f64,
 }
 
 /// Collects per-worker events during a run and assembles [`RunMetrics`].
@@ -153,8 +174,7 @@ impl MetricsCollector {
         timelines: &[Timeline],
         robot_mask: &[bool],
         duration: Time,
-        useful_bytes: f64,
-        wasted_bytes: f64,
+        bytes: ByteAccount,
         final_model_divergence: f64,
     ) -> RunMetrics {
         let robot_tls: Vec<Timeline> = timelines
@@ -215,8 +235,10 @@ impl MetricsCollector {
             duration,
             total_energy_j,
             micro: self.micro,
-            useful_bytes,
-            wasted_bytes,
+            useful_bytes: bytes.useful,
+            wasted_bytes: bytes.wasted,
+            lost_bytes: bytes.lost,
+            corrupt_bytes: bytes.corrupt,
             stall_secs,
             offline_secs,
             final_model_divergence,
@@ -248,7 +270,7 @@ mod tests {
         c.record_iteration(0);
         c.record_iteration(1);
         let tls = [timeline(5.0, 1.0), timeline(5.0, 3.0)];
-        let m = c.finish(&tls, &[true, true], 20.0, 0.0, 0.0, 0.0);
+        let m = c.finish(&tls, &[true, true], 20.0, ByteAccount::default(), 0.0);
         assert_eq!(m.checkpoints.len(), 1);
         let ck = m.checkpoints[0];
         assert_eq!(ck.iter, 50);
@@ -265,7 +287,7 @@ mod tests {
             c.record_iteration(1);
         }
         let tls = [timeline(10.0, 2.0), timeline(10.0, 4.0)];
-        let m = c.finish(&tls, &[true, true], 20.0, 0.0, 0.0, 0.0);
+        let m = c.finish(&tls, &[true, true], 20.0, ByteAccount::default(), 0.0);
         // 20 s compute over 10 iterations → 2 s/iter.
         assert!((m.composition.compute - 2.0).abs() < 1e-9);
         assert!((m.composition.stall - 0.6).abs() < 1e-9);
@@ -277,10 +299,10 @@ mod tests {
         let mut c = collector();
         c.record_iteration(0);
         let tls = [timeline(10.0, 0.0), timeline(10.0, 0.0)];
-        let both = c.finish(&tls, &[true, true], 10.0, 0.0, 0.0, 0.0);
+        let both = c.finish(&tls, &[true, true], 10.0, ByteAccount::default(), 0.0);
         let mut c = collector();
         c.record_iteration(0);
-        let one = c.finish(&tls, &[true, false], 10.0, 0.0, 0.0, 0.0);
+        let one = c.finish(&tls, &[true, false], 10.0, ByteAccount::default(), 0.0);
         assert!((both.total_energy_j - 2.0 * one.total_energy_j).abs() < 1e-6);
     }
 
@@ -288,7 +310,7 @@ mod tests {
     fn empty_run_has_zero_composition() {
         let c = collector();
         let tls = [Timeline::new(), Timeline::new()];
-        let m = c.finish(&tls, &[true, true], 0.0, 0.0, 0.0, 0.0);
+        let m = c.finish(&tls, &[true, true], 0.0, ByteAccount::default(), 0.0);
         assert_eq!(m.composition.total(), 0.0);
         assert!(m.checkpoints.is_empty());
     }

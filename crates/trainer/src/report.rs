@@ -172,6 +172,8 @@ mod tests {
             micro: vec![],
             useful_bytes: 0.0,
             wasted_bytes: 0.0,
+            lost_bytes: 0.0,
+            corrupt_bytes: 0.0,
             stall_secs: 50.0,
             offline_secs: 0.0,
             final_model_divergence: 0.0,

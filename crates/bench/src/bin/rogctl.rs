@@ -5,21 +5,35 @@
 //!     --workload cruda --env outdoor --strategy rog:4 --duration 1200 \
 //!     --csv run.csv --json run.json
 //! ```
+//!
+//! Subcommands: `rogctl trace [run flags] --out run.jsonl.gz` writes
+//! the deterministic event journal of a run; `rogctl trace-summary
+//! run.jsonl.gz` replays a journal into the Fig. 8-style composition
+//! table.
 
 use std::process::ExitCode;
 
-use rog_bench::cli;
+use rog_bench::cli::{self, CliCommand, CliRun};
+use rog_obs::{gzip_compress, gzip_decompress, TraceSummary};
 use rog_trainer::report;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let run = match cli::parse(&args) {
-        Ok(run) => run,
+    let cmd = match cli::parse_command(&args) {
+        Ok(cmd) => cmd,
         Err(e) => {
             eprintln!("{e}");
             return ExitCode::FAILURE;
         }
     };
+    match cmd {
+        CliCommand::Run(run) => run_experiment(&run),
+        CliCommand::Trace { run, out } => trace_experiment(&run, &out),
+        CliCommand::TraceSummary { path } => summarize_trace(&path),
+    }
+}
+
+fn run_experiment(run: &CliRun) -> ExitCode {
     println!(
         "running {} for {:.0}s ...",
         run.config.name(),
@@ -60,4 +74,73 @@ fn main() -> ExitCode {
         println!("wrote {path}");
     }
     ExitCode::SUCCESS
+}
+
+fn trace_experiment(run: &CliRun, out: &str) -> ExitCode {
+    println!(
+        "tracing {} for {:.0}s ...",
+        run.config.name(),
+        run.config.duration_secs
+    );
+    let (metrics, journal) = run.config.run_traced();
+    let jsonl = journal.to_jsonl();
+    let bytes = if out.ends_with(".gz") {
+        gzip_compress(jsonl.as_bytes())
+    } else {
+        jsonl.into_bytes()
+    };
+    if let Err(e) = std::fs::write(out, &bytes) {
+        eprintln!("cannot write '{out}': {e}");
+        return ExitCode::FAILURE;
+    }
+    println!(
+        "wrote {out}: {} events, {} bytes ({:.0} iterations/worker in {:.0}s)",
+        journal.len(),
+        bytes.len(),
+        metrics.mean_iterations,
+        metrics.duration
+    );
+    if let Some(path) = &run.json_out {
+        std::fs::write(path, report::runs_to_json(std::slice::from_ref(&metrics)))
+            .expect("write json");
+        println!("wrote {path}");
+    }
+    ExitCode::SUCCESS
+}
+
+fn summarize_trace(path: &str) -> ExitCode {
+    let raw = match std::fs::read(path) {
+        Ok(raw) => raw,
+        Err(e) => {
+            eprintln!("cannot read '{path}': {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    // Gzip member magic, not the extension, decides: traces may be
+    // renamed in flight.
+    let text = if raw.starts_with(&[0x1f, 0x8b]) {
+        match gzip_decompress(&raw) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("'{path}' is not a valid gzip file: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    } else {
+        raw
+    };
+    let Ok(text) = String::from_utf8(text) else {
+        eprintln!("'{path}' is not UTF-8 JSONL");
+        return ExitCode::FAILURE;
+    };
+    match TraceSummary::from_jsonl(&text) {
+        Ok(summary) => {
+            print!("{}", summary.render());
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("cannot parse '{path}': {e}");
+            ExitCode::FAILURE
+        }
+    }
 }

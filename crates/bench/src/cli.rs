@@ -20,6 +20,26 @@ pub struct CliRun {
     pub json_out: Option<String>,
 }
 
+/// A parsed `rogctl` command (run by default, or a trace subcommand).
+#[derive(Debug, Clone, PartialEq)]
+pub enum CliCommand {
+    /// Run one experiment and print/export its metrics.
+    Run(CliRun),
+    /// Run one experiment with the event journal enabled and write the
+    /// JSONL trace to `out` (gzipped when the path ends in `.gz`).
+    Trace {
+        /// The traced run.
+        run: CliRun,
+        /// Journal output path.
+        out: String,
+    },
+    /// Summarize a journal file into the Fig. 8-style composition table.
+    TraceSummary {
+        /// Journal path (`.jsonl` or `.jsonl.gz`).
+        path: String,
+    },
+}
+
 /// CLI parse error with a message suitable for direct printing.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct CliError(String);
@@ -63,9 +83,57 @@ adds a Gilbert-Elliott bursty process with the given mean loss rate,
 --corrupt flips delivered chunks to CRC failures; --loss-seed decouples
 the loss process from the run seed (defaults to the run seed). Rates
 are probabilities in [0, 1].
+
+Subcommands:
+  rogctl trace [run flags] --out <path[.gz]>
+      Run with the deterministic event journal enabled and write it as
+      JSONL (gzipped when the path ends in .gz). The journal for a
+      (config, seed) pair is byte-identical across runs and compute
+      thread counts.
+  rogctl trace-summary <path[.jsonl|.jsonl.gz]>
+      Replay a journal into the per-iteration time-composition table
+      and per-category event counts.
 ";
 
-/// Parses CLI arguments (without the program name).
+/// Parses a full `rogctl` command line (without the program name),
+/// dispatching on the optional `trace` / `trace-summary` subcommand.
+///
+/// # Errors
+///
+/// Returns a printable [`CliError`] on unknown subcommands, unknown
+/// flags or malformed values.
+pub fn parse_command(args: &[String]) -> Result<CliCommand, CliError> {
+    match args.first().map(String::as_str) {
+        Some("trace") => {
+            let mut out = None;
+            let mut rest = Vec::new();
+            let mut it = args[1..].iter();
+            while let Some(a) = it.next() {
+                if a == "--out" {
+                    out = Some(
+                        it.next()
+                            .ok_or_else(|| err("--out expects a path"))?
+                            .clone(),
+                    );
+                } else {
+                    rest.push(a.clone());
+                }
+            }
+            let run = parse(&rest)?;
+            Ok(CliCommand::Trace {
+                run,
+                out: out.unwrap_or_else(|| "trace.jsonl".into()),
+            })
+        }
+        Some("trace-summary") => match args[1..] {
+            [ref path] => Ok(CliCommand::TraceSummary { path: path.clone() }),
+            _ => Err(err("usage: rogctl trace-summary <path>")),
+        },
+        _ => Ok(CliCommand::Run(parse(args)?)),
+    }
+}
+
+/// Parses run-mode CLI arguments (without the program name).
 ///
 /// # Errors
 ///
@@ -381,6 +449,43 @@ mod tests {
             "seed alone is useless"
         );
         assert!(parse(&[]).expect("empty").config.loss.is_none());
+    }
+
+    #[test]
+    fn trace_subcommand_parses() {
+        let cmd = parse_command(&args(
+            "trace --strategy rog:4 --out t.jsonl.gz --duration 30",
+        ))
+        .expect("parses");
+        let CliCommand::Trace { run, out } = cmd else {
+            panic!("expected trace command, got {cmd:?}");
+        };
+        assert_eq!(run.config.strategy, Strategy::Rog { threshold: 4 });
+        assert_eq!(run.config.duration_secs, 30.0);
+        assert_eq!(out, "t.jsonl.gz");
+
+        let cmd = parse_command(&args("trace")).expect("parses");
+        assert!(matches!(cmd, CliCommand::Trace { ref out, .. } if out == "trace.jsonl"));
+        assert!(parse_command(&args("trace --out")).is_err());
+    }
+
+    #[test]
+    fn trace_summary_subcommand_parses() {
+        let cmd = parse_command(&args("trace-summary t.jsonl")).expect("parses");
+        assert_eq!(
+            cmd,
+            CliCommand::TraceSummary {
+                path: "t.jsonl".into()
+            }
+        );
+        assert!(parse_command(&args("trace-summary")).is_err());
+        assert!(parse_command(&args("trace-summary a b")).is_err());
+    }
+
+    #[test]
+    fn plain_args_parse_as_a_run_command() {
+        let cmd = parse_command(&args("--strategy bsp")).expect("parses");
+        assert!(matches!(cmd, CliCommand::Run(_)));
     }
 
     #[test]

@@ -148,9 +148,33 @@ impl RowVersionStore {
     /// version `pushed_iter` be served its pull under `threshold`?
     ///
     /// Mirrors Algorithm 2: the pull waits while
-    /// `pushed_iter - min(V) >= threshold`.
+    /// `pushed_iter - min(V) >= threshold`. The bound semantics live
+    /// in [`rog_sync::gate::rsp_may_pull`], shared with the engine and
+    /// the invariant tests.
     pub fn gate_ok(&mut self, pushed_iter: u64, threshold: u32) -> bool {
-        pushed_iter < self.global_min() + u64::from(threshold).max(1)
+        let global_min = self.global_min();
+        rog_sync::gate::rsp_may_pull(global_min, pushed_iter, threshold)
+    }
+
+    /// The cell pinning `min(V)`: the first `(worker, row)` in index
+    /// order (active workers preferred) whose version equals the
+    /// global minimum — "whom the gate is waiting for".
+    pub fn stalest_cell(&mut self) -> (usize, usize, u64) {
+        let min = self.global_min();
+        for (w, (rows, &active)) in self.v.iter().zip(&self.active).enumerate() {
+            if !active {
+                continue;
+            }
+            if let Some(r) = rows.iter().position(|&v| v == min) {
+                return (w, r, min);
+            }
+        }
+        for (w, rows) in self.v.iter().enumerate() {
+            if let Some(r) = rows.iter().position(|&v| v == min) {
+                return (w, r, min);
+            }
+        }
+        (0, 0, min)
     }
 
     /// Staleness (iterations behind the cluster-freshest row) of the
@@ -269,6 +293,36 @@ mod tests {
         v.set_active(0, false);
         v.set_active(1, false);
         assert_eq!(v.global_min(), 3);
+    }
+
+    #[test]
+    fn stalest_cell_identifies_the_gating_row() {
+        let mut v = RowVersionStore::new(2, 2);
+        v.record_push(0, 0, 5);
+        v.record_push(0, 1, 5);
+        v.record_push(1, 0, 5);
+        // Row (1, 1) is still at version 0 and pins the gate.
+        assert_eq!(v.stalest_cell(), (1, 1, 0));
+        v.set_active(1, false);
+        assert_eq!(v.stalest_cell(), (0, 0, 5));
+    }
+
+    #[test]
+    fn gate_matches_shared_predicate() {
+        let mut v = RowVersionStore::new(2, 2);
+        for r in 0..2 {
+            v.record_push(0, r, 4);
+            v.record_push(1, r, 1);
+        }
+        let min = v.global_min();
+        for threshold in 0..6 {
+            for pushed in 0..8 {
+                assert_eq!(
+                    v.gate_ok(pushed, threshold),
+                    rog_sync::gate::rsp_may_pull(min, pushed, threshold)
+                );
+            }
+        }
     }
 
     #[test]

@@ -25,6 +25,29 @@ pub enum FaultEvent {
 }
 
 impl FaultEvent {
+    /// Stable lowercase name (journal wire format).
+    pub fn name(self) -> &'static str {
+        match self {
+            FaultEvent::WorkerDown(_) => "worker_down",
+            FaultEvent::WorkerUp(_) => "worker_up",
+            FaultEvent::BlackoutStart(_) => "blackout_start",
+            FaultEvent::BlackoutEnd(_) => "blackout_end",
+            FaultEvent::ServerDown => "server_down",
+            FaultEvent::ServerUp => "server_up",
+        }
+    }
+
+    /// The affected worker index, if the event is worker-scoped.
+    pub fn worker(self) -> Option<usize> {
+        match self {
+            FaultEvent::WorkerDown(w)
+            | FaultEvent::WorkerUp(w)
+            | FaultEvent::BlackoutStart(w)
+            | FaultEvent::BlackoutEnd(w) => Some(w),
+            FaultEvent::ServerDown | FaultEvent::ServerUp => None,
+        }
+    }
+
     /// Total order for events at the same instant: recoveries first
     /// (so a back-to-back `[a,t) [t,b)` pair of windows closes before
     /// the next opens), then kind, then worker index.

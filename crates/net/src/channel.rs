@@ -153,6 +153,22 @@ impl DeliveryReport {
     pub fn bad_chunks(&self) -> usize {
         self.fates.iter().filter(|f| !f.intact()).count()
     }
+
+    /// Number of chunks the loss model dropped in flight.
+    pub fn lost_chunks(&self) -> usize {
+        self.fates
+            .iter()
+            .filter(|f| matches!(f, ChunkFate::Lost))
+            .count()
+    }
+
+    /// Number of chunks that arrived but failed their CRC check.
+    pub fn corrupt_chunks(&self) -> usize {
+        self.fates
+            .iter()
+            .filter(|f| matches!(f, ChunkFate::Corrupt))
+            .count()
+    }
 }
 
 /// An in-flight transfer.

@@ -1,0 +1,777 @@
+//! Typed journal events and their deterministic JSONL encoding.
+//!
+//! Every event is stamped on the virtual clock (`t`) and carries a
+//! monotone sequence number (`seq`). The wire format is a flat JSON
+//! object per line with a fixed field order, so a journal for a given
+//! (config, seed) is byte-identical across runs, platforms, and
+//! compute-thread counts. Floats are formatted with Rust's shortest
+//! round-trip `Display`, which is deterministic.
+
+use std::fmt::Write as _;
+
+/// Coarse event family used for the journal's per-category counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Category {
+    /// Run bookkeeping: meta header, state changes, close, run end.
+    Control,
+    /// Iteration begin/end markers.
+    Iteration,
+    /// Staleness-gate waits (enter/exit).
+    Gate,
+    /// Push/pull transfer lifecycle.
+    Transfer,
+    /// Per-row plan contents (importance-ranked row ids).
+    Row,
+    /// Reliability machinery: retransmits and backoff timers.
+    Reliability,
+    /// Loss-model fates observed on delivery reports.
+    Loss,
+    /// Fault-clock transitions.
+    Fault,
+    /// Rejoin resynchronisation transfers.
+    Resync,
+    /// ATP minimum-transmission-amount decisions.
+    Mta,
+}
+
+impl Category {
+    /// Number of categories (array-counter width).
+    pub const COUNT: usize = 10;
+
+    /// All categories in display order.
+    pub const ALL: [Category; Category::COUNT] = [
+        Category::Control,
+        Category::Iteration,
+        Category::Gate,
+        Category::Transfer,
+        Category::Row,
+        Category::Reliability,
+        Category::Loss,
+        Category::Fault,
+        Category::Resync,
+        Category::Mta,
+    ];
+
+    /// Stable index into counter arrays.
+    pub fn index(self) -> usize {
+        match self {
+            Category::Control => 0,
+            Category::Iteration => 1,
+            Category::Gate => 2,
+            Category::Transfer => 3,
+            Category::Row => 4,
+            Category::Reliability => 5,
+            Category::Loss => 6,
+            Category::Fault => 7,
+            Category::Resync => 8,
+            Category::Mta => 9,
+        }
+    }
+
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Category::Control => "control",
+            Category::Iteration => "iteration",
+            Category::Gate => "gate",
+            Category::Transfer => "transfer",
+            Category::Row => "row",
+            Category::Reliability => "reliability",
+            Category::Loss => "loss",
+            Category::Fault => "fault",
+            Category::Resync => "resync",
+            Category::Mta => "mta",
+        }
+    }
+}
+
+/// One typed journal event.
+///
+/// Variants map 1:1 to JSONL records; field names below match the wire
+/// keys. `&'static str` is used for enumerated strings so recording an
+/// event allocates only when a plan row list is attached.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EventKind {
+    /// Journal header: run display name and RNG seed.
+    Meta { name: String, seed: u64 },
+    /// Worker `w` starts computing iteration `iter`.
+    IterBegin { w: u32, iter: u64 },
+    /// Worker `w` finished iteration `iter` (update applied).
+    IterEnd { w: u32, iter: u64 },
+    /// Device `w`'s timeline actually changed state (dedup'd against
+    /// re-entry, mirroring `Timeline::set_state`).
+    State { w: u32, state: &'static str },
+    /// Device `w`'s timeline was closed at `t` (end of run).
+    Close { w: u32 },
+    /// Worker `w` blocked at the staleness gate before iteration
+    /// `iter`: global min version `min`, staleness distance `lead`
+    /// (how far ahead of the slowest row this worker is), and the
+    /// blocking row id (`row`, `-1` when unknown / not row-granular).
+    GateEnter {
+        w: u32,
+        iter: u64,
+        min: u64,
+        lead: u64,
+        row: i64,
+    },
+    /// Worker `w` released from the gate after waiting `waited` s.
+    GateExit { w: u32, iter: u64, waited: f64 },
+    /// Worker `w` starts pushing iteration `iter`: `rows` planned of
+    /// which `mand` are mandatory (same-row bound), `mta` forced by
+    /// the MTA floor, against a time `budget` (s; `-1` = no deadline).
+    PushStart {
+        w: u32,
+        iter: u64,
+        rows: u32,
+        mand: u32,
+        mta: u32,
+        budget: f64,
+    },
+    /// Worker `w` finished pushing iteration `iter`: `rows` rows in
+    /// `bytes` payload bytes.
+    PushEnd {
+        w: u32,
+        iter: u64,
+        rows: u32,
+        bytes: u64,
+    },
+    /// Worker `w` starts pulling `bytes` of fresh rows for `iter`.
+    PullStart { w: u32, iter: u64, bytes: u64 },
+    /// Worker `w` finished its pull for iteration `iter`.
+    PullEnd { w: u32, iter: u64 },
+    /// Importance-ranked rows worker `w` pushes for `iter`
+    /// (position in `rows` = importance rank, most important first).
+    RowPush { w: u32, iter: u64, rows: Vec<u32> },
+    /// Importance-ranked rows worker `w` pulls for `iter`.
+    RowPull { w: u32, iter: u64, rows: Vec<u32> },
+    /// Worker `w` retransmits `rows` rows of class `class`
+    /// ("mandatory" or "reliable").
+    Retransmit {
+        w: u32,
+        rows: u32,
+        class: &'static str,
+    },
+    /// Worker `w` backs off until virtual time `until` (link outage).
+    Backoff { w: u32, until: f64 },
+    /// A delivery report for worker `w`'s flow observed damage:
+    /// `lost` dropped and `corrupt` damaged out of `chunks` chunks.
+    Loss {
+        w: u32,
+        lost: u32,
+        corrupt: u32,
+        chunks: u32,
+    },
+    /// Fault-clock transition `kind` for device `w` (`-1` = cluster
+    /// or server scope).
+    Fault { kind: &'static str, w: i64 },
+    /// Worker `w` begins rejoin resync (`bytes` of model to fetch).
+    ResyncStart { w: u32, bytes: u64 },
+    /// Worker `w` finished resync and resumes at iteration `iter`.
+    ResyncEnd { w: u32, iter: u64 },
+    /// MTA budget update for worker `w`: measured push time `secs`
+    /// feeding the tracker, new per-push `budget` (s).
+    Mta { w: u32, secs: f64, budget: f64 },
+    /// Auto-threshold controller changed the staleness threshold.
+    AutoThreshold { threshold: u32 },
+    /// End of run: total iterations across workers and run duration.
+    RunEnd { iters: u64, duration: f64 },
+}
+
+impl EventKind {
+    /// Stable wire name of the event.
+    pub fn name(&self) -> &'static str {
+        match self {
+            EventKind::Meta { .. } => "meta",
+            EventKind::IterBegin { .. } => "iter_begin",
+            EventKind::IterEnd { .. } => "iter_end",
+            EventKind::State { .. } => "state",
+            EventKind::Close { .. } => "close",
+            EventKind::GateEnter { .. } => "gate_enter",
+            EventKind::GateExit { .. } => "gate_exit",
+            EventKind::PushStart { .. } => "push_start",
+            EventKind::PushEnd { .. } => "push_end",
+            EventKind::PullStart { .. } => "pull_start",
+            EventKind::PullEnd { .. } => "pull_end",
+            EventKind::RowPush { .. } => "row_push",
+            EventKind::RowPull { .. } => "row_pull",
+            EventKind::Retransmit { .. } => "retransmit",
+            EventKind::Backoff { .. } => "backoff",
+            EventKind::Loss { .. } => "loss",
+            EventKind::Fault { .. } => "fault",
+            EventKind::ResyncStart { .. } => "resync_start",
+            EventKind::ResyncEnd { .. } => "resync_end",
+            EventKind::Mta { .. } => "mta",
+            EventKind::AutoThreshold { .. } => "auto_threshold",
+            EventKind::RunEnd { .. } => "run_end",
+        }
+    }
+
+    /// Counter category of the event.
+    pub fn category(&self) -> Category {
+        match self {
+            EventKind::Meta { .. }
+            | EventKind::State { .. }
+            | EventKind::Close { .. }
+            | EventKind::AutoThreshold { .. }
+            | EventKind::RunEnd { .. } => Category::Control,
+            EventKind::IterBegin { .. } | EventKind::IterEnd { .. } => Category::Iteration,
+            EventKind::GateEnter { .. } | EventKind::GateExit { .. } => Category::Gate,
+            EventKind::PushStart { .. }
+            | EventKind::PushEnd { .. }
+            | EventKind::PullStart { .. }
+            | EventKind::PullEnd { .. } => Category::Transfer,
+            EventKind::RowPush { .. } | EventKind::RowPull { .. } => Category::Row,
+            EventKind::Retransmit { .. } | EventKind::Backoff { .. } => Category::Reliability,
+            EventKind::Loss { .. } => Category::Loss,
+            EventKind::Fault { .. } => Category::Fault,
+            EventKind::ResyncStart { .. } | EventKind::ResyncEnd { .. } => Category::Resync,
+            EventKind::Mta { .. } => Category::Mta,
+        }
+    }
+}
+
+/// A journal event: virtual time, sequence number, payload.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Event {
+    /// Virtual-clock timestamp (seconds).
+    pub t: f64,
+    /// Monotone per-journal sequence number.
+    pub seq: u64,
+    /// Typed payload.
+    pub kind: EventKind,
+}
+
+fn push_str_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn push_rows(out: &mut String, rows: &[u32]) {
+    out.push('[');
+    for (i, r) in rows.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "{r}");
+    }
+    out.push(']');
+}
+
+impl Event {
+    /// Appends the event as one JSONL line (including the trailing
+    /// newline) with a fixed, deterministic field order.
+    pub fn write_jsonl(&self, out: &mut String) {
+        let _ = write!(
+            out,
+            "{{\"t\":{},\"seq\":{},\"ev\":\"{}\"",
+            self.t,
+            self.seq,
+            self.kind.name()
+        );
+        match &self.kind {
+            EventKind::Meta { name, seed } => {
+                out.push_str(",\"name\":");
+                push_str_escaped(out, name);
+                let _ = write!(out, ",\"seed\":{seed}");
+            }
+            EventKind::IterBegin { w, iter } | EventKind::IterEnd { w, iter } => {
+                let _ = write!(out, ",\"w\":{w},\"iter\":{iter}");
+            }
+            EventKind::State { w, state } => {
+                let _ = write!(out, ",\"w\":{w},\"state\":\"{state}\"");
+            }
+            EventKind::Close { w } => {
+                let _ = write!(out, ",\"w\":{w}");
+            }
+            EventKind::GateEnter {
+                w,
+                iter,
+                min,
+                lead,
+                row,
+            } => {
+                let _ = write!(
+                    out,
+                    ",\"w\":{w},\"iter\":{iter},\"min\":{min},\"lead\":{lead},\"row\":{row}"
+                );
+            }
+            EventKind::GateExit { w, iter, waited } => {
+                let _ = write!(out, ",\"w\":{w},\"iter\":{iter},\"waited\":{waited}");
+            }
+            EventKind::PushStart {
+                w,
+                iter,
+                rows,
+                mand,
+                mta,
+                budget,
+            } => {
+                let _ = write!(
+                    out,
+                    ",\"w\":{w},\"iter\":{iter},\"rows\":{rows},\"mand\":{mand},\"mta\":{mta},\"budget\":{budget}"
+                );
+            }
+            EventKind::PushEnd {
+                w,
+                iter,
+                rows,
+                bytes,
+            } => {
+                let _ = write!(
+                    out,
+                    ",\"w\":{w},\"iter\":{iter},\"rows\":{rows},\"bytes\":{bytes}"
+                );
+            }
+            EventKind::PullStart { w, iter, bytes } => {
+                let _ = write!(out, ",\"w\":{w},\"iter\":{iter},\"bytes\":{bytes}");
+            }
+            EventKind::PullEnd { w, iter } => {
+                let _ = write!(out, ",\"w\":{w},\"iter\":{iter}");
+            }
+            EventKind::RowPush { w, iter, rows } | EventKind::RowPull { w, iter, rows } => {
+                let _ = write!(out, ",\"w\":{w},\"iter\":{iter},\"rows\":");
+                push_rows(out, rows);
+            }
+            EventKind::Retransmit { w, rows, class } => {
+                let _ = write!(out, ",\"w\":{w},\"rows\":{rows},\"class\":\"{class}\"");
+            }
+            EventKind::Backoff { w, until } => {
+                let _ = write!(out, ",\"w\":{w},\"until\":{until}");
+            }
+            EventKind::Loss {
+                w,
+                lost,
+                corrupt,
+                chunks,
+            } => {
+                let _ = write!(
+                    out,
+                    ",\"w\":{w},\"lost\":{lost},\"corrupt\":{corrupt},\"chunks\":{chunks}"
+                );
+            }
+            EventKind::Fault { kind, w } => {
+                let _ = write!(out, ",\"kind\":\"{kind}\",\"w\":{w}");
+            }
+            EventKind::ResyncStart { w, bytes } => {
+                let _ = write!(out, ",\"w\":{w},\"bytes\":{bytes}");
+            }
+            EventKind::ResyncEnd { w, iter } => {
+                let _ = write!(out, ",\"w\":{w},\"iter\":{iter}");
+            }
+            EventKind::Mta { w, secs, budget } => {
+                let _ = write!(out, ",\"w\":{w},\"secs\":{secs},\"budget\":{budget}");
+            }
+            EventKind::AutoThreshold { threshold } => {
+                let _ = write!(out, ",\"threshold\":{threshold}");
+            }
+            EventKind::RunEnd { iters, duration } => {
+                let _ = write!(out, ",\"iters\":{iters},\"duration\":{duration}");
+            }
+        }
+        out.push_str("}\n");
+    }
+}
+
+/// A parsed JSONL field value (numbers, strings, and flat number
+/// arrays are all the journal format contains).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Val {
+    /// A JSON number, kept as its exact source text plus parsed value.
+    Num(f64),
+    /// A JSON string (unescaped).
+    Str(String),
+    /// A flat array of numbers.
+    Arr(Vec<f64>),
+}
+
+impl Val {
+    /// The numeric value, if this is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Val::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The string value, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Val::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+/// One parsed journal line: flat key → value map in source order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Record {
+    /// Fields in their order of appearance (`t`, `seq`, `ev`, …).
+    pub fields: Vec<(String, Val)>,
+}
+
+impl Record {
+    /// Looks up a field by key.
+    pub fn get(&self, key: &str) -> Option<&Val> {
+        self.fields.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+    }
+
+    /// Numeric field by key.
+    pub fn num(&self, key: &str) -> Option<f64> {
+        self.get(key).and_then(Val::as_f64)
+    }
+
+    /// String field by key.
+    pub fn str(&self, key: &str) -> Option<&str> {
+        self.get(key).and_then(Val::as_str)
+    }
+
+    /// The `ev` event name.
+    pub fn ev(&self) -> &str {
+        self.str("ev").unwrap_or("")
+    }
+
+    /// The `t` timestamp.
+    pub fn t(&self) -> f64 {
+        self.num("t").unwrap_or(0.0)
+    }
+
+    /// Parses one JSONL journal line (a flat JSON object).
+    pub fn parse(line: &str) -> Result<Record, String> {
+        let mut p = Parser {
+            b: line.as_bytes(),
+            i: 0,
+        };
+        p.skip_ws();
+        p.expect(b'{')?;
+        let mut fields = Vec::new();
+        p.skip_ws();
+        if p.peek() == Some(b'}') {
+            return Ok(Record { fields });
+        }
+        loop {
+            p.skip_ws();
+            let key = p.string()?;
+            p.skip_ws();
+            p.expect(b':')?;
+            p.skip_ws();
+            let val = p.value()?;
+            fields.push((key, val));
+            p.skip_ws();
+            match p.next() {
+                Some(b',') => continue,
+                Some(b'}') => break,
+                other => return Err(format!("expected ',' or '}}', got {other:?}")),
+            }
+        }
+        Ok(Record { fields })
+    }
+}
+
+/// Minimal parser for the journal's flat JSON subset.
+struct Parser<'a> {
+    b: &'a [u8],
+    i: usize,
+}
+
+impl Parser<'_> {
+    fn peek(&self) -> Option<u8> {
+        self.b.get(self.i).copied()
+    }
+
+    fn next(&mut self) -> Option<u8> {
+        let c = self.peek();
+        if c.is_some() {
+            self.i += 1;
+        }
+        c
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\r' | b'\n')) {
+            self.i += 1;
+        }
+    }
+
+    fn expect(&mut self, c: u8) -> Result<(), String> {
+        match self.next() {
+            Some(g) if g == c => Ok(()),
+            other => Err(format!("expected {:?}, got {other:?}", c as char)),
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut s = String::new();
+        loop {
+            match self.next() {
+                None => return Err("unterminated string".into()),
+                Some(b'"') => return Ok(s),
+                Some(b'\\') => match self.next() {
+                    Some(b'"') => s.push('"'),
+                    Some(b'\\') => s.push('\\'),
+                    Some(b'n') => s.push('\n'),
+                    Some(b't') => s.push('\t'),
+                    Some(b'r') => s.push('\r'),
+                    Some(b'u') => {
+                        let mut code = 0u32;
+                        for _ in 0..4 {
+                            let d = self.next().ok_or("truncated \\u escape")?;
+                            code = code * 16
+                                + (d as char)
+                                    .to_digit(16)
+                                    .ok_or("bad hex digit in \\u escape")?;
+                        }
+                        s.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                    }
+                    other => return Err(format!("bad escape {other:?}")),
+                },
+                Some(c) if c < 0x80 => s.push(c as char),
+                Some(c) => {
+                    // Multi-byte UTF-8: copy the raw bytes of the scalar.
+                    let start = self.i - 1;
+                    let len = match c {
+                        0xC0..=0xDF => 2,
+                        0xE0..=0xEF => 3,
+                        _ => 4,
+                    };
+                    let end = (start + len).min(self.b.len());
+                    s.push_str(
+                        std::str::from_utf8(&self.b[start..end]).map_err(|e| e.to_string())?,
+                    );
+                    self.i = end;
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<f64, String> {
+        let start = self.i;
+        while matches!(
+            self.peek(),
+            Some(b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E')
+        ) {
+            self.i += 1;
+        }
+        std::str::from_utf8(&self.b[start..self.i])
+            .map_err(|e| e.to_string())?
+            .parse::<f64>()
+            .map_err(|e| format!("bad number: {e}"))
+    }
+
+    fn value(&mut self) -> Result<Val, String> {
+        match self.peek() {
+            Some(b'"') => Ok(Val::Str(self.string()?)),
+            Some(b'[') => {
+                self.i += 1;
+                let mut arr = Vec::new();
+                self.skip_ws();
+                if self.peek() == Some(b']') {
+                    self.i += 1;
+                    return Ok(Val::Arr(arr));
+                }
+                loop {
+                    self.skip_ws();
+                    arr.push(self.number()?);
+                    self.skip_ws();
+                    match self.next() {
+                        Some(b',') => continue,
+                        Some(b']') => break,
+                        other => return Err(format!("expected ',' or ']', got {other:?}")),
+                    }
+                }
+                Ok(Val::Arr(arr))
+            }
+            Some(b'0'..=b'9' | b'-') => Ok(Val::Num(self.number()?)),
+            other => Err(format!("unexpected value start {other:?}")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(kind: EventKind) -> Record {
+        let ev = Event {
+            t: 1.25,
+            seq: 7,
+            kind,
+        };
+        let mut s = String::new();
+        ev.write_jsonl(&mut s);
+        assert!(s.ends_with('\n'));
+        Record::parse(s.trim_end()).expect("parse")
+    }
+
+    #[test]
+    fn encode_and_parse_push_start() {
+        let r = roundtrip(EventKind::PushStart {
+            w: 2,
+            iter: 5,
+            rows: 11,
+            mand: 3,
+            mta: 2,
+            budget: 0.5,
+        });
+        assert_eq!(r.ev(), "push_start");
+        assert_eq!(r.t(), 1.25);
+        assert_eq!(r.num("seq"), Some(7.0));
+        assert_eq!(r.num("rows"), Some(11.0));
+        assert_eq!(r.num("budget"), Some(0.5));
+    }
+
+    #[test]
+    fn encode_and_parse_row_plan() {
+        let r = roundtrip(EventKind::RowPush {
+            w: 0,
+            iter: 3,
+            rows: vec![4, 0, 9],
+        });
+        assert_eq!(
+            r.get("rows"),
+            Some(&Val::Arr(vec![4.0, 0.0, 9.0])),
+            "rank order preserved"
+        );
+    }
+
+    #[test]
+    fn meta_name_is_escaped() {
+        let r = roundtrip(EventKind::Meta {
+            name: "a \"b\"\nc".into(),
+            seed: 42,
+        });
+        assert_eq!(r.str("name"), Some("a \"b\"\nc"));
+        assert_eq!(r.num("seed"), Some(42.0));
+    }
+
+    #[test]
+    fn float_formatting_is_shortest_roundtrip() {
+        let ev = Event {
+            t: 0.1 + 0.2,
+            seq: 0,
+            kind: EventKind::Close { w: 0 },
+        };
+        let mut s = String::new();
+        ev.write_jsonl(&mut s);
+        assert!(s.starts_with("{\"t\":0.30000000000000004,"), "{s}");
+        let r = Record::parse(s.trim_end()).unwrap();
+        assert_eq!(r.t(), 0.1 + 0.2);
+    }
+
+    #[test]
+    fn every_kind_has_distinct_name_and_category() {
+        let kinds = vec![
+            EventKind::Meta {
+                name: String::new(),
+                seed: 0,
+            },
+            EventKind::IterBegin { w: 0, iter: 0 },
+            EventKind::IterEnd { w: 0, iter: 0 },
+            EventKind::State {
+                w: 0,
+                state: "compute",
+            },
+            EventKind::Close { w: 0 },
+            EventKind::GateEnter {
+                w: 0,
+                iter: 0,
+                min: 0,
+                lead: 0,
+                row: -1,
+            },
+            EventKind::GateExit {
+                w: 0,
+                iter: 0,
+                waited: 0.0,
+            },
+            EventKind::PushStart {
+                w: 0,
+                iter: 0,
+                rows: 0,
+                mand: 0,
+                mta: 0,
+                budget: -1.0,
+            },
+            EventKind::PushEnd {
+                w: 0,
+                iter: 0,
+                rows: 0,
+                bytes: 0,
+            },
+            EventKind::PullStart {
+                w: 0,
+                iter: 0,
+                bytes: 0,
+            },
+            EventKind::PullEnd { w: 0, iter: 0 },
+            EventKind::RowPush {
+                w: 0,
+                iter: 0,
+                rows: vec![],
+            },
+            EventKind::RowPull {
+                w: 0,
+                iter: 0,
+                rows: vec![],
+            },
+            EventKind::Retransmit {
+                w: 0,
+                rows: 0,
+                class: "mandatory",
+            },
+            EventKind::Backoff { w: 0, until: 0.0 },
+            EventKind::Loss {
+                w: 0,
+                lost: 0,
+                corrupt: 0,
+                chunks: 0,
+            },
+            EventKind::Fault {
+                kind: "worker_down",
+                w: 0,
+            },
+            EventKind::ResyncStart { w: 0, bytes: 0 },
+            EventKind::ResyncEnd { w: 0, iter: 0 },
+            EventKind::Mta {
+                w: 0,
+                secs: 0.0,
+                budget: 0.0,
+            },
+            EventKind::AutoThreshold { threshold: 0 },
+            EventKind::RunEnd {
+                iters: 0,
+                duration: 0.0,
+            },
+        ];
+        let mut names: Vec<&str> = kinds.iter().map(EventKind::name).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), kinds.len(), "duplicate wire name");
+        for k in &kinds {
+            assert!(k.category().index() < Category::COUNT);
+        }
+    }
+
+    #[test]
+    fn category_indices_are_a_permutation() {
+        let mut seen = [false; Category::COUNT];
+        for c in Category::ALL {
+            assert!(!seen[c.index()], "duplicate index for {}", c.name());
+            seen[c.index()] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+}

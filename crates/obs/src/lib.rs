@@ -1,0 +1,32 @@
+//! `rog-obs`: deterministic event-journal observability for the ROG
+//! simulator.
+//!
+//! ROG's claims are about *where time and bytes go* — gate stalls, row
+//! retransmits, MTA floors, fault recovery (paper Secs. IV–VI, Fig. 8).
+//! This crate turns the deterministic simulation into its own test
+//! oracle: engines record typed [`EventKind`]s into a [`Journal`]
+//! stamped on the virtual clock, the journal serializes to a canonical
+//! JSONL byte stream, and [`TraceSummary`] replays a journal back into
+//! the per-iteration composition `RunMetrics` reports.
+//!
+//! Because every emission site runs on the single event-loop thread at
+//! points totally ordered by (virtual time, queue sequence), a journal
+//! for a fixed (config, seed) is byte-identical across runs and
+//! compute-thread counts — golden journals are byte-diffable
+//! regression artifacts (see `tests/golden_trace.rs` at the workspace
+//! root).
+//!
+//! Build with the `obs-off` feature to compile the journal out
+//! entirely: [`Journal::enabled`] becomes a const `false`, so every
+//! [`obs!`]-guarded site is dead-code eliminated and engine output is
+//! bit-identical to a build without instrumentation.
+
+pub mod event;
+pub mod gz;
+pub mod journal;
+pub mod summary;
+
+pub use event::{Category, Event, EventKind, Record, Val};
+pub use gz::{crc32, gzip_compress, gzip_decompress};
+pub use journal::{Gauges, Journal, DEFAULT_CAPACITY};
+pub use summary::{TraceSummary, STATE_NAMES};

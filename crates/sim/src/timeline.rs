@@ -34,6 +34,17 @@ impl DeviceState {
         DeviceState::Idle,
         DeviceState::Offline,
     ];
+
+    /// Stable lowercase name (journal wire format).
+    pub fn name(self) -> &'static str {
+        match self {
+            DeviceState::Compute => "compute",
+            DeviceState::Communicate => "communicate",
+            DeviceState::Stall => "stall",
+            DeviceState::Idle => "idle",
+            DeviceState::Offline => "offline",
+        }
+    }
 }
 
 /// A half-open span `[start, end)` spent in one state.
@@ -74,17 +85,20 @@ impl Timeline {
     /// previous open span. Zero-length spans are dropped; re-entering the
     /// current state is a no-op.
     ///
+    /// Returns `true` iff the device's state actually changed (journal
+    /// emitters use this to record only real transitions).
+    ///
     /// # Panics
     ///
     /// Panics if `t` precedes the start of the currently open span.
-    pub fn set_state(&mut self, t: Time, state: DeviceState) {
+    pub fn set_state(&mut self, t: Time, state: DeviceState) -> bool {
         if let Some((cur, start)) = self.open {
             assert!(
                 t >= start - 1e-9,
                 "timeline must be monotonic: {t} < {start}"
             );
             if cur == state {
-                return;
+                return false;
             }
             if t > start {
                 self.spans.push(Span {
@@ -95,6 +109,7 @@ impl Timeline {
             }
         }
         self.open = Some((state, t));
+        true
     }
 
     /// Closes the open span at time `t` (idempotent if nothing is open).

@@ -172,6 +172,10 @@ pub struct ExperimentConfig {
     /// [`LossConfig`]). `None` — and an all-zero config — leave every
     /// chunk intact and are bit-identical to a loss-free build.
     pub loss: Option<LossConfig>,
+    /// Record a deterministic event journal (`rog_obs`) during the
+    /// run. Tracing never feeds back into the simulation: metrics are
+    /// bit-identical with tracing on or off.
+    pub trace: bool,
 }
 
 impl Default for ExperimentConfig {
@@ -201,6 +205,7 @@ impl Default for ExperimentConfig {
             fault_plan: None,
             fault_seed: None,
             loss: None,
+            trace: false,
         }
     }
 }
@@ -309,6 +314,17 @@ impl ExperimentConfig {
     /// [`crate::engine::run`]).
     pub fn run(&self) -> crate::RunMetrics {
         crate::engine::run(self)
+    }
+
+    /// Runs the experiment with the event journal forced on,
+    /// returning the journal alongside the metrics (convenience for
+    /// [`crate::engine::run_traced`]).
+    pub fn run_traced(&self) -> (crate::RunMetrics, rog_obs::Journal) {
+        let cfg = ExperimentConfig {
+            trace: true,
+            ..self.clone()
+        };
+        crate::engine::run_traced(&cfg)
     }
 }
 

@@ -2,6 +2,7 @@
 
 use rog_fault::{FaultClock, FaultEvent};
 use rog_models::{GradSet, Mlp, Workload};
+use rog_obs::{obs, EventKind, Journal};
 use rog_sim::{DeviceState, EventQueue, Time, Timeline};
 use rog_tensor::rng::DetRng;
 
@@ -47,6 +48,10 @@ pub struct EngineCtx {
     pub link_down: Vec<bool>,
     /// Whether the parameter server is down (checkpoint/restart).
     pub server_down: bool,
+    /// Deterministic event journal ([`rog_obs`]); disabled unless
+    /// `cfg.trace` is set, and compiled out under the `obs-off`
+    /// feature. Recording never feeds back into the simulation.
+    pub journal: Journal,
     /// Recycled gradient-set buffers (all shaped like the model), so
     /// steady-state draws allocate nothing. Zeroed contents never affect
     /// results: every draw overwrites its buffer from zero.
@@ -83,6 +88,15 @@ impl EngineCtx {
             }
             None => FaultClock::default(),
         };
+        let mut journal = Journal::new(cfg.trace);
+        obs!(
+            journal,
+            0.0,
+            EventKind::Meta {
+                name: cfg.name(),
+                seed: cfg.seed,
+            }
+        );
         Self {
             cfg: cfg.clone(),
             cluster,
@@ -94,6 +108,7 @@ impl EngineCtx {
             offline: vec![false; n],
             link_down: vec![false; n],
             server_down: false,
+            journal,
             grad_pool: Vec::new(),
             batch_rngs: (0..n).map(|w| root.fork(0x100 + w as u64)).collect(),
             jitter_rngs: (0..n).map(|w| root.fork(0x200 + w as u64)).collect(),
@@ -125,9 +140,20 @@ impl EngineCtx {
         (base + self.cfg.codec_secs() + jitter).max(0.05)
     }
 
-    /// Marks a worker's state at time `t`.
+    /// Marks a worker's state at time `t`, journalling the transition
+    /// when the state actually changed (so a journal replay can
+    /// reconstruct the timeline span-for-span).
     pub fn set_state(&mut self, worker: usize, t: Time, state: DeviceState) {
-        self.timelines[worker].set_state(t, state);
+        if self.timelines[worker].set_state(t, state) {
+            obs!(
+                self.journal,
+                t,
+                EventKind::State {
+                    w: worker as u32,
+                    state: state.name(),
+                }
+            );
+        }
     }
 
     /// Schedules the start of a worker's next compute phase at `t`.
@@ -229,16 +255,33 @@ impl EngineCtx {
     ///
     /// `models` are the workers' final model parameters, used to compute
     /// the realized divergence diagnostic.
-    pub fn finish(mut self, models: &[&Mlp]) -> RunMetrics {
+    pub fn finish(self, models: &[&Mlp]) -> RunMetrics {
+        self.finish_traced(models).0
+    }
+
+    /// Like [`EngineCtx::finish`], but also returns the event journal
+    /// (with the per-worker `close` markers and the `run_end` footer a
+    /// replay needs appended).
+    pub fn finish_traced(mut self, models: &[&Mlp]) -> (RunMetrics, Journal) {
         let divergence = relative_model_divergence(models);
         let duration = self.cfg.duration_secs;
-        for tl in &mut self.timelines {
+        for (w, tl) in self.timelines.iter_mut().enumerate() {
             // Devices that never changed state past the end stay as-is;
             // close every open span at the budget boundary.
             if tl.current_state().is_some() {
-                tl.close(duration.max(tl.end_time()));
+                let t_close = duration.max(tl.end_time());
+                tl.close(t_close);
+                obs!(self.journal, t_close, EventKind::Close { w: w as u32 });
             }
         }
+        obs!(
+            self.journal,
+            duration,
+            EventKind::RunEnd {
+                iters: self.collector.total_iterations(),
+                duration,
+            }
+        );
         let robot_mask: Vec<bool> = self
             .cluster
             .devices
@@ -262,8 +305,10 @@ impl EngineCtx {
                 "byte conservation violated: residual {err} of {offered} offered"
             );
         }
-        self.collector
-            .finish(&self.timelines, &robot_mask, duration, bytes, divergence)
+        let metrics =
+            self.collector
+                .finish(&self.timelines, &robot_mask, duration, bytes, divergence);
+        (metrics, self.journal)
     }
 }
 

@@ -9,15 +9,24 @@ pub mod common;
 pub mod model;
 pub mod row;
 
+use rog_obs::Journal;
+
 use crate::config::{ExperimentConfig, Strategy};
 use crate::metrics::RunMetrics;
 
 /// Runs one experiment, dispatching on the configured strategy.
 pub fn run(cfg: &ExperimentConfig) -> RunMetrics {
+    run_traced(cfg).0
+}
+
+/// Runs one experiment and returns the event journal alongside the
+/// metrics. The journal is empty unless `cfg.trace` is set (or the
+/// crate is built with `obs-off`, which compiles tracing out).
+pub fn run_traced(cfg: &ExperimentConfig) -> (RunMetrics, Journal) {
     match cfg.strategy {
         Strategy::Bsp | Strategy::Ssp { .. } | Strategy::Asp | Strategy::Flown { .. } => {
-            model::run(cfg)
+            model::run_traced(cfg)
         }
-        Strategy::Rog { .. } => row::run(cfg),
+        Strategy::Rog { .. } => row::run_traced(cfg),
     }
 }

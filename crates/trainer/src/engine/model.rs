@@ -17,6 +17,7 @@ use rog_models::{GradSet, Mlp};
 use rog_net::{
     BackoffPolicy, FlowEvent, FlowId, FlowOutcome, FlowSpec, ReliableProgress, ReliableTransfer,
 };
+use rog_obs::{obs, EventKind};
 use rog_sim::{DeviceState, Time};
 use rog_sync::{gate, FixedThreshold, FlownPolicy, ThresholdPolicy, VersionVector, WorkerNetStats};
 use rog_tensor::{ops, Matrix};
@@ -37,6 +38,8 @@ struct WState {
     vel: Vec<Matrix>,
     stats: WorkerNetStats,
     push_started: Time,
+    /// When the worker joined the gate wait (journal only).
+    gate_entered: Time,
     done: bool,
     /// A gradient computation is running (its timer is queued).
     computing: bool,
@@ -112,6 +115,12 @@ struct ModelEngine {
 
 /// Runs one model-granularity experiment.
 pub fn run(cfg: &ExperimentConfig) -> RunMetrics {
+    run_traced(cfg).0
+}
+
+/// Runs one model-granularity experiment, returning the event journal
+/// alongside the metrics.
+pub fn run_traced(cfg: &ExperimentConfig) -> (RunMetrics, rog_obs::Journal) {
     let ctx = EngineCtx::new(cfg);
     let n = cfg.n_workers;
     let init = ctx.cluster.init_model.clone();
@@ -136,6 +145,7 @@ pub fn run(cfg: &ExperimentConfig) -> RunMetrics {
             vel: zero.clone(),
             stats: WorkerNetStats::default(),
             push_started: 0.0,
+            gate_entered: 0.0,
             done: false,
             computing: false,
             resume: None,
@@ -176,12 +186,20 @@ pub fn run(cfg: &ExperimentConfig) -> RunMetrics {
     engine.refresh_thresholds();
     engine.event_loop();
     let models: Vec<&Mlp> = engine.workers.iter().map(|w| &w.model).collect();
-    engine.ctx.finish(&models)
+    engine.ctx.finish_traced(&models)
 }
 
 impl ModelEngine {
     fn start_compute(&mut self, w: usize, now: Time) {
         self.workers[w].computing = true;
+        obs!(
+            self.ctx.journal,
+            now,
+            EventKind::IterBegin {
+                w: w as u32,
+                iter: self.workers[w].iter + 1,
+            }
+        );
         self.ctx.start_compute(w, now);
     }
 
@@ -272,6 +290,21 @@ impl ModelEngine {
             return;
         }
         self.workers[w].push_started = now;
+        // Model granularity pushes the whole model: every row is
+        // mandatory, there is no MTA budget.
+        let rows = self.partition.n_rows() as u32;
+        obs!(
+            self.ctx.journal,
+            now,
+            EventKind::PushStart {
+                w: w as u32,
+                iter: self.workers[w].iter + 1,
+                rows,
+                mand: rows,
+                mta: 0,
+                budget: -1.0,
+            }
+        );
         self.ctx.set_state(w, now, DeviceState::Communicate);
         let chunks = self.transport_chunks(w);
         let id = self
@@ -336,6 +369,15 @@ impl ModelEngine {
             .as_ref()
             .expect("parked retry implies transfer state")
             .pending_chunks();
+        obs!(
+            self.ctx.journal,
+            now,
+            EventKind::Retransmit {
+                w: w as u32,
+                rows: chunks.len() as u32,
+                class: "reliable",
+            }
+        );
         self.ctx.set_state(w, now, DeviceState::Communicate);
         let id = self
             .ctx
@@ -363,6 +405,26 @@ impl ModelEngine {
                     // the backed-off retransmit (reliable-only transport
                     // has nothing to degrade to), stalling this worker —
                     // and through the gate, eventually everyone.
+                    if let Some(r) = report.as_ref() {
+                        obs!(
+                            self.ctx.journal,
+                            ev.at,
+                            EventKind::Loss {
+                                w: w as u32,
+                                lost: r.lost_chunks() as u32,
+                                corrupt: r.corrupt_chunks() as u32,
+                                chunks: r.fates.len() as u32,
+                            }
+                        );
+                    }
+                    obs!(
+                        self.ctx.journal,
+                        ev.at,
+                        EventKind::Backoff {
+                            w: w as u32,
+                            until: ev.at + delay,
+                        }
+                    );
                     self.retry_ctx[w] = Some(ctx);
                     self.ctx.set_state(w, ev.at, DeviceState::Stall);
                     self.schedule_retry(w, ev.at + delay);
@@ -400,8 +462,30 @@ impl ModelEngine {
         self.workers[w].stats.last_push_secs = dur;
         self.workers[w].stats.est_bandwidth_bps = self.model_wire_bytes as f64 * 8.0 / dur;
         self.refresh_thresholds();
+        obs!(
+            self.ctx.journal,
+            now,
+            EventKind::PushEnd {
+                w: w as u32,
+                iter: pushed_iter,
+                rows: self.partition.n_rows() as u32,
+                bytes: self.model_wire_bytes,
+            }
+        );
         // This worker now waits for its pull.
         self.server.waiting.push(w);
+        self.workers[w].gate_entered = now;
+        obs!(
+            self.ctx.journal,
+            now,
+            EventKind::GateEnter {
+                w: w as u32,
+                iter: pushed_iter,
+                min: self.server.versions.min(),
+                lead: self.server.versions.lead(w),
+                row: -1,
+            }
+        );
         self.ctx.set_state(w, now, DeviceState::Stall);
         self.drain_waiting(now);
     }
@@ -438,6 +522,24 @@ impl ModelEngine {
                 .collect(),
         );
         let payload = quantize_set(&self.partition, &mut self.server.efs[w], &pending);
+        obs!(
+            self.ctx.journal,
+            now,
+            EventKind::GateExit {
+                w: w as u32,
+                iter: self.workers[w].iter + 1,
+                waited: now - self.workers[w].gate_entered,
+            }
+        );
+        obs!(
+            self.ctx.journal,
+            now,
+            EventKind::PullStart {
+                w: w as u32,
+                iter: self.workers[w].iter + 1,
+                bytes: self.model_wire_bytes,
+            }
+        );
         self.ctx.set_state(w, now, DeviceState::Communicate);
         let chunks = self.transport_chunks(w);
         let id = self
@@ -449,6 +551,14 @@ impl ModelEngine {
     }
 
     fn on_pull_done(&mut self, w: usize, payload: GradSet, now: Time) {
+        obs!(
+            self.ctx.journal,
+            now,
+            EventKind::PullEnd {
+                w: w as u32,
+                iter: self.workers[w].iter + 1,
+            }
+        );
         let lr = self.ctx.cluster.lr;
         let momentum = self.ctx.cfg.momentum;
         {
@@ -467,6 +577,11 @@ impl ModelEngine {
         }
         self.ctx.collector.record_iteration(w);
         let iter = self.workers[w].iter;
+        obs!(
+            self.ctx.journal,
+            now,
+            EventKind::IterEnd { w: w as u32, iter }
+        );
         self.ctx.maybe_eval(w, iter, now, &self.workers[w].model);
         if now < self.ctx.duration() {
             self.start_compute(w, now);
@@ -479,6 +594,14 @@ impl ModelEngine {
     // ----- fault injection ------------------------------------------------
 
     fn on_fault(&mut self, f: FaultEvent, now: Time) {
+        obs!(
+            self.ctx.journal,
+            now,
+            EventKind::Fault {
+                kind: f.name(),
+                w: f.worker().map_or(-1, |w| w as i64),
+            }
+        );
         match f {
             FaultEvent::WorkerDown(w) => self.on_worker_down(w, now),
             FaultEvent::WorkerUp(w) => self.on_worker_up(w, now),
@@ -564,6 +687,14 @@ impl ModelEngine {
     }
 
     fn begin_resync(&mut self, w: usize, now: Time) {
+        obs!(
+            self.ctx.journal,
+            now,
+            EventKind::ResyncStart {
+                w: w as u32,
+                bytes: self.model_wire_bytes,
+            }
+        );
         self.ctx.set_state(w, now, DeviceState::Communicate);
         let chunks = self.transport_chunks(w);
         let id = self
@@ -597,6 +728,11 @@ impl ModelEngine {
             ws.iter = iter;
         }
         let iter = self.workers[w].iter;
+        obs!(
+            self.ctx.journal,
+            now,
+            EventKind::ResyncEnd { w: w as u32, iter }
+        );
         let ws = &mut self.workers[w];
         ws.ef.reset();
         for m in &mut ws.vel {

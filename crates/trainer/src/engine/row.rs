@@ -18,7 +18,9 @@ use rog_fault::FaultEvent;
 use rog_net::{
     BackoffPolicy, FlowEvent, FlowId, FlowOutcome, FlowSpec, ReliableProgress, ReliableTransfer,
 };
+use rog_obs::{obs, EventKind};
 use rog_sim::{DeviceState, Time};
+use rog_sync::gate;
 
 use crate::compute::{self, PendingDraw};
 use crate::config::{ExperimentConfig, Strategy};
@@ -33,6 +35,8 @@ struct WState {
     done: bool,
     push_plan: Vec<RowId>,
     push_started: Time,
+    /// When the worker joined the RSP gate wait (journal only).
+    gate_entered: Time,
     push_delivered: usize,
     push_target: usize,
     mta_rows: usize,
@@ -206,6 +210,12 @@ impl AutoThreshold {
 
 /// Runs one ROG experiment.
 pub fn run(cfg: &ExperimentConfig) -> RunMetrics {
+    run_traced(cfg).0
+}
+
+/// Runs one ROG experiment, returning the event journal alongside the
+/// metrics.
+pub fn run_traced(cfg: &ExperimentConfig) -> (RunMetrics, rog_obs::Journal) {
     let Strategy::Rog { threshold } = cfg.strategy else {
         unreachable!("model strategies run in the model engine");
     };
@@ -228,6 +238,7 @@ pub fn run(cfg: &ExperimentConfig) -> RunMetrics {
             done: false,
             push_plan: Vec::new(),
             push_started: 0.0,
+            gate_entered: 0.0,
             push_delivered: 0,
             push_target: 0,
             mta_rows: 0,
@@ -276,13 +287,21 @@ pub fn run(cfg: &ExperimentConfig) -> RunMetrics {
     };
     engine.event_loop();
     let models: Vec<&rog_models::Mlp> = engine.workers.iter().map(|w| &w.model).collect();
-    engine.ctx.finish(&models)
+    engine.ctx.finish_traced(&models)
 }
 
 impl RowEngine {
     fn start_compute(&mut self, w: usize, now: Time) {
         self.workers[w].computing = true;
         self.workers[w].pipe_waiting = false;
+        obs!(
+            self.ctx.journal,
+            now,
+            EventKind::IterBegin {
+                w: w as u32,
+                iter: self.workers[w].iter + 1,
+            }
+        );
         self.ctx.start_compute(w, now);
     }
 
@@ -394,6 +413,14 @@ impl RowEngine {
         let n = self.workers[w].iter + 1;
         self.workers[w].iter = n;
         self.ctx.collector.record_iteration(w);
+        obs!(
+            self.ctx.journal,
+            now,
+            EventKind::IterEnd {
+                w: w as u32,
+                iter: n
+            }
+        );
         let (grads, _) = self.take_draw(w);
         self.workers[w].worker.accumulate(&grads);
         self.ctx.recycle_grads(grads);
@@ -446,10 +473,11 @@ impl RowEngine {
         let mut plan = std::mem::take(&mut ws.push_plan);
         ws.worker.plan_push_into(n, &mut plan);
         let n_rows = plan.len();
-        let t = u64::from(self.threshold.max(1));
         let mandatory = plan
             .iter()
-            .take_while(|&&id| n.saturating_sub(ws.worker.row_iters()[id.0]) >= t)
+            .take_while(|&&id| {
+                gate::row_is_mandatory(ws.worker.row_iters()[id.0], n, self.threshold)
+            })
             .count();
         let mta_rows = mta::mta_rows(n_rows, self.threshold);
         ws.mta_rows = mta_rows;
@@ -461,6 +489,24 @@ impl RowEngine {
         ws.push_intact.clear();
         ws.push_retry.clear();
         let budget = self.tracker.get();
+        if self.ctx.journal.enabled() {
+            let ws = &self.workers[w];
+            let start = EventKind::PushStart {
+                w: w as u32,
+                iter: n,
+                rows: ws.push_plan.len() as u32,
+                mand: ws.push_mandatory as u32,
+                mta: ws.mta_rows as u32,
+                budget,
+            };
+            let rows_ranked = EventKind::RowPush {
+                w: w as u32,
+                iter: n,
+                rows: ws.push_plan.iter().map(|id| id.0 as u32).collect(),
+            };
+            self.ctx.journal.record(now, start);
+            self.ctx.journal.record(now, rows_ranked);
+        }
         let chunks = {
             let ws = &self.workers[w];
             self.scaled_chunks(ws, &ws.push_plan)
@@ -504,6 +550,20 @@ impl RowEngine {
         let Some(report) = self.ctx.cluster.channel.take_report(ev.id) else {
             return;
         };
+        let lost = report.lost_chunks();
+        let corrupt = report.corrupt_chunks();
+        if lost + corrupt > 0 {
+            obs!(
+                self.ctx.journal,
+                ev.at,
+                EventKind::Loss {
+                    w: w as u32,
+                    lost: lost as u32,
+                    corrupt: corrupt as u32,
+                    chunks: report.fates.len() as u32,
+                }
+            );
+        }
         let ws = &mut self.workers[w];
         let (plan, intact) = if pull {
             (&ws.pull_plan, &mut ws.pull_intact)
@@ -566,6 +626,15 @@ impl RowEngine {
         if self.ctx.cluster.channel.loss_enabled() {
             let missing = self.missing_mandatory(w);
             if !missing.is_empty() {
+                obs!(
+                    self.ctx.journal,
+                    now,
+                    EventKind::Retransmit {
+                        w: w as u32,
+                        rows: missing.len() as u32,
+                        class: "mandatory",
+                    }
+                );
                 let chunks = {
                     let ws = &self.workers[w];
                     self.scaled_chunks(ws, &missing)
@@ -602,6 +671,22 @@ impl RowEngine {
         );
         let report = self.ctx.cluster.channel.take_report(ev.id);
         let retry = std::mem::take(&mut self.workers[w].push_retry);
+        if let Some(rep) = report.as_ref() {
+            let lost = rep.lost_chunks();
+            let corrupt = rep.corrupt_chunks();
+            if lost + corrupt > 0 {
+                obs!(
+                    self.ctx.journal,
+                    ev.at,
+                    EventKind::Loss {
+                        w: w as u32,
+                        lost: lost as u32,
+                        corrupt: corrupt as u32,
+                        chunks: rep.fates.len() as u32,
+                    }
+                );
+            }
+        }
         let ws = &mut self.workers[w];
         match report {
             Some(rep) => ws.push_intact.extend(
@@ -649,6 +734,30 @@ impl RowEngine {
         self.check_version_invariants(n);
         self.tracker.report(w, delivered, duration, mta_rows);
         self.last_pushed[w] = n;
+        if self.ctx.journal.enabled() {
+            let bytes: u64 = {
+                let ws = &self.workers[w];
+                let upto = delivered.min(ws.push_plan.len());
+                self.scaled_chunks(ws, &ws.push_plan[..upto]).iter().sum()
+            };
+            self.ctx.journal.record(
+                now,
+                EventKind::PushEnd {
+                    w: w as u32,
+                    iter: n,
+                    rows: delivered as u32,
+                    bytes,
+                },
+            );
+            self.ctx.journal.record(
+                now,
+                EventKind::Mta {
+                    w: w as u32,
+                    secs: duration,
+                    budget: self.tracker.get(),
+                },
+            );
+        }
 
         if self.ctx.cfg.record_micro && w == 0 {
             let fastest = *self.last_pushed.iter().max().expect("non-empty");
@@ -666,6 +775,21 @@ impl RowEngine {
         }
 
         // RSP gate (Algorithm 2 lines 7–9): pull waits for stragglers.
+        self.workers[w].gate_entered = now;
+        if self.ctx.journal.enabled() {
+            let (_, row, _) = self.server.versions_mut().stalest_cell();
+            let min = self.server.versions_mut().global_min();
+            self.ctx.journal.record(
+                now,
+                EventKind::GateEnter {
+                    w: w as u32,
+                    iter: n,
+                    min,
+                    lead: n.saturating_sub(min),
+                    row: row as i64,
+                },
+            );
+        }
         if self.server.gate_ok(n) {
             self.grant_pull(w, now);
         } else {
@@ -690,6 +814,15 @@ impl RowEngine {
     }
 
     fn grant_pull(&mut self, w: usize, now: Time) {
+        obs!(
+            self.ctx.journal,
+            now,
+            EventKind::GateExit {
+                w: w as u32,
+                iter: self.workers[w].comm_iter,
+                waited: now - self.workers[w].gate_entered,
+            }
+        );
         let mut plan = std::mem::take(&mut self.workers[w].pull_plan);
         self.server.plan_pull_into(w, &mut plan);
         if plan.is_empty() {
@@ -716,6 +849,25 @@ impl RowEngine {
                 })
                 .collect()
         };
+        if self.ctx.journal.enabled() {
+            let ws = &self.workers[w];
+            self.ctx.journal.record(
+                now,
+                EventKind::PullStart {
+                    w: w as u32,
+                    iter: ws.comm_iter,
+                    bytes: chunks.iter().sum(),
+                },
+            );
+            self.ctx.journal.record(
+                now,
+                EventKind::RowPull {
+                    w: w as u32,
+                    iter: ws.comm_iter,
+                    rows: ws.pull_plan.iter().map(|id| id.0 as u32).collect(),
+                },
+            );
+        }
         self.set_comm_state(w, now, DeviceState::Communicate);
         let id = self
             .ctx
@@ -771,6 +923,14 @@ impl RowEngine {
         } else {
             self.workers[w].pull_plan[..delivered].to_vec()
         };
+        obs!(
+            self.ctx.journal,
+            now,
+            EventKind::PullEnd {
+                w: w as u32,
+                iter: self.workers[w].comm_iter,
+            }
+        );
         let payload = self.server.commit_pull(w, &rows);
         let ws = &mut self.workers[w];
         ws.worker.apply_pulled(ws.model.params_mut(), &payload);
@@ -838,6 +998,11 @@ impl RowEngine {
             old
         };
         if new != old {
+            obs!(
+                self.ctx.journal,
+                now,
+                EventKind::AutoThreshold { threshold: new }
+            );
             self.threshold = new;
             self.server.set_threshold(new);
             for ws in &mut self.workers {
@@ -855,6 +1020,11 @@ impl RowEngine {
         self.workers[w].iter += 1;
         self.ctx.collector.record_iteration(w);
         let iter = self.workers[w].iter;
+        obs!(
+            self.ctx.journal,
+            now,
+            EventKind::IterEnd { w: w as u32, iter }
+        );
         self.ctx.maybe_eval(w, iter, now, &self.workers[w].model);
         self.maybe_adjust_threshold(now);
         if now < self.ctx.duration() {
@@ -868,6 +1038,14 @@ impl RowEngine {
     // ----- fault injection ------------------------------------------------
 
     fn on_fault(&mut self, f: FaultEvent, now: Time) {
+        obs!(
+            self.ctx.journal,
+            now,
+            EventKind::Fault {
+                kind: f.name(),
+                w: f.worker().map_or(-1, |w| w as i64),
+            }
+        );
         match f {
             FaultEvent::WorkerDown(w) => self.on_worker_down(w, now),
             FaultEvent::WorkerUp(w) => self.on_worker_up(w, now),
@@ -967,6 +1145,14 @@ impl RowEngine {
     /// the whole model, tracked by a [`ReliableTransfer`]. Without one,
     /// the pre-loss single-chunk flow is byte-identical.
     fn begin_resync(&mut self, w: usize, now: Time) {
+        obs!(
+            self.ctx.journal,
+            now,
+            EventKind::ResyncStart {
+                w: w as u32,
+                bytes: self.model_wire_bytes,
+            }
+        );
         self.ctx.set_state(w, now, DeviceState::Communicate);
         let chunks = if self.ctx.cluster.channel.loss_enabled() {
             let chunks = segment_chunks(self.model_wire_bytes);
@@ -1007,6 +1193,26 @@ impl RowEngine {
             ReliableProgress::Retry { delay } => {
                 // Some chunks died in flight: wait out the capped
                 // exponential backoff, then resend the survivors.
+                if let Some(r) = report.as_ref() {
+                    obs!(
+                        self.ctx.journal,
+                        now,
+                        EventKind::Loss {
+                            w: w as u32,
+                            lost: r.lost_chunks() as u32,
+                            corrupt: r.corrupt_chunks() as u32,
+                            chunks: r.fates.len() as u32,
+                        }
+                    );
+                }
+                obs!(
+                    self.ctx.journal,
+                    now,
+                    EventKind::Backoff {
+                        w: w as u32,
+                        until: now + delay,
+                    }
+                );
                 self.ctx.set_state(w, now, DeviceState::Stall);
                 self.schedule_retry(w, now + delay);
             }
@@ -1054,6 +1260,15 @@ impl RowEngine {
             return;
         }
         let chunks = retx.pending_chunks();
+        obs!(
+            self.ctx.journal,
+            now,
+            EventKind::Retransmit {
+                w: w as u32,
+                rows: chunks.len() as u32,
+                class: "reliable",
+            }
+        );
         self.ctx.set_state(w, now, DeviceState::Communicate);
         let id = self
             .ctx
@@ -1112,6 +1327,14 @@ impl RowEngine {
             ws.iter = iter;
         }
         let n = self.workers[w].iter;
+        obs!(
+            self.ctx.journal,
+            now,
+            EventKind::ResyncEnd {
+                w: w as u32,
+                iter: n
+            }
+        );
         let ws = &mut self.workers[w];
         ws.applied_iter = n;
         ws.comm_iter = n;

@@ -164,6 +164,12 @@ impl MetricsCollector {
         self.micro.push(sample);
     }
 
+    /// Iterations completed so far, summed over workers — the divisor
+    /// the per-iteration composition uses.
+    pub fn total_iterations(&self) -> u64 {
+        self.iterations.iter().sum()
+    }
+
     /// Assembles the final metrics from the closed per-worker timelines.
     ///
     /// `robot_mask[w]` selects which workers count toward the energy

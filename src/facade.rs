@@ -28,6 +28,7 @@ pub mod prelude {
     pub use rog_fault::{ChurnProfile, FaultPlan};
     pub use rog_models::{CrimpSpec, CrudaSpec, Workload};
     pub use rog_net::{Channel, ChannelProfile, LossConfig, SharingMode, Trace};
+    pub use rog_obs::{Journal, TraceSummary};
     pub use rog_tensor::rng::DetRng;
     pub use rog_tensor::Matrix;
     pub use rog_trainer::{

@@ -18,6 +18,8 @@
 //! * [`sync`] — model-granularity baselines.
 //! * [`fault`] — deterministic fault injection (worker churn, link
 //!   blackouts, server restarts) for robustness experiments.
+//! * [`obs`] — deterministic event journal, trace summaries and the
+//!   JSONL/gzip plumbing behind `rogctl trace`.
 //!
 //! See `README.md` for the architecture overview, `DESIGN.md` for the
 //! paper-to-code map, `EXPERIMENTS.md` for paper-vs-measured results,
@@ -36,6 +38,7 @@ pub use rog_energy as energy;
 pub use rog_fault as fault;
 pub use rog_models as models;
 pub use rog_net as net;
+pub use rog_obs as obs;
 pub use rog_sim as sim;
 pub use rog_sync as sync;
 pub use rog_tensor as tensor;

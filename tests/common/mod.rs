@@ -1,0 +1,105 @@
+//! Helpers shared by the facade integration-test suite.
+//!
+//! Each test binary compiles this module independently and uses a
+//! subset of it, so unused items are expected.
+#![allow(dead_code)]
+
+use rog::core::RowId;
+use rog::prelude::*;
+use rog::trainer::report::runs_to_json;
+
+/// Float tolerance for exact-accounting invariants: timeline sums and
+/// journal reconciliation agree on 1e-9.
+pub const EPS: f64 = 1e-9;
+
+/// Tolerance for checkpoint monotonicity: checkpoint values are
+/// averaged over workers, so consecutive values may regress by float
+/// error well above [`EPS`].
+pub const CKPT_EPS: f64 = 1e-6;
+
+/// The canonical small deterministic cluster — 2 robot workers, Small
+/// model, stable channel, 120 virtual seconds, seed 42 — shared by the
+/// fault, loss and trace suites.
+pub fn small_cluster_cfg(strategy: Strategy) -> ExperimentConfig {
+    ExperimentConfig {
+        workload: WorkloadKind::Cruda,
+        environment: Environment::Stable,
+        strategy,
+        model_scale: ModelScale::Small,
+        n_workers: 2,
+        n_laptop_workers: 0,
+        duration_secs: 120.0,
+        eval_every: 5,
+        seed: 42,
+        ..ExperimentConfig::default()
+    }
+}
+
+/// Asserts two runs are observably identical: bit-exact byte counters,
+/// equal checkpoints, and byte-equal serialized JSON reports.
+pub fn assert_identical_runs(a: &RunMetrics, b: &RunMetrics, what: &str) {
+    assert_eq!(a.name, b.name, "name differs: {what}");
+    assert_eq!(a.checkpoints, b.checkpoints, "checkpoints differ: {what}");
+    assert_eq!(
+        a.mean_iterations, b.mean_iterations,
+        "iterations differ: {what}"
+    );
+    assert_eq!(a.total_energy_j, b.total_energy_j, "energy differs: {what}");
+    assert_eq!(
+        a.useful_bytes.to_bits(),
+        b.useful_bytes.to_bits(),
+        "useful bytes differ: {what}"
+    );
+    assert_eq!(
+        a.wasted_bytes.to_bits(),
+        b.wasted_bytes.to_bits(),
+        "wasted bytes differ: {what}"
+    );
+    assert_eq!(
+        a.lost_bytes.to_bits(),
+        b.lost_bytes.to_bits(),
+        "lost bytes differ: {what}"
+    );
+    assert_eq!(
+        runs_to_json(std::slice::from_ref(a)),
+        runs_to_json(std::slice::from_ref(b)),
+        "serialized reports differ: {what}"
+    );
+}
+
+/// Asserts checkpoints are strictly ordered in iteration and monotone
+/// (within [`CKPT_EPS`]) in cumulative energy. Holds for *every*
+/// strategy, including ASP.
+pub fn assert_checkpoints_monotone(m: &RunMetrics, what: &str) {
+    for w in m.checkpoints.windows(2) {
+        assert!(w[0].iter < w[1].iter, "{what}: iterations not ordered");
+        assert!(
+            w[0].energy_j <= w[1].energy_j + CKPT_EPS,
+            "{what}: energy went backwards"
+        );
+    }
+}
+
+/// [`assert_checkpoints_monotone`] plus time monotonicity. Checkpoint
+/// times are per-iteration means over workers, so this only holds when
+/// worker progress is staleness-bounded — ASP legitimately violates it
+/// (a fast worker reaches iteration N before a slow worker reaches
+/// N - 10, dragging the later checkpoint's mean time backwards).
+pub fn assert_checkpoints_monotone_in_time(m: &RunMetrics, what: &str) {
+    assert_checkpoints_monotone(m, what);
+    for w in m.checkpoints.windows(2) {
+        assert!(
+            w[0].time <= w[1].time + CKPT_EPS,
+            "{what}: checkpoint time went backwards"
+        );
+    }
+}
+
+/// Length of the RSP-mandatory prefix of a ranked push plan, computed
+/// through the one shared predicate (`rog::sync::gate`) the engines and
+/// tests agree on.
+pub fn mandatory_prefix(plan: &[RowId], row_iters: &[u64], iter: u64, threshold: u32) -> usize {
+    plan.iter()
+        .take_while(|&&id| rog::sync::gate::row_is_mandatory(row_iters[id.0], iter, threshold))
+        .count()
+}

@@ -1,6 +1,8 @@
 //! Cross-crate integration tests: full simulated training runs through
 //! the public API, every strategy, both workloads.
 
+mod common;
+
 use rog::trainer::{report, Environment, ExperimentConfig, ModelScale, Strategy, WorkloadKind};
 
 fn base_cfg() -> ExperimentConfig {
@@ -48,11 +50,7 @@ fn every_strategy_completes_a_run() {
         assert!(m.total_energy_j > 0.0);
         assert!(m.composition.total() > 0.0);
         // Checkpoints are ordered in iteration and time.
-        for w in m.checkpoints.windows(2) {
-            assert!(w[0].iter < w[1].iter);
-            assert!(w[0].time <= w[1].time + 1e-9);
-            assert!(w[0].energy_j <= w[1].energy_j + 1e-9);
-        }
+        common::assert_checkpoints_monotone_in_time(&m, &strategy.name());
     }
 }
 

@@ -1,6 +1,8 @@
 //! Engine-level invariants that must hold for every strategy and mode:
 //! timeline conservation, energy consistency, throughput ordering.
 
+mod common;
+
 use rog::prelude::*;
 
 fn base() -> ExperimentConfig {
@@ -125,13 +127,7 @@ fn rog_throughput_rises_with_threshold() {
 fn checkpoint_energy_is_monotonic_everywhere() {
     for strategy in all_strategies() {
         let m = ExperimentConfig { strategy, ..base() }.run();
-        for w in m.checkpoints.windows(2) {
-            assert!(
-                w[0].energy_j <= w[1].energy_j + 1e-6,
-                "{}: energy went backwards",
-                strategy.name()
-            );
-        }
+        common::assert_checkpoints_monotone(&m, &strategy.name());
     }
 }
 

@@ -3,23 +3,11 @@
 //! byte-free, faulted runs are thread-count invariant, and dynamic
 //! membership (ROG) beats static membership (BSP) under churn.
 
+mod common;
+
+use common::small_cluster_cfg as base;
 use rog::prelude::*;
 use rog::trainer::report::runs_to_json;
-
-fn base(strategy: Strategy) -> ExperimentConfig {
-    ExperimentConfig {
-        workload: WorkloadKind::Cruda,
-        environment: Environment::Stable,
-        strategy,
-        model_scale: ModelScale::Small,
-        n_workers: 2,
-        n_laptop_workers: 0,
-        duration_secs: 120.0,
-        eval_every: 5,
-        seed: 42,
-        ..ExperimentConfig::default()
-    }
-}
 
 /// The zero-cost-when-unused guarantee, checked at the serialized-run
 /// level: a run with an explicitly empty `FaultPlan` must produce the
@@ -51,10 +39,7 @@ fn faulted_runs_are_thread_count_invariant() {
     rog::trainer::compute::set_thread_override(Some(4));
     let parallel = cfg.run();
     rog::trainer::compute::set_thread_override(None);
-    assert_eq!(
-        runs_to_json(std::slice::from_ref(&serial)),
-        runs_to_json(std::slice::from_ref(&parallel))
-    );
+    common::assert_identical_runs(&serial, &parallel, "faulted run, threads 1 vs 4");
 }
 
 /// The robustness headline: under the same 60 s worker outage, ROG's

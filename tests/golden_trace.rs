@@ -1,0 +1,79 @@
+//! Golden-trace snapshot tests: the event journal of a (config, seed)
+//! pair is a canonical artifact. Each scenario is regenerated at 1, 2
+//! and 8 compute threads and byte-diffed against the gzipped golden
+//! journal checked into `tests/golden/`.
+//!
+//! To refresh the goldens after an intentional engine change:
+//!
+//! ```text
+//! ROG_UPDATE_GOLDEN=1 cargo test -p rog --test golden_trace
+//! ```
+
+mod common;
+
+use std::path::PathBuf;
+
+use rog::obs::{gzip_compress, gzip_decompress};
+use rog::prelude::*;
+use rog::trainer::compute;
+
+fn golden_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join(format!("{name}.jsonl.gz"))
+}
+
+/// The two snapshot scenarios: ROG on the paper's unstable indoor
+/// channel, and the BSP baseline under bursty packet loss (exercising
+/// the reliable-transport retransmit/backoff events).
+fn scenarios() -> Vec<(&'static str, ExperimentConfig)> {
+    let mut rog_indoor = common::small_cluster_cfg(Strategy::Rog { threshold: 4 });
+    rog_indoor.environment = Environment::Indoor;
+    rog_indoor.duration_secs = 60.0;
+    let mut bsp_loss = common::small_cluster_cfg(Strategy::Bsp);
+    bsp_loss.duration_secs = 60.0;
+    bsp_loss.loss = Some(LossConfig::gilbert_elliott(bsp_loss.seed, 0.10));
+    vec![("rog_indoor", rog_indoor), ("bsp_loss", bsp_loss)]
+}
+
+/// One test drives every scenario and thread count: the thread override
+/// is process-global, so interleaving with other `#[test]`s would race.
+#[test]
+fn golden_traces_are_byte_stable_across_thread_counts() {
+    let update = std::env::var("ROG_UPDATE_GOLDEN").is_ok();
+    for (name, cfg) in scenarios() {
+        let mut journals = Vec::new();
+        for threads in [1usize, 2, 8] {
+            compute::set_thread_override(Some(threads));
+            let (_, journal) = cfg.run_traced();
+            journals.push((threads, journal.to_jsonl()));
+        }
+        compute::set_thread_override(None);
+        let (_, reference) = &journals[0];
+        assert!(!reference.is_empty(), "{name}: traced run emitted nothing");
+        for (threads, jsonl) in &journals[1..] {
+            assert_eq!(
+                jsonl, reference,
+                "{name}: journal differs between 1 and {threads} compute threads"
+            );
+        }
+        let path = golden_path(name);
+        if update {
+            std::fs::write(&path, gzip_compress(reference.as_bytes())).expect("write golden");
+            continue;
+        }
+        let golden_gz = std::fs::read(&path).unwrap_or_else(|e| {
+            panic!(
+                "{name}: cannot read golden {path:?}: {e}\n\
+                 (regenerate with ROG_UPDATE_GOLDEN=1)"
+            )
+        });
+        let golden =
+            String::from_utf8(gzip_decompress(&golden_gz).expect("golden gunzips")).expect("utf8");
+        assert_eq!(
+            reference, &golden,
+            "{name}: journal drifted from the golden trace \
+             (ROG_UPDATE_GOLDEN=1 refreshes it if the change is intentional)"
+        );
+    }
+}

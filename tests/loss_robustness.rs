@@ -5,49 +5,11 @@
 //! within its staleness bound while the reliable-only BSP baseline's
 //! stall residency visibly grows.
 
-use rog_net::LossConfig;
-use rog_trainer::compute;
-use rog_trainer::{Environment, ExperimentConfig, ModelScale, RunMetrics, Strategy, WorkloadKind};
+mod common;
 
-fn cfg(strategy: Strategy) -> ExperimentConfig {
-    ExperimentConfig {
-        workload: WorkloadKind::Cruda,
-        environment: Environment::Stable,
-        strategy,
-        model_scale: ModelScale::Small,
-        n_workers: 2,
-        n_laptop_workers: 0,
-        duration_secs: 120.0,
-        eval_every: 5,
-        seed: 42,
-        ..ExperimentConfig::default()
-    }
-}
-
-fn assert_identical(a: &RunMetrics, b: &RunMetrics, what: &str) {
-    assert_eq!(a.name, b.name, "name differs: {what}");
-    assert_eq!(a.checkpoints, b.checkpoints, "checkpoints differ: {what}");
-    assert_eq!(
-        a.mean_iterations, b.mean_iterations,
-        "iterations differ: {what}"
-    );
-    assert_eq!(a.total_energy_j, b.total_energy_j, "energy differs: {what}");
-    assert_eq!(
-        a.useful_bytes.to_bits(),
-        b.useful_bytes.to_bits(),
-        "useful bytes differ: {what}"
-    );
-    assert_eq!(
-        a.wasted_bytes.to_bits(),
-        b.wasted_bytes.to_bits(),
-        "wasted bytes differ: {what}"
-    );
-    assert_eq!(
-        a.lost_bytes.to_bits(),
-        b.lost_bytes.to_bits(),
-        "lost bytes differ: {what}"
-    );
-}
+use common::{assert_identical_runs, small_cluster_cfg as cfg};
+use rog::prelude::*;
+use rog::trainer::compute;
 
 #[test]
 fn zero_loss_config_is_byte_identical_to_loss_free_run() {
@@ -57,7 +19,7 @@ fn zero_loss_config_is_byte_identical_to_loss_free_run() {
             let mut c = cfg(strategy);
             c.loss = Some(zero);
             let m = c.run();
-            assert_identical(&base, &m, &base.name);
+            assert_identical_runs(&base, &m, &base.name);
             assert_eq!(m.lost_bytes, 0.0);
             assert_eq!(m.corrupt_bytes, 0.0);
         }
@@ -75,8 +37,8 @@ fn lossy_runs_are_deterministic_and_thread_invariant() {
     compute::set_thread_override(None);
     let again = c.run();
     assert!(serial.name.contains("+loss"), "{}", serial.name);
-    assert_identical(&serial, &parallel, "threads 1 vs 4");
-    assert_identical(&serial, &again, "replay");
+    assert_identical_runs(&serial, &parallel, "threads 1 vs 4");
+    assert_identical_runs(&serial, &again, "replay");
 }
 
 #[test]
@@ -139,12 +101,11 @@ fn reliable_only_bsp_stalls_more_under_loss_than_rog() {
 
 #[test]
 fn loss_windows_from_fault_plans_drop_bytes() {
-    use rog_fault::FaultPlan;
     let mut c = cfg(Strategy::Rog { threshold: 4 });
     c.fault_plan = Some(FaultPlan::new().link_loss(0, 20.0, 100.0, 0.15));
     let m = c.run();
     assert!(m.name.contains("+loss"), "{}", m.name);
     assert!(m.lost_bytes > 0.0, "windowed loss must drop bytes");
     let m2 = c.run();
-    assert_identical(&m, &m2, "windowed loss replay");
+    assert_identical_runs(&m, &m2, "windowed loss replay");
 }

@@ -3,6 +3,8 @@
 //! to the MTA/mandatory floor, row staleness stays within the
 //! threshold and every worker eventually applies the same gradients.
 
+mod common;
+
 use proptest::prelude::*;
 use rog::core::{mta, RogServer, RogWorker, RogWorkerConfig, RowId};
 use rog::tensor::rng::DetRng;
@@ -46,11 +48,7 @@ proptest! {
             worker.accumulate(&g);
             let plan = worker.plan_push(iter);
             // Mandatory rows sit at the front of the plan.
-            let t = u64::from(threshold);
-            let mandatory = plan
-                .iter()
-                .take_while(|&&id| iter.saturating_sub(worker.row_iters()[id.0]) >= t)
-                .count();
+            let mandatory = common::mandatory_prefix(&plan, worker.row_iters(), iter, threshold);
             // Adversarial channel: deliver between the floor and all.
             let floor = mta_rows.max(mandatory).min(plan.len());
             let extra = ((plan.len() - floor) as f64 * cut_bias * rng.uniform()) as usize;
@@ -88,11 +86,8 @@ proptest! {
             let g = random_grads(&mut rng);
             workers[w].accumulate(&g);
             let plan = workers[w].plan_push(next);
-            let t = u64::from(threshold);
-            let mandatory = plan
-                .iter()
-                .take_while(|&&id| next.saturating_sub(workers[w].row_iters()[id.0]) >= t)
-                .count();
+            let mandatory =
+                common::mandatory_prefix(&plan, workers[w].row_iters(), next, threshold);
             let floor = mta_rows.max(mandatory).min(plan.len());
             let sent = workers[w].commit_push(&plan[..floor], next);
             server.on_push(w, next, &sent);

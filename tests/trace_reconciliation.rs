@@ -1,0 +1,142 @@
+//! The event journal must reconcile with `RunMetrics`: the composition
+//! a `TraceSummary` replays from the journal is *bitwise* identical to
+//! the one the metrics collector reports, residency sums conserve wall
+//! time within 1e-9, and turning tracing on never perturbs the run.
+
+mod common;
+
+use common::{assert_identical_runs, small_cluster_cfg, EPS};
+use rog::obs::TraceSummary;
+use rog::prelude::*;
+
+/// Composition comparisons are bitwise: the summary replay mirrors the
+/// timeline float arithmetic op-for-op, so any drift is a bug.
+fn assert_bits(a: f64, b: f64, what: &str) {
+    assert_eq!(a.to_bits(), b.to_bits(), "{what}: {a} != {b}");
+}
+
+/// The scenario matrix: every strategy on the shared small cluster,
+/// plus a faulted and a lossy variant exercising offline residency and
+/// the loss/retransmit event paths.
+fn scenarios() -> Vec<(&'static str, ExperimentConfig)> {
+    let mut out: Vec<(&'static str, ExperimentConfig)> = vec![
+        ("bsp", small_cluster_cfg(Strategy::Bsp)),
+        ("ssp4", small_cluster_cfg(Strategy::Ssp { threshold: 4 })),
+        ("asp", small_cluster_cfg(Strategy::Asp)),
+        (
+            "flown",
+            small_cluster_cfg(Strategy::Flown {
+                min_threshold: 2,
+                max_threshold: 12,
+            }),
+        ),
+        ("rog4", small_cluster_cfg(Strategy::Rog { threshold: 4 })),
+    ];
+    let mut faulted = small_cluster_cfg(Strategy::Rog { threshold: 4 });
+    faulted.fault_plan = Some(FaultPlan::new().worker_offline(1, 30.0, 90.0));
+    out.push(("rog4+fault", faulted));
+    let mut lossy = small_cluster_cfg(Strategy::Rog { threshold: 4 });
+    lossy.loss = Some(LossConfig::gilbert_elliott(lossy.seed, 0.10));
+    out.push(("rog4+loss", lossy));
+    out
+}
+
+#[test]
+fn journal_composition_reconciles_bitwise_with_run_metrics() {
+    for (name, cfg) in scenarios() {
+        let (m, journal) = cfg.run_traced();
+        let s = TraceSummary::from_jsonl(&journal.to_jsonl())
+            .unwrap_or_else(|e| panic!("{name}: journal does not parse: {e}"));
+        let comp = s.composition();
+        assert_bits(comp[0], m.composition.compute, &format!("{name} compute"));
+        assert_bits(
+            comp[1],
+            m.composition.communicate,
+            &format!("{name} communicate"),
+        );
+        assert_bits(comp[2], m.composition.stall, &format!("{name} stall"));
+        assert_bits(comp[3], m.composition.offline, &format!("{name} offline"));
+        // The cluster-total gauges are the same sums in the same order.
+        assert_bits(
+            s.cluster_residency(2),
+            m.stall_secs,
+            &format!("{name} stall_secs"),
+        );
+        assert_bits(
+            s.cluster_residency(4),
+            m.offline_secs,
+            &format!("{name} offline_secs"),
+        );
+        assert_bits(s.duration, m.duration, &format!("{name} duration"));
+        // run_end carries total iterations; metrics report the mean.
+        assert!(
+            (s.iters as f64 / s.n_devices as f64 - m.mean_iterations).abs() < EPS,
+            "{name}: {} iters over {} devices vs mean {}",
+            s.iters,
+            s.n_devices,
+            m.mean_iterations
+        );
+    }
+}
+
+#[test]
+fn residency_conserves_wall_time() {
+    for (name, cfg) in scenarios() {
+        let (m, journal) = cfg.run_traced();
+        let s = TraceSummary::from_jsonl(&journal.to_jsonl()).expect("parses");
+        // Every device's five state residencies tile its whole timeline:
+        // no gaps, so the sum covers at least the run duration.
+        let mut total_wall = 0.0;
+        for (w, res) in s.residency.iter().enumerate() {
+            let sum: f64 = res.iter().sum();
+            assert!(
+                sum >= m.duration - EPS,
+                "{name}: device {w} residency {sum} < duration {}",
+                m.duration
+            );
+            total_wall += sum;
+        }
+        // Conservation: compute + communicate + stall + offline (the
+        // per-iteration composition, scaled back up) plus idle equals
+        // total wall time within 1e-9 per device.
+        let busy: f64 = s.composition().iter().sum::<f64>() * s.iters as f64;
+        let idle = s.cluster_residency(3);
+        assert!(
+            (busy + idle - total_wall).abs() < EPS * s.n_devices as f64,
+            "{name}: busy {busy} + idle {idle} != wall {total_wall}"
+        );
+    }
+}
+
+#[test]
+fn event_pairings_are_balanced() {
+    for (name, cfg) in scenarios() {
+        let (_, journal) = cfg.run_traced();
+        let s = TraceSummary::from_jsonl(&journal.to_jsonl()).expect("parses");
+        let n = |ev: &str| s.event_counts.get(ev).copied().unwrap_or(0);
+        assert_eq!(n("gate_enter"), n("gate_exit"), "{name}: unpaired gate");
+        assert_eq!(n("push_start"), n("push_end"), "{name}: unpaired push");
+        assert_eq!(n("pull_start"), n("pull_end"), "{name}: unpaired pull");
+        assert_eq!(
+            n("iter_end"),
+            s.iters,
+            "{name}: iter_end count vs run_end total"
+        );
+        assert!(n("iter_begin") >= n("iter_end"), "{name}: begin < end");
+        assert_eq!(n("meta"), 1, "{name}");
+        assert_eq!(n("run_end"), 1, "{name}");
+        assert_eq!(n("close") as usize, s.n_devices, "{name}");
+    }
+}
+
+#[test]
+fn tracing_never_perturbs_the_run() {
+    for strategy in [Strategy::Bsp, Strategy::Rog { threshold: 4 }] {
+        let mut cfg = small_cluster_cfg(strategy);
+        cfg.fault_plan = Some(FaultPlan::new().worker_offline(1, 30.0, 90.0));
+        let plain = cfg.run();
+        let (traced, journal) = cfg.run_traced();
+        assert!(!journal.to_jsonl().is_empty(), "journal must be non-empty");
+        assert_identical_runs(&plain, &traced, "trace on vs off");
+    }
+}

@@ -70,7 +70,7 @@ fn main() {
             let mut last = None;
             for _ in 0..reps {
                 let start = Instant::now();
-                let run = cfg.run();
+                let run = cfg.options().run().metrics;
                 all_secs.push(start.elapsed().as_secs_f64());
                 last = Some(run);
             }

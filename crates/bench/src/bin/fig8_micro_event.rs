@@ -23,7 +23,7 @@ fn main() {
         record_micro: true,
         ..ExperimentConfig::default()
     };
-    let m = cfg.run();
+    let m = cfg.options().run().metrics;
 
     header("Fig. 8 — bandwidth vs ROG transmission rate vs staleness (worker 0)");
     println!(

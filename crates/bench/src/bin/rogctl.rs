@@ -33,13 +33,20 @@ fn main() -> ExitCode {
     }
 }
 
+fn warn(run: &CliRun) {
+    for w in &run.warnings {
+        eprintln!("warning: {w}");
+    }
+}
+
 fn run_experiment(run: &CliRun) -> ExitCode {
+    warn(run);
     println!(
         "running {} for {:.0}s ...",
         run.config.name(),
         run.config.duration_secs
     );
-    let metrics = run.config.run();
+    let metrics = run.config.options().run().metrics;
 
     println!(
         "\n{}",
@@ -77,12 +84,14 @@ fn run_experiment(run: &CliRun) -> ExitCode {
 }
 
 fn trace_experiment(run: &CliRun, out: &str) -> ExitCode {
+    warn(run);
     println!(
         "tracing {} for {:.0}s ...",
         run.config.name(),
         run.config.duration_secs
     );
-    let (metrics, journal) = run.config.run_traced();
+    let outcome = run.config.options().traced(true).run();
+    let (metrics, journal) = (outcome.metrics, outcome.journal.expect("traced run"));
     let jsonl = journal.to_jsonl();
     let bytes = if out.ends_with(".gz") {
         gzip_compress(jsonl.as_bytes())

@@ -33,7 +33,7 @@ fn main() {
         duration_secs: duration(1200.0, 180.0),
         ..ExperimentConfig::default()
     };
-    let run = cfg.run();
+    let run = cfg.options().run().metrics;
     let c = run.composition;
     let total = c.total().max(1e-9);
     let e_compute = c.compute * m.compute_w;

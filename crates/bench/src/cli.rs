@@ -18,6 +18,10 @@ pub struct CliRun {
     pub csv_out: Option<String>,
     /// Write run-metrics JSON here.
     pub json_out: Option<String>,
+    /// Accepted-but-suspicious input, e.g. a shard-less
+    /// `server-restart` fault-script line; the binary prints these to
+    /// stderr before running.
+    pub warnings: Vec<String>,
 }
 
 /// A parsed `rogctl` command (run by default, or a trace subcommand).
@@ -66,17 +70,22 @@ USAGE:
          [--duration <secs>] [--workers <n>] [--laptops <n>]
          [--batch-scale <x>] [--eval-every <iters>] [--seed <n>]
          [--scale paper|small] [--mac airtime|anomaly]
-         [--pipeline] [--auto-threshold] [--micro]
+         [--pipeline] [--auto-threshold] [--micro] [--shards <n>]
          [--fault-plan <file>] [--fault-seed <n>]
          [--loss <rate>] [--loss-burst <rate>] [--loss-seed <n>]
          [--corrupt <rate>]
          [--csv <path>] [--json <path>]
 
+Sharding: --shards <n> row-shards the parameter server across n
+instances (ROG strategies only); --shards 1 is the default
+single-server engine and produces bit-identical results to it.
+
 Fault injection: --fault-plan loads a script of
 'offline <w> <start> <end>' / 'blackout <w> <start> <end>' /
-'server-restart <start> <end>' / 'loss <link> <start> <end> <rate>'
-lines; --fault-seed generates a deterministic churn plan instead
-(ignored if a plan file is given).
+'server-restart [<shard>] <start> <end>' /
+'loss <link> <start> <end> <rate>' lines; --fault-seed generates a
+deterministic churn plan instead (ignored if a plan file is given).
+A shard-less server-restart line defaults to shard 0 with a warning.
 
 Packet loss: --loss adds seeded i.i.d. per-chunk loss, --loss-burst
 adds a Gilbert-Elliott bursty process with the given mean loss rate,
@@ -150,6 +159,7 @@ pub fn parse(args: &[String]) -> Result<CliRun, CliError> {
     let mut burst_loss: Option<f64> = None;
     let mut corrupt: Option<f64> = None;
     let mut loss_seed: Option<u64> = None;
+    let mut warnings = Vec::new();
     let mut it = args.iter();
     while let Some(flag) = it.next() {
         let mut value = || {
@@ -221,14 +231,26 @@ pub fn parse(args: &[String]) -> Result<CliRun, CliError> {
             "--pipeline" => cfg.pipeline = true,
             "--auto-threshold" => cfg.auto_threshold = true,
             "--micro" => cfg.record_micro = true,
+            "--shards" => {
+                cfg.n_shards = value()?
+                    .parse()
+                    .map_err(|_| err("--shards expects a count"))?;
+                if cfg.n_shards == 0 {
+                    return Err(err("--shards expects a count >= 1"));
+                }
+            }
             "--fault-plan" => {
                 let path = value()?;
                 let text = std::fs::read_to_string(path)
                     .map_err(|e| err(format!("cannot read fault plan '{path}': {e}")))?;
-                cfg.fault_plan = Some(
-                    FaultPlan::parse(&text)
-                        .map_err(|e| err(format!("fault plan '{path}': {e}")))?,
+                let (plan, plan_warnings) = FaultPlan::parse_with_warnings(&text)
+                    .map_err(|e| err(format!("fault plan '{path}': {e}")))?;
+                warnings.extend(
+                    plan_warnings
+                        .into_iter()
+                        .map(|w| format!("fault plan '{path}': {w}")),
                 );
+                cfg.fault_plan = Some(plan);
             }
             "--fault-seed" => {
                 cfg.fault_seed = Some(
@@ -297,15 +319,18 @@ pub fn parse(args: &[String]) -> Result<CliRun, CliError> {
             "--loss-seed requires --loss, --loss-burst or --corrupt",
         ));
     }
-    if matches!(cfg.strategy, Strategy::Rog { .. }) || (!cfg.pipeline && !cfg.auto_threshold) {
+    if matches!(cfg.strategy, Strategy::Rog { .. })
+        || (!cfg.pipeline && !cfg.auto_threshold && cfg.n_shards <= 1)
+    {
         Ok(CliRun {
             config: cfg,
             csv_out,
             json_out,
+            warnings,
         })
     } else {
         Err(err(
-            "--pipeline/--auto-threshold apply to ROG strategies only",
+            "--pipeline/--auto-threshold/--shards apply to ROG strategies only",
         ))
     }
 }
@@ -404,6 +429,21 @@ mod tests {
     fn extensions_require_rog() {
         assert!(parse(&args("--strategy bsp --pipeline")).is_err());
         assert!(parse(&args("--strategy rog:4 --pipeline")).is_ok());
+        assert!(parse(&args("--strategy bsp --shards 4")).is_err());
+        assert!(
+            parse(&args("--strategy bsp --shards 1")).is_ok(),
+            "one shard is the plain single-server engine"
+        );
+    }
+
+    #[test]
+    fn shards_flag_parses_into_the_config() {
+        let run = parse(&args("--strategy rog:4 --shards 4")).expect("parses");
+        assert_eq!(run.config.n_shards, 4);
+        assert!(run.warnings.is_empty());
+        assert_eq!(parse(&[]).expect("empty").config.n_shards, 1);
+        assert!(parse(&args("--strategy rog:4 --shards 0")).is_err());
+        assert!(parse(&args("--strategy rog:4 --shards banana")).is_err());
     }
 
     #[test]
@@ -417,6 +457,13 @@ mod tests {
             plan.windows()[0].kind,
             rog_fault::FaultKind::WorkerOffline(1)
         );
+        assert_eq!(
+            run.warnings.len(),
+            1,
+            "shard-less server-restart carries a warning: {:?}",
+            run.warnings
+        );
+        assert!(run.warnings[0].contains("defaults to shard 0"));
         std::fs::remove_file(&path).ok();
     }
 

@@ -37,7 +37,7 @@ pub fn run_all(configs: &[ExperimentConfig]) -> Vec<RunMetrics> {
     std::thread::scope(|s| {
         let handles: Vec<_> = configs
             .iter()
-            .map(|cfg| s.spawn(move || cfg.run()))
+            .map(|cfg| s.spawn(move || cfg.options().run().metrics))
             .collect();
         handles
             .into_iter()

@@ -36,6 +36,7 @@ mod mta_time;
 mod optimizer;
 mod rows;
 mod server;
+mod shard;
 mod version;
 mod worker;
 
@@ -44,5 +45,6 @@ pub use mta_time::MtaTimeTracker;
 pub use optimizer::{RogOptimizer, RogSession, StepReport};
 pub use rows::{RowId, RowPartition, RowRef};
 pub use server::RogServer;
+pub use shard::{ShardMap, ShardedServer};
 pub use version::RowVersionStore;
 pub use worker::{RogWorker, RogWorkerConfig, UpdateRule};

@@ -18,10 +18,11 @@ pub enum FaultEvent {
     BlackoutStart(usize),
     /// Worker `w`'s link returns: interrupted transfers restart.
     BlackoutEnd(usize),
-    /// The parameter server goes down.
-    ServerDown,
-    /// The parameter server returns from its checkpoint.
-    ServerUp,
+    /// Parameter-server shard `s` goes down (shard 0 in an unsharded
+    /// run).
+    ServerDown(usize),
+    /// Parameter-server shard `s` returns from its checkpoint.
+    ServerUp(usize),
 }
 
 impl FaultEvent {
@@ -32,8 +33,8 @@ impl FaultEvent {
             FaultEvent::WorkerUp(_) => "worker_up",
             FaultEvent::BlackoutStart(_) => "blackout_start",
             FaultEvent::BlackoutEnd(_) => "blackout_end",
-            FaultEvent::ServerDown => "server_down",
-            FaultEvent::ServerUp => "server_up",
+            FaultEvent::ServerDown(_) => "server_down",
+            FaultEvent::ServerUp(_) => "server_up",
         }
     }
 
@@ -44,7 +45,15 @@ impl FaultEvent {
             | FaultEvent::WorkerUp(w)
             | FaultEvent::BlackoutStart(w)
             | FaultEvent::BlackoutEnd(w) => Some(w),
-            FaultEvent::ServerDown | FaultEvent::ServerUp => None,
+            FaultEvent::ServerDown(_) | FaultEvent::ServerUp(_) => None,
+        }
+    }
+
+    /// The affected server shard, if the event is server-scoped.
+    pub fn shard(self) -> Option<usize> {
+        match self {
+            FaultEvent::ServerDown(s) | FaultEvent::ServerUp(s) => Some(s),
+            _ => None,
         }
     }
 
@@ -55,10 +64,10 @@ impl FaultEvent {
         match self {
             FaultEvent::WorkerUp(w) => (0, 0, w),
             FaultEvent::BlackoutEnd(w) => (0, 1, w),
-            FaultEvent::ServerUp => (0, 2, 0),
+            FaultEvent::ServerUp(s) => (0, 2, s),
             FaultEvent::WorkerDown(w) => (1, 0, w),
             FaultEvent::BlackoutStart(w) => (1, 1, w),
-            FaultEvent::ServerDown => (1, 2, 0),
+            FaultEvent::ServerDown(s) => (1, 2, s),
         }
     }
 }

@@ -16,10 +16,12 @@ pub enum FaultKind {
     /// local state and resumes the interrupted transfer (from scratch —
     /// retransmit semantics) when the link returns.
     LinkBlackout(usize),
-    /// The parameter server is down (checkpoint/restart). All in-flight
-    /// transfers are cancelled; workers stall or keep computing locally
-    /// until it returns. Server state is durable (checkpointed).
-    ServerOutage,
+    /// Parameter-server shard `s` is down (checkpoint/restart). All
+    /// in-flight transfers touching that shard are cancelled; workers
+    /// stall on rows it homes — or, under a sharded plane, keep
+    /// training rows homed elsewhere — until it returns. Shard state is
+    /// durable (checkpointed). Unsharded runs use shard 0.
+    ServerOutage(usize),
 }
 
 /// A half-open interval `[start, end)` of virtual time during which a
@@ -157,9 +159,22 @@ impl FaultPlan {
             .iter()
             .filter_map(|w| match w.kind {
                 FaultKind::WorkerOffline(i) | FaultKind::LinkBlackout(i) => Some(i),
-                FaultKind::ServerOutage => None,
+                FaultKind::ServerOutage(_) => None,
             })
             .chain(self.loss_windows.iter().map(|w| w.link))
+            .max()
+    }
+
+    /// Largest server shard referenced by any outage window, if any.
+    /// Engines validate this against the configured shard count.
+    #[must_use]
+    pub fn max_shard(&self) -> Option<usize> {
+        self.windows
+            .iter()
+            .filter_map(|w| match w.kind {
+                FaultKind::ServerOutage(s) => Some(s),
+                _ => None,
+            })
             .max()
     }
 
@@ -195,15 +210,27 @@ impl FaultPlan {
         self
     }
 
-    /// Adds a server-outage window (builder style).
+    /// Adds a server-outage window on shard 0 (builder style). Shard 0
+    /// is the whole server in an unsharded run.
     ///
     /// # Panics
     ///
     /// Panics on a non-finite, negative, empty, or overlapping window.
     #[must_use]
-    pub fn server_restart(mut self, start: Time, end: Time) -> Self {
+    pub fn server_restart(self, start: Time, end: Time) -> Self {
+        self.server_restart_on(0, start, end)
+    }
+
+    /// Adds a server-outage window on a specific shard (builder style).
+    /// Windows on different shards may overlap freely.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a non-finite, negative, empty, or overlapping window.
+    #[must_use]
+    pub fn server_restart_on(mut self, shard: usize, start: Time, end: Time) -> Self {
         self.try_push(FaultWindow {
-            kind: FaultKind::ServerOutage,
+            kind: FaultKind::ServerOutage(shard),
             start,
             end,
         })
@@ -358,7 +385,7 @@ impl FaultPlan {
                 FaultKind::LinkBlackout(i) => {
                     (FaultEvent::BlackoutStart(i), FaultEvent::BlackoutEnd(i))
                 }
-                FaultKind::ServerOutage => (FaultEvent::ServerDown, FaultEvent::ServerUp),
+                FaultKind::ServerOutage(s) => (FaultEvent::ServerDown(s), FaultEvent::ServerUp(s)),
             };
             events.push((w.start, down));
             events.push((w.end, up));
@@ -405,8 +432,8 @@ mod tests {
                 (10.0, FaultEvent::BlackoutStart(0)),
                 (20.0, FaultEvent::BlackoutEnd(0)),
                 (40.0, FaultEvent::WorkerDown(2)),
-                (50.0, FaultEvent::ServerDown),
-                (55.0, FaultEvent::ServerUp),
+                (50.0, FaultEvent::ServerDown(0)),
+                (55.0, FaultEvent::ServerUp(0)),
                 (80.0, FaultEvent::WorkerUp(2)),
             ]
         );
@@ -461,13 +488,36 @@ mod tests {
             (5.0, 4.0),
         ] {
             let w = FaultWindow {
-                kind: FaultKind::ServerOutage,
+                kind: FaultKind::ServerOutage(0),
                 start,
                 end,
             };
             assert!(plan.try_push(w).is_err(), "[{start}, {end}) accepted");
         }
         assert!(plan.is_empty());
+    }
+
+    #[test]
+    fn outages_on_different_shards_may_overlap() {
+        let plan = FaultPlan::new()
+            .server_restart_on(0, 10.0, 30.0)
+            .server_restart_on(1, 20.0, 40.0);
+        assert_eq!(plan.max_shard(), Some(1));
+        assert_eq!(plan.max_worker(), None, "shards are not workers");
+        let mut clock = plan.schedule();
+        assert_eq!(clock.pop_due(10.0), vec![FaultEvent::ServerDown(0)]);
+        assert_eq!(clock.pop_due(20.0), vec![FaultEvent::ServerDown(1)]);
+        assert_eq!(clock.pop_due(30.0), vec![FaultEvent::ServerUp(0)]);
+        assert_eq!(clock.pop_due(40.0), vec![FaultEvent::ServerUp(1)]);
+        // Same shard, overlapping: rejected like any same-kind overlap.
+        let mut bad = FaultPlan::new().server_restart_on(0, 10.0, 30.0);
+        assert!(bad
+            .try_push(FaultWindow {
+                kind: FaultKind::ServerOutage(0),
+                start: 15.0,
+                end: 35.0,
+            })
+            .is_err());
     }
 
     #[test]

@@ -8,9 +8,16 @@
 //! offline 2 40 80
 //! offline 2 140 180
 //! blackout 1 60 75
-//! server-restart 200 210
+//! server-restart 1 200 210
 //! loss 1 100 160 0.3
 //! ```
+//!
+//! `server-restart <shard> <t0> <t1>` takes the server shard down
+//! during `[t0, t1)`. The legacy two-argument form `server-restart
+//! <t0> <t1>` is still accepted and defaults to shard 0 — with a
+//! warning from [`FaultPlan::parse_with_warnings`], because silently
+//! reading it as a cluster-wide outage under a sharded plane would be
+//! wrong.
 //!
 //! The `loss <link> <t0> <t1> <rate>` directive adds `rate` extra
 //! chunk-loss probability on that worker's link during `[t0, t1)`;
@@ -25,29 +32,48 @@ enum ScriptEntry {
 }
 
 impl FaultPlan {
-    /// Parses the script format described in the module docs.
+    /// Parses the script format described in the module docs,
+    /// discarding any warnings. See
+    /// [`FaultPlan::parse_with_warnings`].
     ///
     /// # Errors
     ///
     /// Returns a [`FaultPlanError`] naming the offending line on an
     /// unknown directive, a malformed number, or an invalid window.
     pub fn parse(text: &str) -> Result<Self, FaultPlanError> {
+        Self::parse_with_warnings(text).map(|(plan, _)| plan)
+    }
+
+    /// Parses the script format described in the module docs and also
+    /// returns human-readable warnings for accepted-but-suspicious
+    /// lines — currently the shard-less `server-restart <t0> <t1>`
+    /// form, which defaults to shard 0.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`FaultPlanError`] naming the offending line on an
+    /// unknown directive, a malformed number, or an invalid window.
+    pub fn parse_with_warnings(text: &str) -> Result<(Self, Vec<String>), FaultPlanError> {
         let mut plan = FaultPlan::new();
+        let mut warnings = Vec::new();
         for (idx, raw) in text.lines().enumerate() {
             let line = raw.split('#').next().unwrap_or("").trim();
             if line.is_empty() {
                 continue;
             }
             let fields: Vec<&str> = line.split_whitespace().collect();
-            let entry = parse_line(&fields)
+            let (entry, warning) = parse_line(&fields)
                 .map_err(|e| FaultPlanError::new(format!("line {}: {}", idx + 1, e)))?;
+            if let Some(w) = warning {
+                warnings.push(format!("line {}: {}", idx + 1, w));
+            }
             match entry {
                 ScriptEntry::Fault(window) => plan.try_push(window),
                 ScriptEntry::Loss(window) => plan.try_push_loss(window),
             }
             .map_err(|e| FaultPlanError::new(format!("line {}: {}", idx + 1, e)))?;
         }
-        Ok(plan)
+        Ok((plan, warnings))
     }
 
     /// Renders the plan back into the script format. Round-trips through
@@ -64,8 +90,8 @@ impl FaultPlan {
                 FaultKind::LinkBlackout(i) => {
                     out.push_str(&format!("blackout {} {} {}\n", i, w.start, w.end));
                 }
-                FaultKind::ServerOutage => {
-                    out.push_str(&format!("server-restart {} {}\n", w.start, w.end));
+                FaultKind::ServerOutage(s) => {
+                    out.push_str(&format!("server-restart {} {} {}\n", s, w.start, w.end));
                 }
             }
         }
@@ -79,7 +105,7 @@ impl FaultPlan {
     }
 }
 
-fn parse_line(fields: &[&str]) -> Result<ScriptEntry, String> {
+fn parse_line(fields: &[&str]) -> Result<(ScriptEntry, Option<String>), String> {
     let num = |s: &str| -> Result<f64, String> {
         s.parse::<f64>().map_err(|_| format!("bad number `{s}`"))
     };
@@ -87,33 +113,55 @@ fn parse_line(fields: &[&str]) -> Result<ScriptEntry, String> {
         s.parse::<usize>()
             .map_err(|_| format!("bad worker index `{s}`"))
     };
-    match fields {
-        ["offline", w, s, e] => Ok(ScriptEntry::Fault(FaultWindow {
+    let shard = |s: &str| -> Result<usize, String> {
+        s.parse::<usize>()
+            .map_err(|_| format!("bad shard index `{s}`"))
+    };
+    let entry = match fields {
+        ["offline", w, s, e] => ScriptEntry::Fault(FaultWindow {
             kind: FaultKind::WorkerOffline(index(w)?),
             start: num(s)?,
             end: num(e)?,
-        })),
-        ["blackout", w, s, e] => Ok(ScriptEntry::Fault(FaultWindow {
+        }),
+        ["blackout", w, s, e] => ScriptEntry::Fault(FaultWindow {
             kind: FaultKind::LinkBlackout(index(w)?),
             start: num(s)?,
             end: num(e)?,
-        })),
-        ["server-restart", s, e] => Ok(ScriptEntry::Fault(FaultWindow {
-            kind: FaultKind::ServerOutage,
+        }),
+        ["server-restart", sh, s, e] => ScriptEntry::Fault(FaultWindow {
+            kind: FaultKind::ServerOutage(shard(sh)?),
             start: num(s)?,
             end: num(e)?,
-        })),
-        ["loss", w, s, e, r] => Ok(ScriptEntry::Loss(LossWindow {
+        }),
+        ["server-restart", s, e] => {
+            let entry = ScriptEntry::Fault(FaultWindow {
+                kind: FaultKind::ServerOutage(0),
+                start: num(s)?,
+                end: num(e)?,
+            });
+            return Ok((
+                entry,
+                Some(
+                    "`server-restart` with no shard argument defaults to shard 0 \
+                     (use `server-restart <shard> <t0> <t1>`)"
+                        .to_string(),
+                ),
+            ));
+        }
+        ["loss", w, s, e, r] => ScriptEntry::Loss(LossWindow {
             link: index(w)?,
             start: num(s)?,
             end: num(e)?,
             rate: num(r)?,
-        })),
-        [verb, ..] => Err(format!(
-            "unknown directive `{verb}` (expected offline/blackout/server-restart/loss)"
-        )),
+        }),
+        [verb, ..] => {
+            return Err(format!(
+                "unknown directive `{verb}` (expected offline/blackout/server-restart/loss)"
+            ))
+        }
         [] => unreachable!("blank lines filtered by caller"),
-    }
+    };
+    Ok((entry, None))
 }
 
 #[cfg(test)]
@@ -137,7 +185,7 @@ loss 3 0 600 0.05
         assert_eq!(plan.windows().len(), 4);
         assert_eq!(plan.windows()[0].kind, FaultKind::WorkerOffline(2));
         assert_eq!(plan.windows()[2].kind, FaultKind::LinkBlackout(1));
-        assert_eq!(plan.windows()[3].kind, FaultKind::ServerOutage);
+        assert_eq!(plan.windows()[3].kind, FaultKind::ServerOutage(0));
         assert_eq!(plan.windows()[3].start, 200.0);
         assert_eq!(plan.loss_windows().len(), 2);
         assert_eq!(
@@ -155,8 +203,42 @@ loss 3 0 600 0.05
     #[test]
     fn round_trips_through_script_text() {
         let plan = FaultPlan::parse(SCRIPT).expect("valid script");
+        let text = plan.to_script();
+        assert!(
+            text.contains("server-restart 0 200 210\n"),
+            "rendered form is shard-explicit: {text}"
+        );
+        let (again, warnings) = FaultPlan::parse_with_warnings(&text).expect("round-trip");
+        assert_eq!(plan, again);
+        assert!(warnings.is_empty(), "rendered scripts are warning-free");
+    }
+
+    #[test]
+    fn shardless_server_restart_defaults_to_shard_zero_with_warning() {
+        let (plan, warnings) =
+            FaultPlan::parse_with_warnings("server-restart 200 210").expect("legacy form");
+        assert_eq!(plan.windows()[0].kind, FaultKind::ServerOutage(0));
+        assert_eq!(warnings.len(), 1);
+        assert!(warnings[0].contains("line 1"), "{warnings:?}");
+        assert!(warnings[0].contains("defaults to shard 0"), "{warnings:?}");
+        // The plain parser accepts the same script silently.
+        assert_eq!(FaultPlan::parse("server-restart 200 210").unwrap(), plan);
+    }
+
+    #[test]
+    fn shard_explicit_server_restart_parses_and_round_trips() {
+        let (plan, warnings) = FaultPlan::parse_with_warnings(
+            "server-restart 2 50 60\nserver-restart 0 55 70  # overlap ok across shards",
+        )
+        .expect("shard form");
+        assert!(warnings.is_empty(), "{warnings:?}");
+        assert_eq!(plan.windows()[0].kind, FaultKind::ServerOutage(2));
+        assert_eq!(plan.windows()[1].kind, FaultKind::ServerOutage(0));
+        assert_eq!(plan.max_shard(), Some(2));
         let again = FaultPlan::parse(&plan.to_script()).expect("round-trip");
         assert_eq!(plan, again);
+        let err = FaultPlan::parse("server-restart x 50 60").unwrap_err();
+        assert!(err.to_string().contains("bad shard index"), "{err}");
     }
 
     #[test]

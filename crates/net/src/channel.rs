@@ -25,6 +25,18 @@ use crate::Trace;
 /// Index of a device's link (assigned by the cluster builder).
 pub type LinkId = usize;
 
+/// Canonical link id of the `(worker, shard)` pair under a sharded
+/// parameter plane: links are laid out worker-major, so worker `w`
+/// owns the dense block `w * n_shards .. (w + 1) * n_shards` and
+/// shard 0 keeps the link id an unsharded cluster would assign
+/// (`shard_link(w, 1, 0) == w`). Every pair gets its own bandwidth
+/// trace and loss streams; airtime contention still couples all links
+/// through the shared [`Channel`] capacity.
+pub fn shard_link(worker: usize, n_shards: usize, shard: usize) -> LinkId {
+    debug_assert!(shard < n_shards.max(1));
+    worker * n_shards.max(1) + shard
+}
+
 /// How concurrent flows share the channel.
 ///
 /// 802.11 DCF gives every station an equal chance to *transmit a frame*.

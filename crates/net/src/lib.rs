@@ -65,7 +65,8 @@ mod trace;
 pub mod wire;
 
 pub use channel::{
-    Channel, DeliveryReport, Flow, FlowEvent, FlowId, FlowOutcome, FlowSpec, LinkId, SharingMode,
+    shard_link, Channel, DeliveryReport, Flow, FlowEvent, FlowId, FlowOutcome, FlowSpec, LinkId,
+    SharingMode,
 };
 pub use loss::{ChunkFate, GeParams, LossConfig, LossModel};
 pub use profile::{ChannelProfile, DistanceProfile, FadeProfile};

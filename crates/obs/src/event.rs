@@ -237,6 +237,11 @@ pub struct Event {
     pub t: f64,
     /// Monotone per-journal sequence number.
     pub seq: u64,
+    /// Parameter-server shard this event is scoped to, or
+    /// [`Event::NO_SHARD`] for unsharded scope. Only non-negative
+    /// values appear on the wire, so single-server journals are
+    /// byte-identical to the pre-shard format.
+    pub shard: i64,
     /// Typed payload.
     pub kind: EventKind,
 }
@@ -271,6 +276,10 @@ fn push_rows(out: &mut String, rows: &[u32]) {
 }
 
 impl Event {
+    /// Sentinel `shard` value for events with unsharded scope: no
+    /// `shard` field is written.
+    pub const NO_SHARD: i64 = -1;
+
     /// Appends the event as one JSONL line (including the trailing
     /// newline) with a fixed, deterministic field order.
     pub fn write_jsonl(&self, out: &mut String) {
@@ -281,6 +290,9 @@ impl Event {
             self.seq,
             self.kind.name()
         );
+        if self.shard >= 0 {
+            let _ = write!(out, ",\"shard\":{}", self.shard);
+        }
         match &self.kind {
             EventKind::Meta { name, seed } => {
                 out.push_str(",\"name\":");
@@ -608,6 +620,7 @@ mod tests {
         let ev = Event {
             t: 1.25,
             seq: 7,
+            shard: Event::NO_SHARD,
             kind,
         };
         let mut s = String::new();
@@ -662,6 +675,7 @@ mod tests {
         let ev = Event {
             t: 0.1 + 0.2,
             seq: 0,
+            shard: Event::NO_SHARD,
             kind: EventKind::Close { w: 0 },
         };
         let mut s = String::new();
@@ -669,6 +683,34 @@ mod tests {
         assert!(s.starts_with("{\"t\":0.30000000000000004,"), "{s}");
         let r = Record::parse(s.trim_end()).unwrap();
         assert_eq!(r.t(), 0.1 + 0.2);
+    }
+
+    #[test]
+    fn shard_field_appears_only_when_scoped() {
+        let mut unsharded = String::new();
+        Event {
+            t: 1.0,
+            seq: 0,
+            shard: Event::NO_SHARD,
+            kind: EventKind::PullEnd { w: 0, iter: 3 },
+        }
+        .write_jsonl(&mut unsharded);
+        assert!(!unsharded.contains("shard"), "{unsharded}");
+
+        let mut sharded = String::new();
+        Event {
+            t: 1.0,
+            seq: 0,
+            shard: 2,
+            kind: EventKind::PullEnd { w: 0, iter: 3 },
+        }
+        .write_jsonl(&mut sharded);
+        assert!(
+            sharded.starts_with("{\"t\":1,\"seq\":0,\"ev\":\"pull_end\",\"shard\":2,"),
+            "{sharded}"
+        );
+        let r = Record::parse(sharded.trim_end()).unwrap();
+        assert_eq!(r.num("shard"), Some(2.0));
     }
 
     #[test]

@@ -112,11 +112,22 @@ impl Journal {
         false
     }
 
-    /// Records an event stamped at virtual time `t`.
+    /// Records an event stamped at virtual time `t` with unsharded
+    /// scope (no `shard` field on the wire).
     ///
     /// No-op when the journal is disabled.
     #[cfg(not(feature = "obs-off"))]
     pub fn record(&mut self, t: f64, kind: EventKind) {
+        self.record_shard(t, Event::NO_SHARD, kind);
+    }
+
+    /// Records an event stamped at virtual time `t`, scoped to a
+    /// parameter-server shard (`shard >= 0`; [`Event::NO_SHARD`] for
+    /// unsharded scope).
+    ///
+    /// No-op when the journal is disabled.
+    #[cfg(not(feature = "obs-off"))]
+    pub fn record_shard(&mut self, t: f64, shard: i64, kind: EventKind) {
         if !self.enabled {
             return;
         }
@@ -146,6 +157,7 @@ impl Journal {
         self.events.push_back(Event {
             t,
             seq: self.seq,
+            shard,
             kind,
         });
         self.seq += 1;
@@ -155,6 +167,11 @@ impl Journal {
     #[cfg(feature = "obs-off")]
     #[inline(always)]
     pub fn record(&mut self, _t: f64, _kind: EventKind) {}
+
+    /// Compile-out stub: does nothing.
+    #[cfg(feature = "obs-off")]
+    #[inline(always)]
+    pub fn record_shard(&mut self, _t: f64, _shard: i64, _kind: EventKind) {}
 
     /// Events currently retained in the ring, oldest first.
     pub fn events(&self) -> impl Iterator<Item = &Event> {
@@ -215,6 +232,23 @@ macro_rules! obs {
     ($journal:expr, $t:expr, $kind:expr) => {
         if $journal.enabled() {
             $journal.record($t, $kind);
+        }
+    };
+}
+
+/// Shard-scoped variant of [`crate::obs!`]: records with a `shard`
+/// field when the scope is a real shard (`shard >= 0`).
+///
+/// ```
+/// use rog_obs::{obs_shard, EventKind, Journal};
+/// let mut j = Journal::new(true);
+/// obs_shard!(j, 1.0, 2, EventKind::PullEnd { w: 0, iter: 1 });
+/// ```
+#[macro_export]
+macro_rules! obs_shard {
+    ($journal:expr, $t:expr, $shard:expr, $kind:expr) => {
+        if $journal.enabled() {
+            $journal.record_shard($t, $shard, $kind);
         }
     };
 }
@@ -296,6 +330,20 @@ mod tests {
         assert_eq!(seqs, vec![3, 4], "oldest evicted first");
         // Counters survive eviction.
         assert_eq!(j.count(Category::Iteration), 5);
+    }
+
+    #[cfg(not(feature = "obs-off"))]
+    #[test]
+    fn record_shard_stamps_the_envelope() {
+        let mut j = Journal::new(true);
+        j.record_shard(1.0, 1, EventKind::PullEnd { w: 0, iter: 2 });
+        j.record(2.0, EventKind::PullEnd { w: 0, iter: 3 });
+        let shards: Vec<i64> = j.events().map(|e| e.shard).collect();
+        assert_eq!(shards, vec![1, Event::NO_SHARD]);
+        let out = j.to_jsonl();
+        let mut lines = out.lines();
+        assert!(lines.next().unwrap().contains("\"shard\":1"));
+        assert!(!lines.next().unwrap().contains("shard"));
     }
 
     #[cfg(not(feature = "obs-off"))]

@@ -258,6 +258,7 @@ mod tests {
             Event {
                 t: *t,
                 seq: i as u64,
+                shard: Event::NO_SHARD,
                 kind: k.clone(),
             }
             .write_jsonl(&mut s);

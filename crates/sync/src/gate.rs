@@ -46,6 +46,15 @@ pub fn required_min_version(versions: &VersionVector, worker: usize, threshold: 
 // (`rog-core::RowVersionStore`), and the invariant test suites must
 // all agree on the bound semantics, in particular on the
 // `threshold == 0` clamp below.
+//
+// Under a row-sharded parameter plane (`rog-core::ShardedServer`) these
+// predicates compose per shard: each shard evaluates the RSP gate over
+// the versions of the rows *it* owns, so a worker blocks only on the
+// shard homing the mandatory row, never on an unrelated shard's
+// stragglers. Because the bounds are per-row to begin with, the
+// conjunction of the per-shard gates over a disjoint row cover is
+// exactly the single-server gate — which is what keeps one-shard runs
+// bit-identical.
 
 /// The effective RSP staleness bound for `threshold`.
 ///

@@ -185,25 +185,43 @@ impl Cluster {
             })
             .collect();
 
-        // Channel: capacity plus one fading link per worker. Traces are
+        // Channel: capacity plus one fading link per (worker, shard)
+        // pair, worker-major (`rog_net::shard_link`). With one shard
+        // the layout and the RNG stream offsets collapse to the
+        // historical one-link-per-worker channel, keeping single-shard
+        // runs bit-identical; extra shard links draw from a disjoint
+        // fork range so shard 0's stream never shifts. Traces are
         // generated long enough to cover the run and wrap thereafter.
         let profile = cfg.environment.profile();
         let trace_len = cfg.duration_secs.clamp(300.0, 1800.0);
+        let shards = cfg.effective_shards();
         let capacity = cfg
             .capacity_trace
             .clone()
             .unwrap_or_else(|| profile.generate(root.fork(0x50).seed(), trace_len));
-        let links: Vec<Trace> = match &cfg.link_traces {
+        let mut links: Vec<Trace> = Vec::with_capacity(cfg.n_workers * shards);
+        match &cfg.link_traces {
             Some(traces) => {
                 assert!(!traces.is_empty(), "link_traces must not be empty");
-                (0..cfg.n_workers)
-                    .map(|w| traces[w % traces.len()].clone())
-                    .collect()
+                for w in 0..cfg.n_workers {
+                    for _s in 0..shards {
+                        links.push(traces[w % traces.len()].clone());
+                    }
+                }
             }
-            None => (0..cfg.n_workers)
-                .map(|w| profile.generate_link(root.fork(0x60 + w as u64).seed(), trace_len))
-                .collect(),
-        };
+            None => {
+                for w in 0..cfg.n_workers {
+                    for s in 0..shards {
+                        let fork = if s == 0 {
+                            0x60 + w as u64
+                        } else {
+                            0x6000 + (w as u64) * 0x40 + s as u64
+                        };
+                        links.push(profile.generate_link(root.fork(fork).seed(), trace_len));
+                    }
+                }
+            }
+        }
         let channel = Channel::new(capacity, links).with_sharing(cfg.mac_sharing);
 
         // Initial shared model and wire scaling.

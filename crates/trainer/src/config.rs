@@ -176,6 +176,13 @@ pub struct ExperimentConfig {
     /// run. Tracing never feeds back into the simulation: metrics are
     /// bit-identical with tracing on or off.
     pub trace: bool,
+    /// Number of parameter-server shards for the row engine (ROG
+    /// strategies only; model-granularity baselines always use one
+    /// server). Rows are partitioned contiguously across shards, each
+    /// worker↔shard pair gets its own link, and the RSP gate blocks
+    /// per shard. `1` (the default) is byte-identical to the unsharded
+    /// engine. `0` is treated as `1`.
+    pub n_shards: usize,
 }
 
 impl Default for ExperimentConfig {
@@ -206,6 +213,7 @@ impl Default for ExperimentConfig {
             fault_seed: None,
             loss: None,
             trace: false,
+            n_shards: 1,
         }
     }
 }
@@ -216,13 +224,18 @@ impl ExperimentConfig {
         let faulty = self.fault_plan.as_ref().is_some_and(|p| !p.is_empty())
             || (self.fault_plan.is_none() && self.fault_seed.is_some());
         format!(
-            "{}{}{}{} / {} / {}",
+            "{}{}{}{}{} / {} / {}",
             self.strategy.name(),
             match (self.pipeline, self.auto_threshold) {
                 (true, true) => "+pipe+auto",
                 (true, false) => "+pipe",
                 (false, true) => "+auto",
                 (false, false) => "",
+            },
+            if self.effective_shards() > 1 {
+                format!("+shard{}", self.effective_shards())
+            } else {
+                String::new()
             },
             if faulty { "+faults" } else { "" },
             if self.loss_active() { "+loss" } else { "" },
@@ -233,6 +246,17 @@ impl ExperimentConfig {
             },
             self.environment.name()
         )
+    }
+
+    /// The shard count this run actually uses: `n_shards`, floored at
+    /// one, for the ROG row engine; always one for the
+    /// model-granularity baselines (they move whole models; there is
+    /// nothing to shard).
+    pub fn effective_shards(&self) -> usize {
+        match self.strategy {
+            Strategy::Rog { .. } => self.n_shards.max(1),
+            _ => 1,
+        }
     }
 
     /// True when this run can actually lose, corrupt, duplicate, or
@@ -255,10 +279,21 @@ impl ExperimentConfig {
             return None;
         }
         let cfg = self.loss.clone().unwrap_or_else(LossConfig::off);
-        let mut model = LossModel::build(&cfg, self.n_workers, self.duration_secs);
+        let shards = self.effective_shards();
+        let mut model = LossModel::build(&cfg, self.n_workers * shards, self.duration_secs);
         if let Some(plan) = plan {
             for w in plan.loss_windows() {
-                model.add_window(w.link, w.start, w.end, w.rate);
+                // A scripted loss window hits the worker's radio, so it
+                // covers every shard link of that worker. With one
+                // shard this is exactly the pre-shard single link.
+                for s in 0..shards {
+                    model.add_window(
+                        rog_net::shard_link(w.link, shards, s),
+                        w.start,
+                        w.end,
+                        w.rate,
+                    );
+                }
             }
         }
         Some(model)
@@ -310,15 +345,25 @@ impl ExperimentConfig {
         })
     }
 
-    /// Runs the experiment (convenience for
-    /// [`crate::engine::run`]).
+    /// Wraps this config in a [`crate::RunOptions`] builder — the
+    /// single entry point for running experiments. `cfg.options()
+    /// .run()` replaces the deprecated `run()`/`run_traced()` pair.
+    pub fn options(&self) -> crate::RunOptions {
+        crate::RunOptions::new(self.clone())
+    }
+
+    /// Runs the experiment and discards any journal.
+    #[deprecated(since = "0.5.0", note = "use `options().run().metrics` / `run_with`")]
     pub fn run(&self) -> crate::RunMetrics {
         crate::engine::run(self)
     }
 
     /// Runs the experiment with the event journal forced on,
-    /// returning the journal alongside the metrics (convenience for
-    /// [`crate::engine::run_traced`]).
+    /// returning the journal alongside the metrics.
+    #[deprecated(
+        since = "0.5.0",
+        note = "use `options().traced(true).run()` / `run_with`"
+    )]
     pub fn run_traced(&self) -> (crate::RunMetrics, rog_obs::Journal) {
         let cfg = ExperimentConfig {
             trace: true,

@@ -46,8 +46,10 @@ pub struct EngineCtx {
     pub offline: Vec<bool>,
     /// Workers whose link is blacked out (device up, radio dead).
     pub link_down: Vec<bool>,
-    /// Whether the parameter server is down (checkpoint/restart).
-    pub server_down: bool,
+    /// Per-shard parameter-server outage flags (checkpoint/restart).
+    /// Length is [`ExperimentConfig::effective_shards`]; unsharded runs
+    /// have a single entry.
+    pub server_down: Vec<bool>,
     /// Deterministic event journal ([`rog_obs`]); disabled unless
     /// `cfg.trace` is set, and compiled out under the `obs-off`
     /// feature. Recording never feeds back into the simulation.
@@ -76,12 +78,19 @@ impl EngineCtx {
         if let Some(model) = cfg.resolved_loss_model(plan.as_ref()) {
             cluster.channel.set_loss_model(Some(model));
         }
+        let shards = cfg.effective_shards();
         let faults = match plan {
             Some(plan) => {
                 if let Some(max_w) = plan.max_worker() {
                     assert!(
                         max_w < n,
                         "fault plan targets worker {max_w} but the run has {n} workers"
+                    );
+                }
+                if let Some(max_s) = plan.max_shard() {
+                    assert!(
+                        max_s < shards,
+                        "fault plan targets shard {max_s} but the run has {shards} shards"
                     );
                 }
                 plan.schedule()
@@ -107,7 +116,7 @@ impl EngineCtx {
             faults,
             offline: vec![false; n],
             link_down: vec![false; n],
-            server_down: false,
+            server_down: vec![false; shards],
             journal,
             grad_pool: Vec::new(),
             batch_rngs: (0..n).map(|w| root.fork(0x100 + w as u64)).collect(),
@@ -130,6 +139,11 @@ impl EngineCtx {
     /// (recoveries before failures at the same instant).
     pub fn pop_due_faults(&mut self, now: Time) -> Vec<FaultEvent> {
         self.faults.pop_due(now)
+    }
+
+    /// Whether any parameter-server shard is currently down.
+    pub fn any_server_down(&self) -> bool {
+        self.server_down.iter().any(|&d| d)
     }
 
     /// Draws this iteration's gradient-computation duration for a worker

@@ -284,7 +284,7 @@ impl ModelEngine {
 
     /// Starts (or, after a fault, parks) the whole-model push transfer.
     fn start_push(&mut self, w: usize, now: Time) {
-        if self.ctx.server_down || self.ctx.link_down[w] {
+        if self.ctx.any_server_down() || self.ctx.link_down[w] {
             self.workers[w].resume = Some(MResume::Push);
             self.ctx.set_state(w, now, DeviceState::Stall);
             return;
@@ -491,7 +491,7 @@ impl ModelEngine {
     }
 
     fn drain_waiting(&mut self, now: Time) {
-        if self.ctx.server_down {
+        if self.ctx.any_server_down() {
             return;
         }
         let mut still_waiting = Vec::new();
@@ -607,8 +607,8 @@ impl ModelEngine {
             FaultEvent::WorkerUp(w) => self.on_worker_up(w, now),
             FaultEvent::BlackoutStart(w) => self.on_blackout_start(w, now),
             FaultEvent::BlackoutEnd(w) => self.on_blackout_end(w, now),
-            FaultEvent::ServerDown => self.on_server_down(now),
-            FaultEvent::ServerUp => self.on_server_up(now),
+            FaultEvent::ServerDown(s) => self.on_server_down(s, now),
+            FaultEvent::ServerUp(s) => self.on_server_up(s, now),
         }
     }
 
@@ -679,7 +679,7 @@ impl ModelEngine {
         if !self.ctx.offline[w] {
             return;
         }
-        if self.ctx.server_down || self.ctx.link_down[w] {
+        if self.ctx.any_server_down() || self.ctx.link_down[w] {
             self.workers[w].resume = Some(MResume::Resync);
             return;
         }
@@ -780,17 +780,20 @@ impl ModelEngine {
             return;
         }
         self.ctx.link_down[w] = false;
-        if !self.ctx.server_down {
+        if !self.ctx.any_server_down() {
             self.resume_worker(w, now);
             self.drain_waiting(now);
         }
     }
 
-    fn on_server_down(&mut self, now: Time) {
-        if self.ctx.server_down {
+    /// The (single logical) parameter server went down. Baselines have
+    /// no sharding, so `shard` is always 0 here; the per-shard flag
+    /// vector exists for the row engine.
+    fn on_server_down(&mut self, shard: usize, now: Time) {
+        if self.ctx.server_down[shard] {
             return;
         }
-        self.ctx.server_down = true;
+        self.ctx.server_down[shard] = true;
         let ids: Vec<FlowId> = self.flows.keys().copied().collect();
         for id in ids {
             let ctx = self.flows.remove(&id).expect("just listed");
@@ -808,11 +811,14 @@ impl ModelEngine {
         }
     }
 
-    fn on_server_up(&mut self, now: Time) {
-        if !self.ctx.server_down {
+    fn on_server_up(&mut self, shard: usize, now: Time) {
+        if !self.ctx.server_down[shard] {
             return;
         }
-        self.ctx.server_down = false;
+        self.ctx.server_down[shard] = false;
+        if self.ctx.any_server_down() {
+            return;
+        }
         for w in 0..self.workers.len() {
             if !self.ctx.link_down[w] {
                 self.resume_worker(w, now);

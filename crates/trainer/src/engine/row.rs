@@ -10,15 +10,24 @@
 //! Fast workers instead fit *all* their rows inside the budget. The
 //! server applies the RSP gate before granting pulls, which are
 //! speculatively transmitted the same way.
+//!
+//! The parameter plane is row-sharded ([`ShardedServer`]): each shard
+//! owns a contiguous row range with its own version store, MTA budget
+//! and RSP gate, and every worker↔shard pair has its own link. A push
+//! cycle splits the globally ranked plan into per-shard legs that
+//! transmit, gate and pull independently; the cycle completes when every
+//! engaged leg has. With one shard everything collapses to the original
+//! single-server engine, bit for bit.
 
 use std::collections::BTreeMap;
 
-use rog_core::{mta, MtaTimeTracker, RogServer, RogWorker, RogWorkerConfig, RowId};
+use rog_core::{mta, MtaTimeTracker, RogWorker, RogWorkerConfig, RowId, ShardMap, ShardedServer};
 use rog_fault::FaultEvent;
 use rog_net::{
-    BackoffPolicy, FlowEvent, FlowId, FlowOutcome, FlowSpec, ReliableProgress, ReliableTransfer,
+    shard_link, BackoffPolicy, FlowEvent, FlowId, FlowOutcome, FlowSpec, ReliableProgress,
+    ReliableTransfer,
 };
-use rog_obs::{obs, EventKind};
+use rog_obs::{obs, obs_shard, Event, EventKind};
 use rog_sim::{DeviceState, Time};
 use rog_sync::gate;
 
@@ -27,36 +36,51 @@ use crate::config::{ExperimentConfig, Strategy};
 use crate::engine::common::{EngineCtx, Ev};
 use crate::metrics::{MicroSample, RunMetrics};
 
+/// One shard's leg of a worker's push/pull cycle.
+#[derive(Default)]
+struct SubState {
+    /// Rows of this cycle homed on this shard, in global rank order
+    /// (the RSP-mandatory rows form a prefix).
+    push_plan: Vec<RowId>,
+    push_started: Time,
+    /// When the worker joined this shard's RSP gate wait (journal only).
+    gate_entered: Time,
+    push_delivered: usize,
+    push_target: usize,
+    mta_rows: usize,
+    /// Length of the RSP-mandatory prefix of `push_plan`. Mandatory rows
+    /// are the gate's contract — a worker at the staleness bound blocks
+    /// every peer's pull — so unlike the best-effort bulk they are
+    /// retransmitted within the cycle until they land.
+    push_mandatory: usize,
+    /// Rows of the current push leg that actually arrived intact
+    /// (loss model installed only; gradient rows are best-effort, so a
+    /// lost row is simply not committed and ages toward the RSP bound).
+    push_intact: Vec<RowId>,
+    /// Mandatory rows lost in flight, currently being retransmitted.
+    push_retry: Vec<RowId>,
+    pull_plan: Vec<RowId>,
+    pull_delivered: usize,
+    pull_target: usize,
+    /// Rows of the current pull leg that arrived intact (ditto).
+    pull_intact: Vec<RowId>,
+    /// This shard participates in the current cycle.
+    engaged: bool,
+    /// The push (commit + gate entry) finished for this cycle.
+    push_done: bool,
+    /// Push and pull both finished for this cycle.
+    done: bool,
+    /// Action to take on this leg once connectivity returns after a
+    /// fault cancelled its in-flight transfer.
+    resume: Option<SubResume>,
+}
+
 struct WState {
     model: rog_models::Mlp,
     worker: RogWorker,
     /// Completed iterations (currently working on `iter + 1`).
     iter: u64,
     done: bool,
-    push_plan: Vec<RowId>,
-    push_started: Time,
-    /// When the worker joined the RSP gate wait (journal only).
-    gate_entered: Time,
-    push_delivered: usize,
-    push_target: usize,
-    mta_rows: usize,
-    pull_plan: Vec<RowId>,
-    pull_started: Time,
-    pull_delivered: usize,
-    pull_target: usize,
-    /// Rows of the current push cycle that actually arrived intact
-    /// (loss model installed only; gradient rows are best-effort, so a
-    /// lost row is simply not committed and ages toward the RSP bound).
-    push_intact: Vec<RowId>,
-    /// Length of the RSP-mandatory prefix of `push_plan`. Mandatory rows
-    /// are the gate's contract — a worker at the staleness bound blocks
-    /// every peer's pull — so unlike the best-effort bulk they are
-    /// retransmitted within the cycle until they land.
-    push_mandatory: usize,
-    /// Mandatory rows lost in flight, currently being retransmitted.
-    push_retry: Vec<RowId>,
-    /// Rows of the current pull cycle that arrived intact (ditto).
-    pull_intact: Vec<RowId>,
     /// Currently running a gradient computation.
     computing: bool,
     /// A push/pull cycle is in flight (pipeline mode).
@@ -67,9 +91,17 @@ struct WState {
     applied_iter: u64,
     /// Compute is paused waiting for the comm pipeline to catch up.
     pipe_waiting: bool,
-    /// Action to take once connectivity returns after a fault cancelled
-    /// this worker's in-flight transfer.
+    /// Whole-cycle action to take once connectivity returns (the cycle
+    /// was parked before any leg started, or a resync must restart).
     resume: Option<Resume>,
+    /// Per-shard legs of the current cycle.
+    subs: Vec<SubState>,
+    /// Reusable buffer for the globally ranked push plan.
+    plan_scratch: Vec<RowId>,
+    /// Rows delivered across all legs this cycle (micro-events).
+    cycle_push_delivered: usize,
+    /// Rows planned across all legs this cycle (micro-events).
+    cycle_push_total: usize,
 }
 
 /// What an interrupted worker does when connectivity returns. Cancelled
@@ -77,27 +109,38 @@ struct WState {
 /// each variant restarts its phase rather than splicing a partial one.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum Resume {
-    /// Restart the push of the suspended comm cycle.
+    /// Restart the push of the suspended comm cycle (parked before any
+    /// leg could start).
     Push,
-    /// Re-enter the RSP gate wait for the suspended cycle's pull; the
-    /// pull plan is recomputed at grant time, so nothing is lost.
-    PullGate,
     /// Restart the rejoin resync transfer.
     Resync,
+}
+
+/// What one suspended shard leg restarts as (see [`Resume`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum SubResume {
+    /// Restart this leg's push.
+    Push,
+    /// Re-enter this shard's RSP gate wait; the pull plan is recomputed
+    /// at grant time, so nothing is lost.
+    PullGate,
 }
 
 #[derive(Debug, Clone, Copy)]
 enum FlowCtx {
     Push {
         w: usize,
+        s: usize,
         cont: bool,
     },
     /// In-cycle retransmit of mandatory push rows the loss model ate.
     PushRetry {
         w: usize,
+        s: usize,
     },
     Pull {
         w: usize,
+        s: usize,
         cont: bool,
     },
     /// Full-model transfer bringing a rejoining worker back in sync.
@@ -110,9 +153,19 @@ impl FlowCtx {
     fn worker(self) -> usize {
         match self {
             FlowCtx::Push { w, .. }
-            | FlowCtx::PushRetry { w }
+            | FlowCtx::PushRetry { w, .. }
             | FlowCtx::Pull { w, .. }
             | FlowCtx::Resync { w } => w,
+        }
+    }
+
+    /// The shard this flow talks to (`None` for whole-server resyncs).
+    fn shard(self) -> Option<usize> {
+        match self {
+            FlowCtx::Push { s, .. } | FlowCtx::PushRetry { s, .. } | FlowCtx::Pull { s, .. } => {
+                Some(s)
+            }
+            FlowCtx::Resync { .. } => None,
         }
     }
 }
@@ -140,11 +193,12 @@ struct RowEngine {
     workers: Vec<WState>,
     /// Prefetched gradient draws, one slot per worker.
     pending: Vec<Option<PendingDraw>>,
-    server: RogServer,
-    tracker: MtaTimeTracker,
+    server: ShardedServer,
+    /// One MTA-time budget per shard.
+    trackers: Vec<MtaTimeTracker>,
     flows: BTreeMap<FlowId, FlowCtx>,
-    /// Workers whose pull awaits the RSP gate, with their pushed iter.
-    waiting: Vec<(usize, u64)>,
+    /// Legs whose pull awaits a shard's RSP gate: (worker, shard, iter).
+    waiting: Vec<(usize, usize, u64)>,
     /// Last pushed iteration per worker (micro-event staleness).
     last_pushed: Vec<u64>,
     /// Outstanding `ComputeDone` timers of departed workers, swallowed
@@ -159,10 +213,15 @@ struct RowEngine {
     retry_armed: Vec<bool>,
     /// Queued `NetRetry` timers voided by a fault, swallowed on arrival.
     stale_retries: Vec<u32>,
-    /// Invariant watchdog: the last observed min(V), which may never
-    /// regress.
+    /// Invariant watchdog: the last observed per-shard min(V), which may
+    /// never regress.
     #[cfg(debug_assertions)]
-    last_global_min: u64,
+    last_global_min: Vec<u64>,
+    /// A shard outage made a cycle skip that shard, so its rows may
+    /// legitimately age past the static staleness bound.
+    #[cfg(debug_assertions)]
+    skipped_shard_push: bool,
+    n_shards: usize,
     threshold: u32,
     /// Overlap communication and computation (paper future work).
     pipeline: bool,
@@ -221,6 +280,7 @@ pub fn run_traced(cfg: &ExperimentConfig) -> (RunMetrics, rog_obs::Journal) {
     };
     let ctx = EngineCtx::new(cfg);
     let n = cfg.n_workers;
+    let n_shards = cfg.effective_shards();
     let init = ctx.cluster.init_model.clone();
     let lr = ctx.cluster.lr;
     let mut wcfg = RogWorkerConfig::new(threshold, lr);
@@ -236,29 +296,20 @@ pub fn run_traced(cfg: &ExperimentConfig) -> (RunMetrics, rog_obs::Journal) {
             worker: RogWorker::new(init.params(), wcfg),
             iter: 0,
             done: false,
-            push_plan: Vec::new(),
-            push_started: 0.0,
-            gate_entered: 0.0,
-            push_delivered: 0,
-            push_target: 0,
-            mta_rows: 0,
-            pull_plan: Vec::new(),
-            pull_started: 0.0,
-            pull_delivered: 0,
-            pull_target: 0,
-            push_intact: Vec::new(),
-            push_mandatory: 0,
-            push_retry: Vec::new(),
-            pull_intact: Vec::new(),
             computing: false,
             comm_busy: false,
             comm_iter: 0,
             applied_iter: 0,
             pipe_waiting: false,
             resume: None,
+            subs: (0..n_shards).map(|_| SubState::default()).collect(),
+            plan_scratch: Vec::new(),
+            cycle_push_delivered: 0,
+            cycle_push_total: 0,
         })
         .collect();
-    let server = RogServer::new(init.params(), n, threshold, wcfg.importance);
+    let map = ShardMap::contiguous(init.row_widths().len(), n_shards);
+    let server = ShardedServer::new(init.params(), n, threshold, wcfg.importance, map);
     let widths = init.row_widths();
     let model_wire_bytes = ctx.cluster.scaled_model_bytes(
         widths
@@ -270,7 +321,7 @@ pub fn run_traced(cfg: &ExperimentConfig) -> (RunMetrics, rog_obs::Journal) {
         workers,
         pending: (0..n).map(|_| None).collect(),
         server,
-        tracker: MtaTimeTracker::new(n, 1.0),
+        trackers: (0..n_shards).map(|_| MtaTimeTracker::new(n, 1.0)).collect(),
         flows: BTreeMap::new(),
         waiting: Vec::new(),
         last_pushed: vec![0; n],
@@ -280,7 +331,10 @@ pub fn run_traced(cfg: &ExperimentConfig) -> (RunMetrics, rog_obs::Journal) {
         retry_armed: vec![false; n],
         stale_retries: vec![0; n],
         #[cfg(debug_assertions)]
-        last_global_min: 0,
+        last_global_min: vec![0; n_shards],
+        #[cfg(debug_assertions)]
+        skipped_shard_push: false,
+        n_shards,
         threshold,
         pipeline: cfg.pipeline,
         auto: cfg.auto_threshold.then(|| AutoThreshold::new(threshold)),
@@ -291,6 +345,22 @@ pub fn run_traced(cfg: &ExperimentConfig) -> (RunMetrics, rog_obs::Journal) {
 }
 
 impl RowEngine {
+    /// The journal scope of shard `s`: real shard id only when the run
+    /// is actually sharded, so single-shard journals stay byte-identical
+    /// to the pre-shard engine's.
+    fn shard_tag(&self, s: usize) -> i64 {
+        if self.n_shards > 1 {
+            s as i64
+        } else {
+            Event::NO_SHARD
+        }
+    }
+
+    /// Whether at least one parameter shard is reachable.
+    fn any_shard_up(&self) -> bool {
+        self.ctx.server_down.iter().any(|&d| !d)
+    }
+
     fn start_compute(&mut self, w: usize, now: Time) {
         self.workers[w].computing = true;
         self.workers[w].pipe_waiting = false;
@@ -310,6 +380,20 @@ impl RowEngine {
     fn set_comm_state(&mut self, w: usize, now: Time, fallback: DeviceState) {
         let state = if self.workers[w].computing {
             DeviceState::Compute
+        } else {
+            fallback
+        };
+        self.ctx.set_state(w, now, state);
+    }
+
+    /// Like [`Self::set_comm_state`], but a worker with transfers still
+    /// in flight to other shards stays `Communicate`: one stalled or
+    /// finished leg must not misattribute the whole device's time.
+    fn set_comm_state_sub(&mut self, w: usize, now: Time, fallback: DeviceState) {
+        let state = if self.workers[w].computing {
+            DeviceState::Compute
+        } else if self.flows.values().any(|c| c.worker() == w) {
+            DeviceState::Communicate
         } else {
             fallback
         };
@@ -457,9 +541,9 @@ impl RowEngine {
     }
 
     fn begin_push(&mut self, w: usize, now: Time, n: u64) {
-        if self.ctx.server_down || self.ctx.link_down[w] {
-            // Nothing to transmit through: park the cycle; a recovery
-            // event restarts it via `resume_worker`.
+        if self.ctx.link_down[w] || !self.any_shard_up() {
+            // Nothing to transmit through: park the whole cycle; a
+            // recovery event restarts it via `resume_worker`.
             let ws = &mut self.workers[w];
             ws.comm_busy = true;
             ws.comm_iter = n;
@@ -470,62 +554,106 @@ impl RowEngine {
         let ws = &mut self.workers[w];
         ws.comm_busy = true;
         ws.comm_iter = n;
-        let mut plan = std::mem::take(&mut ws.push_plan);
+        ws.cycle_push_delivered = 0;
+        ws.cycle_push_total = 0;
+        let mut plan = std::mem::take(&mut ws.plan_scratch);
         ws.worker.plan_push_into(n, &mut plan);
-        let n_rows = plan.len();
-        let mandatory = plan
-            .iter()
-            .take_while(|&&id| {
-                gate::row_is_mandatory(ws.worker.row_iters()[id.0], n, self.threshold)
-            })
-            .count();
-        let mta_rows = mta::mta_rows(n_rows, self.threshold);
-        ws.mta_rows = mta_rows;
-        ws.push_target = mta_rows.max(mandatory).min(n_rows);
-        ws.push_mandatory = mandatory.min(n_rows);
-        ws.push_plan = plan;
-        ws.push_started = now;
-        ws.push_delivered = 0;
-        ws.push_intact.clear();
-        ws.push_retry.clear();
-        let budget = self.tracker.get();
+        for sub in &mut ws.subs {
+            sub.push_plan.clear();
+            sub.engaged = false;
+            sub.push_done = false;
+            sub.done = false;
+            sub.resume = None;
+        }
+        // Split the globally ranked plan across shards; per-shard order
+        // follows the ranking, so each shard's RSP-mandatory rows stay a
+        // prefix of its leg's plan.
+        let map = self.server.map();
+        for &id in &plan {
+            ws.subs[map.shard_of(id)].push_plan.push(id);
+        }
+        ws.plan_scratch = plan;
+        for s in 0..self.n_shards {
+            if self.ctx.server_down[s] {
+                // This shard's rows stay accumulated and age toward the
+                // RSP bound; they re-rank into a later cycle's push.
+                #[cfg(debug_assertions)]
+                {
+                    self.skipped_shard_push = true;
+                }
+                continue;
+            }
+            self.start_push_sub(w, s, now, n);
+        }
+    }
+
+    /// Starts one shard leg's speculative push (its plan is already in
+    /// `subs[s].push_plan`).
+    fn start_push_sub(&mut self, w: usize, s: usize, now: Time, n: u64) {
+        let threshold = self.threshold;
+        let ws = &mut self.workers[w];
+        let n_rows = ws.subs[s].push_plan.len();
+        let mandatory = {
+            let row_iters = ws.worker.row_iters();
+            ws.subs[s]
+                .push_plan
+                .iter()
+                .take_while(|&&id| gate::row_is_mandatory(row_iters[id.0], n, threshold))
+                .count()
+        };
+        let mta_rows = mta::mta_rows(n_rows, threshold);
+        let sub = &mut ws.subs[s];
+        sub.engaged = true;
+        sub.done = false;
+        sub.push_done = false;
+        sub.resume = None;
+        sub.mta_rows = mta_rows;
+        sub.push_target = mta_rows.max(mandatory).min(n_rows);
+        sub.push_mandatory = mandatory.min(n_rows);
+        sub.push_started = now;
+        sub.push_delivered = 0;
+        sub.push_intact.clear();
+        sub.push_retry.clear();
+        let budget = self.trackers[s].get();
         if self.ctx.journal.enabled() {
-            let ws = &self.workers[w];
+            let sub = &self.workers[w].subs[s];
             let start = EventKind::PushStart {
                 w: w as u32,
                 iter: n,
-                rows: ws.push_plan.len() as u32,
-                mand: ws.push_mandatory as u32,
-                mta: ws.mta_rows as u32,
+                rows: sub.push_plan.len() as u32,
+                mand: sub.push_mandatory as u32,
+                mta: sub.mta_rows as u32,
                 budget,
             };
             let rows_ranked = EventKind::RowPush {
                 w: w as u32,
                 iter: n,
-                rows: ws.push_plan.iter().map(|id| id.0 as u32).collect(),
+                rows: sub.push_plan.iter().map(|id| id.0 as u32).collect(),
             };
-            self.ctx.journal.record(now, start);
-            self.ctx.journal.record(now, rows_ranked);
+            let tag = self.shard_tag(s);
+            self.ctx.journal.record_shard(now, tag, start);
+            self.ctx.journal.record_shard(now, tag, rows_ranked);
         }
         let chunks = {
             let ws = &self.workers[w];
-            self.scaled_chunks(ws, &ws.push_plan)
+            self.scaled_chunks(ws, &ws.subs[s].push_plan)
         };
         self.set_comm_state(w, now, DeviceState::Communicate);
+        let link = shard_link(w, self.n_shards, s);
         let id = self
             .ctx
             .cluster
             .channel
-            .start_flow(now, FlowSpec::new(w, chunks).with_deadline(now + budget));
-        self.flows.insert(id, FlowCtx::Push { w, cont: false });
+            .start_flow(now, FlowSpec::new(link, chunks).with_deadline(now + budget));
+        self.flows.insert(id, FlowCtx::Push { w, s, cont: false });
     }
 
     fn on_flow(&mut self, ev: FlowEvent) {
         let ctx = self.flows.remove(&ev.id).expect("unknown flow");
         match ctx {
-            FlowCtx::Push { w, cont } => self.on_push_flow(w, cont, ev),
-            FlowCtx::PushRetry { w } => self.on_push_retry_flow(w, ev),
-            FlowCtx::Pull { w, cont } => self.on_pull_flow(w, cont, ev),
+            FlowCtx::Push { w, s, cont } => self.on_push_flow(w, s, cont, ev),
+            FlowCtx::PushRetry { w, s } => self.on_push_retry_flow(w, s, ev),
+            FlowCtx::Pull { w, s, cont } => self.on_pull_flow(w, s, cont, ev),
             FlowCtx::Resync { w } => {
                 debug_assert!(
                     matches!(ev.outcome, FlowOutcome::Completed),
@@ -546,6 +674,7 @@ impl RowEngine {
         delivered_now: usize,
         pull: bool,
         w: usize,
+        s: usize,
     ) {
         let Some(report) = self.ctx.cluster.channel.take_report(ev.id) else {
             return;
@@ -553,9 +682,10 @@ impl RowEngine {
         let lost = report.lost_chunks();
         let corrupt = report.corrupt_chunks();
         if lost + corrupt > 0 {
-            obs!(
+            obs_shard!(
                 self.ctx.journal,
                 ev.at,
+                self.shard_tag(s),
                 EventKind::Loss {
                     w: w as u32,
                     lost: lost as u32,
@@ -564,11 +694,11 @@ impl RowEngine {
                 }
             );
         }
-        let ws = &mut self.workers[w];
+        let sub = &mut self.workers[w].subs[s];
         let (plan, intact) = if pull {
-            (&ws.pull_plan, &mut ws.pull_intact)
+            (&sub.pull_plan, &mut sub.pull_intact)
         } else {
-            (&ws.push_plan, &mut ws.push_intact)
+            (&sub.push_plan, &mut sub.push_intact)
         };
         intact.extend(
             (0..delivered_now)
@@ -577,14 +707,15 @@ impl RowEngine {
         );
     }
 
-    fn on_push_flow(&mut self, w: usize, cont: bool, ev: FlowEvent) {
+    fn on_push_flow(&mut self, w: usize, s: usize, cont: bool, ev: FlowEvent) {
         let now = ev.at;
         let delivered_now = match ev.outcome {
             FlowOutcome::Completed => {
+                let sub = &self.workers[w].subs[s];
                 if cont {
-                    self.workers[w].push_target - self.workers[w].push_delivered
+                    sub.push_target - sub.push_delivered
                 } else {
-                    self.workers[w].push_plan.len()
+                    sub.push_plan.len()
                 }
             }
             FlowOutcome::DeadlineReached { chunks_done, .. } => chunks_done,
@@ -592,43 +723,45 @@ impl RowEngine {
                 unreachable!("cancelled flows are reaped at the fault site")
             }
         };
-        let base = self.workers[w].push_delivered;
-        self.collect_intact(&ev, base, delivered_now, false, w);
-        let ws = &mut self.workers[w];
-        ws.push_delivered += delivered_now;
-        if !cont && ws.push_delivered < ws.push_target {
+        let base = self.workers[w].subs[s].push_delivered;
+        self.collect_intact(&ev, base, delivered_now, false, w, s);
+        let sub = &mut self.workers[w].subs[s];
+        sub.push_delivered += delivered_now;
+        if !cont && sub.push_delivered < sub.push_target {
             // Straggler this round: keep transmitting up to the target
             // (MTA plus any RSP-mandatory rows), without a deadline.
-            let rest: Vec<RowId> = ws.push_plan[ws.push_delivered..ws.push_target].to_vec();
+            let rest: Vec<RowId> = sub.push_plan[sub.push_delivered..sub.push_target].to_vec();
             let chunks = {
                 let ws = &self.workers[w];
                 self.scaled_chunks(ws, &rest)
             };
+            let link = shard_link(w, self.n_shards, s);
             let id = self
                 .ctx
                 .cluster
                 .channel
-                .start_flow(now, FlowSpec::new(w, chunks));
-            self.flows.insert(id, FlowCtx::Push { w, cont: true });
+                .start_flow(now, FlowSpec::new(link, chunks));
+            self.flows.insert(id, FlowCtx::Push { w, s, cont: true });
             return;
         }
-        self.maybe_finish_push(w, now);
+        self.maybe_finish_push(w, s, now);
     }
 
-    /// Ends the push cycle — unless mandatory rows were lost in flight,
-    /// in which case they retransmit first. Best-effort applies to the
+    /// Ends a push leg — unless mandatory rows were lost in flight, in
+    /// which case they retransmit first. Best-effort applies to the
     /// bulk of the gradient rows only: a mandatory row sits at the RSP
     /// staleness bound, and dropping it would stall every peer at the
     /// gate until this worker's *next* push, so the transport keeps
     /// resending it until it lands (progress is guaranteed: per-chunk
     /// loss probability is capped below 1).
-    fn maybe_finish_push(&mut self, w: usize, now: Time) {
+    fn maybe_finish_push(&mut self, w: usize, s: usize, now: Time) {
         if self.ctx.cluster.channel.loss_enabled() {
-            let missing = self.missing_mandatory(w);
+            let missing = self.missing_mandatory(w, s);
             if !missing.is_empty() {
-                obs!(
+                obs_shard!(
                     self.ctx.journal,
                     now,
+                    self.shard_tag(s),
                     EventKind::Retransmit {
                         w: w as u32,
                         rows: missing.len() as u32,
@@ -639,45 +772,47 @@ impl RowEngine {
                     let ws = &self.workers[w];
                     self.scaled_chunks(ws, &missing)
                 };
-                self.workers[w].push_retry = missing;
+                self.workers[w].subs[s].push_retry = missing;
+                let link = shard_link(w, self.n_shards, s);
                 let id = self
                     .ctx
                     .cluster
                     .channel
-                    .start_flow(now, FlowSpec::new(w, chunks));
-                self.flows.insert(id, FlowCtx::PushRetry { w });
+                    .start_flow(now, FlowSpec::new(link, chunks));
+                self.flows.insert(id, FlowCtx::PushRetry { w, s });
                 return;
             }
         }
-        self.finish_push(w, now);
+        self.finish_push_sub(w, s, now);
     }
 
-    /// Mandatory-prefix rows that have not yet arrived intact.
-    fn missing_mandatory(&self, w: usize) -> Vec<RowId> {
-        let ws = &self.workers[w];
-        ws.push_plan[..ws.push_mandatory.min(ws.push_delivered)]
+    /// Mandatory-prefix rows of one leg that have not yet arrived intact.
+    fn missing_mandatory(&self, w: usize, s: usize) -> Vec<RowId> {
+        let sub = &self.workers[w].subs[s];
+        sub.push_plan[..sub.push_mandatory.min(sub.push_delivered)]
             .iter()
             .copied()
-            .filter(|id| !ws.push_intact.contains(id))
+            .filter(|id| !sub.push_intact.contains(id))
             .collect()
     }
 
     /// A mandatory-row retransmit round finished: bank the survivors and
     /// go around again if the loss model ate some of them too.
-    fn on_push_retry_flow(&mut self, w: usize, ev: FlowEvent) {
+    fn on_push_retry_flow(&mut self, w: usize, s: usize, ev: FlowEvent) {
         debug_assert!(
             matches!(ev.outcome, FlowOutcome::Completed),
             "retry rounds have no deadline"
         );
         let report = self.ctx.cluster.channel.take_report(ev.id);
-        let retry = std::mem::take(&mut self.workers[w].push_retry);
+        let retry = std::mem::take(&mut self.workers[w].subs[s].push_retry);
         if let Some(rep) = report.as_ref() {
             let lost = rep.lost_chunks();
             let corrupt = rep.corrupt_chunks();
             if lost + corrupt > 0 {
-                obs!(
+                obs_shard!(
                     self.ctx.journal,
                     ev.at,
+                    self.shard_tag(s),
                     EventKind::Loss {
                         w: w as u32,
                         lost: lost as u32,
@@ -687,61 +822,65 @@ impl RowEngine {
                 );
             }
         }
-        let ws = &mut self.workers[w];
+        let sub = &mut self.workers[w].subs[s];
         match report {
-            Some(rep) => ws.push_intact.extend(
+            Some(rep) => sub.push_intact.extend(
                 retry
                     .iter()
                     .enumerate()
                     .filter(|&(i, _)| rep.intact(i))
                     .map(|(_, &id)| id),
             ),
-            None => ws.push_intact.extend(retry.iter().copied()),
+            None => sub.push_intact.extend(retry.iter().copied()),
         }
-        self.maybe_finish_push(w, ev.at);
+        self.maybe_finish_push(w, s, ev.at);
     }
 
-    fn finish_push(&mut self, w: usize, now: Time) {
+    fn finish_push_sub(&mut self, w: usize, s: usize, now: Time) {
         let n = if self.pipeline {
             self.workers[w].comm_iter
         } else {
             self.workers[w].iter + 1
         };
         let (delivered, total_rows, duration, mta_rows) = {
-            let ws = &self.workers[w];
+            let sub = &self.workers[w].subs[s];
             (
-                ws.push_delivered,
-                ws.push_plan.len(),
-                (now - ws.push_started).max(1e-6),
-                ws.mta_rows,
+                sub.push_delivered,
+                sub.push_plan.len(),
+                (now - sub.push_started).max(1e-6),
+                sub.mta_rows,
             )
         };
-        let payloads = {
+        let mut payloads = {
             // Gradient rows are best-effort: with a loss model installed
             // only the rows whose chunks survived are committed; the rest
             // keep their error-feedback residual and stale row iteration,
             // so they age toward the RSP-mandatory bound and retransmit
             // as mandatory rows of a later push.
             let plan: Vec<RowId> = if self.ctx.cluster.channel.loss_enabled() {
-                std::mem::take(&mut self.workers[w].push_intact)
+                std::mem::take(&mut self.workers[w].subs[s].push_intact)
             } else {
-                self.workers[w].push_plan[..delivered].to_vec()
+                self.workers[w].subs[s].push_plan[..delivered].to_vec()
             };
             self.workers[w].worker.commit_push(&plan, n)
         };
-        self.server.on_push(w, n, &payloads);
+        self.server.on_push(s, w, n, &mut payloads);
         #[cfg(debug_assertions)]
-        self.check_version_invariants(n);
-        self.tracker.report(w, delivered, duration, mta_rows);
+        self.check_version_invariants(s, n);
+        self.trackers[s].report(w, delivered, duration, mta_rows);
         self.last_pushed[w] = n;
         if self.ctx.journal.enabled() {
             let bytes: u64 = {
                 let ws = &self.workers[w];
-                let upto = delivered.min(ws.push_plan.len());
-                self.scaled_chunks(ws, &ws.push_plan[..upto]).iter().sum()
+                let upto = delivered.min(ws.subs[s].push_plan.len());
+                self.scaled_chunks(ws, &ws.subs[s].push_plan[..upto])
+                    .iter()
+                    .sum()
             };
-            self.ctx.journal.record(
+            let tag = self.shard_tag(s);
+            self.ctx.journal.record_shard(
                 now,
+                tag,
                 EventKind::PushEnd {
                     w: w as u32,
                     iter: n,
@@ -749,38 +888,59 @@ impl RowEngine {
                     bytes,
                 },
             );
-            self.ctx.journal.record(
+            self.ctx.journal.record_shard(
                 now,
+                tag,
                 EventKind::Mta {
                     w: w as u32,
                     secs: duration,
-                    budget: self.tracker.get(),
+                    budget: self.trackers[s].get(),
                 },
             );
         }
 
-        if self.ctx.cfg.record_micro && w == 0 {
+        {
+            let ws = &mut self.workers[w];
+            ws.cycle_push_delivered += delivered;
+            ws.cycle_push_total += total_rows;
+            ws.subs[s].push_done = true;
+        }
+        if self.ctx.cfg.record_micro
+            && w == 0
+            && self.workers[w]
+                .subs
+                .iter()
+                .all(|sp| !sp.engaged || sp.push_done)
+        {
             let fastest = *self.last_pushed.iter().max().expect("non-empty");
+            let ws = &self.workers[w];
             let sample = MicroSample {
                 time: now,
-                bandwidth_bps: self.ctx.cluster.channel.link_rate_bps(w),
-                transmission_rate: if total_rows == 0 {
+                bandwidth_bps: self.ctx.cluster.channel.link_rate_bps(shard_link(
+                    w,
+                    self.n_shards,
+                    0,
+                )),
+                transmission_rate: if ws.cycle_push_total == 0 {
                     1.0
                 } else {
-                    delivered as f64 / total_rows as f64
+                    ws.cycle_push_delivered as f64 / ws.cycle_push_total as f64
                 },
                 staleness: fastest - n,
             };
             self.ctx.collector.record_micro(sample);
         }
 
-        // RSP gate (Algorithm 2 lines 7–9): pull waits for stragglers.
-        self.workers[w].gate_entered = now;
+        // RSP gate (Algorithm 2 lines 7–9): this shard's pull waits for
+        // the stragglers' pushes to *this* shard only.
+        self.workers[w].subs[s].gate_entered = now;
         if self.ctx.journal.enabled() {
-            let (_, row, _) = self.server.versions_mut().stalest_cell();
-            let min = self.server.versions_mut().global_min();
-            self.ctx.journal.record(
+            let (_, row, _) = self.server.versions_mut(s).stalest_cell();
+            let min = self.server.versions_mut(s).global_min();
+            let row = self.server.map().to_global(s, RowId(row)).0;
+            self.ctx.journal.record_shard(
                 now,
+                self.shard_tag(s),
                 EventKind::GateEnter {
                     w: w as u32,
                     iter: n,
@@ -790,57 +950,60 @@ impl RowEngine {
                 },
             );
         }
-        if self.server.gate_ok(n) {
-            self.grant_pull(w, now);
+        if self.server.gate_ok(s, n) {
+            self.grant_pull(w, s, now);
         } else {
-            self.set_comm_state(w, now, DeviceState::Stall);
-            self.waiting.push((w, n));
+            self.set_comm_state_sub(w, now, DeviceState::Stall);
+            self.waiting.push((w, s, n));
         }
         self.drain_waiting(now);
     }
 
     fn drain_waiting(&mut self, now: Time) {
-        if self.ctx.server_down {
-            return;
-        }
         let waiting = std::mem::take(&mut self.waiting);
-        for (w, n) in waiting {
-            if !self.ctx.offline[w] && !self.ctx.link_down[w] && self.server.gate_ok(n) {
-                self.grant_pull(w, now);
+        for (w, s, n) in waiting {
+            if !self.ctx.offline[w]
+                && !self.ctx.link_down[w]
+                && !self.ctx.server_down[s]
+                && self.server.gate_ok(s, n)
+            {
+                self.grant_pull(w, s, now);
             } else {
-                self.waiting.push((w, n));
+                self.waiting.push((w, s, n));
             }
         }
     }
 
-    fn grant_pull(&mut self, w: usize, now: Time) {
-        obs!(
+    fn grant_pull(&mut self, w: usize, s: usize, now: Time) {
+        obs_shard!(
             self.ctx.journal,
             now,
+            self.shard_tag(s),
             EventKind::GateExit {
                 w: w as u32,
                 iter: self.workers[w].comm_iter,
-                waited: now - self.workers[w].gate_entered,
+                waited: now - self.workers[w].subs[s].gate_entered,
             }
         );
-        let mut plan = std::mem::take(&mut self.workers[w].pull_plan);
-        self.server.plan_pull_into(w, &mut plan);
+        let mut plan = std::mem::take(&mut self.workers[w].subs[s].pull_plan);
+        self.server.plan_pull_into(s, w, &mut plan);
         if plan.is_empty() {
-            self.workers[w].pull_plan = plan;
-            self.complete_cycle(w, now);
+            self.workers[w].subs[s].pull_plan = plan;
+            self.finish_sub(w, s, now);
             return;
         }
-        let mta_rows = mta::mta_rows(self.workers[w].worker.partition().n_rows(), self.threshold);
-        let ws = &mut self.workers[w];
-        ws.pull_target = mta_rows.min(plan.len());
-        ws.pull_plan = plan;
-        ws.pull_started = now;
-        ws.pull_delivered = 0;
-        ws.pull_intact.clear();
-        let budget = self.tracker.get();
+        let mta_rows = mta::mta_rows(self.server.map().shard_rows(s), self.threshold);
+        {
+            let sub = &mut self.workers[w].subs[s];
+            sub.pull_target = mta_rows.min(plan.len());
+            sub.pull_plan = plan;
+            sub.pull_delivered = 0;
+            sub.pull_intact.clear();
+        }
+        let budget = self.trackers[s].get();
         let chunks: Vec<u64> = {
-            let ws = &self.workers[w];
-            ws.pull_plan
+            let sub = &self.workers[w].subs[s];
+            sub.pull_plan
                 .iter()
                 .map(|&id| {
                     self.ctx
@@ -851,40 +1014,45 @@ impl RowEngine {
         };
         if self.ctx.journal.enabled() {
             let ws = &self.workers[w];
-            self.ctx.journal.record(
+            let tag = self.shard_tag(s);
+            self.ctx.journal.record_shard(
                 now,
+                tag,
                 EventKind::PullStart {
                     w: w as u32,
                     iter: ws.comm_iter,
                     bytes: chunks.iter().sum(),
                 },
             );
-            self.ctx.journal.record(
+            self.ctx.journal.record_shard(
                 now,
+                tag,
                 EventKind::RowPull {
                     w: w as u32,
                     iter: ws.comm_iter,
-                    rows: ws.pull_plan.iter().map(|id| id.0 as u32).collect(),
+                    rows: ws.subs[s].pull_plan.iter().map(|id| id.0 as u32).collect(),
                 },
             );
         }
         self.set_comm_state(w, now, DeviceState::Communicate);
+        let link = shard_link(w, self.n_shards, s);
         let id = self
             .ctx
             .cluster
             .channel
-            .start_flow(now, FlowSpec::new(w, chunks).with_deadline(now + budget));
-        self.flows.insert(id, FlowCtx::Pull { w, cont: false });
+            .start_flow(now, FlowSpec::new(link, chunks).with_deadline(now + budget));
+        self.flows.insert(id, FlowCtx::Pull { w, s, cont: false });
     }
 
-    fn on_pull_flow(&mut self, w: usize, cont: bool, ev: FlowEvent) {
+    fn on_pull_flow(&mut self, w: usize, s: usize, cont: bool, ev: FlowEvent) {
         let now = ev.at;
         let delivered_now = match ev.outcome {
             FlowOutcome::Completed => {
+                let sub = &self.workers[w].subs[s];
                 if cont {
-                    self.workers[w].pull_target - self.workers[w].pull_delivered
+                    sub.pull_target - sub.pull_delivered
                 } else {
-                    self.workers[w].pull_plan.len()
+                    sub.pull_plan.len()
                 }
             }
             FlowOutcome::DeadlineReached { chunks_done, .. } => chunks_done,
@@ -892,12 +1060,12 @@ impl RowEngine {
                 unreachable!("cancelled flows are reaped at the fault site")
             }
         };
-        let base = self.workers[w].pull_delivered;
-        self.collect_intact(&ev, base, delivered_now, true, w);
-        let ws = &mut self.workers[w];
-        ws.pull_delivered += delivered_now;
-        if !cont && ws.pull_delivered < ws.pull_target {
-            let rest: Vec<RowId> = ws.pull_plan[ws.pull_delivered..ws.pull_target].to_vec();
+        let base = self.workers[w].subs[s].pull_delivered;
+        self.collect_intact(&ev, base, delivered_now, true, w, s);
+        let sub = &mut self.workers[w].subs[s];
+        sub.pull_delivered += delivered_now;
+        if !cont && sub.pull_delivered < sub.pull_target {
+            let rest: Vec<RowId> = sub.pull_plan[sub.pull_delivered..sub.pull_target].to_vec();
             let chunks: Vec<u64> = rest
                 .iter()
                 .map(|&id| {
@@ -906,32 +1074,34 @@ impl RowEngine {
                         .scaled_row_bytes(self.server.payload_bytes(id))
                 })
                 .collect();
+            let link = shard_link(w, self.n_shards, s);
             let id = self
                 .ctx
                 .cluster
                 .channel
-                .start_flow(now, FlowSpec::new(w, chunks));
-            self.flows.insert(id, FlowCtx::Pull { w, cont: true });
+                .start_flow(now, FlowSpec::new(link, chunks));
+            self.flows.insert(id, FlowCtx::Pull { w, s, cont: true });
             return;
         }
         // Apply whatever arrived (intact rows only under a loss model:
         // a dropped pull row stays pending on the server and re-ranks
         // into a later pull instead of being silently consumed).
-        let delivered = self.workers[w].pull_delivered;
+        let delivered = self.workers[w].subs[s].pull_delivered;
         let rows: Vec<RowId> = if self.ctx.cluster.channel.loss_enabled() {
-            std::mem::take(&mut self.workers[w].pull_intact)
+            std::mem::take(&mut self.workers[w].subs[s].pull_intact)
         } else {
-            self.workers[w].pull_plan[..delivered].to_vec()
+            self.workers[w].subs[s].pull_plan[..delivered].to_vec()
         };
-        obs!(
+        obs_shard!(
             self.ctx.journal,
             now,
+            self.shard_tag(s),
             EventKind::PullEnd {
                 w: w as u32,
                 iter: self.workers[w].comm_iter,
             }
         );
-        let payload = self.server.commit_pull(w, &rows);
+        let payload = self.server.commit_pull(s, w, &rows);
         let ws = &mut self.workers[w];
         ws.worker.apply_pulled(ws.model.params_mut(), &payload);
         // The model just changed; in pipeline mode a compute may be in
@@ -940,7 +1110,18 @@ impl RowEngine {
         if let Some(p) = self.pending[w].as_mut() {
             p.result = None;
         }
-        self.complete_cycle(w, now);
+        self.finish_sub(w, s, now);
+    }
+
+    /// Marks one shard's leg done; the worker's cycle completes once
+    /// every engaged leg has finished its push *and* pull.
+    fn finish_sub(&mut self, w: usize, s: usize, now: Time) {
+        self.workers[w].subs[s].done = true;
+        if self.workers[w].subs.iter().all(|sp| !sp.engaged || sp.done) {
+            self.complete_cycle(w, now);
+        } else {
+            self.set_comm_state_sub(w, now, DeviceState::Stall);
+        }
     }
 
     fn complete_cycle(&mut self, w: usize, now: Time) {
@@ -1038,9 +1219,15 @@ impl RowEngine {
     // ----- fault injection ------------------------------------------------
 
     fn on_fault(&mut self, f: FaultEvent, now: Time) {
-        obs!(
+        let tag = if self.n_shards > 1 {
+            f.shard().map_or(Event::NO_SHARD, |s| s as i64)
+        } else {
+            Event::NO_SHARD
+        };
+        obs_shard!(
             self.ctx.journal,
             now,
+            tag,
             EventKind::Fault {
                 kind: f.name(),
                 w: f.worker().map_or(-1, |w| w as i64),
@@ -1051,8 +1238,8 @@ impl RowEngine {
             FaultEvent::WorkerUp(w) => self.on_worker_up(w, now),
             FaultEvent::BlackoutStart(w) => self.on_blackout_start(w, now),
             FaultEvent::BlackoutEnd(w) => self.on_blackout_end(w, now),
-            FaultEvent::ServerDown => self.on_server_down(now),
-            FaultEvent::ServerUp => self.on_server_up(now),
+            FaultEvent::ServerDown(s) => self.on_server_down(s, now),
+            FaultEvent::ServerUp(s) => self.on_server_up(s, now),
         }
     }
 
@@ -1087,16 +1274,22 @@ impl RowEngine {
             .collect()
     }
 
-    /// Marks what a worker's cancelled transfer should restart as once
+    /// Marks what a cancelled transfer should restart as once
     /// connectivity returns. `comm_busy` stays true for suspended
     /// push/pull cycles so pipeline mode cannot start a second cycle on
     /// top of the parked one.
     fn suspend_ctx(&mut self, ctx: FlowCtx) {
-        self.workers[ctx.worker()].resume = Some(match ctx {
-            FlowCtx::Push { .. } | FlowCtx::PushRetry { .. } => Resume::Push,
-            FlowCtx::Pull { .. } => Resume::PullGate,
-            FlowCtx::Resync { .. } => Resume::Resync,
-        });
+        match ctx {
+            FlowCtx::Push { w, s, .. } | FlowCtx::PushRetry { w, s } => {
+                self.workers[w].subs[s].resume = Some(SubResume::Push);
+            }
+            FlowCtx::Pull { w, s, .. } => {
+                self.workers[w].subs[s].resume = Some(SubResume::PullGate);
+            }
+            FlowCtx::Resync { w } => {
+                self.workers[w].resume = Some(Resume::Resync);
+            }
+        }
     }
 
     fn on_worker_down(&mut self, w: usize, now: Time) {
@@ -1107,7 +1300,7 @@ impl RowEngine {
         // Every in-flight transfer dies with the device; nothing resumes
         // (rejoin rebuilds the cycle from the resynced model instead).
         self.cancel_flows_of(w);
-        self.waiting.retain(|&(x, _)| x != w);
+        self.waiting.retain(|&(x, _, _)| x != w);
         if self.workers[w].computing {
             // Its ComputeDone timer is still queued; swallow on arrival.
             self.stale_timers[w] += 1;
@@ -1117,6 +1310,12 @@ impl RowEngine {
         ws.comm_busy = false;
         ws.pipe_waiting = false;
         ws.resume = None;
+        for sub in &mut ws.subs {
+            sub.engaged = false;
+            sub.push_done = false;
+            sub.done = false;
+            sub.resume = None;
+        }
         self.server.deactivate_worker(w);
         self.ctx.set_state(w, now, DeviceState::Offline);
         // The departed worker's frozen rows age out of min(V): gated
@@ -1129,8 +1328,9 @@ impl RowEngine {
         if !self.ctx.offline[w] {
             return;
         }
-        if self.ctx.server_down || self.ctx.link_down[w] {
-            // Powered on but unreachable: resync once the path returns.
+        if self.ctx.any_server_down() || self.ctx.link_down[w] {
+            // Powered on but unreachable (a resync needs every shard):
+            // resync once the full path returns.
             self.workers[w].resume = Some(Resume::Resync);
             return;
         }
@@ -1165,11 +1365,12 @@ impl RowEngine {
         } else {
             vec![self.model_wire_bytes]
         };
+        let link = shard_link(w, self.n_shards, 0);
         let id = self
             .ctx
             .cluster
             .channel
-            .start_flow(now, FlowSpec::new(w, chunks));
+            .start_flow(now, FlowSpec::new(link, chunks));
         self.flows.insert(id, FlowCtx::Resync { w });
     }
 
@@ -1252,7 +1453,7 @@ impl RowEngine {
         let Some(retx) = self.retx[w].as_ref() else {
             return;
         };
-        if self.ctx.server_down || self.ctx.link_down[w] {
+        if self.ctx.any_server_down() || self.ctx.link_down[w] {
             // Path went down during the backoff: restart the resync from
             // scratch once connectivity returns.
             self.retx[w] = None;
@@ -1270,33 +1471,35 @@ impl RowEngine {
             }
         );
         self.ctx.set_state(w, now, DeviceState::Communicate);
+        let link = shard_link(w, self.n_shards, 0);
         let id = self
             .ctx
             .cluster
             .channel
-            .start_flow(now, FlowSpec::new(w, chunks));
+            .start_flow(now, FlowSpec::new(link, chunks));
         self.flows.insert(id, FlowCtx::Resync { w });
     }
 
-    /// Debug-build invariant watchdog: min(V) may never regress, and in
-    /// the static-threshold sequential configuration no push may carry
-    /// an iteration past the RSP staleness bound (pipeline mode runs
-    /// compute bounded-ahead of the gated comm cycle, so its pushes may
-    /// legitimately lead by the pipeline depth as well).
+    /// Debug-build invariant watchdog: each shard's min(V) may never
+    /// regress, and in the static-threshold sequential configuration —
+    /// while no shard outage made a cycle skip a shard — no push may
+    /// carry an iteration past the RSP staleness bound (pipeline mode
+    /// runs compute bounded-ahead of the gated comm cycle, so its pushes
+    /// may legitimately lead by the pipeline depth as well).
     #[cfg(debug_assertions)]
-    fn check_version_invariants(&mut self, pushed_iter: u64) {
-        let min = self.server.versions_mut().global_min();
+    fn check_version_invariants(&mut self, s: usize, pushed_iter: u64) {
+        let min = self.server.versions_mut(s).global_min();
         assert!(
-            min >= self.last_global_min,
-            "global_min regressed: {} -> {min}",
-            self.last_global_min
+            min >= self.last_global_min[s],
+            "shard {s} global_min regressed: {} -> {min}",
+            self.last_global_min[s]
         );
-        self.last_global_min = min;
-        if self.auto.is_none() && !self.pipeline {
+        self.last_global_min[s] = min;
+        if self.auto.is_none() && !self.pipeline && !self.skipped_shard_push {
             let bound = u64::from(self.threshold.max(1));
             assert!(
                 pushed_iter <= min + bound,
-                "staleness bound violated: pushed iter {pushed_iter}, min {min}, bound {bound}"
+                "staleness bound violated on shard {s}: pushed iter {pushed_iter}, min {min}, bound {bound}"
             );
         }
     }
@@ -1308,7 +1511,7 @@ impl RowEngine {
     /// Error-feedback residuals, momentum and Adam state are reset (the
     /// paper's defined policy: stale compensation must not leak into the
     /// adopted model), row iterations are stamped to the adopted
-    /// iteration, and the server's version rows fast-forward to match.
+    /// iteration, and every shard's version rows fast-forward to match.
     fn finish_resync(&mut self, w: usize, now: Time) {
         let mut reference: Option<usize> = None;
         for (i, ws) in self.workers.iter().enumerate() {
@@ -1341,6 +1544,12 @@ impl RowEngine {
         ws.comm_busy = false;
         ws.pipe_waiting = false;
         ws.resume = None;
+        for sub in &mut ws.subs {
+            sub.engaged = false;
+            sub.push_done = false;
+            sub.done = false;
+            sub.resume = None;
+        }
         ws.worker.reset_for_rejoin(n);
         self.server.rejoin_worker(w, n);
         self.ctx.offline[w] = false;
@@ -1379,25 +1588,30 @@ impl RowEngine {
             return;
         }
         self.ctx.link_down[w] = false;
-        if !self.ctx.server_down {
-            self.resume_worker(w, now);
-            self.drain_waiting(now);
-        }
+        self.resume_worker(w, now);
+        self.drain_waiting(now);
     }
 
-    fn on_server_down(&mut self, now: Time) {
-        if self.ctx.server_down {
+    fn on_server_down(&mut self, shard: usize, now: Time) {
+        if self.ctx.server_down[shard] {
             return;
         }
-        self.ctx.server_down = true;
-        let ids: Vec<FlowId> = self.flows.keys().copied().collect();
+        self.ctx.server_down[shard] = true;
+        // Flows to the failed shard die; resync flows carry whole-model
+        // state and need every shard, so they die with it too.
+        let ids: Vec<FlowId> = self
+            .flows
+            .iter()
+            .filter(|(_, c)| c.shard().is_none_or(|cs| cs == shard))
+            .map(|(&id, _)| id)
+            .collect();
         for id in ids {
             let ctx = self.flows.remove(&id).expect("just listed");
             self.ctx.cluster.channel.cancel_flow(id);
             let w = ctx.worker();
             self.suspend_ctx(ctx);
             if !self.ctx.offline[w] && !self.workers[w].done {
-                self.set_comm_state(w, now, DeviceState::Stall);
+                self.set_comm_state_sub(w, now, DeviceState::Stall);
             }
         }
         for w in 0..self.workers.len() {
@@ -1407,11 +1621,11 @@ impl RowEngine {
         }
     }
 
-    fn on_server_up(&mut self, now: Time) {
-        if !self.ctx.server_down {
+    fn on_server_up(&mut self, shard: usize, now: Time) {
+        if !self.ctx.server_down[shard] {
             return;
         }
-        self.ctx.server_down = false;
+        self.ctx.server_down[shard] = false;
         for w in 0..self.workers.len() {
             if !self.ctx.link_down[w] {
                 self.resume_worker(w, now);
@@ -1420,17 +1634,25 @@ impl RowEngine {
         self.drain_waiting(now);
     }
 
-    /// Restarts whatever a worker had suspended, now that both its link
-    /// and the server are reachable again.
+    /// Restarts whatever a worker had suspended, to the extent its link
+    /// and the parameter shards are reachable again.
     fn resume_worker(&mut self, w: usize, now: Time) {
         if self.ctx.offline[w] {
-            if self.workers[w].resume.take() == Some(Resume::Resync) {
+            if self.workers[w].resume == Some(Resume::Resync)
+                && !self.ctx.any_server_down()
+                && !self.ctx.link_down[w]
+            {
+                self.workers[w].resume = None;
                 self.begin_resync(w, now);
             }
             return;
         }
-        match self.workers[w].resume.take() {
-            Some(Resume::Push) => {
+        if self.ctx.link_down[w] {
+            return;
+        }
+        match self.workers[w].resume {
+            Some(Resume::Push) if self.any_shard_up() => {
+                self.workers[w].resume = None;
                 // Re-plan against the latest accumulated gradients: in
                 // pipeline mode compute kept running during the outage.
                 let n = if self.pipeline {
@@ -1440,14 +1662,74 @@ impl RowEngine {
                 };
                 self.begin_push(w, now, n);
             }
-            Some(Resume::PullGate) => {
-                let n = self.workers[w].comm_iter;
-                self.set_comm_state(w, now, DeviceState::Stall);
-                self.waiting.push((w, n));
+            Some(Resume::Resync) if !self.ctx.any_server_down() => {
+                self.workers[w].resume = None;
+                self.begin_resync(w, now);
             }
-            Some(Resume::Resync) => self.begin_resync(w, now),
-            None => {}
+            _ => {}
         }
+        for s in 0..self.n_shards {
+            if !self.ctx.server_down[s] {
+                self.resume_sub(w, s, now);
+            }
+        }
+    }
+
+    /// Restarts one shard's suspended leg. When every engaged leg was
+    /// cut (single-shard runs, link blackouts), the whole cycle restarts
+    /// through `begin_push`, re-planning against the latest gradients —
+    /// the legacy single-server semantics. A partially cut cycle (other
+    /// legs kept flowing or already finished) replans only this shard's
+    /// rows at the cycle's pinned iteration.
+    fn resume_sub(&mut self, w: usize, s: usize, now: Time) {
+        let Some(kind) = self.workers[w].subs[s].resume else {
+            return;
+        };
+        match kind {
+            SubResume::Push => {
+                let whole = self.workers[w]
+                    .subs
+                    .iter()
+                    .all(|sp| !sp.engaged || sp.resume == Some(SubResume::Push));
+                if whole {
+                    for sub in &mut self.workers[w].subs {
+                        sub.resume = None;
+                    }
+                    let n = if self.pipeline {
+                        self.workers[w].iter
+                    } else {
+                        self.workers[w].iter + 1
+                    };
+                    self.begin_push(w, now, n);
+                } else {
+                    self.workers[w].subs[s].resume = None;
+                    self.replan_sub(w, s);
+                    let n = self.workers[w].comm_iter;
+                    self.start_push_sub(w, s, now, n);
+                }
+            }
+            SubResume::PullGate => {
+                self.workers[w].subs[s].resume = None;
+                let n = self.workers[w].comm_iter;
+                self.set_comm_state_sub(w, now, DeviceState::Stall);
+                self.waiting.push((w, s, n));
+            }
+        }
+    }
+
+    /// Rebuilds one shard's push plan at the cycle's pinned iteration
+    /// (the other legs already carry it).
+    fn replan_sub(&mut self, w: usize, s: usize) {
+        let n = self.workers[w].comm_iter;
+        let ws = &mut self.workers[w];
+        let mut plan = std::mem::take(&mut ws.plan_scratch);
+        ws.worker.plan_push_into(n, &mut plan);
+        let map = self.server.map();
+        let sub = &mut ws.subs[s];
+        sub.push_plan.clear();
+        sub.push_plan
+            .extend(plan.iter().copied().filter(|&id| map.shard_of(id) == s));
+        ws.plan_scratch = plan;
     }
 }
 
@@ -1672,5 +1954,55 @@ mod tests {
         assert_eq!(base.total_energy_j, empty.total_energy_j);
         assert_eq!(base.useful_bytes, empty.useful_bytes);
         assert_eq!(base.wasted_bytes, empty.wasted_bytes);
+    }
+
+    #[test]
+    fn explicit_single_shard_matches_default_exactly() {
+        let base = run_traced(&cfg(4));
+        let mut c = cfg(4);
+        c.n_shards = 1;
+        let one = run_traced(&c);
+        assert_eq!(base.0.name, one.0.name);
+        assert_eq!(base.0.checkpoints, one.0.checkpoints);
+        assert_eq!(base.0.total_energy_j, one.0.total_energy_j);
+        assert_eq!(base.0.useful_bytes, one.0.useful_bytes);
+        assert_eq!(base.1.to_jsonl(), one.1.to_jsonl());
+    }
+
+    #[test]
+    fn sharded_rog_is_deterministic_and_trains() {
+        let mut c = cfg(4);
+        c.n_shards = 2;
+        let a = run(&c);
+        assert!(a.name.contains("+shard2"), "name {}", a.name);
+        assert!(a.mean_iterations > 5.0, "iters {}", a.mean_iterations);
+        let b = run(&c);
+        assert_eq!(a.checkpoints, b.checkpoints);
+        assert_eq!(a.mean_iterations, b.mean_iterations);
+    }
+
+    #[test]
+    fn shard_outage_at_two_shards_still_trains_deterministically() {
+        use rog_fault::FaultPlan;
+        let mut c = cfg(4);
+        c.n_shards = 2;
+        c.fault_plan = Some(FaultPlan::new().server_restart_on(1, 40.0, 55.0));
+        let a = run(&c);
+        assert!(a.mean_iterations > 10.0, "iters {}", a.mean_iterations);
+        let b = run(&c);
+        assert_eq!(a.checkpoints, b.checkpoints);
+        assert_eq!(a.total_energy_j, b.total_energy_j);
+    }
+
+    #[test]
+    fn pipelined_sharded_rog_is_deterministic() {
+        let mut c = cfg(4);
+        c.pipeline = true;
+        c.n_shards = 4;
+        let a = run(&c);
+        assert!(a.mean_iterations > 5.0, "iters {}", a.mean_iterations);
+        let b = run(&c);
+        assert_eq!(a.checkpoints, b.checkpoints);
+        assert_eq!(a.mean_iterations, b.mean_iterations);
     }
 }

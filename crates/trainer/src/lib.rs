@@ -23,7 +23,7 @@
 //! ```
 //! use rog_trainer::{Environment, ExperimentConfig, ModelScale, Strategy, WorkloadKind};
 //!
-//! let metrics = ExperimentConfig {
+//! let outcome = ExperimentConfig {
 //!     workload: WorkloadKind::Cruda,
 //!     environment: Environment::Stable,
 //!     strategy: Strategy::Rog { threshold: 4 },
@@ -33,8 +33,9 @@
 //!     eval_every: 10,
 //!     ..ExperimentConfig::default()
 //! }
+//! .options()
 //! .run();
-//! assert!(!metrics.checkpoints.is_empty());
+//! assert!(!outcome.metrics.checkpoints.is_empty());
 //! ```
 
 #![forbid(unsafe_code)]
@@ -46,8 +47,10 @@ mod config;
 pub mod engine;
 mod metrics;
 pub mod report;
+mod run;
 pub mod stats;
 
 pub use cluster::{BuiltWorkload, Cluster, Device, DeviceKind};
 pub use config::{Environment, ExperimentConfig, ModelScale, Strategy, WorkloadKind};
 pub use metrics::{ByteAccount, Checkpoint, MicroSample, RunMetrics, TimeComposition};
+pub use run::{run_with, RunOptions, RunOutcome};

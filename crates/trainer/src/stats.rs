@@ -58,7 +58,9 @@ pub fn run_seeds(cfg: &ExperimentConfig, seeds: &[u64]) -> Vec<RunMetrics> {
                 seed,
                 ..cfg.clone()
             }
+            .options()
             .run()
+            .metrics
         })
         .collect()
 }

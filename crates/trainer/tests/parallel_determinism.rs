@@ -24,7 +24,7 @@ fn cfg(workload: WorkloadKind, strategy: Strategy, pipeline: bool) -> Experiment
 
 fn run_with_threads(cfg: &ExperimentConfig, threads: usize) -> RunMetrics {
     compute::set_thread_override(Some(threads));
-    let m = cfg.run();
+    let m = cfg.options().run().metrics;
     compute::set_thread_override(None);
     m
 }

@@ -37,7 +37,9 @@ fn main() {
         eval_every: 10,
         ..ExperimentConfig::default()
     }
-    .run();
+    .options()
+    .run()
+    .metrics;
 
     println!("trajectory error over time (lower is better):");
     for c in &m.checkpoints {

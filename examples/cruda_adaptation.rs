@@ -36,7 +36,9 @@ fn main() {
             eval_every: 10,
             ..ExperimentConfig::default()
         }
-        .run();
+        .options()
+        .run()
+        .metrics;
         println!(
             "  {:<8} {:>5.0} iterations, stall {:>5.2}s/iter, final accuracy {:>5.1}%, {:>7.0} J",
             strategy.name(),

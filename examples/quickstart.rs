@@ -11,7 +11,7 @@
 use rog::trainer::{Environment, ExperimentConfig, ModelScale, Strategy, WorkloadKind};
 
 fn main() {
-    let metrics = ExperimentConfig {
+    let outcome = ExperimentConfig {
         workload: WorkloadKind::Cruda,
         environment: Environment::Outdoor,
         strategy: Strategy::Rog { threshold: 4 },
@@ -21,7 +21,9 @@ fn main() {
         eval_every: 10,
         ..ExperimentConfig::default()
     }
+    .options()
     .run();
+    let metrics = &outcome.metrics;
 
     println!("run: {}", metrics.name);
     println!("iterations per worker: {:.0}", metrics.mean_iterations);

@@ -35,6 +35,38 @@ pub fn small_cluster_cfg(strategy: Strategy) -> ExperimentConfig {
     }
 }
 
+/// The seven-scenario regression matrix shared by the shard-identity
+/// and reconciliation suites: every strategy on the small cluster,
+/// plus a faulted and a lossy ROG variant. Durations are trimmed to
+/// 60 virtual seconds so the full matrix stays cheap to replay at
+/// several compute-thread counts.
+pub fn scenario_matrix() -> Vec<(&'static str, ExperimentConfig)> {
+    let short = |strategy| ExperimentConfig {
+        duration_secs: 60.0,
+        ..small_cluster_cfg(strategy)
+    };
+    let mut out: Vec<(&'static str, ExperimentConfig)> = vec![
+        ("bsp", short(Strategy::Bsp)),
+        ("ssp4", short(Strategy::Ssp { threshold: 4 })),
+        ("asp", short(Strategy::Asp)),
+        (
+            "flown",
+            short(Strategy::Flown {
+                min_threshold: 2,
+                max_threshold: 12,
+            }),
+        ),
+        ("rog4", short(Strategy::Rog { threshold: 4 })),
+    ];
+    let mut faulted = short(Strategy::Rog { threshold: 4 });
+    faulted.fault_plan = Some(FaultPlan::new().worker_offline(1, 15.0, 45.0));
+    out.push(("rog4+fault", faulted));
+    let mut lossy = short(Strategy::Rog { threshold: 4 });
+    lossy.loss = Some(LossConfig::gilbert_elliott(lossy.seed, 0.10));
+    out.push(("rog4+loss", lossy));
+    out
+}
+
 /// Asserts two runs are observably identical: bit-exact byte counters,
 /// equal checkpoints, and byte-equal serialized JSON reports.
 pub fn assert_identical_runs(a: &RunMetrics, b: &RunMetrics, what: &str) {

@@ -35,7 +35,9 @@ fn every_strategy_completes_a_run() {
             strategy,
             ..base_cfg()
         }
-        .run();
+        .options()
+        .run()
+        .metrics;
         assert!(
             m.mean_iterations >= 5.0,
             "{}: too few iterations ({})",
@@ -65,8 +67,8 @@ fn identical_seeds_reproduce_bitwise() {
             environment: Environment::Outdoor,
             ..base_cfg()
         };
-        let a = cfg.run();
-        let b = cfg.run();
+        let a = cfg.options().run().metrics;
+        let b = cfg.options().run().metrics;
         assert_eq!(a.checkpoints, b.checkpoints, "{}", strategy.name());
         assert_eq!(a.mean_iterations, b.mean_iterations);
         assert_eq!(a.total_energy_j, b.total_energy_j);
@@ -76,12 +78,14 @@ fn identical_seeds_reproduce_bitwise() {
 
 #[test]
 fn different_seeds_differ() {
-    let a = base_cfg().run();
+    let a = base_cfg().options().run().metrics;
     let b = ExperimentConfig {
         seed: 8,
         ..base_cfg()
     }
-    .run();
+    .options()
+    .run()
+    .metrics;
     assert_ne!(a.checkpoints, b.checkpoints);
 }
 
@@ -93,7 +97,9 @@ fn crimp_error_decreases_under_training() {
         duration_secs: 240.0,
         ..base_cfg()
     }
-    .run();
+    .options()
+    .run()
+    .metrics;
     assert_eq!(m.metric_name, "trajectory error (m)");
     assert!(!m.metric_higher_better);
     let first = m.checkpoints.first().expect("has checkpoints").metric;
@@ -113,14 +119,18 @@ fn rog_stalls_less_than_bsp_outdoors() {
         duration_secs: 300.0,
         ..base_cfg()
     }
-    .run();
+    .options()
+    .run()
+    .metrics;
     let rog = ExperimentConfig {
         environment: Environment::Outdoor,
         strategy: Strategy::Rog { threshold: 4 },
         duration_secs: 300.0,
         ..base_cfg()
     }
-    .run();
+    .options()
+    .run()
+    .metrics;
     assert!(
         rog.composition.stall < bsp.composition.stall,
         "ROG stall {:.2}s !< BSP stall {:.2}s",
@@ -137,7 +147,7 @@ fn rog_stalls_less_than_bsp_outdoors() {
 
 #[test]
 fn report_helpers_work_on_real_runs() {
-    let m = base_cfg().run();
+    let m = base_cfg().options().run().metrics;
     let mid = m.duration / 2.0;
     let v = report::metric_at_time(&m, mid).expect("has checkpoints");
     assert!(v.is_finite());
@@ -153,7 +163,9 @@ fn stable_channel_has_negligible_stall_for_rog() {
         strategy: Strategy::Rog { threshold: 4 },
         ..base_cfg()
     }
-    .run();
+    .options()
+    .run()
+    .metrics;
     assert!(
         m.composition.stall < 0.2 * m.composition.total(),
         "stall {:.2}s of {:.2}s on a stable channel",

@@ -3,7 +3,9 @@
 
 mod common;
 
+use rog::net::Trace;
 use rog::prelude::*;
+use rog::tensor::rng::DetRng;
 
 fn base() -> ExperimentConfig {
     ExperimentConfig {
@@ -36,7 +38,10 @@ fn all_strategies() -> Vec<Strategy> {
 #[test]
 fn composition_times_are_conserved() {
     for strategy in all_strategies() {
-        let m = ExperimentConfig { strategy, ..base() }.run();
+        let m = ExperimentConfig { strategy, ..base() }
+            .options()
+            .run()
+            .metrics;
         let c = m.composition;
         assert!(c.compute > 0.0, "{}", strategy.name());
         assert!(c.communicate > 0.0, "{}", strategy.name());
@@ -56,7 +61,10 @@ fn energy_matches_composition_within_bounds() {
     // Cluster energy must sit between all-stall power and all-compute
     // power over the run (robot workers only: 2 of 3 here).
     for strategy in [Strategy::Bsp, Strategy::Rog { threshold: 4 }] {
-        let m = ExperimentConfig { strategy, ..base() }.run();
+        let m = ExperimentConfig { strategy, ..base() }
+            .options()
+            .run()
+            .metrics;
         let robots = 2.0;
         let lo = 4.0 * m.duration * robots; // below stall power floor
         let hi = 13.35 * m.duration * robots * 1.01;
@@ -71,12 +79,14 @@ fn energy_matches_composition_within_bounds() {
 
 #[test]
 fn asp_never_stalls_and_outpaces_bsp() {
-    let bsp = base().run();
+    let bsp = base().options().run().metrics;
     let asp = ExperimentConfig {
         strategy: Strategy::Asp,
         ..base()
     }
-    .run();
+    .options()
+    .run()
+    .metrics;
     assert!(
         asp.composition.stall < 0.05,
         "ASP must not stall: {}",
@@ -98,7 +108,9 @@ fn throughput_ordering_matches_gate_tightness() {
             strategy: s,
             ..base()
         }
+        .options()
         .run()
+        .metrics
         .mean_iterations
     };
     let bsp = run(Strategy::Bsp);
@@ -115,7 +127,9 @@ fn rog_throughput_rises_with_threshold() {
             strategy: Strategy::Rog { threshold: t },
             ..base()
         }
+        .options()
         .run()
+        .metrics
         .mean_iterations
     };
     let r4 = run(4);
@@ -126,7 +140,10 @@ fn rog_throughput_rises_with_threshold() {
 #[test]
 fn checkpoint_energy_is_monotonic_everywhere() {
     for strategy in all_strategies() {
-        let m = ExperimentConfig { strategy, ..base() }.run();
+        let m = ExperimentConfig { strategy, ..base() }
+            .options()
+            .run()
+            .metrics;
         common::assert_checkpoints_monotone(&m, &strategy.name());
     }
 }
@@ -141,7 +158,9 @@ fn model_divergence_is_bounded_by_the_gate() {
             strategy: s,
             ..base()
         }
+        .options()
         .run()
+        .metrics
         .final_model_divergence
     };
     let bsp = div(Strategy::Bsp);
@@ -160,7 +179,9 @@ fn conv_workload_runs_distributed() {
         strategy: Strategy::Rog { threshold: 4 },
         ..base()
     }
-    .run();
+    .options()
+    .run()
+    .metrics;
     assert!(m.mean_iterations > 5.0);
     assert!(!m.checkpoints.is_empty());
 }
@@ -171,7 +192,7 @@ fn replayed_traces_reproduce_generated_runs() {
     // this at paper scale).
     use rog::net::io;
     let cfg = base();
-    let reference = cfg.run();
+    let reference = cfg.options().run().metrics;
     // Regenerate the same traces the cluster builder derives.
     let root = DetRng::new(cfg.seed);
     let profile = cfg.environment.profile();
@@ -191,7 +212,9 @@ fn replayed_traces_reproduce_generated_runs() {
         link_traces: Some(links),
         ..cfg
     }
-    .run();
+    .options()
+    .run()
+    .metrics;
     assert_eq!(replayed.checkpoints, reference.checkpoints);
     assert_eq!(replayed.mean_iterations, reference.mean_iterations);
 }

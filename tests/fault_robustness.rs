@@ -14,10 +14,10 @@ use rog::trainer::report::runs_to_json;
 /// exact same JSON as a run with no plan at all.
 #[test]
 fn empty_fault_plan_is_byte_identical_at_the_json_level() {
-    let no_plan = base(Strategy::Rog { threshold: 4 }).run();
+    let no_plan = base(Strategy::Rog { threshold: 4 }).options().run().metrics;
     let mut cfg = base(Strategy::Rog { threshold: 4 });
     cfg.fault_plan = Some(FaultPlan::new());
-    let empty_plan = cfg.run();
+    let empty_plan = cfg.options().run().metrics;
     assert_eq!(
         runs_to_json(std::slice::from_ref(&no_plan)),
         runs_to_json(std::slice::from_ref(&empty_plan))
@@ -35,9 +35,9 @@ fn faulted_runs_are_thread_count_invariant() {
             .link_blackout(0, 90.0, 100.0),
     );
     rog::trainer::compute::set_thread_override(Some(1));
-    let serial = cfg.run();
+    let serial = cfg.options().run().metrics;
     rog::trainer::compute::set_thread_override(Some(4));
-    let parallel = cfg.run();
+    let parallel = cfg.options().run().metrics;
     rog::trainer::compute::set_thread_override(None);
     common::assert_identical_runs(&serial, &parallel, "faulted run, threads 1 vs 4");
 }
@@ -48,13 +48,13 @@ fn faulted_runs_are_thread_count_invariant() {
 #[test]
 fn dynamic_membership_beats_static_membership_under_churn() {
     let plan = FaultPlan::new().worker_offline(1, 30.0, 90.0);
-    let fault_free = base(Strategy::Rog { threshold: 4 }).run();
+    let fault_free = base(Strategy::Rog { threshold: 4 }).options().run().metrics;
     let mut rog_cfg = base(Strategy::Rog { threshold: 4 });
     rog_cfg.fault_plan = Some(plan.clone());
-    let rog_run = rog_cfg.run();
+    let rog_run = rog_cfg.options().run().metrics;
     let mut bsp_cfg = base(Strategy::Bsp);
     bsp_cfg.fault_plan = Some(plan);
-    let bsp_run = bsp_cfg.run();
+    let bsp_run = bsp_cfg.options().run().metrics;
     assert!(
         rog_run.mean_iterations > fault_free.mean_iterations * 0.6,
         "ROG under churn {} vs fault-free {}",

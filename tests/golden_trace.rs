@@ -45,7 +45,12 @@ fn golden_traces_are_byte_stable_across_thread_counts() {
         let mut journals = Vec::new();
         for threads in [1usize, 2, 8] {
             compute::set_thread_override(Some(threads));
-            let (_, journal) = cfg.run_traced();
+            let journal = cfg
+                .options()
+                .traced(true)
+                .run()
+                .journal
+                .expect("traced run");
             journals.push((threads, journal.to_jsonl()));
         }
         compute::set_thread_override(None);

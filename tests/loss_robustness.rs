@@ -14,11 +14,11 @@ use rog::trainer::compute;
 #[test]
 fn zero_loss_config_is_byte_identical_to_loss_free_run() {
     for strategy in [Strategy::Rog { threshold: 4 }, Strategy::Bsp] {
-        let base = cfg(strategy).run();
+        let base = cfg(strategy).options().run().metrics;
         for zero in [LossConfig::off(), LossConfig::iid(9, 0.0)] {
             let mut c = cfg(strategy);
             c.loss = Some(zero);
-            let m = c.run();
+            let m = c.options().run().metrics;
             assert_identical_runs(&base, &m, &base.name);
             assert_eq!(m.lost_bytes, 0.0);
             assert_eq!(m.corrupt_bytes, 0.0);
@@ -31,11 +31,11 @@ fn lossy_runs_are_deterministic_and_thread_invariant() {
     let mut c = cfg(Strategy::Rog { threshold: 4 });
     c.loss = Some(LossConfig::gilbert_elliott(c.seed, 0.10));
     compute::set_thread_override(Some(1));
-    let serial = c.run();
+    let serial = c.options().run().metrics;
     compute::set_thread_override(Some(4));
-    let parallel = c.run();
+    let parallel = c.options().run().metrics;
     compute::set_thread_override(None);
-    let again = c.run();
+    let again = c.options().run().metrics;
     assert!(serial.name.contains("+loss"), "{}", serial.name);
     assert_identical_runs(&serial, &parallel, "threads 1 vs 4");
     assert_identical_runs(&serial, &again, "replay");
@@ -43,10 +43,10 @@ fn lossy_runs_are_deterministic_and_thread_invariant() {
 
 #[test]
 fn lossy_rog_accounts_lost_bytes_and_keeps_training() {
-    let base = cfg(Strategy::Rog { threshold: 4 }).run();
+    let base = cfg(Strategy::Rog { threshold: 4 }).options().run().metrics;
     let mut c = cfg(Strategy::Rog { threshold: 4 });
     c.loss = Some(LossConfig::gilbert_elliott(c.seed, 0.10));
-    let m = c.run();
+    let m = c.options().run().metrics;
     assert!(m.lost_bytes > 0.0, "loss model must drop bytes");
     assert!(m.useful_bytes > 0.0);
     // Best-effort gradient rows degrade instead of blocking: ROG keeps
@@ -66,10 +66,10 @@ fn lossy_rog_accounts_lost_bytes_and_keeps_training() {
 #[test]
 fn reliable_only_bsp_stalls_more_under_loss_than_rog() {
     let loss = 0.10;
-    let bsp_clean = cfg(Strategy::Bsp).run();
+    let bsp_clean = cfg(Strategy::Bsp).options().run().metrics;
     let mut bsp_lossy_cfg = cfg(Strategy::Bsp);
     bsp_lossy_cfg.loss = Some(LossConfig::gilbert_elliott(bsp_lossy_cfg.seed, loss));
-    let bsp_lossy = bsp_lossy_cfg.run();
+    let bsp_lossy = bsp_lossy_cfg.options().run().metrics;
     // Every lost chunk blocks the whole-model transfer on a backed-off
     // retransmit, so loss directly grows BSP's stall residency.
     assert!(
@@ -87,10 +87,10 @@ fn reliable_only_bsp_stalls_more_under_loss_than_rog() {
     // ROG under the same loss keeps a larger share of its throughput
     // than BSP keeps of its own: row-granular best-effort degradation
     // beats blocking retransmits.
-    let rog_clean = cfg(Strategy::Rog { threshold: 4 }).run();
+    let rog_clean = cfg(Strategy::Rog { threshold: 4 }).options().run().metrics;
     let mut rog_lossy_cfg = cfg(Strategy::Rog { threshold: 4 });
     rog_lossy_cfg.loss = Some(LossConfig::gilbert_elliott(rog_lossy_cfg.seed, loss));
-    let rog_lossy = rog_lossy_cfg.run();
+    let rog_lossy = rog_lossy_cfg.options().run().metrics;
     let rog_keep = rog_lossy.mean_iterations / rog_clean.mean_iterations;
     let bsp_keep = bsp_lossy.mean_iterations / bsp_clean.mean_iterations;
     assert!(
@@ -103,9 +103,9 @@ fn reliable_only_bsp_stalls_more_under_loss_than_rog() {
 fn loss_windows_from_fault_plans_drop_bytes() {
     let mut c = cfg(Strategy::Rog { threshold: 4 });
     c.fault_plan = Some(FaultPlan::new().link_loss(0, 20.0, 100.0, 0.15));
-    let m = c.run();
+    let m = c.options().run().metrics;
     assert!(m.name.contains("+loss"), "{}", m.name);
     assert!(m.lost_bytes > 0.0, "windowed loss must drop bytes");
-    let m2 = c.run();
+    let m2 = c.options().run().metrics;
     assert_identical_runs(&m, &m2, "windowed loss replay");
 }

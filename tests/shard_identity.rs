@@ -1,0 +1,97 @@
+//! The `shards=1` byte-identity regression gate: a run that routes the
+//! parameter plane through an explicit single-shard [`ShardMap`] must
+//! be indistinguishable — metrics, serialized reports *and* the event
+//! journal — from the pre-shard engine (the default config), for every
+//! strategy in the seven-scenario matrix and at several compute-thread
+//! counts. Sharded (>1) ROG runs must additionally be deterministic
+//! and thread-count invariant, and non-ROG strategies must ignore the
+//! shard count entirely.
+
+mod common;
+
+use common::{assert_identical_runs, scenario_matrix};
+use rog::prelude::*;
+use rog::trainer::compute;
+
+fn traced(cfg: &ExperimentConfig) -> (RunMetrics, String) {
+    let out = cfg.options().traced(true).run();
+    (out.metrics, out.journal.expect("traced run").to_jsonl())
+}
+
+/// One test drives every scenario and thread count: the thread override
+/// is process-global, so interleaving with other `#[test]`s would race.
+#[test]
+fn one_shard_is_byte_identical_to_the_unsharded_engine() {
+    for (name, cfg) in scenario_matrix() {
+        let sharded_cfg = ExperimentConfig {
+            n_shards: 1,
+            ..cfg.clone()
+        };
+        for threads in [1usize, 2, 8] {
+            compute::set_thread_override(Some(threads));
+            let (base, base_journal) = traced(&cfg);
+            let (one, one_journal) = traced(&sharded_cfg);
+            compute::set_thread_override(None);
+            assert_identical_runs(&base, &one, &format!("{name} @ {threads} threads"));
+            assert_eq!(
+                base_journal, one_journal,
+                "{name} @ {threads} threads: journal differs under an explicit 1-shard map"
+            );
+        }
+    }
+}
+
+#[test]
+fn sharded_runs_are_deterministic_and_thread_invariant() {
+    for shards in [2usize, 4] {
+        let mut cfg = scenario_matrix()
+            .into_iter()
+            .find(|(name, _)| *name == "rog4")
+            .expect("matrix has rog4")
+            .1;
+        cfg.n_shards = shards;
+        compute::set_thread_override(Some(1));
+        let (serial, serial_journal) = traced(&cfg);
+        compute::set_thread_override(Some(8));
+        let (parallel, parallel_journal) = traced(&cfg);
+        compute::set_thread_override(None);
+        let (again, again_journal) = traced(&cfg);
+        assert!(
+            serial.name.contains(&format!("+shard{shards}")),
+            "{}",
+            serial.name
+        );
+        assert_identical_runs(
+            &serial,
+            &parallel,
+            &format!("{shards} shards, threads 1 vs 8"),
+        );
+        assert_identical_runs(&serial, &again, &format!("{shards} shards, replay"));
+        assert_eq!(serial_journal, parallel_journal, "{shards} shards: journal");
+        assert_eq!(
+            serial_journal, again_journal,
+            "{shards} shards: replay journal"
+        );
+    }
+}
+
+#[test]
+fn non_rog_strategies_ignore_the_shard_count() {
+    for (name, cfg) in scenario_matrix() {
+        if matches!(cfg.strategy, Strategy::Rog { .. }) {
+            continue;
+        }
+        let (base, base_journal) = traced(&cfg);
+        let sharded = ExperimentConfig {
+            n_shards: 4,
+            ..cfg.clone()
+        };
+        let (m, journal) = traced(&sharded);
+        assert_eq!(
+            base.name, m.name,
+            "{name}: name must not grow a shard marker"
+        );
+        assert_identical_runs(&base, &m, &format!("{name} with ignored n_shards=4"));
+        assert_eq!(base_journal, journal, "{name}: journal");
+    }
+}

@@ -44,7 +44,8 @@ fn scenarios() -> Vec<(&'static str, ExperimentConfig)> {
 #[test]
 fn journal_composition_reconciles_bitwise_with_run_metrics() {
     for (name, cfg) in scenarios() {
-        let (m, journal) = cfg.run_traced();
+        let out = cfg.options().traced(true).run();
+        let (m, journal) = (out.metrics, out.journal.expect("traced run"));
         let s = TraceSummary::from_jsonl(&journal.to_jsonl())
             .unwrap_or_else(|e| panic!("{name}: journal does not parse: {e}"));
         let comp = s.composition();
@@ -82,7 +83,8 @@ fn journal_composition_reconciles_bitwise_with_run_metrics() {
 #[test]
 fn residency_conserves_wall_time() {
     for (name, cfg) in scenarios() {
-        let (m, journal) = cfg.run_traced();
+        let out = cfg.options().traced(true).run();
+        let (m, journal) = (out.metrics, out.journal.expect("traced run"));
         let s = TraceSummary::from_jsonl(&journal.to_jsonl()).expect("parses");
         // Every device's five state residencies tile its whole timeline:
         // no gaps, so the sum covers at least the run duration.
@@ -111,7 +113,12 @@ fn residency_conserves_wall_time() {
 #[test]
 fn event_pairings_are_balanced() {
     for (name, cfg) in scenarios() {
-        let (_, journal) = cfg.run_traced();
+        let journal = cfg
+            .options()
+            .traced(true)
+            .run()
+            .journal
+            .expect("traced run");
         let s = TraceSummary::from_jsonl(&journal.to_jsonl()).expect("parses");
         let n = |ev: &str| s.event_counts.get(ev).copied().unwrap_or(0);
         assert_eq!(n("gate_enter"), n("gate_exit"), "{name}: unpaired gate");
@@ -134,8 +141,9 @@ fn tracing_never_perturbs_the_run() {
     for strategy in [Strategy::Bsp, Strategy::Rog { threshold: 4 }] {
         let mut cfg = small_cluster_cfg(strategy);
         cfg.fault_plan = Some(FaultPlan::new().worker_offline(1, 30.0, 90.0));
-        let plain = cfg.run();
-        let (traced, journal) = cfg.run_traced();
+        let plain = cfg.options().run().metrics;
+        let out = cfg.options().traced(true).run();
+        let (traced, journal) = (out.metrics, out.journal.expect("traced run"));
         assert!(!journal.to_jsonl().is_empty(), "journal must be non-empty");
         assert_identical_runs(&plain, &traced, "trace on vs off");
     }

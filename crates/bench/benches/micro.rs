@@ -189,6 +189,47 @@ fn bench_channel(c: &mut Criterion) {
     g.finish();
 }
 
+fn bench_event_queue(c: &mut Criterion) {
+    // Fleet-scale event churn: a 256-worker run pushes and pops
+    // millions of events, so heap growth and sift costs matter. The
+    // capacity-hinted constructor pre-sizes the heap; the bench drives
+    // a full push-then-drain cycle at N = 10^6 either way.
+    use rog_sim::EventQueue;
+    let mut g = c.benchmark_group("event_queue");
+    const N: usize = 1_000_000;
+    let times: Vec<f64> = {
+        let mut rng = DetRng::new(9);
+        (0..N).map(|_| rng.uniform() * 1e4).collect()
+    };
+    g.bench_function("push_pop_1M_with_capacity", |b| {
+        b.iter(|| {
+            let mut q = EventQueue::with_capacity(N);
+            for (i, &t) in times.iter().enumerate() {
+                q.push(black_box(t), i as u64);
+            }
+            let mut sum = 0u64;
+            while let Some((_, v)) = q.pop() {
+                sum = sum.wrapping_add(v);
+            }
+            sum
+        })
+    });
+    g.bench_function("push_pop_1M_unhinted", |b| {
+        b.iter(|| {
+            let mut q = EventQueue::new();
+            for (i, &t) in times.iter().enumerate() {
+                q.push(black_box(t), i as u64);
+            }
+            let mut sum = 0u64;
+            while let Some((_, v)) = q.pop() {
+                sum = sum.wrapping_add(v);
+            }
+            sum
+        })
+    });
+    g.finish();
+}
+
 fn bench_granularity_ablation(c: &mut Criterion) {
     // Sec. III-A: management overhead at element / row / layer
     // granularity. The benchmark measures ranking cost at each
@@ -222,6 +263,7 @@ criterion_group!(
     bench_mta,
     bench_row_plumbing,
     bench_channel,
+    bench_event_queue,
     bench_granularity_ablation
 );
 criterion_main!(benches);

@@ -71,6 +71,7 @@ USAGE:
          [--batch-scale <x>] [--eval-every <iters>] [--seed <n>]
          [--scale paper|small] [--mac airtime|anomaly]
          [--pipeline] [--auto-threshold] [--micro] [--shards <n>]
+         [--aggregators <n>]
          [--fault-plan <file>] [--fault-seed <n>]
          [--loss <rate>] [--loss-burst <rate>] [--loss-seed <n>]
          [--corrupt <rate>]
@@ -79,6 +80,11 @@ USAGE:
 Sharding: --shards <n> row-shards the parameter server across n
 instances (ROG strategies only); --shards 1 is the default
 single-server engine and produces bit-identical results to it.
+
+Fleet topology: --aggregators <n> inserts n edge aggregators between
+the workers and the parameter-server shards (ROG strategies only);
+--aggregators 0 is the default flat topology and produces
+bit-identical results to it. n must not exceed --workers.
 
 Fault injection: --fault-plan loads a script of
 'offline <w> <start> <end>' / 'blackout <w> <start> <end>' /
@@ -239,6 +245,11 @@ pub fn parse(args: &[String]) -> Result<CliRun, CliError> {
                     return Err(err("--shards expects a count >= 1"));
                 }
             }
+            "--aggregators" => {
+                cfg.n_aggregators = value()?
+                    .parse()
+                    .map_err(|_| err("--aggregators expects a count"))?;
+            }
             "--fault-plan" => {
                 let path = value()?;
                 let text = std::fs::read_to_string(path)
@@ -319,8 +330,14 @@ pub fn parse(args: &[String]) -> Result<CliRun, CliError> {
             "--loss-seed requires --loss, --loss-burst or --corrupt",
         ));
     }
+    if cfg.n_aggregators > cfg.n_workers {
+        return Err(err(format!(
+            "--aggregators {} exceeds --workers {}",
+            cfg.n_aggregators, cfg.n_workers
+        )));
+    }
     if matches!(cfg.strategy, Strategy::Rog { .. })
-        || (!cfg.pipeline && !cfg.auto_threshold && cfg.n_shards <= 1)
+        || (!cfg.pipeline && !cfg.auto_threshold && cfg.n_shards <= 1 && cfg.n_aggregators == 0)
     {
         Ok(CliRun {
             config: cfg,
@@ -330,7 +347,7 @@ pub fn parse(args: &[String]) -> Result<CliRun, CliError> {
         })
     } else {
         Err(err(
-            "--pipeline/--auto-threshold/--shards apply to ROG strategies only",
+            "--pipeline/--auto-threshold/--shards/--aggregators apply to ROG strategies only",
         ))
     }
 }
@@ -444,6 +461,26 @@ mod tests {
         assert_eq!(parse(&[]).expect("empty").config.n_shards, 1);
         assert!(parse(&args("--strategy rog:4 --shards 0")).is_err());
         assert!(parse(&args("--strategy rog:4 --shards banana")).is_err());
+    }
+
+    #[test]
+    fn aggregators_flag_parses_into_the_config() {
+        let run = parse(&args("--strategy rog:4 --workers 8 --aggregators 2")).expect("parses");
+        assert_eq!(run.config.n_aggregators, 2);
+        assert_eq!(parse(&[]).expect("empty").config.n_aggregators, 0);
+        assert!(parse(&args("--strategy rog:4 --aggregators banana")).is_err());
+        assert!(
+            parse(&args("--strategy rog:4 --workers 2 --aggregators 3")).is_err(),
+            "more aggregators than workers is rejected at parse time"
+        );
+        assert!(
+            parse(&args("--strategy bsp --aggregators 2")).is_err(),
+            "aggregators are a ROG extension"
+        );
+        assert!(
+            parse(&args("--strategy bsp --aggregators 0")).is_ok(),
+            "zero aggregators is the plain flat topology"
+        );
     }
 
     #[test]

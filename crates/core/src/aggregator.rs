@@ -1,0 +1,363 @@
+//! Hierarchical aggregation tier: workers → edge aggregators → shards.
+//!
+//! At fleet scale the parameter plane cannot afford one server-side
+//! conversation per worker: server link count, gate bookkeeping and
+//! merge traffic must scale with the number of *aggregators*, not
+//! workers. Each edge aggregator fronts a contiguous group of workers:
+//! row pushes from its members are merged upstream (one row forwarded
+//! once per merge window at the max pushed version, gradients summed
+//! en route), and pulls fan out downstream from one upstream fetch.
+//!
+//! The tier is *results-preserving by construction*: gradient averaging
+//! is associative over the ROG server's per-row accumulators, so
+//! merging at the edge reorders no float operation and a hierarchical
+//! run refines the flat run it replaces bit-for-bit. What the tier
+//! changes is the *plane topology* — upstream conversations, merge
+//! windows, fault domains — which [`AggregatorPlane`] accounts for and
+//! the engine journals. `aggregators = 0` is the flat topology and is
+//! byte-identical to the pre-aggregator engine (same contract as
+//! `shards = 1` in the sharded plane).
+
+/// Deterministic assignment of workers to edge aggregators.
+///
+/// Invariants (mirrors [`crate::ShardMap`] for rows):
+/// - every worker maps to exactly one aggregator;
+/// - member sets are a disjoint contiguous cover of `0..n_workers`;
+/// - group sizes differ by at most one (earlier groups take the
+///   remainder).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AggregatorMap {
+    n_aggregators: usize,
+    /// `assign[worker]` = fronting aggregator.
+    assign: Vec<usize>,
+    /// `members[a]` = workers fronted by aggregator `a`, ascending.
+    members: Vec<Vec<usize>>,
+}
+
+impl AggregatorMap {
+    /// Contiguous near-equal grouping of `n_workers` behind
+    /// `n_aggregators` edge aggregators.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either count is 0 or there are more aggregators than
+    /// workers (an empty aggregator fronts nobody and is a config
+    /// error, not a degenerate case to paper over).
+    pub fn contiguous(n_workers: usize, n_aggregators: usize) -> Self {
+        assert!(n_workers > 0, "need at least one worker");
+        assert!(n_aggregators > 0, "need at least one aggregator");
+        assert!(
+            n_aggregators <= n_workers,
+            "{n_aggregators} aggregators cannot front {n_workers} workers"
+        );
+        let base = n_workers / n_aggregators;
+        let rem = n_workers % n_aggregators;
+        let mut assign = Vec::with_capacity(n_workers);
+        let mut members = Vec::with_capacity(n_aggregators);
+        let mut next = 0usize;
+        for a in 0..n_aggregators {
+            let len = base + usize::from(a < rem);
+            members.push((next..next + len).collect());
+            assign.extend(std::iter::repeat_n(a, len));
+            next += len;
+        }
+        Self {
+            n_aggregators,
+            assign,
+            members,
+        }
+    }
+
+    /// Number of aggregators.
+    pub fn n_aggregators(&self) -> usize {
+        self.n_aggregators
+    }
+
+    /// Number of workers covered.
+    pub fn n_workers(&self) -> usize {
+        self.assign.len()
+    }
+
+    /// The aggregator fronting `worker`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `worker` is out of range.
+    pub fn agg_of(&self, worker: usize) -> usize {
+        self.assign[worker]
+    }
+
+    /// Workers fronted by `aggregator`, ascending.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `aggregator` is out of range.
+    pub fn members(&self, aggregator: usize) -> &[usize] {
+        &self.members[aggregator]
+    }
+
+    /// Fan-in of `aggregator` (member count).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `aggregator` is out of range.
+    pub fn fan_in(&self, aggregator: usize) -> usize {
+        self.members[aggregator].len()
+    }
+}
+
+/// What one closed merge window forwarded upstream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MergeSummary {
+    /// Distinct rows forwarded (each once, at its max pushed version).
+    pub rows: u64,
+    /// Raw member row-pushes folded into those rows.
+    pub raw_rows: u64,
+    /// Member pushes merged (the realized fan-in of the window).
+    pub pushes: u64,
+    /// Freshest iteration among the merged pushes.
+    pub max_version: u64,
+}
+
+/// Totals over a plane's lifetime (all aggregators, all shards).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AggregatorStats {
+    /// Closed merge windows (upstream messages sent).
+    pub flushes: u64,
+    /// Distinct rows forwarded upstream.
+    pub upstream_rows: u64,
+    /// Raw member row-pushes those forwards replaced.
+    pub raw_rows: u64,
+    /// Pulls fanned out downstream to members.
+    pub pulls: u64,
+}
+
+/// One open merge window: member pushes to one shard accumulating at
+/// one aggregator until a member pull forces the merged rows upstream.
+#[derive(Debug, Clone, Default)]
+struct Window {
+    /// `seen[row]` = true once the row is in the window. Indexed by
+    /// global row id; allocated lazily on the first push through the
+    /// aggregator, then reused (cleared via the `rows` list).
+    seen: Vec<bool>,
+    /// Rows currently in the window (insertion order; used to clear).
+    rows: Vec<usize>,
+    raw_rows: u64,
+    pushes: u64,
+    max_version: u64,
+}
+
+impl Window {
+    fn absorb(&mut self, row_ids: &[usize], version: u64, n_rows: usize) {
+        if self.seen.is_empty() {
+            self.seen = vec![false; n_rows];
+        }
+        for &r in row_ids {
+            if !self.seen[r] {
+                self.seen[r] = true;
+                self.rows.push(r);
+            }
+        }
+        self.raw_rows += row_ids.len() as u64;
+        self.pushes += 1;
+        self.max_version = self.max_version.max(version);
+    }
+
+    fn flush(&mut self) -> Option<MergeSummary> {
+        if self.pushes == 0 {
+            return None;
+        }
+        let summary = MergeSummary {
+            rows: self.rows.len() as u64,
+            raw_rows: self.raw_rows,
+            pushes: self.pushes,
+            max_version: self.max_version,
+        };
+        for &r in &self.rows {
+            self.seen[r] = false;
+        }
+        self.rows.clear();
+        self.raw_rows = 0;
+        self.pushes = 0;
+        self.max_version = 0;
+        Some(summary)
+    }
+}
+
+/// Merge/fan-out bookkeeping for the aggregation tier.
+///
+/// The plane sits between the engine's per-worker conversations and the
+/// sharded upstream: member pushes accumulate in per-(aggregator,
+/// shard) merge windows (sum gradients — already done row-wise by the
+/// upstream accumulators — and max versions), and a member pull closes
+/// the window, forwarding each distinct row once. The engine drives it
+/// with three calls: [`AggregatorPlane::on_member_push`] after a push
+/// commits, [`AggregatorPlane::flush`] when a pull is granted (the
+/// merged rows must precede the fresh pull upstream), and
+/// [`AggregatorPlane::on_member_pull`] for fan-out accounting.
+#[derive(Debug, Clone)]
+pub struct AggregatorPlane {
+    map: AggregatorMap,
+    n_shards: usize,
+    n_rows: usize,
+    /// `windows[a * n_shards + s]`.
+    windows: Vec<Window>,
+    stats: AggregatorStats,
+}
+
+impl AggregatorPlane {
+    /// Creates the plane for `map` over `n_shards` upstream shards and
+    /// a model of `n_rows` global rows.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_shards == 0` or `n_rows == 0`.
+    pub fn new(map: AggregatorMap, n_shards: usize, n_rows: usize) -> Self {
+        assert!(n_shards > 0, "need at least one shard");
+        assert!(n_rows > 0, "need at least one row");
+        let windows = vec![Window::default(); map.n_aggregators() * n_shards];
+        Self {
+            map,
+            n_shards,
+            n_rows,
+            windows,
+            stats: AggregatorStats::default(),
+        }
+    }
+
+    /// The worker→aggregator assignment.
+    pub fn map(&self) -> &AggregatorMap {
+        &self.map
+    }
+
+    /// Absorbs a committed push of `row_ids` (global ids) at iteration
+    /// `version` from `worker` into its aggregator's merge window for
+    /// `shard`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `worker`, `shard` or any row is out of range.
+    pub fn on_member_push(&mut self, worker: usize, shard: usize, row_ids: &[usize], version: u64) {
+        assert!(shard < self.n_shards, "shard out of range");
+        let a = self.map.agg_of(worker);
+        self.windows[a * self.n_shards + shard].absorb(row_ids, version, self.n_rows);
+    }
+
+    /// Closes `worker`'s aggregator's merge window for `shard`,
+    /// returning what went upstream (or `None` if nothing was pending).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `worker` or `shard` is out of range.
+    pub fn flush(&mut self, worker: usize, shard: usize) -> Option<MergeSummary> {
+        assert!(shard < self.n_shards, "shard out of range");
+        let a = self.map.agg_of(worker);
+        let summary = self.windows[a * self.n_shards + shard].flush();
+        if let Some(s) = summary {
+            self.stats.flushes += 1;
+            self.stats.upstream_rows += s.rows;
+            self.stats.raw_rows += s.raw_rows;
+        }
+        summary
+    }
+
+    /// Accounts one pull fanned out to a member.
+    pub fn on_member_pull(&mut self) {
+        self.stats.pulls += 1;
+    }
+
+    /// Lifetime totals.
+    pub fn stats(&self) -> AggregatorStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn contiguous_groups_are_a_disjoint_cover() {
+        for aggs in 1..=5 {
+            let m = AggregatorMap::contiguous(7, aggs);
+            let mut seen = vec![0usize; 7];
+            for a in 0..aggs {
+                for &w in m.members(a) {
+                    seen[w] += 1;
+                    assert_eq!(m.agg_of(w), a);
+                }
+                assert_eq!(m.fan_in(a), m.members(a).len());
+            }
+            assert!(seen.iter().all(|&c| c == 1), "{aggs} aggs: {seen:?}");
+        }
+    }
+
+    #[test]
+    fn groups_are_contiguous_and_balanced() {
+        let m = AggregatorMap::contiguous(7, 3);
+        assert_eq!(m.members(0), &[0, 1, 2]);
+        assert_eq!(m.members(1), &[3, 4]);
+        assert_eq!(m.members(2), &[5, 6]);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot front")]
+    fn more_aggregators_than_workers_panics() {
+        let _ = AggregatorMap::contiguous(2, 3);
+    }
+
+    #[test]
+    fn merge_window_dedups_rows_and_maxes_versions() {
+        let plane_map = AggregatorMap::contiguous(4, 2);
+        let mut p = AggregatorPlane::new(plane_map, 1, 8);
+        // Two members of aggregator 0 push overlapping rows.
+        p.on_member_push(0, 0, &[1, 2, 3], 5);
+        p.on_member_push(1, 0, &[2, 3, 4], 7);
+        let s = p.flush(0, 0).expect("window pending");
+        assert_eq!(s.rows, 4, "rows 1-4 forwarded once each");
+        assert_eq!(s.raw_rows, 6);
+        assert_eq!(s.pushes, 2);
+        assert_eq!(s.max_version, 7);
+        // The window is drained; a second flush is empty.
+        assert_eq!(p.flush(0, 0), None);
+        // Aggregator 1's window was never touched.
+        assert_eq!(p.flush(2, 0), None);
+        let t = p.stats();
+        assert_eq!(t.flushes, 1);
+        assert_eq!(t.upstream_rows, 4);
+        assert_eq!(t.raw_rows, 6);
+    }
+
+    #[test]
+    fn windows_are_per_aggregator_per_shard() {
+        let m = AggregatorMap::contiguous(4, 2);
+        let mut p = AggregatorPlane::new(m, 2, 8);
+        p.on_member_push(0, 0, &[0], 1);
+        p.on_member_push(0, 1, &[1], 2);
+        p.on_member_push(3, 0, &[2], 3);
+        assert_eq!(p.flush(1, 0).unwrap().rows, 1, "agg 0 / shard 0");
+        assert_eq!(p.flush(1, 1).unwrap().max_version, 2, "agg 0 / shard 1");
+        assert_eq!(p.flush(2, 0).unwrap().raw_rows, 1, "agg 1 / shard 0");
+        assert_eq!(p.flush(2, 1), None, "agg 1 / shard 1 untouched");
+    }
+
+    #[test]
+    fn window_reuse_after_flush_starts_clean() {
+        let m = AggregatorMap::contiguous(2, 1);
+        let mut p = AggregatorPlane::new(m, 1, 4);
+        p.on_member_push(0, 0, &[0, 1], 3);
+        let _ = p.flush(0, 0);
+        p.on_member_push(1, 0, &[1], 9);
+        let s = p.flush(0, 0).unwrap();
+        assert_eq!((s.rows, s.raw_rows, s.pushes, s.max_version), (1, 1, 1, 9));
+    }
+
+    #[test]
+    fn pull_fanout_is_counted() {
+        let m = AggregatorMap::contiguous(4, 2);
+        let mut p = AggregatorPlane::new(m, 1, 2);
+        p.on_member_pull();
+        p.on_member_pull();
+        assert_eq!(p.stats().pulls, 2);
+    }
+}

@@ -29,6 +29,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod aggregator;
 pub mod convergence;
 mod importance;
 pub mod mta;
@@ -40,11 +41,12 @@ mod shard;
 mod version;
 mod worker;
 
+pub use aggregator::{AggregatorMap, AggregatorPlane, AggregatorStats, MergeSummary};
 pub use importance::{ImportanceMetric, ImportanceMode, ImportanceWeights, RankScratch};
 pub use mta_time::MtaTimeTracker;
 pub use optimizer::{RogOptimizer, RogSession, StepReport};
 pub use rows::{RowId, RowPartition, RowRef};
 pub use server::RogServer;
 pub use shard::{ShardMap, ShardedServer};
-pub use version::RowVersionStore;
+pub use version::{DenseRowVersionStore, RowVersionStore};
 pub use worker::{RogWorker, RogWorkerConfig, UpdateRule};

@@ -17,6 +17,14 @@ pub struct MtaTimeTracker {
     alpha: f64,
     floor: Time,
     cap: Time,
+    /// Cached `max(per_device)` and its argmax. `get()` runs on every
+    /// push leg, so at fleet scale the former O(devices) fold would
+    /// dominate; the cache makes it O(1), with a rescan only when the
+    /// slowest device itself speeds up. `f64::max` over non-NaN values
+    /// is order-independent, so the cached value is bit-identical to
+    /// the fold it replaces.
+    max_est: Time,
+    max_dev: usize,
 }
 
 impl MtaTimeTracker {
@@ -34,14 +42,16 @@ impl MtaTimeTracker {
             alpha: 0.5,
             floor: 0.01,
             cap: 60.0,
+            max_est: initial_secs,
+            max_dev: 0,
         }
     }
 
     /// The current common time budget `tMTA`: the largest per-device
     /// estimate (every device must be given enough time to get its MTA
-    /// rows through).
+    /// rows through). O(1) amortized.
     pub fn get(&self) -> Time {
-        self.per_device.iter().cloned().fold(self.floor, Time::max)
+        self.max_est.max(self.floor)
     }
 
     /// Per-device estimate (for diagnostics).
@@ -75,6 +85,25 @@ impl MtaTimeTracker {
         };
         let e = &mut self.per_device[device];
         *e = self.alpha * sample + (1.0 - self.alpha) * *e;
+        let e = *e;
+        if e >= self.max_est {
+            self.max_est = e;
+            self.max_dev = device;
+        } else if device == self.max_dev {
+            // The slowest device sped up: only now is a rescan needed.
+            let (dev, est) = self.per_device.iter().enumerate().fold(
+                (0, Time::NEG_INFINITY),
+                |(bd, be), (d, &v)| {
+                    if v > be {
+                        (d, v)
+                    } else {
+                        (bd, be)
+                    }
+                },
+            );
+            self.max_dev = dev;
+            self.max_est = est;
+        }
     }
 }
 
@@ -128,6 +157,32 @@ mod tests {
             t.report(0, 50, 0.2, 50);
         }
         assert!(t.get() < 0.3, "should converge down: {}", t.get());
+    }
+
+    #[test]
+    fn cached_budget_matches_a_full_fold() {
+        // Differential check of the O(1) cache against the reference
+        // fold, through a mixed history that moves the argmax around.
+        let mut t = MtaTimeTracker::new(4, 1.0);
+        let history: [(usize, usize, Time, usize); 12] = [
+            (0, 50, 4.0, 50),
+            (1, 100, 0.5, 50),
+            (2, 0, 1.0, 50),
+            (0, 200, 0.2, 50), // previous argmax speeds up -> rescan
+            (3, 50, 6.0, 50),
+            (3, 500, 0.1, 50), // argmax speeds up again
+            (1, 50, 2.0, 50),
+            (2, 50, 0.3, 50),
+            (0, 0, 1.0, 50),
+            (1, 1000, 1e-9, 1),
+            (2, 50, 5.0, 50),
+            (3, 50, 0.05, 50),
+        ];
+        for (dev, rows, dur, mta) in history {
+            t.report(dev, rows, dur, mta);
+            let reference = t.per_device.iter().cloned().fold(t.floor, Time::max);
+            assert_eq!(t.get(), reference, "cache diverged after ({dev})");
+        }
     }
 
     #[test]

@@ -103,7 +103,13 @@ impl RogServer {
         self.threshold = threshold;
     }
 
-    /// The version storage (mutable, for gate queries).
+    /// The version storage (shared; `min(V)` and gate queries are
+    /// `&self` reads on the sparse store).
+    pub fn versions(&self) -> &RowVersionStore {
+        &self.versions
+    }
+
+    /// The version storage (mutable, for direct version updates).
     pub fn versions_mut(&mut self) -> &mut RowVersionStore {
         &mut self.versions
     }
@@ -218,9 +224,8 @@ impl RogServer {
 
     /// The RSP gate (Algorithm 2 lines 7–9): may a worker whose push
     /// carried iteration `pushed_iter` be served its pull now?
-    pub fn gate_ok(&mut self, pushed_iter: u64) -> bool {
-        let t = self.threshold;
-        self.versions.gate_ok(pushed_iter, t)
+    pub fn gate_ok(&self, pushed_iter: u64) -> bool {
+        self.versions.gate_ok(pushed_iter, self.threshold)
     }
 
     /// Rows with pending content for `worker`, ranked by the server-mode

@@ -284,13 +284,32 @@ impl ShardedServer {
         }
     }
 
-    /// The version storage of one shard (for gate diagnostics).
+    /// The version storage of one shard (shared; gate diagnostics are
+    /// `&self` reads on the sparse store).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shard` is out of range.
+    pub fn versions(&self, shard: usize) -> &RowVersionStore {
+        self.shards[shard].versions()
+    }
+
+    /// The version storage of one shard (mutable).
     ///
     /// # Panics
     ///
     /// Panics if `shard` is out of range.
     pub fn versions_mut(&mut self, shard: usize) -> &mut RowVersionStore {
         self.shards[shard].versions_mut()
+    }
+
+    /// Estimated resident bytes of every shard's version storage (see
+    /// [`RowVersionStore::memory_bytes`]).
+    pub fn version_store_bytes(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.versions().memory_bytes())
+            .sum()
     }
 
     /// Receives pushed rows homed on `shard`. `rows` carries global ids
@@ -310,7 +329,7 @@ impl ShardedServer {
 
     /// Per-shard RSP gate: may a worker whose push to `shard` carried
     /// iteration `pushed_iter` be served that shard's pull now?
-    pub fn gate_ok(&mut self, shard: usize, pushed_iter: u64) -> bool {
+    pub fn gate_ok(&self, shard: usize, pushed_iter: u64) -> bool {
         self.shards[shard].gate_ok(pushed_iter)
     }
 

@@ -9,6 +9,7 @@
 //! offline 2 140 180
 //! blackout 1 60 75
 //! server-restart 1 200 210
+//! agg-restart 0 120 150
 //! loss 1 100 160 0.3
 //! ```
 //!
@@ -22,6 +23,10 @@
 //! The `loss <link> <t0> <t1> <rate>` directive adds `rate` extra
 //! chunk-loss probability on that worker's link during `[t0, t1)`;
 //! windows must not overlap per link and rates must be in `[0, 1]`.
+//!
+//! `agg-restart <aggregator> <t0> <t1>` takes one edge aggregator of a
+//! hierarchical run down, severing the workers it fronts; engines
+//! reject it when the run has no aggregation tier.
 
 use crate::plan::{FaultKind, FaultPlan, FaultPlanError, FaultWindow, LossWindow};
 
@@ -93,6 +98,9 @@ impl FaultPlan {
                 FaultKind::ServerOutage(s) => {
                     out.push_str(&format!("server-restart {} {} {}\n", s, w.start, w.end));
                 }
+                FaultKind::AggregatorOutage(a) => {
+                    out.push_str(&format!("agg-restart {} {} {}\n", a, w.start, w.end));
+                }
             }
         }
         for w in self.loss_windows() {
@@ -148,6 +156,14 @@ fn parse_line(fields: &[&str]) -> Result<(ScriptEntry, Option<String>), String> 
                 ),
             ));
         }
+        ["agg-restart", a, s, e] => ScriptEntry::Fault(FaultWindow {
+            kind: FaultKind::AggregatorOutage(
+                a.parse::<usize>()
+                    .map_err(|_| format!("bad aggregator index `{a}`"))?,
+            ),
+            start: num(s)?,
+            end: num(e)?,
+        }),
         ["loss", w, s, e, r] => ScriptEntry::Loss(LossWindow {
             link: index(w)?,
             start: num(s)?,
@@ -156,7 +172,8 @@ fn parse_line(fields: &[&str]) -> Result<(ScriptEntry, Option<String>), String> 
         }),
         [verb, ..] => {
             return Err(format!(
-                "unknown directive `{verb}` (expected offline/blackout/server-restart/loss)"
+                "unknown directive `{verb}` \
+                 (expected offline/blackout/server-restart/agg-restart/loss)"
             ))
         }
         [] => unreachable!("blank lines filtered by caller"),
@@ -239,6 +256,21 @@ loss 3 0 600 0.05
         assert_eq!(plan, again);
         let err = FaultPlan::parse("server-restart x 50 60").unwrap_err();
         assert!(err.to_string().contains("bad shard index"), "{err}");
+    }
+
+    #[test]
+    fn agg_restart_parses_and_round_trips() {
+        let plan =
+            FaultPlan::parse("agg-restart 1 120 150\nagg-restart 0 130 160").expect("agg form");
+        assert_eq!(plan.windows()[0].kind, FaultKind::AggregatorOutage(1));
+        assert_eq!(plan.windows()[1].kind, FaultKind::AggregatorOutage(0));
+        assert_eq!(plan.max_aggregator(), Some(1));
+        assert_eq!(plan.max_worker(), None, "aggregators are not workers");
+        assert_eq!(plan.max_shard(), None);
+        let again = FaultPlan::parse(&plan.to_script()).expect("round-trip");
+        assert_eq!(plan, again);
+        let err = FaultPlan::parse("agg-restart x 120 150").unwrap_err();
+        assert!(err.to_string().contains("bad aggregator index"), "{err}");
     }
 
     #[test]

@@ -17,6 +17,8 @@
 //! for a given seed regardless of thread count, exactly like the rest
 //! of the simulation.
 
+use std::collections::BTreeMap;
+
 use rog_sim::Time;
 use rog_tensor::rng::DetRng;
 
@@ -203,34 +205,73 @@ struct LinkLoss {
 /// Built once per run from a [`LossConfig`], the number of links, and
 /// the run duration; consulted by `Channel::advance_until` for every
 /// chunk the instant the fluid model completes it.
+///
+/// Per-link state (the Gilbert–Elliott indicator trace and the fate
+/// RNG) is materialized **lazily** on first touch: a fleet-scale run
+/// declares `workers × shards` links but only ever transmits on the
+/// ones its topology uses, and every link's state is forked
+/// independently from the root seed, so deferring construction is
+/// byte-identical to building everything up front.
 #[derive(Debug, Clone)]
 pub struct LossModel {
     cfg: LossConfig,
-    links: Vec<LinkLoss>,
+    root: DetRng,
+    n_links: usize,
+    duration: Time,
+    links: BTreeMap<usize, LinkLoss>,
     windows: Vec<LossWindow>,
 }
 
 impl LossModel {
-    /// Builds the model: one Gilbert–Elliott state trace and one fate
-    /// RNG per link, all forked from `cfg.seed`.
+    /// Builds the model for `n_links` links. Per-link Gilbert–Elliott
+    /// traces and fate RNGs are forked from `cfg.seed` on first use;
+    /// nothing is allocated per link here.
     pub fn build(cfg: &LossConfig, n_links: usize, duration: Time) -> Self {
-        let root = DetRng::new(cfg.seed ^ 0x105E_C0DE);
-        let links = (0..n_links)
-            .map(|l| {
-                let ge_bad = cfg.ge.map(|ge| {
-                    Self::generate_ge_trace(&ge, root.fork(0x70 + l as u64).seed(), duration)
-                });
-                LinkLoss {
-                    ge_bad,
-                    rng: root.fork(0x90 + l as u64),
-                }
-            })
-            .collect();
         Self {
             cfg: cfg.clone(),
-            links,
+            root: DetRng::new(cfg.seed ^ 0x105E_C0DE),
+            n_links,
+            duration,
+            links: BTreeMap::new(),
             windows: Vec::new(),
         }
+    }
+
+    /// The per-link state, materialized on demand. `None` for links
+    /// outside the declared range. The fork salts are pure functions
+    /// of the link id, so touch order cannot change any stream.
+    fn link_state(&mut self, link: usize) -> Option<&mut LinkLoss> {
+        if link >= self.n_links {
+            return None;
+        }
+        if !self.links.contains_key(&link) {
+            let ge_bad = self.cfg.ge.map(|ge| {
+                Self::generate_ge_trace(
+                    &ge,
+                    self.root.fork(0x70 + link as u64).seed(),
+                    self.duration,
+                )
+            });
+            self.links.insert(
+                link,
+                LinkLoss {
+                    ge_bad,
+                    rng: self.root.fork(0x90 + link as u64),
+                },
+            );
+        }
+        self.links.get_mut(&link)
+    }
+
+    /// Number of links whose state has actually been materialized
+    /// (diagnostic; bounded by the links the run transmitted on).
+    pub fn materialized_links(&self) -> usize {
+        self.links.len()
+    }
+
+    /// Number of links the model was declared with.
+    pub fn n_links(&self) -> usize {
+        self.n_links
     }
 
     /// Registers a scripted loss window (extra i.i.d. loss `rate` on
@@ -257,11 +298,13 @@ impl LossModel {
 
     /// Effective chunk-loss probability on `link` at time `t`
     /// (Gilbert–Elliott state + i.i.d. + scripted windows, capped at
-    /// [`MAX_LOSS_PROB`]).
-    pub fn loss_prob(&self, link: usize, t: Time) -> f64 {
+    /// [`MAX_LOSS_PROB`]). Takes `&mut self` because the link's
+    /// Gilbert–Elliott trace is materialized on first touch.
+    pub fn loss_prob(&mut self, link: usize, t: Time) -> f64 {
         let mut p = self.cfg.iid_loss;
-        if let Some(ll) = self.links.get(link) {
-            if let (Some(ge), Some(tr)) = (self.cfg.ge.as_ref(), ll.ge_bad.as_ref()) {
+        let ge_cfg = self.cfg.ge;
+        if let Some(ll) = self.link_state(link) {
+            if let (Some(ge), Some(tr)) = (ge_cfg.as_ref(), ll.ge_bad.as_ref()) {
                 p += if tr.value_at(t) > 0.5 {
                     ge.loss_bad
                 } else {
@@ -284,7 +327,9 @@ impl LossModel {
     pub fn chunk_fate(&mut self, link: usize, t: Time) -> ChunkFate {
         let p_loss = self.loss_prob(link, t);
         let corrupt = self.cfg.corrupt;
-        let Some(ll) = self.links.get_mut(link) else {
+        let duplicate = self.cfg.duplicate;
+        let reorder = self.cfg.reorder;
+        let Some(ll) = self.link_state(link) else {
             return ChunkFate::Delivered;
         };
         let u = ll.rng.uniform();
@@ -294,10 +339,10 @@ impl LossModel {
         if u < (p_loss + corrupt).min(1.0) {
             return ChunkFate::Corrupt;
         }
-        if self.cfg.duplicate > 0.0 && ll.rng.chance(self.cfg.duplicate) {
+        if duplicate > 0.0 && ll.rng.chance(duplicate) {
             return ChunkFate::Duplicated;
         }
-        if self.cfg.reorder > 0.0 && ll.rng.chance(self.cfg.reorder) {
+        if reorder > 0.0 && ll.rng.chance(reorder) {
             return ChunkFate::Reordered;
         }
         ChunkFate::Delivered
@@ -450,5 +495,38 @@ mod tests {
         assert!(fates[0].intact() || !fates[0].intact());
         assert!(ChunkFate::Duplicated.intact() && ChunkFate::Reordered.intact());
         assert!(!ChunkFate::Lost.intact() && !ChunkFate::Corrupt.intact());
+    }
+
+    #[test]
+    fn link_state_is_materialized_lazily() {
+        let mut m = LossModel::build(&LossConfig::gilbert_elliott(5, 0.10), 1_024, 100.0);
+        assert_eq!(m.n_links(), 1_024);
+        assert_eq!(m.materialized_links(), 0);
+        m.chunk_fate(7, 1.0);
+        m.chunk_fate(7, 2.0);
+        m.chunk_fate(900, 1.0);
+        assert_eq!(m.materialized_links(), 2);
+        // Out-of-range links are never materialized.
+        assert_eq!(m.chunk_fate(5_000, 1.0), ChunkFate::Delivered);
+        assert_eq!(m.materialized_links(), 2);
+    }
+
+    #[test]
+    fn touch_order_does_not_change_any_links_stream() {
+        // Link 2's fate stream must be identical whether or not other
+        // links were materialized first (forks are independent).
+        let cfg = LossConfig::gilbert_elliott(13, 0.15);
+        let mut cold = LossModel::build(&cfg, 8, 50.0);
+        let mut warm = LossModel::build(&cfg, 8, 50.0);
+        for l in [0usize, 5, 1, 7] {
+            warm.chunk_fate(l, 0.5);
+        }
+        let a: Vec<ChunkFate> = (0..500)
+            .map(|i| cold.chunk_fate(2, i as f64 * 0.1))
+            .collect();
+        let b: Vec<ChunkFate> = (0..500)
+            .map(|i| warm.chunk_fate(2, i as f64 * 0.1))
+            .collect();
+        assert_eq!(a, b);
     }
 }

@@ -183,6 +183,14 @@ pub struct ExperimentConfig {
     /// per shard. `1` (the default) is byte-identical to the unsharded
     /// engine. `0` is treated as `1`.
     pub n_shards: usize,
+    /// Number of edge aggregators between the workers and the
+    /// parameter-server shards (ROG strategies only). Workers are
+    /// grouped contiguously under aggregators; each aggregator merges
+    /// its members' row pushes (summing gradient contributions,
+    /// max-ing versions) before forwarding upstream. `0` (the
+    /// default) is the flat topology, byte-identical to the
+    /// pre-aggregator engine.
+    pub n_aggregators: usize,
 }
 
 impl Default for ExperimentConfig {
@@ -214,6 +222,7 @@ impl Default for ExperimentConfig {
             loss: None,
             trace: false,
             n_shards: 1,
+            n_aggregators: 0,
         }
     }
 }
@@ -224,7 +233,7 @@ impl ExperimentConfig {
         let faulty = self.fault_plan.as_ref().is_some_and(|p| !p.is_empty())
             || (self.fault_plan.is_none() && self.fault_seed.is_some());
         format!(
-            "{}{}{}{}{} / {} / {}",
+            "{}{}{}{}{}{} / {} / {}",
             self.strategy.name(),
             match (self.pipeline, self.auto_threshold) {
                 (true, true) => "+pipe+auto",
@@ -234,6 +243,11 @@ impl ExperimentConfig {
             },
             if self.effective_shards() > 1 {
                 format!("+shard{}", self.effective_shards())
+            } else {
+                String::new()
+            },
+            if self.effective_aggregators() > 0 {
+                format!("+agg{}", self.effective_aggregators())
             } else {
                 String::new()
             },
@@ -256,6 +270,16 @@ impl ExperimentConfig {
         match self.strategy {
             Strategy::Rog { .. } => self.n_shards.max(1),
             _ => 1,
+        }
+    }
+
+    /// The edge-aggregator count this run actually uses: `n_aggregators`
+    /// for the ROG row engine (`0` = flat worker→server topology);
+    /// always `0` for the model-granularity baselines.
+    pub fn effective_aggregators(&self) -> usize {
+        match self.strategy {
+            Strategy::Rog { .. } => self.n_aggregators,
+            _ => 0,
         }
     }
 
@@ -469,11 +493,38 @@ mod tests {
         };
         assert!(windows.name().contains("+faults"));
         assert!(windows.name().contains("+loss"));
-        let model = windows
+        let mut model = windows
             .resolved_loss_model(windows.resolved_fault_plan().as_ref())
             .expect("windows force a model");
         assert_eq!(model.loss_prob(1, 15.0), 0.4);
         assert_eq!(model.loss_prob(1, 25.0), 0.0);
+    }
+
+    #[test]
+    fn aggregator_naming_and_resolution() {
+        let flat = ExperimentConfig {
+            strategy: Strategy::Rog { threshold: 4 },
+            ..ExperimentConfig::default()
+        };
+        assert_eq!(flat.effective_aggregators(), 0);
+        assert!(!flat.name().contains("+agg"));
+
+        let hier = ExperimentConfig {
+            strategy: Strategy::Rog { threshold: 4 },
+            n_aggregators: 2,
+            ..ExperimentConfig::default()
+        };
+        assert_eq!(hier.effective_aggregators(), 2);
+        assert!(hier.name().contains("+agg2"), "{}", hier.name());
+
+        // Baselines move whole models; there is nothing to aggregate.
+        let baseline = ExperimentConfig {
+            strategy: Strategy::Bsp,
+            n_aggregators: 2,
+            ..ExperimentConfig::default()
+        };
+        assert_eq!(baseline.effective_aggregators(), 0);
+        assert!(!baseline.name().contains("+agg"));
     }
 
     #[test]

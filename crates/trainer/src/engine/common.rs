@@ -93,6 +93,13 @@ impl EngineCtx {
                         "fault plan targets shard {max_s} but the run has {shards} shards"
                     );
                 }
+                if let Some(max_a) = plan.max_aggregator() {
+                    let aggs = cfg.effective_aggregators();
+                    assert!(
+                        max_a < aggs,
+                        "fault plan targets aggregator {max_a} but the run has {aggs} aggregators"
+                    );
+                }
                 plan.schedule()
             }
             None => FaultClock::default(),
@@ -109,7 +116,11 @@ impl EngineCtx {
         Self {
             cfg: cfg.clone(),
             cluster,
-            queue: EventQueue::new(),
+            // A fleet-scale run schedules O(workers) compute timers and
+            // retry backoffs up front; sizing the heap once avoids its
+            // cold-start doubling reallocations. Capacity never affects
+            // pop order, so this is behavior-neutral.
+            queue: EventQueue::with_capacity(2 * n + 16),
             timelines: vec![Timeline::new(); n],
             collector,
             plane: ComputePlane::auto(),

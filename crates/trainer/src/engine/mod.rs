@@ -13,6 +13,7 @@ use rog_obs::Journal;
 
 use crate::config::{ExperimentConfig, Strategy};
 use crate::metrics::RunMetrics;
+use crate::run::FleetStats;
 
 /// Runs one experiment, dispatching on the configured strategy.
 pub fn run(cfg: &ExperimentConfig) -> RunMetrics {
@@ -23,10 +24,19 @@ pub fn run(cfg: &ExperimentConfig) -> RunMetrics {
 /// metrics. The journal is empty unless `cfg.trace` is set (or the
 /// crate is built with `obs-off`, which compiles tracing out).
 pub fn run_traced(cfg: &ExperimentConfig) -> (RunMetrics, Journal) {
+    let (metrics, journal, _) = run_full(cfg);
+    (metrics, journal)
+}
+
+/// Runs one experiment and additionally returns the engine-level
+/// [`FleetStats`]. The model-granularity baselines report default
+/// (all-zero) stats; only the row engine instruments them.
+pub fn run_full(cfg: &ExperimentConfig) -> (RunMetrics, Journal, FleetStats) {
     match cfg.strategy {
         Strategy::Bsp | Strategy::Ssp { .. } | Strategy::Asp | Strategy::Flown { .. } => {
-            model::run_traced(cfg)
+            let (metrics, journal) = model::run_traced(cfg);
+            (metrics, journal, FleetStats::default())
         }
-        Strategy::Rog { .. } => row::run_traced(cfg),
+        Strategy::Rog { .. } => row::run_full(cfg),
     }
 }

@@ -21,7 +21,10 @@
 
 use std::collections::BTreeMap;
 
-use rog_core::{mta, MtaTimeTracker, RogWorker, RogWorkerConfig, RowId, ShardMap, ShardedServer};
+use rog_core::{
+    mta, AggregatorMap, AggregatorPlane, MtaTimeTracker, RogWorker, RogWorkerConfig, RowId,
+    ShardMap, ShardedServer,
+};
 use rog_fault::FaultEvent;
 use rog_net::{
     shard_link, BackoffPolicy, FlowEvent, FlowId, FlowOutcome, FlowSpec, ReliableProgress,
@@ -35,6 +38,7 @@ use crate::compute::{self, PendingDraw};
 use crate::config::{ExperimentConfig, Strategy};
 use crate::engine::common::{EngineCtx, Ev};
 use crate::metrics::{MicroSample, RunMetrics};
+use crate::run::FleetStats;
 
 /// One shard's leg of a worker's push/pull cycle.
 #[derive(Default)]
@@ -221,6 +225,21 @@ struct RowEngine {
     /// legitimately age past the static staleness bound.
     #[cfg(debug_assertions)]
     skipped_shard_push: bool,
+    /// Edge-aggregation tier (`None` = flat worker→server topology,
+    /// byte-identical to the pre-aggregator engine).
+    agg_plane: Option<AggregatorPlane>,
+    /// Per-aggregator outage flags; a downed aggregator severs all its
+    /// member workers from the parameter plane at once.
+    agg_down: Vec<bool>,
+    /// In-flight transfer count per worker (replaces the former
+    /// O(flows) scan in `set_comm_state_sub`).
+    flows_per_worker: Vec<u32>,
+    /// Events dispatched by the loop (flow completions, faults,
+    /// timers): the deterministic progress measure `bench_fleet`
+    /// reports, identical across hosts and thread counts.
+    sim_events: u64,
+    /// High-water mark of the sharded version stores' resident bytes.
+    peak_version_bytes: usize,
     n_shards: usize,
     threshold: u32,
     /// Overlap communication and computation (paper future work).
@@ -275,6 +294,13 @@ pub fn run(cfg: &ExperimentConfig) -> RunMetrics {
 /// Runs one ROG experiment, returning the event journal alongside the
 /// metrics.
 pub fn run_traced(cfg: &ExperimentConfig) -> (RunMetrics, rog_obs::Journal) {
+    let (metrics, journal, _) = run_full(cfg);
+    (metrics, journal)
+}
+
+/// Runs one ROG experiment, returning metrics, journal and the
+/// fleet-scale statistics ([`FleetStats`]).
+pub fn run_full(cfg: &ExperimentConfig) -> (RunMetrics, rog_obs::Journal, FleetStats) {
     let Strategy::Rog { threshold } = cfg.strategy else {
         unreachable!("model strategies run in the model engine");
     };
@@ -310,6 +336,14 @@ pub fn run_traced(cfg: &ExperimentConfig) -> (RunMetrics, rog_obs::Journal) {
         .collect();
     let map = ShardMap::contiguous(init.row_widths().len(), n_shards);
     let server = ShardedServer::new(init.params(), n, threshold, wcfg.importance, map);
+    let n_aggs = cfg.effective_aggregators();
+    let agg_plane = (n_aggs > 0).then(|| {
+        AggregatorPlane::new(
+            AggregatorMap::contiguous(n, n_aggs),
+            n_shards,
+            init.row_widths().len(),
+        )
+    });
     let widths = init.row_widths();
     let model_wire_bytes = ctx.cluster.scaled_model_bytes(
         widths
@@ -334,14 +368,34 @@ pub fn run_traced(cfg: &ExperimentConfig) -> (RunMetrics, rog_obs::Journal) {
         last_global_min: vec![0; n_shards],
         #[cfg(debug_assertions)]
         skipped_shard_push: false,
+        agg_plane,
+        agg_down: vec![false; n_aggs],
+        flows_per_worker: vec![0; n],
+        sim_events: 0,
+        peak_version_bytes: 0,
         n_shards,
         threshold,
         pipeline: cfg.pipeline,
         auto: cfg.auto_threshold.then(|| AutoThreshold::new(threshold)),
     };
     engine.event_loop();
+    let agg = engine
+        .agg_plane
+        .as_ref()
+        .map(|p| p.stats())
+        .unwrap_or_default();
+    let stats = FleetStats {
+        sim_events: engine.sim_events,
+        queue_scheduled: engine.ctx.queue.scheduled(),
+        peak_version_bytes: engine.peak_version_bytes as u64,
+        agg_flushes: agg.flushes,
+        agg_upstream_rows: agg.upstream_rows,
+        agg_raw_rows: agg.raw_rows,
+        agg_pulls: agg.pulls,
+    };
     let models: Vec<&rog_models::Mlp> = engine.workers.iter().map(|w| &w.model).collect();
-    engine.ctx.finish_traced(&models)
+    let (metrics, journal) = engine.ctx.finish_traced(&models);
+    (metrics, journal, stats)
 }
 
 impl RowEngine {
@@ -359,6 +413,38 @@ impl RowEngine {
     /// Whether at least one parameter shard is reachable.
     fn any_shard_up(&self) -> bool {
         self.ctx.server_down.iter().any(|&d| !d)
+    }
+
+    /// Whether `w`'s fronting aggregator (if any) is down.
+    fn agg_blocked(&self, w: usize) -> bool {
+        self.agg_plane
+            .as_ref()
+            .is_some_and(|p| self.agg_down[p.map().agg_of(w)])
+    }
+
+    /// Whether `w`'s path to the parameter plane is severed: its own
+    /// link is blacked out, or (hierarchical topology) its fronting
+    /// aggregator is down. Every connectivity decision the engine makes
+    /// for a worker goes through this, so an aggregator outage behaves
+    /// exactly like a blackout of all its members at once.
+    fn path_blocked(&self, w: usize) -> bool {
+        self.ctx.link_down[w] || self.agg_blocked(w)
+    }
+
+    /// Registers an in-flight transfer (single insertion point, keeping
+    /// `flows_per_worker` exact).
+    fn track_flow(&mut self, id: FlowId, ctx: FlowCtx) {
+        self.flows_per_worker[ctx.worker()] += 1;
+        self.flows.insert(id, ctx);
+    }
+
+    /// Deregisters an in-flight transfer (completion or cancellation).
+    fn untrack_flow(&mut self, id: FlowId) -> Option<FlowCtx> {
+        let ctx = self.flows.remove(&id);
+        if let Some(c) = ctx {
+            self.flows_per_worker[c.worker()] -= 1;
+        }
+        ctx
     }
 
     fn start_compute(&mut self, w: usize, now: Time) {
@@ -392,7 +478,7 @@ impl RowEngine {
     fn set_comm_state_sub(&mut self, w: usize, now: Time, fallback: DeviceState) {
         let state = if self.workers[w].computing {
             DeviceState::Compute
-        } else if self.flows.values().any(|c| c.worker() == w) {
+        } else if self.flows_per_worker[w] > 0 {
             DeviceState::Communicate
         } else {
             fallback
@@ -416,6 +502,7 @@ impl RowEngine {
             let evs = self.ctx.cluster.channel.advance_until(horizon);
             let now = self.ctx.cluster.channel.now();
             if !evs.is_empty() {
+                self.sim_events += evs.len() as u64;
                 for e in evs {
                     self.on_flow(e);
                 }
@@ -428,6 +515,7 @@ impl RowEngine {
             // (flow completions were already delivered above).
             let faults = self.ctx.pop_due_faults(now);
             if !faults.is_empty() {
+                self.sim_events += faults.len() as u64;
                 for f in faults {
                     self.on_fault(f, now);
                 }
@@ -436,6 +524,9 @@ impl RowEngine {
             // Draws for all pending ComputeDone timers are independent;
             // batch them on the compute plane before delivering events.
             compute::prefetch_draws(&mut self.ctx, &mut self.pending, |w| &self.workers[w].model);
+            if self.ctx.queue.peek_time().is_some() {
+                self.sim_events += 1;
+            }
             match self.ctx.queue.pop() {
                 Some((t, Ev::ComputeDone(w))) => self.on_compute_done(w, t),
                 Some((t, Ev::NetRetry(w))) => self.on_net_retry(w, t),
@@ -541,7 +632,7 @@ impl RowEngine {
     }
 
     fn begin_push(&mut self, w: usize, now: Time, n: u64) {
-        if self.ctx.link_down[w] || !self.any_shard_up() {
+        if self.path_blocked(w) || !self.any_shard_up() {
             // Nothing to transmit through: park the whole cycle; a
             // recovery event restarts it via `resume_worker`.
             let ws = &mut self.workers[w];
@@ -645,11 +736,11 @@ impl RowEngine {
             .cluster
             .channel
             .start_flow(now, FlowSpec::new(link, chunks).with_deadline(now + budget));
-        self.flows.insert(id, FlowCtx::Push { w, s, cont: false });
+        self.track_flow(id, FlowCtx::Push { w, s, cont: false });
     }
 
     fn on_flow(&mut self, ev: FlowEvent) {
-        let ctx = self.flows.remove(&ev.id).expect("unknown flow");
+        let ctx = self.untrack_flow(ev.id).expect("unknown flow");
         match ctx {
             FlowCtx::Push { w, s, cont } => self.on_push_flow(w, s, cont, ev),
             FlowCtx::PushRetry { w, s } => self.on_push_retry_flow(w, s, ev),
@@ -741,7 +832,7 @@ impl RowEngine {
                 .cluster
                 .channel
                 .start_flow(now, FlowSpec::new(link, chunks));
-            self.flows.insert(id, FlowCtx::Push { w, s, cont: true });
+            self.track_flow(id, FlowCtx::Push { w, s, cont: true });
             return;
         }
         self.maybe_finish_push(w, s, now);
@@ -779,7 +870,7 @@ impl RowEngine {
                     .cluster
                     .channel
                     .start_flow(now, FlowSpec::new(link, chunks));
-                self.flows.insert(id, FlowCtx::PushRetry { w, s });
+                self.track_flow(id, FlowCtx::PushRetry { w, s });
                 return;
             }
         }
@@ -864,7 +955,20 @@ impl RowEngine {
             };
             self.workers[w].worker.commit_push(&plan, n)
         };
+        let min_before = self.server.versions(s).global_min();
+        if let Some(plane) = self.agg_plane.as_mut() {
+            // Fold the push into the member's merge window while the
+            // row ids are still global (`on_push` translates them to
+            // shard-local in place). The plane is accounting only — it
+            // never feeds back into the simulation.
+            let ids: Vec<usize> = payloads.iter().map(|(id, _)| id.0).collect();
+            plane.on_member_push(w, s, &ids, n);
+        }
         self.server.on_push(s, w, n, &mut payloads);
+        let min_advanced = self.server.versions(s).global_min() > min_before;
+        self.peak_version_bytes = self
+            .peak_version_bytes
+            .max(self.server.version_store_bytes());
         #[cfg(debug_assertions)]
         self.check_version_invariants(s, n);
         self.trackers[s].report(w, delivered, duration, mta_rows);
@@ -956,14 +1060,19 @@ impl RowEngine {
             self.set_comm_state_sub(w, now, DeviceState::Stall);
             self.waiting.push((w, s, n));
         }
-        self.drain_waiting(now);
+        // The gate depends only on this shard's min(V) (and on flags
+        // whose own transitions re-drain): if the push did not advance
+        // it, no waiting leg's verdict changed and the scan is skipped.
+        if min_advanced {
+            self.drain_waiting(now);
+        }
     }
 
     fn drain_waiting(&mut self, now: Time) {
         let waiting = std::mem::take(&mut self.waiting);
         for (w, s, n) in waiting {
             if !self.ctx.offline[w]
-                && !self.ctx.link_down[w]
+                && !self.path_blocked(w)
                 && !self.ctx.server_down[s]
                 && self.server.gate_ok(s, n)
             {
@@ -985,6 +1094,28 @@ impl RowEngine {
                 waited: now - self.workers[w].subs[s].gate_entered,
             }
         );
+        if let Some(plane) = self.agg_plane.as_mut() {
+            // Granting a pull closes the member's merge window: the
+            // merged rows go upstream ahead of the fresh fetch, and the
+            // pull fans out downstream through the aggregator.
+            let merged = plane.flush(w, s);
+            let agg = plane.map().agg_of(w) as u32;
+            plane.on_member_pull();
+            if let Some(m) = merged {
+                obs_shard!(
+                    self.ctx.journal,
+                    now,
+                    self.shard_tag(s),
+                    EventKind::AggMerge {
+                        agg,
+                        rows: m.rows as u32,
+                        raw: m.raw_rows as u32,
+                        pushes: m.pushes as u32,
+                        ver: m.max_version,
+                    }
+                );
+            }
+        }
         let mut plan = std::mem::take(&mut self.workers[w].subs[s].pull_plan);
         self.server.plan_pull_into(s, w, &mut plan);
         if plan.is_empty() {
@@ -1041,7 +1172,7 @@ impl RowEngine {
             .cluster
             .channel
             .start_flow(now, FlowSpec::new(link, chunks).with_deadline(now + budget));
-        self.flows.insert(id, FlowCtx::Pull { w, s, cont: false });
+        self.track_flow(id, FlowCtx::Pull { w, s, cont: false });
     }
 
     fn on_pull_flow(&mut self, w: usize, s: usize, cont: bool, ev: FlowEvent) {
@@ -1080,7 +1211,7 @@ impl RowEngine {
                 .cluster
                 .channel
                 .start_flow(now, FlowSpec::new(link, chunks));
-            self.flows.insert(id, FlowCtx::Pull { w, s, cont: true });
+            self.track_flow(id, FlowCtx::Pull { w, s, cont: true });
             return;
         }
         // Apply whatever arrived (intact rows only under a loss model:
@@ -1230,7 +1361,12 @@ impl RowEngine {
             tag,
             EventKind::Fault {
                 kind: f.name(),
-                w: f.worker().map_or(-1, |w| w as i64),
+                // Aggregator faults scope `w` to the aggregator index
+                // (the `kind` disambiguates); server faults use the
+                // shard tag and leave `w` at -1.
+                w: f.worker()
+                    .or_else(|| f.aggregator())
+                    .map_or(-1, |w| w as i64),
             }
         );
         match f {
@@ -1240,6 +1376,8 @@ impl RowEngine {
             FaultEvent::BlackoutEnd(w) => self.on_blackout_end(w, now),
             FaultEvent::ServerDown(s) => self.on_server_down(s, now),
             FaultEvent::ServerUp(s) => self.on_server_up(s, now),
+            FaultEvent::AggregatorDown(a) => self.on_aggregator_down(a, now),
+            FaultEvent::AggregatorUp(a) => self.on_aggregator_up(a, now),
         }
     }
 
@@ -1267,7 +1405,7 @@ impl RowEngine {
             .collect();
         ids.into_iter()
             .map(|id| {
-                let ctx = self.flows.remove(&id).expect("just listed");
+                let ctx = self.untrack_flow(id).expect("just listed");
                 self.ctx.cluster.channel.cancel_flow(id);
                 ctx
             })
@@ -1328,7 +1466,7 @@ impl RowEngine {
         if !self.ctx.offline[w] {
             return;
         }
-        if self.ctx.any_server_down() || self.ctx.link_down[w] {
+        if self.ctx.any_server_down() || self.path_blocked(w) {
             // Powered on but unreachable (a resync needs every shard):
             // resync once the full path returns.
             self.workers[w].resume = Some(Resume::Resync);
@@ -1371,7 +1509,7 @@ impl RowEngine {
             .cluster
             .channel
             .start_flow(now, FlowSpec::new(link, chunks));
-        self.flows.insert(id, FlowCtx::Resync { w });
+        self.track_flow(id, FlowCtx::Resync { w });
     }
 
     /// A resync flow round finished: acknowledge the surviving chunks
@@ -1453,7 +1591,7 @@ impl RowEngine {
         let Some(retx) = self.retx[w].as_ref() else {
             return;
         };
-        if self.ctx.any_server_down() || self.ctx.link_down[w] {
+        if self.ctx.any_server_down() || self.path_blocked(w) {
             // Path went down during the backoff: restart the resync from
             // scratch once connectivity returns.
             self.retx[w] = None;
@@ -1477,7 +1615,7 @@ impl RowEngine {
             .cluster
             .channel
             .start_flow(now, FlowSpec::new(link, chunks));
-        self.flows.insert(id, FlowCtx::Resync { w });
+        self.track_flow(id, FlowCtx::Resync { w });
     }
 
     /// Debug-build invariant watchdog: each shard's min(V) may never
@@ -1592,6 +1730,57 @@ impl RowEngine {
         self.drain_waiting(now);
     }
 
+    /// An edge aggregator fails: every member worker is severed from
+    /// the parameter plane at once — in-flight transfers die and resume
+    /// when the aggregator returns, exactly as a per-member blackout
+    /// would behave (the members' own radios stay up, so `link_down`
+    /// is untouched; `agg_down` is a separate mask composed by
+    /// [`Self::path_blocked`]).
+    fn on_aggregator_down(&mut self, a: usize, now: Time) {
+        if self.agg_down[a] {
+            return;
+        }
+        self.agg_down[a] = true;
+        let members: Vec<usize> = self
+            .agg_plane
+            .as_ref()
+            .expect("aggregator faults are validated against the topology")
+            .map()
+            .members(a)
+            .to_vec();
+        for w in members {
+            for ctx in self.cancel_flows_of(w) {
+                self.suspend_ctx(ctx);
+            }
+            if self.clear_retx(w) {
+                self.workers[w].resume = Some(Resume::Resync);
+            }
+            if !self.ctx.offline[w] && !self.workers[w].done {
+                self.set_comm_state(w, now, DeviceState::Stall);
+            }
+        }
+    }
+
+    /// A failed aggregator returns: members whose own link is up resume
+    /// whatever the outage suspended.
+    fn on_aggregator_up(&mut self, a: usize, now: Time) {
+        if !self.agg_down[a] {
+            return;
+        }
+        self.agg_down[a] = false;
+        let members: Vec<usize> = self
+            .agg_plane
+            .as_ref()
+            .expect("aggregator faults are validated against the topology")
+            .map()
+            .members(a)
+            .to_vec();
+        for w in members {
+            self.resume_worker(w, now);
+        }
+        self.drain_waiting(now);
+    }
+
     fn on_server_down(&mut self, shard: usize, now: Time) {
         if self.ctx.server_down[shard] {
             return;
@@ -1606,7 +1795,7 @@ impl RowEngine {
             .map(|(&id, _)| id)
             .collect();
         for id in ids {
-            let ctx = self.flows.remove(&id).expect("just listed");
+            let ctx = self.untrack_flow(id).expect("just listed");
             self.ctx.cluster.channel.cancel_flow(id);
             let w = ctx.worker();
             self.suspend_ctx(ctx);
@@ -1627,7 +1816,7 @@ impl RowEngine {
         }
         self.ctx.server_down[shard] = false;
         for w in 0..self.workers.len() {
-            if !self.ctx.link_down[w] {
+            if !self.path_blocked(w) {
                 self.resume_worker(w, now);
             }
         }
@@ -1640,14 +1829,14 @@ impl RowEngine {
         if self.ctx.offline[w] {
             if self.workers[w].resume == Some(Resume::Resync)
                 && !self.ctx.any_server_down()
-                && !self.ctx.link_down[w]
+                && !self.path_blocked(w)
             {
                 self.workers[w].resume = None;
                 self.begin_resync(w, now);
             }
             return;
         }
-        if self.ctx.link_down[w] {
+        if self.path_blocked(w) {
             return;
         }
         match self.workers[w].resume {

@@ -53,4 +53,4 @@ pub mod stats;
 pub use cluster::{BuiltWorkload, Cluster, Device, DeviceKind};
 pub use config::{Environment, ExperimentConfig, ModelScale, Strategy, WorkloadKind};
 pub use metrics::{ByteAccount, Checkpoint, MicroSample, RunMetrics, TimeComposition};
-pub use run::{run_with, RunOptions, RunOutcome};
+pub use run::{run_with, FleetStats, RunOptions, RunOutcome};

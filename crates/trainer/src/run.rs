@@ -16,6 +16,33 @@ use crate::config::ExperimentConfig;
 use crate::metrics::RunMetrics;
 use rog_obs::Journal;
 
+/// Engine-level scale counters, reported on every [`RunOutcome`].
+///
+/// These are *measurements of the simulation machinery itself* —
+/// deterministic across hosts and thread counts, and deliberately kept
+/// out of [`RunMetrics`] so the serialized metrics stay byte-identical
+/// to earlier releases. The model-granularity baselines report all
+/// zeros; only the ROG row engine instruments them.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FleetStats {
+    /// Events dispatched by the engine's event loop (flow completions,
+    /// fault edges, queue pops) — a wall-clock-free progress measure.
+    pub sim_events: u64,
+    /// Events ever pushed onto the simulation queue.
+    pub queue_scheduled: u64,
+    /// Peak estimated heap footprint of the sharded version store, in
+    /// bytes, sampled after every push.
+    pub peak_version_bytes: u64,
+    /// Aggregator merge windows flushed upstream (0 in flat topology).
+    pub agg_flushes: u64,
+    /// Distinct rows forwarded upstream across all flushes.
+    pub agg_upstream_rows: u64,
+    /// Raw member rows absorbed into merge windows before dedup.
+    pub agg_raw_rows: u64,
+    /// Member pulls fanned out through aggregators.
+    pub agg_pulls: u64,
+}
+
 /// Everything a run produces: the measurement bundle plus, when
 /// tracing was requested, the event journal.
 #[derive(Debug, Clone)]
@@ -24,6 +51,9 @@ pub struct RunOutcome {
     pub metrics: RunMetrics,
     /// The event journal — `Some` iff the run was traced.
     pub journal: Option<Journal>,
+    /// Engine-level scale counters (always present; zero for the
+    /// model-granularity baselines).
+    pub stats: FleetStats,
 }
 
 /// Builder describing how to launch an experiment.
@@ -71,6 +101,20 @@ impl RunOptions {
         self
     }
 
+    /// Sets the fleet size (number of workers).
+    pub fn workers(mut self, n_workers: usize) -> Self {
+        self.cfg.n_workers = n_workers;
+        self
+    }
+
+    /// Sets the number of edge aggregators between workers and the
+    /// parameter-server shards (ROG only; 0 is the flat topology,
+    /// bit-identical to pre-aggregator behavior).
+    pub fn aggregators(mut self, n_aggregators: usize) -> Self {
+        self.cfg.n_aggregators = n_aggregators;
+        self
+    }
+
     /// Overrides the experiment seed.
     pub fn seed(mut self, seed: u64) -> Self {
         self.cfg.seed = seed;
@@ -113,19 +157,22 @@ pub fn run_with(options: &RunOptions) -> RunOutcome {
             trace: true,
             ..options.cfg.clone()
         };
-        let (metrics, journal) = crate::engine::run_traced(&cfg);
+        let (metrics, journal, stats) = crate::engine::run_full(&cfg);
         RunOutcome {
             metrics,
             journal: Some(journal),
+            stats,
         }
     } else {
         let cfg = ExperimentConfig {
             trace: false,
             ..options.cfg.clone()
         };
+        let (metrics, _, stats) = crate::engine::run_full(&cfg);
         RunOutcome {
-            metrics: crate::engine::run(&cfg),
+            metrics,
             journal: None,
+            stats,
         }
     }
 }
@@ -203,9 +250,36 @@ mod tests {
 
     #[test]
     fn builder_setters_reach_the_config() {
-        let opts = tiny().options().shards(4).seed(7).duration_secs(12.0);
+        let opts = tiny()
+            .options()
+            .shards(4)
+            .seed(7)
+            .duration_secs(12.0)
+            .workers(6)
+            .aggregators(3);
         assert_eq!(opts.config().n_shards, 4);
         assert_eq!(opts.config().seed, 7);
         assert!((opts.config().duration_secs - 12.0).abs() < 1e-12);
+        assert_eq!(opts.config().n_workers, 6);
+        assert_eq!(opts.config().n_aggregators, 3);
+    }
+
+    #[test]
+    fn flat_rog_run_reports_fleet_stats_without_aggregator_traffic() {
+        let out = tiny().options().run();
+        assert!(out.stats.sim_events > 0);
+        assert!(out.stats.queue_scheduled > 0);
+        assert!(out.stats.peak_version_bytes > 0);
+        assert_eq!(out.stats.agg_flushes, 0);
+        assert_eq!(out.stats.agg_raw_rows, 0);
+        assert_eq!(out.stats.agg_pulls, 0);
+    }
+
+    #[test]
+    fn hierarchical_run_reports_aggregator_traffic() {
+        let out = tiny().options().aggregators(1).run();
+        assert!(out.stats.agg_flushes > 0);
+        assert!(out.stats.agg_raw_rows >= out.stats.agg_upstream_rows);
+        assert!(out.stats.agg_pulls > 0);
     }
 }

@@ -48,7 +48,7 @@ pub mod prelude {
     pub use rog_net::LossConfig;
     pub use rog_obs::{Journal, TraceSummary};
     pub use rog_trainer::{
-        report, run_with, Environment, ExperimentConfig, ModelScale, RunMetrics, RunOptions,
-        RunOutcome, Strategy, WorkloadKind,
+        report, run_with, Environment, ExperimentConfig, FleetStats, ModelScale, RunMetrics,
+        RunOptions, RunOutcome, Strategy, WorkloadKind,
     };
 }

@@ -35,6 +35,33 @@ pub fn small_cluster_cfg(strategy: Strategy) -> ExperimentConfig {
     }
 }
 
+/// A fleet-scale deterministic cluster: `workers` robot workers on the
+/// stable channel, a `shards`-way ROG parameter plane, seed 42. The
+/// Small CRUDA dataset has only 150 samples, so fleets larger than
+/// that use the paper-scale dataset (every worker must get a non-empty
+/// data shard); the virtual duration is kept short so 256-worker runs
+/// stay cheap enough to replay at several compute-thread counts.
+pub fn fleet_cluster_cfg(workers: usize, shards: usize) -> ExperimentConfig {
+    let model_scale = if workers > 100 {
+        ModelScale::Paper
+    } else {
+        ModelScale::Small
+    };
+    ExperimentConfig {
+        workload: WorkloadKind::Cruda,
+        environment: Environment::Stable,
+        strategy: Strategy::Rog { threshold: 4 },
+        model_scale,
+        n_workers: workers,
+        n_laptop_workers: 0,
+        n_shards: shards,
+        duration_secs: 60.0,
+        eval_every: 5,
+        seed: 42,
+        ..ExperimentConfig::default()
+    }
+}
+
 /// The seven-scenario regression matrix shared by the shard-identity
 /// and reconciliation suites: every strategy on the small cluster,
 /// plus a faulted and a lossy ROG variant. Durations are trimmed to

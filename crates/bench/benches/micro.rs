@@ -230,6 +230,62 @@ fn bench_event_queue(c: &mut Criterion) {
     g.finish();
 }
 
+fn bench_wire_framing(c: &mut Criterion) {
+    // The socket transport's per-datagram cost: seq+CRC32 framing on
+    // encode, marker/CRC/length validation on decode, and the seq-window
+    // dedup every accepted datagram runs. Row payloads are small (a few
+    // hundred bytes), so per-frame overhead is the number that matters.
+    use rog_net::wire::{decode_frame, encode_frame, FrameClass, FrameHeader};
+    use rog_net::SeqWindow;
+    let mut g = c.benchmark_group("wire_framing");
+    let mut rng = DetRng::new(11);
+    for &len in &[256usize, 4096, 60_000] {
+        let payload: Vec<u8> = (0..len).map(|_| (rng.uniform() * 256.0) as u8).collect();
+        let header = FrameHeader {
+            seq: 42,
+            class: FrameClass::BestEffort,
+            attempt: 0,
+            iter: 7,
+        };
+        g.bench_with_input(BenchmarkId::new("encode", len), &payload, |b, p| {
+            b.iter(|| encode_frame(black_box(&header), black_box(p)))
+        });
+        let frame = encode_frame(&header, &payload);
+        g.bench_with_input(BenchmarkId::new("decode", len), &frame, |b, f| {
+            b.iter(|| decode_frame(black_box(f)).expect("valid frame"))
+        });
+    }
+    // Dedup cost in the two regimes the receiver actually sees: the
+    // in-order fast path (floor advance) and a lossy/reordered stream
+    // that keeps a populated out-of-order set.
+    g.bench_function("seq_window_in_order_4096", |b| {
+        b.iter(|| {
+            let mut w = SeqWindow::new();
+            let mut accepted = 0u32;
+            for seq in 0..4096u64 {
+                accepted += w.accept(black_box(seq)) as u32;
+            }
+            accepted
+        })
+    });
+    g.bench_function("seq_window_lossy_reordered_4096", |b| {
+        b.iter(|| {
+            let mut w = SeqWindow::new();
+            let mut accepted = 0u32;
+            // Every 8th datagram arrives late by 16; every 16th is lost.
+            for seq in 0..4096u64 {
+                if seq % 16 == 0 {
+                    continue;
+                }
+                let s = if seq % 8 == 0 { seq + 16 } else { seq };
+                accepted += w.accept(black_box(s)) as u32;
+            }
+            accepted
+        })
+    });
+    g.finish();
+}
+
 fn bench_granularity_ablation(c: &mut Criterion) {
     // Sec. III-A: management overhead at element / row / layer
     // granularity. The benchmark measures ranking cost at each
@@ -264,6 +320,7 @@ criterion_group!(
     bench_row_plumbing,
     bench_channel,
     bench_event_queue,
+    bench_wire_framing,
     bench_granularity_ablation
 );
 criterion_main!(benches);

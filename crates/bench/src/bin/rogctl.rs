@@ -9,13 +9,14 @@
 //! Subcommands: `rogctl trace [run flags] --out run.jsonl.gz` writes
 //! the deterministic event journal of a run; `rogctl trace-summary
 //! run.jsonl.gz` replays a journal into the Fig. 8-style composition
-//! table.
+//! table; `rogctl serve` / `rogctl join` run the same experiment over
+//! real UDP/TCP sockets, one process per role.
 
 use std::process::ExitCode;
 
 use rog_bench::cli::{self, CliCommand, CliRun};
 use rog_obs::{gzip_compress, gzip_decompress, TraceSummary};
-use rog_trainer::report;
+use rog_trainer::{report, run_with_result, TransportChoice};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -30,6 +31,8 @@ fn main() -> ExitCode {
         CliCommand::Run(run) => run_experiment(&run),
         CliCommand::Trace { run, out } => trace_experiment(&run, &out),
         CliCommand::TraceSummary { path } => summarize_trace(&path),
+        CliCommand::Serve { run, opts } => live_experiment(&run, TransportChoice::Serve(opts)),
+        CliCommand::Join { run, opts } => live_experiment(&run, TransportChoice::Join(opts)),
     }
 }
 
@@ -67,6 +70,51 @@ fn run_experiment(run: &CliRun) -> ExitCode {
         metrics.wasted_bytes / 1e6
     );
 
+    if let Some(path) = &run.csv_out {
+        std::fs::write(
+            path,
+            report::checkpoints_csv(std::slice::from_ref(&metrics)),
+        )
+        .expect("write csv");
+        println!("wrote {path}");
+    }
+    if let Some(path) = &run.json_out {
+        std::fs::write(path, report::runs_to_json(std::slice::from_ref(&metrics)))
+            .expect("write json");
+        println!("wrote {path}");
+    }
+    ExitCode::SUCCESS
+}
+
+fn live_experiment(run: &CliRun, transport: TransportChoice) -> ExitCode {
+    warn(run);
+    let role = match &transport {
+        TransportChoice::Serve(opts) => format!("serving {} on {}", run.config.name(), opts.listen),
+        TransportChoice::Join(opts) => {
+            format!("joining {} at {}", run.config.name(), opts.connect)
+        }
+        TransportChoice::Sim => unreachable!("live_experiment is only called for socket runs"),
+    };
+    println!("{role} ({:.0} virtual secs) ...", run.config.duration_secs);
+    let outcome = match run_with_result(&run.config.options().transport(transport)) {
+        Ok(outcome) => outcome,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let metrics = outcome.metrics;
+    println!(
+        "\n{}",
+        report::composition_table(std::slice::from_ref(&metrics))
+    );
+    println!(
+        "total: {:.0} iterations/worker, {} checkpoints, {:.1} MB useful / {:.1} MB wasted on the wire",
+        metrics.mean_iterations,
+        metrics.checkpoints.len(),
+        metrics.useful_bytes / 1e6,
+        metrics.wasted_bytes / 1e6
+    );
     if let Some(path) = &run.csv_out {
         std::fs::write(
             path,

@@ -7,7 +7,10 @@ use std::fmt;
 
 use rog_fault::FaultPlan;
 use rog_net::{LossConfig, SharingMode};
-use rog_trainer::{Environment, ExperimentConfig, ModelScale, Strategy, WorkloadKind};
+use rog_trainer::{
+    check_socket_compatible, Environment, ExperimentConfig, JoinOptions, ModelScale, ServeOptions,
+    Strategy, WorkloadKind,
+};
 
 /// A parsed `rogctl` invocation.
 #[derive(Debug, Clone, PartialEq)]
@@ -41,6 +44,20 @@ pub enum CliCommand {
     TraceSummary {
         /// Journal path (`.jsonl` or `.jsonl.gz`).
         path: String,
+    },
+    /// Run the live parameter server over real sockets.
+    Serve {
+        /// The experiment (validated socket-compatible at parse time).
+        run: CliRun,
+        /// Listen address / pacing / join timeout.
+        opts: ServeOptions,
+    },
+    /// Run one live worker over real sockets.
+    Join {
+        /// The experiment (validated socket-compatible at parse time).
+        run: CliRun,
+        /// Server address / per-iteration push cap.
+        opts: JoinOptions,
     },
 }
 
@@ -108,6 +125,18 @@ Subcommands:
   rogctl trace-summary <path[.jsonl|.jsonl.gz]>
       Replay a journal into the per-iteration time-composition table
       and per-category event counts.
+  rogctl serve [run flags] [--listen <ip:port>] [--speedup <x>]
+               [--join-timeout <secs>]
+      Run the live parameter server over real sockets: listen for
+      worker joins on --listen (default 127.0.0.1:7117), then train at
+      --speedup virtual seconds per wall second (default 60). Every
+      process must be launched with identical run flags. Sim-only knobs
+      (--loss*, --corrupt, --fault-plan, --fault-seed, non-ROG
+      strategies) are rejected: a real network supplies its own loss.
+  rogctl join [run flags] [--connect <ip:port>] [--push-cap <rows>]
+      Join a live server as one worker: real gradients, UDP row pushes,
+      TCP control. --push-cap bounds rows pushed per iteration
+      (default 512).
 ";
 
 /// Parses a full `rogctl` command line (without the program name),
@@ -144,8 +173,67 @@ pub fn parse_command(args: &[String]) -> Result<CliCommand, CliError> {
             [ref path] => Ok(CliCommand::TraceSummary { path: path.clone() }),
             _ => Err(err("usage: rogctl trace-summary <path>")),
         },
+        Some("serve") => {
+            let mut opts = ServeOptions::default();
+            let mut rest = Vec::new();
+            let mut it = args[1..].iter();
+            while let Some(a) = it.next() {
+                let mut value = || it.next().ok_or_else(|| err(format!("{a} expects a value")));
+                match a.as_str() {
+                    "--listen" => opts.listen = value()?.clone(),
+                    "--speedup" => {
+                        opts.speedup = value()?
+                            .parse()
+                            .map_err(|_| err("--speedup expects a number"))?;
+                        // NaN also fails this check, not just <= 0.
+                        let positive = opts.speedup.is_finite() && opts.speedup > 0.0;
+                        if !positive {
+                            return Err(err("--speedup must be positive"));
+                        }
+                    }
+                    "--join-timeout" => {
+                        opts.join_timeout_secs = value()?
+                            .parse()
+                            .map_err(|_| err("--join-timeout expects seconds"))?
+                    }
+                    _ => rest.push(a.clone()),
+                }
+            }
+            let run = parse_socket_run(&rest)?;
+            Ok(CliCommand::Serve { run, opts })
+        }
+        Some("join") => {
+            let mut opts = JoinOptions::default();
+            let mut rest = Vec::new();
+            let mut it = args[1..].iter();
+            while let Some(a) = it.next() {
+                let mut value = || it.next().ok_or_else(|| err(format!("{a} expects a value")));
+                match a.as_str() {
+                    "--connect" => opts.connect = value()?.clone(),
+                    "--push-cap" => {
+                        opts.push_cap = value()?
+                            .parse()
+                            .map_err(|_| err("--push-cap expects a row count"))?;
+                        if opts.push_cap == 0 {
+                            return Err(err("--push-cap must be >= 1"));
+                        }
+                    }
+                    _ => rest.push(a.clone()),
+                }
+            }
+            let run = parse_socket_run(&rest)?;
+            Ok(CliCommand::Join { run, opts })
+        }
         _ => Ok(CliCommand::Run(parse(args)?)),
     }
+}
+
+/// Parses run flags for a socket-backend (`serve` / `join`) invocation
+/// and rejects sim-only knobs with the transport-compatibility check.
+fn parse_socket_run(args: &[String]) -> Result<CliRun, CliError> {
+    let run = parse(args)?;
+    check_socket_compatible(&run.config).map_err(err)?;
+    Ok(run)
 }
 
 /// Parses run-mode CLI arguments (without the program name).
@@ -570,6 +658,61 @@ mod tests {
     fn plain_args_parse_as_a_run_command() {
         let cmd = parse_command(&args("--strategy bsp")).expect("parses");
         assert!(matches!(cmd, CliCommand::Run(_)));
+    }
+
+    #[test]
+    fn serve_subcommand_parses() {
+        let cmd = parse_command(&args(
+            "serve --strategy rog:4 --workers 2 --listen 0.0.0.0:9000 \
+             --speedup 30 --join-timeout 15 --duration 60",
+        ))
+        .expect("parses");
+        let CliCommand::Serve { run, opts } = cmd else {
+            panic!("expected serve command, got {cmd:?}");
+        };
+        assert_eq!(run.config.strategy, Strategy::Rog { threshold: 4 });
+        assert_eq!(run.config.n_workers, 2);
+        assert_eq!(opts.listen, "0.0.0.0:9000");
+        assert_eq!(opts.speedup, 30.0);
+        assert_eq!(opts.join_timeout_secs, 15.0);
+
+        let cmd = parse_command(&args("serve --strategy rog:4")).expect("defaults");
+        let CliCommand::Serve { opts, .. } = cmd else {
+            panic!("expected serve command");
+        };
+        assert_eq!(opts, ServeOptions::default());
+    }
+
+    #[test]
+    fn join_subcommand_parses() {
+        let cmd = parse_command(&args(
+            "join --strategy rog:4 --connect 10.0.0.1:9000 --push-cap 64",
+        ))
+        .expect("parses");
+        let CliCommand::Join { run, opts } = cmd else {
+            panic!("expected join command, got {cmd:?}");
+        };
+        assert_eq!(run.config.strategy, Strategy::Rog { threshold: 4 });
+        assert_eq!(opts.connect, "10.0.0.1:9000");
+        assert_eq!(opts.push_cap, 64);
+        assert!(parse_command(&args("join --strategy rog:4 --push-cap 0")).is_err());
+        assert!(parse_command(&args("join --strategy rog:4 --connect")).is_err());
+    }
+
+    #[test]
+    fn socket_subcommands_reject_sim_only_knobs() {
+        let loss = parse_command(&args("serve --strategy rog:4 --loss 0.1")).unwrap_err();
+        assert!(loss.to_string().contains("--loss"), "{loss}");
+        assert!(loss.to_string().contains("real network"), "{loss}");
+        let fault = parse_command(&args("join --strategy rog:4 --fault-seed 7")).unwrap_err();
+        assert!(fault.to_string().contains("--fault-seed"), "{fault}");
+        let bsp = parse_command(&args("serve --strategy bsp")).unwrap_err();
+        assert!(bsp.to_string().contains("BSP"), "{bsp}");
+        assert!(
+            parse_command(&args("serve --strategy rog:4 --speedup 0")).is_err(),
+            "zero speedup would divide wall pacing by zero"
+        );
+        assert!(parse_command(&args("serve --strategy rog:4 --speedup -3")).is_err());
     }
 
     #[test]

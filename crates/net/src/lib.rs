@@ -53,6 +53,9 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+// The vendored proptest shim's strategy-tuple expansion is deeply
+// recursive; the wire-decoder fuzz properties push past the default 128.
+#![recursion_limit = "256"]
 
 mod channel;
 pub mod fit;

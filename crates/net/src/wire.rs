@@ -171,6 +171,11 @@ pub fn encode_frame(header: &FrameHeader, payload: &[u8]) -> Vec<u8> {
 }
 
 /// Decodes and verifies a frame produced by [`encode_frame`].
+///
+/// Total function: every possible byte string — truncated, corrupted,
+/// random, adversarial — returns a typed [`FrameError`] rather than
+/// panicking (property-tested below). Safe to feed raw datagrams from
+/// an untrusted network.
 pub fn decode_frame(buf: &[u8]) -> Result<Frame, FrameError> {
     let overhead = message_overhead() as usize;
     if buf.len() < overhead {
@@ -183,7 +188,12 @@ pub fn decode_frame(buf: &[u8]) -> Result<Frame, FrameError> {
         return Err(FrameError::BadEndMarker);
     }
     let len = u32::from_le_bytes(buf[12..16].try_into().expect("4 bytes")) as usize;
-    if buf.len() != overhead + len {
+    // `overhead + len` cannot wrap on 64-bit hosts (len <= u32::MAX),
+    // but a checked add keeps the decoder total on 32-bit targets too.
+    if overhead
+        .checked_add(len)
+        .is_none_or(|want| buf.len() != want)
+    {
         return Err(FrameError::LengthMismatch);
     }
     let body_end = buf.len() - 8;
@@ -267,6 +277,100 @@ mod tests {
                     decode_frame(&dam).is_err(),
                     "flip at byte {byte} bit {bit} went undetected"
                 );
+            }
+        }
+    }
+
+    mod prop {
+        use super::*;
+        use proptest::prelude::*;
+
+        fn arb_header() -> impl Strategy<Value = (u32, bool, u8, u64)> {
+            (
+                0u32..u32::MAX,
+                proptest::bool::ANY,
+                0u8..=255,
+                0u64..u64::MAX,
+            )
+        }
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(256))]
+
+            /// The decoder is total: arbitrary bytes never panic, they
+            /// produce a typed error (no random buffer can carry a
+            /// valid CRC32 and both markers by chance at these sizes).
+            #[test]
+            fn random_bytes_never_panic(
+                buf in proptest::collection::vec(0u8..=255, 0..256),
+            ) {
+                let _ = decode_frame(&buf);
+            }
+
+            /// Any encoded frame round-trips through decode.
+            #[test]
+            fn arbitrary_frames_roundtrip(
+                hdr_parts in arb_header(),
+                payload in proptest::collection::vec(0u8..=255, 0..128),
+            ) {
+                let (seq, be, attempt, iter) = hdr_parts;
+                let hdr = FrameHeader {
+                    seq,
+                    class: if be { FrameClass::BestEffort } else { FrameClass::Reliable },
+                    attempt,
+                    iter,
+                };
+                let buf = encode_frame(&hdr, &payload);
+                let frame = decode_frame(&buf).expect("own encoding decodes");
+                prop_assert_eq!(frame.header, hdr);
+                prop_assert_eq!(frame.payload, payload);
+            }
+        }
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(256))]
+
+            /// Mutating any byte of a valid frame is detected: decode
+            /// returns an error, never a wrong frame and never a panic.
+            #[test]
+            fn mutated_frames_error_without_panicking(
+                hdr_parts in arb_header(),
+                payload in proptest::collection::vec(0u8..=255, 0..64),
+                pos in 0usize..4096,
+                xor in 1u8..=255,
+            ) {
+                let (seq, be, attempt, iter) = hdr_parts;
+                let hdr = FrameHeader {
+                    seq,
+                    class: if be { FrameClass::BestEffort } else { FrameClass::Reliable },
+                    attempt,
+                    iter,
+                };
+                let mut buf = encode_frame(&hdr, &payload);
+                let pos = pos % buf.len();
+                buf[pos] ^= xor;
+                prop_assert!(decode_frame(&buf).is_err(), "mutation at {} undetected", pos);
+            }
+        }
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(256))]
+
+            /// Truncating a valid frame anywhere is rejected, not a panic.
+            #[test]
+            fn truncated_frames_error(
+                payload in proptest::collection::vec(0u8..=255, 0..64),
+                cut in 0usize..4096,
+            ) {
+                let hdr = FrameHeader {
+                    seq: 7,
+                    class: FrameClass::BestEffort,
+                    attempt: 1,
+                    iter: 3,
+                };
+                let buf = encode_frame(&hdr, &payload);
+                let cut = cut % buf.len();
+                prop_assert!(decode_frame(&buf[..cut]).is_err());
             }
         }
     }

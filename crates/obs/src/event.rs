@@ -32,11 +32,14 @@ pub enum Category {
     Resync,
     /// ATP minimum-transmission-amount decisions.
     Mta,
+    /// Live-transport membership and wire hygiene (socket backend
+    /// only; sim engines never emit these).
+    Transport,
 }
 
 impl Category {
     /// Number of categories (array-counter width).
-    pub const COUNT: usize = 10;
+    pub const COUNT: usize = 11;
 
     /// All categories in display order.
     pub const ALL: [Category; Category::COUNT] = [
@@ -50,6 +53,7 @@ impl Category {
         Category::Fault,
         Category::Resync,
         Category::Mta,
+        Category::Transport,
     ];
 
     /// Stable index into counter arrays.
@@ -65,6 +69,7 @@ impl Category {
             Category::Fault => 7,
             Category::Resync => 8,
             Category::Mta => 9,
+            Category::Transport => 10,
         }
     }
 
@@ -81,6 +86,7 @@ impl Category {
             Category::Fault => "fault",
             Category::Resync => "resync",
             Category::Mta => "mta",
+            Category::Transport => "transport",
         }
     }
 }
@@ -185,6 +191,13 @@ pub enum EventKind {
     AutoThreshold { threshold: u32 },
     /// End of run: total iterations across workers and run duration.
     RunEnd { iters: u64, duration: f64 },
+    /// Live cluster: peer `w` completed the join handshake.
+    PeerUp { w: u32 },
+    /// Live cluster: peer `w` left (Bye) or its reliable lane closed.
+    PeerDown { w: u32 },
+    /// Live cluster: a datagram from peer `w` was dropped at the wire
+    /// (`kind` is "crc" or "dup").
+    WireDrop { w: u32, kind: &'static str },
 }
 
 impl EventKind {
@@ -214,6 +227,9 @@ impl EventKind {
             EventKind::AggMerge { .. } => "agg_merge",
             EventKind::AutoThreshold { .. } => "auto_threshold",
             EventKind::RunEnd { .. } => "run_end",
+            EventKind::PeerUp { .. } => "peer_up",
+            EventKind::PeerDown { .. } => "peer_down",
+            EventKind::WireDrop { .. } => "wire_drop",
         }
     }
 
@@ -238,6 +254,9 @@ impl EventKind {
             EventKind::Fault { .. } => Category::Fault,
             EventKind::ResyncStart { .. } | EventKind::ResyncEnd { .. } => Category::Resync,
             EventKind::Mta { .. } => Category::Mta,
+            EventKind::PeerUp { .. } | EventKind::PeerDown { .. } | EventKind::WireDrop { .. } => {
+                Category::Transport
+            }
         }
     }
 }
@@ -415,6 +434,12 @@ impl Event {
             }
             EventKind::RunEnd { iters, duration } => {
                 let _ = write!(out, ",\"iters\":{iters},\"duration\":{duration}");
+            }
+            EventKind::PeerUp { w } | EventKind::PeerDown { w } => {
+                let _ = write!(out, ",\"w\":{w}");
+            }
+            EventKind::WireDrop { w, kind } => {
+                let _ = write!(out, ",\"w\":{w},\"kind\":\"{kind}\"");
             }
         }
         out.push_str("}\n");
@@ -845,6 +870,9 @@ mod tests {
                 iters: 0,
                 duration: 0.0,
             },
+            EventKind::PeerUp { w: 0 },
+            EventKind::PeerDown { w: 0 },
+            EventKind::WireDrop { w: 0, kind: "crc" },
         ];
         let mut names: Vec<&str> = kinds.iter().map(EventKind::name).collect();
         names.sort_unstable();

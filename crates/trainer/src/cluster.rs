@@ -4,6 +4,7 @@ use rog_models::batching::dynamic_batches;
 use rog_models::{CrimpSpec, CrimpWorkload, CrudaSpec, CrudaWorkload, Dataset, Mlp, Workload};
 use rog_net::{Channel, Trace};
 use rog_tensor::rng::DetRng;
+use rog_transport::SimTransport;
 
 use crate::config::{ExperimentConfig, ModelScale, WorkloadKind};
 
@@ -102,8 +103,9 @@ pub struct Cluster {
     /// The training workers (the parameter server is an extra laptop
     /// hosting the hotspot; it does not train).
     pub devices: Vec<Device>,
-    /// The shared wireless channel, one link per worker.
-    pub channel: Channel,
+    /// The transport plane over the shared wireless channel (one link
+    /// per worker), through the deterministic sim backend.
+    pub transport: SimTransport,
     /// The built workload with one shard per worker.
     pub workload: BuiltWorkload,
     /// The shared initial model.
@@ -222,7 +224,8 @@ impl Cluster {
                 }
             }
         }
-        let channel = Channel::new(capacity, links).with_sharing(cfg.mac_sharing);
+        let transport =
+            SimTransport::new(Channel::new(capacity, links).with_sharing(cfg.mac_sharing));
 
         // Initial shared model and wire scaling.
         let init_model = workload.make_model(&mut root.fork(0x20));
@@ -239,7 +242,7 @@ impl Cluster {
 
         Self {
             devices,
-            channel,
+            transport,
             workload,
             init_model,
             wire_scale,

@@ -76,7 +76,7 @@ impl EngineCtx {
         );
         let plan = cfg.resolved_fault_plan();
         if let Some(model) = cfg.resolved_loss_model(plan.as_ref()) {
-            cluster.channel.set_loss_model(Some(model));
+            cluster.transport.set_loss_model(Some(model));
         }
         let shards = cfg.effective_shards();
         let faults = match plan {
@@ -314,17 +314,17 @@ impl EngineCtx {
             .map(|d| d.kind == DeviceKind::Robot)
             .collect();
         let bytes = ByteAccount {
-            useful: self.cluster.channel.useful_bytes(),
-            wasted: self.cluster.channel.wasted_bytes(),
-            lost: self.cluster.channel.lost_bytes(),
-            corrupt: self.cluster.channel.corrupt_bytes(),
+            useful: self.cluster.transport.useful_bytes(),
+            wasted: self.cluster.transport.wasted_bytes(),
+            lost: self.cluster.transport.lost_bytes(),
+            corrupt: self.cluster.transport.corrupt_bytes(),
         };
         #[cfg(debug_assertions)]
         {
             // Invariant watchdog: every offered byte must be classified as
             // exactly one of useful / wasted / lost / corrupt.
-            let err = self.cluster.channel.byte_conservation_error();
-            let offered = self.cluster.channel.offered_bytes().abs();
+            let err = self.cluster.transport.byte_conservation_error();
+            let offered = self.cluster.transport.offered_bytes().abs();
             assert!(
                 err <= 1e-6 * offered.max(1.0),
                 "byte conservation violated: residual {err} of {offered} offered"
@@ -368,6 +368,34 @@ pub fn relative_model_divergence(models: &[&Mlp]) -> f64 {
                         .map(|(x, y)| f64::from(x - y).powi(2))
                         .sum::<f64>()
                 })
+                .sum::<f64>()
+                .sqrt();
+            max_d = max_d.max(d);
+        }
+    }
+    max_d / norm.max(1e-12)
+}
+
+/// [`relative_model_divergence`] on already-flattened parameter
+/// vectors (the live cluster ships models as flat `f32` slices).
+/// Mathematically identical: L2 over the concatenation equals L2 over
+/// the per-matrix decomposition.
+pub fn relative_model_divergence_flat(models: &[&[f32]]) -> f64 {
+    if models.len() < 2 {
+        return 0.0;
+    }
+    let norm: f64 = models
+        .iter()
+        .map(|m| m.iter().map(|&p| f64::from(p).powi(2)).sum::<f64>().sqrt())
+        .sum::<f64>()
+        / models.len() as f64;
+    let mut max_d = 0.0f64;
+    for i in 0..models.len() {
+        for j in (i + 1)..models.len() {
+            let d: f64 = models[i]
+                .iter()
+                .zip(models[j].iter())
+                .map(|(&x, &y)| f64::from(x - y).powi(2))
                 .sum::<f64>()
                 .sqrt();
             max_d = max_d.max(d);

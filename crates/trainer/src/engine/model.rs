@@ -216,8 +216,8 @@ impl ModelEngine {
                 .unwrap_or(f64::INFINITY)
                 .min(self.ctx.next_fault_time().unwrap_or(f64::INFINITY))
                 .min(duration);
-            let evs = self.ctx.cluster.channel.advance_until(horizon);
-            let now = self.ctx.cluster.channel.now();
+            let evs = self.ctx.cluster.transport.advance_until(horizon);
+            let now = self.ctx.cluster.transport.now();
             if !evs.is_empty() {
                 for e in evs {
                     self.on_flow(e);
@@ -247,7 +247,7 @@ impl ModelEngine {
                     // No timers and no flow finished before the horizon:
                     // if flows are in flight the next loop advances them;
                     // otherwise nothing can ever happen again.
-                    if self.ctx.cluster.channel.active_flows() == 0
+                    if self.ctx.cluster.transport.active_flows() == 0
                         && self.ctx.next_fault_time().is_none()
                     {
                         break;
@@ -310,7 +310,7 @@ impl ModelEngine {
         let id = self
             .ctx
             .cluster
-            .channel
+            .transport
             .start_flow(now, FlowSpec::new(w, chunks));
         self.flows.insert(id, FlowCtx::Push(w));
     }
@@ -320,7 +320,7 @@ impl ModelEngine {
     /// fresh [`ReliableTransfer`]; without one, the pre-loss
     /// single-chunk flow is byte-identical.
     fn transport_chunks(&mut self, w: usize) -> Vec<u64> {
-        if self.ctx.cluster.channel.loss_enabled() {
+        if self.ctx.cluster.transport.loss_enabled() {
             let chunks = segment_chunks(self.model_wire_bytes);
             self.void_retry(w);
             self.retx[w] = Some(ReliableTransfer::new(
@@ -382,7 +382,7 @@ impl ModelEngine {
         let id = self
             .ctx
             .cluster
-            .channel
+            .transport
             .start_flow(now, FlowSpec::new(w, chunks));
         self.flows.insert(id, ctx);
     }
@@ -394,7 +394,7 @@ impl ModelEngine {
             "model flows have no deadline and cancels are reaped early"
         );
         let w = ctx.worker();
-        let report = self.ctx.cluster.channel.take_report(ev.id);
+        let report = self.ctx.cluster.transport.take_report(ev.id);
         if let Some(retx) = self.retx[w].as_mut() {
             let transmitted = retx.pending_count();
             let fates = report.as_ref().map(|r| r.fates.as_slice());
@@ -545,7 +545,7 @@ impl ModelEngine {
         let id = self
             .ctx
             .cluster
-            .channel
+            .transport
             .start_flow(now, FlowSpec::new(w, chunks));
         self.flows.insert(id, FlowCtx::Pull(w, payload));
     }
@@ -639,7 +639,7 @@ impl ModelEngine {
         ids.into_iter()
             .map(|id| {
                 let ctx = self.flows.remove(&id).expect("just listed");
-                self.ctx.cluster.channel.cancel_flow(id);
+                self.ctx.cluster.transport.cancel_flow(id);
                 ctx
             })
             .collect()
@@ -703,7 +703,7 @@ impl ModelEngine {
         let id = self
             .ctx
             .cluster
-            .channel
+            .transport
             .start_flow(now, FlowSpec::new(w, chunks));
         self.flows.insert(id, FlowCtx::Resync(w));
     }
@@ -800,7 +800,7 @@ impl ModelEngine {
         let ids: Vec<FlowId> = self.flows.keys().copied().collect();
         for id in ids {
             let ctx = self.flows.remove(&id).expect("just listed");
-            self.ctx.cluster.channel.cancel_flow(id);
+            self.ctx.cluster.transport.cancel_flow(id);
             let w = ctx.worker();
             self.suspend_ctx(ctx);
             if !self.ctx.offline[w] && !self.workers[w].done && !self.workers[w].computing {
@@ -846,7 +846,7 @@ impl ModelEngine {
                 let id = self
                     .ctx
                     .cluster
-                    .channel
+                    .transport
                     .start_flow(now, FlowSpec::new(w, chunks));
                 self.flows.insert(id, FlowCtx::Pull(w, payload));
             }

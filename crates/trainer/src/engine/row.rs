@@ -499,8 +499,8 @@ impl RowEngine {
                 .unwrap_or(f64::INFINITY)
                 .min(self.ctx.next_fault_time().unwrap_or(f64::INFINITY))
                 .min(duration);
-            let evs = self.ctx.cluster.channel.advance_until(horizon);
-            let now = self.ctx.cluster.channel.now();
+            let evs = self.ctx.cluster.transport.advance_until(horizon);
+            let now = self.ctx.cluster.transport.now();
             if !evs.is_empty() {
                 self.sim_events += evs.len() as u64;
                 for e in evs {
@@ -531,7 +531,7 @@ impl RowEngine {
                 Some((t, Ev::ComputeDone(w))) => self.on_compute_done(w, t),
                 Some((t, Ev::NetRetry(w))) => self.on_net_retry(w, t),
                 None => {
-                    if self.ctx.cluster.channel.active_flows() == 0
+                    if self.ctx.cluster.transport.active_flows() == 0
                         && self.ctx.next_fault_time().is_none()
                     {
                         break;
@@ -734,7 +734,7 @@ impl RowEngine {
         let id = self
             .ctx
             .cluster
-            .channel
+            .transport
             .start_flow(now, FlowSpec::new(link, chunks).with_deadline(now + budget));
         self.track_flow(id, FlowCtx::Push { w, s, cont: false });
     }
@@ -767,7 +767,7 @@ impl RowEngine {
         w: usize,
         s: usize,
     ) {
-        let Some(report) = self.ctx.cluster.channel.take_report(ev.id) else {
+        let Some(report) = self.ctx.cluster.transport.take_report(ev.id) else {
             return;
         };
         let lost = report.lost_chunks();
@@ -830,7 +830,7 @@ impl RowEngine {
             let id = self
                 .ctx
                 .cluster
-                .channel
+                .transport
                 .start_flow(now, FlowSpec::new(link, chunks));
             self.track_flow(id, FlowCtx::Push { w, s, cont: true });
             return;
@@ -846,7 +846,7 @@ impl RowEngine {
     /// resending it until it lands (progress is guaranteed: per-chunk
     /// loss probability is capped below 1).
     fn maybe_finish_push(&mut self, w: usize, s: usize, now: Time) {
-        if self.ctx.cluster.channel.loss_enabled() {
+        if self.ctx.cluster.transport.loss_enabled() {
             let missing = self.missing_mandatory(w, s);
             if !missing.is_empty() {
                 obs_shard!(
@@ -868,7 +868,7 @@ impl RowEngine {
                 let id = self
                     .ctx
                     .cluster
-                    .channel
+                    .transport
                     .start_flow(now, FlowSpec::new(link, chunks));
                 self.track_flow(id, FlowCtx::PushRetry { w, s });
                 return;
@@ -894,7 +894,7 @@ impl RowEngine {
             matches!(ev.outcome, FlowOutcome::Completed),
             "retry rounds have no deadline"
         );
-        let report = self.ctx.cluster.channel.take_report(ev.id);
+        let report = self.ctx.cluster.transport.take_report(ev.id);
         let retry = std::mem::take(&mut self.workers[w].subs[s].push_retry);
         if let Some(rep) = report.as_ref() {
             let lost = rep.lost_chunks();
@@ -948,7 +948,7 @@ impl RowEngine {
             // keep their error-feedback residual and stale row iteration,
             // so they age toward the RSP-mandatory bound and retransmit
             // as mandatory rows of a later push.
-            let plan: Vec<RowId> = if self.ctx.cluster.channel.loss_enabled() {
+            let plan: Vec<RowId> = if self.ctx.cluster.transport.loss_enabled() {
                 std::mem::take(&mut self.workers[w].subs[s].push_intact)
             } else {
                 self.workers[w].subs[s].push_plan[..delivered].to_vec()
@@ -1020,7 +1020,7 @@ impl RowEngine {
             let ws = &self.workers[w];
             let sample = MicroSample {
                 time: now,
-                bandwidth_bps: self.ctx.cluster.channel.link_rate_bps(shard_link(
+                bandwidth_bps: self.ctx.cluster.transport.link_rate_bps(shard_link(
                     w,
                     self.n_shards,
                     0,
@@ -1170,7 +1170,7 @@ impl RowEngine {
         let id = self
             .ctx
             .cluster
-            .channel
+            .transport
             .start_flow(now, FlowSpec::new(link, chunks).with_deadline(now + budget));
         self.track_flow(id, FlowCtx::Pull { w, s, cont: false });
     }
@@ -1209,7 +1209,7 @@ impl RowEngine {
             let id = self
                 .ctx
                 .cluster
-                .channel
+                .transport
                 .start_flow(now, FlowSpec::new(link, chunks));
             self.track_flow(id, FlowCtx::Pull { w, s, cont: true });
             return;
@@ -1218,7 +1218,7 @@ impl RowEngine {
         // a dropped pull row stays pending on the server and re-ranks
         // into a later pull instead of being silently consumed).
         let delivered = self.workers[w].subs[s].pull_delivered;
-        let rows: Vec<RowId> = if self.ctx.cluster.channel.loss_enabled() {
+        let rows: Vec<RowId> = if self.ctx.cluster.transport.loss_enabled() {
             std::mem::take(&mut self.workers[w].subs[s].pull_intact)
         } else {
             self.workers[w].subs[s].pull_plan[..delivered].to_vec()
@@ -1406,7 +1406,7 @@ impl RowEngine {
         ids.into_iter()
             .map(|id| {
                 let ctx = self.untrack_flow(id).expect("just listed");
-                self.ctx.cluster.channel.cancel_flow(id);
+                self.ctx.cluster.transport.cancel_flow(id);
                 ctx
             })
             .collect()
@@ -1492,7 +1492,7 @@ impl RowEngine {
             }
         );
         self.ctx.set_state(w, now, DeviceState::Communicate);
-        let chunks = if self.ctx.cluster.channel.loss_enabled() {
+        let chunks = if self.ctx.cluster.transport.loss_enabled() {
             let chunks = segment_chunks(self.model_wire_bytes);
             self.void_retry(w);
             self.retx[w] = Some(ReliableTransfer::new(
@@ -1507,7 +1507,7 @@ impl RowEngine {
         let id = self
             .ctx
             .cluster
-            .channel
+            .transport
             .start_flow(now, FlowSpec::new(link, chunks));
         self.track_flow(id, FlowCtx::Resync { w });
     }
@@ -1516,7 +1516,7 @@ impl RowEngine {
     /// and either complete the rejoin or back off and retransmit.
     fn on_resync_flow(&mut self, w: usize, ev: FlowEvent) {
         let now = ev.at;
-        let report = self.ctx.cluster.channel.take_report(ev.id);
+        let report = self.ctx.cluster.transport.take_report(ev.id);
         let Some(retx) = self.retx[w].as_mut() else {
             // No loss model: the single-chunk transfer always lands whole.
             self.finish_resync(w, now);
@@ -1613,7 +1613,7 @@ impl RowEngine {
         let id = self
             .ctx
             .cluster
-            .channel
+            .transport
             .start_flow(now, FlowSpec::new(link, chunks));
         self.track_flow(id, FlowCtx::Resync { w });
     }
@@ -1796,7 +1796,7 @@ impl RowEngine {
             .collect();
         for id in ids {
             let ctx = self.untrack_flow(id).expect("just listed");
-            self.ctx.cluster.channel.cancel_flow(id);
+            self.ctx.cluster.transport.cancel_flow(id);
             let w = ctx.worker();
             self.suspend_ctx(ctx);
             if !self.ctx.offline[w] && !self.workers[w].done {

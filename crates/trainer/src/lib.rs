@@ -45,6 +45,7 @@ mod cluster;
 pub mod compute;
 mod config;
 pub mod engine;
+pub mod live;
 mod metrics;
 pub mod report;
 mod run;
@@ -52,5 +53,6 @@ pub mod stats;
 
 pub use cluster::{BuiltWorkload, Cluster, Device, DeviceKind};
 pub use config::{Environment, ExperimentConfig, ModelScale, Strategy, WorkloadKind};
+pub use live::{check_socket_compatible, JoinOptions, ServeOptions};
 pub use metrics::{ByteAccount, Checkpoint, MicroSample, RunMetrics, TimeComposition};
-pub use run::{run_with, FleetStats, RunOptions, RunOutcome};
+pub use run::{run_with, run_with_result, FleetStats, RunOptions, RunOutcome, TransportChoice};

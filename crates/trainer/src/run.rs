@@ -78,6 +78,25 @@ pub struct RunOutcome {
 pub struct RunOptions {
     cfg: ExperimentConfig,
     traced: bool,
+    transport: TransportChoice,
+}
+
+/// Which transport plane a run executes on.
+///
+/// The default, [`TransportChoice::Sim`], is the deterministic
+/// discrete-event simulation — bit-reproducible, no sockets. The two
+/// socket variants launch one role of a live multi-process cluster
+/// over real UDP/TCP (see [`crate::live`]); they are inherently
+/// non-deterministic and reconciled against sim runs statistically.
+#[derive(Debug, Clone, Default)]
+pub enum TransportChoice {
+    /// In-process deterministic simulation (the default).
+    #[default]
+    Sim,
+    /// Live parameter server: listen for workers, coordinate the run.
+    Serve(crate::live::ServeOptions),
+    /// Live worker: join a server and train for real.
+    Join(crate::live::JoinOptions),
 }
 
 impl RunOptions {
@@ -85,12 +104,22 @@ impl RunOptions {
     /// the config's own `trace` flag).
     pub fn new(cfg: ExperimentConfig) -> Self {
         let traced = cfg.trace;
-        Self { cfg, traced }
+        Self {
+            cfg,
+            traced,
+            transport: TransportChoice::Sim,
+        }
     }
 
     /// Requests (or suppresses) the event journal in the outcome.
     pub fn traced(mut self, traced: bool) -> Self {
         self.traced = traced;
+        self
+    }
+
+    /// Selects the transport plane (default: the deterministic sim).
+    pub fn transport(mut self, transport: TransportChoice) -> Self {
+        self.transport = transport;
         self
     }
 
@@ -139,8 +168,20 @@ impl RunOptions {
     }
 
     /// Runs the experiment. Equivalent to [`run_with`]`(&self)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a socket transport was selected and the live run
+    /// fails (bad address, config mismatch, join timeout); use
+    /// [`run_with_result`] to handle those errors.
     pub fn run(&self) -> RunOutcome {
         run_with(self)
+    }
+
+    /// Like [`RunOptions::run`] but surfaces live-transport failures
+    /// as `Err` instead of panicking. Sim runs cannot fail.
+    pub fn run_result(&self) -> Result<RunOutcome, String> {
+        run_with_result(self)
     }
 }
 
@@ -152,6 +193,32 @@ impl RunOptions {
 /// traced run the exact `run_traced()` path, so outcomes are
 /// bit-identical to the legacy API.
 pub fn run_with(options: &RunOptions) -> RunOutcome {
+    run_with_result(options).unwrap_or_else(|e| panic!("live run failed: {e}"))
+}
+
+/// [`run_with`] with live-transport errors surfaced as `Err`. The sim
+/// path is infallible; only `Serve`/`Join` can return `Err`.
+pub fn run_with_result(options: &RunOptions) -> Result<RunOutcome, String> {
+    match &options.transport {
+        TransportChoice::Sim => Ok(run_sim(options)),
+        TransportChoice::Serve(sopts) => {
+            let cfg = ExperimentConfig {
+                trace: options.traced,
+                ..options.cfg.clone()
+            };
+            crate::live::serve(&cfg, sopts)
+        }
+        TransportChoice::Join(jopts) => {
+            let cfg = ExperimentConfig {
+                trace: options.traced,
+                ..options.cfg.clone()
+            };
+            crate::live::join(&cfg, jopts)
+        }
+    }
+}
+
+fn run_sim(options: &RunOptions) -> RunOutcome {
     if options.traced {
         let cfg = ExperimentConfig {
             trace: true,

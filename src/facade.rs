@@ -48,7 +48,9 @@ pub mod prelude {
     pub use rog_net::LossConfig;
     pub use rog_obs::{Journal, TraceSummary};
     pub use rog_trainer::{
-        report, run_with, Environment, ExperimentConfig, FleetStats, ModelScale, RunMetrics,
-        RunOptions, RunOutcome, Strategy, WorkloadKind,
+        report, run_with, run_with_result, Environment, ExperimentConfig, FleetStats, JoinOptions,
+        ModelScale, RunMetrics, RunOptions, RunOutcome, ServeOptions, Strategy, TransportChoice,
+        WorkloadKind,
     };
+    pub use rog_transport::{SocketTransport, Transport};
 }

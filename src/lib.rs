@@ -14,6 +14,9 @@
 //!   quickstart).
 //! * [`net`] / [`sim`] / [`energy`] — wireless channel, discrete-event
 //!   engine, Table III power model.
+//! * [`transport`] — the pluggable transport plane: the deterministic
+//!   sim backend and the UDP/TCP socket backend behind
+//!   `rogctl serve` / `rogctl join`.
 //! * [`models`] / [`tensor`] / [`compress`] — training substrate.
 //! * [`sync`] — model-granularity baselines.
 //! * [`fault`] — deterministic fault injection (worker churn, link
@@ -43,3 +46,4 @@ pub use rog_sim as sim;
 pub use rog_sync as sync;
 pub use rog_tensor as tensor;
 pub use rog_trainer as trainer;
+pub use rog_transport as transport;

@@ -70,16 +70,35 @@ impl BackoffPolicy {
 /// plus the sparse set of accepted sequence numbers above it. A frame
 /// is accepted at most once regardless of how often the network
 /// duplicates or the sender retransmits it.
+///
+/// A window built with [`SeqWindow::new`] waits forever for holes to
+/// fill — correct for reliable senders that retransmit until acked.
+/// Over a lossy lane where a hole can be permanent (a dropped UDP
+/// datagram is never resent), use [`SeqWindow::bounded`] so the floor
+/// abandons stale holes and `seen` stays bounded.
 #[derive(Debug, Clone, Default)]
 pub struct SeqWindow {
     floor: u64,
     seen: std::collections::BTreeSet<u64>,
+    span: Option<u64>,
 }
 
 impl SeqWindow {
     /// Creates an empty window accepting sequence numbers from 0.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Creates a window that gives up on holes older than `span` below
+    /// the highest accepted sequence number: once `span` newer numbers
+    /// have arrived, a missing one is written off as lost and the floor
+    /// advances past it, bounding `seen` to at most `span + 1` entries.
+    /// An arrival below the advanced floor reads as a duplicate.
+    pub fn bounded(span: u64) -> Self {
+        Self {
+            span: Some(span),
+            ..Self::default()
+        }
     }
 
     /// Offers a sequence number; returns `true` exactly once per
@@ -90,6 +109,18 @@ impl SeqWindow {
         }
         while self.seen.remove(&self.floor) {
             self.floor += 1;
+        }
+        if let Some(span) = self.span {
+            if let Some(&highest) = self.seen.iter().next_back() {
+                let min_floor = highest.saturating_sub(span);
+                if min_floor > self.floor {
+                    self.floor = min_floor;
+                    self.seen = self.seen.split_off(&self.floor);
+                    while self.seen.remove(&self.floor) {
+                        self.floor += 1;
+                    }
+                }
+            }
         }
         true
     }
@@ -262,6 +293,44 @@ mod tests {
         assert_eq!(w.next_expected(), 3);
         assert!(w.contiguous_through(3));
         assert!(!w.accept(1), "below the floor");
+    }
+
+    #[test]
+    fn bounded_seq_window_abandons_stale_holes() {
+        let mut w = SeqWindow::bounded(4);
+        assert!(w.accept(0));
+        // Seq 1 is permanently lost; 2..=5 arrive. The hole is still
+        // within the span, so the floor waits.
+        for seq in 2..=5 {
+            assert!(w.accept(seq));
+        }
+        assert_eq!(w.next_expected(), 1, "hole still inside the span");
+        // Seq 6 pushes the hole past the span: written off as lost.
+        assert!(w.accept(6));
+        assert_eq!(w.next_expected(), 7, "hole at 1 abandoned");
+        assert!(!w.accept(1), "late arrival below the floor reads as dup");
+        // Memory stays bounded across many more permanent holes: only
+        // even seqs ever arrive.
+        for seq in (8..2_000u64).step_by(2) {
+            assert!(w.accept(seq));
+        }
+        assert!(
+            w.next_expected() >= 1_998 - 4,
+            "floor keeps pace, got {}",
+            w.next_expected()
+        );
+    }
+
+    #[test]
+    fn unbounded_seq_window_waits_for_holes() {
+        let mut w = SeqWindow::new();
+        assert!(w.accept(0));
+        for seq in 2..200 {
+            assert!(w.accept(seq));
+        }
+        assert_eq!(w.next_expected(), 1, "unbounded window never gives up");
+        assert!(w.accept(1), "the hole can still fill");
+        assert_eq!(w.next_expected(), 200);
     }
 
     #[test]

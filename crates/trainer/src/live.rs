@@ -193,6 +193,39 @@ fn resolve(addr: &str) -> Result<SocketAddr, String> {
         .ok_or_else(|| format!("{addr} resolves to nothing"))
 }
 
+/// Runs the join handshake on one accepted connection, returning the
+/// worker's resolved UDP address and the stream on success.
+///
+/// A failure here condemns only this connection — the caller rejects
+/// it and keeps listening. Port scanners, health checks, and workers
+/// launched with mismatched flags must not abort the whole cluster.
+fn admit_worker(
+    stream: &mut TcpStream,
+    peer_addr: SocketAddr,
+    expect_name: &str,
+    welcome: &Msg,
+) -> Result<SocketAddr, String> {
+    stream.set_nonblocking(false).map_err(|e| e.to_string())?;
+    let msg = read_handshake(stream, Duration::from_secs(10))?;
+    let Msg::Join { cfg_name, udp } = msg else {
+        return Err(format!("{peer_addr} opened with {msg:?}, expected Join"));
+    };
+    if cfg_name != expect_name {
+        // Best effort: tell the worker why before dropping it.
+        let _ = write_handshake(stream, &Msg::Bye { worker: u32::MAX });
+        return Err(format!(
+            "config mismatch: server runs \"{expect_name}\", worker {peer_addr} runs \
+             \"{cfg_name}\" — every process must be launched with identical flags"
+        ));
+    }
+    let mut worker_udp = resolve(&udp)?;
+    if worker_udp.ip().is_unspecified() {
+        worker_udp.set_ip(peer_addr.ip());
+    }
+    write_handshake(stream, welcome)?;
+    Ok(worker_udp)
+}
+
 fn to_row_ids(rows: &[Row]) -> Vec<(RowId, Vec<f32>)> {
     rows.iter()
         .map(|(id, v)| (RowId(*id as usize), v.clone()))
@@ -262,14 +295,17 @@ pub fn serve(cfg: &ExperimentConfig, opts: &ServeOptions) -> Result<RunOutcome, 
         }
     );
 
-    // Membership: admit exactly n workers, in accept order. The
-    // listener is non-blocking so the join timeout is a hard deadline
-    // even when no connection ever arrives.
+    // Membership: admit n workers, in accept order. The listener is
+    // non-blocking so the join timeout is a hard deadline even when no
+    // connection ever arrives. A connection that fails the handshake
+    // (stray client, torn stream, mismatched config) is rejected and
+    // its slot stays open; only the deadline aborts the run.
     listener.set_nonblocking(true).map_err(|e| e.to_string())?;
     let join_deadline = Instant::now() + Duration::from_secs_f64(opts.join_timeout_secs);
     let expect_name = cfg.name();
     let mut members: Vec<Member> = Vec::with_capacity(n);
-    for w in 0..n {
+    while members.len() < n {
+        let w = members.len();
         let (mut stream, peer_addr) = loop {
             match listener.accept() {
                 Ok(conn) => break conn,
@@ -282,39 +318,25 @@ pub fn serve(cfg: &ExperimentConfig, opts: &ServeOptions) -> Result<RunOutcome, 
                 Err(e) => return Err(format!("accept failed: {e}")),
             }
         };
-        // The handshake path below uses blocking reads with timeouts.
-        stream.set_nonblocking(false).map_err(|e| e.to_string())?;
-        let msg = read_handshake(&mut stream, Duration::from_secs(10))?;
-        let Msg::Join { cfg_name, udp } = msg else {
-            return Err(format!("worker {w} opened with {msg:?}, expected Join"));
+        let welcome = Msg::Welcome {
+            worker: w as u32,
+            n_workers: n as u32,
+            threshold,
+            speedup: opts.speedup,
+            duration: cfg.duration_secs,
+            udp: server_udp.clone(),
         };
-        if cfg_name != expect_name {
-            let reject = format!(
-                "config mismatch: server runs \"{expect_name}\", worker {peer_addr} runs \
-                 \"{cfg_name}\" — every process must be launched with identical flags"
-            );
-            // Best effort: tell the worker why before dropping it.
-            let _ = write_handshake(&mut stream, &Msg::Bye { worker: u32::MAX });
-            return Err(reject);
+        let worker_udp = match admit_worker(&mut stream, peer_addr, &expect_name, &welcome) {
+            Ok(addr) => addr,
+            Err(reason) => {
+                eprintln!("rejecting connection from {peer_addr}: {reason}");
+                continue;
+            }
+        };
+        if let Err(e) = transport.register_peer(w, Some(worker_udp), Some(stream)) {
+            eprintln!("rejecting connection from {peer_addr}: {e}");
+            continue;
         }
-        let mut worker_udp = resolve(&udp)?;
-        if worker_udp.ip().is_unspecified() {
-            worker_udp.set_ip(peer_addr.ip());
-        }
-        write_handshake(
-            &mut stream,
-            &Msg::Welcome {
-                worker: w as u32,
-                n_workers: n as u32,
-                threshold,
-                speedup: opts.speedup,
-                duration: cfg.duration_secs,
-                udp: server_udp.clone(),
-            },
-        )?;
-        transport
-            .register_peer(w, Some(worker_udp), Some(stream))
-            .map_err(|e| e.to_string())?;
         obs!(journal, 0.0, EventKind::PeerUp { w: w as u32 });
         members.push(Member {
             timeline: Timeline::new(),

@@ -4,10 +4,13 @@
 //! Best-effort datagrams reuse the exact wire codec from
 //! [`rog_net::wire`] — `ROG\x02` marker, seq + class + attempt header,
 //! CRC32, `\x03GOR` trailer — so a corrupted datagram is detected and
-//! dropped, duplicates are absorbed by a per-peer
+//! dropped, duplicates are absorbed by a per-peer bounded
 //! [`rog_net::SeqWindow`], and sequence gaps feed the same
 //! [`LossEwma`] estimator the sim channel uses for ATP's goodput
-//! planning.
+//! planning. Sequence numbers are allocated per peer and only on the
+//! best-effort lane (the reliable lane's TCP stream supplies its own
+//! ordering), so gap detection sees exactly the datagrams addressed to
+//! this endpoint and nothing else.
 //!
 //! Reliable messages ride TCP as `u32` length-prefixed wire frames:
 //! TCP's ack/retransmit machinery provides the delivery guarantee, and
@@ -32,6 +35,12 @@ use crate::{Delivery, LinkQuality, PeerId, Transport, TransportError, MAX_DATAGR
 /// Largest length-prefixed TCP frame accepted (a paper-scale final
 /// model is tens of MB of f32s; 256 MB bounds a hostile prefix).
 const MAX_TCP_FRAME: usize = 256 << 20;
+
+/// How many datagrams past a sequence hole may arrive before the hole
+/// is written off as a permanent loss. Bounds per-peer dedup memory
+/// (see [`SeqWindow::bounded`]) while tolerating any realistic
+/// reordering depth on a datagram lane.
+const SEQ_WINDOW_SPAN: u64 = 4096;
 
 /// Byte-accounting snapshot in the sim channel's categories, so a live
 /// run can fill the same `ByteAccount` the sim engines report.
@@ -59,12 +68,19 @@ struct Peer {
     tcp: Option<TcpStream>,
     /// Buffered partial TCP frame.
     rbuf: Vec<u8>,
+    /// Next outbound best-effort sequence number toward this peer.
+    /// Per-peer and per-lane: reliable TCP frames never consume one,
+    /// so the receiver's gap detection sees a dense sequence.
+    next_seq_out: u32,
     window: SeqWindow,
     highest_seq: Option<u64>,
     loss: LossEwma,
-    /// Accepted best-effort payload bytes (for the goodput estimate
-    /// and the mean-datagram-size loss estimate).
-    bytes_in: u64,
+    /// Accepted best-effort payload bytes. Kept separate from
+    /// `tcp_bytes_in` so the mean-datagram-size loss estimate and the
+    /// best-effort goodput never mix in multi-MB reliable frames.
+    udp_bytes_in: u64,
+    /// Payload bytes delivered over the reliable TCP lane.
+    tcp_bytes_in: u64,
     datagrams_in: u64,
     gap_datagrams: u64,
     dup_bytes: u64,
@@ -77,10 +93,12 @@ impl Peer {
             udp: None,
             tcp: None,
             rbuf: Vec::new(),
-            window: SeqWindow::new(),
+            next_seq_out: 0,
+            window: SeqWindow::bounded(SEQ_WINDOW_SPAN),
             highest_seq: None,
             loss: LossEwma::new(LossEwma::DEFAULT_ALPHA),
-            bytes_in: 0,
+            udp_bytes_in: 0,
+            tcp_bytes_in: 0,
             datagrams_in: 0,
             gap_datagrams: 0,
             dup_bytes: 0,
@@ -93,14 +111,13 @@ impl Peer {
 #[derive(Debug)]
 pub struct SocketTransport {
     udp: UdpSocket,
-    next_seq: u32,
     peers: BTreeMap<PeerId, Peer>,
     by_addr: HashMap<SocketAddr, PeerId>,
     inbox: VecDeque<Delivery>,
     crc_drop_bytes: u64,
     crc_drops: u64,
-    /// Recent wire-hygiene drops `(peer, "crc" | "dup")` for the
-    /// caller's journal; bounded, drained via
+    /// Recent wire-hygiene drops `(peer, "crc" | "dup" | "proto")` for
+    /// the caller's journal; bounded, drained via
     /// [`SocketTransport::take_wire_drops`].
     drop_log: Vec<(PeerId, &'static str)>,
     scratch: Vec<u8>,
@@ -117,7 +134,6 @@ impl SocketTransport {
         let udp = UdpSocket::bind(udp_addr)?;
         Ok(Self {
             udp,
-            next_seq: 0,
             peers: BTreeMap::new(),
             by_addr: HashMap::new(),
             inbox: VecDeque::new(),
@@ -176,10 +192,12 @@ impl SocketTransport {
             ..SocketByteCounters::default()
         };
         for p in self.peers.values() {
-            c.useful += p.bytes_in as f64;
+            c.useful += (p.udp_bytes_in + p.tcp_bytes_in) as f64;
             c.wasted += p.dup_bytes as f64;
+            // The mean datagram size is a best-effort-lane statistic:
+            // a multi-MB reliable TCP frame must not inflate it.
             let mean = if p.datagrams_in > 0 {
-                p.bytes_in as f64 / p.datagrams_in as f64
+                p.udp_bytes_in as f64 / p.datagrams_in as f64
             } else {
                 0.0
             };
@@ -194,7 +212,8 @@ impl SocketTransport {
     }
 
     /// Drains the buffered wire-hygiene drop log: one `(peer, kind)`
-    /// entry per dropped datagram, `kind` ∈ {`"crc"`, `"dup"`}.
+    /// entry per dropped datagram or quarantined stream, `kind` ∈
+    /// {`"crc"`, `"dup"`, `"proto"`}.
     pub fn take_wire_drops(&mut self) -> Vec<(PeerId, &'static str)> {
         std::mem::take(&mut self.drop_log)
     }
@@ -203,12 +222,6 @@ impl SocketTransport {
         if self.drop_log.len() < MAX_DROP_LOG {
             self.drop_log.push((peer, kind));
         }
-    }
-
-    fn next_seq(&mut self) -> u32 {
-        let s = self.next_seq;
-        self.next_seq = self.next_seq.wrapping_add(1);
-        s
     }
 
     fn handle_datagram(&mut self, n: usize, from: SocketAddr) {
@@ -258,7 +271,7 @@ impl SocketTransport {
                 p.highest_seq = Some(seq);
             }
         }
-        p.bytes_in += frame.payload.len() as u64;
+        p.udp_bytes_in += frame.payload.len() as u64;
         p.datagrams_in += 1;
         self.inbox.push_back(Delivery {
             from: peer_id,
@@ -269,14 +282,23 @@ impl SocketTransport {
     }
 
     /// Drains every complete length-prefixed frame buffered for `peer`.
-    fn drain_tcp(&mut self, peer_id: PeerId) -> Result<(), TransportError> {
+    ///
+    /// Infallible by design: a stream that errors, closes, or sends a
+    /// corrupt length prefix quarantines *that peer's* reliable lane
+    /// (the stream is dropped, later sends report
+    /// [`TransportError::NotConnected`]) — one bad worker must never
+    /// take down the whole cluster's poll loop.
+    fn drain_tcp(&mut self, peer_id: PeerId) {
         let Some(p) = self.peers.get_mut(&peer_id) else {
-            return Ok(());
+            return;
         };
         let Some(stream) = p.tcp.as_mut() else {
-            return Ok(());
+            return;
         };
-        stream.set_nonblocking(true)?;
+        if stream.set_nonblocking(true).is_err() {
+            p.tcp = None;
+            return;
+        }
         let mut tmp = [0u8; 65_536];
         let mut closed = false;
         loop {
@@ -307,12 +329,12 @@ impl SocketTransport {
             let len =
                 u32::from_le_bytes(p.rbuf[off..off + 4].try_into().expect("4 bytes")) as usize;
             if len > MAX_TCP_FRAME {
-                // Corrupt or hostile prefix: the stream is unusable.
+                // Corrupt or hostile prefix: the stream is unusable
+                // from here on; quarantine it and keep the run alive.
                 p.tcp = None;
                 p.rbuf.clear();
-                return Err(TransportError::Proto(format!(
-                    "TCP frame length {len} exceeds bound"
-                )));
+                self.log_drop(peer_id, "proto");
+                return;
             }
             if p.rbuf.len() - off - 4 < len {
                 break;
@@ -320,7 +342,7 @@ impl SocketTransport {
             let frame_bytes = &p.rbuf[off + 4..off + 4 + len];
             match decode_frame(frame_bytes) {
                 Ok(frame) => {
-                    p.bytes_in += frame.payload.len() as u64;
+                    p.tcp_bytes_in += frame.payload.len() as u64;
                     self.inbox.push_back(Delivery {
                         from: peer_id,
                         class: frame.header.class,
@@ -338,7 +360,6 @@ impl SocketTransport {
         if off > 0 {
             p.rbuf.drain(..off);
         }
-        Ok(())
     }
 }
 
@@ -350,20 +371,15 @@ impl Transport for SocketTransport {
         iter: u64,
         payload: &[u8],
     ) -> Result<(), TransportError> {
-        let seq = self.next_seq();
-        let header = FrameHeader {
-            seq,
-            class,
-            attempt: 1,
-            iter,
-        };
-        let frame = encode_frame(&header, payload);
         let p = self
             .peers
             .get_mut(&to)
             .ok_or(TransportError::UnknownPeer(to))?;
         match class {
             FrameClass::BestEffort => {
+                // Validate before allocating a sequence number: a
+                // rejected send must not leave a phantom gap for the
+                // receiver to count as loss.
                 if payload.len() > MAX_DATAGRAM_PAYLOAD {
                     return Err(TransportError::Oversize {
                         len: payload.len(),
@@ -371,9 +387,29 @@ impl Transport for SocketTransport {
                     });
                 }
                 let addr = p.udp.ok_or(TransportError::NotConnected(to))?;
+                let seq = p.next_seq_out;
+                p.next_seq_out = p.next_seq_out.wrapping_add(1);
+                let header = FrameHeader {
+                    seq,
+                    class,
+                    attempt: 1,
+                    iter,
+                };
+                let frame = encode_frame(&header, payload);
                 self.udp.send_to(&frame, addr)?;
             }
             FrameClass::Reliable => {
+                // TCP already guarantees ordered exactly-once bytes;
+                // the wire seq is unused on this lane (and must not
+                // consume a best-effort number — the receiver's UDP
+                // gap detection would read it as loss).
+                let header = FrameHeader {
+                    seq: 0,
+                    class,
+                    attempt: 1,
+                    iter,
+                };
+                let frame = encode_frame(&header, payload);
                 let stream = p.tcp.as_mut().ok_or(TransportError::NotConnected(to))?;
                 let len = frame.len() as u32;
                 let res = stream
@@ -403,9 +439,11 @@ impl Transport for SocketTransport {
                 Err(e) if e.kind() == ErrorKind::Interrupted => {}
                 Err(e) => return Err(e.into()),
             }
-            // Reliable lanes.
+            // Reliable lanes. A broken stream quarantines that peer
+            // inside `drain_tcp`; only the shared UDP socket erring
+            // (above) fails the poll.
             for &id in &peer_ids {
-                self.drain_tcp(id)?;
+                self.drain_tcp(id);
             }
             if Instant::now() >= deadline || !self.inbox.is_empty() {
                 break;
@@ -418,9 +456,14 @@ impl Transport for SocketTransport {
         match self.peers.get(&peer) {
             Some(p) => {
                 let secs = p.opened.elapsed().as_secs_f64().max(1e-3);
+                // Goodput tracks the best-effort lane only: it is the
+                // budgeting signal for row pushes, and the reliable
+                // lane's throughput is governed by TCP itself. Mixing
+                // in a burst of multi-MB model transfers would make
+                // the planner overestimate datagram capacity.
                 LinkQuality {
                     loss_rate: p.loss.rate(),
-                    goodput_bps: p.bytes_in as f64 / secs,
+                    goodput_bps: p.udp_bytes_in as f64 / secs,
                 }
             }
             None => LinkQuality {
@@ -576,6 +619,140 @@ mod tests {
             b.link_quality(0).loss_rate
         );
         assert!(b.byte_counters().lost > 0.0);
+    }
+
+    #[test]
+    fn reliable_sends_do_not_create_phantom_udp_gaps() {
+        let (mut a, mut b) = pair();
+        // Interleave reliable control traffic with best-effort rows —
+        // the shape of every live iteration (Trace/Sync on TCP between
+        // row datagrams). None of the TCP sends may burn a UDP seq.
+        for i in 0..3u64 {
+            a.send(0, FrameClass::Reliable, i, b"control").unwrap();
+            a.send(0, FrameClass::BestEffort, i, b"row").unwrap();
+        }
+        let got = poll_until(&mut b, 6);
+        assert_eq!(got.len(), 6);
+        assert_eq!(
+            b.link_quality(0).loss_rate,
+            0.0,
+            "reliable frames must not register as best-effort loss"
+        );
+        assert_eq!(b.byte_counters().lost, 0.0);
+    }
+
+    #[test]
+    fn seqs_are_allocated_per_peer() {
+        // One sender, two receivers: frames sent to one peer must not
+        // look like losses to the other.
+        let mut s = SocketTransport::bind("127.0.0.1:0").unwrap();
+        let mut b = SocketTransport::bind("127.0.0.1:0").unwrap();
+        let mut c = SocketTransport::bind("127.0.0.1:0").unwrap();
+        let s_addr = s.local_udp_addr().unwrap();
+        s.register_peer(0, Some(b.local_udp_addr().unwrap()), None)
+            .unwrap();
+        s.register_peer(1, Some(c.local_udp_addr().unwrap()), None)
+            .unwrap();
+        b.register_peer(0, Some(s_addr), None).unwrap();
+        c.register_peer(0, Some(s_addr), None).unwrap();
+        for i in 0..4u64 {
+            s.send(0, FrameClass::BestEffort, i, b"to-b").unwrap();
+            s.send(1, FrameClass::BestEffort, i, b"to-c").unwrap();
+        }
+        assert_eq!(poll_until(&mut b, 4).len(), 4);
+        assert_eq!(poll_until(&mut c, 4).len(), 4);
+        for t in [&b, &c] {
+            assert_eq!(t.link_quality(0).loss_rate, 0.0);
+            assert_eq!(t.byte_counters().lost, 0.0);
+        }
+    }
+
+    #[test]
+    fn oversize_send_does_not_burn_a_seq() {
+        let (mut a, mut b) = pair();
+        a.send(0, FrameClass::BestEffort, 0, b"first").unwrap();
+        let err = a
+            .send(
+                0,
+                FrameClass::BestEffort,
+                0,
+                &vec![0u8; MAX_DATAGRAM_PAYLOAD + 1],
+            )
+            .unwrap_err();
+        assert!(matches!(err, TransportError::Oversize { .. }));
+        a.send(0, FrameClass::BestEffort, 0, b"second").unwrap();
+        let got = poll_until(&mut b, 2);
+        assert_eq!(got.len(), 2);
+        assert_eq!(
+            b.link_quality(0).loss_rate,
+            0.0,
+            "a rejected send must not leave a gap the receiver counts as loss"
+        );
+        assert_eq!(b.byte_counters().lost, 0.0);
+    }
+
+    #[test]
+    fn tcp_bytes_do_not_skew_the_datagram_loss_estimate() {
+        let (mut a, mut b) = pair();
+        // A multi-MB reliable frame lands first...
+        let big = vec![0x5Au8; 2 << 20];
+        a.send(0, FrameClass::Reliable, 0, &big).unwrap();
+        let got = poll_until(&mut b, 1);
+        assert_eq!(got.len(), 1);
+        // ...then tiny datagrams with a real gap of 9.
+        let to = b.local_udp_addr().unwrap();
+        for seq in [0u32, 10] {
+            let frame = encode_frame(
+                &FrameHeader {
+                    seq,
+                    class: FrameClass::BestEffort,
+                    attempt: 1,
+                    iter: 0,
+                },
+                b"x",
+            );
+            a.udp.send_to(&frame, to).unwrap();
+        }
+        let got = poll_until(&mut b, 2);
+        assert_eq!(got.len(), 2);
+        let c = b.byte_counters();
+        // 9 lost datagrams × 1-byte mean payload: the estimate must be
+        // bytes, not megabytes.
+        assert!(
+            c.lost > 0.0 && c.lost < 1_000.0,
+            "lost estimate skewed by the TCP lane: {}",
+            c.lost
+        );
+        assert!(
+            c.useful >= big.len() as f64,
+            "reliable payload still counts as useful"
+        );
+    }
+
+    #[test]
+    fn corrupt_tcp_length_prefix_quarantines_the_peer() {
+        let mut b = SocketTransport::bind("127.0.0.1:0").unwrap();
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let mut raw = TcpStream::connect(listener.local_addr().unwrap()).unwrap();
+        let (t_b, _) = listener.accept().unwrap();
+        b.register_peer(0, None, Some(t_b)).unwrap();
+        use std::io::Write as _;
+        raw.write_all(&[0xFF; 8]).unwrap();
+        raw.flush().unwrap();
+        // The poll itself must survive; only the stream is condemned.
+        for _ in 0..10 {
+            assert!(b.poll(0.01).unwrap().is_empty());
+            if !b.tcp_connected(0) {
+                break;
+            }
+        }
+        assert!(!b.tcp_connected(0), "hostile stream must be quarantined");
+        assert!(
+            b.take_wire_drops()
+                .iter()
+                .any(|&(p, k)| p == 0 && k == "proto"),
+            "quarantine must be journaled"
+        );
     }
 
     #[test]

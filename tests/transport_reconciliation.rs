@@ -9,7 +9,10 @@
 //! claim is only between the live server's own two views, which share
 //! one timeline by construction.
 
+use std::io::Write;
+use std::net::TcpStream;
 use std::thread;
+use std::time::{Duration, Instant};
 
 use rog::obs::TraceSummary;
 use rog::prelude::*;
@@ -148,5 +151,83 @@ fn live_cluster_reconciles_with_a_sim_run() {
     assert!(
         live.metrics.composition.stall <= live.metrics.composition.total(),
         "stall exceeds total"
+    );
+}
+
+/// A port scanner / health check / confused client connecting during
+/// the join phase must be rejected, not abort the run: the real worker
+/// that arrives afterwards still completes the cluster.
+#[test]
+fn stray_connections_do_not_abort_the_join_phase() {
+    let cfg = ExperimentConfig {
+        n_workers: 1,
+        duration_secs: 20.0,
+        ..live_cfg()
+    };
+    let mut outcome = None;
+    for port in [47517u16, 47617, 47717, 47817] {
+        let listen = format!("127.0.0.1:{port}");
+        let serve_cfg = cfg.clone();
+        let serve_listen = listen.clone();
+        let server = thread::spawn(move || {
+            rog::trainer::live::serve(
+                &serve_cfg,
+                &ServeOptions {
+                    listen: serve_listen,
+                    speedup: 40.0,
+                    join_timeout_secs: 30.0,
+                },
+            )
+        });
+        // Stray client first: an implausible length prefix makes the
+        // handshake fail immediately (no 10s read timeout to sit out).
+        let deadline = Instant::now() + Duration::from_secs(10);
+        let stray = loop {
+            match TcpStream::connect(&listen) {
+                Ok(s) => break Some(s),
+                Err(_) if Instant::now() < deadline => {
+                    thread::sleep(Duration::from_millis(20));
+                }
+                Err(_) => break None,
+            }
+        };
+        let Some(mut stray) = stray else {
+            // Listener never came up on this port (in use): next port.
+            let _ = server.join();
+            continue;
+        };
+        stray.write_all(&[0xFF; 8]).expect("stray write");
+        stray.flush().expect("stray flush");
+        // Keep the stray socket open across the run: the rejection
+        // must not depend on the client hanging up.
+        let wcfg = cfg.clone();
+        let connect = listen.clone();
+        let worker = thread::spawn(move || {
+            rog::trainer::live::join(
+                &wcfg,
+                &JoinOptions {
+                    connect,
+                    ..JoinOptions::default()
+                },
+            )
+        });
+        let server_out = server.join().expect("server thread panicked");
+        let worker_out = worker.join().expect("worker thread panicked");
+        match server_out {
+            Ok(out) => {
+                worker_out.expect("worker failed while server succeeded");
+                outcome = Some(out);
+                drop(stray);
+                break;
+            }
+            Err(e) if e.contains("cannot listen") => continue,
+            Err(e) => panic!("serve aborted on a stray connection: {e}"),
+        }
+    }
+    let live = outcome.expect("no free localhost port for the stray-connection test");
+    assert!(
+        live.metrics.mean_iterations >= 1.0,
+        "cluster made no progress after rejecting the stray: {} mean iterations",
+        live.metrics.mean_iterations
     );
 }

@@ -10,11 +10,15 @@
 //! the deterministic event journal of a run; `rogctl trace-summary
 //! run.jsonl.gz` replays a journal into the Fig. 8-style composition
 //! table; `rogctl serve` / `rogctl join` run the same experiment over
-//! real UDP/TCP sockets, one process per role.
+//! real UDP/TCP sockets, one process per role; `rogctl fuzz` drives a
+//! seeded scenario campaign through the differential invariant
+//! harness.
 
+use std::path::Path;
 use std::process::ExitCode;
 
-use rog_bench::cli::{self, CliCommand, CliRun};
+use rog_bench::cli::{self, CliCommand, CliRun, FuzzOptions};
+use rog_fuzz::{check_scenario, shrink, FuzzReport, Scenario, ScenarioGen, ScenarioRecord};
 use rog_obs::{gzip_compress, gzip_decompress, TraceSummary};
 use rog_trainer::{report, run_with_result, TransportChoice};
 
@@ -33,6 +37,7 @@ fn main() -> ExitCode {
         CliCommand::TraceSummary { path } => summarize_trace(&path),
         CliCommand::Serve { run, opts } => live_experiment(&run, TransportChoice::Serve(opts)),
         CliCommand::Join { run, opts } => live_experiment(&run, TransportChoice::Join(opts)),
+        CliCommand::Fuzz(opts) => fuzz_campaign(&opts),
     }
 }
 
@@ -163,6 +168,135 @@ fn trace_experiment(run: &CliRun, out: &str) -> ExitCode {
         println!("wrote {path}");
     }
     ExitCode::SUCCESS
+}
+
+/// Differential checks the shrinker may spend per failing scenario.
+const SHRINK_BUDGET: usize = 200;
+
+fn fuzz_campaign(opts: &FuzzOptions) -> ExitCode {
+    let mut report = match &opts.replay {
+        Some(_) => FuzzReport::new(0, 0.0),
+        None => {
+            let mut gen = ScenarioGen::new(opts.seed);
+            if let Some(secs) = opts.max_duration {
+                gen = gen.max_duration(secs);
+            }
+            FuzzReport::new(gen.seed(), gen.max_duration_secs())
+        }
+    };
+
+    // (label, scenario) pairs to check: a replayed corpus or a fresh
+    // generator sweep.
+    let scenarios: Vec<(String, Scenario)> = match &opts.replay {
+        Some(path) => match load_repros(Path::new(path)) {
+            Ok(entries) => entries,
+            Err(e) => {
+                eprintln!("{e}");
+                return ExitCode::FAILURE;
+            }
+        },
+        None => {
+            let mut gen = ScenarioGen::new(opts.seed);
+            if let Some(secs) = opts.max_duration {
+                gen = gen.max_duration(secs);
+            }
+            (0..opts.count)
+                .map(|i| {
+                    let sc = gen.scenario(i);
+                    (sc.label(), sc)
+                })
+                .collect()
+        }
+    };
+
+    for (label, sc) in &scenarios {
+        let outcome = check_scenario(sc);
+        report.push(ScenarioRecord::new(
+            label.clone(),
+            sc.strategy.name(),
+            &outcome,
+        ));
+        if outcome.passed() {
+            continue;
+        }
+        println!("FAIL {label}");
+        for v in &outcome.violations {
+            println!("  {v}");
+        }
+        let shrunk = shrink(sc, SHRINK_BUDGET);
+        println!(
+            "  shrunk to {} fault lines in {} replays",
+            shrunk.scenario.script_lines(),
+            shrunk.replays
+        );
+        if let Some(dir) = &opts.corpus {
+            let dir = Path::new(dir);
+            if let Err(e) = std::fs::create_dir_all(dir) {
+                eprintln!("cannot create corpus dir '{}': {e}", dir.display());
+                return ExitCode::FAILURE;
+            }
+            let name = format!("seed{}-{}.repro", sc.gen_seed, sc.index);
+            let path = dir.join(name);
+            if let Err(e) = std::fs::write(&path, shrunk.scenario.to_repro()) {
+                eprintln!("cannot write repro '{}': {e}", path.display());
+                return ExitCode::FAILURE;
+            }
+            println!("  wrote {}", path.display());
+        } else {
+            print!("{}", shrunk.scenario.to_repro());
+        }
+    }
+
+    print!("{}", report.render());
+    if let Some(path) = &opts.json_out {
+        if let Err(e) = std::fs::write(path, report.to_json()) {
+            eprintln!("cannot write '{path}': {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("wrote {path}");
+    }
+    if report.failing() > 0 {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+/// Loads one `.repro` file, or every `*.repro` in a directory
+/// (sorted by file name for a stable replay order).
+fn load_repros(path: &Path) -> Result<Vec<(String, Scenario)>, String> {
+    let mut files = Vec::new();
+    if path.is_dir() {
+        let entries = std::fs::read_dir(path)
+            .map_err(|e| format!("cannot read corpus dir '{}': {e}", path.display()))?;
+        for entry in entries {
+            let p = entry
+                .map_err(|e| format!("cannot read corpus dir '{}': {e}", path.display()))?
+                .path();
+            if p.extension().is_some_and(|x| x == "repro") {
+                files.push(p);
+            }
+        }
+        files.sort();
+        if files.is_empty() {
+            return Err(format!("no .repro files in '{}'", path.display()));
+        }
+    } else {
+        files.push(path.to_path_buf());
+    }
+    files
+        .into_iter()
+        .map(|p| {
+            let text = std::fs::read_to_string(&p)
+                .map_err(|e| format!("cannot read '{}': {e}", p.display()))?;
+            let sc = Scenario::parse(&text).map_err(|e| format!("'{}': {e}", p.display()))?;
+            let name = p
+                .file_name()
+                .map(|n| n.to_string_lossy().into_owned())
+                .unwrap_or_else(|| p.display().to_string());
+            Ok((name, sc))
+        })
+        .collect()
 }
 
 fn summarize_trace(path: &str) -> ExitCode {

@@ -59,6 +59,42 @@ pub enum CliCommand {
         /// Server address / per-iteration push cap.
         opts: JoinOptions,
     },
+    /// Run a seeded fuzz campaign (or replay a `.repro` corpus)
+    /// through the differential invariant harness.
+    Fuzz(FuzzOptions),
+}
+
+/// Options for the `rogctl fuzz` campaign driver.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FuzzOptions {
+    /// Root generator seed.
+    pub seed: u64,
+    /// Scenarios to generate and check.
+    pub count: u64,
+    /// Duration ceiling passed to the generator (`None` keeps its
+    /// default).
+    pub max_duration: Option<f64>,
+    /// Directory where minimal repros of failing scenarios are written.
+    pub corpus: Option<String>,
+    /// A `.repro` file or a directory of them to replay instead of
+    /// generating scenarios.
+    pub replay: Option<String>,
+    /// Write the wall-clock-free campaign report (`BENCH_fuzz.json`
+    /// shape) here.
+    pub json_out: Option<String>,
+}
+
+impl Default for FuzzOptions {
+    fn default() -> Self {
+        Self {
+            seed: 1,
+            count: 50,
+            max_duration: None,
+            corpus: None,
+            replay: None,
+            json_out: None,
+        }
+    }
 }
 
 /// CLI parse error with a message suitable for direct printing.
@@ -137,6 +173,18 @@ Subcommands:
       Join a live server as one worker: real gradients, UDP row pushes,
       TCP control. --push-cap bounds rows pushed per iteration
       (default 512).
+  rogctl fuzz [--seed <n>] [--count <n>] [--max-duration <secs>]
+              [--corpus <dir>] [--replay <file|dir>] [--json <path>]
+      Generate --count seeded scenarios (random topology, sync model,
+      faults, loss) and replay each through the differential invariant
+      harness: thread counts {1, 2, 8} must agree bitwise, progress,
+      byte conservation, journal/metrics reconciliation, the RSP
+      staleness bound, and the shard-plane / aggregation-tree twins.
+      Failing scenarios are shrunk to minimal repros and written to
+      --corpus. --replay re-checks existing .repro files instead of
+      generating. --json writes the wall-clock-free campaign report;
+      two runs of the same campaign produce byte-identical reports.
+      Exits non-zero when any scenario fails.
 ";
 
 /// Parses a full `rogctl` command line (without the program name),
@@ -223,6 +271,43 @@ pub fn parse_command(args: &[String]) -> Result<CliCommand, CliError> {
             }
             let run = parse_socket_run(&rest)?;
             Ok(CliCommand::Join { run, opts })
+        }
+        Some("fuzz") => {
+            let mut opts = FuzzOptions::default();
+            let mut it = args[1..].iter();
+            while let Some(a) = it.next() {
+                let mut value = || it.next().ok_or_else(|| err(format!("{a} expects a value")));
+                match a.as_str() {
+                    "--seed" => {
+                        opts.seed = value()?
+                            .parse()
+                            .map_err(|_| err("--seed expects an integer"))?
+                    }
+                    "--count" => {
+                        opts.count = value()?
+                            .parse()
+                            .map_err(|_| err("--count expects a scenario count"))?
+                    }
+                    "--max-duration" => {
+                        let secs: f64 = value()?
+                            .parse()
+                            .map_err(|_| err("--max-duration expects seconds"))?;
+                        if !(secs.is_finite() && secs > 0.0) {
+                            return Err(err("--max-duration must be positive"));
+                        }
+                        opts.max_duration = Some(secs);
+                    }
+                    "--corpus" => opts.corpus = Some(value()?.clone()),
+                    "--replay" => opts.replay = Some(value()?.clone()),
+                    "--json" => opts.json_out = Some(value()?.clone()),
+                    "--help" | "-h" => return Err(err(USAGE)),
+                    other => return Err(err(format!("unknown fuzz flag '{other}'\n\n{USAGE}"))),
+                }
+            }
+            if opts.count == 0 && opts.replay.is_none() {
+                return Err(err("--count must be >= 1 (or pass --replay)"));
+            }
+            Ok(CliCommand::Fuzz(opts))
         }
         _ => Ok(CliCommand::Run(parse(args)?)),
     }
@@ -713,6 +798,35 @@ mod tests {
             "zero speedup would divide wall pacing by zero"
         );
         assert!(parse_command(&args("serve --strategy rog:4 --speedup -3")).is_err());
+    }
+
+    #[test]
+    fn fuzz_subcommand_parses() {
+        let cmd = parse_command(&args(
+            "fuzz --seed 7 --count 200 --max-duration 30 --corpus tests/corpus \
+             --json BENCH_fuzz.json",
+        ))
+        .expect("parses");
+        let CliCommand::Fuzz(opts) = cmd else {
+            panic!("expected fuzz command, got {cmd:?}");
+        };
+        assert_eq!(opts.seed, 7);
+        assert_eq!(opts.count, 200);
+        assert_eq!(opts.max_duration, Some(30.0));
+        assert_eq!(opts.corpus.as_deref(), Some("tests/corpus"));
+        assert!(opts.replay.is_none());
+        assert_eq!(opts.json_out.as_deref(), Some("BENCH_fuzz.json"));
+
+        let cmd = parse_command(&args("fuzz")).expect("defaults");
+        assert_eq!(cmd, CliCommand::Fuzz(FuzzOptions::default()));
+
+        let cmd = parse_command(&args("fuzz --replay tests/corpus --count 0")).expect("parses");
+        assert!(matches!(cmd, CliCommand::Fuzz(o) if o.replay.is_some()));
+
+        assert!(parse_command(&args("fuzz --count 0")).is_err());
+        assert!(parse_command(&args("fuzz --seed banana")).is_err());
+        assert!(parse_command(&args("fuzz --max-duration -3")).is_err());
+        assert!(parse_command(&args("fuzz --strategy rog:4")).is_err());
     }
 
     #[test]

@@ -71,20 +71,66 @@ pub struct LossWindow {
 }
 
 /// Error produced when building or parsing an invalid plan.
+///
+/// Errors raised while parsing a script carry the 1-based line number
+/// and the offending line's original text ([`FaultPlanError::line`] /
+/// [`FaultPlanError::line_text`]), so tools that emit scripts — the
+/// fuzz shrinker in particular — can point at the exact line that
+/// failed. Builder-path errors carry no location.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct FaultPlanError {
     msg: String,
+    line: Option<u32>,
+    line_text: Option<String>,
 }
 
 impl FaultPlanError {
     pub(crate) fn new(msg: impl Into<String>) -> Self {
-        Self { msg: msg.into() }
+        Self {
+            msg: msg.into(),
+            line: None,
+            line_text: None,
+        }
+    }
+
+    /// Attaches the 1-based script line number and its original text.
+    pub(crate) fn with_line(mut self, line: usize, text: &str) -> Self {
+        self.line = Some(line as u32);
+        self.line_text = Some(text.to_owned());
+        self
+    }
+
+    /// The 1-based script line this error points at, when the error
+    /// came from [`FaultPlan::parse`] / [`FaultPlan::parse_with_warnings`].
+    #[must_use]
+    pub fn line(&self) -> Option<u32> {
+        self.line
+    }
+
+    /// The offending script line's original text (comments included),
+    /// when the error came from a script parse.
+    #[must_use]
+    pub fn line_text(&self) -> Option<&str> {
+        self.line_text.as_deref()
+    }
+
+    /// The bare error message, without the "invalid fault plan" /
+    /// line-location framing.
+    #[must_use]
+    pub fn message(&self) -> &str {
+        &self.msg
     }
 }
 
 impl std::fmt::Display for FaultPlanError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "invalid fault plan: {}", self.msg)
+        match (self.line, self.line_text.as_deref()) {
+            (Some(n), Some(text)) => {
+                write!(f, "invalid fault plan: line {n}: {} (`{text}`)", self.msg)
+            }
+            (Some(n), None) => write!(f, "invalid fault plan: line {n}: {}", self.msg),
+            _ => write!(f, "invalid fault plan: {}", self.msg),
+        }
     }
 }
 

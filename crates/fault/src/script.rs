@@ -67,8 +67,8 @@ impl FaultPlan {
                 continue;
             }
             let fields: Vec<&str> = line.split_whitespace().collect();
-            let (entry, warning) = parse_line(&fields)
-                .map_err(|e| FaultPlanError::new(format!("line {}: {}", idx + 1, e)))?;
+            let (entry, warning) =
+                parse_line(&fields).map_err(|e| FaultPlanError::new(e).with_line(idx + 1, raw))?;
             if let Some(w) = warning {
                 warnings.push(format!("line {}: {}", idx + 1, w));
             }
@@ -76,7 +76,7 @@ impl FaultPlan {
                 ScriptEntry::Fault(window) => plan.try_push(window),
                 ScriptEntry::Loss(window) => plan.try_push_loss(window),
             }
-            .map_err(|e| FaultPlanError::new(format!("line {}: {}", idx + 1, e)))?;
+            .map_err(|e| e.with_line(idx + 1, raw))?;
         }
         Ok((plan, warnings))
     }
@@ -314,5 +314,124 @@ loss 3 0 600 0.05
         assert!(FaultPlan::parse("# nothing\n\n")
             .expect("comments")
             .is_empty());
+    }
+
+    #[test]
+    fn parse_errors_carry_line_number_and_text() {
+        let err = FaultPlan::parse("offline 1 0 10\nfrobnicate 3 4 5  # bad").unwrap_err();
+        assert_eq!(err.line(), Some(2));
+        assert_eq!(err.line_text(), Some("frobnicate 3 4 5  # bad"));
+        assert!(err.message().contains("unknown directive"), "{err}");
+        assert!(err.to_string().contains("`frobnicate 3 4 5  # bad`"));
+
+        // Window-validation failures point at the line too.
+        let err = FaultPlan::parse("offline 1 0 10\noffline 1 5 15").unwrap_err();
+        assert_eq!(err.line(), Some(2));
+        assert_eq!(err.line_text(), Some("offline 1 5 15"));
+        assert!(err.message().contains("overlaps"), "{err}");
+
+        // Builder-path errors have no location.
+        let mut plan = FaultPlan::new();
+        let err = plan
+            .try_push(FaultWindow {
+                kind: FaultKind::WorkerOffline(0),
+                start: 5.0,
+                end: 4.0,
+            })
+            .unwrap_err();
+        assert_eq!(err.line(), None);
+        assert_eq!(err.line_text(), None);
+    }
+
+    mod roundtrip_proptests {
+        use super::*;
+        use proptest::prelude::*;
+        use rog_tensor::rng::DetRng;
+
+        /// Builds a random — but valid — plan from one seed, exercising
+        /// every expressible directive: all four fault kinds plus loss
+        /// windows, with awkward fractional times and rates.
+        fn random_plan(seed: u64) -> FaultPlan {
+            let mut rng = DetRng::new(seed ^ 0x5eed_f007);
+            let mut plan = FaultPlan::new();
+            let n = 1 + rng.index(12);
+            for _ in 0..n {
+                // Times deliberately include long-decimal floats (the
+                // raw uniform draw) and not just round grid points: the
+                // script must survive `{}` formatting byte-for-byte.
+                let start = match rng.index(3) {
+                    0 => rng.index(500) as f64,
+                    1 => (rng.index(5000) as f64) / 10.0,
+                    _ => rng.uniform_range(0.0, 500.0),
+                };
+                let dur = match rng.index(3) {
+                    0 => 1.0 + rng.index(60) as f64,
+                    1 => 0.125 + (rng.index(400) as f64) / 8.0,
+                    _ => rng.uniform_range(1e-6, 60.0),
+                };
+                let idx = rng.index(8);
+                let res = match rng.index(5) {
+                    0 => plan.try_push(FaultWindow {
+                        kind: FaultKind::WorkerOffline(idx),
+                        start,
+                        end: start + dur,
+                    }),
+                    1 => plan.try_push(FaultWindow {
+                        kind: FaultKind::LinkBlackout(idx),
+                        start,
+                        end: start + dur,
+                    }),
+                    2 => plan.try_push(FaultWindow {
+                        kind: FaultKind::ServerOutage(idx % 4),
+                        start,
+                        end: start + dur,
+                    }),
+                    3 => plan.try_push(FaultWindow {
+                        kind: FaultKind::AggregatorOutage(idx % 4),
+                        start,
+                        end: start + dur,
+                    }),
+                    _ => {
+                        let rate = match rng.index(3) {
+                            0 => (rng.index(101) as f64) / 100.0,
+                            1 => 1.0,
+                            _ => rng.uniform(),
+                        };
+                        plan.try_push_loss(LossWindow {
+                            link: idx,
+                            start,
+                            end: start + dur,
+                            rate,
+                        })
+                    }
+                };
+                // Overlaps with an earlier same-kind window are the
+                // only admissible rejection; everything else is a bug
+                // in the generator above.
+                if let Err(e) = res {
+                    assert!(e.message().contains("overlaps"), "{e}");
+                }
+            }
+            plan
+        }
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(256))]
+            /// Every expressible plan round-trips `to_script` →
+            /// `parse_with_warnings` into an equal plan, an identical
+            /// re-rendered script, and zero warnings. The scenario
+            /// generator in `rog-fuzz` leans on this: a shrunk repro
+            /// is exchanged exclusively as script text.
+            #[test]
+            fn every_expressible_plan_round_trips(seed in 0u64..512) {
+                let plan = random_plan(seed);
+                let text = plan.to_script();
+                let (again, warnings) =
+                    FaultPlan::parse_with_warnings(&text).expect("rendered scripts parse");
+                prop_assert!(warnings.is_empty(), "warnings: {warnings:?}");
+                prop_assert_eq!(&again, &plan);
+                prop_assert_eq!(again.to_script(), text);
+            }
+        }
     }
 }

@@ -1,0 +1,512 @@
+//! The differential invariant checker.
+//!
+//! [`check_scenario`] replays one [`Scenario`] across compute-thread
+//! counts {1, 2, 8} and asserts the cheap invariants the hand-written
+//! suites already trust, returning every violation instead of
+//! panicking — the shrinker needs failures to be data:
+//!
+//! * **Thread invariance** — serialized metrics, journal bytes and
+//!   fleet stats are byte-identical at every thread count.
+//! * **Engine self-checks** — a replay that panics (debug-build
+//!   staleness watchdog, byte-conservation assert, any engine bug) is
+//!   caught and reported, never crashes the harness.
+//! * **Progress** — the gate never wedges: every scenario's fault-free
+//!   prefix guarantees at least one iteration completes.
+//! * **Byte ledger** — the four-way useful/wasted/lost/corrupt split
+//!   is finite, non-negative, and exactly zero on the loss axes when
+//!   nothing in the scenario can harm a chunk.
+//! * **Journal ↔ metrics reconciliation** — the composition replayed
+//!   from the journal is bitwise the one the metrics report, and
+//!   begin/end event pairings balance.
+//! * **RSP staleness** — in static-threshold ROG scenarios without
+//!   shard or aggregator outages, no gate event may record a lead
+//!   beyond the RSP bound.
+//! * **Topology twins** — `n_shards = 0` replays byte-identically to
+//!   `n_shards = 1` (the documented pre-shard identity), and a
+//!   hierarchical run matches its flat twin once aggregator accounting
+//!   records are stripped.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+use rog_fault::FaultKind;
+use rog_obs::{Record, TraceSummary};
+use rog_sync::gate;
+use rog_trainer::report::runs_to_json;
+use rog_trainer::{compute, ExperimentConfig, RunMetrics, RunOutcome, Strategy};
+
+use crate::scenario::Scenario;
+
+/// Compute-thread counts every scenario is replayed at.
+pub const THREAD_COUNTS: [usize; 3] = [1, 2, 8];
+
+/// Float tolerance for mean-vs-total iteration reconciliation (all
+/// other comparisons are bitwise).
+const EPS: f64 = 1e-9;
+
+/// One invariant failure observed while replaying a scenario.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Violation {
+    /// A replay panicked — an engine self-check (staleness watchdog,
+    /// byte-conservation assert) or a genuine crash.
+    EnginePanic {
+        /// Compute-thread count of the panicking replay.
+        threads: usize,
+        /// The panic payload.
+        message: String,
+    },
+    /// Two thread counts produced observably different runs.
+    ThreadDivergence {
+        /// The diverging thread count (compared against the first).
+        threads: usize,
+        /// What differed.
+        what: String,
+    },
+    /// The run completed zero iterations despite its fault-free prefix.
+    NoProgress,
+    /// The four-way byte ledger is inconsistent.
+    ByteLedger(String),
+    /// Journal and metrics disagree.
+    Reconciliation(String),
+    /// A gate event recorded a lead beyond the RSP staleness bound.
+    StalenessExceeded(String),
+    /// `n_shards = 0` diverged from `n_shards = 1`.
+    ShardTwinDivergence(String),
+    /// The hierarchical run diverged from its flat twin.
+    HierarchyTwinDivergence(String),
+}
+
+impl Violation {
+    /// Stable short name, used as the report's violation key.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Violation::EnginePanic { .. } => "engine_panic",
+            Violation::ThreadDivergence { .. } => "thread_divergence",
+            Violation::NoProgress => "no_progress",
+            Violation::ByteLedger(_) => "byte_ledger",
+            Violation::Reconciliation(_) => "reconciliation",
+            Violation::StalenessExceeded(_) => "staleness_exceeded",
+            Violation::ShardTwinDivergence(_) => "shard_twin",
+            Violation::HierarchyTwinDivergence(_) => "hierarchy_twin",
+        }
+    }
+}
+
+impl std::fmt::Display for Violation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Violation::EnginePanic { threads, message } => {
+                write!(f, "engine panic @ {threads} threads: {message}")
+            }
+            Violation::ThreadDivergence { threads, what } => {
+                write!(f, "thread divergence @ {threads} threads: {what}")
+            }
+            Violation::NoProgress => write!(f, "no progress: zero iterations completed"),
+            Violation::ByteLedger(d) => write!(f, "byte ledger: {d}"),
+            Violation::Reconciliation(d) => write!(f, "journal/metrics reconciliation: {d}"),
+            Violation::StalenessExceeded(d) => write!(f, "staleness exceeded: {d}"),
+            Violation::ShardTwinDivergence(d) => write!(f, "shard-0 vs shard-1 twin: {d}"),
+            Violation::HierarchyTwinDivergence(d) => write!(f, "hierarchical vs flat twin: {d}"),
+        }
+    }
+}
+
+/// Everything one scenario check produced.
+#[derive(Debug, Clone)]
+pub struct CheckOutcome {
+    /// Invariant failures, empty when the scenario is green.
+    pub violations: Vec<Violation>,
+    /// Virtual seconds the base replay covered (0 when it panicked).
+    pub virtual_secs: f64,
+    /// Simulation events the base replay dispatched (wall-clock-free
+    /// work measure; 0 when it panicked).
+    pub sim_events: u64,
+}
+
+impl CheckOutcome {
+    /// True when every invariant held.
+    pub fn passed(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+/// Runs a config with panics captured and the default panic hook
+/// silenced for the duration of the run — the shrinker deliberately
+/// replays panicking scenarios dozens of times.
+///
+/// The hook swap is process-global; tests driving the checker share a
+/// binary with nothing else (see `tests/fuzz_corpus.rs`).
+fn quiet_run(cfg: &ExperimentConfig) -> Result<RunOutcome, String> {
+    let prev = std::panic::take_hook();
+    std::panic::set_hook(Box::new(|_| {}));
+    let result = catch_unwind(AssertUnwindSafe(|| cfg.options().traced(true).run()));
+    std::panic::set_hook(prev);
+    result.map_err(|payload| {
+        if let Some(s) = payload.downcast_ref::<&str>() {
+            (*s).to_owned()
+        } else if let Some(s) = payload.downcast_ref::<String>() {
+            s.clone()
+        } else {
+            "non-string panic payload".to_owned()
+        }
+    })
+}
+
+/// Field-by-field bit-exact comparison of two runs, ignoring the run
+/// name (twin topologies legitimately differ in their `+agg{n}` /
+/// `+shard{n}` name segments). Returns human-readable differences.
+fn metrics_diff_modulo_name(a: &RunMetrics, b: &RunMetrics) -> Vec<String> {
+    let mut diffs = Vec::new();
+    if a.checkpoints != b.checkpoints {
+        diffs.push("checkpoints".to_owned());
+    }
+    if a.mean_iterations.to_bits() != b.mean_iterations.to_bits() {
+        diffs.push(format!(
+            "mean_iterations {} vs {}",
+            a.mean_iterations, b.mean_iterations
+        ));
+    }
+    if a.total_energy_j.to_bits() != b.total_energy_j.to_bits() {
+        diffs.push("total_energy_j".to_owned());
+    }
+    for (what, x, y) in [
+        ("useful_bytes", a.useful_bytes, b.useful_bytes),
+        ("wasted_bytes", a.wasted_bytes, b.wasted_bytes),
+        ("lost_bytes", a.lost_bytes, b.lost_bytes),
+        ("corrupt_bytes", a.corrupt_bytes, b.corrupt_bytes),
+        ("stall_secs", a.stall_secs, b.stall_secs),
+        ("offline_secs", a.offline_secs, b.offline_secs),
+    ] {
+        if x.to_bits() != y.to_bits() {
+            diffs.push(format!("{what} {x} vs {y}"));
+        }
+    }
+    if a.final_model_divergence != b.final_model_divergence {
+        diffs.push("final_model_divergence".to_owned());
+    }
+    diffs
+}
+
+/// Removes the `"seq":N,` field from one journal line (aggregator
+/// merge records consume sequence numbers, shifting later records).
+fn without_seq(line: &str) -> String {
+    let Some(i) = line.find("\"seq\":") else {
+        return line.to_owned();
+    };
+    let Some(j) = line[i..].find(',') else {
+        return line.to_owned();
+    };
+    format!("{}{}", &line[..i], &line[i + j + 1..])
+}
+
+/// Normalizes a journal for flat-vs-hierarchical comparison: drop
+/// `agg_merge` records and `seq` counters, erase the `+agg{n}` name
+/// segment — the same normalization the fleet-scale suite pins.
+fn normalized(journal: &str, aggs: usize) -> String {
+    journal
+        .replace(&format!("+agg{aggs}"), "")
+        .lines()
+        .filter(|l| !l.contains("\"ev\":\"agg_merge\""))
+        .map(without_seq)
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+/// The reconciliation block: journal replay must agree with the
+/// metrics bitwise, and event pairings must balance. `faulty` is true
+/// when the scenario's plan has fault windows — fault recovery
+/// re-queues an aborted granted pull into the gate wait silently, so
+/// its re-grant emits a second `gate_exit` for a single `gate_enter`
+/// and the gate pairing is only checkable on fault-free runs.
+fn reconcile(m: &RunMetrics, journal: &str, faulty: bool, violations: &mut Vec<Violation>) {
+    let s = match TraceSummary::from_jsonl(journal) {
+        Ok(s) => s,
+        Err(e) => {
+            violations.push(Violation::Reconciliation(format!(
+                "journal does not parse: {e}"
+            )));
+            return;
+        }
+    };
+    let comp = s.composition();
+    let mut bit = |what: &str, a: f64, b: f64| {
+        if a.to_bits() != b.to_bits() {
+            violations.push(Violation::Reconciliation(format!("{what}: {a} != {b}")));
+        }
+    };
+    bit("compute", comp[0], m.composition.compute);
+    bit("communicate", comp[1], m.composition.communicate);
+    bit("stall", comp[2], m.composition.stall);
+    bit("offline", comp[3], m.composition.offline);
+    bit("stall_secs", s.cluster_residency(2), m.stall_secs);
+    bit("offline_secs", s.cluster_residency(4), m.offline_secs);
+    bit("duration", s.duration, m.duration);
+    if s.n_devices == 0 || (s.iters as f64 / s.n_devices as f64 - m.mean_iterations).abs() >= EPS {
+        violations.push(Violation::Reconciliation(format!(
+            "{} iters over {} devices vs mean {}",
+            s.iters, s.n_devices, m.mean_iterations
+        )));
+    }
+    let n = |ev: &str| s.event_counts.get(ev).copied().unwrap_or(0);
+    // Begin/end pairings are directional, not exact: the duration cap
+    // cuts runs mid-operation (a worker blocked at the gate, a push in
+    // flight) and a blackout aborts a push leg without its end event,
+    // so starts may outnumber ends — but an end without a start is
+    // always a bug. (The hand-written tier-1 matrix, whose scenarios
+    // end cleanly, keeps pinning exact equality.)
+    let mut paired = |start: &str, end: &str| {
+        if n(end) > n(start) {
+            violations.push(Violation::Reconciliation(format!(
+                "more {end} than {start} events: {} vs {}",
+                n(end),
+                n(start)
+            )));
+        }
+    };
+    if !faulty {
+        paired("gate_enter", "gate_exit");
+    }
+    paired("push_start", "push_end");
+    paired("pull_start", "pull_end");
+    if n("iter_end") != s.iters {
+        violations.push(Violation::Reconciliation(format!(
+            "{} iter_end events vs run_end total {}",
+            n("iter_end"),
+            s.iters
+        )));
+    }
+    if n("meta") != 1 || n("run_end") != 1 || n("close") as usize != s.n_devices {
+        violations.push(Violation::Reconciliation(
+            "meta/run_end/close cardinality broken".to_owned(),
+        ));
+    }
+}
+
+/// The RSP staleness invariant, observed from the journal: every
+/// `gate_enter` lead stays within the bound. Only meaningful for
+/// static-threshold ROG runs whose plan never takes a shard or an
+/// aggregator down (a skipped shard legitimately ages rows past the
+/// static bound — the engine's own watchdog excludes it too).
+fn check_staleness(sc: &Scenario, journal: &str, violations: &mut Vec<Violation>) {
+    let Strategy::Rog { threshold } = sc.strategy else {
+        return;
+    };
+    let plan = sc.fault_plan().expect("scenario script must be valid");
+    let outage = plan.windows().iter().any(|w| {
+        matches!(
+            w.kind,
+            FaultKind::ServerOutage(_) | FaultKind::AggregatorOutage(_)
+        )
+    });
+    if outage {
+        return;
+    }
+    let bound = gate::rsp_bound(threshold);
+    for line in journal.lines() {
+        if !line.contains("\"ev\":\"gate_enter\"") {
+            continue;
+        }
+        let Ok(rec) = Record::parse(line) else {
+            continue; // parse failures are the reconciliation check's job
+        };
+        let lead = rec.num("lead").unwrap_or(0.0) as u64;
+        if lead > bound {
+            violations.push(Violation::StalenessExceeded(format!(
+                "gate_enter lead {lead} > RSP bound {bound} (threshold {threshold}): {line}"
+            )));
+            return; // one witness line is enough
+        }
+    }
+}
+
+/// Replays `sc` across thread counts and twin topologies, returning
+/// every invariant violation. Never panics on engine failures — they
+/// become [`Violation::EnginePanic`] — so the shrinker can replay
+/// failing scenarios freely.
+///
+/// Uses the process-global compute-thread override (restored to auto
+/// on exit) and briefly swaps the panic hook; callers running inside a
+/// test binary should keep that binary to a single `#[test]`.
+pub fn check_scenario(sc: &Scenario) -> CheckOutcome {
+    let cfg = sc.config();
+    let mut violations = Vec::new();
+
+    // --- differential replays across thread counts.
+    let mut base: Option<RunOutcome> = None;
+    for threads in THREAD_COUNTS {
+        compute::set_thread_override(Some(threads));
+        let res = quiet_run(&cfg);
+        compute::set_thread_override(None);
+        let out = match res {
+            Ok(out) => out,
+            Err(message) => {
+                violations.push(Violation::EnginePanic { threads, message });
+                // Remaining invariants are meaningless once a replay
+                // dies; report the panic and stop.
+                return CheckOutcome {
+                    violations,
+                    virtual_secs: 0.0,
+                    sim_events: 0,
+                };
+            }
+        };
+        match &base {
+            None => base = Some(out),
+            Some(b) => {
+                let b_m = runs_to_json(std::slice::from_ref(&b.metrics));
+                let o_m = runs_to_json(std::slice::from_ref(&out.metrics));
+                if b_m != o_m {
+                    violations.push(Violation::ThreadDivergence {
+                        threads,
+                        what: "serialized metrics differ".to_owned(),
+                    });
+                }
+                let b_j = b.journal.as_ref().expect("traced").to_jsonl();
+                let o_j = out.journal.as_ref().expect("traced").to_jsonl();
+                if b_j != o_j {
+                    violations.push(Violation::ThreadDivergence {
+                        threads,
+                        what: "journal bytes differ".to_owned(),
+                    });
+                }
+                if b.stats != out.stats {
+                    violations.push(Violation::ThreadDivergence {
+                        threads,
+                        what: format!("fleet stats differ: {:?} vs {:?}", b.stats, out.stats),
+                    });
+                }
+            }
+        }
+    }
+    let base = base.expect("base replay always runs");
+    let m = &base.metrics;
+    let journal = base.journal.as_ref().expect("traced").to_jsonl();
+
+    // --- progress watchdog.
+    if m.mean_iterations <= 0.0 {
+        violations.push(Violation::NoProgress);
+    }
+
+    // --- byte-ledger sanity. (The exact 4-way conservation against
+    // offered bytes is the engine's own debug assert, which the panic
+    // capture above surfaces; here we check what the metrics expose.)
+    for (what, v) in [
+        ("useful_bytes", m.useful_bytes),
+        ("wasted_bytes", m.wasted_bytes),
+        ("lost_bytes", m.lost_bytes),
+        ("corrupt_bytes", m.corrupt_bytes),
+    ] {
+        if !v.is_finite() || v < 0.0 {
+            violations.push(Violation::ByteLedger(format!("{what} = {v}")));
+        }
+    }
+    if !cfg.loss_active() && (m.lost_bytes != 0.0 || m.corrupt_bytes != 0.0) {
+        violations.push(Violation::ByteLedger(format!(
+            "loss-free scenario lost {} / corrupted {} bytes",
+            m.lost_bytes, m.corrupt_bytes
+        )));
+    }
+
+    // --- journal ↔ metrics reconciliation.
+    let faulty = sc
+        .fault_plan()
+        .map(|p| !p.windows().is_empty())
+        .unwrap_or(true);
+    reconcile(m, &journal, faulty, &mut violations);
+
+    // --- RSP staleness bound, observed at the gate.
+    check_staleness(sc, &journal, &mut violations);
+
+    // --- topology twins (ROG only).
+    if matches!(sc.strategy, Strategy::Rog { .. }) {
+        if sc.n_shards == 1 {
+            // `n_shards: 0` is documented as "treated as 1"; the twin
+            // must be byte-identical, journal included.
+            match quiet_run(&ExperimentConfig {
+                n_shards: 0,
+                ..cfg.clone()
+            }) {
+                Err(e) => violations.push(Violation::ShardTwinDivergence(format!(
+                    "shard-0 twin panicked: {e}"
+                ))),
+                Ok(twin) => {
+                    if runs_to_json(std::slice::from_ref(&twin.metrics))
+                        != runs_to_json(std::slice::from_ref(m))
+                    {
+                        violations.push(Violation::ShardTwinDivergence(
+                            "serialized metrics differ".to_owned(),
+                        ));
+                    }
+                    if twin.journal.as_ref().expect("traced").to_jsonl() != journal {
+                        violations.push(Violation::ShardTwinDivergence(
+                            "journal bytes differ".to_owned(),
+                        ));
+                    }
+                }
+            }
+        }
+        let plan = sc.fault_plan().expect("scenario script must be valid");
+        let agg_outage = plan
+            .windows()
+            .iter()
+            .any(|w| matches!(w.kind, FaultKind::AggregatorOutage(_)));
+        if sc.n_aggregators > 0 && !agg_outage {
+            // The aggregator tier is pure accounting: the flat twin
+            // matches modulo the aggregator records and name segment.
+            match quiet_run(&ExperimentConfig {
+                n_aggregators: 0,
+                ..cfg.clone()
+            }) {
+                Err(e) => violations.push(Violation::HierarchyTwinDivergence(format!(
+                    "flat twin panicked: {e}"
+                ))),
+                Ok(flat) => {
+                    for d in metrics_diff_modulo_name(&flat.metrics, m) {
+                        violations.push(Violation::HierarchyTwinDivergence(d));
+                    }
+                    let flat_j = flat.journal.as_ref().expect("traced").to_jsonl();
+                    if normalized(&flat_j, sc.n_aggregators)
+                        != normalized(&journal, sc.n_aggregators)
+                    {
+                        violations.push(Violation::HierarchyTwinDivergence(
+                            "normalized journals differ".to_owned(),
+                        ));
+                    }
+                }
+            }
+        }
+    }
+
+    CheckOutcome {
+        violations,
+        virtual_secs: m.duration,
+        sim_events: base.stats.sim_events,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::Scenario;
+    use rog_trainer::Environment;
+
+    #[test]
+    fn a_clean_scenario_passes_every_invariant() {
+        let sc = Scenario {
+            gen_seed: 0,
+            index: 0,
+            strategy: Strategy::Rog { threshold: 4 },
+            n_workers: 2,
+            n_shards: 1,
+            n_aggregators: 0,
+            environment: Environment::Stable,
+            duration_secs: 20.0,
+            run_seed: 42,
+            loss: None,
+            script: String::new(),
+        };
+        let out = check_scenario(&sc);
+        assert!(out.passed(), "violations: {:?}", out.violations);
+        assert!(out.virtual_secs > 0.0);
+        assert!(out.sim_events > 0);
+    }
+}

@@ -1,0 +1,299 @@
+//! The fuzz campaign report.
+//!
+//! Aggregates per-scenario results into a text summary and a JSON
+//! artifact (`BENCH_fuzz.json`). Every field is **wall-clock-free** —
+//! counts, virtual seconds, sim events and a deterministic fingerprint
+//! — so two runs of the same campaign produce byte-identical reports;
+//! CI diffs them to pin harness determinism, and throughput ratchets
+//! use scenarios per *virtual* minute, which no machine speed can
+//! perturb.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use crate::check::CheckOutcome;
+
+/// One checked scenario, reduced to what the report keeps.
+#[derive(Debug, Clone)]
+pub struct ScenarioRecord {
+    /// Display label ([`crate::Scenario::label`] or a corpus filename).
+    pub label: String,
+    /// Strategy display name ("ROG-4", "BSP", …).
+    pub strategy: String,
+    /// Violation kind keys, empty when green.
+    pub violation_kinds: Vec<String>,
+    /// Virtual seconds the base replay covered.
+    pub virtual_secs: f64,
+    /// Sim events the base replay dispatched.
+    pub sim_events: u64,
+}
+
+impl ScenarioRecord {
+    /// Builds a record from a check outcome.
+    pub fn new(label: String, strategy: String, outcome: &CheckOutcome) -> Self {
+        Self {
+            label,
+            strategy,
+            violation_kinds: outcome
+                .violations
+                .iter()
+                .map(|v| v.kind().to_owned())
+                .collect(),
+            virtual_secs: outcome.virtual_secs,
+            sim_events: outcome.sim_events,
+        }
+    }
+}
+
+/// Campaign-level aggregation.
+#[derive(Debug, Clone)]
+pub struct FuzzReport {
+    /// Root generator seed (0 for corpus-only replays).
+    pub gen_seed: u64,
+    /// Duration ceiling the generator ran with.
+    pub max_duration_secs: f64,
+    /// Per-scenario records in check order.
+    pub records: Vec<ScenarioRecord>,
+}
+
+/// Exact, `-0.0`-folded float rendering shared by the JSON emitters:
+/// Rust's shortest-repr `{}` round-trips f64 exactly, so reports are
+/// byte-stable across runs and hosts.
+fn json_f64(v: f64) -> String {
+    format!("{}", v + 0.0)
+}
+
+/// FNV-1a over the report-relevant bytes of every record — a cheap
+/// deterministic campaign fingerprint for run-twice byte diffs.
+fn fingerprint(records: &[ScenarioRecord]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut eat = |bytes: &[u8]| {
+        for &b in bytes {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    };
+    for r in records {
+        eat(r.label.as_bytes());
+        eat(r.strategy.as_bytes());
+        for k in &r.violation_kinds {
+            eat(k.as_bytes());
+        }
+        eat(&r.virtual_secs.to_bits().to_le_bytes());
+        eat(&r.sim_events.to_le_bytes());
+    }
+    h
+}
+
+impl FuzzReport {
+    /// An empty report for a campaign rooted at `gen_seed`.
+    pub fn new(gen_seed: u64, max_duration_secs: f64) -> Self {
+        Self {
+            gen_seed,
+            max_duration_secs,
+            records: Vec::new(),
+        }
+    }
+
+    /// Appends one scenario record.
+    pub fn push(&mut self, record: ScenarioRecord) {
+        self.records.push(record);
+    }
+
+    /// Number of failing scenarios.
+    pub fn failing(&self) -> usize {
+        self.records
+            .iter()
+            .filter(|r| !r.violation_kinds.is_empty())
+            .count()
+    }
+
+    /// Total virtual seconds replayed (base replays only).
+    pub fn total_virtual_secs(&self) -> f64 {
+        self.records.iter().map(|r| r.virtual_secs).sum()
+    }
+
+    /// Total sim events dispatched (base replays only).
+    pub fn total_sim_events(&self) -> u64 {
+        self.records.iter().map(|r| r.sim_events).sum()
+    }
+
+    /// Scenarios checked per virtual minute — the wall-clock-free
+    /// throughput measure the CI lane ratchets.
+    pub fn scenarios_per_virtual_minute(&self) -> f64 {
+        let secs = self.total_virtual_secs();
+        if secs <= 0.0 {
+            return 0.0;
+        }
+        self.records.len() as f64 / (secs / 60.0)
+    }
+
+    fn by_key<F: Fn(&ScenarioRecord) -> Vec<String>>(&self, f: F) -> BTreeMap<String, u64> {
+        let mut out = BTreeMap::new();
+        for r in &self.records {
+            for k in f(r) {
+                *out.entry(k).or_insert(0) += 1;
+            }
+        }
+        out
+    }
+
+    /// Scenario counts by strategy display name.
+    pub fn scenarios_by_strategy(&self) -> BTreeMap<String, u64> {
+        self.by_key(|r| vec![r.strategy.clone()])
+    }
+
+    /// Violation counts by kind key.
+    pub fn violations_by_kind(&self) -> BTreeMap<String, u64> {
+        self.by_key(|r| r.violation_kinds.clone())
+    }
+
+    /// Human-readable campaign summary.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "fuzz campaign: seed {}  scenarios {}  failing {}",
+            self.gen_seed,
+            self.records.len(),
+            self.failing()
+        );
+        let _ = writeln!(
+            out,
+            "virtual time {:.1} s  sim events {}  scenarios/virtual-minute {:.3}",
+            self.total_virtual_secs(),
+            self.total_sim_events(),
+            self.scenarios_per_virtual_minute()
+        );
+        let _ = writeln!(out, "\nscenarios by strategy:");
+        for (k, n) in self.scenarios_by_strategy() {
+            let _ = writeln!(out, "  {k:<12} {n:>6}");
+        }
+        let by_kind = self.violations_by_kind();
+        if by_kind.is_empty() {
+            let _ = writeln!(out, "\nall invariants green");
+        } else {
+            let _ = writeln!(out, "\nviolations by kind:");
+            for (k, n) in by_kind {
+                let _ = writeln!(out, "  {k:<20} {n:>6}");
+            }
+            let _ = writeln!(out, "\nfailing scenarios:");
+            for r in self
+                .records
+                .iter()
+                .filter(|r| !r.violation_kinds.is_empty())
+            {
+                let _ = writeln!(out, "  {}: {}", r.label, r.violation_kinds.join(", "));
+            }
+        }
+        let _ = writeln!(out, "\nfingerprint {:#018x}", fingerprint(&self.records));
+        out
+    }
+
+    /// The `BENCH_fuzz.json` artifact: wall-clock-free, byte-stable.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n");
+        out.push_str("  \"bench\": \"fuzz\",\n");
+        out.push_str(&format!("  \"gen_seed\": {},\n", self.gen_seed));
+        out.push_str(&format!(
+            "  \"max_duration_secs\": {},\n",
+            json_f64(self.max_duration_secs)
+        ));
+        out.push_str(&format!("  \"scenarios\": {},\n", self.records.len()));
+        out.push_str(&format!(
+            "  \"green\": {},\n",
+            self.records.len() - self.failing()
+        ));
+        out.push_str(&format!("  \"failing\": {},\n", self.failing()));
+        let map_json = |m: &BTreeMap<String, u64>| -> String {
+            let body: Vec<String> = m.iter().map(|(k, v)| format!("\"{k}\": {v}")).collect();
+            format!("{{{}}}", body.join(", "))
+        };
+        out.push_str(&format!(
+            "  \"scenarios_by_strategy\": {},\n",
+            map_json(&self.scenarios_by_strategy())
+        ));
+        out.push_str(&format!(
+            "  \"violations_by_kind\": {},\n",
+            map_json(&self.violations_by_kind())
+        ));
+        out.push_str(&format!(
+            "  \"total_virtual_secs\": {},\n",
+            json_f64(self.total_virtual_secs())
+        ));
+        out.push_str(&format!(
+            "  \"total_sim_events\": {},\n",
+            self.total_sim_events()
+        ));
+        out.push_str(&format!(
+            "  \"scenarios_per_virtual_minute\": {},\n",
+            json_f64(self.scenarios_per_virtual_minute())
+        ));
+        out.push_str(&format!(
+            "  \"fingerprint\": \"{:#018x}\"\n",
+            fingerprint(&self.records)
+        ));
+        out.push_str("}\n");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(label: &str, strategy: &str, kinds: &[&str]) -> ScenarioRecord {
+        ScenarioRecord {
+            label: label.to_owned(),
+            strategy: strategy.to_owned(),
+            violation_kinds: kinds.iter().map(|s| (*s).to_owned()).collect(),
+            virtual_secs: 30.0,
+            sim_events: 1000,
+        }
+    }
+
+    #[test]
+    fn report_aggregates_and_is_deterministic() {
+        let mut a = FuzzReport::new(1, 45.0);
+        a.push(record("s0", "ROG-4", &[]));
+        a.push(record("s1", "BSP", &["no_progress"]));
+        a.push(record("s2", "ROG-2", &["engine_panic", "no_progress"]));
+        assert_eq!(a.failing(), 2);
+        assert_eq!(a.total_sim_events(), 3000);
+        assert!((a.total_virtual_secs() - 90.0).abs() < 1e-12);
+        assert!((a.scenarios_per_virtual_minute() - 2.0).abs() < 1e-12);
+        assert_eq!(a.violations_by_kind().get("no_progress"), Some(&2));
+        assert_eq!(a.scenarios_by_strategy().len(), 3);
+
+        let mut b = FuzzReport::new(1, 45.0);
+        b.push(record("s0", "ROG-4", &[]));
+        b.push(record("s1", "BSP", &["no_progress"]));
+        b.push(record("s2", "ROG-2", &["engine_panic", "no_progress"]));
+        assert_eq!(a.to_json(), b.to_json());
+        assert_eq!(a.render(), b.render());
+
+        // Any record perturbation moves the fingerprint.
+        b.records[0].sim_events += 1;
+        assert_ne!(a.to_json(), b.to_json());
+    }
+
+    #[test]
+    fn json_shape_is_stable() {
+        let mut r = FuzzReport::new(7, 30.0);
+        r.push(record("s0", "ROG-4", &[]));
+        let json = r.to_json();
+        for key in [
+            "\"bench\": \"fuzz\"",
+            "\"gen_seed\": 7",
+            "\"scenarios\": 1",
+            "\"green\": 1",
+            "\"failing\": 0",
+            "\"total_virtual_secs\": 30",
+            "\"scenarios_per_virtual_minute\": 2",
+            "\"fingerprint\": \"0x",
+        ] {
+            assert!(json.contains(key), "missing {key} in {json}");
+        }
+    }
+}

@@ -86,7 +86,32 @@ pub fn row_is_mandatory(row_iter: u64, iter: u64, threshold: u32) -> bool {
 /// the stalest row anywhere in the cluster by strictly less than
 /// [`rsp_bound`] iterations.
 pub fn rsp_may_pull(global_min: u64, pushed_iter: u64, threshold: u32) -> bool {
-    pushed_iter < global_min + rsp_bound(threshold)
+    pushed_iter < global_min + rsp_bound(threshold) + u64::from(testhooks::gate_slack())
+}
+
+/// Defect-injection surface for harness meta-testing. Not part of the
+/// public API; see `rog-fuzz`'s injected-bug test.
+#[doc(hidden)]
+pub mod testhooks {
+    use std::sync::atomic::{AtomicU32, Ordering};
+
+    static GATE_SLACK: AtomicU32 = AtomicU32::new(0);
+
+    /// Widens the cross-row pull gate ([`super::rsp_may_pull`]) by
+    /// `slack` extra iterations of admissible lead — a deliberate,
+    /// process-global staleness-contract violation used to prove the
+    /// differential harness catches real gate bugs. Zero (the default
+    /// and the only value production code ever observes) restores the
+    /// exact paper semantics. Callers must restore zero when done;
+    /// tests flipping this cannot share a process with clean runs.
+    pub fn set_gate_slack(slack: u32) {
+        GATE_SLACK.store(slack, Ordering::Relaxed);
+    }
+
+    /// Current injected pull-gate slack (zero in production).
+    pub fn gate_slack() -> u32 {
+        GATE_SLACK.load(Ordering::Relaxed)
+    }
 }
 
 #[cfg(test)]

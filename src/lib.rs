@@ -21,6 +21,8 @@
 //! * [`sync`] — model-granularity baselines.
 //! * [`fault`] — deterministic fault injection (worker churn, link
 //!   blackouts, server restarts) for robustness experiments.
+//! * [`fuzz`] — seeded scenario fuzzer and differential invariant
+//!   harness behind `rogctl fuzz` and the regression corpus.
 //! * [`obs`] — deterministic event journal, trace summaries and the
 //!   JSONL/gzip plumbing behind `rogctl trace`.
 //!
@@ -39,6 +41,7 @@ pub use rog_compress as compress;
 pub use rog_core as core;
 pub use rog_energy as energy;
 pub use rog_fault as fault;
+pub use rog_fuzz as fuzz;
 pub use rog_models as models;
 pub use rog_net as net;
 pub use rog_obs as obs;

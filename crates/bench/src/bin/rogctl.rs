@@ -177,7 +177,7 @@ fn fuzz_campaign(opts: &FuzzOptions) -> ExitCode {
     let mut report = match &opts.replay {
         Some(_) => FuzzReport::new(0, 0.0),
         None => {
-            let mut gen = ScenarioGen::new(opts.seed);
+            let mut gen = ScenarioGen::new(opts.seed).widened(opts.widened);
             if let Some(secs) = opts.max_duration {
                 gen = gen.max_duration(secs);
             }
@@ -196,7 +196,7 @@ fn fuzz_campaign(opts: &FuzzOptions) -> ExitCode {
             }
         },
         None => {
-            let mut gen = ScenarioGen::new(opts.seed);
+            let mut gen = ScenarioGen::new(opts.seed).widened(opts.widened);
             if let Some(secs) = opts.max_duration {
                 gen = gen.max_duration(secs);
             }

@@ -82,6 +82,9 @@ pub struct FuzzOptions {
     /// Write the wall-clock-free campaign report (`BENCH_fuzz.json`
     /// shape) here.
     pub json_out: Option<String>,
+    /// Widen the sync-model draw to the adaptive strategies
+    /// (`--models all`); `false` keeps the legacy draw byte-identical.
+    pub widened: bool,
 }
 
 impl Default for FuzzOptions {
@@ -93,6 +96,7 @@ impl Default for FuzzOptions {
             corpus: None,
             replay: None,
             json_out: None,
+            widened: false,
         }
     }
 }
@@ -119,7 +123,8 @@ rogctl — run one ROG/baseline training experiment on the simulated cluster
 
 USAGE:
   rogctl [--workload cruda|cruda-conv|crimp] [--env indoor|outdoor|stable]
-         [--strategy bsp|asp|ssp:<t>|flown:<min>:<max>|rog:<t>]
+         [--strategy bsp|asp|ssp:<t>|flown:<min>:<max>|dssp:<min>:<max>
+                    |abs:<min>:<max>|rog:<t>|roga:<min>:<max>]
          [--duration <secs>] [--workers <n>] [--laptops <n>]
          [--batch-scale <x>] [--eval-every <iters>] [--seed <n>]
          [--scale paper|small] [--mac airtime|anomaly]
@@ -174,6 +179,7 @@ Subcommands:
       TCP control. --push-cap bounds rows pushed per iteration
       (default 512).
   rogctl fuzz [--seed <n>] [--count <n>] [--max-duration <secs>]
+              [--models all|legacy]
               [--corpus <dir>] [--replay <file|dir>] [--json <path>]
       Generate --count seeded scenarios (random topology, sync model,
       faults, loss) and replay each through the differential invariant
@@ -300,6 +306,17 @@ pub fn parse_command(args: &[String]) -> Result<CliCommand, CliError> {
                     "--corpus" => opts.corpus = Some(value()?.clone()),
                     "--replay" => opts.replay = Some(value()?.clone()),
                     "--json" => opts.json_out = Some(value()?.clone()),
+                    "--models" => {
+                        opts.widened = match value()?.as_str() {
+                            "all" => true,
+                            "legacy" => false,
+                            other => {
+                                return Err(err(format!(
+                                    "--models expects all|legacy, got '{other}'"
+                                )))
+                            }
+                        }
+                    }
                     "--help" | "-h" => return Err(err(USAGE)),
                     other => return Err(err(format!("unknown fuzz flag '{other}'\n\n{USAGE}"))),
                 }
@@ -509,7 +526,13 @@ pub fn parse(args: &[String]) -> Result<CliRun, CliError> {
             cfg.n_aggregators, cfg.n_workers
         )));
     }
-    if matches!(cfg.strategy, Strategy::Rog { .. })
+    if cfg.auto_threshold && matches!(cfg.strategy, Strategy::RogAdaptive { .. }) {
+        return Err(err(
+            "--auto-threshold conflicts with roga:<min>:<max> (the adaptive bound is \
+             already a threshold controller)",
+        ));
+    }
+    if cfg.strategy.is_row_granular()
         || (!cfg.pipeline && !cfg.auto_threshold && cfg.n_shards <= 1 && cfg.n_aggregators == 0)
     {
         Ok(CliRun {
@@ -540,8 +563,28 @@ fn parse_strategy(s: &str) -> Result<Strategy, CliError> {
             min_threshold: lo.parse().map_err(|_| err("flown:<min>:<max>"))?,
             max_threshold: hi.parse().map_err(|_| err("flown:<min>:<max>"))?,
         }),
+        ["dssp", lo, hi] => Ok(Strategy::Dssp {
+            min_threshold: lo.parse().map_err(|_| err("dssp:<min>:<max>"))?,
+            max_threshold: hi.parse().map_err(|_| err("dssp:<min>:<max>"))?,
+        }),
+        ["abs", lo, hi] => Ok(Strategy::Abs {
+            min_threshold: lo.parse().map_err(|_| err("abs:<min>:<max>"))?,
+            max_threshold: hi.parse().map_err(|_| err("abs:<min>:<max>"))?,
+        }),
+        ["roga", lo, hi] => {
+            let min: u32 = lo.parse().map_err(|_| err("roga:<min>:<max>"))?;
+            let max: u32 = hi.parse().map_err(|_| err("roga:<min>:<max>"))?;
+            if min < 1 || min > max {
+                return Err(err("roga:<min>:<max> expects 1 <= min <= max"));
+            }
+            Ok(Strategy::RogAdaptive {
+                min_threshold: min,
+                max_threshold: max,
+            })
+        }
         _ => Err(err(format!(
-            "unknown strategy '{s}' (bsp | asp | ssp:<t> | flown:<min>:<max> | rog:<t>)"
+            "unknown strategy '{s}' (bsp | asp | ssp:<t> | flown:<min>:<max> | \
+             dssp:<min>:<max> | abs:<min>:<max> | rog:<t> | roga:<min>:<max>)"
         ))),
     }
 }
@@ -603,8 +646,43 @@ mod tests {
                 max_threshold: 20
             }
         );
+        assert_eq!(
+            parse_strategy("dssp:1:8").unwrap(),
+            Strategy::Dssp {
+                min_threshold: 1,
+                max_threshold: 8
+            }
+        );
+        assert_eq!(
+            parse_strategy("abs:1:6").unwrap(),
+            Strategy::Abs {
+                min_threshold: 1,
+                max_threshold: 6
+            }
+        );
+        assert_eq!(
+            parse_strategy("roga:1:8").unwrap(),
+            Strategy::RogAdaptive {
+                min_threshold: 1,
+                max_threshold: 8
+            }
+        );
         assert!(parse_strategy("ssp").is_err());
         assert!(parse_strategy("nope:1").is_err());
+        assert!(parse_strategy("roga:0:8").is_err());
+        assert!(parse_strategy("roga:5:2").is_err());
+    }
+
+    #[test]
+    fn adaptive_strategy_knobs_validate() {
+        // The hybrid is row-granular: sharding and aggregators apply.
+        let run = parse(&args("--strategy roga:1:8 --shards 2 --aggregators 1")).expect("parses");
+        assert_eq!(run.config.n_shards, 2);
+        // ...but stacking the stall-share controller on it is rejected.
+        assert!(parse(&args("--strategy roga:1:8 --auto-threshold")).is_err());
+        // Model-granular adaptive strategies still reject row-only knobs.
+        assert!(parse(&args("--strategy dssp:1:8 --shards 2")).is_err());
+        assert!(parse(&args("--strategy abs:1:6 --pipeline")).is_err());
     }
 
     #[test]
@@ -804,7 +882,7 @@ mod tests {
     fn fuzz_subcommand_parses() {
         let cmd = parse_command(&args(
             "fuzz --seed 7 --count 200 --max-duration 30 --corpus tests/corpus \
-             --json BENCH_fuzz.json",
+             --json BENCH_fuzz.json --models all",
         ))
         .expect("parses");
         let CliCommand::Fuzz(opts) = cmd else {
@@ -816,9 +894,13 @@ mod tests {
         assert_eq!(opts.corpus.as_deref(), Some("tests/corpus"));
         assert!(opts.replay.is_none());
         assert_eq!(opts.json_out.as_deref(), Some("BENCH_fuzz.json"));
+        assert!(opts.widened);
 
         let cmd = parse_command(&args("fuzz")).expect("defaults");
         assert_eq!(cmd, CliCommand::Fuzz(FuzzOptions::default()));
+        let cmd = parse_command(&args("fuzz --models legacy")).expect("parses");
+        assert!(matches!(cmd, CliCommand::Fuzz(o) if !o.widened));
+        assert!(parse_command(&args("fuzz --models everything")).is_err());
 
         let cmd = parse_command(&args("fuzz --replay tests/corpus --count 0")).expect("parses");
         assert!(matches!(cmd, CliCommand::Fuzz(o) if o.replay.is_some()));

@@ -18,9 +18,11 @@
 //! * **Journal ↔ metrics reconciliation** — the composition replayed
 //!   from the journal is bitwise the one the metrics report, and
 //!   begin/end event pairings balance.
-//! * **RSP staleness** — in static-threshold ROG scenarios without
-//!   shard or aggregator outages, no gate event may record a lead
-//!   beyond the RSP bound.
+//! * **Staleness** — without shard or aggregator outages, no gate
+//!   event may record a lead beyond the model's *instantaneous*
+//!   staleness bound (static for BSP/SSP/ROG, replayed from the
+//!   journal's threshold-adaptation events for DSSP/ABS and the
+//!   adaptive-bound ROG hybrid).
 //! * **Topology twins** — `n_shards = 0` replays byte-identically to
 //!   `n_shards = 1` (the documented pre-shard identity), and a
 //!   hierarchical run matches its flat twin once aggregator accounting
@@ -281,15 +283,30 @@ fn reconcile(m: &RunMetrics, journal: &str, faulty: bool, violations: &mut Vec<V
     }
 }
 
-/// The RSP staleness invariant, observed from the journal: every
-/// `gate_enter` lead stays within the bound. Only meaningful for
-/// static-threshold ROG runs whose plan never takes a shard or an
-/// aggregator down (a skipped shard legitimately ages rows past the
-/// static bound — the engine's own watchdog excludes it too).
+/// The per-model instantaneous staleness bound a `gate_enter` lead may
+/// not exceed, reconstructed from the journal as the checker walks it.
+enum StalenessBound {
+    /// Static bound (BSP / SSP / ROG): one limit for the whole run.
+    Fixed(u64),
+    /// Model-engine adaptive bound (DSSP / ABS): per-worker thresholds,
+    /// updated by `threshold_adapt` events; a `gate_enter` lead may not
+    /// exceed the worker's journaled threshold + 1.
+    PerWorker { thr: Vec<u64>, initial: u64 },
+    /// Row-engine adaptive bound (the `roga` hybrid): one cluster-wide
+    /// threshold, updated by `auto_threshold` events; a `gate_enter`
+    /// lead may not exceed `rsp_bound(cur)`.
+    Row { cur: u32 },
+}
+
+/// The staleness invariant, observed from the journal: every
+/// `gate_enter` lead stays within the model's *instantaneous* bound —
+/// static for BSP/SSP/ROG, replayed from the `threshold_adapt` /
+/// `auto_threshold` event stream for the adaptive models. ASP is
+/// unbounded and FLOWN adapts without journaling its bound, so both
+/// are skipped, as are plans that take a shard or an aggregator down
+/// (a skipped shard legitimately ages rows past the bound — the
+/// engine's own watchdog excludes it too).
 fn check_staleness(sc: &Scenario, journal: &str, violations: &mut Vec<Violation>) {
-    let Strategy::Rog { threshold } = sc.strategy else {
-        return;
-    };
     let plan = sc.fault_plan().expect("scenario script must be valid");
     let outage = plan.windows().iter().any(|w| {
         matches!(
@@ -300,8 +317,42 @@ fn check_staleness(sc: &Scenario, journal: &str, violations: &mut Vec<Violation>
     if outage {
         return;
     }
-    let bound = gate::rsp_bound(threshold);
+    let mut bound = match sc.strategy {
+        Strategy::Bsp => StalenessBound::Fixed(1),
+        Strategy::Ssp { threshold } => StalenessBound::Fixed(u64::from(threshold) + 1),
+        Strategy::Asp | Strategy::Flown { .. } => return,
+        Strategy::Dssp { min_threshold, .. } | Strategy::Abs { min_threshold, .. } => {
+            StalenessBound::PerWorker {
+                thr: Vec::new(),
+                initial: u64::from(min_threshold),
+            }
+        }
+        Strategy::Rog { threshold } => StalenessBound::Fixed(gate::rsp_bound(threshold)),
+        Strategy::RogAdaptive { min_threshold, .. } => StalenessBound::Row { cur: min_threshold },
+    };
     for line in journal.lines() {
+        if line.contains("\"ev\":\"threshold_adapt\"") {
+            if let (StalenessBound::PerWorker { thr, initial }, Ok(rec)) =
+                (&mut bound, Record::parse(line))
+            {
+                if let (Some(w), Some(t)) = (rec.num("w"), rec.num("threshold")) {
+                    let w = w as usize;
+                    if thr.len() <= w {
+                        thr.resize(w + 1, *initial);
+                    }
+                    thr[w] = t as u64;
+                }
+            }
+            continue;
+        }
+        if line.contains("\"ev\":\"auto_threshold\"") {
+            if let (StalenessBound::Row { cur }, Ok(rec)) = (&mut bound, Record::parse(line)) {
+                if let Some(t) = rec.num("threshold") {
+                    *cur = t as u32;
+                }
+            }
+            continue;
+        }
         if !line.contains("\"ev\":\"gate_enter\"") {
             continue;
         }
@@ -309,9 +360,18 @@ fn check_staleness(sc: &Scenario, journal: &str, violations: &mut Vec<Violation>
             continue; // parse failures are the reconciliation check's job
         };
         let lead = rec.num("lead").unwrap_or(0.0) as u64;
-        if lead > bound {
+        let limit = match &bound {
+            StalenessBound::Fixed(b) => *b,
+            StalenessBound::PerWorker { thr, initial } => {
+                let w = rec.num("w").unwrap_or(0.0) as usize;
+                thr.get(w).copied().unwrap_or(*initial) + 1
+            }
+            StalenessBound::Row { cur } => gate::rsp_bound(*cur),
+        };
+        if lead > limit {
             violations.push(Violation::StalenessExceeded(format!(
-                "gate_enter lead {lead} > RSP bound {bound} (threshold {threshold}): {line}"
+                "gate_enter lead {lead} > instantaneous bound {limit} ({}): {line}",
+                sc.strategy.name()
             )));
             return; // one witness line is enough
         }
@@ -416,8 +476,8 @@ pub fn check_scenario(sc: &Scenario) -> CheckOutcome {
     // --- RSP staleness bound, observed at the gate.
     check_staleness(sc, &journal, &mut violations);
 
-    // --- topology twins (ROG only).
-    if matches!(sc.strategy, Strategy::Rog { .. }) {
+    // --- topology twins (row-granular strategies only).
+    if sc.strategy.is_row_granular() {
         if sc.n_shards == 1 {
             // `n_shards: 0` is documented as "treated as 1"; the twin
             // must be byte-identical, journal included.

@@ -25,6 +25,7 @@ pub const FAULT_FREE_PREFIX_SECS: f64 = 10.0;
 pub struct ScenarioGen {
     seed: u64,
     max_duration: f64,
+    widened: bool,
 }
 
 impl ScenarioGen {
@@ -34,7 +35,17 @@ impl ScenarioGen {
         Self {
             seed,
             max_duration: 45.0,
+            widened: false,
         }
+    }
+
+    /// Widens the sync-model draw to the adaptive strategies (DSSP,
+    /// ABS and the adaptive-bound ROG hybrid). Off by default: the
+    /// legacy draw stays byte-identical so existing corpus seeds keep
+    /// reproducing the same scenarios.
+    pub fn widened(mut self, on: bool) -> Self {
+        self.widened = on;
+        self
     }
 
     /// Caps the sampled virtual duration (floored at
@@ -62,25 +73,68 @@ impl ScenarioGen {
         let mut rng = base.fork(index);
 
         // --- sync model: ROG-weighted; threshold spread keeps the gate
-        // binding (low thresholds) and slack (high) both covered.
-        let strategy = match rng.index(10) {
-            0..=5 => Strategy::Rog {
-                threshold: 1 + rng.index(6) as u32,
-            },
-            6 => Strategy::Bsp,
-            7 => Strategy::Ssp {
-                threshold: 1 + rng.index(8) as u32,
-            },
-            8 => Strategy::Asp,
-            _ => {
-                let min = 1 + rng.index(3) as u32;
-                Strategy::Flown {
-                    min_threshold: min,
-                    max_threshold: min + 1 + rng.index(8) as u32,
+        // binding (low thresholds) and slack (high) both covered. The
+        // widened draw adds the adaptive models on a separate arm table
+        // so the legacy draw stays byte-identical.
+        let strategy = if self.widened {
+            match rng.index(13) {
+                0..=4 => Strategy::Rog {
+                    threshold: 1 + rng.index(6) as u32,
+                },
+                5 => Strategy::Bsp,
+                6 => Strategy::Ssp {
+                    threshold: 1 + rng.index(8) as u32,
+                },
+                7 => Strategy::Asp,
+                8 => {
+                    let min = 1 + rng.index(3) as u32;
+                    Strategy::Flown {
+                        min_threshold: min,
+                        max_threshold: min + 1 + rng.index(8) as u32,
+                    }
+                }
+                9 => {
+                    let min = 1 + rng.index(3) as u32;
+                    Strategy::Dssp {
+                        min_threshold: min,
+                        max_threshold: min + 1 + rng.index(8) as u32,
+                    }
+                }
+                10 => {
+                    let min = 1 + rng.index(3) as u32;
+                    Strategy::Abs {
+                        min_threshold: min,
+                        max_threshold: min + 1 + rng.index(8) as u32,
+                    }
+                }
+                _ => {
+                    let min = 1 + rng.index(3) as u32;
+                    Strategy::RogAdaptive {
+                        min_threshold: min,
+                        max_threshold: min + 1 + rng.index(8) as u32,
+                    }
+                }
+            }
+        } else {
+            match rng.index(10) {
+                0..=5 => Strategy::Rog {
+                    threshold: 1 + rng.index(6) as u32,
+                },
+                6 => Strategy::Bsp,
+                7 => Strategy::Ssp {
+                    threshold: 1 + rng.index(8) as u32,
+                },
+                8 => Strategy::Asp,
+                _ => {
+                    let min = 1 + rng.index(3) as u32;
+                    Strategy::Flown {
+                        min_threshold: min,
+                        max_threshold: min + 1 + rng.index(8) as u32,
+                    }
                 }
             }
         };
-        let rog = matches!(strategy, Strategy::Rog { .. });
+        let rog = strategy.is_row_granular();
 
         // --- topology. Shards/aggregators only exist under the ROG row
         // engine; the baselines ignore them, so sampling them there
@@ -263,6 +317,54 @@ mod tests {
             .iter()
             .any(|s| s.script.contains("server-restart")));
         assert!(scenarios.iter().any(|s| s.script.contains("loss ")));
+    }
+
+    #[test]
+    fn widened_generator_covers_the_adaptive_models() {
+        let g = ScenarioGen::new(1).widened(true);
+        let scenarios: Vec<Scenario> = (0..256).map(|i| g.scenario(i)).collect();
+        assert!(scenarios
+            .iter()
+            .any(|s| matches!(s.strategy, Strategy::Dssp { .. })));
+        assert!(scenarios
+            .iter()
+            .any(|s| matches!(s.strategy, Strategy::Abs { .. })));
+        assert!(scenarios
+            .iter()
+            .any(|s| matches!(s.strategy, Strategy::RogAdaptive { .. })));
+        assert!(scenarios
+            .iter()
+            .any(|s| matches!(s.strategy, Strategy::Rog { .. })));
+        // The hybrid is row-granular: sharded/aggregated topologies are
+        // drawn for it, and everything still round-trips.
+        assert!(scenarios
+            .iter()
+            .any(|s| matches!(s.strategy, Strategy::RogAdaptive { .. }) && s.n_shards > 1));
+        for (i, sc) in scenarios.iter().enumerate() {
+            assert_eq!(
+                Scenario::parse(&sc.to_repro()).expect("parses"),
+                *sc,
+                "index {i}"
+            );
+        }
+    }
+
+    #[test]
+    fn legacy_draw_never_samples_the_adaptive_models() {
+        // Existing corpus seeds must keep reproducing the same
+        // scenarios, so the default draw may not change.
+        let g = ScenarioGen::new(1);
+        for i in 0..256 {
+            let sc = g.scenario(i);
+            assert!(
+                !matches!(
+                    sc.strategy,
+                    Strategy::Dssp { .. } | Strategy::Abs { .. } | Strategy::RogAdaptive { .. }
+                ),
+                "index {i} drew {}",
+                sc.strategy.name()
+            );
+        }
     }
 
     #[test]

@@ -150,7 +150,19 @@ impl Scenario {
                 min_threshold,
                 max_threshold,
             } => format!("flown {min_threshold} {max_threshold}"),
+            Strategy::Dssp {
+                min_threshold,
+                max_threshold,
+            } => format!("dssp {min_threshold} {max_threshold}"),
+            Strategy::Abs {
+                min_threshold,
+                max_threshold,
+            } => format!("abs {min_threshold} {max_threshold}"),
             Strategy::Rog { threshold } => format!("rog {threshold}"),
+            Strategy::RogAdaptive {
+                min_threshold,
+                max_threshold,
+            } => format!("roga {min_threshold} {max_threshold}"),
         };
         out.push_str(&format!("strategy {strat}\n"));
         out.push_str(&format!("workers {}\n", self.n_workers));
@@ -238,6 +250,24 @@ impl Scenario {
                 }
                 ["strategy", "flown", lo, hi] => {
                     strategy = Some(Strategy::Flown {
+                        min_threshold: parse_u64(lo)? as u32,
+                        max_threshold: parse_u64(hi)? as u32,
+                    })
+                }
+                ["strategy", "dssp", lo, hi] => {
+                    strategy = Some(Strategy::Dssp {
+                        min_threshold: parse_u64(lo)? as u32,
+                        max_threshold: parse_u64(hi)? as u32,
+                    })
+                }
+                ["strategy", "abs", lo, hi] => {
+                    strategy = Some(Strategy::Abs {
+                        min_threshold: parse_u64(lo)? as u32,
+                        max_threshold: parse_u64(hi)? as u32,
+                    })
+                }
+                ["strategy", "roga", lo, hi] => {
+                    strategy = Some(Strategy::RogAdaptive {
                         min_threshold: parse_u64(lo)? as u32,
                         max_threshold: parse_u64(hi)? as u32,
                     })
@@ -367,6 +397,18 @@ mod tests {
             Strategy::Flown {
                 min_threshold: 2,
                 max_threshold: 9,
+            },
+            Strategy::Dssp {
+                min_threshold: 1,
+                max_threshold: 8,
+            },
+            Strategy::Abs {
+                min_threshold: 1,
+                max_threshold: 6,
+            },
+            Strategy::RogAdaptive {
+                min_threshold: 1,
+                max_threshold: 8,
             },
         ] {
             let sc = Scenario {

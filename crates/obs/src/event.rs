@@ -189,6 +189,11 @@ pub enum EventKind {
     },
     /// Auto-threshold controller changed the staleness threshold.
     AutoThreshold { threshold: u32 },
+    /// An adaptive threshold policy (DSSP/ABS) changed worker `w`'s
+    /// staleness threshold. The sequence of these events per worker is
+    /// the instantaneous gate bound in force at any virtual time, so
+    /// the adapted bound is observable and replayable from the journal.
+    ThresholdAdapt { w: u32, threshold: u32 },
     /// End of run: total iterations across workers and run duration.
     RunEnd { iters: u64, duration: f64 },
     /// Live cluster: peer `w` completed the join handshake.
@@ -226,6 +231,7 @@ impl EventKind {
             EventKind::Mta { .. } => "mta",
             EventKind::AggMerge { .. } => "agg_merge",
             EventKind::AutoThreshold { .. } => "auto_threshold",
+            EventKind::ThresholdAdapt { .. } => "threshold_adapt",
             EventKind::RunEnd { .. } => "run_end",
             EventKind::PeerUp { .. } => "peer_up",
             EventKind::PeerDown { .. } => "peer_down",
@@ -240,6 +246,7 @@ impl EventKind {
             | EventKind::State { .. }
             | EventKind::Close { .. }
             | EventKind::AutoThreshold { .. }
+            | EventKind::ThresholdAdapt { .. }
             | EventKind::RunEnd { .. } => Category::Control,
             EventKind::IterBegin { .. } | EventKind::IterEnd { .. } => Category::Iteration,
             EventKind::GateEnter { .. } | EventKind::GateExit { .. } => Category::Gate,
@@ -431,6 +438,9 @@ impl Event {
             }
             EventKind::AutoThreshold { threshold } => {
                 let _ = write!(out, ",\"threshold\":{threshold}");
+            }
+            EventKind::ThresholdAdapt { w, threshold } => {
+                let _ = write!(out, ",\"w\":{w},\"threshold\":{threshold}");
             }
             EventKind::RunEnd { iters, duration } => {
                 let _ = write!(out, ",\"iters\":{iters},\"duration\":{duration}");
@@ -866,6 +876,7 @@ mod tests {
                 ver: 0,
             },
             EventKind::AutoThreshold { threshold: 0 },
+            EventKind::ThresholdAdapt { w: 0, threshold: 0 },
             EventKind::RunEnd {
                 iters: 0,
                 duration: 0.0,

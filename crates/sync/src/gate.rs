@@ -325,6 +325,28 @@ mod tests {
                 );
             }
 
+            /// `may_proceed` and `required_min_version` are two views of
+            /// one predicate: the gate opens exactly when the slowest
+            /// pusher has reached the required minimum version.
+            #[test]
+            fn prop_required_min_version_matches_may_proceed(
+                threshold in 0u32..8,
+                versions_raw in proptest::collection::vec(0u64..60, 1..6),
+                pick in 0usize..6,
+            ) {
+                let mut v = VersionVector::new(versions_raw.len());
+                for (w, &iter) in versions_raw.iter().enumerate() {
+                    v.record_push(w, iter);
+                }
+                let w = pick % versions_raw.len();
+                prop_assert_eq!(
+                    may_proceed(&v, w, threshold),
+                    v.min() >= required_min_version(&v, w, threshold),
+                    "gate and required-min disagree: versions {:?}, worker {}, threshold {}",
+                    versions_raw, w, threshold
+                );
+            }
+
             /// The row-granular pull gate is at least as strict as the
             /// coarse SSP gate at the same threshold.
             #[test]

@@ -15,11 +15,19 @@
 //!   model-granular — which is exactly why it cannot track the transient
 //!   instability of robotic IoT links (paper Sec. I).
 //!
+//! Two adaptive-bound competitors ride the same abstraction:
+//!
+//! * **DSSP** ([`DsspPolicy`], arxiv 1908.11848) — re-derives per-worker
+//!   SSP thresholds at runtime from observed iteration-rate EWMAs.
+//! * **ABS** ([`AbsPolicy`], arxiv 2301.08895) — one uniform bound,
+//!   widened/narrowed on communication-round stall accounting.
+//!
 //! This crate holds the pieces shared by those baselines: the iteration
 //! [`VersionVector`], the SSP [`gate`] predicate, and the
-//! [`ThresholdPolicy`] abstraction with [`FixedThreshold`] (BSP/SSP) and
-//! [`FlownPolicy`] implementations. The event-driven engine that drives
-//! them over the simulated wireless channel lives in `rog-trainer`.
+//! [`ThresholdPolicy`] abstraction with [`FixedThreshold`] (BSP/SSP),
+//! [`FlownPolicy`], [`DsspPolicy`] and [`AbsPolicy`] implementations.
+//! The event-driven engine that drives them over the simulated wireless
+//! channel lives in `rog-trainer`.
 //!
 //! # Example
 //!
@@ -42,5 +50,7 @@ pub mod gate;
 mod policy;
 mod version;
 
-pub use policy::{FixedThreshold, FlownPolicy, ThresholdPolicy, WorkerNetStats};
+pub use policy::{
+    AbsPolicy, DsspPolicy, FixedThreshold, FlownPolicy, ThresholdPolicy, WorkerNetStats,
+};
 pub use version::VersionVector;

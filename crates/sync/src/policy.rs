@@ -1,4 +1,5 @@
-//! Staleness-threshold policies: fixed (BSP/SSP) and FLOWN-style dynamic.
+//! Staleness-threshold policies: fixed (BSP/SSP), FLOWN-style dynamic,
+//! and the adaptive-bound competitors DSSP and ABS.
 
 /// Per-worker network/contribution statistics a policy may condition on.
 ///
@@ -12,6 +13,16 @@ pub struct WorkerNetStats {
     /// Mean absolute value of the worker's last gradient (its estimated
     /// contribution to accuracy).
     pub grad_mean_abs: f64,
+    /// Completed synchronization rounds (push count). Policies that keep
+    /// per-round state key their updates on this counter so repeated
+    /// refreshes within one round never double-count.
+    pub rounds: u64,
+    /// Seconds the worker's last full round took (push-done to
+    /// push-done on the virtual clock); `0.0` until the first round.
+    pub last_round_secs: f64,
+    /// Seconds the worker waited at the gate before its last pull was
+    /// granted; `0.0` when it passed straight through.
+    pub last_stall_secs: f64,
 }
 
 impl Default for WorkerNetStats {
@@ -20,6 +31,9 @@ impl Default for WorkerNetStats {
             est_bandwidth_bps: 50e6,
             last_push_secs: 1.0,
             grad_mean_abs: 1.0,
+            rounds: 0,
+            last_round_secs: 0.0,
+            last_stall_secs: 0.0,
         }
     }
 }
@@ -149,6 +163,190 @@ impl ThresholdPolicy for FlownPolicy {
     }
 }
 
+/// Dynamic SSP (Zhao et al., arxiv 1908.11848): the staleness threshold
+/// is re-derived at runtime from observed per-worker iteration rates.
+///
+/// Each worker's iteration rate (rounds per virtual second) is smoothed
+/// with an EWMA; a worker running `k×` faster than the slowest observed
+/// peer is allowed roughly `k − 1` extra iterations of lead, clamped to
+/// `[min_threshold, max_threshold]`. Workers with no completed round yet
+/// sit at `min_threshold`. The update is keyed on
+/// [`WorkerNetStats::rounds`], so the policy is a pure function of the
+/// per-round measurement sequence — replaying the same inputs re-derives
+/// the same thresholds.
+#[derive(Debug, Clone)]
+pub struct DsspPolicy {
+    min_threshold: u32,
+    max_threshold: u32,
+    /// Exponential smoothing factor for iteration-rate estimates.
+    alpha: f64,
+    /// Smoothed rounds-per-second; `0.0` until first observation.
+    rate_ewma: Vec<f64>,
+    /// Round counter at the last consumed observation, per worker.
+    rounds_seen: Vec<u64>,
+}
+
+impl DsspPolicy {
+    /// Creates a policy adapting thresholds in
+    /// `[min_threshold, max_threshold]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `min_threshold > max_threshold`.
+    pub fn new(min_threshold: u32, max_threshold: u32) -> Self {
+        assert!(
+            min_threshold <= max_threshold,
+            "min threshold must not exceed max"
+        );
+        Self {
+            min_threshold,
+            max_threshold,
+            alpha: 0.3,
+            rate_ewma: Vec::new(),
+            rounds_seen: Vec::new(),
+        }
+    }
+}
+
+impl ThresholdPolicy for DsspPolicy {
+    fn name(&self) -> String {
+        format!("DSSP-{}..{}", self.min_threshold, self.max_threshold)
+    }
+
+    fn thresholds(&mut self, stats: &[WorkerNetStats]) -> Vec<u32> {
+        if self.rate_ewma.len() != stats.len() {
+            self.rate_ewma = vec![0.0; stats.len()];
+            self.rounds_seen = vec![0; stats.len()];
+        }
+        for (w, s) in stats.iter().enumerate() {
+            if s.rounds > self.rounds_seen[w] && s.last_round_secs > 0.0 {
+                let rate = 1.0 / s.last_round_secs;
+                self.rate_ewma[w] = if self.rate_ewma[w] == 0.0 {
+                    rate
+                } else {
+                    self.alpha * rate + (1.0 - self.alpha) * self.rate_ewma[w]
+                };
+            }
+            if s.rounds > self.rounds_seen[w] {
+                self.rounds_seen[w] = s.rounds;
+            }
+        }
+        let slowest = self
+            .rate_ewma
+            .iter()
+            .copied()
+            .filter(|&r| r > 0.0)
+            .fold(f64::INFINITY, f64::min);
+        self.rate_ewma
+            .iter()
+            .map(|&r| {
+                if r > 0.0 && slowest.is_finite() {
+                    let extra = (r / slowest - 1.0).round();
+                    let t = f64::from(self.min_threshold) + extra.max(0.0);
+                    (t.min(f64::from(self.max_threshold)) as u32)
+                        .clamp(self.min_threshold, self.max_threshold)
+                } else {
+                    self.min_threshold
+                }
+            })
+            .collect()
+    }
+}
+
+/// A gate wait shorter than this is "passed straight through" for ABS
+/// round accounting.
+const ABS_STALL_EPS: f64 = 1e-9;
+
+/// Rounds per ABS adaptation window.
+const ABS_WINDOW_ROUNDS: u64 = 12;
+
+/// Share of stalled rounds in a window above which ABS widens the bound.
+const ABS_WIDEN_SHARE: f64 = 0.25;
+
+/// Adaptive Bounded Staleness (arxiv 2301.08895): one uniform bound,
+/// widened or narrowed on communication-round accounting.
+///
+/// Rounds are counted across all workers; every [`ABS_WINDOW_ROUNDS`]
+/// completed rounds the policy looks at how many of them paid a gate
+/// stall. A stall share above [`ABS_WIDEN_SHARE`] widens the bound by
+/// one (workers are blocking on the gate — trade staleness for fewer
+/// stalled rounds); a window with no stalls at all narrows it by one
+/// (the bound is slack — tighten it to keep updates fresh). Like
+/// [`DsspPolicy`] the update is keyed on [`WorkerNetStats::rounds`], so
+/// replaying the measurement sequence re-derives the same bounds.
+#[derive(Debug, Clone)]
+pub struct AbsPolicy {
+    min_threshold: u32,
+    max_threshold: u32,
+    /// Current uniform bound.
+    cur: u32,
+    rounds_in_window: u64,
+    stalled_in_window: u64,
+    /// Round counter at the last consumed observation, per worker.
+    rounds_seen: Vec<u64>,
+}
+
+impl AbsPolicy {
+    /// Creates a policy adapting one uniform bound in
+    /// `[min_threshold, max_threshold]`, starting at `min_threshold`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `min_threshold > max_threshold`.
+    pub fn new(min_threshold: u32, max_threshold: u32) -> Self {
+        assert!(
+            min_threshold <= max_threshold,
+            "min threshold must not exceed max"
+        );
+        Self {
+            min_threshold,
+            max_threshold,
+            cur: min_threshold,
+            rounds_in_window: 0,
+            stalled_in_window: 0,
+            rounds_seen: Vec::new(),
+        }
+    }
+
+    /// The bound currently in force.
+    pub fn current(&self) -> u32 {
+        self.cur
+    }
+}
+
+impl ThresholdPolicy for AbsPolicy {
+    fn name(&self) -> String {
+        format!("ABS-{}..{}", self.min_threshold, self.max_threshold)
+    }
+
+    fn thresholds(&mut self, stats: &[WorkerNetStats]) -> Vec<u32> {
+        if self.rounds_seen.len() != stats.len() {
+            self.rounds_seen = vec![0; stats.len()];
+        }
+        for (w, s) in stats.iter().enumerate() {
+            let new_rounds = s.rounds.saturating_sub(self.rounds_seen[w]);
+            if new_rounds > 0 {
+                self.rounds_in_window += new_rounds;
+                if s.last_stall_secs > ABS_STALL_EPS {
+                    self.stalled_in_window += 1;
+                }
+                self.rounds_seen[w] = s.rounds;
+            }
+        }
+        if self.rounds_in_window >= ABS_WINDOW_ROUNDS {
+            let share = self.stalled_in_window as f64 / self.rounds_in_window as f64;
+            if share > ABS_WIDEN_SHARE && self.cur < self.max_threshold {
+                self.cur += 1;
+            } else if self.stalled_in_window == 0 && self.cur > self.min_threshold {
+                self.cur -= 1;
+            }
+            self.rounds_in_window = 0;
+            self.stalled_in_window = 0;
+        }
+        vec![self.cur; stats.len()]
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -184,11 +382,13 @@ mod tests {
             est_bandwidth_bps: 100e6,
             last_push_secs: 0.5,
             grad_mean_abs: 1.0,
+            ..WorkerNetStats::default()
         };
         let slow_small = WorkerNetStats {
             est_bandwidth_bps: 5e6,
             last_push_secs: 8.0,
             grad_mean_abs: 0.05,
+            ..WorkerNetStats::default()
         };
         let ts = p.thresholds(&[fast_big, slow_small]);
         assert!(
@@ -228,5 +428,219 @@ mod tests {
     #[should_panic(expected = "min threshold")]
     fn inverted_bounds_panic() {
         let _ = FlownPolicy::new(10, 2);
+    }
+
+    #[test]
+    fn adaptive_names_encode_bound_ranges() {
+        assert_eq!(DsspPolicy::new(1, 8).name(), "DSSP-1..8");
+        assert_eq!(AbsPolicy::new(2, 6).name(), "ABS-2..6");
+    }
+
+    #[test]
+    #[should_panic(expected = "min threshold")]
+    fn dssp_inverted_bounds_panic() {
+        let _ = DsspPolicy::new(10, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "min threshold")]
+    fn abs_inverted_bounds_panic() {
+        let _ = AbsPolicy::new(10, 2);
+    }
+
+    #[test]
+    fn dssp_starts_at_min_without_observations() {
+        let mut p = DsspPolicy::new(2, 9);
+        assert_eq!(
+            p.thresholds(&vec![WorkerNetStats::default(); 3]),
+            vec![2; 3]
+        );
+    }
+
+    #[test]
+    fn dssp_gives_fast_workers_more_lead() {
+        let mut p = DsspPolicy::new(1, 8);
+        let stats = |rounds: u64| {
+            vec![
+                WorkerNetStats {
+                    rounds,
+                    last_round_secs: 1.0, // 1 round/s: the fast worker
+                    ..WorkerNetStats::default()
+                },
+                WorkerNetStats {
+                    rounds,
+                    last_round_secs: 4.0, // 0.25 round/s: the straggler
+                    ..WorkerNetStats::default()
+                },
+            ]
+        };
+        let mut ts = Vec::new();
+        for r in 1..=6 {
+            ts = p.thresholds(&stats(r));
+        }
+        assert!(
+            ts[0] > ts[1],
+            "fast worker should hold the wider threshold: {ts:?}"
+        );
+        assert_eq!(ts[1], 1, "the slowest worker sits at min");
+        assert!(ts.iter().all(|&t| (1..=8).contains(&t)));
+    }
+
+    #[test]
+    fn dssp_ignores_repeated_refreshes_within_a_round() {
+        // Refreshing thresholds many times for the same round counter
+        // must not move the EWMA: the update is keyed on `rounds`.
+        let mut a = DsspPolicy::new(1, 8);
+        let mut b = DsspPolicy::new(1, 8);
+        let s = vec![
+            WorkerNetStats {
+                rounds: 1,
+                last_round_secs: 1.0,
+                ..WorkerNetStats::default()
+            },
+            WorkerNetStats {
+                rounds: 1,
+                last_round_secs: 3.0,
+                ..WorkerNetStats::default()
+            },
+        ];
+        let once = a.thresholds(&s);
+        let mut many = b.thresholds(&s);
+        for _ in 0..10 {
+            many = b.thresholds(&s);
+        }
+        assert_eq!(once, many);
+    }
+
+    #[test]
+    fn abs_widens_under_stall_pressure_and_narrows_when_slack() {
+        let mut p = AbsPolicy::new(1, 6);
+        let stalled = |rounds: u64| {
+            vec![WorkerNetStats {
+                rounds,
+                last_stall_secs: 0.5,
+                ..WorkerNetStats::default()
+            }]
+        };
+        let clean = |rounds: u64| {
+            vec![WorkerNetStats {
+                rounds,
+                last_stall_secs: 0.0,
+                ..WorkerNetStats::default()
+            }]
+        };
+        // Every round stalls: one full window widens the bound by one.
+        let mut r = 0;
+        let mut t = p.current();
+        for _ in 0..ABS_WINDOW_ROUNDS {
+            r += 1;
+            t = p.thresholds(&stalled(r))[0];
+        }
+        assert_eq!(t, 2, "a fully stalled window widens the bound");
+        // Stall-free windows narrow it back down to min.
+        for _ in 0..2 * ABS_WINDOW_ROUNDS {
+            r += 1;
+            t = p.thresholds(&clean(r))[0];
+        }
+        assert_eq!(t, 1, "stall-free windows narrow back to min");
+    }
+
+    mod props {
+        use super::*;
+        use proptest::prelude::*;
+
+        /// One synthetic per-round measurement:
+        /// `(worker, round_secs, stall_secs)` — the same journal-visible
+        /// inputs the engine feeds the policy.
+        type Round = (usize, f64, f64);
+
+        fn rounds_strategy() -> impl Strategy<Value = Vec<Round>> {
+            proptest::collection::vec((0usize..5, 0.05f64..20.0, 0.0f64..5.0), 1..80)
+        }
+
+        /// Replays a measurement trace through a policy, returning every
+        /// thresholds() output. Stats evolve exactly as in the engine:
+        /// each round bumps one worker's counter and overwrites its
+        /// last-round / last-stall measurements.
+        fn replay(policy: &mut dyn ThresholdPolicy, n: usize, trace: &[Round]) -> Vec<Vec<u32>> {
+            let mut stats = vec![WorkerNetStats::default(); n];
+            let mut out = vec![policy.thresholds(&stats)];
+            for &(worker, round_secs, stall_secs) in trace {
+                let s = &mut stats[worker % n];
+                s.rounds += 1;
+                s.last_round_secs = round_secs;
+                s.last_stall_secs = stall_secs;
+                out.push(policy.thresholds(&stats));
+            }
+            out
+        }
+
+        proptest! {
+            /// DSSP thresholds never leave `[min, max]`, whatever the
+            /// measurement sequence.
+            #[test]
+            fn prop_dssp_thresholds_stay_in_bounds(
+                min in 0u32..5,
+                span in 0u32..10,
+                n in 1usize..5,
+                trace in rounds_strategy(),
+            ) {
+                let max = min + span;
+                let mut p = DsspPolicy::new(min, max);
+                for ts in replay(&mut p, n, &trace) {
+                    prop_assert_eq!(ts.len(), n);
+                    prop_assert!(ts.iter().all(|&t| (min..=max).contains(&t)), "{:?}", ts);
+                }
+            }
+
+            /// ABS bounds never leave `[min, max]`, and move by at most
+            /// one step between consecutive refreshes.
+            #[test]
+            fn prop_abs_thresholds_stay_in_bounds_and_step_by_one(
+                min in 0u32..5,
+                span in 0u32..10,
+                n in 1usize..5,
+                trace in rounds_strategy(),
+            ) {
+                let max = min + span;
+                let mut p = AbsPolicy::new(min, max);
+                let outs = replay(&mut p, n, &trace);
+                let mut prev: Option<u32> = None;
+                for ts in outs {
+                    prop_assert!(ts.iter().all(|&t| (min..=max).contains(&t)), "{:?}", ts);
+                    let t = ts[0];
+                    prop_assert!(ts.iter().all(|&x| x == t), "ABS bound must be uniform");
+                    if let Some(p0) = prev {
+                        prop_assert!(t.abs_diff(p0) <= 1, "jumped {p0} -> {t}");
+                    }
+                    prev = Some(t);
+                }
+            }
+
+            /// Adaptation is a pure function of the measurement trace:
+            /// replaying the same journal-visible inputs through a fresh
+            /// policy re-derives the exact same threshold sequence.
+            #[test]
+            fn prop_adaptation_replays_from_the_trace(
+                min in 0u32..4,
+                span in 0u32..8,
+                n in 1usize..5,
+                trace in rounds_strategy(),
+            ) {
+                let max = min + span;
+                let mut live = DsspPolicy::new(min, max);
+                let mut replayed = DsspPolicy::new(min, max);
+                prop_assert_eq!(
+                    replay(&mut live, n, &trace),
+                    replay(&mut replayed, n, &trace)
+                );
+                let mut live = AbsPolicy::new(min, max);
+                let mut replayed = AbsPolicy::new(min, max);
+                prop_assert_eq!(
+                    replay(&mut live, n, &trace),
+                    replay(&mut replayed, n, &trace)
+                );
+            }
+        }
     }
 }

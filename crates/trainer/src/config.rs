@@ -66,23 +66,70 @@ pub enum Strategy {
         /// Largest assignable threshold.
         max_threshold: u32,
     },
+    /// Dynamic SSP (arxiv 1908.11848): per-worker SSP thresholds
+    /// re-derived at runtime from iteration-rate EWMAs (model
+    /// granularity).
+    Dssp {
+        /// Smallest assignable threshold.
+        min_threshold: u32,
+        /// Largest assignable threshold.
+        max_threshold: u32,
+    },
+    /// Adaptive Bounded Staleness (arxiv 2301.08895): one uniform bound
+    /// widened/narrowed on communication-round stall accounting (model
+    /// granularity).
+    Abs {
+        /// Smallest assignable bound.
+        min_threshold: u32,
+        /// Largest assignable bound.
+        max_threshold: u32,
+    },
     /// ROG: row-granulated RSP + ATP.
     Rog {
         /// The RSP staleness threshold.
         threshold: u32,
     },
+    /// Adaptive-bound RSP hybrid: the ROG row engine with the staleness
+    /// bound driven at runtime by the per-link loss-rate/goodput EWMAs.
+    RogAdaptive {
+        /// Smallest assignable bound (also the starting bound).
+        min_threshold: u32,
+        /// Largest assignable bound.
+        max_threshold: u32,
+    },
 }
 
 impl Strategy {
-    /// Display name matching the paper's figure legends.
+    /// Display name matching the paper's figure legends. Adaptive
+    /// models encode their bound ranges (`DSSP-1..8`) so run names,
+    /// journal headers, and bench JSON rows stay unique across
+    /// differently-bounded instances of the same model.
     pub fn name(&self) -> String {
         match self {
             Strategy::Bsp => "BSP".to_owned(),
             Strategy::Ssp { threshold } => format!("SSP-{threshold}"),
             Strategy::Asp => "ASP".to_owned(),
             Strategy::Flown { .. } => "FLOWN".to_owned(),
+            Strategy::Dssp {
+                min_threshold,
+                max_threshold,
+            } => format!("DSSP-{min_threshold}..{max_threshold}"),
+            Strategy::Abs {
+                min_threshold,
+                max_threshold,
+            } => format!("ABS-{min_threshold}..{max_threshold}"),
             Strategy::Rog { threshold } => format!("ROG-{threshold}"),
+            Strategy::RogAdaptive {
+                min_threshold,
+                max_threshold,
+            } => format!("ROGA-{min_threshold}..{max_threshold}"),
         }
+    }
+
+    /// Whether this strategy runs the row-granular engine (ROG and the
+    /// adaptive-bound hybrid) rather than a model-granularity baseline.
+    pub fn is_row_granular(&self) -> bool {
+        matches!(self, Strategy::Rog { .. } | Strategy::RogAdaptive { .. })
     }
 }
 
@@ -267,9 +314,10 @@ impl ExperimentConfig {
     /// model-granularity baselines (they move whole models; there is
     /// nothing to shard).
     pub fn effective_shards(&self) -> usize {
-        match self.strategy {
-            Strategy::Rog { .. } => self.n_shards.max(1),
-            _ => 1,
+        if self.strategy.is_row_granular() {
+            self.n_shards.max(1)
+        } else {
+            1
         }
     }
 
@@ -277,9 +325,10 @@ impl ExperimentConfig {
     /// for the ROG row engine (`0` = flat worker→server topology);
     /// always `0` for the model-granularity baselines.
     pub fn effective_aggregators(&self) -> usize {
-        match self.strategy {
-            Strategy::Rog { .. } => self.n_aggregators,
-            _ => 0,
+        if self.strategy.is_row_granular() {
+            self.n_aggregators
+        } else {
+            0
         }
     }
 
@@ -414,6 +463,87 @@ mod tests {
             "FLOWN"
         );
         assert_eq!(Strategy::Rog { threshold: 4 }.name(), "ROG-4");
+    }
+
+    #[test]
+    fn adaptive_names_encode_bound_ranges() {
+        assert_eq!(
+            Strategy::Dssp {
+                min_threshold: 1,
+                max_threshold: 8
+            }
+            .name(),
+            "DSSP-1..8"
+        );
+        assert_eq!(
+            Strategy::Abs {
+                min_threshold: 2,
+                max_threshold: 6
+            }
+            .name(),
+            "ABS-2..6"
+        );
+        assert_eq!(
+            Strategy::RogAdaptive {
+                min_threshold: 1,
+                max_threshold: 8
+            }
+            .name(),
+            "ROGA-1..8"
+        );
+    }
+
+    #[test]
+    fn row_granularity_classifies_every_strategy() {
+        assert!(Strategy::Rog { threshold: 4 }.is_row_granular());
+        assert!(Strategy::RogAdaptive {
+            min_threshold: 1,
+            max_threshold: 8
+        }
+        .is_row_granular());
+        for s in [
+            Strategy::Bsp,
+            Strategy::Ssp { threshold: 4 },
+            Strategy::Asp,
+            Strategy::Flown {
+                min_threshold: 2,
+                max_threshold: 12,
+            },
+            Strategy::Dssp {
+                min_threshold: 1,
+                max_threshold: 8,
+            },
+            Strategy::Abs {
+                min_threshold: 1,
+                max_threshold: 8,
+            },
+        ] {
+            assert!(!s.is_row_granular(), "{} is model-granular", s.name());
+        }
+        // Row-only knobs follow the classification: the hybrid shards,
+        // the model-granular adaptives do not.
+        let roga = ExperimentConfig {
+            strategy: Strategy::RogAdaptive {
+                min_threshold: 1,
+                max_threshold: 8,
+            },
+            n_shards: 3,
+            n_aggregators: 1,
+            ..ExperimentConfig::default()
+        };
+        assert_eq!(roga.effective_shards(), 3);
+        assert_eq!(roga.effective_aggregators(), 1);
+        let dssp = ExperimentConfig {
+            strategy: Strategy::Dssp {
+                min_threshold: 1,
+                max_threshold: 8,
+            },
+            n_shards: 3,
+            n_aggregators: 1,
+            ..ExperimentConfig::default()
+        };
+        assert_eq!(dssp.effective_shards(), 1);
+        assert_eq!(dssp.effective_aggregators(), 0);
     }
 
     #[test]

@@ -1,7 +1,8 @@
 //! Event-driven training engines.
 //!
-//! [`model`] runs the model-granularity baselines (BSP / SSP / FLOWN),
-//! [`row`] runs ROG (RSP + ATP). Both share [`common::EngineCtx`]: the
+//! [`model`] runs the model-granularity baselines (BSP / SSP / FLOWN /
+//! DSSP / ABS), [`row`] runs ROG (RSP + ATP) and the adaptive-bound
+//! hybrid. Both share [`common::EngineCtx`]: the
 //! simulated cluster, the deterministic event queue, per-device state
 //! timelines and the metrics collector.
 
@@ -33,10 +34,15 @@ pub fn run_traced(cfg: &ExperimentConfig) -> (RunMetrics, Journal) {
 /// (all-zero) stats; only the row engine instruments them.
 pub fn run_full(cfg: &ExperimentConfig) -> (RunMetrics, Journal, FleetStats) {
     match cfg.strategy {
-        Strategy::Bsp | Strategy::Ssp { .. } | Strategy::Asp | Strategy::Flown { .. } => {
+        Strategy::Bsp
+        | Strategy::Ssp { .. }
+        | Strategy::Asp
+        | Strategy::Flown { .. }
+        | Strategy::Dssp { .. }
+        | Strategy::Abs { .. } => {
             let (metrics, journal) = model::run_traced(cfg);
             (metrics, journal, FleetStats::default())
         }
-        Strategy::Rog { .. } => row::run_full(cfg),
+        Strategy::Rog { .. } | Strategy::RogAdaptive { .. } => row::run_full(cfg),
     }
 }

@@ -1,4 +1,4 @@
-//! Model-granularity engine: BSP, SSP and FLOWN.
+//! Model-granularity engine: BSP, SSP, ASP, FLOWN, DSSP and ABS.
 //!
 //! Per iteration each worker computes gradients, pushes the *whole*
 //! compressed model to the parameter server, and asks to pull the
@@ -19,7 +19,10 @@ use rog_net::{
 };
 use rog_obs::{obs, EventKind};
 use rog_sim::{DeviceState, Time};
-use rog_sync::{gate, FixedThreshold, FlownPolicy, ThresholdPolicy, VersionVector, WorkerNetStats};
+use rog_sync::{
+    gate, AbsPolicy, DsspPolicy, FixedThreshold, FlownPolicy, ThresholdPolicy, VersionVector,
+    WorkerNetStats,
+};
 use rog_tensor::{ops, Matrix};
 
 use crate::compute::{self, PendingDraw};
@@ -38,6 +41,9 @@ struct WState {
     vel: Vec<Matrix>,
     stats: WorkerNetStats,
     push_started: Time,
+    /// When the worker's current round started (previous push-done),
+    /// feeding the DSSP iteration-rate estimate.
+    round_started: Time,
     /// When the worker joined the gate wait (journal only).
     gate_entered: Time,
     done: bool,
@@ -93,6 +99,15 @@ struct ModelEngine {
     pending: Vec<Option<PendingDraw>>,
     server: Server,
     policy: Box<dyn ThresholdPolicy>,
+    /// Whether the policy adapts at runtime (DSSP/ABS): threshold
+    /// changes are then journaled as `threshold_adapt` events so the
+    /// instantaneous bound is observable and replayable. The journaled
+    /// value never narrows below a granted-but-unpushed iteration's
+    /// lead (see [`ModelEngine::refresh_thresholds`]).
+    adaptive: bool,
+    /// Last journaled per-worker threshold; `None` before the first
+    /// `threshold_adapt` event. Unused when `adaptive` is false.
+    journaled_thr: Vec<Option<u32>>,
     flows: BTreeMap<FlowId, FlowCtx>,
     partition: RowPartition,
     model_wire_bytes: u64,
@@ -145,6 +160,7 @@ pub fn run_traced(cfg: &ExperimentConfig) -> (RunMetrics, rog_obs::Journal) {
             vel: zero.clone(),
             stats: WorkerNetStats::default(),
             push_started: 0.0,
+            round_started: 0.0,
             gate_entered: 0.0,
             done: false,
             computing: false,
@@ -158,15 +174,31 @@ pub fn run_traced(cfg: &ExperimentConfig) -> (RunMetrics, rog_obs::Journal) {
         waiting: Vec::new(),
         thresholds: vec![0; n],
     };
-    let policy: Box<dyn ThresholdPolicy> = match cfg.strategy {
-        Strategy::Bsp => Box::new(FixedThreshold::bsp()),
-        Strategy::Ssp { threshold } => Box::new(FixedThreshold::ssp(threshold)),
-        Strategy::Asp => Box::new(FixedThreshold::asp()),
+    let (policy, adaptive): (Box<dyn ThresholdPolicy>, bool) = match cfg.strategy {
+        Strategy::Bsp => (Box::new(FixedThreshold::bsp()), false),
+        Strategy::Ssp { threshold } => (Box::new(FixedThreshold::ssp(threshold)), false),
+        Strategy::Asp => (Box::new(FixedThreshold::asp()), false),
         Strategy::Flown {
             min_threshold,
             max_threshold,
-        } => Box::new(FlownPolicy::new(min_threshold, max_threshold)),
-        Strategy::Rog { .. } => unreachable!("row strategy runs in the row engine"),
+        } => (
+            Box::new(FlownPolicy::new(min_threshold, max_threshold)),
+            false,
+        ),
+        Strategy::Dssp {
+            min_threshold,
+            max_threshold,
+        } => (
+            Box::new(DsspPolicy::new(min_threshold, max_threshold)),
+            true,
+        ),
+        Strategy::Abs {
+            min_threshold,
+            max_threshold,
+        } => (Box::new(AbsPolicy::new(min_threshold, max_threshold)), true),
+        Strategy::Rog { .. } | Strategy::RogAdaptive { .. } => {
+            unreachable!("row strategies run in the row engine")
+        }
     };
     let mut engine = ModelEngine {
         ctx,
@@ -174,6 +206,8 @@ pub fn run_traced(cfg: &ExperimentConfig) -> (RunMetrics, rog_obs::Journal) {
         pending: (0..n).map(|_| None).collect(),
         server,
         policy,
+        adaptive,
+        journaled_thr: vec![None; n],
         flows: BTreeMap::new(),
         partition,
         model_wire_bytes,
@@ -183,7 +217,7 @@ pub fn run_traced(cfg: &ExperimentConfig) -> (RunMetrics, rog_obs::Journal) {
         retry_armed: vec![false; n],
         stale_retries: vec![0; n],
     };
-    engine.refresh_thresholds();
+    engine.refresh_thresholds(0.0);
     engine.event_loop();
     let models: Vec<&Mlp> = engine.workers.iter().map(|w| &w.model).collect();
     engine.ctx.finish_traced(&models)
@@ -257,9 +291,40 @@ impl ModelEngine {
         }
     }
 
-    fn refresh_thresholds(&mut self) {
+    fn refresh_thresholds(&mut self, now: Time) {
         let stats: Vec<WorkerNetStats> = self.workers.iter().map(|w| w.stats.clone()).collect();
         self.server.thresholds = self.policy.thresholds(&stats);
+        if !self.adaptive {
+            return;
+        }
+        // Journal the instantaneous per-worker bound. A worker that was
+        // already granted its pull (not waiting at the gate) may carry
+        // a lead admitted under the wider bound in force at grant time,
+        // so the journaled bound never narrows below that lead — every
+        // `gate_enter` then satisfies `lead <= bound + 1` against the
+        // bound in force at its own timestamp. Gating itself always
+        // uses the raw policy thresholds, so a waiting worker is never
+        // released early by its own lead.
+        for w in 0..self.workers.len() {
+            let raw = self.server.thresholds[w];
+            let journaled = if self.server.waiting.contains(&w) {
+                raw
+            } else {
+                let lead = u32::try_from(self.server.versions.lead(w)).unwrap_or(u32::MAX);
+                raw.max(lead)
+            };
+            if self.journaled_thr[w] != Some(journaled) {
+                self.journaled_thr[w] = Some(journaled);
+                obs!(
+                    self.ctx.journal,
+                    now,
+                    EventKind::ThresholdAdapt {
+                        w: w as u32,
+                        threshold: journaled,
+                    }
+                );
+            }
+        }
     }
 
     fn on_compute_done(&mut self, w: usize, now: Time) {
@@ -457,11 +522,15 @@ impl ModelEngine {
             }
         }
         self.server.versions.record_push(w, pushed_iter);
-        // Bandwidth estimate for FLOWN.
+        // Bandwidth estimate for FLOWN; round accounting for DSSP/ABS.
         let dur = (now - self.workers[w].push_started).max(1e-6);
-        self.workers[w].stats.last_push_secs = dur;
-        self.workers[w].stats.est_bandwidth_bps = self.model_wire_bytes as f64 * 8.0 / dur;
-        self.refresh_thresholds();
+        let ws = &mut self.workers[w];
+        ws.stats.last_push_secs = dur;
+        ws.stats.est_bandwidth_bps = self.model_wire_bytes as f64 * 8.0 / dur;
+        ws.stats.rounds += 1;
+        ws.stats.last_round_secs = now - ws.round_started;
+        ws.round_started = now;
+        self.refresh_thresholds(now);
         obs!(
             self.ctx.journal,
             now,
@@ -522,6 +591,9 @@ impl ModelEngine {
                 .collect(),
         );
         let payload = quantize_set(&self.partition, &mut self.server.efs[w], &pending);
+        // Stall accounting for ABS (assigned outside the obs! macro so
+        // obs-off builds stay behaviorally identical).
+        self.workers[w].stats.last_stall_secs = now - self.workers[w].gate_entered;
         obs!(
             self.ctx.journal,
             now,
@@ -743,6 +815,9 @@ impl ModelEngine {
         }
         ws.grads = None;
         ws.resume = None;
+        // The outage is not an iteration round; restart the round clock
+        // so DSSP's rate estimate only sees time spent training.
+        ws.round_started = now;
         self.server.efs[w].reset();
         for m in &mut self.server.pending[w] {
             m.fill_zero();

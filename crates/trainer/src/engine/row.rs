@@ -246,6 +246,8 @@ struct RowEngine {
     pipeline: bool,
     /// Online threshold controller (paper future work).
     auto: Option<AutoThreshold>,
+    /// Channel-driven bound controller (the `roga` adaptive hybrid).
+    adaptive: Option<AdaptiveBound>,
 }
 
 /// Online staleness-threshold controller: widens the threshold when the
@@ -286,6 +288,40 @@ impl AutoThreshold {
     }
 }
 
+/// Adaptive-bound RSP controller (the `roga` hybrid): drives the row
+/// gate's staleness bound from the per-link loss-rate and goodput EWMAs
+/// the channel already maintains. A calm, uniform channel narrows the
+/// bound toward `min` (statistical efficiency); packet loss or a faded
+/// straggler link widens it toward `max` so healthy devices keep
+/// computing through the turbulence. Unlike [`AutoThreshold`] — which
+/// reacts to the *symptom*, the observed stall share — this controller
+/// reacts to the *cause* and can move before stalls accumulate.
+#[derive(Debug, Clone, Copy)]
+struct AdaptiveBound {
+    min: u32,
+    max: u32,
+    /// Controller period in completed iterations (cluster-wide).
+    window_iters: u64,
+    /// Iterations completed at the last check.
+    last_iters: u64,
+}
+
+impl AdaptiveBound {
+    fn new(min: u32, max: u32) -> Self {
+        assert!(min >= 1, "adaptive bound min threshold must be at least 1");
+        assert!(
+            min <= max,
+            "adaptive bound min threshold must not exceed max"
+        );
+        Self {
+            min,
+            max,
+            window_iters: 24,
+            last_iters: 0,
+        }
+    }
+}
+
 /// Runs one ROG experiment.
 pub fn run(cfg: &ExperimentConfig) -> RunMetrics {
     run_traced(cfg).0
@@ -301,8 +337,16 @@ pub fn run_traced(cfg: &ExperimentConfig) -> (RunMetrics, rog_obs::Journal) {
 /// Runs one ROG experiment, returning metrics, journal and the
 /// fleet-scale statistics ([`FleetStats`]).
 pub fn run_full(cfg: &ExperimentConfig) -> (RunMetrics, rog_obs::Journal, FleetStats) {
-    let Strategy::Rog { threshold } = cfg.strategy else {
-        unreachable!("model strategies run in the model engine");
+    let (threshold, adaptive) = match cfg.strategy {
+        Strategy::Rog { threshold } => (threshold, None),
+        Strategy::RogAdaptive {
+            min_threshold,
+            max_threshold,
+        } => (
+            min_threshold,
+            Some(AdaptiveBound::new(min_threshold, max_threshold)),
+        ),
+        _ => unreachable!("model strategies run in the model engine"),
     };
     let ctx = EngineCtx::new(cfg);
     let n = cfg.n_workers;
@@ -377,6 +421,7 @@ pub fn run_full(cfg: &ExperimentConfig) -> (RunMetrics, rog_obs::Journal, FleetS
         threshold,
         pipeline: cfg.pipeline,
         auto: cfg.auto_threshold.then(|| AutoThreshold::new(threshold)),
+        adaptive,
     };
     engine.event_loop();
     let agg = engine
@@ -605,6 +650,7 @@ impl RowEngine {
         }
         self.maybe_continue_compute(w, now);
         self.maybe_adjust_threshold(now);
+        self.maybe_adapt_bound(now);
     }
 
     fn maybe_continue_compute(&mut self, w: usize, now: Time) {
@@ -1328,6 +1374,93 @@ impl RowEngine {
         self.auto = Some(auto);
     }
 
+    /// Runs the adaptive-bound controller (`roga`) if its window elapsed.
+    ///
+    /// The new bound is a pure function of the channel's per-link EWMAs
+    /// at a deterministic evaluation point, so runs stay byte-identical
+    /// across thread counts. Narrowing is clamped by
+    /// [`RowEngine::pending_bound_floor`] so every in-flight iteration
+    /// still satisfies the *instantaneous* bound at its next
+    /// `gate_enter`.
+    fn maybe_adapt_bound(&mut self, now: Time) {
+        let Some(mut ab) = self.adaptive else { return };
+        let total_iters: u64 = self.workers.iter().map(|w| w.iter).sum();
+        if total_iters < ab.last_iters + ab.window_iters {
+            return;
+        }
+        ab.last_iters = total_iters;
+        self.adaptive = Some(ab);
+        let tp = &self.ctx.cluster.transport;
+        let mut max_loss = 0.0f64;
+        let mut min_good = f64::INFINITY;
+        let mut max_good = 0.0f64;
+        for w in 0..self.workers.len() {
+            for s in 0..self.n_shards {
+                let link = shard_link(w, self.n_shards, s);
+                max_loss = max_loss.max(tp.estimated_loss_rate(link));
+                let good = tp.estimated_goodput_rate(link);
+                min_good = min_good.min(good);
+                max_good = max_good.max(good);
+            }
+        }
+        // Straggler-link share: how far the weakest link's goodput falls
+        // below the strongest's. The channel's global sharing divisor
+        // cancels in the ratio, leaving pure fade × delivery probability.
+        let lag = if max_good > 0.0 {
+            (1.0 - min_good / max_good).clamp(0.0, 1.0)
+        } else {
+            0.0
+        };
+        let stress = (2.5 * max_loss + lag).min(1.0);
+        let span = f64::from(ab.max - ab.min);
+        let desired = ab.min + (stress * span).round() as u32;
+        let applied = if desired < self.threshold {
+            desired.max(self.pending_bound_floor())
+        } else {
+            desired
+        };
+        if applied != self.threshold {
+            obs!(
+                self.ctx.journal,
+                now,
+                EventKind::AutoThreshold { threshold: applied }
+            );
+            self.threshold = applied;
+            self.server.set_threshold(applied);
+            for ws in &mut self.workers {
+                ws.worker.set_threshold(applied);
+            }
+            // Widening may unblock waiting pulls immediately.
+            self.drain_waiting(now);
+        }
+    }
+
+    /// The narrowest bound the in-flight state admits. Any iteration
+    /// that can reach a `gate_enter` without passing a *new* pull grant
+    /// must still satisfy the instantaneous bound there, so narrowing
+    /// clamps here. Legs already parked at a gate are exempt: their next
+    /// grant re-checks under the new bound before the cycle proceeds.
+    fn pending_bound_floor(&self) -> u32 {
+        let mut floor: u64 = 0;
+        for (w, ws) in self.workers.iter().enumerate() {
+            if self.ctx.offline[w] {
+                continue;
+            }
+            // Highest iteration this worker can push without a new pull
+            // grant: the cycle it is computing or pushing now, plus one
+            // more once the current cycle's pulls have been granted.
+            let next = ws.iter.max(ws.comm_iter) + 1;
+            for s in 0..self.n_shards {
+                if self.waiting.iter().any(|&(ww, ss, _)| ww == w && ss == s) {
+                    continue;
+                }
+                let min = self.server.versions(s).global_min();
+                floor = floor.max(next.saturating_sub(min));
+            }
+        }
+        u32::try_from(floor).unwrap_or(u32::MAX)
+    }
+
     fn complete_iteration(&mut self, w: usize, now: Time) {
         self.workers[w].iter += 1;
         self.ctx.collector.record_iteration(w);
@@ -1339,6 +1472,7 @@ impl RowEngine {
         );
         self.ctx.maybe_eval(w, iter, now, &self.workers[w].model);
         self.maybe_adjust_threshold(now);
+        self.maybe_adapt_bound(now);
         if now < self.ctx.duration() {
             self.start_compute(w, now);
         } else {

@@ -62,11 +62,13 @@ pub fn fleet_cluster_cfg(workers: usize, shards: usize) -> ExperimentConfig {
     }
 }
 
-/// The seven-scenario regression matrix shared by the shard-identity
-/// and reconciliation suites: every strategy on the small cluster,
-/// plus a faulted and a lossy ROG variant. Durations are trimmed to
-/// 60 virtual seconds so the full matrix stays cheap to replay at
-/// several compute-thread counts.
+/// The regression scenario matrix shared by the shard-identity and
+/// reconciliation suites: every strategy on the small cluster (the
+/// full six-model spectrum plus the adaptive-bound ROG hybrid), plus
+/// faulted and lossy ROG variants and a lossy hybrid variant (loss is
+/// what drives its bound). Durations are trimmed to 60 virtual seconds
+/// so the full matrix stays cheap to replay at several compute-thread
+/// counts.
 pub fn scenario_matrix() -> Vec<(&'static str, ExperimentConfig)> {
     let short = |strategy| ExperimentConfig {
         duration_secs: 60.0,
@@ -83,7 +85,28 @@ pub fn scenario_matrix() -> Vec<(&'static str, ExperimentConfig)> {
                 max_threshold: 12,
             }),
         ),
+        (
+            "dssp",
+            short(Strategy::Dssp {
+                min_threshold: 1,
+                max_threshold: 8,
+            }),
+        ),
+        (
+            "abs",
+            short(Strategy::Abs {
+                min_threshold: 1,
+                max_threshold: 8,
+            }),
+        ),
         ("rog4", short(Strategy::Rog { threshold: 4 })),
+        (
+            "roga",
+            short(Strategy::RogAdaptive {
+                min_threshold: 1,
+                max_threshold: 8,
+            }),
+        ),
     ];
     let mut faulted = short(Strategy::Rog { threshold: 4 });
     faulted.fault_plan = Some(FaultPlan::new().worker_offline(1, 15.0, 45.0));
@@ -91,6 +114,12 @@ pub fn scenario_matrix() -> Vec<(&'static str, ExperimentConfig)> {
     let mut lossy = short(Strategy::Rog { threshold: 4 });
     lossy.loss = Some(LossConfig::gilbert_elliott(lossy.seed, 0.10));
     out.push(("rog4+loss", lossy));
+    let mut lossy_roga = short(Strategy::RogAdaptive {
+        min_threshold: 1,
+        max_threshold: 8,
+    });
+    lossy_roga.loss = Some(LossConfig::gilbert_elliott(lossy_roga.seed, 0.10));
+    out.push(("roga+loss", lossy_roga));
     out
 }
 

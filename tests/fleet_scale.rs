@@ -83,7 +83,7 @@ fn assert_same_run_modulo_name(flat: &RunMetrics, hier: &RunMetrics, what: &str)
 #[test]
 fn hierarchical_topology_is_observationally_inert() {
     for (name, cfg) in scenario_matrix() {
-        if !matches!(cfg.strategy, Strategy::Rog { .. }) {
+        if !cfg.strategy.is_row_granular() {
             continue;
         }
         let flat = traced(&cfg);

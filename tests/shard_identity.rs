@@ -2,7 +2,7 @@
 //! parameter plane through an explicit single-shard [`ShardMap`] must
 //! be indistinguishable — metrics, serialized reports *and* the event
 //! journal — from the pre-shard engine (the default config), for every
-//! strategy in the seven-scenario matrix and at several compute-thread
+//! strategy in the shared scenario matrix and at several compute-thread
 //! counts. Sharded (>1) ROG runs must additionally be deterministic
 //! and thread-count invariant, and non-ROG strategies must ignore the
 //! shard count entirely.
@@ -78,7 +78,7 @@ fn sharded_runs_are_deterministic_and_thread_invariant() {
 #[test]
 fn non_rog_strategies_ignore_the_shard_count() {
     for (name, cfg) in scenario_matrix() {
-        if matches!(cfg.strategy, Strategy::Rog { .. }) {
+        if cfg.strategy.is_row_granular() {
             continue;
         }
         let (base, base_journal) = traced(&cfg);

@@ -30,7 +30,28 @@ fn scenarios() -> Vec<(&'static str, ExperimentConfig)> {
                 max_threshold: 12,
             }),
         ),
+        (
+            "dssp",
+            small_cluster_cfg(Strategy::Dssp {
+                min_threshold: 1,
+                max_threshold: 8,
+            }),
+        ),
+        (
+            "abs",
+            small_cluster_cfg(Strategy::Abs {
+                min_threshold: 1,
+                max_threshold: 8,
+            }),
+        ),
         ("rog4", small_cluster_cfg(Strategy::Rog { threshold: 4 })),
+        (
+            "roga",
+            small_cluster_cfg(Strategy::RogAdaptive {
+                min_threshold: 1,
+                max_threshold: 8,
+            }),
+        ),
     ];
     let mut faulted = small_cluster_cfg(Strategy::Rog { threshold: 4 });
     faulted.fault_plan = Some(FaultPlan::new().worker_offline(1, 30.0, 90.0));
@@ -38,6 +59,12 @@ fn scenarios() -> Vec<(&'static str, ExperimentConfig)> {
     let mut lossy = small_cluster_cfg(Strategy::Rog { threshold: 4 });
     lossy.loss = Some(LossConfig::gilbert_elliott(lossy.seed, 0.10));
     out.push(("rog4+loss", lossy));
+    let mut lossy_roga = small_cluster_cfg(Strategy::RogAdaptive {
+        min_threshold: 1,
+        max_threshold: 8,
+    });
+    lossy_roga.loss = Some(LossConfig::gilbert_elliott(lossy_roga.seed, 0.10));
+    out.push(("roga+loss", lossy_roga));
     out
 }
 

@@ -8,6 +8,14 @@
 //! backed-off retransmits, while ROG's best-effort gradient rows
 //! degrade gracefully inside the RSP staleness bound.
 //!
+//! The codec sub-matrix reruns the clean and 10 % bursty scenarios
+//! under the sparse-delta, 4-bit and auto row codecs, so the artifact
+//! carries bytes-on-wire and final-metric columns per codec. A traced
+//! probe pair additionally pins the wire-level claim: the sparse
+//! encoding ships strictly fewer payload bytes per pushed row than the
+//! dense one-bit baseline (total bytes are throughput-confounded —
+//! cheaper rows buy more iterations in the same virtual time).
+//!
 //! Usage: `cargo run --release -p rog-bench --bin bench_loss
 //!         [--quick] [--seed <n>]`
 //!
@@ -17,7 +25,9 @@
 //! check.
 
 use rog_bench::{header, run_all};
+use rog_compress::CodecChoice;
 use rog_net::LossConfig;
+use rog_obs::Record;
 use rog_trainer::{Environment, ExperimentConfig, RunMetrics, Strategy, WorkloadKind};
 
 fn loss_seed() -> u64 {
@@ -48,9 +58,10 @@ fn json_f64(x: f64) -> String {
     }
 }
 
-fn scenario_json(scenario: &str, r: &RunMetrics) -> String {
+fn scenario_json(scenario: &str, codec: &str, r: &RunMetrics) -> String {
     let mut s = String::from("    {\n");
     s.push_str(&format!("      \"scenario\": {scenario:?},\n"));
+    s.push_str(&format!("      \"codec\": {codec:?},\n"));
     s.push_str(&format!("      \"name\": {:?},\n", r.name));
     s.push_str(&format!(
         "      \"mean_iterations\": {},\n",
@@ -144,6 +155,28 @@ fn main() {
             ..base.clone()
         },
     ));
+    // The codec sub-matrix: every non-default rung of the ladder on
+    // the clean channel and under the 10 % bursty loss the transport
+    // contrast already uses.
+    for codec in [
+        CodecChoice::Sparse,
+        CodecChoice::Quant { bits: 4 },
+        CodecChoice::Auto,
+    ] {
+        for (scenario, loss) in [
+            ("none", None),
+            ("ge-10", Some(LossConfig::gilbert_elliott(seed, 0.10))),
+        ] {
+            configs.push((
+                format!("{}-{scenario}", codec.name()),
+                ExperimentConfig {
+                    codec,
+                    loss,
+                    ..base.clone()
+                },
+            ));
+        }
+    }
 
     let runs = run_all(
         &configs
@@ -153,20 +186,51 @@ fn main() {
     );
 
     println!(
-        "{:<12} {:>8} {:>10} {:>12} {:>12} {:>10}",
-        "scenario", "iters", "stall(s)", "lost(B)", "corrupt(B)", "metric"
+        "{:<12} {:>7} {:>8} {:>10} {:>13} {:>12} {:>10}",
+        "scenario", "codec", "iters", "stall(s)", "useful(B)", "lost(B)", "metric"
     );
-    for ((scenario, _), r) in configs.iter().zip(&runs) {
+    for ((scenario, cfg), r) in configs.iter().zip(&runs) {
         let final_metric = r.checkpoints.last().map_or(f64::NAN, |c| c.metric);
         println!(
-            "{scenario:<12} {:>8.1} {:>10.1} {:>12.0} {:>12.0} {:>10.2}",
+            "{scenario:<12} {:>7} {:>8.1} {:>10.1} {:>13.0} {:>12.0} {:>10.2}",
+            cfg.effective_codec().name(),
             r.mean_iterations,
             r.stall_secs + 0.0,
+            r.useful_bytes,
             r.lost_bytes,
-            r.corrupt_bytes,
             final_metric,
         );
     }
+
+    // Wire-level probe: two short traced runs pin "sparse < dense" on
+    // the per-row push payload, the one number the codec actually
+    // controls. (Comparing the matrix's total bytes would confound the
+    // codec with the extra iterations its cheaper rows buy.)
+    let per_row_push_bytes = |codec: CodecChoice| -> f64 {
+        let out = ExperimentConfig {
+            codec,
+            duration_secs: 120.0,
+            ..base.clone()
+        }
+        .options()
+        .traced(true)
+        .run();
+        let jsonl = out.journal.expect("traced run").to_jsonl();
+        let (mut bytes, mut rows) = (0.0, 0.0);
+        for line in jsonl.lines().filter(|l| l.contains("\"ev\":\"push_end\"")) {
+            let rec = Record::parse(line).expect("journal line parses");
+            bytes += rec.num("bytes").expect("push_end has bytes");
+            rows += rec.num("rows").expect("push_end has rows");
+        }
+        bytes / rows
+    };
+    let onebit_row = per_row_push_bytes(CodecChoice::OneBit);
+    let sparse_row = per_row_push_bytes(CodecChoice::Sparse);
+    assert!(
+        sparse_row < onebit_row,
+        "sparse rows must undercut the dense one-bit payload: {sparse_row} vs {onebit_row} B/row"
+    );
+    println!("push payload per row: onebit {onebit_row:.0} B, sparse {sparse_row:.0} B");
 
     let mut json = String::from("{\n");
     json.push_str("  \"bench\": \"loss_matrix_cruda_outdoor\",\n");
@@ -176,10 +240,16 @@ fn main() {
     let rows: Vec<String> = configs
         .iter()
         .zip(&runs)
-        .map(|((scenario, _), r)| scenario_json(scenario, r))
+        .map(|((scenario, cfg), r)| scenario_json(scenario, cfg.effective_codec().name(), r))
         .collect();
     json.push_str(&rows.join(",\n"));
-    json.push_str("\n  ]\n}\n");
+    json.push_str("\n  ],\n");
+    json.push_str(&format!(
+        "  \"push_payload_bytes_per_row\": {{\"onebit\": {}, \"sparse\": {}}}\n",
+        json_f64(onebit_row),
+        json_f64(sparse_row)
+    ));
+    json.push_str("}\n");
     std::fs::write("BENCH_loss.json", &json).expect("write BENCH_loss.json");
     println!("  -> wrote BENCH_loss.json");
 }

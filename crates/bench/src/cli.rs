@@ -5,6 +5,7 @@
 
 use std::fmt;
 
+use rog_compress::CodecChoice;
 use rog_fault::FaultPlan;
 use rog_net::{LossConfig, SharingMode};
 use rog_trainer::{
@@ -129,7 +130,7 @@ USAGE:
          [--batch-scale <x>] [--eval-every <iters>] [--seed <n>]
          [--scale paper|small] [--mac airtime|anomaly]
          [--pipeline] [--auto-threshold] [--micro] [--shards <n>]
-         [--aggregators <n>]
+         [--aggregators <n>] [--codec onebit|sparse|q2|q4|q8|auto]
          [--fault-plan <file>] [--fault-seed <n>]
          [--loss <rate>] [--loss-burst <rate>] [--loss-seed <n>]
          [--corrupt <rate>]
@@ -143,6 +144,16 @@ Fleet topology: --aggregators <n> inserts n edge aggregators between
 the workers and the parameter-server shards (ROG strategies only);
 --aggregators 0 is the default flat topology and produces
 bit-identical results to it. n must not exceed --workers.
+
+Row codec: --codec selects the push/pull payload encoder (ROG
+strategies only). onebit (default) is the paper's one-bit codec and
+produces bit-identical results to pre-codec builds; sparse encodes
+only the significant values as varint index gaps, falling back to
+dense when that would cost more; q2/q4/q8 are QSGD-style stochastic
+k-bit ladders; auto starts every link on onebit and re-selects per
+link from the channel's loss/goodput EWMAs (each switch is journaled
+as a codec_select event). topk keeps the top 10% values per row
+(ablation comparator).
 
 Fault injection: --fault-plan loads a script of
 'offline <w> <start> <end>' / 'blackout <w> <start> <end>' /
@@ -440,6 +451,11 @@ pub fn parse(args: &[String]) -> Result<CliRun, CliError> {
                     .parse()
                     .map_err(|_| err("--aggregators expects a count"))?;
             }
+            "--codec" => {
+                cfg.codec = value()?
+                    .parse()
+                    .map_err(|_| err("--codec expects onebit|sparse|q2|q4|q8|topk|auto"))?;
+            }
             "--fault-plan" => {
                 let path = value()?;
                 let text = std::fs::read_to_string(path)
@@ -533,7 +549,11 @@ pub fn parse(args: &[String]) -> Result<CliRun, CliError> {
         ));
     }
     if cfg.strategy.is_row_granular()
-        || (!cfg.pipeline && !cfg.auto_threshold && cfg.n_shards <= 1 && cfg.n_aggregators == 0)
+        || (!cfg.pipeline
+            && !cfg.auto_threshold
+            && cfg.n_shards <= 1
+            && cfg.n_aggregators == 0
+            && cfg.codec == CodecChoice::OneBit)
     {
         Ok(CliRun {
             config: cfg,
@@ -543,7 +563,8 @@ pub fn parse(args: &[String]) -> Result<CliRun, CliError> {
         })
     } else {
         Err(err(
-            "--pipeline/--auto-threshold/--shards/--aggregators apply to ROG strategies only",
+            "--pipeline/--auto-threshold/--shards/--aggregators/--codec apply to ROG \
+             strategies only",
         ))
     }
 }
@@ -732,6 +753,37 @@ mod tests {
             parse(&args("--strategy bsp --aggregators 0")).is_ok(),
             "zero aggregators is the plain flat topology"
         );
+    }
+
+    #[test]
+    fn codec_flag_parses_into_the_config() {
+        for (arg, want) in [
+            ("onebit", CodecChoice::OneBit),
+            ("sparse", CodecChoice::Sparse),
+            ("q2", CodecChoice::Quant { bits: 2 }),
+            ("q4", CodecChoice::Quant { bits: 4 }),
+            ("q8", CodecChoice::Quant { bits: 8 }),
+            ("auto", CodecChoice::Auto),
+        ] {
+            let run = parse(&args(&format!("--strategy rog:4 --codec {arg}"))).expect("parses");
+            assert_eq!(run.config.codec, want, "--codec {arg}");
+        }
+        assert_eq!(parse(&[]).expect("empty").config.codec, CodecChoice::OneBit);
+        assert!(parse(&args("--strategy rog:4 --codec q3")).is_err());
+        assert!(parse(&args("--strategy rog:4 --codec banana")).is_err());
+        // The codec ladder is row-granular; baselines reject it...
+        assert!(parse(&args("--strategy bsp --codec sparse")).is_err());
+        // ...but the explicit default is harmlessly accepted anywhere.
+        assert!(parse(&args("--strategy bsp --codec onebit")).is_ok());
+        // The adaptive hybrid is row-granular, so it composes.
+        assert!(parse(&args("--strategy roga:1:8 --codec auto")).is_ok());
+    }
+
+    #[test]
+    fn socket_subcommands_reject_non_onebit_codecs() {
+        let e = parse_command(&args("serve --strategy rog:4 --codec sparse")).unwrap_err();
+        assert!(e.to_string().contains("--codec sparse"), "{e}");
+        assert!(parse_command(&args("serve --strategy rog:4 --codec onebit")).is_ok());
     }
 
     #[test]

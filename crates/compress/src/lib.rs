@@ -37,23 +37,31 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod codec;
 mod onebit;
 mod qsgd;
 mod topk;
 
+pub use codec::{
+    Codec, CodecChoice, CodecState, OneBitCodec, QuantCodec, RowCode, RowCodec, SparseDeltaCodec,
+    SparseDeltaRow,
+};
 pub use onebit::{CompressedRow, ErrorFeedback};
 pub use qsgd::{QsgdCodec, QuantizedRow};
 pub use topk::{SparseRow, TopKCodec};
 
 /// Wire size in bytes of a one-bit-compressed row of `cols` values:
 /// two `f32` scales plus one bit per value, byte-padded.
+#[deprecated(note = "use `RowCodec::payload_bytes` on `OneBitCodec` (or the selected codec)")]
 pub const fn compressed_row_payload_bytes(cols: usize) -> u64 {
     8 + cols.div_ceil(8) as u64
 }
 
 /// Wire size of a whole one-bit-compressed model given its row widths
 /// (used by the model-granularity baselines, which also compress).
+#[deprecated(note = "use `RowCodec::model_payload_bytes` on `OneBitCodec` (or the selected codec)")]
 pub fn compressed_model_payload_bytes(row_widths: &[usize]) -> u64 {
+    #[allow(deprecated)]
     row_widths
         .iter()
         .map(|&c| compressed_row_payload_bytes(c))
@@ -67,7 +75,7 @@ mod tests {
     #[test]
     fn payload_size_is_about_one_bit_per_value() {
         // 1024 f32 values = 4096 raw bytes; compressed = 8 + 128 = 136.
-        let c = compressed_row_payload_bytes(1024);
+        let c = OneBitCodec.payload_bytes(1024);
         assert_eq!(c, 136);
         let rate = c as f64 / 4096.0;
         assert!(rate < 0.04, "compression rate {rate}");
@@ -76,8 +84,8 @@ mod tests {
     #[test]
     fn model_size_sums_rows() {
         assert_eq!(
-            compressed_model_payload_bytes(&[8, 16]),
-            compressed_row_payload_bytes(8) + compressed_row_payload_bytes(16)
+            OneBitCodec.model_payload_bytes(&[8, 16]),
+            OneBitCodec.payload_bytes(8) + OneBitCodec.payload_bytes(16)
         );
     }
 
@@ -88,8 +96,32 @@ mod tests {
         // rows of ~509 columns gives ~3.3%.
         let widths = vec![509usize; 33_307];
         let raw: u64 = widths.iter().map(|&c| 4 * c as u64).sum();
-        let comp = compressed_model_payload_bytes(&widths);
+        let comp = OneBitCodec.model_payload_bytes(&widths);
         let rate = comp as f64 / raw as f64;
         assert!((0.028..0.045).contains(&rate), "rate {rate}");
+    }
+
+    /// Deprecated-shim coverage, exercised only on the CI deprecation
+    /// lane (`RUSTFLAGS=--cfg rog_exercise_deprecated`): the free
+    /// functions must keep returning exactly the one-bit codec's sizes.
+    #[cfg(rog_exercise_deprecated)]
+    mod shim_exercise {
+        use super::*;
+
+        #[test]
+        #[allow(deprecated)]
+        fn free_payload_fns_match_the_onebit_codec() {
+            for cols in [0usize, 1, 7, 8, 63, 64, 1024] {
+                assert_eq!(
+                    compressed_row_payload_bytes(cols),
+                    OneBitCodec.payload_bytes(cols)
+                );
+            }
+            let widths = [3usize, 509, 64];
+            assert_eq!(
+                compressed_model_payload_bytes(&widths),
+                OneBitCodec.model_payload_bytes(&widths)
+            );
+        }
     }
 }

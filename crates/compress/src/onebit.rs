@@ -106,7 +106,7 @@ impl CompressedRow {
 
     /// Bytes this row occupies on the wire (scales + packed bits).
     pub fn payload_bytes(&self) -> u64 {
-        crate::compressed_row_payload_bytes(self.cols)
+        8 + self.cols.div_ceil(8) as u64
     }
 }
 

@@ -7,7 +7,8 @@
 //! is why partial (row-granular) transmission does not break consistency
 //! (paper Sec. III-B).
 
-use rog_compress::ErrorFeedback;
+use rog_compress::{Codec, CodecChoice, CodecState, OneBitCodec, RowCodec};
+use rog_tensor::rng::DetRng;
 use rog_tensor::{ops, Matrix};
 
 use crate::{ImportanceMetric, ImportanceMode, RankScratch, RowId, RowPartition, RowVersionStore};
@@ -26,8 +27,11 @@ pub struct RogServer {
     fresh: Vec<Vec<u64>>,
     /// `v_i^r` version storage.
     versions: RowVersionStore,
+    /// Per-destination-worker pull codec (the per-link auto controller
+    /// may switch individual links independently).
+    codecs: Vec<Codec>,
     /// Per-destination-worker compression residuals for pulls.
-    efs: Vec<ErrorFeedback>,
+    states: Vec<CodecState>,
     /// Membership mask: pushes are averaged over (and fanned out to)
     /// active workers only.
     active: Vec<bool>,
@@ -70,8 +74,9 @@ impl RogServer {
             accum: vec![zero; n_workers],
             fresh: vec![vec![0; partition.n_rows()]; n_workers],
             versions: RowVersionStore::new(n_workers, partition.n_rows()),
-            efs: (0..n_workers)
-                .map(|_| ErrorFeedback::new(&widths))
+            codecs: vec![Codec::default(); n_workers],
+            states: (0..n_workers)
+                .map(|_| CodecState::new(&widths, 0))
                 .collect(),
             active: vec![true; n_workers],
             partition,
@@ -101,6 +106,39 @@ impl RogServer {
     /// controller extension). Takes effect at the next gate check.
     pub fn set_threshold(&mut self, threshold: u32) {
         self.threshold = threshold;
+    }
+
+    /// Configures the pull codec of every link from `choice`, reseeding
+    /// each destination worker's stochastic stream from a fork of
+    /// `seed`. Call before training starts — it rebuilds the residual
+    /// state.
+    pub fn configure_codec(&mut self, choice: CodecChoice, seed: u64) {
+        let widths = self.partition.widths().to_vec();
+        let base = DetRng::new(seed);
+        self.codecs = vec![choice.build(); self.n_workers];
+        self.states = (0..self.n_workers)
+            .map(|w| CodecState::new(&widths, base.fork(w as u64).seed()))
+            .collect();
+    }
+
+    /// The active pull codec of the link to `worker`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `worker` is out of range.
+    pub fn codec(&self, worker: usize) -> &Codec {
+        &self.codecs[worker]
+    }
+
+    /// Switches the pull codec of the link to `worker` (the per-link
+    /// auto controller). Residuals carry over — the held mass is
+    /// codec-independent.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `worker` is out of range.
+    pub fn set_codec(&mut self, worker: usize, codec: Codec) {
+        self.codecs[worker] = codec;
     }
 
     /// The version storage (shared; `min(V)` and gate queries are
@@ -160,7 +198,7 @@ impl RogServer {
             m.fill_zero();
         }
         self.fresh[worker].fill(0);
-        self.efs[worker].reset();
+        self.states[worker].reset();
         self.versions.stamp_worker(worker, iter);
         self.versions.set_active(worker, true);
         self.active[worker] = true;
@@ -266,9 +304,26 @@ impl RogServer {
         self.scratch = scratch;
     }
 
-    /// Compressed payload size of one row on the wire.
+    /// Width-only payload size of one row on the wire — the one-bit /
+    /// dense bound, kept for sizing paths that have no destination
+    /// worker in scope (e.g. resync model transfers, which are dense).
     pub fn payload_bytes(&self, id: RowId) -> u64 {
-        rog_compress::compressed_row_payload_bytes(self.partition.width(id))
+        OneBitCodec.payload_bytes(self.partition.width(id))
+    }
+
+    /// Payload size of one row on the link to `worker`, as that link's
+    /// codec would frame it right now (content-sized codecs account the
+    /// pending gradient plus the link's residual).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `worker` or `id` is out of range.
+    pub fn payload_bytes_for(&self, worker: usize, id: RowId) -> u64 {
+        self.states[worker].planned_payload_bytes(
+            &self.codecs[worker],
+            id.0,
+            self.partition.row(&self.accum[worker], id),
+        )
     }
 
     /// Commits a pull: compresses (per-destination error feedback),
@@ -279,7 +334,9 @@ impl RogServer {
         rows.iter()
             .map(|&id| {
                 let row = self.partition.row(&self.accum[worker], id).to_vec();
-                let restored = self.efs[worker].compress(id.0, &row).decompress();
+                let restored = self.states[worker]
+                    .compress(&self.codecs[worker], id.0, &row)
+                    .decompress();
                 self.partition
                     .row_mut(&mut self.accum[worker], id)
                     .iter_mut()

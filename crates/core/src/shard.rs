@@ -255,6 +255,24 @@ impl ShardedServer {
         }
     }
 
+    /// Configures the pull codec of every link on every shard, each
+    /// shard's stochastic streams seeded from an independent fork of
+    /// `seed`. Call before training starts.
+    pub fn configure_codec(&mut self, choice: rog_compress::CodecChoice, seed: u64) {
+        let base = rog_tensor::rng::DetRng::new(seed);
+        for (i, s) in self.shards.iter_mut().enumerate() {
+            s.configure_codec(choice, base.fork(i as u64).seed());
+        }
+    }
+
+    /// Switches the pull codec of the link to `worker` on every shard
+    /// (the per-link auto controller).
+    pub fn set_codec(&mut self, worker: usize, codec: rog_compress::Codec) {
+        for s in &mut self.shards {
+            s.set_codec(worker, codec);
+        }
+    }
+
     /// Total NaN/Inf gradient values zeroed at ingest across shards.
     pub fn nonfinite_dropped(&self) -> u64 {
         self.shards.iter().map(RogServer::nonfinite_dropped).sum()
@@ -341,9 +359,16 @@ impl ShardedServer {
         }
     }
 
-    /// Compressed payload size of one (global) row on the wire.
+    /// Width-only payload size of one (global) row on the wire (the
+    /// one-bit / dense bound; see [`RogServer::payload_bytes`]).
     pub fn payload_bytes(&self, id: RowId) -> u64 {
         self.shards[self.map.shard_of(id)].payload_bytes(self.map.to_local(id))
+    }
+
+    /// Payload size of one (global) row on the link to `worker`, as
+    /// that link's codec would frame it right now.
+    pub fn payload_bytes_for(&self, worker: usize, id: RowId) -> u64 {
+        self.shards[self.map.shard_of(id)].payload_bytes_for(worker, self.map.to_local(id))
     }
 
     /// Commits a pull of global `rows` from `shard`, returning the

@@ -12,7 +12,7 @@
 //! else: accumulation, ranking, compression (with per-row error
 //! feedback), and the optimizer step.
 
-use rog_compress::ErrorFeedback;
+use rog_compress::{Codec, CodecChoice, CodecState};
 use rog_tensor::{ops, Matrix};
 
 use crate::{ImportanceMetric, ImportanceMode, RankScratch, RowId, RowPartition};
@@ -69,17 +69,25 @@ pub struct RogWorkerConfig {
     pub lr: f32,
     /// Parameter-update rule.
     pub rule: UpdateRule,
+    /// Row codec for pushed gradients (`Auto` starts on the one-bit
+    /// rung; the engine's controller switches rungs at runtime).
+    pub codec: CodecChoice,
+    /// Seed of the worker's stochastic-rounding stream (only drawn from
+    /// by randomizing codecs such as the quantization ladder).
+    pub codec_seed: u64,
 }
 
 impl RogWorkerConfig {
     /// A config with the given threshold and learning rate, default
-    /// importance and plain SGD.
+    /// importance, plain SGD, and the one-bit codec.
     pub fn new(threshold: u32, lr: f32) -> Self {
         Self {
             threshold,
             importance: ImportanceMetric::default(),
             lr,
             rule: UpdateRule::Sgd,
+            codec: CodecChoice::OneBit,
+            codec_seed: 0,
         }
     }
 
@@ -96,6 +104,14 @@ impl RogWorkerConfig {
         self.rule = rule;
         self
     }
+
+    /// Selects the row codec and the seed of its stochastic stream.
+    #[must_use]
+    pub fn with_codec(mut self, codec: CodecChoice, seed: u64) -> Self {
+        self.codec = codec;
+        self.codec_seed = seed;
+        self
+    }
 }
 
 /// Worker-side ROG state (Algorithm 1).
@@ -106,8 +122,10 @@ pub struct RogWorker {
     accum: Vec<Matrix>,
     /// Last iteration each row was pushed (`iters` in Algorithm 1).
     iters: Vec<u64>,
-    /// Per-row compression residuals.
-    ef: ErrorFeedback,
+    /// The active row codec (switchable at runtime under `Auto`).
+    codec: Codec,
+    /// Per-row compression residuals + stochastic-rounding stream.
+    state: CodecState,
     /// Per-row momentum velocities / Adam first moments.
     vel: Vec<Matrix>,
     /// Adam second moments (allocated lazily on first Adam step).
@@ -135,7 +153,8 @@ impl RogWorker {
         Self {
             accum: zero.clone(),
             iters: vec![0; partition.n_rows()],
-            ef: ErrorFeedback::new(&widths),
+            codec: cfg.codec.build(),
+            state: CodecState::new(&widths, cfg.codec_seed),
             vel: zero,
             adam_v: None,
             adam_t: vec![0; partition.n_rows()],
@@ -161,6 +180,18 @@ impl RogWorker {
     /// mandatory-row rule uses the new value from the next push plan.
     pub fn set_threshold(&mut self, threshold: u32) {
         self.cfg.threshold = threshold;
+    }
+
+    /// The active row codec.
+    pub fn codec(&self) -> &Codec {
+        &self.codec
+    }
+
+    /// Switches the active row codec (the per-link auto controller).
+    /// Error-feedback residuals carry over — the mass they hold is
+    /// codec-independent, so no information is dropped at a switch.
+    pub fn set_codec(&mut self, codec: Codec) {
+        self.codec = codec;
     }
 
     /// Last-push iteration of every row.
@@ -232,9 +263,12 @@ impl RogWorker {
         self.scratch = scratch;
     }
 
-    /// Compressed payload size of one row on the wire.
+    /// Compressed payload size of one row on the wire, as the active
+    /// codec would frame it right now (content-sized codecs account the
+    /// current accumulated gradient plus residual).
     pub fn payload_bytes(&self, id: RowId) -> u64 {
-        rog_compress::compressed_row_payload_bytes(self.partition.width(id))
+        self.state
+            .planned_payload_bytes(&self.codec, id.0, self.partition.row(&self.accum, id))
     }
 
     /// Commits a push: compresses the accumulated gradients of the rows
@@ -245,7 +279,7 @@ impl RogWorker {
         rows.iter()
             .map(|&id| {
                 let row = self.partition.row(&self.accum, id).to_vec();
-                let restored = self.ef.compress(id.0, &row).decompress();
+                let restored = self.state.compress(&self.codec, id.0, &row).decompress();
                 self.partition
                     .row_mut(&mut self.accum, id)
                     .iter_mut()
@@ -308,7 +342,7 @@ impl RogWorker {
         for m in &mut self.accum {
             m.fill_zero();
         }
-        self.ef.reset();
+        self.state.reset();
         for m in &mut self.vel {
             m.fill_zero();
         }

@@ -18,6 +18,10 @@
 //! * **Journal ↔ metrics reconciliation** — the composition replayed
 //!   from the journal is bitwise the one the metrics report, and
 //!   begin/end event pairings balance.
+//! * **Codec selection** — only a `codec auto` scenario may journal
+//!   `codec_select` events, every event names a live worker and a
+//!   known codec rung, and per worker no two consecutive selections
+//!   repeat (the engine never journals a no-op switch).
 //! * **Staleness** — without shard or aggregator outages, no gate
 //!   event may record a lead beyond the model's *instantaneous*
 //!   staleness bound (static for BSP/SSP/ROG, replayed from the
@@ -71,6 +75,8 @@ pub enum Violation {
     Reconciliation(String),
     /// A gate event recorded a lead beyond the RSP staleness bound.
     StalenessExceeded(String),
+    /// A `codec_select` event broke the selector's replay contract.
+    CodecSelect(String),
     /// `n_shards = 0` diverged from `n_shards = 1`.
     ShardTwinDivergence(String),
     /// The hierarchical run diverged from its flat twin.
@@ -87,6 +93,7 @@ impl Violation {
             Violation::ByteLedger(_) => "byte_ledger",
             Violation::Reconciliation(_) => "reconciliation",
             Violation::StalenessExceeded(_) => "staleness_exceeded",
+            Violation::CodecSelect(_) => "codec_select",
             Violation::ShardTwinDivergence(_) => "shard_twin",
             Violation::HierarchyTwinDivergence(_) => "hierarchy_twin",
         }
@@ -106,6 +113,7 @@ impl std::fmt::Display for Violation {
             Violation::ByteLedger(d) => write!(f, "byte ledger: {d}"),
             Violation::Reconciliation(d) => write!(f, "journal/metrics reconciliation: {d}"),
             Violation::StalenessExceeded(d) => write!(f, "staleness exceeded: {d}"),
+            Violation::CodecSelect(d) => write!(f, "codec selection: {d}"),
             Violation::ShardTwinDivergence(d) => write!(f, "shard-0 vs shard-1 twin: {d}"),
             Violation::HierarchyTwinDivergence(d) => write!(f, "hierarchical vs flat twin: {d}"),
         }
@@ -378,6 +386,56 @@ fn check_staleness(sc: &Scenario, journal: &str, violations: &mut Vec<Violation>
     }
 }
 
+/// The codec-selector replay contract, observed from the journal:
+/// `codec_select` events may only appear when the scenario's effective
+/// codec is `auto`, each names a worker inside the fleet and one of
+/// the rungs the selector actually chooses between ("onebit" /
+/// "sparse"), and per worker no two consecutive selections repeat —
+/// the engine skips no-op switches before journaling, and every
+/// worker starts on the dense one-bit rung.
+fn check_codec_select(sc: &Scenario, journal: &str, violations: &mut Vec<Violation>) {
+    let auto = sc.config().effective_codec().is_auto();
+    let mut last: Vec<String> = vec!["onebit".to_owned(); sc.n_workers];
+    for line in journal.lines() {
+        if !line.contains("\"ev\":\"codec_select\"") {
+            continue;
+        }
+        if !auto {
+            violations.push(Violation::CodecSelect(format!(
+                "codec_select journaled by a non-auto ({}) run: {line}",
+                sc.codec.name()
+            )));
+            return;
+        }
+        let Ok(rec) = Record::parse(line) else {
+            continue; // parse failures are the reconciliation check's job
+        };
+        let w = rec.num("w").unwrap_or(f64::NAN);
+        let codec = rec.str("codec").unwrap_or("").to_owned();
+        if !(w >= 0.0 && (w as usize) < sc.n_workers) {
+            violations.push(Violation::CodecSelect(format!(
+                "worker {w} outside the {}-worker fleet: {line}",
+                sc.n_workers
+            )));
+            return;
+        }
+        if codec != "onebit" && codec != "sparse" {
+            violations.push(Violation::CodecSelect(format!(
+                "unknown selector rung {codec:?}: {line}"
+            )));
+            return;
+        }
+        let w = w as usize;
+        if last[w] == codec {
+            violations.push(Violation::CodecSelect(format!(
+                "worker {w} re-selected {codec:?} it was already on: {line}"
+            )));
+            return;
+        }
+        last[w] = codec;
+    }
+}
+
 /// Replays `sc` across thread counts and twin topologies, returning
 /// every invariant violation. Never panics on engine failures — they
 /// become [`Violation::EnginePanic`] — so the shrinker can replay
@@ -476,6 +534,9 @@ pub fn check_scenario(sc: &Scenario) -> CheckOutcome {
     // --- RSP staleness bound, observed at the gate.
     check_staleness(sc, &journal, &mut violations);
 
+    // --- codec-selector replay contract.
+    check_codec_select(sc, &journal, &mut violations);
+
     // --- topology twins (row-granular strategies only).
     if sc.strategy.is_row_granular() {
         if sc.n_shards == 1 {
@@ -547,6 +608,7 @@ pub fn check_scenario(sc: &Scenario) -> CheckOutcome {
 mod tests {
     use super::*;
     use crate::scenario::Scenario;
+    use rog_compress::CodecChoice;
     use rog_trainer::Environment;
 
     #[test]
@@ -562,11 +624,64 @@ mod tests {
             duration_secs: 20.0,
             run_seed: 42,
             loss: None,
+            codec: CodecChoice::OneBit,
             script: String::new(),
         };
         let out = check_scenario(&sc);
         assert!(out.passed(), "violations: {:?}", out.violations);
         assert!(out.virtual_secs > 0.0);
         assert!(out.sim_events > 0);
+    }
+
+    // Synthetic journals, not full replays: `check_scenario` swaps
+    // process-global state, so this binary keeps a single replay test.
+    #[test]
+    fn codec_select_contract_is_enforced_from_the_journal() {
+        let sc = |codec| Scenario {
+            gen_seed: 0,
+            index: 0,
+            strategy: Strategy::Rog { threshold: 4 },
+            n_workers: 2,
+            n_shards: 1,
+            n_aggregators: 0,
+            environment: Environment::Stable,
+            duration_secs: 20.0,
+            run_seed: 42,
+            loss: None,
+            codec,
+            script: String::new(),
+        };
+        let ev = |w: u32, codec: &str| {
+            format!("{{\"t\":1.0,\"ev\":\"codec_select\",\"w\":{w},\"codec\":\"{codec}\"}}")
+        };
+
+        // A legal auto trace: each worker flips rungs alternately.
+        let mut v = Vec::new();
+        let ok = [ev(0, "sparse"), ev(1, "sparse"), ev(0, "onebit")].join("\n");
+        check_codec_select(&sc(CodecChoice::Auto), &ok, &mut v);
+        assert!(v.is_empty(), "{v:?}");
+
+        // Any codec_select outside an auto run is a violation.
+        check_codec_select(&sc(CodecChoice::OneBit), &ok, &mut v);
+        assert!(matches!(v.as_slice(), [Violation::CodecSelect(_)]));
+
+        // Workers start on one-bit, so the first switch must leave it.
+        v.clear();
+        check_codec_select(&sc(CodecChoice::Auto), &ev(0, "onebit"), &mut v);
+        assert_eq!(v.len(), 1, "{v:?}");
+
+        // Re-selecting the current rung, unknown rungs, and
+        // out-of-fleet workers are each a violation.
+        v.clear();
+        let dup = [ev(0, "sparse"), ev(0, "sparse")].join("\n");
+        check_codec_select(&sc(CodecChoice::Auto), &dup, &mut v);
+        assert_eq!(v.len(), 1, "{v:?}");
+        v.clear();
+        check_codec_select(&sc(CodecChoice::Auto), &ev(0, "q4"), &mut v);
+        assert_eq!(v.len(), 1, "{v:?}");
+        v.clear();
+        check_codec_select(&sc(CodecChoice::Auto), &ev(2, "sparse"), &mut v);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].kind(), "codec_select");
     }
 }

@@ -7,6 +7,7 @@
 //! how many scenarios were drawn before it, and a failing draw can be
 //! re-generated in isolation.
 
+use rog_compress::CodecChoice;
 use rog_fault::{FaultKind, FaultPlan, FaultWindow, LossWindow};
 use rog_tensor::rng::DetRng;
 use rog_trainer::{Environment, Strategy};
@@ -189,6 +190,25 @@ impl ScenarioGen {
             ge_mean: rng.chance(0.5).then(|| rng.uniform_range(0.02, 0.2)),
         });
 
+        // --- row codec: only the widened draw samples the ladder, and
+        // only under row-granular strategies (the baselines always
+        // frame dense one-bit rows). The draw comes from a pure fork so
+        // it perturbs no other stream — legacy corpus seeds keep
+        // reproducing byte-identical scenarios.
+        let codec = if self.widened && rog {
+            let mut codec_rng = rng.fork(0xC0DE);
+            match codec_rng.index(6) {
+                0 | 1 => CodecChoice::OneBit,
+                2 => CodecChoice::Sparse,
+                3 => CodecChoice::Quant {
+                    bits: [2u8, 4, 8][codec_rng.index(3)],
+                },
+                _ => CodecChoice::Auto,
+            }
+        } else {
+            CodecChoice::OneBit
+        };
+
         // --- fault plan: windows over [prefix, 0.9 · duration], each
         // kind sampled within the ranges the engine validates against
         // (worker < n_workers, shard < effective shards, aggregator <
@@ -244,6 +264,7 @@ impl ScenarioGen {
             duration_secs,
             run_seed,
             loss,
+            codec,
             script: plan.to_script(),
         }
     }
@@ -340,6 +361,23 @@ mod tests {
         assert!(scenarios
             .iter()
             .any(|s| matches!(s.strategy, Strategy::RogAdaptive { .. }) && s.n_shards > 1));
+        // The codec ladder is drawn too — every rung shows up, and only
+        // on row-granular strategies.
+        assert!(scenarios.iter().any(|s| s.codec == CodecChoice::Sparse));
+        assert!(scenarios
+            .iter()
+            .any(|s| matches!(s.codec, CodecChoice::Quant { .. })));
+        assert!(scenarios.iter().any(|s| s.codec == CodecChoice::Auto));
+        assert!(scenarios.iter().any(|s| s.codec == CodecChoice::OneBit));
+        for sc in &scenarios {
+            if sc.codec != CodecChoice::OneBit {
+                assert!(
+                    sc.strategy.is_row_granular(),
+                    "codec on {}",
+                    sc.strategy.name()
+                );
+            }
+        }
         for (i, sc) in scenarios.iter().enumerate() {
             assert_eq!(
                 Scenario::parse(&sc.to_repro()).expect("parses"),
@@ -364,6 +402,7 @@ mod tests {
                 "index {i} drew {}",
                 sc.strategy.name()
             );
+            assert_eq!(sc.codec, CodecChoice::OneBit, "index {i}");
         }
     }
 

@@ -8,6 +8,7 @@
 //! bug reports) exclusively in this form, so the format leans on the
 //! same exact-float `{}` rendering the fault-script format pins.
 
+use rog_compress::CodecChoice;
 use rog_fault::FaultPlan;
 use rog_net::{GeParams, LossConfig};
 use rog_trainer::{Environment, ExperimentConfig, ModelScale, Strategy, WorkloadKind};
@@ -64,6 +65,10 @@ pub struct Scenario {
     pub n_shards: usize,
     /// Edge aggregators (ROG only; 0 = flat).
     pub n_aggregators: usize,
+    /// Row codec (ROG only; one-bit elsewhere). Repro files omit the
+    /// `codec` directive for the one-bit default, so legacy corpora
+    /// parse unchanged and legacy-draw repro text stays byte-identical.
+    pub codec: CodecChoice,
     /// Wireless environment.
     pub environment: Environment,
     /// Virtual duration in seconds.
@@ -109,6 +114,7 @@ impl Scenario {
             duration_secs: self.duration_secs,
             eval_every: 5,
             seed: self.run_seed,
+            codec: self.codec,
             loss: self.loss.as_ref().map(LossSpec::to_config),
             fault_plan: if plan.is_empty() { None } else { Some(plan) },
             ..ExperimentConfig::default()
@@ -118,13 +124,18 @@ impl Scenario {
     /// Short display label ("seed 7 #12: ROG-4 w3 s2 a1").
     pub fn label(&self) -> String {
         format!(
-            "seed {} #{}: {} w{} s{} a{} {:.0}s{}{}",
+            "seed {} #{}: {} w{} s{} a{}{} {:.0}s{}{}",
             self.gen_seed,
             self.index,
             self.strategy.name(),
             self.n_workers,
             self.n_shards,
             self.n_aggregators,
+            if self.codec == CodecChoice::OneBit {
+                String::new()
+            } else {
+                format!(" +{}", self.codec.name())
+            },
             self.duration_secs,
             if self.loss.is_some() { " +loss" } else { "" },
             if self.script.is_empty() {
@@ -168,6 +179,12 @@ impl Scenario {
         out.push_str(&format!("workers {}\n", self.n_workers));
         out.push_str(&format!("shards {}\n", self.n_shards));
         out.push_str(&format!("aggregators {}\n", self.n_aggregators));
+        // The one-bit default is implicit: legacy repro files (which
+        // predate the directive) stay parseable and re-render
+        // byte-identically.
+        if self.codec != CodecChoice::OneBit {
+            out.push_str(&format!("codec {}\n", self.codec.name()));
+        }
         out.push_str(&format!("environment {}\n", self.environment.name()));
         out.push_str(&format!("duration {}\n", self.duration_secs));
         out.push_str(&format!("run-seed {}\n", self.run_seed));
@@ -198,6 +215,7 @@ impl Scenario {
         let mut n_workers = None;
         let mut n_shards = None;
         let mut n_aggregators = None;
+        let mut codec = None;
         let mut environment = None;
         let mut duration_secs = None;
         let mut run_seed = None;
@@ -275,6 +293,9 @@ impl Scenario {
                 ["workers", v] => n_workers = Some(parse_usize(v)?),
                 ["shards", v] => n_shards = Some(parse_usize(v)?),
                 ["aggregators", v] => n_aggregators = Some(parse_usize(v)?),
+                ["codec", v] => {
+                    codec = Some(v.parse::<CodecChoice>().map_err(|_| at("unknown codec"))?);
+                }
                 ["environment", v] => {
                     environment = Some(match *v {
                         "indoor" => Environment::Indoor,
@@ -315,6 +336,8 @@ impl Scenario {
             n_workers: n_workers.ok_or_else(|| need("workers"))?,
             n_shards: n_shards.ok_or_else(|| need("shards"))?,
             n_aggregators: n_aggregators.ok_or_else(|| need("aggregators"))?,
+            // Absent in legacy corpora: default to the one-bit codec.
+            codec: codec.unwrap_or(CodecChoice::OneBit),
             environment: environment.ok_or_else(|| need("environment"))?,
             duration_secs: duration_secs.ok_or_else(|| need("duration"))?,
             run_seed: run_seed.ok_or_else(|| need("run-seed"))?,
@@ -340,6 +363,7 @@ mod tests {
             n_workers: 3,
             n_shards: 2,
             n_aggregators: 1,
+            codec: CodecChoice::OneBit,
             environment: Environment::Stable,
             duration_secs: 27.53125,
             run_seed: 0xfeed,
@@ -417,6 +441,39 @@ mod tests {
             };
             assert_eq!(Scenario::parse(&sc.to_repro()).expect("parses"), sc);
         }
+    }
+
+    #[test]
+    fn codec_directive_round_trips_and_defaults_to_onebit() {
+        // Non-default codecs render a `codec` line and round-trip.
+        for choice in [
+            CodecChoice::Sparse,
+            CodecChoice::Quant { bits: 4 },
+            CodecChoice::Auto,
+        ] {
+            let sc = Scenario {
+                codec: choice,
+                ..sample()
+            };
+            let text = sc.to_repro();
+            assert!(text.contains("codec "), "{text}");
+            let again = Scenario::parse(&text).expect("parses");
+            assert_eq!(again, sc);
+            assert_eq!(again.config().codec, choice);
+        }
+        // The one-bit default is implicit: no directive is written, and
+        // legacy repro text (which never had one) parses to one-bit.
+        let text = sample().to_repro();
+        assert!(!text.contains("codec "), "{text}");
+        assert_eq!(
+            Scenario::parse(&text).expect("parses").codec,
+            CodecChoice::OneBit
+        );
+        assert!(
+            Scenario::parse(&text.replace("aggregators 1\n", "aggregators 1\ncodec banana\n"))
+                .unwrap_err()
+                .contains("unknown codec")
+        );
     }
 
     #[test]

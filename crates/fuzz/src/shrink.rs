@@ -188,6 +188,7 @@ mod tests {
             duration_secs: 40.0,
             run_seed: 1,
             loss: None,
+            codec: rog_compress::CodecChoice::OneBit,
             script: script.to_owned(),
         }
     }

@@ -194,6 +194,11 @@ pub enum EventKind {
     /// the instantaneous gate bound in force at any virtual time, so
     /// the adapted bound is observable and replayable from the journal.
     ThresholdAdapt { w: u32, threshold: u32 },
+    /// The per-link codec selector (`--codec auto`) switched worker
+    /// `w`'s row codec. The per-worker sequence of these events is the
+    /// codec in force on that link at any virtual time, so the selection
+    /// is observable and replayable from the journal.
+    CodecSelect { w: u32, codec: &'static str },
     /// End of run: total iterations across workers and run duration.
     RunEnd { iters: u64, duration: f64 },
     /// Live cluster: peer `w` completed the join handshake.
@@ -232,6 +237,7 @@ impl EventKind {
             EventKind::AggMerge { .. } => "agg_merge",
             EventKind::AutoThreshold { .. } => "auto_threshold",
             EventKind::ThresholdAdapt { .. } => "threshold_adapt",
+            EventKind::CodecSelect { .. } => "codec_select",
             EventKind::RunEnd { .. } => "run_end",
             EventKind::PeerUp { .. } => "peer_up",
             EventKind::PeerDown { .. } => "peer_down",
@@ -247,6 +253,7 @@ impl EventKind {
             | EventKind::Close { .. }
             | EventKind::AutoThreshold { .. }
             | EventKind::ThresholdAdapt { .. }
+            | EventKind::CodecSelect { .. }
             | EventKind::RunEnd { .. } => Category::Control,
             EventKind::IterBegin { .. } | EventKind::IterEnd { .. } => Category::Iteration,
             EventKind::GateEnter { .. } | EventKind::GateExit { .. } => Category::Gate,
@@ -441,6 +448,9 @@ impl Event {
             }
             EventKind::ThresholdAdapt { w, threshold } => {
                 let _ = write!(out, ",\"w\":{w},\"threshold\":{threshold}");
+            }
+            EventKind::CodecSelect { w, codec } => {
+                let _ = write!(out, ",\"w\":{w},\"codec\":\"{codec}\"");
             }
             EventKind::RunEnd { iters, duration } => {
                 let _ = write!(out, ",\"iters\":{iters},\"duration\":{duration}");
@@ -877,6 +887,10 @@ mod tests {
             },
             EventKind::AutoThreshold { threshold: 0 },
             EventKind::ThresholdAdapt { w: 0, threshold: 0 },
+            EventKind::CodecSelect {
+                w: 0,
+                codec: "onebit",
+            },
             EventKind::RunEnd {
                 iters: 0,
                 duration: 0.0,

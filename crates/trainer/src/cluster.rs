@@ -229,11 +229,17 @@ impl Cluster {
 
         // Initial shared model and wire scaling.
         let init_model = workload.make_model(&mut root.fork(0x20));
+        // Calibrated against the one-bit payload regardless of the
+        // selected codec, so a codec change shows up as a byte delta in
+        // the metrics instead of being scaled away.
         let framed_compressed: u64 = init_model
             .row_widths()
             .iter()
             .map(|&w| {
-                rog_net::wire::framed_row_bytes(rog_compress::compressed_row_payload_bytes(w))
+                rog_net::wire::framed_row_bytes(rog_compress::RowCodec::payload_bytes(
+                    &rog_compress::OneBitCodec,
+                    w,
+                ))
             })
             .sum();
         let wire_scale = cfg.compressed_bytes() as f64 / framed_compressed.max(1) as f64;
@@ -305,7 +311,12 @@ mod tests {
             .init_model
             .row_widths()
             .iter()
-            .map(|&w| c.scaled_row_bytes(rog_compress::compressed_row_payload_bytes(w)))
+            .map(|&w| {
+                c.scaled_row_bytes(rog_compress::RowCodec::payload_bytes(
+                    &rog_compress::OneBitCodec,
+                    w,
+                ))
+            })
             .sum();
         let target = cfg.compressed_bytes();
         let ratio = total as f64 / target as f64;

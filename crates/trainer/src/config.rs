@@ -1,5 +1,6 @@
 //! Experiment configuration.
 
+use rog_compress::CodecChoice;
 use rog_fault::{ChurnProfile, FaultPlan};
 use rog_net::{ChannelProfile, LossConfig, LossModel, SharingMode, Trace};
 
@@ -238,6 +239,13 @@ pub struct ExperimentConfig {
     /// default) is the flat topology, byte-identical to the
     /// pre-aggregator engine.
     pub n_aggregators: usize,
+    /// Row codec for the push/pull payloads (ROG strategies only; the
+    /// model-granularity baselines always ship the dense one-bit
+    /// model). [`CodecChoice::Auto`] starts every link on one-bit and
+    /// re-selects per link from the channel's loss/goodput EWMAs. The
+    /// default, [`CodecChoice::OneBit`], is byte-identical to the
+    /// pre-codec engine.
+    pub codec: CodecChoice,
 }
 
 impl Default for ExperimentConfig {
@@ -270,6 +278,7 @@ impl Default for ExperimentConfig {
             trace: false,
             n_shards: 1,
             n_aggregators: 0,
+            codec: CodecChoice::OneBit,
         }
     }
 }
@@ -280,7 +289,7 @@ impl ExperimentConfig {
         let faulty = self.fault_plan.as_ref().is_some_and(|p| !p.is_empty())
             || (self.fault_plan.is_none() && self.fault_seed.is_some());
         format!(
-            "{}{}{}{}{}{} / {} / {}",
+            "{}{}{}{}{}{}{} / {} / {}",
             self.strategy.name(),
             match (self.pipeline, self.auto_threshold) {
                 (true, true) => "+pipe+auto",
@@ -295,6 +304,11 @@ impl ExperimentConfig {
             },
             if self.effective_aggregators() > 0 {
                 format!("+agg{}", self.effective_aggregators())
+            } else {
+                String::new()
+            },
+            if self.effective_codec() != CodecChoice::OneBit {
+                format!("+{}", self.effective_codec().name())
             } else {
                 String::new()
             },
@@ -329,6 +343,18 @@ impl ExperimentConfig {
             self.n_aggregators
         } else {
             0
+        }
+    }
+
+    /// The row codec this run actually uses: `codec` for the ROG row
+    /// engine; always the dense one-bit codec for the model-granularity
+    /// baselines (they ship whole models; the codec ladder is a
+    /// row-granular feature).
+    pub fn effective_codec(&self) -> CodecChoice {
+        if self.strategy.is_row_granular() {
+            self.codec
+        } else {
+            CodecChoice::OneBit
         }
     }
 
@@ -655,6 +681,44 @@ mod tests {
         };
         assert_eq!(baseline.effective_aggregators(), 0);
         assert!(!baseline.name().contains("+agg"));
+    }
+
+    #[test]
+    fn codec_naming_and_resolution() {
+        let rog = ExperimentConfig {
+            strategy: Strategy::Rog { threshold: 4 },
+            ..ExperimentConfig::default()
+        };
+        // The one-bit default leaves run names byte-identical to the
+        // pre-codec builds.
+        assert_eq!(rog.effective_codec(), CodecChoice::OneBit);
+        assert!(!rog.name().contains("+onebit"), "{}", rog.name());
+
+        let sparse = ExperimentConfig {
+            strategy: Strategy::Rog { threshold: 4 },
+            codec: CodecChoice::Sparse,
+            ..ExperimentConfig::default()
+        };
+        assert_eq!(sparse.effective_codec(), CodecChoice::Sparse);
+        assert!(sparse.name().contains("+sparse"), "{}", sparse.name());
+
+        let quant = ExperimentConfig {
+            strategy: Strategy::RogAdaptive {
+                min_threshold: 1,
+                max_threshold: 8,
+            },
+            codec: CodecChoice::Quant { bits: 4 },
+            ..ExperimentConfig::default()
+        };
+        assert!(quant.name().contains("+q4"), "{}", quant.name());
+
+        // Baselines ship whole models: the codec knob is inert there.
+        let bsp = ExperimentConfig {
+            codec: CodecChoice::Sparse,
+            ..ExperimentConfig::default()
+        };
+        assert_eq!(bsp.effective_codec(), CodecChoice::OneBit);
+        assert!(!bsp.name().contains("+sparse"), "{}", bsp.name());
     }
 
     #[test]

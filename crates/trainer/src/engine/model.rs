@@ -141,10 +141,12 @@ pub fn run_traced(cfg: &ExperimentConfig) -> (RunMetrics, rog_obs::Journal) {
     let init = ctx.cluster.init_model.clone();
     let widths = init.row_widths();
     let partition = RowPartition::of_params(init.params());
+    // Model-granularity baselines always ship the dense one-bit model
+    // (the codec ladder is a row-granular feature).
     let model_wire_bytes = ctx.cluster.scaled_model_bytes(
         widths
             .iter()
-            .map(|&w| rog_compress::compressed_row_payload_bytes(w)),
+            .map(|&w| rog_compress::RowCodec::payload_bytes(&rog_compress::OneBitCodec, w)),
     );
     let zero: GradSet = init
         .params()

@@ -21,6 +21,7 @@
 
 use std::collections::BTreeMap;
 
+use rog_compress::{CodecChoice, RowCodec};
 use rog_core::{
     mta, AggregatorMap, AggregatorPlane, MtaTimeTracker, RogWorker, RogWorkerConfig, RowId,
     ShardMap, ShardedServer,
@@ -248,6 +249,8 @@ struct RowEngine {
     auto: Option<AutoThreshold>,
     /// Channel-driven bound controller (the `roga` adaptive hybrid).
     adaptive: Option<AdaptiveBound>,
+    /// Per-link codec selector (`--codec auto`).
+    codec_auto: Option<CodecAuto>,
 }
 
 /// Online staleness-threshold controller: widens the threshold when the
@@ -322,6 +325,41 @@ impl AdaptiveBound {
     }
 }
 
+/// Per-link codec selector (`--codec auto`): every window it re-picks
+/// each worker's row codec from the channel's per-link loss-rate and
+/// goodput EWMAs. A calm, uniform link keeps the dense one-bit codec
+/// (full sign information, best statistical efficiency); a lossy or
+/// faded straggler link drops to sparse-delta so the fewest bytes
+/// possible squeeze through the bad link. The decision is a pure
+/// function of the EWMAs at a deterministic evaluation point (the same
+/// cluster-iteration windowing as [`AdaptiveBound`]), so runs stay
+/// byte-identical across thread counts; every change is journaled as a
+/// `codec_select` event and replay-checked by the fuzzer.
+#[derive(Debug, Clone, Copy)]
+struct CodecAuto {
+    /// Controller period in completed iterations (cluster-wide).
+    window_iters: u64,
+    /// Iterations completed at the last check.
+    last_iters: u64,
+    /// Stress level above which a link falls back from dense one-bit to
+    /// sparse-delta.
+    stress_hi: f64,
+    /// Stress level below which a sparse link recovers to one-bit
+    /// (hysteresis gap keeps the selector from flapping).
+    stress_lo: f64,
+}
+
+impl CodecAuto {
+    fn new() -> Self {
+        Self {
+            window_iters: 24,
+            last_iters: 0,
+            stress_hi: 0.35,
+            stress_lo: 0.15,
+        }
+    }
+}
+
 /// Runs one ROG experiment.
 pub fn run(cfg: &ExperimentConfig) -> RunMetrics {
     run_traced(cfg).0
@@ -360,10 +398,21 @@ pub fn run_full(cfg: &ExperimentConfig) -> (RunMetrics, rog_obs::Journal, FleetS
     if let Some((f1, f2)) = cfg.importance_weights {
         wcfg.importance = rog_core::ImportanceMetric::new(rog_core::ImportanceWeights { f1, f2 });
     }
+    // Codec seeding: worker- and server-side stochastic codecs draw from
+    // disjoint streams forked off a dedicated root, so a codec change
+    // never perturbs any other consumer of the experiment seed (forking
+    // is pure), and the one-bit default — which never draws — stays
+    // byte-identical to the pre-codec engine regardless of the seeds.
+    let codec_choice = cfg.effective_codec();
+    let codec_root = rog_tensor::rng::DetRng::new(cfg.seed).fork(0xC0DEC);
+    let worker_codec_base = codec_root.fork(1);
     let workers: Vec<WState> = (0..n)
-        .map(|_| WState {
+        .map(|w| WState {
             model: init.clone(),
-            worker: RogWorker::new(init.params(), wcfg),
+            worker: RogWorker::new(
+                init.params(),
+                wcfg.with_codec(codec_choice, worker_codec_base.fork(w as u64).seed()),
+            ),
             iter: 0,
             done: false,
             computing: false,
@@ -379,7 +428,8 @@ pub fn run_full(cfg: &ExperimentConfig) -> (RunMetrics, rog_obs::Journal, FleetS
         })
         .collect();
     let map = ShardMap::contiguous(init.row_widths().len(), n_shards);
-    let server = ShardedServer::new(init.params(), n, threshold, wcfg.importance, map);
+    let mut server = ShardedServer::new(init.params(), n, threshold, wcfg.importance, map);
+    server.configure_codec(codec_choice, codec_root.fork(0).seed());
     let n_aggs = cfg.effective_aggregators();
     let agg_plane = (n_aggs > 0).then(|| {
         AggregatorPlane::new(
@@ -389,10 +439,12 @@ pub fn run_full(cfg: &ExperimentConfig) -> (RunMetrics, rog_obs::Journal, FleetS
         )
     });
     let widths = init.row_widths();
+    // Rejoin resyncs always ship the dense one-bit model: a rejoiner's
+    // residuals were just reset, so there is no content to size against.
     let model_wire_bytes = ctx.cluster.scaled_model_bytes(
         widths
             .iter()
-            .map(|&w| rog_compress::compressed_row_payload_bytes(w)),
+            .map(|&w| rog_compress::OneBitCodec.payload_bytes(w)),
     );
     let mut engine = RowEngine {
         ctx,
@@ -422,6 +474,7 @@ pub fn run_full(cfg: &ExperimentConfig) -> (RunMetrics, rog_obs::Journal, FleetS
         pipeline: cfg.pipeline,
         auto: cfg.auto_threshold.then(|| AutoThreshold::new(threshold)),
         adaptive,
+        codec_auto: codec_choice.is_auto().then(CodecAuto::new),
     };
     engine.event_loop();
     let agg = engine
@@ -651,6 +704,7 @@ impl RowEngine {
         self.maybe_continue_compute(w, now);
         self.maybe_adjust_threshold(now);
         self.maybe_adapt_bound(now);
+        self.maybe_select_codecs(now);
     }
 
     fn maybe_continue_compute(&mut self, w: usize, now: Time) {
@@ -988,6 +1042,19 @@ impl RowEngine {
                 sub.mta_rows,
             )
         };
+        // Journal byte sizes are captured before the commit below:
+        // committing zeroes the accumulator and rolls the residuals,
+        // which changes a content-sized codec's payloads (one-bit sizes
+        // are width-only, so the ordering is immaterial there).
+        let journal_bytes: u64 = if self.ctx.journal.enabled() {
+            let ws = &self.workers[w];
+            let upto = delivered.min(ws.subs[s].push_plan.len());
+            self.scaled_chunks(ws, &ws.subs[s].push_plan[..upto])
+                .iter()
+                .sum()
+        } else {
+            0
+        };
         let mut payloads = {
             // Gradient rows are best-effort: with a loss model installed
             // only the rows whose chunks survived are committed; the rest
@@ -1020,13 +1087,6 @@ impl RowEngine {
         self.trackers[s].report(w, delivered, duration, mta_rows);
         self.last_pushed[w] = n;
         if self.ctx.journal.enabled() {
-            let bytes: u64 = {
-                let ws = &self.workers[w];
-                let upto = delivered.min(ws.subs[s].push_plan.len());
-                self.scaled_chunks(ws, &ws.subs[s].push_plan[..upto])
-                    .iter()
-                    .sum()
-            };
             let tag = self.shard_tag(s);
             self.ctx.journal.record_shard(
                 now,
@@ -1035,7 +1095,7 @@ impl RowEngine {
                     w: w as u32,
                     iter: n,
                     rows: delivered as u32,
-                    bytes,
+                    bytes: journal_bytes,
                 },
             );
             self.ctx.journal.record_shard(
@@ -1185,7 +1245,7 @@ impl RowEngine {
                 .map(|&id| {
                     self.ctx
                         .cluster
-                        .scaled_row_bytes(self.server.payload_bytes(id))
+                        .scaled_row_bytes(self.server.payload_bytes_for(w, id))
                 })
                 .collect()
         };
@@ -1248,7 +1308,7 @@ impl RowEngine {
                 .map(|&id| {
                     self.ctx
                         .cluster
-                        .scaled_row_bytes(self.server.payload_bytes(id))
+                        .scaled_row_bytes(self.server.payload_bytes_for(w, id))
                 })
                 .collect();
             let link = shard_link(w, self.n_shards, s);
@@ -1435,6 +1495,80 @@ impl RowEngine {
         }
     }
 
+    /// Runs the per-link codec selector (`--codec auto`) if its window
+    /// elapsed. See [`CodecAuto`] for the policy; per-worker stress
+    /// combines the worst loss EWMA across the worker's shard links with
+    /// how far its weakest link's goodput lags the cluster's best.
+    fn maybe_select_codecs(&mut self, now: Time) {
+        let Some(mut ca) = self.codec_auto else {
+            return;
+        };
+        let total_iters: u64 = self.workers.iter().map(|w| w.iter).sum();
+        if total_iters < ca.last_iters + ca.window_iters {
+            return;
+        }
+        ca.last_iters = total_iters;
+        self.codec_auto = Some(ca);
+        let decisions: Vec<(usize, CodecChoice)> = {
+            let tp = &self.ctx.cluster.transport;
+            let mut max_good = 0.0f64;
+            for w in 0..self.workers.len() {
+                for s in 0..self.n_shards {
+                    let link = shard_link(w, self.n_shards, s);
+                    max_good = max_good.max(tp.estimated_goodput_rate(link));
+                }
+            }
+            (0..self.workers.len())
+                .filter(|&w| !self.ctx.offline[w])
+                .map(|w| {
+                    let mut loss = 0.0f64;
+                    let mut good = f64::INFINITY;
+                    for s in 0..self.n_shards {
+                        let link = shard_link(w, self.n_shards, s);
+                        loss = loss.max(tp.estimated_loss_rate(link));
+                        good = good.min(tp.estimated_goodput_rate(link));
+                    }
+                    let lag = if max_good > 0.0 {
+                        (1.0 - good / max_good).clamp(0.0, 1.0)
+                    } else {
+                        0.0
+                    };
+                    let stress = (2.5 * loss + lag).min(1.0);
+                    let current_sparse = self.workers[w].worker.codec().name() == "sparse";
+                    // Hysteresis: inside the band a link keeps whatever
+                    // codec it has, so EWMA jitter cannot flap it.
+                    let choice = if stress > ca.stress_hi {
+                        CodecChoice::Sparse
+                    } else if stress < ca.stress_lo || !current_sparse {
+                        CodecChoice::OneBit
+                    } else {
+                        CodecChoice::Sparse
+                    };
+                    (w, choice)
+                })
+                .collect()
+        };
+        for (w, choice) in decisions {
+            let codec = choice.build();
+            if self.workers[w].worker.codec().name() == codec.name() {
+                continue;
+            }
+            // Residuals carry across the switch on both sides (the
+            // error-feedback invariant holds for any encoder), so no
+            // gradient mass is lost at the boundary.
+            self.workers[w].worker.set_codec(codec);
+            self.server.set_codec(w, codec);
+            obs!(
+                self.ctx.journal,
+                now,
+                EventKind::CodecSelect {
+                    w: w as u32,
+                    codec: codec.name(),
+                }
+            );
+        }
+    }
+
     /// The narrowest bound the in-flight state admits. Any iteration
     /// that can reach a `gate_enter` without passing a *new* pull grant
     /// must still satisfy the instantaneous bound there, so narrowing
@@ -1473,6 +1607,7 @@ impl RowEngine {
         self.ctx.maybe_eval(w, iter, now, &self.workers[w].model);
         self.maybe_adjust_threshold(now);
         self.maybe_adapt_bound(now);
+        self.maybe_select_codecs(now);
         if now < self.ctx.duration() {
             self.start_compute(w, now);
         } else {

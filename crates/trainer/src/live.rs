@@ -106,6 +106,13 @@ pub fn check_socket_compatible(cfg: &ExperimentConfig) -> Result<(), String> {
             cfg.strategy.name()
         ));
     }
+    if cfg.codec != rog_compress::CodecChoice::OneBit {
+        return Err(format!(
+            "--codec {} is sim-only for now; the live wire protocol frames one-bit rows \
+             (drop --codec or run the sim backend)",
+            cfg.codec.name()
+        ));
+    }
     let sim_only: [(&str, bool); 5] = [
         ("--loss (packet-loss injection)", cfg.loss.is_some()),
         ("--fault-plan (fault injection)", cfg.fault_plan.is_some()),
@@ -1029,6 +1036,16 @@ mod tests {
         assert!(check_socket_compatible(&cfg)
             .unwrap_err()
             .contains("--fault-seed"));
+    }
+
+    #[test]
+    fn socket_compat_rejects_non_onebit_codecs() {
+        let cfg = ExperimentConfig {
+            codec: rog_compress::CodecChoice::Sparse,
+            ..rog_cfg()
+        };
+        let err = check_socket_compatible(&cfg).unwrap_err();
+        assert!(err.contains("--codec sparse"), "{err}");
     }
 
     #[test]

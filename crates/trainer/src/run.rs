@@ -144,6 +144,14 @@ impl RunOptions {
         self
     }
 
+    /// Selects the row codec for push/pull payloads (ROG only;
+    /// [`rog_compress::CodecChoice::OneBit`], the default, is
+    /// bit-identical to pre-codec behavior).
+    pub fn codec(mut self, codec: rog_compress::CodecChoice) -> Self {
+        self.cfg.codec = codec;
+        self
+    }
+
     /// Overrides the experiment seed.
     pub fn seed(mut self, seed: u64) -> Self {
         self.cfg.seed = seed;
@@ -323,12 +331,14 @@ mod tests {
             .seed(7)
             .duration_secs(12.0)
             .workers(6)
-            .aggregators(3);
+            .aggregators(3)
+            .codec(rog_compress::CodecChoice::Sparse);
         assert_eq!(opts.config().n_shards, 4);
         assert_eq!(opts.config().seed, 7);
         assert!((opts.config().duration_secs - 12.0).abs() < 1e-12);
         assert_eq!(opts.config().n_workers, 6);
         assert_eq!(opts.config().n_aggregators, 3);
+        assert_eq!(opts.config().codec, rog_compress::CodecChoice::Sparse);
     }
 
     #[test]

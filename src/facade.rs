@@ -43,6 +43,7 @@
 /// assert!(outcome.journal.is_none());
 /// ```
 pub mod prelude {
+    pub use rog_compress::{CodecChoice, RowCodec};
     pub use rog_core::ShardMap;
     pub use rog_fault::FaultPlan;
     pub use rog_net::LossConfig;
